@@ -1,0 +1,122 @@
+//! C1: backend scalability — write and read throughput as the cluster
+//! grows (fixed work), plus the bloom-filter read ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rasdb::cluster::{Cluster, ClusterConfig};
+use rasdb::node::NodeConfig;
+use rasdb::query::Consistency;
+use rasdb::schema::{ColumnType, TableSchema};
+use rasdb::types::Value;
+
+fn schema() -> TableSchema {
+    TableSchema::builder("event_by_time")
+        .partition_key("hour", ColumnType::BigInt)
+        .partition_key("type", ColumnType::Text)
+        .clustering_key("ts", ColumnType::Timestamp)
+        .clustering_key("source", ColumnType::Text)
+        .column("amount", ColumnType::Int)
+        .build()
+        .expect("schema")
+}
+
+fn cluster(nodes: usize, use_bloom: bool) -> Cluster {
+    let c = Cluster::with_node_config(
+        ClusterConfig {
+            nodes,
+            replication_factor: 3.min(nodes),
+            vnodes: 16,
+        },
+        NodeConfig {
+            use_bloom,
+            ..Default::default()
+        },
+    );
+    c.create_table(schema()).expect("create");
+    c
+}
+
+fn write_n(c: &Cluster, n: usize) {
+    for i in 0..n {
+        c.insert(
+            "event_by_time",
+            vec![
+                ("hour", Value::BigInt((i % 48) as i64)),
+                ("type", Value::text("MCE")),
+                ("ts", Value::Timestamp(i as i64)),
+                ("source", Value::text("c0-0c0s0n0")),
+                ("amount", Value::Int(1)),
+            ],
+            Consistency::Quorum,
+        )
+        .expect("insert");
+    }
+}
+
+fn bench_db_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("db_scaling");
+    group.sample_size(10);
+    const N: usize = 5_000;
+    group.throughput(Throughput::Elements(N as u64));
+    for nodes in [4usize, 8, 16, 32] {
+        group.bench_with_input(
+            BenchmarkId::new("write_5k_quorum", nodes),
+            &nodes,
+            |b, &nodes| {
+                b.iter_with_setup(|| cluster(nodes, true), |c| write_n(&c, N));
+            },
+        );
+    }
+
+    // Read throughput at two cluster sizes.
+    group.throughput(Throughput::Elements(100));
+    for nodes in [4usize, 32] {
+        let c100 = cluster(nodes, true);
+        write_n(&c100, 20_000);
+        c100.flush_all();
+        group.bench_with_input(
+            BenchmarkId::new("read_100_partitions", nodes),
+            &nodes,
+            |b, _| {
+                b.iter(|| {
+                    let mut total = 0usize;
+                    for h in 0..48i64 {
+                        total += c100
+                            .select("event_by_time")
+                            .partition(vec![Value::BigInt(h), Value::text("MCE")])
+                            .limit(50)
+                            .run(Consistency::One)
+                            .expect("read")
+                            .len();
+                    }
+                    total
+                })
+            },
+        );
+    }
+
+    // Ablation: bloom filters off — absent-partition probes get costly.
+    group.throughput(Throughput::Elements(1000));
+    for (label, bloom) in [("bloom_on", true), ("bloom_off", false)] {
+        let cl = cluster(8, bloom);
+        write_n(&cl, 10_000);
+        cl.flush_all();
+        group.bench_function(BenchmarkId::new("absent_partition_reads", label), |b| {
+            b.iter(|| {
+                let mut none = 0usize;
+                for h in 1000..2000i64 {
+                    let rows = cl
+                        .select("event_by_time")
+                        .partition(vec![Value::BigInt(h), Value::text("MCE")])
+                        .run(Consistency::One)
+                        .expect("read");
+                    none += rows.len();
+                }
+                assert_eq!(none, 0);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_db_scaling);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! C4: batch ETL throughput — regex parse + upload with 1 executor
+//! (serial baseline) vs the full co-located pool, at growing log volumes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hpclog_core::etl::batch::import_rendered;
+use hpclog_core::framework::{Framework, FrameworkConfig};
+use loggen::topology::Topology;
+use loggen::trace::{Scenario, ScenarioConfig};
+
+fn raw_lines(hours: i64) -> Vec<String> {
+    let topo = Topology::scaled(2, 2);
+    let cfg = ScenarioConfig {
+        rate_scale: 30.0,
+        ..ScenarioConfig::quiet_day(hours)
+    };
+    Scenario::generate(&topo, &cfg, 7)
+        .lines
+        .iter()
+        .map(|l| l.render())
+        .collect()
+}
+
+fn fw(workers: usize) -> Framework {
+    Framework::new(FrameworkConfig {
+        db_nodes: 8,
+        replication_factor: 2,
+        vnodes: 8,
+        workers: Some(workers),
+        topology: Topology::scaled(2, 2),
+        ..Default::default()
+    })
+    .expect("boot")
+}
+
+fn bench_etl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("etl_throughput");
+    group.sample_size(10);
+    let lines = raw_lines(12);
+    group.throughput(Throughput::Elements(lines.len() as u64));
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("batch_import", workers),
+            &workers,
+            |b, &w| {
+                b.iter_with_setup(
+                    || (fw(w), lines.clone()),
+                    |(fw, lines)| {
+                        let report = import_rendered(&fw, lines).expect("import");
+                        assert_eq!(report.skipped, 0);
+                        report.parsed
+                    },
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_etl);
+criterion_main!(benches);

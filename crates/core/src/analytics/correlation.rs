@@ -1,0 +1,124 @@
+//! Cross-correlation between event-type series: the symmetric companion
+//! to transfer entropy for spotting co-occurring event types.
+
+use crate::analytics::bin_counts;
+use crate::framework::Framework;
+use rasdb::error::DbError;
+
+/// Pearson correlation of two equal-length series; 0 when either side is
+/// constant (no variance ⇒ correlation undefined, reported as 0).
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len().min(b.len());
+    if n == 0 {
+        return 0.0;
+    }
+    let (a, b) = (&a[..n], &b[..n]);
+    let mean_a = a.iter().sum::<f64>() / n as f64;
+    let mean_b = b.iter().sum::<f64>() / n as f64;
+    let mut cov = 0.0;
+    let mut var_a = 0.0;
+    let mut var_b = 0.0;
+    for i in 0..n {
+        let da = a[i] - mean_a;
+        let db = b[i] - mean_b;
+        cov += da * db;
+        var_a += da * da;
+        var_b += db * db;
+    }
+    if var_a <= 0.0 || var_b <= 0.0 {
+        return 0.0;
+    }
+    cov / (var_a.sqrt() * var_b.sqrt())
+}
+
+/// Cross-correlation at integer lags `-max_lag..=max_lag`: positive lag
+/// means `a` leads `b`. Returns `(lag, r)` pairs.
+pub fn cross_correlation(a: &[f64], b: &[f64], max_lag: usize) -> Vec<(i64, f64)> {
+    let mut out = Vec::with_capacity(2 * max_lag + 1);
+    let max_lag = max_lag as i64;
+    for lag in -max_lag..=max_lag {
+        let r = if lag >= 0 {
+            let k = lag as usize;
+            if k >= a.len() {
+                0.0
+            } else {
+                pearson(&a[..a.len() - k], &b[k..])
+            }
+        } else {
+            let k = (-lag) as usize;
+            if k >= b.len() {
+                0.0
+            } else {
+                pearson(&a[k..], &b[..b.len() - k])
+            }
+        };
+        out.push((lag, r));
+    }
+    out
+}
+
+/// Cross-correlation between two event types over `[from, to)`.
+pub fn event_cross_correlation(
+    fw: &Framework,
+    type_a: &str,
+    type_b: &str,
+    from_ms: i64,
+    to_ms: i64,
+    bin_ms: i64,
+    max_lag: usize,
+) -> Result<Vec<(i64, f64)>, DbError> {
+    let ea = fw.events_by_type(type_a, from_ms, to_ms)?;
+    let eb = fw.events_by_type(type_b, from_ms, to_ms)?;
+    let a = bin_counts(&ea, from_ms, to_ms, bin_ms);
+    let b = bin_counts(&eb, from_ms, to_ms, bin_ms);
+    Ok(cross_correlation(&a, &b, max_lag))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_correlation_and_anticorrelation() {
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        let b = vec![2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-12);
+        let c = vec![4.0, 3.0, 2.0, 1.0];
+        assert!((pearson(&a, &c) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_series_report_zero() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+        assert_eq!(pearson(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn lagged_signal_peaks_at_its_lag() {
+        // b follows a two steps later.
+        let a: Vec<f64> = (0..100).map(|i| ((i % 7) as f64).sin()).collect();
+        let b: Vec<f64> = (0..100)
+            .map(|i| if i >= 2 { a[i - 2] } else { 0.0 })
+            .collect();
+        let xc = cross_correlation(&a, &b, 5);
+        let peak = xc.iter().max_by(|x, y| x.1.total_cmp(&y.1)).unwrap();
+        assert_eq!(peak.0, 2, "{xc:?}");
+        assert!(peak.1 > 0.95);
+    }
+
+    #[test]
+    fn lag_window_is_symmetric_in_size() {
+        let a = vec![1.0, 2.0, 1.0, 2.0];
+        let xc = cross_correlation(&a, &a, 2);
+        assert_eq!(xc.len(), 5);
+        assert_eq!(xc[2].0, 0);
+        assert!((xc[2].1 - 1.0).abs() < 1e-12, "self-correlation at lag 0");
+    }
+
+    #[test]
+    fn oversized_lags_yield_zero() {
+        let a = vec![1.0, 2.0];
+        let xc = cross_correlation(&a, &a, 10);
+        assert!(xc.iter().any(|(lag, r)| *lag == 10 && *r == 0.0));
+    }
+}

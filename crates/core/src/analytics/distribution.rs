@@ -1,0 +1,213 @@
+//! Distributions of event occurrences "over cabinets, blades, nodes, and
+//! applications" (paper §III-B) — the complementary view to the heat map.
+
+use crate::framework::Framework;
+use crate::model::event::EventRecord;
+use loggen::topology::{NODES_PER_BLADE, NODES_PER_CABINET};
+use rasdb::error::DbError;
+use std::collections::HashMap;
+
+/// What to group occurrence counts by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupBy {
+    /// Per cabinet.
+    Cabinet,
+    /// Per blade.
+    Blade,
+    /// Per node.
+    Node,
+    /// Per application that was running on the source node at the time.
+    Application,
+}
+
+/// A labeled distribution, sorted by descending count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Distribution {
+    /// `(label, count)` pairs, heaviest first.
+    pub entries: Vec<(String, f64)>,
+    /// Events that matched no group (e.g. no app running there).
+    pub unattributed: f64,
+}
+
+impl Distribution {
+    /// The top-k entries.
+    pub fn top(&self, k: usize) -> &[(String, f64)] {
+        &self.entries[..k.min(self.entries.len())]
+    }
+}
+
+/// Computes the distribution of one event type over `[from, to)`.
+pub fn distribution(
+    fw: &Framework,
+    event_type: &str,
+    from_ms: i64,
+    to_ms: i64,
+    group_by: GroupBy,
+) -> Result<Distribution, DbError> {
+    let events = fw.events_by_type(event_type, from_ms, to_ms)?;
+    distribution_of(fw, &events, group_by)
+}
+
+/// Groups an already-fetched event stream (reused by context analytics).
+pub fn distribution_of(
+    fw: &Framework,
+    events: &[EventRecord],
+    group_by: GroupBy,
+) -> Result<Distribution, DbError> {
+    let topo = fw.topology();
+    let mut counts: HashMap<String, f64> = HashMap::new();
+    let mut unattributed = 0.0;
+
+    // Application grouping needs the runs active in the events' span.
+    let runs = if group_by == GroupBy::Application {
+        let (lo, hi) = events
+            .iter()
+            .fold((i64::MAX, i64::MIN), |(lo, hi), e| (lo.min(e.ts_ms), hi.max(e.ts_ms)));
+        if lo <= hi {
+            // Runs may have started up to a day before the first event.
+            fw.apps_by_time(lo - 24 * 3_600_000, hi + 1)?
+        } else {
+            Vec::new()
+        }
+    } else {
+        Vec::new()
+    };
+
+    for e in events {
+        let Some(idx) = topo.parse_cname(&e.source) else {
+            unattributed += e.amount as f64;
+            continue;
+        };
+        match group_by {
+            GroupBy::Cabinet => {
+                let cab = idx / NODES_PER_CABINET;
+                *counts.entry(format!("cab{cab}")).or_default() += e.amount as f64;
+            }
+            GroupBy::Blade => {
+                let blade = idx / NODES_PER_BLADE;
+                *counts.entry(format!("blade{blade}")).or_default() += e.amount as f64;
+            }
+            GroupBy::Node => {
+                *counts.entry(e.source.clone()).or_default() += e.amount as f64;
+            }
+            GroupBy::Application => {
+                let hit = runs.iter().find(|r| {
+                    r.running_at(e.ts_ms)
+                        && (r.node_first as usize) <= idx
+                        && idx <= r.node_last as usize
+                });
+                match hit {
+                    Some(r) => *counts.entry(r.app.clone()).or_default() += e.amount as f64,
+                    None => unattributed += e.amount as f64,
+                }
+            }
+        }
+    }
+
+    let mut entries: Vec<(String, f64)> = counts.into_iter().collect();
+    entries.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    Ok(Distribution {
+        entries,
+        unattributed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::FrameworkConfig;
+    use crate::model::apprun::AppRun;
+    use crate::model::keys::HOUR_MS;
+    use loggen::topology::Topology;
+
+    fn fw() -> Framework {
+        Framework::new(FrameworkConfig {
+            db_nodes: 3,
+            replication_factor: 2,
+            vnodes: 8,
+            topology: Topology::scaled(2, 2),
+            ..Default::default()
+        })
+        .unwrap()
+    }
+
+    fn ev(fw: &Framework, ts: i64, node: usize, amount: i32) {
+        fw.insert_event(&EventRecord {
+            ts_ms: ts,
+            event_type: "LUSTRE_ERR".into(),
+            source: fw.topology().node(node).cname,
+            amount,
+            raw: String::new(),
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn cabinet_blade_node_groupings() {
+        let fw = fw();
+        ev(&fw, 0, 0, 1); // cab0 blade0
+        ev(&fw, 1, 1, 1); // cab0 blade0
+        ev(&fw, 2, 4, 1); // cab0 blade1
+        ev(&fw, 3, 96, 1); // cab1 blade24
+
+        let d = distribution(&fw, "LUSTRE_ERR", 0, HOUR_MS, GroupBy::Cabinet).unwrap();
+        assert_eq!(d.entries[0], ("cab0".to_owned(), 3.0));
+        assert_eq!(d.entries[1], ("cab1".to_owned(), 1.0));
+
+        let d = distribution(&fw, "LUSTRE_ERR", 0, HOUR_MS, GroupBy::Blade).unwrap();
+        assert_eq!(d.entries[0], ("blade0".to_owned(), 2.0));
+        assert_eq!(d.entries.len(), 3);
+
+        let d = distribution(&fw, "LUSTRE_ERR", 0, HOUR_MS, GroupBy::Node).unwrap();
+        assert_eq!(d.entries.len(), 4);
+        assert_eq!(d.top(2).len(), 2);
+        assert_eq!(d.unattributed, 0.0);
+    }
+
+    #[test]
+    fn application_grouping_attributes_by_allocation_and_time() {
+        let fw = fw();
+        fw.insert_app_run(&AppRun {
+            apid: 1,
+            user: "u".into(),
+            app: "VASP".into(),
+            start_ms: 0,
+            end_ms: 10_000,
+            node_first: 0,
+            node_last: 47,
+            exit_code: 0,
+            other_info: Default::default(),
+        })
+        .unwrap();
+        ev(&fw, 5_000, 10, 1); // inside VASP
+        ev(&fw, 5_000, 90, 1); // outside allocation
+        ev(&fw, 20_000, 10, 1); // after the run
+        let d = distribution(&fw, "LUSTRE_ERR", 0, HOUR_MS, GroupBy::Application).unwrap();
+        assert_eq!(d.entries, vec![("VASP".to_owned(), 1.0)]);
+        assert_eq!(d.unattributed, 2.0);
+    }
+
+    #[test]
+    fn unknown_sources_are_unattributed() {
+        let fw = fw();
+        fw.insert_event(&EventRecord {
+            ts_ms: 0,
+            event_type: "LUSTRE_ERR".into(),
+            source: "mds01".into(), // not a compute node
+            amount: 3,
+            raw: String::new(),
+        })
+        .unwrap();
+        let d = distribution(&fw, "LUSTRE_ERR", 0, HOUR_MS, GroupBy::Cabinet).unwrap();
+        assert!(d.entries.is_empty());
+        assert_eq!(d.unattributed, 3.0);
+    }
+
+    #[test]
+    fn empty_stream_is_empty() {
+        let fw = fw();
+        let d = distribution(&fw, "MCE", 0, HOUR_MS, GroupBy::Node).unwrap();
+        assert!(d.entries.is_empty());
+        assert_eq!(d.unattributed, 0.0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Heat maps over the physical system map (paper Fig 5): per-cabinet and
+//! per-node event counts for a type over a selected interval, computed as
+//! a locality-aware MapReduce job on the engine.
+
+use crate::framework::Framework;
+use loggen::topology::NODES_PER_CABINET;
+use rasdb::error::DbError;
+
+/// Per-cabinet counts plus summary statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeatMap {
+    /// Event count per cabinet (row-major floor order).
+    pub cabinets: Vec<f64>,
+    /// Total events.
+    pub total: f64,
+    /// Index of the hottest cabinet.
+    pub hottest: usize,
+    /// Mean per-cabinet count.
+    pub mean: f64,
+    /// Standard deviation of per-cabinet counts.
+    pub stddev: f64,
+}
+
+impl HeatMap {
+    /// Cabinets whose count exceeds `mean + k·stddev` — the "unusually
+    /// higher ... in some parts of the system" detector.
+    pub fn outliers(&self, k: f64) -> Vec<usize> {
+        let limit = self.mean + k * self.stddev;
+        self.cabinets
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > limit)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Computes the cabinet heat map for one event type over `[from, to)`.
+///
+/// Runs as a two-stage job: locality-preferred partition scans map each
+/// hour partition to per-cabinet counts, reduced by key on the engine.
+pub fn cabinet_heatmap(
+    fw: &Framework,
+    event_type: &str,
+    from_ms: i64,
+    to_ms: i64,
+) -> Result<HeatMap, DbError> {
+    let topo = fw.topology().clone();
+    let ncab = topo.cabinet_count();
+    let counts = fw
+        .scan_events_rdd(event_type, from_ms, to_ms)
+        .flat_map(move |ev| {
+            topo.parse_cname(&ev.source)
+                .map(|idx| (idx / NODES_PER_CABINET, ev.amount as f64))
+                .into_iter()
+                .collect()
+        })
+        .reduce_by_key(fw.engine().workers().max(1), |a, b| a + b)
+        .collect();
+    let mut cabinets = vec![0.0; ncab];
+    for (cab, count) in counts {
+        if cab < ncab {
+            cabinets[cab] = count;
+        }
+    }
+    Ok(summarize(cabinets))
+}
+
+/// Computes per-node counts for one event type (node-level heat map).
+pub fn node_heatmap(
+    fw: &Framework,
+    event_type: &str,
+    from_ms: i64,
+    to_ms: i64,
+) -> Result<Vec<f64>, DbError> {
+    let topo = fw.topology().clone();
+    let n = topo.node_count();
+    let counts = fw
+        .scan_events_rdd(event_type, from_ms, to_ms)
+        .flat_map(move |ev| {
+            topo.parse_cname(&ev.source)
+                .map(|idx| (idx, ev.amount as f64))
+                .into_iter()
+                .collect()
+        })
+        .reduce_by_key(fw.engine().workers().max(1), |a, b| a + b)
+        .collect();
+    let mut nodes = vec![0.0; n];
+    for (idx, count) in counts {
+        if idx < n {
+            nodes[idx] = count;
+        }
+    }
+    Ok(nodes)
+}
+
+fn summarize(cabinets: Vec<f64>) -> HeatMap {
+    let total: f64 = cabinets.iter().sum();
+    let n = cabinets.len().max(1) as f64;
+    let mean = total / n;
+    let var = cabinets.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / n;
+    let hottest = cabinets
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    HeatMap {
+        cabinets,
+        total,
+        hottest,
+        mean,
+        stddev: var.sqrt(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::FrameworkConfig;
+    use crate::model::event::EventRecord;
+    use crate::model::keys::HOUR_MS;
+    use loggen::topology::Topology;
+
+    fn fw() -> Framework {
+        Framework::new(FrameworkConfig {
+            db_nodes: 4,
+            replication_factor: 2,
+            vnodes: 8,
+            topology: Topology::scaled(2, 2),
+            ..Default::default()
+        })
+        .unwrap()
+    }
+
+    fn seed(fw: &Framework, cab: usize, n: usize) {
+        let topo = fw.topology();
+        for i in 0..n {
+            let node = cab * NODES_PER_CABINET + (i % NODES_PER_CABINET);
+            fw.insert_event(&EventRecord {
+                ts_ms: (i as i64) * 1000,
+                event_type: "MCE".into(),
+                source: topo.node(node).cname,
+                amount: 1,
+                raw: String::new(),
+            })
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn hotspot_cabinet_dominates() {
+        let fw = fw();
+        seed(&fw, 2, 50);
+        seed(&fw, 0, 5);
+        let hm = cabinet_heatmap(&fw, "MCE", 0, HOUR_MS).unwrap();
+        assert_eq!(hm.cabinets.len(), 4);
+        assert_eq!(hm.hottest, 2);
+        assert_eq!(hm.total, 55.0);
+        assert_eq!(hm.cabinets[2], 50.0);
+        assert_eq!(hm.outliers(1.0), vec![2]);
+    }
+
+    #[test]
+    fn empty_interval_is_flat() {
+        let fw = fw();
+        let hm = cabinet_heatmap(&fw, "MCE", 0, HOUR_MS).unwrap();
+        assert_eq!(hm.total, 0.0);
+        assert!(hm.outliers(1.0).is_empty());
+    }
+
+    #[test]
+    fn node_heatmap_localizes_to_exact_nodes() {
+        let fw = fw();
+        let cname = fw.topology().node(7).cname;
+        for i in 0..10 {
+            fw.insert_event(&EventRecord {
+                ts_ms: i * 100,
+                event_type: "GPU_DBE".into(),
+                source: cname.clone(),
+                amount: 2,
+                raw: String::new(),
+            })
+            .unwrap();
+        }
+        let nodes = node_heatmap(&fw, "GPU_DBE", 0, HOUR_MS).unwrap();
+        assert_eq!(nodes[7], 20.0);
+        assert_eq!(nodes.iter().sum::<f64>(), 20.0);
+    }
+
+    #[test]
+    fn amounts_weight_the_map() {
+        let fw = fw();
+        fw.insert_event(&EventRecord {
+            ts_ms: 0,
+            event_type: "MCE".into(),
+            source: fw.topology().node(0).cname,
+            amount: 7,
+            raw: String::new(),
+        })
+        .unwrap();
+        let hm = cabinet_heatmap(&fw, "MCE", 0, HOUR_MS).unwrap();
+        assert_eq!(hm.cabinets[0], 7.0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Text analytics over raw log messages (paper §III-C): tokenization,
+//! word counts ("a simple word counts, which is rapidly executed by Spark,
+//! can locate the source of the problem"), and TF-IDF, where "a Lustre
+//! message is treated as a document".
+
+use crate::framework::Framework;
+use rasdb::error::DbError;
+use std::collections::HashMap;
+
+/// Words carrying no diagnostic signal in system logs.
+const STOPWORDS: &[&str] = &[
+    "the", "with", "was", "for", "this", "will", "using", "service", "operations", "progress",
+    "and", "that", "are", "not", "all", "from", "has", "have", "been", "its",
+];
+
+/// Splits a message into analyzable tokens: alphanumeric runs, length ≥ 3,
+/// not purely numeric (hex object ids like `OST0041` survive; raw numbers
+/// and addresses don't), stopwords removed, case preserved.
+pub fn tokenize(message: &str) -> Vec<String> {
+    message
+        .split(|c: char| !c.is_ascii_alphanumeric())
+        .filter(|tok| tok.len() >= 3)
+        .filter(|tok| !tok.bytes().all(|b| b.is_ascii_hexdigit()))
+        .filter(|tok| !STOPWORDS.contains(&tok.to_ascii_lowercase().as_str()))
+        .map(str::to_owned)
+        .collect()
+}
+
+/// Sequential word count (the baseline the parallel path is compared to).
+pub fn word_count_serial(messages: &[String]) -> HashMap<String, u64> {
+    let mut counts = HashMap::new();
+    for msg in messages {
+        for tok in tokenize(msg) {
+            *counts.entry(tok).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+/// Parallel word count on the engine (flat_map → reduce_by_key).
+pub fn word_count_parallel(fw: &Framework, messages: Vec<String>) -> HashMap<String, u64> {
+    let nparts = (fw.engine().workers() * 2).max(1);
+    fw.engine()
+        .parallelize(messages, nparts)
+        .flat_map(|msg| tokenize(&msg))
+        .map(|tok| (tok, 1u64))
+        .reduce_by_key(fw.engine().workers().max(1), |a, b| a + b)
+        .collect()
+        .into_iter()
+        .collect()
+}
+
+/// The `k` heaviest terms, ties broken alphabetically (deterministic).
+pub fn top_k(counts: &HashMap<String, u64>, k: usize) -> Vec<(String, u64)> {
+    let mut entries: Vec<(String, u64)> = counts.iter().map(|(w, c)| (w.clone(), *c)).collect();
+    entries.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    entries.truncate(k);
+    entries
+}
+
+/// TF-IDF over messages-as-documents. Returns per-term aggregate scores
+/// (sum of tf·idf over documents), which surfaces terms that are frequent
+/// in *some* messages but not ubiquitous boilerplate.
+pub fn tf_idf(messages: &[String]) -> HashMap<String, f64> {
+    let n_docs = messages.len();
+    if n_docs == 0 {
+        return HashMap::new();
+    }
+    let mut doc_freq: HashMap<String, u64> = HashMap::new();
+    let mut per_doc: Vec<HashMap<String, u64>> = Vec::with_capacity(n_docs);
+    for msg in messages {
+        let mut tf: HashMap<String, u64> = HashMap::new();
+        for tok in tokenize(msg) {
+            *tf.entry(tok).or_insert(0) += 1;
+        }
+        for term in tf.keys() {
+            *doc_freq.entry(term.clone()).or_insert(0) += 1;
+        }
+        per_doc.push(tf);
+    }
+    let mut scores: HashMap<String, f64> = HashMap::new();
+    for tf in &per_doc {
+        let len: u64 = tf.values().sum();
+        if len == 0 {
+            continue;
+        }
+        for (term, count) in tf {
+            let idf = (n_docs as f64 / doc_freq[term] as f64).ln();
+            *scores.entry(term.clone()).or_insert(0.0) += (*count as f64 / len as f64) * idf;
+        }
+    }
+    scores
+}
+
+/// Word count over the raw messages of one event type in a window — the
+/// paper's Fig 7 workflow (raw Lustre lines → word bubbles → dead OST).
+pub fn word_count_events(
+    fw: &Framework,
+    event_type: &str,
+    from_ms: i64,
+    to_ms: i64,
+) -> Result<HashMap<String, u64>, DbError> {
+    let messages: Vec<String> = fw
+        .events_by_type(event_type, from_ms, to_ms)?
+        .into_iter()
+        .map(|e| e.raw)
+        .collect();
+    Ok(word_count_parallel(fw, messages))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::FrameworkConfig;
+    use loggen::topology::Topology;
+
+    #[test]
+    fn tokenizer_keeps_object_ids_drops_numbers_and_stopwords() {
+        let toks = tokenize(
+            "LustreError: 11-0: atlas1-OST0041-osc-ffff8803a9c6a000: Communicating with \
+             10.36.226.77@o2ib, operation ost_read failed with -110",
+        );
+        assert!(toks.contains(&"OST0041".to_owned()));
+        assert!(toks.contains(&"LustreError".to_owned()));
+        assert!(toks.contains(&"ost_read".to_owned()) || toks.contains(&"read".to_owned()));
+        assert!(!toks.iter().any(|t| t == "with"), "{toks:?}");
+        assert!(!toks.iter().any(|t| t == "110"), "{toks:?}");
+        assert!(!toks.iter().any(|t| t == "ffff8803a9c6a000"), "hex dropped");
+    }
+
+    #[test]
+    fn short_tokens_dropped() {
+        assert!(tokenize("an ab xyz").contains(&"xyz".to_owned()));
+        assert_eq!(tokenize("a bb cc").len(), 0);
+    }
+
+    #[test]
+    fn serial_and_parallel_word_counts_agree() {
+        let fw = Framework::new(FrameworkConfig {
+            db_nodes: 2,
+            replication_factor: 1,
+            vnodes: 4,
+            topology: Topology::scaled(1, 1),
+            ..Default::default()
+        })
+        .unwrap();
+        let messages: Vec<String> = (0..200)
+            .map(|i| format!("LustreError OST{:04x} timeout ost_write retry{}", i % 5, i % 3))
+            .collect();
+        let serial = word_count_serial(&messages);
+        let parallel = word_count_parallel(&fw, messages);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial["LustreError"], 200);
+    }
+
+    #[test]
+    fn top_k_is_deterministic_under_ties() {
+        let mut counts = HashMap::new();
+        counts.insert("bbb".to_owned(), 5u64);
+        counts.insert("aaa".to_owned(), 5);
+        counts.insert("ccc".to_owned(), 9);
+        let top = top_k(&counts, 2);
+        assert_eq!(top, vec![("ccc".to_owned(), 9), ("aaa".to_owned(), 5)]);
+        assert_eq!(top_k(&counts, 0), vec![]);
+    }
+
+    #[test]
+    fn tf_idf_downweights_ubiquitous_terms() {
+        // "LustreError" appears in every message (idf = 0); "OST0041" in few.
+        let mut messages: Vec<String> =
+            (0..50).map(|i| format!("LustreError timeout node{i}")).collect();
+        messages.push("LustreError OST0041 refused".to_owned());
+        messages.push("LustreError OST0041 refused again".to_owned());
+        let scores = tf_idf(&messages);
+        assert_eq!(scores["LustreError"], 0.0);
+        assert!(scores["OST0041"] > 0.5, "{}", scores["OST0041"]);
+    }
+
+    #[test]
+    fn tf_idf_empty_input() {
+        assert!(tf_idf(&[]).is_empty());
+    }
+}

@@ -1,0 +1,226 @@
+//! Batch import: the "traditional ETL procedure" of the paper, with
+//! "parsing and uploading using Apache Spark" — here, `sparklet`.
+//!
+//! Raw lines are partitioned over the executor pool; each partition
+//! compiles the pattern set once, parses its lines, and uploads event rows
+//! straight to the store (parallel upload). Job start/end fragments come
+//! back to the driver, which pairs them into application runs.
+
+use crate::etl::parsers::{EventParser, ParsedLine};
+use crate::framework::Framework;
+use crate::model::apprun::AppRun;
+use loggen::trace::RawLine;
+use rasdb::error::DbError;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// What a batch import did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ImportReport {
+    /// Lines successfully parsed.
+    pub parsed: usize,
+    /// Lines no pattern matched.
+    pub skipped: usize,
+    /// Event rows written (counting both table views).
+    pub event_rows: usize,
+    /// Application runs stored (matched start+end pairs).
+    pub jobs: usize,
+    /// Job fragments without a partner (start without end or vice versa).
+    pub unmatched_jobs: usize,
+}
+
+/// Runs the batch import.
+pub fn import(fw: &Framework, lines: &[RawLine]) -> Result<ImportReport, DbError> {
+    let rendered: Vec<String> = lines.iter().map(RawLine::render).collect();
+    import_rendered(fw, rendered)
+}
+
+/// Runs the batch import over pre-rendered raw text lines.
+pub fn import_rendered(fw: &Framework, rendered: Vec<String>) -> Result<ImportReport, DbError> {
+    let nparts = (fw.engine().workers() * 2).max(1);
+    let rdd = fw.engine().parallelize(rendered, nparts);
+    let cluster = Arc::clone(fw.cluster());
+    let consistency = fw.consistency();
+
+    // Map stage: parse + upload events in place; ship job fragments and
+    // counters back to the driver.
+    #[derive(Clone)]
+    struct PartResult {
+        parsed: usize,
+        skipped: usize,
+        event_rows: usize,
+        job_lines: Vec<ParsedLine>,
+    }
+    let results: Vec<PartResult> = fw.engine().run_job(&rdd, move |_, lines: Vec<String>| {
+        let parser = EventParser::new();
+        let mut events = Vec::new();
+        let mut job_lines = Vec::new();
+        let mut skipped = 0usize;
+        for line in &lines {
+            match parser.parse(line) {
+                Some(ParsedLine::Event(ev)) => events.push(ev),
+                Some(job) => job_lines.push(job),
+                None => skipped += 1,
+            }
+        }
+        let parsed = lines.len() - skipped;
+        let time_rows = events.iter().map(|e| e.to_time_row()).collect();
+        let loc_rows = events.iter().map(|e| e.to_location_row()).collect();
+        let mut event_rows = 0;
+        event_rows += cluster
+            .insert_batch("event_by_time", time_rows, consistency)
+            .expect("event upload");
+        event_rows += cluster
+            .insert_batch("event_by_location", loc_rows, consistency)
+            .expect("event upload");
+        PartResult {
+            parsed,
+            skipped,
+            event_rows,
+            job_lines,
+        }
+    });
+
+    // Driver: pair job fragments into runs.
+    let mut report = ImportReport::default();
+    let mut starts: HashMap<i64, (i64, String, String, i64, i64)> = HashMap::new();
+    let mut ends: HashMap<i64, (i64, i32)> = HashMap::new();
+    for part in results {
+        report.parsed += part.parsed;
+        report.skipped += part.skipped;
+        report.event_rows += part.event_rows;
+        for job in part.job_lines {
+            match job {
+                ParsedLine::JobStart {
+                    apid,
+                    ts_ms,
+                    user,
+                    app,
+                    node_first,
+                    node_last,
+                } => {
+                    starts.insert(apid, (ts_ms, user, app, node_first, node_last));
+                }
+                ParsedLine::JobEnd {
+                    apid,
+                    ts_ms,
+                    exit_code,
+                } => {
+                    ends.insert(apid, (ts_ms, exit_code));
+                }
+                ParsedLine::Event(_) => unreachable!("events handled in tasks"),
+            }
+        }
+    }
+    for (apid, (start_ms, user, app, node_first, node_last)) in starts {
+        let Some((end_ms, exit_code)) = ends.remove(&apid) else {
+            report.unmatched_jobs += 1;
+            continue;
+        };
+        fw.insert_app_run(&AppRun {
+            apid,
+            user,
+            app,
+            start_ms,
+            end_ms,
+            node_first,
+            node_last,
+            exit_code,
+            other_info: Default::default(),
+        })?;
+        report.jobs += 1;
+    }
+    report.unmatched_jobs += ends.len();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::FrameworkConfig;
+    use loggen::topology::Topology;
+    use loggen::trace::{Scenario, ScenarioConfig};
+
+    fn fw() -> Framework {
+        Framework::new(FrameworkConfig {
+            db_nodes: 4,
+            replication_factor: 2,
+            vnodes: 8,
+            topology: Topology::scaled(2, 2),
+            ..Default::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn full_scenario_import_matches_ground_truth() {
+        let fw = fw();
+        let cfg = ScenarioConfig {
+            rate_scale: 10.0,
+            ..ScenarioConfig::quiet_day(4)
+        };
+        let scenario = Scenario::generate(fw.topology(), &cfg, 21);
+        let report = fw.batch_import(&scenario.lines).unwrap();
+
+        assert_eq!(report.parsed, scenario.lines.len());
+        assert_eq!(report.skipped, 0);
+        assert_eq!(report.event_rows, scenario.truth.len() * 2);
+        // Jobs whose end falls inside the scenario window pair up; the rest
+        // are unmatched starts.
+        let complete = scenario
+            .jobs
+            .iter()
+            .filter(|j| j.end_ms < cfg.start_ms + cfg.duration_ms)
+            .count();
+        // Job end lines are always emitted in the trace (even past the
+        // window), so all jobs pair.
+        assert_eq!(report.jobs, scenario.jobs.len());
+        assert!(complete <= report.jobs);
+        assert_eq!(report.unmatched_jobs, 0);
+
+        // Spot-check a stored event type count against the truth.
+        let t0 = cfg.start_ms;
+        let t1 = cfg.start_ms + cfg.duration_ms + 48 * 3_600_000;
+        let mce_truth = scenario
+            .truth
+            .iter()
+            .filter(|o| o.event_type == "MCE")
+            .count();
+        let got = fw.events_by_type("MCE", t0, t1).unwrap();
+        assert_eq!(got.len(), mce_truth);
+    }
+
+    #[test]
+    fn unmatched_job_fragments_are_counted() {
+        let fw = fw();
+        let lines = vec![
+            "1500000000000 app alps apid 7 start user=u app=VASP nodes=0-1 width=2".to_owned(),
+            "1500000000000 app alps apid 8 end exit=0 runtime_s=10".to_owned(),
+        ];
+        let report = import_rendered(&fw, lines).unwrap();
+        assert_eq!(report.jobs, 0);
+        assert_eq!(report.unmatched_jobs, 2);
+        assert_eq!(report.parsed, 2);
+    }
+
+    #[test]
+    fn junk_lines_are_skipped_not_fatal() {
+        let fw = fw();
+        let lines = vec![
+            "not a log line at all".to_owned(),
+            "1500000000123 console c0-0c0s0n0 Machine Check Exception: bank 1: b2 addr 3f cpu 0".to_owned(),
+            "1500000000124 console c0-0c0s0n0 routine chatter nothing matches".to_owned(),
+        ];
+        let report = import_rendered(&fw, lines).unwrap();
+        assert_eq!(report.parsed, 1);
+        assert_eq!(report.skipped, 2);
+        assert_eq!(report.event_rows, 2);
+    }
+
+    #[test]
+    fn empty_import_is_a_noop() {
+        let fw = fw();
+        let report = import_rendered(&fw, Vec::new()).unwrap();
+        assert_eq!(report, ImportReport::default());
+    }
+}

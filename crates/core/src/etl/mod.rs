@@ -1,0 +1,5 @@
+//! Extract–transform–load: batch regex import and real-time streaming.
+
+pub mod batch;
+pub mod parsers;
+pub mod stream;

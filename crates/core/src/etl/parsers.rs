@@ -1,0 +1,323 @@
+//! Regex-based log parsing: raw lines → typed events and job records.
+//!
+//! The paper's batch import parses "the data in search for known patterns
+//! for each event type (typically defined as regular expressions)". The
+//! patterns below are matched with the in-repo `rex` engine.
+
+use crate::model::event::EventRecord;
+use rex::Regex;
+
+/// A successfully parsed line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParsedLine {
+    /// A system event.
+    Event(EventRecord),
+    /// An application launch (from the app log).
+    JobStart {
+        /// ALPS application id.
+        apid: i64,
+        /// Launch time (ms).
+        ts_ms: i64,
+        /// Owning user.
+        user: String,
+        /// Application name.
+        app: String,
+        /// First allocated node.
+        node_first: i64,
+        /// Last allocated node.
+        node_last: i64,
+    },
+    /// An application exit.
+    JobEnd {
+        /// ALPS application id.
+        apid: i64,
+        /// Exit time (ms).
+        ts_ms: i64,
+        /// Exit code.
+        exit_code: i32,
+    },
+}
+
+/// Compiled pattern set. Build once per thread/partition; matching is
+/// allocation-light and linear in the line length.
+pub struct EventParser {
+    mce: Regex,
+    edac: Regex,
+    xid: Regex,
+    lustre: Regex,
+    lustre_evict: Regex,
+    dvs: Regex,
+    net_link: Regex,
+    net_throttle: Regex,
+    panic: Regex,
+    job_start: Regex,
+    job_end: Regex,
+}
+
+impl Default for EventParser {
+    fn default() -> Self {
+        EventParser::new()
+    }
+}
+
+impl EventParser {
+    /// Compiles the pattern set.
+    pub fn new() -> EventParser {
+        let re = |p: &str| Regex::new(p).expect("static pattern");
+        EventParser {
+            mce: re(r"^Machine Check Exception: bank (\d+)"),
+            edac: re(r"^EDAC MC\d+: (CE|UE) "),
+            xid: re(r"^NVRM: Xid \([0-9a-f:]+\): (\d+),"),
+            lustre: re(r"^Lustre(Error)?: "),
+            lustre_evict: re(r"(evicted|Connection restored)"),
+            dvs: re(r"^DVS: "),
+            net_link: re(r"Gemini LCB lcb=\S+ failed"),
+            net_throttle: re(r"congestion protection engaged"),
+            panic: re(r"^Kernel panic"),
+            job_start: re(r"^apid (\d+) start user=(\w+) app=([A-Za-z0-9+._\-]+) nodes=(\d+)-(\d+)"),
+            job_end: re(r"^apid (\d+) end exit=(-?\d+)"),
+        }
+    }
+
+    /// Splits the envelope `<ts_ms> <facility> <source> <text>`.
+    pub fn parse_envelope<'l>(&self, line: &'l str) -> Option<(i64, &'l str, &'l str, &'l str)> {
+        let mut parts = line.splitn(4, ' ');
+        let ts: i64 = parts.next()?.parse().ok()?;
+        let facility = parts.next()?;
+        let source = parts.next()?;
+        let text = parts.next()?;
+        Some((ts, facility, source, text))
+    }
+
+    /// Classifies the message text into an event type name.
+    pub fn classify(&self, text: &str) -> Option<&'static str> {
+        if self.mce.is_match(text) {
+            return Some("MCE");
+        }
+        if let Some(caps) = self.edac.captures(text) {
+            return Some(match caps.get(1) {
+                Some("CE") => "MEM_ECC",
+                _ => "MEM_UE",
+            });
+        }
+        if let Some(caps) = self.xid.captures(text) {
+            return match caps.get(1)?.parse::<u32>().ok()? {
+                48 => Some("GPU_DBE"),
+                79 => Some("GPU_OFF_BUS"),
+                62 => Some("GPU_SXM_PWR"),
+                _ => Some("GPU_DBE"), // unknown Xids still count as GPU errors
+            };
+        }
+        if self.lustre.is_match(text) {
+            return Some(if self.lustre_evict.is_match(text) {
+                "LUSTRE_EVICT"
+            } else {
+                "LUSTRE_ERR"
+            });
+        }
+        if self.dvs.is_match(text) {
+            return Some("DVS_ERR");
+        }
+        if self.net_link.is_match(text) {
+            return Some("NET_LINK");
+        }
+        if self.net_throttle.is_match(text) {
+            return Some("NET_THROTTLE");
+        }
+        if self.panic.is_match(text) {
+            return Some("KERNEL_PANIC");
+        }
+        None
+    }
+
+    /// Parses one full raw line.
+    pub fn parse(&self, line: &str) -> Option<ParsedLine> {
+        let (ts_ms, facility, source, text) = self.parse_envelope(line)?;
+        if facility == "app" {
+            if let Some(caps) = self.job_start.captures(text) {
+                return Some(ParsedLine::JobStart {
+                    apid: caps.get(1)?.parse().ok()?,
+                    ts_ms,
+                    user: caps.get(2)?.to_owned(),
+                    app: caps.get(3)?.to_owned(),
+                    node_first: caps.get(4)?.parse().ok()?,
+                    node_last: caps.get(5)?.parse().ok()?,
+                });
+            }
+            if let Some(caps) = self.job_end.captures(text) {
+                return Some(ParsedLine::JobEnd {
+                    apid: caps.get(1)?.parse().ok()?,
+                    ts_ms,
+                    exit_code: caps.get(2)?.parse().ok()?,
+                });
+            }
+        }
+        let event_type = self.classify(text)?;
+        Some(ParsedLine::Event(EventRecord {
+            ts_ms,
+            event_type: event_type.to_owned(),
+            source: source.to_owned(),
+            amount: 1,
+            raw: text.to_owned(),
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parser() -> EventParser {
+        EventParser::new()
+    }
+
+    #[test]
+    fn envelope_splits_and_keeps_text_spaces() {
+        let p = parser();
+        let (ts, fac, src, text) = p
+            .parse_envelope("1500000000123 console c0-0c0s0n0 Machine Check Exception: bank 4")
+            .unwrap();
+        assert_eq!(ts, 1_500_000_000_123);
+        assert_eq!(fac, "console");
+        assert_eq!(src, "c0-0c0s0n0");
+        assert_eq!(text, "Machine Check Exception: bank 4");
+        assert!(p.parse_envelope("notanumber console x y").is_none());
+        assert!(p.parse_envelope("12 console").is_none());
+    }
+
+    #[test]
+    fn classification_per_type() {
+        let p = parser();
+        let cases = [
+            ("Machine Check Exception: bank 4: b200 addr 3f cpu 1", "MCE"),
+            ("EDAC MC0: CE page 0x3aa2f, offset 0x630", "MEM_ECC"),
+            ("EDAC MC2: UE page 0x1f00a, offset 0x0", "MEM_UE"),
+            ("NVRM: Xid (0000:02:00): 48, Double Bit ECC Error at 0xdead", "GPU_DBE"),
+            ("NVRM: Xid (0000:03:00): 79, GPU has fallen off the bus.", "GPU_OFF_BUS"),
+            ("NVRM: Xid (0000:02:00): 62, GPU power excursion detected", "GPU_SXM_PWR"),
+            (
+                "LustreError: 11-0: atlas1-OST0041-osc-ffff00: Communicating with 10.36.1.1@o2ib, operation ost_read failed with -110",
+                "LUSTRE_ERR",
+            ),
+            (
+                "Lustre: atlas1-OST0041-osc-ffff00: Connection restored to atlas1-OST0041 (at 10.36.1.1@o2ib)",
+                "LUSTRE_EVICT",
+            ),
+            (
+                "LustreError: 167-0: atlas1-MDT0000-mdc-ffff00: This client was evicted by atlas1-MDT0000; in progress operations using this service will fail.",
+                "LUSTRE_EVICT",
+            ),
+            ("DVS: file_node_down: removing c0-1c0s2n1 from list", "DVS_ERR"),
+            ("HSN detected critical error: Gemini LCB lcb=g21l07 failed; initiating link recovery", "NET_LINK"),
+            ("Gemini HSN congestion protection engaged: throttle=on watermark=0x7f", "NET_THROTTLE"),
+            ("Kernel panic - not syncing: Fatal exception in interrupt", "KERNEL_PANIC"),
+        ];
+        for (text, want) in cases {
+            assert_eq!(p.classify(text), Some(want), "{text}");
+        }
+        assert_eq!(p.classify("some harmless chatter"), None);
+    }
+
+    #[test]
+    fn job_lines_parse_with_odd_app_names() {
+        let p = parser();
+        let line = "1500000000000 app alps apid 1000001 start user=usr0042 app=DCA++ nodes=128-255 width=128";
+        match p.parse(line).unwrap() {
+            ParsedLine::JobStart {
+                apid,
+                user,
+                app,
+                node_first,
+                node_last,
+                ts_ms,
+            } => {
+                assert_eq!(apid, 1_000_001);
+                assert_eq!(user, "usr0042");
+                assert_eq!(app, "DCA++");
+                assert_eq!((node_first, node_last), (128, 255));
+                assert_eq!(ts_ms, 1_500_000_000_000);
+            }
+            other => panic!("{other:?}"),
+        }
+        let line = "1500000360000 app alps apid 1000001 end exit=-9 runtime_s=360";
+        match p.parse(line).unwrap() {
+            ParsedLine::JobEnd { apid, exit_code, .. } => {
+                assert_eq!(apid, 1_000_001);
+                assert_eq!(exit_code, -9);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn event_lines_become_event_records_with_raw() {
+        let p = parser();
+        let line = "1500000000123 console c3-2c1s4n2 Machine Check Exception: bank 4: b2 addr 3f cpu 12";
+        match p.parse(line).unwrap() {
+            ParsedLine::Event(ev) => {
+                assert_eq!(ev.event_type, "MCE");
+                assert_eq!(ev.source, "c3-2c1s4n2");
+                assert_eq!(ev.amount, 1);
+                assert!(ev.raw.starts_with("Machine Check Exception"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unparseable_lines_yield_none() {
+        let p = parser();
+        assert!(p.parse("").is_none());
+        assert!(p.parse("1500 console c0-0c0s0n0 just some chatter").is_none());
+        assert!(p.parse("garbage").is_none());
+    }
+
+    #[test]
+    fn generated_lines_all_parse() {
+        // The ETL must understand everything loggen can emit.
+        let topo = loggen::topology::Topology::scaled(2, 2);
+        let scenario = loggen::trace::Scenario::generate(
+            &topo,
+            &loggen::trace::ScenarioConfig {
+                rate_scale: 20.0,
+                ..loggen::trace::ScenarioConfig::quiet_day(4)
+            },
+            11,
+        );
+        let p = parser();
+        for line in &scenario.lines {
+            assert!(
+                p.parse(&line.render()).is_some(),
+                "unparsed: {}",
+                line.render()
+            );
+        }
+    }
+
+    #[test]
+    fn parsed_event_types_match_ground_truth_counts() {
+        let topo = loggen::topology::Topology::scaled(2, 2);
+        let scenario = loggen::trace::Scenario::generate(
+            &topo,
+            &loggen::trace::ScenarioConfig {
+                rate_scale: 10.0,
+                ..loggen::trace::ScenarioConfig::quiet_day(6)
+            },
+            13,
+        );
+        let p = parser();
+        let mut truth: std::collections::HashMap<&str, usize> = Default::default();
+        for o in &scenario.truth {
+            *truth.entry(o.event_type).or_default() += 1;
+        }
+        let mut parsed: std::collections::HashMap<String, usize> = Default::default();
+        for line in &scenario.lines {
+            if let Some(ParsedLine::Event(ev)) = p.parse(&line.render()) {
+                *parsed.entry(ev.event_type).or_default() += 1;
+            }
+        }
+        for (t, n) in truth {
+            assert_eq!(parsed.get(t).copied().unwrap_or(0), n, "type {t}");
+        }
+    }
+}

@@ -1,0 +1,513 @@
+//! The framework facade: a co-located storage + compute cluster plus the
+//! message bus, schema, and machine description.
+
+use crate::model::event::EventRecord;
+use crate::model::{apprun::AppRun, keys, nodeinfo, tables};
+use logbus::Broker;
+use loggen::events::EVENT_CATALOG;
+use loggen::topology::Topology;
+use rasdb::cluster::{Cluster, ClusterConfig};
+use rasdb::error::DbError;
+use rasdb::query::Consistency;
+use rasdb::types::Value;
+use sparklet::pool::current_worker;
+use sparklet::rdd::PartitionSource;
+use sparklet::{Rdd, SparkletContext};
+use std::sync::Arc;
+
+/// Deployment parameters.
+#[derive(Debug, Clone)]
+pub struct FrameworkConfig {
+    /// Storage nodes (the paper's CADES deployment uses 32 VMs).
+    pub db_nodes: usize,
+    /// Replication factor.
+    pub replication_factor: usize,
+    /// Vnodes per storage node.
+    pub vnodes: usize,
+    /// Executor threads; `None` co-locates one executor per storage node,
+    /// mirroring "a pair of a Spark worker node and a Cassandra node".
+    pub workers: Option<usize>,
+    /// The machine being monitored.
+    pub topology: Topology,
+    /// Default consistency level for framework operations.
+    pub consistency: Consistency,
+    /// Simulated interconnect bandwidth for non-co-located partition
+    /// reads, in bytes/second (`None` = infinitely fast network). The
+    /// paper's deployment avoids this cost entirely by pairing each Spark
+    /// worker with the Cassandra node holding its partitions; benches use
+    /// this parameter to reproduce that comparison (1 Gbit/s default,
+    /// a typical virtualized-cluster link).
+    pub remote_link_bytes_per_sec: Option<u64>,
+}
+
+impl Default for FrameworkConfig {
+    fn default() -> Self {
+        FrameworkConfig {
+            db_nodes: 8,
+            replication_factor: 3,
+            vnodes: 16,
+            workers: None,
+            topology: Topology::scaled(5, 4),
+            consistency: Consistency::Quorum,
+            remote_link_bytes_per_sec: Some(125_000_000), // 1 Gbit/s
+        }
+    }
+}
+
+/// The assembled log-analytics framework.
+pub struct Framework {
+    cluster: Arc<Cluster>,
+    engine: SparkletContext,
+    bus: Arc<Broker>,
+    topology: Topology,
+    consistency: Consistency,
+    remote_link_bytes_per_sec: Option<u64>,
+}
+
+/// The bus topic raw log lines are published to.
+pub const RAW_LOG_TOPIC: &str = "raw-logs";
+
+impl Framework {
+    /// Builds the cluster, creates the schema, loads `nodeinfos` and
+    /// `eventtypes`, and provisions the streaming topic.
+    pub fn new(cfg: FrameworkConfig) -> Result<Framework, DbError> {
+        let cluster = Arc::new(Cluster::new(ClusterConfig {
+            nodes: cfg.db_nodes,
+            replication_factor: cfg.replication_factor,
+            vnodes: cfg.vnodes,
+        }));
+        tables::create_all(&cluster)?;
+        nodeinfo::populate(&cluster, &cfg.topology)?;
+        for etype in EVENT_CATALOG {
+            cluster.insert(
+                "eventtypes",
+                vec![
+                    ("name", Value::text(etype.name)),
+                    ("class", Value::text(format!("{:?}", etype.class))),
+                    ("severity", Value::text(format!("{:?}", etype.severity))),
+                    ("description", Value::text(etype.description)),
+                ],
+                cfg.consistency,
+            )?;
+        }
+        let bus = Arc::new(Broker::new());
+        bus.create_topic(RAW_LOG_TOPIC, cfg.db_nodes.max(1))
+            .expect("fresh broker");
+        let workers = cfg.workers.unwrap_or(cfg.db_nodes).max(1);
+        Ok(Framework {
+            cluster,
+            engine: SparkletContext::new(workers),
+            bus,
+            topology: cfg.topology,
+            consistency: cfg.consistency,
+            remote_link_bytes_per_sec: cfg.remote_link_bytes_per_sec,
+        })
+    }
+
+    /// The storage cluster.
+    pub fn cluster(&self) -> &Arc<Cluster> {
+        &self.cluster
+    }
+
+    /// The processing engine.
+    pub fn engine(&self) -> &SparkletContext {
+        &self.engine
+    }
+
+    /// The message bus.
+    pub fn bus(&self) -> &Arc<Broker> {
+        &self.bus
+    }
+
+    /// The monitored machine.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The framework's default consistency level.
+    pub fn consistency(&self) -> Consistency {
+        self.consistency
+    }
+
+    /// Inserts one event into both event tables (the dual views).
+    pub fn insert_event(&self, ev: &EventRecord) -> Result<(), DbError> {
+        self.cluster
+            .insert_owned("event_by_time", ev.to_time_row(), self.consistency)?;
+        self.cluster
+            .insert_owned("event_by_location", ev.to_location_row(), self.consistency)
+    }
+
+    /// Inserts a batch of events into both views; returns rows written.
+    pub fn insert_events(&self, events: &[EventRecord]) -> Result<usize, DbError> {
+        let time_rows = events.iter().map(EventRecord::to_time_row).collect();
+        let loc_rows = events.iter().map(EventRecord::to_location_row).collect();
+        let a = self
+            .cluster
+            .insert_batch("event_by_time", time_rows, self.consistency)?;
+        let b = self
+            .cluster
+            .insert_batch("event_by_location", loc_rows, self.consistency)?;
+        Ok(a + b)
+    }
+
+    /// Inserts an application run into all four denormalized views.
+    pub fn insert_app_run(&self, run: &AppRun) -> Result<(), DbError> {
+        self.cluster
+            .insert_owned("application_by_time", run.to_time_row(), self.consistency)?;
+        self.cluster
+            .insert_owned("application_by_name", run.to_name_row(), self.consistency)?;
+        self.cluster
+            .insert_owned("application_by_user", run.to_user_row(), self.consistency)?;
+        self.cluster.insert_owned(
+            "application_by_location",
+            run.to_location_row(),
+            self.consistency,
+        )
+    }
+
+    /// Driver-side read of one event type over `[from_ms, to_ms)`.
+    pub fn events_by_type(
+        &self,
+        event_type: &str,
+        from_ms: i64,
+        to_ms: i64,
+    ) -> Result<Vec<EventRecord>, DbError> {
+        let mut out = Vec::new();
+        for hour in keys::hours_in(from_ms, to_ms) {
+            let rows = self
+                .cluster
+                .select("event_by_time")
+                .partition(vec![Value::BigInt(hour), Value::text(event_type)])
+                .run(self.consistency)?;
+            out.extend(
+                rows.iter()
+                    .filter_map(|r| EventRecord::from_time_row(event_type, r))
+                    .filter(|e| e.ts_ms >= from_ms && e.ts_ms < to_ms),
+            );
+        }
+        Ok(out)
+    }
+
+    /// Driver-side read of everything one source reported in a window —
+    /// served by `event_by_location` without scanning other sources.
+    pub fn events_by_source(
+        &self,
+        source: &str,
+        from_ms: i64,
+        to_ms: i64,
+    ) -> Result<Vec<EventRecord>, DbError> {
+        let mut out = Vec::new();
+        for hour in keys::hours_in(from_ms, to_ms) {
+            let rows = self
+                .cluster
+                .select("event_by_location")
+                .partition(vec![Value::BigInt(hour), Value::text(source)])
+                .run(self.consistency)?;
+            out.extend(
+                rows.iter()
+                    .filter_map(|r| EventRecord::from_location_row(source, r))
+                    .filter(|e| e.ts_ms >= from_ms && e.ts_ms < to_ms),
+            );
+        }
+        Ok(out)
+    }
+
+    /// A locality-aware scan: one RDD partition per `(hour, type)` store
+    /// partition, preferring the executor co-located with the partition's
+    /// primary replica. When a partition is computed on a *different*
+    /// executor, the loader pays a marshalling round trip (encode + decode
+    /// of every cell) — the cost a co-located deployment avoids.
+    pub fn scan_events_rdd(
+        &self,
+        event_type: &str,
+        from_ms: i64,
+        to_ms: i64,
+    ) -> Rdd<EventRecord> {
+        let workers = self.engine.workers();
+        let sources: Vec<PartitionSource<EventRecord>> = keys::hours_in(from_ms, to_ms)
+            .map(|hour| {
+                let cluster = Arc::clone(&self.cluster);
+                let event_type = event_type.to_owned();
+                let key = rasdb::types::Key(vec![Value::BigInt(hour), Value::text(&event_type)]);
+                let preferred = cluster.owners(&key)[0].0 % workers;
+                let consistency = self.consistency;
+                let link = self.remote_link_bytes_per_sec;
+                PartitionSource {
+                    preferred: Some(preferred),
+                    load: Arc::new(move || {
+                        let rows = cluster
+                            .select("event_by_time")
+                            .partition(key.0.clone())
+                            .run(consistency)
+                            .unwrap_or_default();
+                        let records: Vec<EventRecord> = rows
+                            .iter()
+                            .filter_map(|r| EventRecord::from_time_row(&event_type, r))
+                            .filter(|e| e.ts_ms >= from_ms && e.ts_ms < to_ms)
+                            .collect();
+                        if current_worker() == Some(preferred) {
+                            records
+                        } else {
+                            remote_transfer(records, link)
+                        }
+                    }),
+                }
+            })
+            .collect();
+        self.engine.from_sources(sources)
+    }
+
+    /// Application runs of a user.
+    pub fn apps_by_user(&self, user: &str) -> Result<Vec<AppRun>, DbError> {
+        let rows = self
+            .cluster
+            .select("application_by_user")
+            .partition(vec![Value::text(user)])
+            .run(self.consistency)?;
+        Ok(rows
+            .iter()
+            .filter_map(|r| AppRun::from_row(r, Some(user), None))
+            .collect())
+    }
+
+    /// Application runs of an application name.
+    pub fn apps_by_name(&self, app: &str) -> Result<Vec<AppRun>, DbError> {
+        let rows = self
+            .cluster
+            .select("application_by_name")
+            .partition(vec![Value::text(app)])
+            .run(self.consistency)?;
+        Ok(rows
+            .iter()
+            .filter_map(|r| AppRun::from_row(r, None, Some(app)))
+            .collect())
+    }
+
+    /// Application runs that *started* in a window.
+    pub fn apps_by_time(&self, from_ms: i64, to_ms: i64) -> Result<Vec<AppRun>, DbError> {
+        let mut out = Vec::new();
+        for hour in keys::hours_in(from_ms, to_ms) {
+            let rows = self
+                .cluster
+                .select("application_by_time")
+                .partition(vec![Value::BigInt(hour)])
+                .run(self.consistency)?;
+            out.extend(
+                rows.iter()
+                    .filter_map(|r| AppRun::from_row(r, None, None))
+                    .filter(|a| a.start_ms >= from_ms && a.start_ms < to_ms),
+            );
+        }
+        Ok(out)
+    }
+
+    /// Application runs whose allocation head sits in a cabinet.
+    pub fn apps_by_location(&self, cabinet: i64) -> Result<Vec<AppRun>, DbError> {
+        let rows = self
+            .cluster
+            .select("application_by_location")
+            .partition(vec![Value::BigInt(cabinet)])
+            .run(self.consistency)?;
+        Ok(rows
+            .iter()
+            .filter_map(|r| AppRun::from_row(r, None, None))
+            .collect())
+    }
+
+    /// Batch ETL entry point (see [`crate::etl::batch`]).
+    pub fn batch_import(
+        &self,
+        lines: &[loggen::trace::RawLine],
+    ) -> Result<crate::etl::batch::ImportReport, DbError> {
+        crate::etl::batch::import(self, lines)
+    }
+}
+
+/// Simulates fetching a record set from a non-co-located storage node:
+/// marshals every row (real CPU work) and charges the wire time of the
+/// marshalled bytes against the configured link bandwidth.
+pub fn remote_transfer(
+    records: Vec<EventRecord>,
+    link_bytes_per_sec: Option<u64>,
+) -> Vec<EventRecord> {
+    let bytes: usize = records.iter().map(EventRecord::marshalled_size).sum();
+    let records = marshal_roundtrip(records);
+    if let Some(bw) = link_bytes_per_sec {
+        let nanos = (bytes as u128 * 1_000_000_000) / bw.max(1) as u128;
+        std::thread::sleep(std::time::Duration::from_nanos(nanos as u64));
+    }
+    records
+}
+
+/// Simulates network marshalling of a record set: every cell is encoded to
+/// bytes and decoded back (what a non-co-located read pays per row).
+pub fn marshal_roundtrip(records: Vec<EventRecord>) -> Vec<EventRecord> {
+    records
+        .into_iter()
+        .map(|ev| {
+            let values = vec![
+                Value::Timestamp(ev.ts_ms),
+                Value::text(&ev.event_type),
+                Value::text(&ev.source),
+                Value::Int(ev.amount),
+                Value::text(&ev.raw),
+            ];
+            let mut buf = Vec::with_capacity(64 + ev.raw.len());
+            for v in &values {
+                v.encode_into(&mut buf);
+            }
+            let mut rest: &[u8] = &buf;
+            let mut decoded = Vec::with_capacity(values.len());
+            while !rest.is_empty() {
+                let (v, r) = Value::decode(rest).expect("self-encoded data");
+                decoded.push(v);
+                rest = r;
+            }
+            EventRecord {
+                ts_ms: decoded[0].as_i64().expect("ts"),
+                event_type: decoded[1].as_text().expect("type").to_owned(),
+                source: decoded[2].as_text().expect("source").to_owned(),
+                amount: decoded[3].as_i64().expect("amount") as i32,
+                raw: decoded[4].as_text().expect("raw").to_owned(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::keys::HOUR_MS;
+
+    fn small() -> Framework {
+        Framework::new(FrameworkConfig {
+            db_nodes: 4,
+            replication_factor: 2,
+            vnodes: 8,
+            workers: None,
+            topology: Topology::scaled(2, 2),
+            consistency: Consistency::Quorum,
+            ..Default::default()
+        })
+        .unwrap()
+    }
+
+    fn ev(ts: i64, t: &str, src: &str) -> EventRecord {
+        EventRecord {
+            ts_ms: ts,
+            event_type: t.to_owned(),
+            source: src.to_owned(),
+            amount: 1,
+            raw: format!("{t} on {src}"),
+        }
+    }
+
+    #[test]
+    fn framework_boots_with_schema_and_metadata() {
+        let fw = small();
+        assert_eq!(fw.cluster().table_names().len(), 9);
+        // nodeinfos populated for the whole topology.
+        let info = nodeinfo::lookup(fw.cluster(), "c1-1c2s7n3").unwrap().unwrap();
+        assert_eq!(info.index, fw.topology().node_count() - 1);
+        // eventtypes loaded.
+        let rows = fw
+            .cluster()
+            .select("eventtypes")
+            .partition(vec![Value::text("MCE")])
+            .run(Consistency::Quorum)
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn dual_views_stay_consistent() {
+        let fw = small();
+        for i in 0..20 {
+            fw.insert_event(&ev(i * 60_000, "MCE", &format!("c0-0c0s{}n0", i % 8)))
+                .unwrap();
+        }
+        let by_type = fw.events_by_type("MCE", 0, HOUR_MS).unwrap();
+        assert_eq!(by_type.len(), 20);
+        let by_src = fw.events_by_source("c0-0c0s3n0", 0, HOUR_MS).unwrap();
+        assert!(!by_src.is_empty());
+        // Every by-source record also appears in the by-type view.
+        for e in &by_src {
+            assert!(by_type.contains(e));
+        }
+    }
+
+    #[test]
+    fn time_window_filters_are_half_open() {
+        let fw = small();
+        fw.insert_event(&ev(999, "MCE", "c0-0c0s0n0")).unwrap();
+        fw.insert_event(&ev(1000, "MCE", "c0-0c0s0n0")).unwrap();
+        let got = fw.events_by_type("MCE", 0, 1000).unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].ts_ms, 999);
+    }
+
+    #[test]
+    fn scan_rdd_covers_hours_and_counts_match() {
+        let fw = small();
+        for h in 0..3i64 {
+            for i in 0..10 {
+                fw.insert_event(&ev(h * HOUR_MS + i * 1000, "GPU_DBE", "c0-0c0s0n0"))
+                    .unwrap();
+            }
+        }
+        let rdd = fw.scan_events_rdd("GPU_DBE", 0, 3 * HOUR_MS);
+        assert_eq!(rdd.num_partitions(), 3);
+        assert_eq!(rdd.count(), 30);
+        // Scans respect the window even mid-hour.
+        let rdd = fw.scan_events_rdd("GPU_DBE", 5_000, HOUR_MS + 5_000);
+        assert_eq!(rdd.count(), 10);
+    }
+
+    #[test]
+    fn app_run_views_roundtrip() {
+        let fw = small();
+        let run = AppRun {
+            apid: 42,
+            user: "usr0007".into(),
+            app: "LAMMPS".into(),
+            start_ms: HOUR_MS + 5,
+            end_ms: 2 * HOUR_MS,
+            node_first: 100,
+            node_last: 163,
+            exit_code: 0,
+            other_info: Default::default(),
+        };
+        fw.insert_app_run(&run).unwrap();
+        assert_eq!(fw.apps_by_user("usr0007").unwrap(), vec![run.clone()]);
+        assert_eq!(fw.apps_by_name("LAMMPS").unwrap(), vec![run.clone()]);
+        assert_eq!(fw.apps_by_time(0, 3 * HOUR_MS).unwrap(), vec![run.clone()]);
+        assert_eq!(fw.apps_by_location(run.head_cabinet()).unwrap(), vec![run]);
+        assert!(fw.apps_by_user("nobody").unwrap().is_empty());
+    }
+
+    #[test]
+    fn marshal_roundtrip_is_identity() {
+        let records = vec![ev(1, "MCE", "c0-0c0s0n0"), ev(2, "LUSTRE_ERR", "c1-0c0s0n0")];
+        assert_eq!(marshal_roundtrip(records.clone()), records);
+    }
+
+    #[test]
+    fn remote_transfer_charges_wire_time() {
+        let records: Vec<EventRecord> = (0..50)
+            .map(|i| {
+                let mut e = ev(i, "LUSTRE_ERR", "c0-0c0s0n0");
+                e.raw = "x".repeat(1000);
+                e
+            })
+            .collect();
+        // ~52 KB at 1 MB/s ≈ 52 ms; at None it must be fast.
+        let t = std::time::Instant::now();
+        let out = remote_transfer(records.clone(), Some(1_000_000));
+        let slow = t.elapsed();
+        assert_eq!(out, records);
+        assert!(slow >= std::time::Duration::from_millis(30), "{slow:?}");
+        let t = std::time::Instant::now();
+        let _ = remote_transfer(records, None);
+        assert!(t.elapsed() < slow);
+    }
+}

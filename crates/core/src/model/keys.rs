@@ -1,0 +1,58 @@
+//! Time bucketing: partitions are keyed by the hour of occurrence, so
+//! "all events of a certain type generated at a certain hour are stored in
+//! the same partition" and each partition holds a one-hour time series.
+
+/// Milliseconds per hour.
+pub const HOUR_MS: i64 = 3_600_000;
+
+/// Milliseconds per day.
+pub const DAY_MS: i64 = 24 * HOUR_MS;
+
+/// The hour bucket (hours since epoch) of a millisecond timestamp.
+pub fn hour_of(ts_ms: i64) -> i64 {
+    ts_ms.div_euclid(HOUR_MS)
+}
+
+/// The day bucket (days since epoch) of a millisecond timestamp.
+pub fn day_of(ts_ms: i64) -> i64 {
+    ts_ms.div_euclid(DAY_MS)
+}
+
+/// Iterates the hour buckets intersecting `[from_ms, to_ms)`.
+pub fn hours_in(from_ms: i64, to_ms: i64) -> impl Iterator<Item = i64> {
+    let first = hour_of(from_ms);
+    let last = if to_ms > from_ms { hour_of(to_ms - 1) } else { first - 1 };
+    first..=last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hour_bucketing() {
+        assert_eq!(hour_of(0), 0);
+        assert_eq!(hour_of(HOUR_MS - 1), 0);
+        assert_eq!(hour_of(HOUR_MS), 1);
+        assert_eq!(hour_of(-1), -1, "pre-epoch timestamps floor correctly");
+    }
+
+    #[test]
+    fn day_bucketing() {
+        assert_eq!(day_of(0), 0);
+        assert_eq!(day_of(DAY_MS), 1);
+        assert_eq!(day_of(DAY_MS - 1), 0);
+    }
+
+    #[test]
+    fn hour_ranges() {
+        let hours: Vec<i64> = hours_in(0, 2 * HOUR_MS).collect();
+        assert_eq!(hours, vec![0, 1]);
+        let hours: Vec<i64> = hours_in(HOUR_MS / 2, HOUR_MS + 1).collect();
+        assert_eq!(hours, vec![0, 1]);
+        let empty: Vec<i64> = hours_in(5, 5).collect();
+        assert!(empty.is_empty());
+        let one: Vec<i64> = hours_in(10, 11).collect();
+        assert_eq!(one, vec![0]);
+    }
+}

@@ -1,0 +1,11 @@
+//! The paper's data model: schemas, keys, and record mappings.
+
+pub mod apprun;
+pub mod event;
+pub mod keys;
+pub mod nodeinfo;
+pub mod tables;
+
+pub use apprun::AppRun;
+pub use event::EventRecord;
+pub use keys::{hour_of, HOUR_MS};

@@ -1,0 +1,640 @@
+//! The query engine: JSON requests in, JSON responses out.
+//!
+//! "The user queries are received by the web server, translated by the
+//! query engine, and either forwarded to the backend database, or the big
+//! data processing unit depending on the type of a user query."
+
+use crate::analytics::distribution::{distribution_of, GroupBy};
+use crate::analytics::{correlation, heatmap, histogram, synopsis, text, transfer_entropy};
+use crate::context::Context;
+use crate::framework::Framework;
+use crate::model::nodeinfo;
+use jsonlite::{json_array, json_object, Value as Json};
+use rasdb::cluster::ExecResult;
+use std::sync::Arc;
+
+/// The analytics server's query dispatcher.
+pub struct QueryEngine {
+    fw: Arc<Framework>,
+}
+
+impl QueryEngine {
+    /// Wraps a framework.
+    pub fn new(fw: Arc<Framework>) -> QueryEngine {
+        QueryEngine { fw }
+    }
+
+    /// The wrapped framework.
+    pub fn framework(&self) -> &Arc<Framework> {
+        &self.fw
+    }
+
+    /// Handles one JSON request string; always returns a JSON response
+    /// with a `"status"` field (`ok` / `error`).
+    pub fn handle(&self, request: &str) -> String {
+        let response = match jsonlite::parse(request) {
+            Err(e) => err(format!("bad JSON: {e}")),
+            Ok(req) => self.dispatch(&req).unwrap_or_else(err),
+        };
+        response.to_string()
+    }
+
+    fn dispatch(&self, req: &Json) -> Result<Json, String> {
+        let op = req["op"]
+            .as_str()
+            .ok_or_else(|| "missing 'op' field".to_owned())?;
+        match op {
+            "events" => self.op_events(req),
+            "heatmap" => self.op_heatmap(req),
+            "distribution" => self.op_distribution(req),
+            "histogram" => self.op_histogram(req),
+            "transfer_entropy" => self.op_transfer_entropy(req),
+            "cross_correlation" => self.op_cross_correlation(req),
+            "wordcount" => self.op_wordcount(req),
+            "apps" => self.op_apps(req),
+            "nodeinfo" => self.op_nodeinfo(req),
+            "synopsis" => self.op_synopsis(req),
+            "rules" => self.op_rules(req),
+            "profile" => self.op_profile(req),
+            "predict" => self.op_predict(req),
+            "render" => self.op_render(req),
+            "cql" => self.op_cql(req),
+            other => Err(format!("unknown op '{other}'")),
+        }
+    }
+
+    fn window(&self, req: &Json) -> Result<(i64, i64), String> {
+        let from = req["from"].as_i64().ok_or("missing 'from'")?;
+        let to = req["to"].as_i64().ok_or("missing 'to'")?;
+        if to < from {
+            return Err("'to' before 'from'".to_owned());
+        }
+        Ok((from, to))
+    }
+
+    fn context(&self, req: &Json) -> Result<Context, String> {
+        let (from, to) = self.window(req)?;
+        let mut ctx = Context::window(from, to);
+        if let Some(t) = req["type"].as_str() {
+            ctx = ctx.with_type(t);
+        }
+        if let Some(s) = req["source"].as_str() {
+            ctx = ctx.with_source(s);
+        }
+        if let Some(c) = req["cabinet"].as_i64() {
+            ctx = ctx.with_cabinet(c as usize);
+        }
+        if let Some(u) = req["user"].as_str() {
+            ctx = ctx.with_user(u);
+        }
+        if let Some(a) = req["app"].as_str() {
+            ctx = ctx.with_app(a);
+        }
+        Ok(ctx)
+    }
+
+    fn op_events(&self, req: &Json) -> Result<Json, String> {
+        let ctx = self.context(req)?;
+        let events = ctx.fetch_events(&self.fw).map_err(|e| e.to_string())?;
+        let rows = json_array(events.iter().map(|e| {
+            json_object([
+                ("ts", Json::from(e.ts_ms)),
+                ("type", Json::from(e.event_type.as_str())),
+                ("source", Json::from(e.source.as_str())),
+                ("amount", Json::from(e.amount)),
+                ("raw", Json::from(e.raw.as_str())),
+            ])
+        }));
+        Ok(ok([("rows", rows)]))
+    }
+
+    fn op_heatmap(&self, req: &Json) -> Result<Json, String> {
+        let (from, to) = self.window(req)?;
+        let t = req["type"].as_str().ok_or("missing 'type'")?;
+        let hm = heatmap::cabinet_heatmap(&self.fw, t, from, to).map_err(|e| e.to_string())?;
+        Ok(ok([
+            ("cabinets", json_array(hm.cabinets.clone())),
+            ("total", Json::from(hm.total)),
+            ("hottest", Json::from(hm.hottest)),
+            ("mean", Json::from(hm.mean)),
+            ("stddev", Json::from(hm.stddev)),
+            (
+                "outliers",
+                json_array(hm.outliers(2.0).into_iter().map(Json::from)),
+            ),
+        ]))
+    }
+
+    fn op_distribution(&self, req: &Json) -> Result<Json, String> {
+        let ctx = self.context(req)?;
+        let by = match req["by"].as_str().unwrap_or("cabinet") {
+            "cabinet" => GroupBy::Cabinet,
+            "blade" => GroupBy::Blade,
+            "node" => GroupBy::Node,
+            "application" | "app" => GroupBy::Application,
+            other => return Err(format!("unknown grouping '{other}'")),
+        };
+        let events = ctx.fetch_events(&self.fw).map_err(|e| e.to_string())?;
+        let d = distribution_of(&self.fw, &events, by).map_err(|e| e.to_string())?;
+        Ok(ok([
+            (
+                "entries",
+                json_array(
+                    d.entries
+                        .iter()
+                        .map(|(l, c)| json_array([Json::from(l.as_str()), Json::from(*c)])),
+                ),
+            ),
+            ("unattributed", Json::from(d.unattributed)),
+        ]))
+    }
+
+    fn op_histogram(&self, req: &Json) -> Result<Json, String> {
+        let (from, to) = self.window(req)?;
+        let t = req["type"].as_str().ok_or("missing 'type'")?;
+        let bin = req["bin_ms"].as_i64().unwrap_or(3_600_000);
+        if bin <= 0 {
+            return Err("'bin_ms' must be positive".to_owned());
+        }
+        let h =
+            histogram::event_histogram(&self.fw, t, from, to, bin).map_err(|e| e.to_string())?;
+        Ok(ok([
+            ("from", Json::from(h.from_ms)),
+            ("bin_ms", Json::from(h.bin_ms)),
+            ("bins", json_array(h.bins.clone())),
+        ]))
+    }
+
+    fn op_transfer_entropy(&self, req: &Json) -> Result<Json, String> {
+        let (from, to) = self.window(req)?;
+        let x = req["x"].as_str().ok_or("missing 'x'")?;
+        let y = req["y"].as_str().ok_or("missing 'y'")?;
+        let bin = req["bin_ms"].as_i64().unwrap_or(60_000).max(1);
+        let max_lag = req["max_lag"].as_i64().unwrap_or(10).max(1) as usize;
+        let sweep = transfer_entropy::te_lag_sweep(&self.fw, x, y, from, to, bin, max_lag)
+            .map_err(|e| e.to_string())?;
+        Ok(ok([(
+            "lags",
+            json_array(sweep.iter().map(|(lag, te)| {
+                json_object([
+                    ("lag", Json::from(*lag)),
+                    ("x_to_y", Json::from(te.x_to_y)),
+                    ("y_to_x", Json::from(te.y_to_x)),
+                ])
+            })),
+        )]))
+    }
+
+    fn op_cross_correlation(&self, req: &Json) -> Result<Json, String> {
+        let (from, to) = self.window(req)?;
+        let a = req["x"].as_str().ok_or("missing 'x'")?;
+        let b = req["y"].as_str().ok_or("missing 'y'")?;
+        let bin = req["bin_ms"].as_i64().unwrap_or(60_000).max(1);
+        let max_lag = req["max_lag"].as_i64().unwrap_or(10).max(0) as usize;
+        let xc = correlation::event_cross_correlation(&self.fw, a, b, from, to, bin, max_lag)
+            .map_err(|e| e.to_string())?;
+        Ok(ok([(
+            "correlations",
+            json_array(
+                xc.iter()
+                    .map(|(lag, r)| json_array([Json::from(*lag), Json::from(*r)])),
+            ),
+        )]))
+    }
+
+    fn op_wordcount(&self, req: &Json) -> Result<Json, String> {
+        let (from, to) = self.window(req)?;
+        let t = req["type"].as_str().unwrap_or("LUSTRE_ERR");
+        let k = req["top"].as_i64().unwrap_or(20).max(1) as usize;
+        let counts =
+            text::word_count_events(&self.fw, t, from, to).map_err(|e| e.to_string())?;
+        let top = text::top_k(&counts, k);
+        Ok(ok([(
+            "terms",
+            json_array(
+                top.iter()
+                    .map(|(w, c)| json_array([Json::from(w.as_str()), Json::from(*c)])),
+            ),
+        )]))
+    }
+
+    fn op_apps(&self, req: &Json) -> Result<Json, String> {
+        let runs = if let Some(user) = req["user"].as_str() {
+            self.fw.apps_by_user(user)
+        } else if let Some(app) = req["app"].as_str() {
+            self.fw.apps_by_name(app)
+        } else if let Some(cab) = req["cabinet"].as_i64() {
+            self.fw.apps_by_location(cab)
+        } else {
+            let (from, to) = self.window(req)?;
+            self.fw.apps_by_time(from, to)
+        }
+        .map_err(|e| e.to_string())?;
+        Ok(ok([(
+            "runs",
+            json_array(runs.iter().map(|r| {
+                json_object([
+                    ("apid", Json::from(r.apid)),
+                    ("user", Json::from(r.user.as_str())),
+                    ("app", Json::from(r.app.as_str())),
+                    ("start", Json::from(r.start_ms)),
+                    ("end", Json::from(r.end_ms)),
+                    ("node_first", Json::from(r.node_first)),
+                    ("node_last", Json::from(r.node_last)),
+                    ("exit_code", Json::from(r.exit_code)),
+                ])
+            })),
+        )]))
+    }
+
+    fn op_nodeinfo(&self, req: &Json) -> Result<Json, String> {
+        let cname = req["cname"].as_str().ok_or("missing 'cname'")?;
+        match nodeinfo::lookup(self.fw.cluster(), cname).map_err(|e| e.to_string())? {
+            None => Err(format!("unknown node '{cname}'")),
+            Some(info) => Ok(ok([
+                ("cname", Json::from(info.cname.as_str())),
+                ("index", Json::from(info.index)),
+                ("row", Json::from(info.row)),
+                ("col", Json::from(info.col)),
+                ("cage", Json::from(info.cage)),
+                ("slot", Json::from(info.slot)),
+                ("node", Json::from(info.node)),
+                ("gemini", Json::from(info.gemini)),
+            ])),
+        }
+    }
+
+    fn op_synopsis(&self, req: &Json) -> Result<Json, String> {
+        let day = req["day"].as_i64().ok_or("missing 'day'")?;
+        let rows = synopsis::read_synopsis(&self.fw, day).map_err(|e| e.to_string())?;
+        Ok(ok([(
+            "rows",
+            json_array(rows.iter().map(|r| {
+                json_object([
+                    ("hour", Json::from(r.hour)),
+                    ("type", Json::from(r.event_type.as_str())),
+                    ("events", Json::from(r.events)),
+                    ("nodes", Json::from(r.nodes)),
+                ])
+            })),
+        )]))
+    }
+
+    fn op_rules(&self, req: &Json) -> Result<Json, String> {
+        use crate::analytics::composite::{mine_from_store, Scope};
+        let (from, to) = self.window(req)?;
+        let window_ms = req["window_ms"].as_i64().unwrap_or(60_000).max(1);
+        let min_support = req["min_support"].as_i64().unwrap_or(3).max(1) as u64;
+        let scope = match req["scope"].as_str().unwrap_or("node") {
+            "node" => Scope::Node,
+            "cabinet" => Scope::Cabinet,
+            "system" => Scope::System,
+            other => return Err(format!("unknown scope '{other}'")),
+        };
+        let rules = mine_from_store(&self.fw, from, to, window_ms, scope, min_support)
+            .map_err(|e| e.to_string())?;
+        Ok(ok([(
+            "rules",
+            json_array(rules.iter().take(50).map(|r| {
+                json_object([
+                    ("antecedent", Json::from(r.antecedent.as_str())),
+                    ("consequent", Json::from(r.consequent.as_str())),
+                    ("support", Json::from(r.support)),
+                    ("confidence", Json::from(r.confidence)),
+                    ("lift", Json::from(r.lift)),
+                ])
+            })),
+        )]))
+    }
+
+    fn op_profile(&self, req: &Json) -> Result<Json, String> {
+        use crate::analytics::profiles::application_profile;
+        let app = req["app"].as_str().ok_or("missing 'app'")?;
+        let p = application_profile(&self.fw, app).map_err(|e| e.to_string())?;
+        Ok(ok([
+            ("app", Json::from(p.app.as_str())),
+            ("runs", Json::from(p.runs)),
+            ("node_hours", Json::from(p.node_hours)),
+            (
+                "rates",
+                json_object(p.rates.iter().map(|(t, r)| (t.clone(), Json::from(*r)))),
+            ),
+        ]))
+    }
+
+    fn op_predict(&self, req: &Json) -> Result<Json, String> {
+        use crate::analytics::prediction::{train_and_evaluate, PredictorConfig};
+        let (from, to) = self.window(req)?;
+        let target = req["target"].as_str().ok_or("missing 'target'")?;
+        let cfg = PredictorConfig {
+            bin_ms: req["bin_ms"].as_i64().unwrap_or(60_000).max(1),
+            lead_bins: req["lead_bins"].as_i64().unwrap_or(5).max(1) as usize,
+            horizon_bins: req["horizon_bins"].as_i64().unwrap_or(5).max(1) as usize,
+        };
+        let (predictor, metrics) =
+            train_and_evaluate(&self.fw, target, from, to, cfg, 0.7).map_err(|e| e.to_string())?;
+        Ok(ok([
+            ("target", Json::from(target)),
+            ("precision", Json::from(metrics.precision)),
+            ("recall", Json::from(metrics.recall)),
+            ("alarms", Json::from(metrics.alarms)),
+            ("failures", Json::from(metrics.failures)),
+            (
+                "weights",
+                json_object(
+                    predictor
+                        .weights
+                        .iter()
+                        .map(|(t, w)| (t.clone(), Json::from(*w))),
+                ),
+            ),
+        ]))
+    }
+
+    /// Server-side rendering: the named view as an SVG document.
+    fn op_render(&self, req: &Json) -> Result<Json, String> {
+        use crate::server::views;
+        let (from, to) = self.window(req)?;
+        let view = req["view"].as_str().ok_or("missing 'view'")?;
+        let etype = req["type"].as_str().unwrap_or("LUSTRE_ERR");
+        let svg = match view {
+            "heatmap" => views::heatmap_svg(&self.fw, etype, from, to),
+            "node_heatmap" => views::node_heatmap_svg(&self.fw, etype, from, to),
+            "histogram" => views::histogram_svg(
+                &self.fw,
+                etype,
+                from,
+                to,
+                req["bin_ms"].as_i64().unwrap_or(3_600_000).max(1),
+            ),
+            "te" => views::te_plot_svg(
+                &self.fw,
+                req["x"].as_str().ok_or("missing 'x'")?,
+                req["y"].as_str().ok_or("missing 'y'")?,
+                from,
+                to,
+                req["bin_ms"].as_i64().unwrap_or(60_000).max(1),
+                req["max_lag"].as_i64().unwrap_or(10).max(1) as usize,
+            ),
+            "bubbles" => views::word_bubbles_svg(
+                &self.fw,
+                etype,
+                from,
+                to,
+                req["top"].as_i64().unwrap_or(15).max(1) as usize,
+            ),
+            other => return Err(format!("unknown view '{other}'")),
+        }
+        .map_err(|e| e.to_string())?;
+        Ok(ok([("view", Json::from(view)), ("svg", Json::from(svg))]))
+    }
+
+    /// Simple queries go "directly handled by the query engine" — raw CQL
+    /// pass-through to the backend.
+    fn op_cql(&self, req: &Json) -> Result<Json, String> {
+        let q = req["q"].as_str().ok_or("missing 'q'")?;
+        match self
+            .fw
+            .cluster()
+            .execute(q, self.fw.consistency())
+            .map_err(|e| e.to_string())?
+        {
+            ExecResult::Applied => Ok(ok([("applied", Json::from(true))])),
+            ExecResult::Rows(rows) => Ok(ok([(
+                "rows",
+                json_array(rows.iter().map(|r| {
+                    let mut obj = json_object(
+                        r.cells
+                            .iter()
+                            .map(|(k, v)| (k.clone(), db_value_to_json(v))),
+                    );
+                    obj.insert(
+                        "_key",
+                        json_array(r.clustering.0.iter().map(db_value_to_json)),
+                    );
+                    obj
+                })),
+            )])),
+        }
+    }
+}
+
+fn db_value_to_json(v: &rasdb::types::Value) -> Json {
+    use rasdb::types::Value as V;
+    match v {
+        V::Text(s) => Json::from(s.as_str()),
+        V::Int(n) => Json::from(*n),
+        V::BigInt(n) | V::Timestamp(n) => Json::from(*n),
+        V::Double(f) => Json::from(*f),
+        V::Bool(b) => Json::from(*b),
+        V::Blob(b) => Json::from(format!("0x{}", b.iter().map(|x| format!("{x:02x}")).collect::<String>())),
+        V::List(items) => json_array(items.iter().map(db_value_to_json)),
+        V::Map(m) => json_object(m.iter().map(|(k, v)| (k.clone(), db_value_to_json(v)))),
+    }
+}
+
+fn ok<const N: usize>(fields: [(&str, Json); N]) -> Json {
+    let mut obj = json_object(fields);
+    obj.insert("status", "ok");
+    obj
+}
+
+fn err(message: impl Into<String>) -> Json {
+    json_object([
+        ("status", Json::from("error")),
+        ("message", Json::from(message.into())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::FrameworkConfig;
+    use crate::model::event::EventRecord;
+    use loggen::topology::Topology;
+
+    fn engine() -> QueryEngine {
+        let fw = Framework::new(FrameworkConfig {
+            db_nodes: 3,
+            replication_factor: 2,
+            vnodes: 8,
+            topology: Topology::scaled(2, 2),
+            ..Default::default()
+        })
+        .unwrap();
+        for i in 0..10i64 {
+            fw.insert_event(&EventRecord {
+                ts_ms: i * 60_000,
+                event_type: "MCE".into(),
+                source: format!("c0-0c0s{}n0", i % 4),
+                amount: 1,
+                raw: format!("Machine Check Exception: bank {i}"),
+            })
+            .unwrap();
+        }
+        QueryEngine::new(Arc::new(fw))
+    }
+
+    fn call(e: &QueryEngine, req: &str) -> Json {
+        let resp = e.handle(req);
+        jsonlite::parse(&resp).expect("valid response JSON")
+    }
+
+    #[test]
+    fn events_roundtrip_through_json() {
+        let e = engine();
+        let resp = call(
+            &e,
+            r#"{"op":"events","type":"MCE","from":0,"to":3600000}"#,
+        );
+        assert_eq!(resp["status"].as_str(), Some("ok"));
+        assert_eq!(resp["rows"].as_array().unwrap().len(), 10);
+        assert_eq!(resp["rows"][0]["type"].as_str(), Some("MCE"));
+        assert!(resp["rows"][0]["raw"].as_str().unwrap().contains("bank"));
+    }
+
+    #[test]
+    fn heatmap_and_histogram_ops() {
+        let e = engine();
+        let resp = call(&e, r#"{"op":"heatmap","type":"MCE","from":0,"to":3600000}"#);
+        assert_eq!(resp["status"].as_str(), Some("ok"));
+        assert_eq!(resp["cabinets"].as_array().unwrap().len(), 4);
+        assert_eq!(resp["total"].as_f64(), Some(10.0));
+
+        let resp = call(
+            &e,
+            r#"{"op":"histogram","type":"MCE","from":0,"to":3600000,"bin_ms":600000}"#,
+        );
+        assert_eq!(resp["bins"].as_array().unwrap().len(), 6);
+    }
+
+    #[test]
+    fn distribution_op_groups() {
+        let e = engine();
+        let resp = call(
+            &e,
+            r#"{"op":"distribution","type":"MCE","from":0,"to":3600000,"by":"node"}"#,
+        );
+        assert_eq!(resp["status"].as_str(), Some("ok"));
+        assert_eq!(resp["entries"].as_array().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn te_and_correlation_ops_return_curves() {
+        let e = engine();
+        let resp = call(
+            &e,
+            r#"{"op":"transfer_entropy","x":"MCE","y":"GPU_DBE","from":0,"to":3600000,"bin_ms":60000,"max_lag":5}"#,
+        );
+        assert_eq!(resp["lags"].as_array().unwrap().len(), 5);
+        let resp = call(
+            &e,
+            r#"{"op":"cross_correlation","x":"MCE","y":"GPU_DBE","from":0,"to":3600000,"bin_ms":60000,"max_lag":3}"#,
+        );
+        assert_eq!(resp["correlations"].as_array().unwrap().len(), 7);
+    }
+
+    #[test]
+    fn wordcount_op_counts_terms() {
+        let e = engine();
+        let resp = call(
+            &e,
+            r#"{"op":"wordcount","type":"MCE","from":0,"to":3600000,"top":5}"#,
+        );
+        let terms = resp["terms"].as_array().unwrap();
+        assert!(!terms.is_empty());
+        // "Machine" appears in every raw message.
+        assert!(terms.iter().any(|t| t[0].as_str() == Some("Machine")));
+    }
+
+    #[test]
+    fn nodeinfo_and_cql_ops() {
+        let e = engine();
+        let resp = call(&e, r#"{"op":"nodeinfo","cname":"c1-1c2s7n3"}"#);
+        assert_eq!(resp["status"].as_str(), Some("ok"));
+        assert_eq!(resp["row"].as_i64(), Some(1));
+
+        let resp = call(
+            &e,
+            r#"{"op":"cql","q":"SELECT * FROM event_by_time WHERE hour = 0 AND type = 'MCE' LIMIT 3"}"#,
+        );
+        assert_eq!(resp["status"].as_str(), Some("ok"));
+        assert_eq!(resp["rows"].as_array().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn rules_profile_predict_ops() {
+        let e = engine();
+        // Seed a causal pair so `rules` finds something.
+        for i in 0..20i64 {
+            for (t, at) in [("NET_LINK", i * 120_000), ("LUSTRE_ERR", i * 120_000 + 5_000)] {
+                e.framework()
+                    .insert_event(&EventRecord {
+                        ts_ms: at,
+                        event_type: t.into(),
+                        source: "c0-0c0s0n0".into(),
+                        amount: 1,
+                        raw: String::new(),
+                    })
+                    .unwrap();
+            }
+        }
+        let resp = call(
+            &e,
+            r#"{"op":"rules","from":0,"to":3600000,"window_ms":10000,"scope":"node","min_support":5}"#,
+        );
+        assert_eq!(resp["status"].as_str(), Some("ok"));
+        let rules = resp["rules"].as_array().unwrap();
+        assert!(rules
+            .iter()
+            .any(|r| r["antecedent"].as_str() == Some("NET_LINK")
+                && r["consequent"].as_str() == Some("LUSTRE_ERR")));
+
+        let resp = call(&e, r#"{"op":"profile","app":"VASP"}"#);
+        assert_eq!(resp["status"].as_str(), Some("ok"));
+        assert_eq!(resp["runs"].as_i64(), Some(0));
+
+        let resp = call(
+            &e,
+            r#"{"op":"predict","target":"LUSTRE_ERR","from":0,"to":3600000,"bin_ms":60000}"#,
+        );
+        assert_eq!(resp["status"].as_str(), Some("ok"));
+        assert!(resp["weights"].as_object().is_some());
+    }
+
+    #[test]
+    fn render_op_returns_svg() {
+        let e = engine();
+        let resp = call(
+            &e,
+            r#"{"op":"render","view":"heatmap","type":"MCE","from":0,"to":3600000}"#,
+        );
+        assert_eq!(resp["status"].as_str(), Some("ok"));
+        let svg = resp["svg"].as_str().unwrap();
+        assert!(svg.starts_with("<svg"));
+        let resp = call(
+            &e,
+            r#"{"op":"render","view":"nope","from":0,"to":1}"#,
+        );
+        assert_eq!(resp["status"].as_str(), Some("error"));
+    }
+
+    #[test]
+    fn errors_are_structured_not_panics() {
+        let e = engine();
+        for bad in [
+            "not json at all",
+            r#"{"no_op":1}"#,
+            r#"{"op":"zap"}"#,
+            r#"{"op":"events","from":100,"to":0}"#,
+            r#"{"op":"heatmap","from":0,"to":1}"#,
+            r#"{"op":"nodeinfo","cname":"c9-9c9s9n9"}"#,
+            r#"{"op":"cql","q":"DROP TABLE x"}"#,
+            r#"{"op":"histogram","type":"MCE","from":0,"to":1,"bin_ms":-5}"#,
+        ] {
+            let resp = call(&e, bad);
+            assert_eq!(resp["status"].as_str(), Some("error"), "{bad}");
+            assert!(!resp["message"].as_str().unwrap().is_empty());
+        }
+    }
+}

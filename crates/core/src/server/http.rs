@@ -1,0 +1,208 @@
+//! A minimal HTTP/1.1 endpoint for the query engine — the stand-in for the
+//! paper's Tornado web server. `POST /query` with a JSON body returns the
+//! engine's JSON response; `GET /health` answers liveness probes.
+
+use crate::server::engine::QueryEngine;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running HTTP server.
+pub struct HttpServer {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Binds `127.0.0.1:port` (0 = ephemeral) and serves in background
+    /// threads until dropped.
+    pub fn start(engine: Arc<QueryEngine>, port: u16) -> std::io::Result<HttpServer> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("hpclog-http".to_owned())
+            .spawn(move || {
+                while !stop2.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let engine = Arc::clone(&engine);
+                            std::thread::spawn(move || {
+                                let _ = handle_connection(stream, &engine);
+                            });
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(std::time::Duration::from_millis(5));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })?;
+        Ok(HttpServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, engine: &QueryEngine) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(5)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+
+    // Headers: we only need Content-Length.
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line
+            .to_ascii_lowercase()
+            .strip_prefix("content-length:")
+            .map(str::trim)
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            content_length = v;
+        }
+    }
+
+    let mut stream = stream;
+    match (method, path) {
+        ("GET", "/health") => respond(&mut stream, 200, r#"{"status":"ok"}"#),
+        ("POST", "/query") => {
+            // Bound the body to keep hostile clients from exhausting memory.
+            if content_length > 8 * 1024 * 1024 {
+                return respond(&mut stream, 413, r#"{"status":"error","message":"body too large"}"#);
+            }
+            let mut body = vec![0u8; content_length];
+            reader.read_exact(&mut body)?;
+            let body = String::from_utf8_lossy(&body);
+            let response = engine.handle(&body);
+            respond(&mut stream, 200, &response)
+        }
+        _ => respond(
+            &mut stream,
+            404,
+            r#"{"status":"error","message":"use POST /query or GET /health"}"#,
+        ),
+    }
+}
+
+fn respond(stream: &mut TcpStream, code: u16, body: &str) -> std::io::Result<()> {
+    let reason = match code {
+        200 => "OK",
+        404 => "Not Found",
+        413 => "Payload Too Large",
+        _ => "Error",
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {code} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::{Framework, FrameworkConfig};
+    use loggen::topology::Topology;
+
+    fn server() -> HttpServer {
+        let fw = Framework::new(FrameworkConfig {
+            db_nodes: 2,
+            replication_factor: 1,
+            vnodes: 4,
+            topology: Topology::scaled(1, 1),
+            ..Default::default()
+        })
+        .unwrap();
+        HttpServer::start(Arc::new(QueryEngine::new(Arc::new(fw))), 0).unwrap()
+    }
+
+    fn request(addr: std::net::SocketAddr, raw: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(raw.as_bytes()).unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn health_endpoint_answers() {
+        let server = server();
+        let resp = request(
+            server.addr(),
+            "GET /health HTTP/1.1\r\nHost: x\r\n\r\n",
+        );
+        assert!(resp.starts_with("HTTP/1.1 200"));
+        assert!(resp.contains(r#"{"status":"ok"}"#));
+    }
+
+    #[test]
+    fn query_endpoint_runs_the_engine() {
+        let server = server();
+        let body = r#"{"op":"events","type":"MCE","from":0,"to":1000}"#;
+        let raw = format!(
+            "POST /query HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        let resp = request(server.addr(), &raw);
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+        assert!(resp.contains(r#""status":"ok""#), "{resp}");
+        assert!(resp.contains(r#""rows":[]"#), "{resp}");
+    }
+
+    #[test]
+    fn unknown_paths_get_404() {
+        let server = server();
+        let resp = request(server.addr(), "GET /nope HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 404"));
+    }
+
+    #[test]
+    fn concurrent_clients_are_served() {
+        let server = server();
+        let addr = server.addr();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let resp =
+                        request(addr, "GET /health HTTP/1.1\r\nHost: x\r\n\r\n");
+                    assert!(resp.contains("ok"));
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! The analytics server: JSON query protocol + a minimal HTTP endpoint.
+//!
+//! "Every interaction with the frontend is translated into a query in
+//! JavaScript Object Notation (JSON) format and delivered to the analytic
+//! server"; "query results are sent in JSON object format to avoid data
+//! format conversion at the frontend."
+
+pub mod engine;
+pub mod http;
+pub mod views;
+
+pub use engine::QueryEngine;

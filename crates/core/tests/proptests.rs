@@ -1,0 +1,177 @@
+//! Property tests across the framework's pipelines.
+
+use hpclog_core::analytics::composite::{mine_rules, Scope};
+use hpclog_core::analytics::transfer_entropy::transfer_entropy_binary;
+use hpclog_core::analytics::{bin_counts};
+use hpclog_core::etl::parsers::{EventParser, ParsedLine};
+use hpclog_core::model::event::EventRecord;
+use loggen::topology::Topology;
+use loggen::trace::{Facility, RawLine};
+use proptest::prelude::*;
+
+fn arb_event_type() -> impl Strategy<Value = &'static str> {
+    prop_oneof![
+        Just("MCE"),
+        Just("MEM_ECC"),
+        Just("MEM_UE"),
+        Just("GPU_DBE"),
+        Just("GPU_OFF_BUS"),
+        Just("LUSTRE_ERR"),
+        Just("DVS_ERR"),
+        Just("NET_THROTTLE"),
+        Just("KERNEL_PANIC"),
+    ]
+}
+
+/// A raw line whose text matches the given type's ETL pattern.
+fn line_for(etype: &str, ts: i64, node: usize) -> RawLine {
+    let topo = Topology::scaled(2, 2);
+    let text = match etype {
+        "MCE" => "Machine Check Exception: bank 2: b200 addr 3f cpu 7".to_owned(),
+        "MEM_ECC" => "EDAC MC1: CE page 0x3aa2f, offset 0x630".to_owned(),
+        "MEM_UE" => "EDAC MC1: UE page 0x3aa2f, offset 0x0".to_owned(),
+        "GPU_DBE" => "NVRM: Xid (0000:02:00): 48, Double Bit ECC Error".to_owned(),
+        "GPU_OFF_BUS" => "NVRM: Xid (0000:02:00): 79, GPU has fallen off the bus.".to_owned(),
+        "LUSTRE_ERR" => "LustreError: 11-0: atlas1-OST0041-osc-ffff00: operation failed".to_owned(),
+        "DVS_ERR" => "DVS: file_node_down: removing server".to_owned(),
+        "NET_THROTTLE" => "Gemini HSN congestion protection engaged: throttle=on".to_owned(),
+        "KERNEL_PANIC" => "Kernel panic - not syncing: test".to_owned(),
+        other => panic!("unknown type {other}"),
+    };
+    RawLine {
+        ts_ms: ts,
+        facility: Facility::Console,
+        source: topo.node(node % topo.node_count()).cname,
+        text,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn etl_parse_recovers_type_source_and_time(
+        etype in arb_event_type(),
+        ts in 0i64..10_000_000_000_000,
+        node in 0usize..384,
+    ) {
+        let line = line_for(etype, ts, node);
+        let parser = EventParser::new();
+        match parser.parse(&line.render()) {
+            Some(ParsedLine::Event(ev)) => {
+                prop_assert_eq!(ev.event_type, etype);
+                prop_assert_eq!(ev.ts_ms, ts);
+                prop_assert_eq!(ev.source, line.source);
+                prop_assert_eq!(ev.raw, line.text);
+            }
+            other => prop_assert!(false, "parsed {:?}", other),
+        }
+    }
+
+    #[test]
+    fn bin_counts_conserve_in_window_mass(
+        events in prop::collection::vec((0i64..100_000, 1i32..5), 0..200),
+        bin_ms in 1i64..10_000,
+    ) {
+        let records: Vec<EventRecord> = events
+            .iter()
+            .map(|(ts, amount)| EventRecord {
+                ts_ms: *ts,
+                event_type: "MCE".into(),
+                source: "n".into(),
+                amount: *amount,
+                raw: String::new(),
+            })
+            .collect();
+        let bins = bin_counts(&records, 0, 100_000, bin_ms);
+        let total: f64 = bins.iter().sum();
+        let want: i32 = events.iter().map(|(_, a)| *a).sum();
+        prop_assert_eq!(total as i32, want);
+    }
+
+    #[test]
+    fn te_is_nonnegative_and_finite_on_arbitrary_series(
+        x in prop::collection::vec(any::<bool>(), 0..300),
+        y in prop::collection::vec(any::<bool>(), 0..300),
+        lag in 1usize..6,
+    ) {
+        let te = transfer_entropy_binary(&x, &y, lag);
+        prop_assert!(te >= 0.0, "te = {}", te);
+        prop_assert!(te.is_finite());
+        // TE is bounded by 1 bit for binary targets.
+        prop_assert!(te <= 1.0 + 1e-9, "te = {}", te);
+    }
+
+    #[test]
+    fn mined_rule_support_never_exceeds_antecedent_count(
+        raw in prop::collection::vec((0i64..60_000, 0usize..8, arb_event_type()), 0..80),
+        window in 1i64..30_000,
+    ) {
+        let topo = Topology::scaled(2, 2);
+        let events: Vec<EventRecord> = raw
+            .iter()
+            .map(|(ts, node, t)| EventRecord {
+                ts_ms: *ts,
+                event_type: (*t).to_owned(),
+                source: topo.node(*node).cname,
+                amount: 1,
+                raw: String::new(),
+            })
+            .collect();
+        let rules = mine_rules(&events, &topo, window, Scope::Node, 1);
+        for rule in &rules {
+            let count_a = events.iter().filter(|e| e.event_type == rule.antecedent).count() as u64;
+            prop_assert!(rule.support <= count_a);
+            prop_assert!(rule.confidence <= 1.0 + 1e-9);
+            prop_assert!(rule.lift >= 0.0);
+        }
+        // Node scope can never out-support system scope.
+        let sys_rules = mine_rules(&events, &topo, window, Scope::System, 1);
+        for rule in &rules {
+            let sys = sys_rules
+                .iter()
+                .find(|r| r.antecedent == rule.antecedent && r.consequent == rule.consequent);
+            if let Some(sys) = sys {
+                prop_assert!(rule.support <= sys.support);
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_coalesce_preserves_mass_for_any_burst(
+        bursts in prop::collection::vec((0i64..5_000, 0usize..8), 1..60),
+    ) {
+        use hpclog_core::etl::stream::{publish_lines, StreamIngester};
+        use hpclog_core::framework::{Framework, FrameworkConfig};
+        let fw = Framework::new(FrameworkConfig {
+            db_nodes: 2,
+            replication_factor: 1,
+            vnodes: 4,
+            topology: Topology::scaled(1, 1),
+            ..Default::default()
+        })
+        .unwrap();
+        let t0 = 1_500_000_000_000i64;
+        let lines: Vec<RawLine> = bursts
+            .iter()
+            .map(|(dt, node)| {
+                let mut l = line_for("MCE", t0 + dt, *node);
+                l.ts_ms = t0 + dt;
+                l
+            })
+            .collect();
+        publish_lines(&fw, &lines).unwrap();
+        let report = StreamIngester::new(&fw, "p", 60_000)
+            .unwrap()
+            .run_to_completion(64)
+            .unwrap();
+        prop_assert_eq!(report.events_in, lines.len());
+        let mass: i32 = fw
+            .events_by_type("MCE", t0, t0 + 10_000)
+            .unwrap()
+            .iter()
+            .map(|e| e.amount)
+            .sum();
+        prop_assert_eq!(mass as usize, lines.len());
+    }
+}

@@ -1,0 +1,253 @@
+//! The JSON value model.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON value.
+///
+/// Numbers are stored as `f64`, matching JavaScript semantics; integers up to
+/// 2^53 round-trip exactly, which covers every counter, timestamp (ms), and
+/// identifier the framework exchanges.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Number(f64),
+    /// A JSON string.
+    String(String),
+    /// A JSON array.
+    Array(Vec<Value>),
+    /// A JSON object with deterministic (sorted) key order.
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Parses a JSON document. Convenience alias for [`crate::parse()`].
+    pub fn parse(text: &str) -> Result<Value, crate::ParseError> {
+        crate::parse(text)
+    }
+
+    /// Returns the boolean if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the number if this is a `Number`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Returns the number as `i64` if this is a `Number` with an integral
+    /// value that fits.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) if n.fract() == 0.0 && n.abs() <= 2f64.powi(53) => Some(*n as i64),
+            _ => None,
+        }
+    }
+
+    /// Returns the string slice if this is a `String`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the array if this is an `Array`.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Returns the object map if this is an `Object`.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// True if the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Object field lookup that tolerates non-objects and missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|o| o.get(key))
+    }
+
+    /// Array element lookup that tolerates non-arrays and short arrays.
+    pub fn at(&self, idx: usize) -> Option<&Value> {
+        self.as_array().and_then(|a| a.get(idx))
+    }
+
+    /// Inserts a field, turning the value into an object if it was `null`.
+    ///
+    /// Panics if the value is neither `null` nor an object; mutating a
+    /// scalar into an object is always a programming error in callers.
+    pub fn insert(&mut self, key: impl Into<String>, value: impl Into<Value>) {
+        if self.is_null() {
+            *self = Value::Object(BTreeMap::new());
+        }
+        match self {
+            Value::Object(o) => {
+                o.insert(key.into(), value.into());
+            }
+            other => panic!("Value::insert on non-object {other:?}"),
+        }
+    }
+}
+
+/// Missing lookups index as `Null`, mirroring `serde_json` ergonomics.
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        self.at(idx).unwrap_or(&NULL)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::write::to_string(self))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Self {
+        Value::Number(n)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        Value::Number(n as f64)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(n: i32) -> Self {
+        Value::Number(n as f64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(n: u32) -> Self {
+        Value::Number(n as f64)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(n: usize) -> Self {
+        Value::Number(n as f64)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(n: u64) -> Self {
+        Value::Number(n as f64)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::String(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::String(s)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        v.map(Into::into).unwrap_or(Value::Null)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_return_none_on_type_mismatch() {
+        let v = Value::from("hi");
+        assert_eq!(v.as_bool(), None);
+        assert_eq!(v.as_f64(), None);
+        assert_eq!(v.as_str(), Some("hi"));
+        assert!(v.as_array().is_none());
+        assert!(v.as_object().is_none());
+    }
+
+    #[test]
+    fn as_i64_rejects_fractions_and_huge_values() {
+        assert_eq!(Value::Number(3.0).as_i64(), Some(3));
+        assert_eq!(Value::Number(3.5).as_i64(), None);
+        assert_eq!(Value::Number(1e300).as_i64(), None);
+        assert_eq!(Value::Number(-7.0).as_i64(), Some(-7));
+    }
+
+    #[test]
+    fn index_missing_key_yields_null() {
+        let v = Value::parse(r#"{"a":1}"#).unwrap();
+        assert!(v["missing"].is_null());
+        assert!(v["a"]["deeper"].is_null());
+        assert!(v[42].is_null());
+    }
+
+    #[test]
+    fn insert_builds_object_from_null() {
+        let mut v = Value::Null;
+        v.insert("x", 1);
+        v.insert("y", "z");
+        assert_eq!(v.to_string(), r#"{"x":1,"y":"z"}"#);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-object")]
+    fn insert_on_scalar_panics() {
+        let mut v = Value::from(3);
+        v.insert("x", 1);
+    }
+
+    #[test]
+    fn from_option_maps_none_to_null() {
+        assert!(Value::from(None::<i64>).is_null());
+        assert_eq!(Value::from(Some(2i64)), Value::Number(2.0));
+    }
+}

@@ -1,0 +1,131 @@
+//! The broker: topic registry plus consumer-group coordination.
+
+use crate::topic::{Topic, DEFAULT_RETENTION};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Bus errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BusError {
+    /// Topic already exists.
+    TopicExists(String),
+    /// Topic does not exist.
+    NoSuchTopic(String),
+}
+
+impl fmt::Display for BusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BusError::TopicExists(t) => write!(f, "topic '{t}' already exists"),
+            BusError::NoSuchTopic(t) => write!(f, "no such topic '{t}'"),
+        }
+    }
+}
+
+impl std::error::Error for BusError {}
+
+/// Consumer-group state: committed offsets and live members per topic.
+#[derive(Debug, Default)]
+pub(crate) struct GroupState {
+    /// Committed offset per partition.
+    pub committed: Vec<u64>,
+    /// Member ids in join order; partition assignment is round-robin over
+    /// this list.
+    pub members: Vec<u64>,
+    /// Next member id.
+    pub next_member: u64,
+    /// Bumped on every membership change; consumers refresh assignments
+    /// when it moves.
+    pub generation: u64,
+}
+
+/// `(group, topic)` → shared group state.
+type GroupMap = HashMap<(String, String), Arc<RwLock<GroupState>>>;
+
+/// The message bus.
+#[derive(Default)]
+pub struct Broker {
+    topics: RwLock<HashMap<String, Arc<Topic>>>,
+    groups: RwLock<GroupMap>,
+}
+
+impl Broker {
+    /// Creates an empty broker.
+    pub fn new() -> Broker {
+        Broker::default()
+    }
+
+    /// Creates a topic with default retention.
+    pub fn create_topic(&self, name: &str, partitions: usize) -> Result<(), BusError> {
+        self.create_topic_with_retention(name, partitions, DEFAULT_RETENTION)
+    }
+
+    /// Creates a topic with explicit per-partition retention.
+    pub fn create_topic_with_retention(
+        &self,
+        name: &str,
+        partitions: usize,
+        retention: usize,
+    ) -> Result<(), BusError> {
+        let mut topics = self.topics.write();
+        if topics.contains_key(name) {
+            return Err(BusError::TopicExists(name.to_owned()));
+        }
+        topics.insert(name.to_owned(), Arc::new(Topic::new(name, partitions, retention)));
+        Ok(())
+    }
+
+    /// Looks up a topic.
+    pub fn topic(&self, name: &str) -> Result<Arc<Topic>, BusError> {
+        self.topics
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| BusError::NoSuchTopic(name.to_owned()))
+    }
+
+    /// All topic names, sorted.
+    pub fn topic_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.topics.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    pub(crate) fn group(&self, group: &str, topic: &str) -> Arc<RwLock<GroupState>> {
+        let key = (group.to_owned(), topic.to_owned());
+        if let Some(g) = self.groups.read().get(&key) {
+            return Arc::clone(g);
+        }
+        let mut groups = self.groups.write();
+        Arc::clone(groups.entry(key).or_default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_and_lookup_topics() {
+        let b = Broker::new();
+        b.create_topic("a", 2).unwrap();
+        b.create_topic("b", 4).unwrap();
+        assert_eq!(b.topic("a").unwrap().partitions.len(), 2);
+        assert_eq!(b.topic_names(), vec!["a", "b"]);
+        assert!(matches!(b.create_topic("a", 1), Err(BusError::TopicExists(_))));
+        assert!(matches!(b.topic("zzz"), Err(BusError::NoSuchTopic(_))));
+    }
+
+    #[test]
+    fn group_state_is_shared() {
+        let b = Broker::new();
+        let g1 = b.group("ingesters", "t");
+        let g2 = b.group("ingesters", "t");
+        g1.write().next_member = 7;
+        assert_eq!(g2.read().next_member, 7);
+        let other = b.group("analytics", "t");
+        assert_eq!(other.read().next_member, 0);
+    }
+}

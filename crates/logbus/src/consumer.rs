@@ -1,0 +1,265 @@
+//! Consumers: group-coordinated, offset-tracking topic readers.
+
+use crate::broker::{Broker, BusError, GroupState};
+use crate::record::Record;
+use crate::topic::Topic;
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// A consumer in a consumer group.
+///
+/// Partitions of the topic are balanced over the group's live members
+/// (round-robin by partition index). Each consumer tracks a private
+/// position per assigned partition, starting from the group's committed
+/// offset; [`Consumer::commit`] publishes positions back to the group.
+/// Membership changes trigger a rebalance on the next poll.
+pub struct Consumer {
+    topic: Arc<Topic>,
+    group: Arc<RwLock<GroupState>>,
+    member_id: u64,
+    seen_generation: u64,
+    /// (partition, next offset) pairs for the current assignment.
+    positions: Vec<(usize, u64)>,
+    next_pick: usize,
+}
+
+impl Consumer {
+    /// Joins `group` for `topic`.
+    pub fn new(broker: &Broker, group: &str, topic: &str) -> Result<Consumer, BusError> {
+        let topic = broker.topic(topic)?;
+        let group = broker.group(group, &topic.name);
+        let member_id;
+        {
+            let mut g = group.write();
+            if g.committed.is_empty() {
+                g.committed = vec![0; topic.partitions.len()];
+            }
+            member_id = g.next_member;
+            g.next_member += 1;
+            g.members.push(member_id);
+            g.generation += 1;
+        }
+        let mut c = Consumer {
+            topic,
+            group,
+            member_id,
+            seen_generation: 0,
+            positions: Vec::new(),
+            next_pick: 0,
+        };
+        c.rebalance();
+        Ok(c)
+    }
+
+    /// The partitions currently assigned to this consumer.
+    pub fn assignment(&self) -> Vec<usize> {
+        self.positions.iter().map(|(p, _)| *p).collect()
+    }
+
+    fn rebalance(&mut self) {
+        let g = self.group.read();
+        self.seen_generation = g.generation;
+        let my_slot = g.members.iter().position(|m| *m == self.member_id);
+        self.positions.clear();
+        if let Some(slot) = my_slot {
+            for p in 0..self.topic.partitions.len() {
+                if p % g.members.len() == slot {
+                    self.positions.push((p, g.committed[p]));
+                }
+            }
+        }
+        self.next_pick = 0;
+    }
+
+    /// Polls up to `max` records across assigned partitions (fair
+    /// round-robin over partitions). Returns immediately (possibly empty).
+    pub fn poll(&mut self, max: usize) -> Vec<Record> {
+        if self.group.read().generation != self.seen_generation {
+            self.rebalance();
+        }
+        let mut out = Vec::new();
+        if self.positions.is_empty() || max == 0 {
+            return out;
+        }
+        let nparts = self.positions.len();
+        let mut exhausted = 0;
+        while out.len() < max && exhausted < nparts {
+            let idx = self.next_pick % nparts;
+            self.next_pick += 1;
+            let (partition, offset) = self.positions[idx];
+            let budget = max - out.len();
+            let records = self.topic.partitions[partition].read(offset, budget.min(64));
+            if records.is_empty() {
+                exhausted += 1;
+                continue;
+            }
+            exhausted = 0;
+            self.positions[idx].1 = records.last().expect("nonempty").offset + 1;
+            out.extend(records);
+        }
+        out
+    }
+
+    /// Commits current positions to the group.
+    pub fn commit(&self) {
+        let mut g = self.group.write();
+        for (p, offset) in &self.positions {
+            if *offset > g.committed[*p] {
+                g.committed[*p] = *offset;
+            }
+        }
+    }
+
+    /// Lag: records available but not yet polled, across the assignment.
+    pub fn lag(&self) -> u64 {
+        self.positions
+            .iter()
+            .map(|(p, offset)| self.topic.partitions[*p].end_offset().saturating_sub(*offset))
+            .sum()
+    }
+}
+
+impl Drop for Consumer {
+    fn drop(&mut self) {
+        let mut g = self.group.write();
+        g.members.retain(|m| *m != self.member_id);
+        g.generation += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::producer::Producer;
+
+    fn setup(partitions: usize) -> Broker {
+        let b = Broker::new();
+        b.create_topic("t", partitions).unwrap();
+        b
+    }
+
+    #[test]
+    fn single_consumer_gets_everything_in_partition_order() {
+        let b = setup(3);
+        let p = Producer::new(&b);
+        for i in 0..30 {
+            p.send("t", Some(&format!("k{}", i % 5)), format!("m{i}")).unwrap();
+        }
+        let mut c = Consumer::new(&b, "g", "t").unwrap();
+        assert_eq!(c.assignment(), vec![0, 1, 2]);
+        let records = c.poll(100);
+        assert_eq!(records.len(), 30);
+        // Per-partition offsets are in order.
+        for part in 0..3 {
+            let offs: Vec<u64> = records
+                .iter()
+                .filter(|r| r.partition == part)
+                .map(|r| r.offset)
+                .collect();
+            assert!(offs.windows(2).all(|w| w[0] < w[1]));
+        }
+        assert_eq!(c.lag(), 0);
+    }
+
+    #[test]
+    fn poll_respects_max() {
+        let b = setup(2);
+        let p = Producer::new(&b);
+        for i in 0..50 {
+            p.send("t", None, format!("m{i}")).unwrap();
+        }
+        let mut c = Consumer::new(&b, "g", "t").unwrap();
+        let first = c.poll(10);
+        assert_eq!(first.len(), 10);
+        assert_eq!(c.lag(), 40);
+        let rest = c.poll(1000);
+        assert_eq!(rest.len(), 40);
+        // No duplicates.
+        let mut seen = std::collections::HashSet::new();
+        for r in first.iter().chain(&rest) {
+            assert!(seen.insert((r.partition, r.offset)));
+        }
+    }
+
+    #[test]
+    fn two_members_split_partitions() {
+        let b = setup(4);
+        let mut c1 = Consumer::new(&b, "g", "t").unwrap();
+        let mut c2 = Consumer::new(&b, "g", "t").unwrap();
+        let p = Producer::new(&b);
+        for i in 0..40 {
+            p.send("t", None, format!("m{i}")).unwrap();
+        }
+        let r1 = c1.poll(100);
+        let r2 = c2.poll(100);
+        assert_eq!(r1.len() + r2.len(), 40);
+        let a1: std::collections::HashSet<usize> = r1.iter().map(|r| r.partition).collect();
+        let a2: std::collections::HashSet<usize> = r2.iter().map(|r| r.partition).collect();
+        assert!(a1.is_disjoint(&a2));
+        assert_eq!(c1.assignment().len() + c2.assignment().len(), 4);
+    }
+
+    #[test]
+    fn committed_offsets_survive_member_replacement() {
+        let b = setup(2);
+        let p = Producer::new(&b);
+        for i in 0..10 {
+            p.send("t", None, format!("m{i}")).unwrap();
+        }
+        {
+            let mut c = Consumer::new(&b, "g", "t").unwrap();
+            let got = c.poll(6);
+            assert_eq!(got.len(), 6);
+            c.commit();
+        } // drop -> leave group
+        let mut c = Consumer::new(&b, "g", "t").unwrap();
+        let got = c.poll(100);
+        assert_eq!(got.len(), 4, "resumes from committed offsets");
+    }
+
+    #[test]
+    fn uncommitted_progress_is_lost_on_rejoin() {
+        let b = setup(1);
+        let p = Producer::new(&b);
+        for i in 0..10 {
+            p.send("t", None, format!("m{i}")).unwrap();
+        }
+        {
+            let mut c = Consumer::new(&b, "g", "t").unwrap();
+            assert_eq!(c.poll(7).len(), 7);
+            // no commit
+        }
+        let mut c = Consumer::new(&b, "g", "t").unwrap();
+        assert_eq!(c.poll(100).len(), 10, "replay from offset 0");
+    }
+
+    #[test]
+    fn rebalance_on_member_join_mid_stream() {
+        let b = setup(4);
+        let p = Producer::new(&b);
+        let mut c1 = Consumer::new(&b, "g", "t").unwrap();
+        for i in 0..8 {
+            p.send("t", None, format!("m{i}")).unwrap();
+        }
+        assert_eq!(c1.poll(100).len(), 8);
+        c1.commit();
+        // New member joins: c1 must shrink its assignment on next poll.
+        let c2 = Consumer::new(&b, "g", "t").unwrap();
+        let _ = c1.poll(1);
+        assert_eq!(c1.assignment().len(), 2);
+        assert_eq!(c2.assignment().len(), 2);
+    }
+
+    #[test]
+    fn different_groups_consume_independently() {
+        let b = setup(1);
+        let p = Producer::new(&b);
+        for i in 0..5 {
+            p.send("t", None, format!("m{i}")).unwrap();
+        }
+        let mut g1 = Consumer::new(&b, "alpha", "t").unwrap();
+        let mut g2 = Consumer::new(&b, "beta", "t").unwrap();
+        assert_eq!(g1.poll(100).len(), 5);
+        assert_eq!(g2.poll(100).len(), 5, "fan-out to both groups");
+    }
+}

@@ -1,0 +1,99 @@
+//! Producers: publish records to topics.
+
+use crate::broker::{Broker, BusError};
+use crate::record::Record;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A handle for publishing records. Cheap to create; clone-free (borrows
+/// the broker) so multiple producer threads just make their own.
+pub struct Producer<'b> {
+    broker: &'b Broker,
+    round_robin: AtomicU64,
+}
+
+impl<'b> Producer<'b> {
+    /// Creates a producer.
+    pub fn new(broker: &'b Broker) -> Producer<'b> {
+        Producer {
+            broker,
+            round_robin: AtomicU64::new(0),
+        }
+    }
+
+    /// Publishes a record. Keyed records go to the key's partition (stable
+    /// per-source ordering); keyless records round-robin.
+    pub fn send(
+        &self,
+        topic: &str,
+        key: Option<&str>,
+        value: impl Into<String>,
+    ) -> Result<(usize, u64), BusError> {
+        self.send_at(topic, key, value, 0)
+    }
+
+    /// Publishes a record with an event timestamp.
+    pub fn send_at(
+        &self,
+        topic: &str,
+        key: Option<&str>,
+        value: impl Into<String>,
+        timestamp_ms: i64,
+    ) -> Result<(usize, u64), BusError> {
+        let topic_ref = self.broker.topic(topic)?;
+        let partition = match key {
+            Some(k) => topic_ref.partition_for_key(k),
+            None => {
+                (self.round_robin.fetch_add(1, Ordering::Relaxed) as usize)
+                    % topic_ref.partitions.len()
+            }
+        };
+        let record = Record::new(key, value, timestamp_ms);
+        let offset = topic_ref.partitions[partition].append(record, partition);
+        Ok((partition, offset))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyed_records_preserve_order_per_key() {
+        let b = Broker::new();
+        b.create_topic("t", 4).unwrap();
+        let p = Producer::new(&b);
+        let mut partitions = std::collections::HashSet::new();
+        for i in 0..10 {
+            let (part, off) = p.send("t", Some("node-A"), format!("m{i}")).unwrap();
+            partitions.insert(part);
+            assert_eq!(off, i);
+        }
+        assert_eq!(partitions.len(), 1, "one key, one partition");
+    }
+
+    #[test]
+    fn keyless_records_round_robin() {
+        let b = Broker::new();
+        b.create_topic("t", 4).unwrap();
+        let p = Producer::new(&b);
+        let parts: Vec<usize> = (0..8).map(|_| p.send("t", None, "x").unwrap().0).collect();
+        assert_eq!(parts, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn send_to_missing_topic_errors() {
+        let b = Broker::new();
+        let p = Producer::new(&b);
+        assert!(p.send("missing", None, "x").is_err());
+    }
+
+    #[test]
+    fn timestamps_carried_through() {
+        let b = Broker::new();
+        b.create_topic("t", 1).unwrap();
+        let p = Producer::new(&b);
+        p.send_at("t", None, "x", 12345).unwrap();
+        let rec = &b.topic("t").unwrap().partitions[0].read(0, 1)[0];
+        assert_eq!(rec.timestamp_ms, 12345);
+    }
+}

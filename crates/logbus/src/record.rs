@@ -1,0 +1,46 @@
+//! Records as they flow through the bus.
+
+/// One published record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Topic partition the record lives in.
+    pub partition: usize,
+    /// Offset within the partition (dense, starting at 0).
+    pub offset: u64,
+    /// Optional partitioning key (e.g. the source node cname).
+    pub key: Option<String>,
+    /// Payload — raw log line or serialized event.
+    pub value: String,
+    /// Producer-supplied timestamp (ms since epoch); 0 when unset.
+    pub timestamp_ms: i64,
+}
+
+impl Record {
+    /// Builds a record pending assignment (partition/offset filled by the
+    /// topic on append).
+    pub fn new(key: Option<&str>, value: impl Into<String>, timestamp_ms: i64) -> Record {
+        Record {
+            partition: 0,
+            offset: 0,
+            key: key.map(str::to_owned),
+            value: value.into(),
+            timestamp_ms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_defaults() {
+        let r = Record::new(Some("k"), "v", 42);
+        assert_eq!(r.key.as_deref(), Some("k"));
+        assert_eq!(r.value, "v");
+        assert_eq!(r.timestamp_ms, 42);
+        assert_eq!((r.partition, r.offset), (0, 0));
+        let r = Record::new(None, String::from("x"), 0);
+        assert!(r.key.is_none());
+    }
+}

@@ -1,0 +1,194 @@
+//! Topics: named sets of append-only partition logs with bounded retention.
+
+use crate::record::Record;
+use parking_lot::RwLock;
+
+/// Default per-partition retention (records). Old records are trimmed, and
+/// their offsets remain valid-but-gone (reads clamp forward), matching
+/// log-retention semantics.
+pub const DEFAULT_RETENTION: usize = 1_000_000;
+
+/// One append-only partition log.
+#[derive(Debug)]
+pub struct PartitionLog {
+    inner: RwLock<LogInner>,
+    retention: usize,
+}
+
+#[derive(Debug, Default)]
+struct LogInner {
+    records: std::collections::VecDeque<Record>,
+    /// Offset of `records[0]`.
+    base_offset: u64,
+    /// Next offset to assign.
+    next_offset: u64,
+}
+
+impl PartitionLog {
+    /// Creates an empty log.
+    pub fn new(retention: usize) -> PartitionLog {
+        PartitionLog {
+            inner: RwLock::new(LogInner::default()),
+            retention: retention.max(1),
+        }
+    }
+
+    /// Appends a record; returns its offset.
+    pub fn append(&self, mut record: Record, partition: usize) -> u64 {
+        let mut inner = self.inner.write();
+        let offset = inner.next_offset;
+        record.offset = offset;
+        record.partition = partition;
+        inner.records.push_back(record);
+        inner.next_offset += 1;
+        if inner.records.len() > self.retention {
+            inner.records.pop_front();
+            inner.base_offset += 1;
+        }
+        offset
+    }
+
+    /// Reads up to `max` records starting at `offset` (clamped forward to
+    /// the earliest retained record).
+    pub fn read(&self, offset: u64, max: usize) -> Vec<Record> {
+        let inner = self.inner.read();
+        let start = offset.max(inner.base_offset);
+        if start >= inner.next_offset {
+            return Vec::new();
+        }
+        let idx = (start - inner.base_offset) as usize;
+        inner
+            .records
+            .iter()
+            .skip(idx)
+            .take(max)
+            .cloned()
+            .collect()
+    }
+
+    /// The next offset that will be assigned (= log end).
+    pub fn end_offset(&self) -> u64 {
+        self.inner.read().next_offset
+    }
+
+    /// The earliest retained offset.
+    pub fn begin_offset(&self) -> u64 {
+        self.inner.read().base_offset
+    }
+
+    /// Retained record count.
+    pub fn len(&self) -> usize {
+        self.inner.read().records.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A named topic.
+#[derive(Debug)]
+pub struct Topic {
+    /// Topic name.
+    pub name: String,
+    /// The partition logs.
+    pub partitions: Vec<PartitionLog>,
+}
+
+impl Topic {
+    /// Creates a topic with `partitions` logs.
+    pub fn new(name: impl Into<String>, partitions: usize, retention: usize) -> Topic {
+        Topic {
+            name: name.into(),
+            partitions: (0..partitions.max(1))
+                .map(|_| PartitionLog::new(retention))
+                .collect(),
+        }
+    }
+
+    /// Deterministic partition for a key (keyless records round-robin at
+    /// the producer instead).
+    pub fn partition_for_key(&self, key: &str) -> usize {
+        // FNV-1a over the key bytes.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in key.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        (h % self.partitions.len() as u64) as usize
+    }
+
+    /// Total records currently retained across partitions.
+    pub fn total_len(&self) -> usize {
+        self.partitions.iter().map(PartitionLog::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(v: &str) -> Record {
+        Record::new(None, v, 0)
+    }
+
+    #[test]
+    fn offsets_are_dense_and_monotonic() {
+        let log = PartitionLog::new(100);
+        for i in 0..10 {
+            assert_eq!(log.append(rec(&i.to_string()), 0), i);
+        }
+        assert_eq!(log.end_offset(), 10);
+        assert_eq!(log.begin_offset(), 0);
+    }
+
+    #[test]
+    fn read_from_offset() {
+        let log = PartitionLog::new(100);
+        for i in 0..10 {
+            log.append(rec(&i.to_string()), 3);
+        }
+        let r = log.read(4, 3);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r[0].offset, 4);
+        assert_eq!(r[0].partition, 3);
+        assert_eq!(r[2].value, "6");
+        assert!(log.read(10, 5).is_empty());
+        assert!(log.read(99, 5).is_empty());
+    }
+
+    #[test]
+    fn retention_trims_and_reads_clamp() {
+        let log = PartitionLog::new(5);
+        for i in 0..12 {
+            log.append(rec(&i.to_string()), 0);
+        }
+        assert_eq!(log.len(), 5);
+        assert_eq!(log.begin_offset(), 7);
+        // A stale offset reads from the earliest retained record.
+        let r = log.read(0, 10);
+        assert_eq!(r[0].value, "7");
+        assert_eq!(r.len(), 5);
+    }
+
+    #[test]
+    fn same_key_same_partition() {
+        let topic = Topic::new("t", 8, 100);
+        let p1 = topic.partition_for_key("c0-0c0s0n0");
+        for _ in 0..10 {
+            assert_eq!(topic.partition_for_key("c0-0c0s0n0"), p1);
+        }
+        // Different keys spread at least somewhat.
+        let distinct: std::collections::HashSet<usize> = (0..100)
+            .map(|i| topic.partition_for_key(&format!("c{i}-0c0s0n0")))
+            .collect();
+        assert!(distinct.len() > 3);
+    }
+
+    #[test]
+    fn topic_enforces_min_one_partition() {
+        let topic = Topic::new("t", 0, 10);
+        assert_eq!(topic.partitions.len(), 1);
+    }
+}

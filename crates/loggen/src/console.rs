@@ -1,0 +1,151 @@
+//! Raw console-log text per event type: the cryptic, hex-laden lines the
+//! regex ETL has to cope with.
+
+use crate::events::Occurrence;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Renders the console-facility message text for an occurrence.
+/// (Lustre lines render in [`crate::lustre`]; application lines in
+/// [`crate::jobs`].)
+pub fn render_console(o: &Occurrence, rng: &mut StdRng) -> String {
+    match o.event_type {
+        "MCE" => format!(
+            "Machine Check Exception: bank {}: {:016x} addr {:016x} cpu {}",
+            rng.gen_range(0..6),
+            0xb200_0000_0000_0000u64 | rng.gen::<u32>() as u64,
+            rng.gen_range(0x3f00_0000_0000u64..0x4000_0000_0000),
+            rng.gen_range(0..16),
+        ),
+        "MEM_ECC" => format!(
+            "EDAC MC{}: CE page 0x{:x}, offset 0x{:x}, grain 8, syndrome 0x{:x}, row {}, channel {}",
+            rng.gen_range(0..4),
+            rng.gen_range(0x1000..0xfffff),
+            rng.gen_range(0u32..0x1000) & !0x7,
+            rng.gen_range(1u32..0xff),
+            rng.gen_range(0..8),
+            rng.gen_range(0..2),
+        ),
+        "MEM_UE" => format!(
+            "EDAC MC{}: UE page 0x{:x}, offset 0x0, grain 8, row {} labeled DIMM_{}{}",
+            rng.gen_range(0..4),
+            rng.gen_range(0x1000..0xfffff),
+            rng.gen_range(0..8),
+            ['A', 'B', 'C', 'D'][rng.gen_range(0..4)],
+            rng.gen_range(1..3),
+        ),
+        "GPU_DBE" => format!(
+            "NVRM: Xid (0000:{:02x}:00): 48, Double Bit ECC Error at 0x{:08x}_{:08x}",
+            rng.gen_range(2..4),
+            rng.gen::<u32>() & 0xff,
+            rng.gen::<u32>(),
+        ),
+        "GPU_OFF_BUS" => format!(
+            "NVRM: Xid (0000:{:02x}:00): 79, GPU has fallen off the bus.",
+            rng.gen_range(2..4),
+        ),
+        "GPU_SXM_PWR" => format!(
+            "NVRM: Xid (0000:{:02x}:00): 62, GPU power excursion detected, throttling to {} MHz",
+            rng.gen_range(2..4),
+            [324, 614, 732][rng.gen_range(0..3)],
+        ),
+        "DVS_ERR" => format!(
+            "DVS: file_node_down: removing c{}-{}c{}s{}n{} from list of available servers for {} mount points",
+            rng.gen_range(0..8),
+            rng.gen_range(0..25),
+            rng.gen_range(0..3),
+            rng.gen_range(0..8),
+            rng.gen_range(0..4),
+            rng.gen_range(1..4),
+        ),
+        "NET_LINK" => format!(
+            "HSN detected critical error: Gemini LCB lcb=g{}l{:02} failed; initiating link recovery",
+            o.node / 2,
+            rng.gen_range(0..48),
+        ),
+        "NET_THROTTLE" => format!(
+            "Gemini HSN congestion protection engaged: throttle=on watermark=0x{:02x}",
+            rng.gen_range(0x40u32..0xff),
+        ),
+        "KERNEL_PANIC" => {
+            let causes = [
+                "Fatal exception in interrupt",
+                "Attempted to kill init!",
+                "Out of memory and no killable processes",
+                "hung_task: blocked tasks",
+            ];
+            format!(
+                "Kernel panic - not syncing: {}",
+                causes[rng.gen_range(0..causes.len())]
+            )
+        }
+        other => format!("event {other} reported (code 0x{:04x})", rng.gen::<u16>()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::failure::rng;
+
+    fn occ(t: &'static str) -> Occurrence {
+        Occurrence {
+            ts_ms: 0,
+            event_type: t,
+            node: 42,
+            count: 1,
+        }
+    }
+
+    #[test]
+    fn every_console_type_renders_nonempty() {
+        let mut r = rng(1);
+        for t in [
+            "MCE",
+            "MEM_ECC",
+            "MEM_UE",
+            "GPU_DBE",
+            "GPU_OFF_BUS",
+            "GPU_SXM_PWR",
+            "DVS_ERR",
+            "NET_LINK",
+            "NET_THROTTLE",
+            "KERNEL_PANIC",
+        ] {
+            let text = render_console(&occ(t), &mut r);
+            assert!(!text.is_empty(), "{t}");
+            assert!(text.is_ascii(), "{t}");
+        }
+    }
+
+    #[test]
+    fn mce_line_shape() {
+        let mut r = rng(2);
+        let text = render_console(&occ("MCE"), &mut r);
+        assert!(text.starts_with("Machine Check Exception: bank "));
+        assert!(text.contains(" addr "));
+        assert!(text.contains(" cpu "));
+    }
+
+    #[test]
+    fn gpu_dbe_is_xid_48() {
+        let mut r = rng(3);
+        let text = render_console(&occ("GPU_DBE"), &mut r);
+        assert!(text.contains("Xid"));
+        assert!(text.contains("48, Double Bit ECC Error"));
+    }
+
+    #[test]
+    fn unknown_type_has_fallback() {
+        let mut r = rng(4);
+        let text = render_console(&occ("MYSTERY"), &mut r);
+        assert!(text.contains("MYSTERY"));
+    }
+
+    #[test]
+    fn rendering_is_deterministic_per_seed() {
+        let a = render_console(&occ("MCE"), &mut rng(9));
+        let b = render_console(&occ("MCE"), &mut rng(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,209 @@
+//! The event-type catalog the framework monitors.
+//!
+//! The paper's data model captures "machine check exceptions, memory
+//! errors, GPU failures, GPU memory errors, Lustre file system errors,
+//! data virtualization service errors, network errors, application aborts,
+//! kernel panics, etc."
+
+/// Which subsystem produced an event (drives log facility and templates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventClass {
+    /// CPU machine-check and cache errors.
+    Cpu,
+    /// DRAM errors.
+    Memory,
+    /// GPU board and GPU memory errors.
+    Gpu,
+    /// Lustre filesystem messages.
+    Lustre,
+    /// Cray DVS (data virtualization service).
+    Dvs,
+    /// Gemini interconnect.
+    Network,
+    /// Kernel-level failures.
+    Kernel,
+    /// User application events (from job logs).
+    Application,
+}
+
+/// Severity as recorded in `eventtypes`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational.
+    Info,
+    /// Recovered or correctable.
+    Warning,
+    /// Uncorrectable error.
+    Error,
+    /// Component or node failure.
+    Fatal,
+}
+
+/// One monitored event type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventType {
+    /// Stable identifier (also the `type` partition-key value).
+    pub name: &'static str,
+    /// Producing subsystem.
+    pub class: EventClass,
+    /// Severity class.
+    pub severity: Severity,
+    /// Human description for the `eventtypes` table.
+    pub description: &'static str,
+    /// Baseline occurrence rate per node-hour for background generation.
+    /// Calibrated to produce Titan-plausible volumes (order of magnitude).
+    pub base_rate_per_node_hour: f64,
+}
+
+/// Every event type the synthetic Titan can emit.
+pub const EVENT_CATALOG: &[EventType] = &[
+    EventType {
+        name: "MCE",
+        class: EventClass::Cpu,
+        severity: Severity::Error,
+        description: "Machine check exception reported by an Opteron core",
+        base_rate_per_node_hour: 0.002,
+    },
+    EventType {
+        name: "MEM_ECC",
+        class: EventClass::Memory,
+        severity: Severity::Warning,
+        description: "Correctable DDR3 ECC error",
+        base_rate_per_node_hour: 0.01,
+    },
+    EventType {
+        name: "MEM_UE",
+        class: EventClass::Memory,
+        severity: Severity::Error,
+        description: "Uncorrectable DDR3 memory error",
+        base_rate_per_node_hour: 0.0004,
+    },
+    EventType {
+        name: "GPU_DBE",
+        class: EventClass::Gpu,
+        severity: Severity::Error,
+        description: "K20X double-bit ECC error (Xid 48)",
+        base_rate_per_node_hour: 0.0008,
+    },
+    EventType {
+        name: "GPU_OFF_BUS",
+        class: EventClass::Gpu,
+        severity: Severity::Fatal,
+        description: "GPU has fallen off the bus (Xid 79)",
+        base_rate_per_node_hour: 0.0002,
+    },
+    EventType {
+        name: "GPU_SXM_PWR",
+        class: EventClass::Gpu,
+        severity: Severity::Warning,
+        description: "GPU power/thermal excursion",
+        base_rate_per_node_hour: 0.001,
+    },
+    EventType {
+        name: "LUSTRE_ERR",
+        class: EventClass::Lustre,
+        severity: Severity::Error,
+        description: "Lustre client/server error (LustreError console line)",
+        base_rate_per_node_hour: 0.02,
+    },
+    EventType {
+        name: "LUSTRE_EVICT",
+        class: EventClass::Lustre,
+        severity: Severity::Warning,
+        description: "Lustre client eviction / reconnect cycle",
+        base_rate_per_node_hour: 0.004,
+    },
+    EventType {
+        name: "DVS_ERR",
+        class: EventClass::Dvs,
+        severity: Severity::Error,
+        description: "DVS service error",
+        base_rate_per_node_hour: 0.003,
+    },
+    EventType {
+        name: "NET_LINK",
+        class: EventClass::Network,
+        severity: Severity::Error,
+        description: "Gemini HSN link failure / failover",
+        base_rate_per_node_hour: 0.0006,
+    },
+    EventType {
+        name: "NET_THROTTLE",
+        class: EventClass::Network,
+        severity: Severity::Warning,
+        description: "Gemini congestion throttle engaged",
+        base_rate_per_node_hour: 0.002,
+    },
+    EventType {
+        name: "KERNEL_PANIC",
+        class: EventClass::Kernel,
+        severity: Severity::Fatal,
+        description: "Kernel panic / node down",
+        base_rate_per_node_hour: 0.0001,
+    },
+    EventType {
+        name: "APP_ABORT",
+        class: EventClass::Application,
+        severity: Severity::Error,
+        description: "User application aborted (non-zero exit)",
+        base_rate_per_node_hour: 0.0,
+    },
+];
+
+/// Looks an event type up by name.
+pub fn event_type(name: &str) -> Option<&'static EventType> {
+    EVENT_CATALOG.iter().find(|t| t.name == name)
+}
+
+/// One concrete occurrence (the generator's ground truth).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Occurrence {
+    /// Milliseconds since epoch.
+    pub ts_ms: i64,
+    /// Catalog name.
+    pub event_type: &'static str,
+    /// Dense node index of the source.
+    pub node: usize,
+    /// Occurrence count (coalesced multiplicity).
+    pub count: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_names_are_unique() {
+        let mut names = std::collections::HashSet::new();
+        for t in EVENT_CATALOG {
+            assert!(names.insert(t.name), "duplicate {}", t.name);
+        }
+        assert!(EVENT_CATALOG.len() >= 12);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(event_type("MCE").unwrap().class, EventClass::Cpu);
+        assert_eq!(event_type("GPU_DBE").unwrap().severity, Severity::Error);
+        assert!(event_type("NOPE").is_none());
+    }
+
+    #[test]
+    fn severities_order() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+        assert!(Severity::Error < Severity::Fatal);
+    }
+
+    #[test]
+    fn rates_are_sane() {
+        for t in EVENT_CATALOG {
+            assert!(t.base_rate_per_node_hour >= 0.0, "{}", t.name);
+            assert!(t.base_rate_per_node_hour < 1.0, "{}", t.name);
+        }
+        // Lustre noise dominates background volume, as on real systems.
+        let lustre = event_type("LUSTRE_ERR").unwrap().base_rate_per_node_hour;
+        let panic = event_type("KERNEL_PANIC").unwrap().base_rate_per_node_hour;
+        assert!(lustre > 50.0 * panic);
+    }
+}

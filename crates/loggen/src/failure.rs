@@ -1,0 +1,242 @@
+//! Statistical failure models: Poisson background, spatial bursts,
+//! cascades. Everything is deterministic under a seed.
+
+use crate::events::{Occurrence, EVENT_CATALOG};
+use crate::topology::Topology;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Background generator: independent Poisson processes per (type, node).
+///
+/// Implemented as one aggregated Poisson per type over the whole machine
+/// (rate × nodes), with the node chosen uniformly per event — an exact
+/// equivalent factorization that runs in O(events), not O(nodes).
+pub fn background(
+    topo: &Topology,
+    start_ms: i64,
+    duration_ms: i64,
+    rate_scale: f64,
+    rng: &mut StdRng,
+) -> Vec<Occurrence> {
+    let mut out = Vec::new();
+    let hours = duration_ms as f64 / 3_600_000.0;
+    for etype in EVENT_CATALOG {
+        let lambda = etype.base_rate_per_node_hour * rate_scale * topo.node_count() as f64 * hours;
+        if lambda <= 0.0 {
+            continue;
+        }
+        let n = sample_poisson(lambda, rng);
+        for _ in 0..n {
+            out.push(Occurrence {
+                ts_ms: start_ms + rng.gen_range(0..duration_ms.max(1)),
+                event_type: etype.name,
+                node: rng.gen_range(0..topo.node_count()),
+                count: 1,
+            });
+        }
+    }
+    out.sort_by_key(|o| o.ts_ms);
+    out
+}
+
+/// A spatially correlated burst: one cabinet emits `events` occurrences of
+/// `event_type` within `[start_ms, start_ms + duration_ms)`, concentrated
+/// on a few blades — the paper's Fig 5 "abnormally high in some compute
+/// nodes" pattern.
+pub fn cabinet_burst(
+    topo: &Topology,
+    cabinet: usize,
+    event_type: &'static str,
+    start_ms: i64,
+    duration_ms: i64,
+    events: usize,
+    rng: &mut StdRng,
+) -> Vec<Occurrence> {
+    assert!(cabinet < topo.cabinet_count(), "cabinet out of range");
+    let nodes: Vec<usize> = topo.cabinet_nodes(cabinet).collect();
+    // Hot blades: pick 2-4 blades that absorb ~80% of the burst.
+    let blade_starts: Vec<usize> = {
+        let mut starts: Vec<usize> = nodes.iter().copied().step_by(4).collect();
+        let hot = rng.gen_range(2..=4).min(starts.len());
+        for i in 0..hot {
+            let j = rng.gen_range(i..starts.len());
+            starts.swap(i, j);
+        }
+        starts.truncate(hot);
+        starts
+    };
+    let mut out = Vec::with_capacity(events);
+    for _ in 0..events {
+        let node = if rng.gen_bool(0.8) {
+            let blade = blade_starts[rng.gen_range(0..blade_starts.len())];
+            blade + rng.gen_range(0..4)
+        } else {
+            nodes[rng.gen_range(0..nodes.len())]
+        };
+        out.push(Occurrence {
+            ts_ms: start_ms + rng.gen_range(0..duration_ms.max(1)),
+            event_type,
+            node,
+            count: 1,
+        });
+    }
+    out.sort_by_key(|o| o.ts_ms);
+    out
+}
+
+/// Error propagation: a seed event spawns correlated children on the same
+/// blade, then cabinet, with geometric decay — the "track error
+/// propagation" workload.
+pub fn cascade(
+    topo: &Topology,
+    seed: &Occurrence,
+    child_type: &'static str,
+    spread_ms: i64,
+    fanout: f64,
+    rng: &mut StdRng,
+) -> Vec<Occurrence> {
+    let mut out = Vec::new();
+    let mut frontier = vec![seed.node];
+    let mut t = seed.ts_ms;
+    let mut level_fanout = fanout;
+    // Three propagation levels: blade, cabinet, cabinet again (dampened).
+    for level in 0..3 {
+        let mut next = Vec::new();
+        for &origin in &frontier {
+            let n = sample_poisson(level_fanout, rng);
+            for _ in 0..n {
+                let candidates: Vec<usize> = if level == 0 {
+                    topo.blade_nodes(origin).collect()
+                } else {
+                    let cabinet = origin / crate::topology::NODES_PER_CABINET;
+                    topo.cabinet_nodes(cabinet).collect()
+                };
+                let node = candidates[rng.gen_range(0..candidates.len())];
+                t += rng.gen_range(1..spread_ms.max(2));
+                out.push(Occurrence {
+                    ts_ms: t,
+                    event_type: child_type,
+                    node,
+                    count: 1,
+                });
+                next.push(node);
+            }
+        }
+        frontier = next;
+        level_fanout *= 0.5;
+        if frontier.is_empty() {
+            break;
+        }
+    }
+    out
+}
+
+/// Knuth's Poisson sampler for small lambda; normal approximation above.
+pub fn sample_poisson(lambda: f64, rng: &mut StdRng) -> usize {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let l = (-lambda).exp();
+        let mut k = 0usize;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    } else {
+        // Normal approximation with continuity correction.
+        let u: f64 = rng.gen();
+        let v: f64 = rng.gen();
+        let z = (-2.0 * u.max(1e-12).ln()).sqrt() * (2.0 * std::f64::consts::PI * v).cos();
+        (lambda + z * lambda.sqrt()).round().max(0.0) as usize
+    }
+}
+
+/// Deterministic RNG from a seed (single place, so scenarios reproduce).
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::NODES_PER_CABINET;
+
+    #[test]
+    fn background_is_deterministic_under_seed() {
+        let topo = Topology::scaled(2, 2);
+        let a = background(&topo, 0, 3_600_000, 1.0, &mut rng(7));
+        let b = background(&topo, 0, 3_600_000, 1.0, &mut rng(7));
+        assert_eq!(a, b);
+        let c = background(&topo, 0, 3_600_000, 1.0, &mut rng(8));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn background_volume_tracks_rate_scale() {
+        let topo = Topology::scaled(4, 4);
+        let low = background(&topo, 0, 3_600_000, 1.0, &mut rng(1)).len();
+        let high = background(&topo, 0, 3_600_000, 20.0, &mut rng(1)).len();
+        assert!(high > low * 5, "low={low} high={high}");
+    }
+
+    #[test]
+    fn background_timestamps_within_range_and_sorted() {
+        let topo = Topology::scaled(2, 2);
+        let evs = background(&topo, 500, 1000, 50.0, &mut rng(2));
+        assert!(!evs.is_empty());
+        assert!(evs.iter().all(|o| o.ts_ms >= 500 && o.ts_ms < 1500));
+        assert!(evs.windows(2).all(|w| w[0].ts_ms <= w[1].ts_ms));
+    }
+
+    #[test]
+    fn burst_stays_in_cabinet_and_concentrates() {
+        let topo = Topology::scaled(3, 3);
+        let evs = cabinet_burst(&topo, 4, "MCE", 0, 60_000, 500, &mut rng(3));
+        assert_eq!(evs.len(), 500);
+        assert!(evs
+            .iter()
+            .all(|o| o.node / NODES_PER_CABINET == 4));
+        // Concentration: the busiest blade has far more than a uniform share.
+        let mut per_blade = std::collections::HashMap::new();
+        for o in &evs {
+            *per_blade.entry(o.node / 4).or_insert(0usize) += 1;
+        }
+        let max = per_blade.values().max().copied().unwrap();
+        let uniform = 500 / 24;
+        assert!(max > uniform * 3, "max={max} uniform={uniform}");
+    }
+
+    #[test]
+    fn cascade_spreads_near_the_seed() {
+        let topo = Topology::scaled(2, 2);
+        let seed = Occurrence {
+            ts_ms: 1000,
+            event_type: "NET_LINK",
+            node: 42,
+            count: 1,
+        };
+        let kids = cascade(&topo, &seed, "LUSTRE_ERR", 100, 3.0, &mut rng(4));
+        assert!(!kids.is_empty());
+        let seed_cab = 42 / NODES_PER_CABINET;
+        assert!(kids.iter().all(|o| o.node / NODES_PER_CABINET == seed_cab));
+        assert!(kids.iter().all(|o| o.ts_ms > seed.ts_ms));
+        assert!(kids.iter().all(|o| o.event_type == "LUSTRE_ERR"));
+    }
+
+    #[test]
+    fn poisson_mean_is_roughly_lambda() {
+        let mut r = rng(5);
+        for lambda in [0.5, 5.0, 80.0] {
+            let n = 2000;
+            let total: usize = (0..n).map(|_| sample_poisson(lambda, &mut r)).sum();
+            let mean = total as f64 / n as f64;
+            assert!((mean - lambda).abs() < lambda.max(1.0) * 0.15, "λ={lambda} mean={mean}");
+        }
+        assert_eq!(sample_poisson(0.0, &mut r), 0);
+    }
+}

@@ -1,0 +1,254 @@
+//! Application-run (job) traces: who ran what, where, and how it ended.
+
+use crate::topology::Topology;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// HPC application names typical of the Titan workload mix.
+pub const APPLICATIONS: &[&str] = &[
+    "VASP", "LAMMPS", "GROMACS", "NAMD", "S3D", "CAM-SE", "XGC", "CHIMERA", "DENOVO", "QMCPACK",
+    "LSMS", "DCA++",
+];
+
+/// How a job ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExitStatus {
+    /// Exit code 0.
+    Success,
+    /// Non-zero exit (the code is recorded).
+    Failed(i32),
+    /// Killed at the walltime limit.
+    Walltime,
+}
+
+impl ExitStatus {
+    /// Numeric exit code as the app log reports it.
+    pub fn code(&self) -> i32 {
+        match self {
+            ExitStatus::Success => 0,
+            ExitStatus::Failed(c) => *c,
+            ExitStatus::Walltime => -9,
+        }
+    }
+}
+
+/// One application run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobRecord {
+    /// ALPS-style application id.
+    pub apid: u64,
+    /// Owning user (e.g. `usr0142`).
+    pub user: String,
+    /// Application name.
+    pub app: String,
+    /// Start, ms since epoch.
+    pub start_ms: i64,
+    /// End, ms since epoch.
+    pub end_ms: i64,
+    /// Allocated nodes: contiguous dense-index range `[node_first, node_last]`.
+    pub node_first: usize,
+    /// Last allocated node (inclusive).
+    pub node_last: usize,
+    /// Outcome.
+    pub exit: ExitStatus,
+}
+
+impl JobRecord {
+    /// Number of allocated nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_last - self.node_first + 1
+    }
+
+    /// Iterates allocated node indices.
+    pub fn nodes(&self) -> impl Iterator<Item = usize> {
+        self.node_first..=self.node_last
+    }
+
+    /// Whether the job was running at `ts_ms`.
+    pub fn running_at(&self, ts_ms: i64) -> bool {
+        self.start_ms <= ts_ms && ts_ms < self.end_ms
+    }
+}
+
+/// Job-trace generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct JobGenConfig {
+    /// Mean job arrivals per hour.
+    pub jobs_per_hour: f64,
+    /// Mean job duration in minutes (exponential).
+    pub mean_duration_min: f64,
+    /// Fraction of jobs that fail with a signal/abort code.
+    pub failure_fraction: f64,
+}
+
+impl Default for JobGenConfig {
+    fn default() -> Self {
+        JobGenConfig {
+            jobs_per_hour: 40.0,
+            mean_duration_min: 90.0,
+            failure_fraction: 0.12,
+        }
+    }
+}
+
+/// Generates a job trace over `[start_ms, start_ms + duration_ms)`.
+/// Allocations are contiguous node ranges (power-of-two-ish sizes), the
+/// dominant pattern on a torus machine with a contiguous allocator.
+pub fn generate_jobs(
+    topo: &Topology,
+    cfg: &JobGenConfig,
+    start_ms: i64,
+    duration_ms: i64,
+    rng: &mut StdRng,
+) -> Vec<JobRecord> {
+    let hours = duration_ms as f64 / 3_600_000.0;
+    let n = crate::failure::sample_poisson(cfg.jobs_per_hour * hours, rng);
+    let max_size_log2 = (topo.node_count() as f64).log2().floor() as u32;
+    let mut jobs = Vec::with_capacity(n);
+    for i in 0..n {
+        let size_log2 = rng.gen_range(0..=max_size_log2.min(12));
+        let size = (1usize << size_log2).min(topo.node_count());
+        let first = rng.gen_range(0..=(topo.node_count() - size));
+        let start = start_ms + rng.gen_range(0..duration_ms.max(1));
+        let dur_ms = (-(rng.gen::<f64>().max(1e-9).ln()) * cfg.mean_duration_min * 60_000.0)
+            .clamp(60_000.0, 24.0 * 3_600_000.0) as i64;
+        let exit = {
+            let roll: f64 = rng.gen();
+            if roll < cfg.failure_fraction {
+                ExitStatus::Failed([134, 139, 137, 1][rng.gen_range(0..4)])
+            } else if roll < cfg.failure_fraction + 0.05 {
+                ExitStatus::Walltime
+            } else {
+                ExitStatus::Success
+            }
+        };
+        jobs.push(JobRecord {
+            apid: 1_000_000 + i as u64,
+            user: format!("usr{:04}", rng.gen_range(1..400)),
+            app: APPLICATIONS[rng.gen_range(0..APPLICATIONS.len())].to_owned(),
+            start_ms: start,
+            end_ms: start + dur_ms,
+            node_first: first,
+            node_last: first + size - 1,
+            exit,
+        });
+    }
+    jobs.sort_by_key(|j| j.start_ms);
+    jobs
+}
+
+/// The app-log line emitted at job start.
+pub fn render_start(job: &JobRecord) -> String {
+    format!(
+        "apid {} start user={} app={} nodes={}-{} width={}",
+        job.apid,
+        job.user,
+        job.app,
+        job.node_first,
+        job.node_last,
+        job.node_count()
+    )
+}
+
+/// The app-log line emitted at job end.
+pub fn render_end(job: &JobRecord) -> String {
+    format!(
+        "apid {} end exit={} runtime_s={}",
+        job.apid,
+        job.exit.code(),
+        (job.end_ms - job.start_ms) / 1000
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::failure::rng;
+
+    #[test]
+    fn generation_is_deterministic_and_sorted() {
+        let topo = Topology::scaled(4, 2);
+        let cfg = JobGenConfig::default();
+        let a = generate_jobs(&topo, &cfg, 0, 24 * 3_600_000, &mut rng(1));
+        let b = generate_jobs(&topo, &cfg, 0, 24 * 3_600_000, &mut rng(1));
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        assert!(a.windows(2).all(|w| w[0].start_ms <= w[1].start_ms));
+    }
+
+    #[test]
+    fn allocations_fit_the_machine() {
+        let topo = Topology::scaled(2, 2);
+        let jobs = generate_jobs(&topo, &JobGenConfig::default(), 0, 48 * 3_600_000, &mut rng(2));
+        for j in &jobs {
+            assert!(j.node_last < topo.node_count(), "{j:?}");
+            assert!(j.node_count().is_power_of_two());
+            assert!(j.end_ms > j.start_ms);
+        }
+    }
+
+    #[test]
+    fn exit_mix_has_failures_and_successes() {
+        let topo = Topology::scaled(4, 4);
+        let jobs = generate_jobs(
+            &topo,
+            &JobGenConfig { jobs_per_hour: 500.0, ..Default::default() },
+            0,
+            24 * 3_600_000,
+            &mut rng(3),
+        );
+        let failed = jobs.iter().filter(|j| matches!(j.exit, ExitStatus::Failed(_))).count();
+        let ok = jobs.iter().filter(|j| j.exit == ExitStatus::Success).count();
+        assert!(failed > 0);
+        assert!(ok > failed * 3);
+    }
+
+    #[test]
+    fn running_at_boundaries() {
+        let j = JobRecord {
+            apid: 1,
+            user: "u".into(),
+            app: "VASP".into(),
+            start_ms: 100,
+            end_ms: 200,
+            node_first: 0,
+            node_last: 3,
+            exit: ExitStatus::Success,
+        };
+        assert!(j.running_at(100));
+        assert!(j.running_at(199));
+        assert!(!j.running_at(200));
+        assert!(!j.running_at(99));
+        assert_eq!(j.node_count(), 4);
+    }
+
+    #[test]
+    fn log_lines_carry_the_fields() {
+        let j = JobRecord {
+            apid: 1000001,
+            user: "usr0042".into(),
+            app: "LAMMPS".into(),
+            start_ms: 0,
+            end_ms: 3_600_000,
+            node_first: 128,
+            node_last: 255,
+            exit: ExitStatus::Failed(134),
+        };
+        let s = render_start(&j);
+        assert!(s.contains("apid 1000001"));
+        assert!(s.contains("user=usr0042"));
+        assert!(s.contains("app=LAMMPS"));
+        assert!(s.contains("nodes=128-255"));
+        assert!(s.contains("width=128"));
+        let e = render_end(&j);
+        assert!(e.contains("exit=134"));
+        assert!(e.contains("runtime_s=3600"));
+    }
+
+    #[test]
+    fn exit_codes() {
+        assert_eq!(ExitStatus::Success.code(), 0);
+        assert_eq!(ExitStatus::Failed(139).code(), 139);
+        assert_eq!(ExitStatus::Walltime.code(), -9);
+    }
+}

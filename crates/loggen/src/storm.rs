@@ -1,0 +1,118 @@
+//! The system-wide Lustre storm (paper Fig 7, bottom): one object storage
+//! target stops responding and "tens of thousands Lustre error messages"
+//! flood in from "most of compute nodes and applications running therein"
+//! within minutes.
+
+use crate::events::Occurrence;
+use crate::failure::sample_poisson;
+use crate::topology::Topology;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Storm parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct StormSpec {
+    /// The OST that goes unresponsive (index into the fleet).
+    pub ost: u16,
+    /// Storm start, ms since epoch.
+    pub start_ms: i64,
+    /// Storm duration, ms ("lasted several minutes").
+    pub duration_ms: i64,
+    /// Fraction of compute nodes afflicted ("most of compute nodes").
+    pub afflicted_fraction: f64,
+    /// Mean error messages per afflicted node over the storm.
+    pub mean_messages_per_node: f64,
+}
+
+impl Default for StormSpec {
+    fn default() -> Self {
+        StormSpec {
+            ost: 0x41,
+            start_ms: 0,
+            duration_ms: 6 * 60_000,
+            afflicted_fraction: 0.85,
+            mean_messages_per_node: 4.0,
+        }
+    }
+}
+
+/// Generates the storm's ground-truth occurrences: `LUSTRE_ERR` events on
+/// afflicted nodes, clustered into the storm window with a ramp-up peak.
+pub fn generate_storm(topo: &Topology, spec: &StormSpec, rng: &mut StdRng) -> Vec<Occurrence> {
+    let mut out = Vec::new();
+    for node in 0..topo.node_count() {
+        if !rng.gen_bool(spec.afflicted_fraction.clamp(0.0, 1.0)) {
+            continue;
+        }
+        let n = sample_poisson(spec.mean_messages_per_node, rng);
+        for _ in 0..n {
+            // Bias toward the first half of the window: an initial burst of
+            // timeouts, then retries tapering off.
+            let u: f64 = rng.gen::<f64>();
+            let frac = u * u;
+            out.push(Occurrence {
+                ts_ms: spec.start_ms + (frac * spec.duration_ms as f64) as i64,
+                event_type: "LUSTRE_ERR",
+                node,
+                count: 1,
+            });
+        }
+    }
+    out.sort_by_key(|o| o.ts_ms);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::failure::rng;
+
+    #[test]
+    fn storm_floods_most_nodes() {
+        let topo = Topology::scaled(4, 2);
+        let spec = StormSpec::default();
+        let storm = generate_storm(&topo, &spec, &mut rng(1));
+        let afflicted: std::collections::HashSet<usize> =
+            storm.iter().map(|o| o.node).collect();
+        let frac = afflicted.len() as f64 / topo.node_count() as f64;
+        assert!(frac > 0.7, "only {frac} of nodes afflicted");
+        // Volume matches "tens of thousands" scaled to topology size.
+        assert!(storm.len() > topo.node_count() * 2, "{}", storm.len());
+    }
+
+    #[test]
+    fn storm_fits_the_window_and_peaks_early() {
+        let topo = Topology::scaled(2, 2);
+        let spec = StormSpec {
+            start_ms: 1_000_000,
+            duration_ms: 300_000,
+            ..Default::default()
+        };
+        let storm = generate_storm(&topo, &spec, &mut rng(2));
+        assert!(storm
+            .iter()
+            .all(|o| o.ts_ms >= 1_000_000 && o.ts_ms < 1_300_000));
+        let first_half = storm.iter().filter(|o| o.ts_ms < 1_150_000).count();
+        assert!(first_half * 2 > storm.len(), "ramp-up peak expected");
+    }
+
+    #[test]
+    fn zero_fraction_is_silent() {
+        let topo = Topology::scaled(1, 1);
+        let spec = StormSpec {
+            afflicted_fraction: 0.0,
+            ..Default::default()
+        };
+        assert!(generate_storm(&topo, &spec, &mut rng(3)).is_empty());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let topo = Topology::scaled(2, 2);
+        let spec = StormSpec::default();
+        assert_eq!(
+            generate_storm(&topo, &spec, &mut rng(7)),
+            generate_storm(&topo, &spec, &mut rng(7))
+        );
+    }
+}

@@ -1,0 +1,240 @@
+//! The physical system: cabinets on a floor grid, cages, blades, nodes.
+//!
+//! Titan's layout per the paper: "Each blade/slot ... consists of four
+//! nodes. Each cage has eight such blades and a cabinet contains three
+//! such cages. The complete system consists of 200 cabinets that are
+//! organized in a grid of 25 rows and 8 columns." Gemini routers "are
+//! shared between a pair of nodes".
+
+/// Cages per cabinet.
+pub const CAGES_PER_CABINET: usize = 3;
+/// Blades (slots) per cage.
+pub const BLADES_PER_CAGE: usize = 8;
+/// Nodes per blade.
+pub const NODES_PER_BLADE: usize = 4;
+/// Nodes per cabinet.
+pub const NODES_PER_CABINET: usize = CAGES_PER_CABINET * BLADES_PER_CAGE * NODES_PER_BLADE;
+
+/// A physical compute-node position.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct NodeInfo {
+    /// Dense node index in `0..topology.node_count()`.
+    pub index: usize,
+    /// Floor-grid row of the cabinet.
+    pub row: usize,
+    /// Floor-grid column of the cabinet.
+    pub col: usize,
+    /// Cage within the cabinet (0..3).
+    pub cage: usize,
+    /// Blade/slot within the cage (0..8).
+    pub slot: usize,
+    /// Node within the blade (0..4).
+    pub node: usize,
+    /// Cray component name, e.g. `c3-2c1s4n2` (column, row, cage, slot, node).
+    pub cname: String,
+    /// Gemini router id shared by node pairs (n0/n1 and n2/n3).
+    pub gemini: usize,
+}
+
+impl NodeInfo {
+    /// Cabinet index in row-major floor order.
+    pub fn cabinet(&self, cols: usize) -> usize {
+        self.row * cols + self.col
+    }
+
+    /// Blade identity: `(cabinet-local cage, slot)` flattened globally.
+    pub fn blade_index(&self, cols: usize) -> usize {
+        self.cabinet(cols) * CAGES_PER_CABINET * BLADES_PER_CAGE
+            + self.cage * BLADES_PER_CAGE
+            + self.slot
+    }
+}
+
+/// A (possibly scaled-down) Titan-like system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    /// Cabinet rows on the floor.
+    pub rows: usize,
+    /// Cabinet columns on the floor.
+    pub cols: usize,
+}
+
+impl Topology {
+    /// Full Titan: 25 rows × 8 columns = 200 cabinets, 19 200 node slots.
+    pub fn titan() -> Topology {
+        Topology { rows: 25, cols: 8 }
+    }
+
+    /// A scaled-down system for tests and laptops.
+    pub fn scaled(rows: usize, cols: usize) -> Topology {
+        assert!(rows > 0 && cols > 0, "topology needs at least one cabinet");
+        Topology { rows, cols }
+    }
+
+    /// Cabinets on the floor.
+    pub fn cabinet_count(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Total node slots.
+    pub fn node_count(&self) -> usize {
+        self.cabinet_count() * NODES_PER_CABINET
+    }
+
+    /// Total blades.
+    pub fn blade_count(&self) -> usize {
+        self.cabinet_count() * CAGES_PER_CABINET * BLADES_PER_CAGE
+    }
+
+    /// Builds the [`NodeInfo`] for a dense index.
+    pub fn node(&self, index: usize) -> NodeInfo {
+        assert!(index < self.node_count(), "node index out of range");
+        let cabinet = index / NODES_PER_CABINET;
+        let within = index % NODES_PER_CABINET;
+        let row = cabinet / self.cols;
+        let col = cabinet % self.cols;
+        let cage = within / (BLADES_PER_CAGE * NODES_PER_BLADE);
+        let slot = (within / NODES_PER_BLADE) % BLADES_PER_CAGE;
+        let node = within % NODES_PER_BLADE;
+        NodeInfo {
+            index,
+            row,
+            col,
+            cage,
+            slot,
+            node,
+            cname: format!("c{col}-{row}c{cage}s{slot}n{node}"),
+            // One Gemini per node pair: n0/n1 share, n2/n3 share.
+            gemini: index / 2,
+        }
+    }
+
+    /// Parses a Cray cname back to a dense index.
+    pub fn parse_cname(&self, cname: &str) -> Option<usize> {
+        // Format: c{col}-{row}c{cage}s{slot}n{node}
+        let rest = cname.strip_prefix('c')?;
+        let (col, rest) = split_num(rest)?;
+        let rest = rest.strip_prefix('-')?;
+        let (row, rest) = split_num(rest)?;
+        let rest = rest.strip_prefix('c')?;
+        let (cage, rest) = split_num(rest)?;
+        let rest = rest.strip_prefix('s')?;
+        let (slot, rest) = split_num(rest)?;
+        let rest = rest.strip_prefix('n')?;
+        let (node, rest) = split_num(rest)?;
+        if !rest.is_empty() {
+            return None;
+        }
+        if row >= self.rows
+            || col >= self.cols
+            || cage >= CAGES_PER_CABINET
+            || slot >= BLADES_PER_CAGE
+            || node >= NODES_PER_BLADE
+        {
+            return None;
+        }
+        let cabinet = row * self.cols + col;
+        Some(
+            cabinet * NODES_PER_CABINET
+                + cage * BLADES_PER_CAGE * NODES_PER_BLADE
+                + slot * NODES_PER_BLADE
+                + node,
+        )
+    }
+
+    /// All nodes in a cabinet.
+    pub fn cabinet_nodes(&self, cabinet: usize) -> impl Iterator<Item = usize> {
+        let start = cabinet * NODES_PER_CABINET;
+        start..start + NODES_PER_CABINET
+    }
+
+    /// All nodes on the same blade as `index`.
+    pub fn blade_nodes(&self, index: usize) -> impl Iterator<Item = usize> {
+        let start = (index / NODES_PER_BLADE) * NODES_PER_BLADE;
+        start..start + NODES_PER_BLADE
+    }
+
+    /// Iterates every node.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeInfo> + '_ {
+        (0..self.node_count()).map(|i| self.node(i))
+    }
+}
+
+fn split_num(s: &str) -> Option<(usize, &str)> {
+    let end = s.find(|c: char| !c.is_ascii_digit()).unwrap_or(s.len());
+    if end == 0 {
+        return None;
+    }
+    Some((s[..end].parse().ok()?, &s[end..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn titan_dimensions_match_paper() {
+        let t = Topology::titan();
+        assert_eq!(t.cabinet_count(), 200);
+        assert_eq!(t.node_count(), 19_200);
+        assert_eq!(t.blade_count(), 4_800);
+        assert_eq!(NODES_PER_CABINET, 96);
+    }
+
+    #[test]
+    fn cname_format_roundtrips() {
+        let t = Topology::titan();
+        for idx in [0, 1, 95, 96, 1234, 19_199] {
+            let info = t.node(idx);
+            assert_eq!(t.parse_cname(&info.cname), Some(idx), "{}", info.cname);
+        }
+    }
+
+    #[test]
+    fn cname_components_are_in_range() {
+        let t = Topology::scaled(2, 3);
+        for info in t.nodes() {
+            assert!(info.row < 2);
+            assert!(info.col < 3);
+            assert!(info.cage < CAGES_PER_CABINET);
+            assert!(info.slot < BLADES_PER_CAGE);
+            assert!(info.node < NODES_PER_BLADE);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage_and_out_of_range() {
+        let t = Topology::scaled(2, 2);
+        for bad in ["", "c0-0", "x0-0c0s0n0", "c0-0c0s0n9", "c9-0c0s0n0", "c0-9c0s0n0", "c0-0c0s0n0x", "c--0c0s0n0"] {
+            assert_eq!(t.parse_cname(bad), None, "{bad}");
+        }
+    }
+
+    #[test]
+    fn gemini_shared_by_pairs() {
+        let t = Topology::titan();
+        assert_eq!(t.node(0).gemini, t.node(1).gemini);
+        assert_eq!(t.node(2).gemini, t.node(3).gemini);
+        assert_ne!(t.node(1).gemini, t.node(2).gemini);
+    }
+
+    #[test]
+    fn cabinet_and_blade_grouping() {
+        let t = Topology::scaled(3, 3);
+        let nodes: Vec<usize> = t.cabinet_nodes(4).collect();
+        assert_eq!(nodes.len(), NODES_PER_CABINET);
+        assert_eq!(nodes[0], 4 * NODES_PER_CABINET);
+        let blade: Vec<usize> = t.blade_nodes(7).collect();
+        assert_eq!(blade, vec![4, 5, 6, 7]);
+        // blade_index is consistent for all nodes of a blade.
+        let a = t.node(4).blade_index(t.cols);
+        let b = t.node(7).blade_index(t.cols);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn node_index_bounds_checked() {
+        Topology::scaled(1, 1).node(96);
+    }
+}

@@ -1,0 +1,302 @@
+//! Scenario assembly: background + bursts + storms + jobs, rendered into
+//! one time-sorted raw log with ground truth attached.
+
+use crate::console::render_console;
+use crate::events::{event_type, EventClass, Occurrence};
+use crate::failure::{background, cabinet_burst, rng};
+use crate::jobs::{generate_jobs, render_end, render_start, JobGenConfig, JobRecord};
+use crate::lustre::{render_error, render_evict};
+use crate::storm::{generate_storm, StormSpec};
+use crate::topology::Topology;
+use rand::rngs::StdRng;
+
+/// Which log stream a line belongs to (the paper ingests "console,
+/// application and network logs").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Facility {
+    /// Node console stream.
+    Console,
+    /// Application/scheduler (ALPS) stream.
+    App,
+    /// Network (HSN) stream.
+    Net,
+}
+
+impl Facility {
+    /// Stream label as it appears in the raw line.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Facility::Console => "console",
+            Facility::App => "app",
+            Facility::Net => "netwatch",
+        }
+    }
+}
+
+/// One raw log line before ETL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawLine {
+    /// Event time, ms since epoch.
+    pub ts_ms: i64,
+    /// Source stream.
+    pub facility: Facility,
+    /// Source component (node cname, or a service name for app/net lines).
+    pub source: String,
+    /// Message text.
+    pub text: String,
+}
+
+impl RawLine {
+    /// Serializes to the on-the-wire format the ETL parses:
+    /// `<ts_ms> <facility> <source> <text>`.
+    pub fn render(&self) -> String {
+        format!(
+            "{} {} {} {}",
+            self.ts_ms,
+            self.facility.label(),
+            self.source,
+            self.text
+        )
+    }
+}
+
+/// A spatially concentrated burst to inject.
+#[derive(Debug, Clone, Copy)]
+pub struct BurstSpec {
+    /// Target cabinet.
+    pub cabinet: usize,
+    /// Event type name from the catalog.
+    pub event_type: &'static str,
+    /// Start, ms since epoch.
+    pub start_ms: i64,
+    /// Window length.
+    pub duration_ms: i64,
+    /// Number of occurrences.
+    pub events: usize,
+}
+
+/// Everything a scenario needs.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Scenario start, ms since epoch.
+    pub start_ms: i64,
+    /// Scenario length.
+    pub duration_ms: i64,
+    /// Multiplier on catalog background rates.
+    pub rate_scale: f64,
+    /// Injected cabinet bursts.
+    pub bursts: Vec<BurstSpec>,
+    /// Optional system-wide Lustre storm.
+    pub storm: Option<StormSpec>,
+    /// Job-trace parameters.
+    pub jobs: JobGenConfig,
+}
+
+impl ScenarioConfig {
+    /// A quiet day: background rates only.
+    pub fn quiet_day(hours: i64) -> ScenarioConfig {
+        ScenarioConfig {
+            start_ms: 1_500_000_000_000, // 2017-07-14, the paper's era
+            duration_ms: hours * 3_600_000,
+            rate_scale: 1.0,
+            bursts: Vec::new(),
+            storm: None,
+            jobs: JobGenConfig::default(),
+        }
+    }
+
+    /// Fig 5's shape: background plus an MCE hotspot in one cabinet.
+    pub fn mce_hotspot(hours: i64, cabinet: usize) -> ScenarioConfig {
+        let mut cfg = ScenarioConfig::quiet_day(hours);
+        cfg.bursts.push(BurstSpec {
+            cabinet,
+            event_type: "MCE",
+            start_ms: cfg.start_ms + cfg.duration_ms / 3,
+            duration_ms: (cfg.duration_ms / 3).max(1),
+            events: 400,
+        });
+        cfg
+    }
+
+    /// Fig 7's shape: background plus a mid-day Lustre storm.
+    pub fn storm_day(hours: i64, ost: u16) -> ScenarioConfig {
+        let mut cfg = ScenarioConfig::quiet_day(hours);
+        cfg.storm = Some(StormSpec {
+            ost,
+            start_ms: cfg.start_ms + cfg.duration_ms / 2,
+            ..Default::default()
+        });
+        cfg
+    }
+}
+
+/// A generated scenario: raw lines plus the ground truth behind them.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Time-sorted raw log lines (ETL input).
+    pub lines: Vec<RawLine>,
+    /// Ground-truth occurrences, time-sorted (for validating the pipeline).
+    pub truth: Vec<Occurrence>,
+    /// Ground-truth job trace.
+    pub jobs: Vec<JobRecord>,
+}
+
+impl Scenario {
+    /// Generates a scenario deterministically from a seed.
+    pub fn generate(topo: &Topology, cfg: &ScenarioConfig, seed: u64) -> Scenario {
+        let mut r = rng(seed);
+        let mut truth = background(topo, cfg.start_ms, cfg.duration_ms, cfg.rate_scale, &mut r);
+        for burst in &cfg.bursts {
+            truth.extend(cabinet_burst(
+                topo,
+                burst.cabinet,
+                burst.event_type,
+                burst.start_ms,
+                burst.duration_ms,
+                burst.events,
+                &mut r,
+            ));
+        }
+        // Storm occurrences are tracked separately while rendering so their
+        // Lustre lines all blame the same OST.
+        let storm = cfg
+            .storm
+            .as_ref()
+            .map(|spec| (spec.ost, generate_storm(topo, spec, &mut r)));
+        let jobs = generate_jobs(topo, &cfg.jobs, cfg.start_ms, cfg.duration_ms, &mut r);
+
+        let mut lines: Vec<RawLine> =
+            Vec::with_capacity(truth.len() + jobs.len() * 2 + storm.as_ref().map_or(0, |(_, s)| s.len()));
+        for occ in &truth {
+            lines.push(render_occurrence(topo, occ, None, &mut r));
+        }
+        if let Some((ost, storm_occs)) = &storm {
+            for occ in storm_occs {
+                lines.push(render_occurrence(topo, occ, Some(*ost), &mut r));
+            }
+            truth.extend(storm_occs.iter().cloned());
+        }
+        for job in &jobs {
+            lines.push(RawLine {
+                ts_ms: job.start_ms,
+                facility: Facility::App,
+                source: "alps".to_owned(),
+                text: render_start(job),
+            });
+            lines.push(RawLine {
+                ts_ms: job.end_ms,
+                facility: Facility::App,
+                source: "alps".to_owned(),
+                text: render_end(job),
+            });
+        }
+        lines.sort_by(|a, b| a.ts_ms.cmp(&b.ts_ms).then_with(|| a.source.cmp(&b.source)));
+        truth.sort_by_key(|o| o.ts_ms);
+        Scenario { lines, truth, jobs }
+    }
+}
+
+fn render_occurrence(
+    topo: &Topology,
+    occ: &Occurrence,
+    forced_ost: Option<u16>,
+    r: &mut StdRng,
+) -> RawLine {
+    let cname = topo.node(occ.node).cname;
+    let etype = event_type(occ.event_type).expect("catalog type");
+    let (facility, text) = match (etype.class, occ.event_type) {
+        (EventClass::Lustre, "LUSTRE_EVICT") => (Facility::Console, render_evict(occ, r)),
+        (EventClass::Lustre, _) => (Facility::Console, render_error(occ, forced_ost, r)),
+        (EventClass::Network, _) => (Facility::Net, render_console(occ, r)),
+        (EventClass::Application, _) => (Facility::App, render_console(occ, r)),
+        _ => (Facility::Console, render_console(occ, r)),
+    };
+    RawLine {
+        ts_ms: occ.ts_ms,
+        facility,
+        source: cname,
+        text,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_day_produces_sorted_attributable_lines() {
+        let topo = Topology::scaled(2, 2);
+        let s = Scenario::generate(&topo, &ScenarioConfig::quiet_day(12), 42);
+        assert!(!s.lines.is_empty());
+        assert!(s.lines.windows(2).all(|w| w[0].ts_ms <= w[1].ts_ms));
+        // Line volume = occurrences + 2 log lines per job.
+        assert_eq!(s.lines.len(), s.truth.len() + 2 * s.jobs.len());
+    }
+
+    #[test]
+    fn generation_is_reproducible() {
+        let topo = Topology::scaled(2, 2);
+        let cfg = ScenarioConfig::quiet_day(6);
+        let a = Scenario::generate(&topo, &cfg, 9);
+        let b = Scenario::generate(&topo, &cfg, 9);
+        assert_eq!(a.lines, b.lines);
+        assert_eq!(a.truth, b.truth);
+        assert_eq!(a.jobs, b.jobs);
+    }
+
+    #[test]
+    fn storm_day_floods_with_forced_ost() {
+        let topo = Topology::scaled(2, 2);
+        let s = Scenario::generate(&topo, &ScenarioConfig::storm_day(2, 0x41), 1);
+        let storm_lines = s
+            .lines
+            .iter()
+            .filter(|l| l.text.contains("OST0041"))
+            .count();
+        assert!(storm_lines > 100, "{storm_lines}");
+    }
+
+    #[test]
+    fn hotspot_cabinet_dominates_mce() {
+        let topo = Topology::scaled(3, 3);
+        let s = Scenario::generate(&topo, &ScenarioConfig::mce_hotspot(6, 4), 5);
+        let mce: Vec<&Occurrence> = s.truth.iter().filter(|o| o.event_type == "MCE").collect();
+        let in_hot = mce
+            .iter()
+            .filter(|o| o.node / crate::topology::NODES_PER_CABINET == 4)
+            .count();
+        assert!(in_hot * 2 > mce.len(), "{in_hot}/{}", mce.len());
+    }
+
+    #[test]
+    fn raw_line_render_format() {
+        let l = RawLine {
+            ts_ms: 1_500_000_000_123,
+            facility: Facility::Console,
+            source: "c0-0c0s0n0".to_owned(),
+            text: "Machine Check Exception: bank 1".to_owned(),
+        };
+        assert_eq!(
+            l.render(),
+            "1500000000123 console c0-0c0s0n0 Machine Check Exception: bank 1"
+        );
+    }
+
+    #[test]
+    fn facilities_route_by_class() {
+        let topo = Topology::scaled(2, 2);
+        let s = Scenario::generate(
+            &topo,
+            &ScenarioConfig {
+                rate_scale: 30.0,
+                ..ScenarioConfig::quiet_day(6)
+            },
+            3,
+        );
+        let facs: std::collections::HashSet<Facility> =
+            s.lines.iter().map(|l| l.facility).collect();
+        assert!(facs.contains(&Facility::Console));
+        assert!(facs.contains(&Facility::App));
+        assert!(facs.contains(&Facility::Net));
+    }
+}

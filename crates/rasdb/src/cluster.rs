@@ -1,0 +1,950 @@
+//! The cluster: a masterless ring of storage nodes plus coordinator logic
+//! (replication, consistency levels, hinted handoff, read repair).
+
+use crate::commitlog::Mutation;
+use crate::cql;
+use crate::error::DbError;
+use crate::memtable::RowEntry;
+use crate::node::{NodeConfig, StorageNode};
+use crate::partitioner::{token_for, Token};
+use crate::query::{
+    clustering_bounds, CmpOp, Consistency, Predicate, ReadPlan, SelectStatement, Statement,
+};
+use crate::ring::{NodeId, Ring};
+use crate::schema::{KeyRole, TableSchema};
+use crate::stats::StatsSnapshot;
+use crate::types::{Key, Row, Value};
+use parking_lot::{Mutex, RwLock};
+use std::collections::{BTreeMap, HashMap};
+use std::ops::Bound;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Cluster construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterConfig {
+    /// Number of physical nodes.
+    pub nodes: usize,
+    /// Replication factor.
+    pub replication_factor: usize,
+    /// Virtual nodes per physical node.
+    pub vnodes: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            nodes: 4,
+            replication_factor: 3,
+            vnodes: 16,
+        }
+    }
+}
+
+/// Result of a `SELECT` through CQL: rows or a write acknowledgment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecResult {
+    /// Rows from a select.
+    Rows(Vec<Row>),
+    /// Statement applied (insert/delete/create).
+    Applied,
+}
+
+/// An in-process distributed database.
+pub struct Cluster {
+    ring: Ring,
+    nodes: Vec<Arc<StorageNode>>,
+    schemas: RwLock<HashMap<String, TableSchema>>,
+    clock: AtomicU64,
+    hints: Mutex<HashMap<NodeId, Vec<Mutation>>>,
+}
+
+impl Cluster {
+    /// Builds a cluster with default node tuning.
+    pub fn new(cfg: ClusterConfig) -> Cluster {
+        Cluster::with_node_config(cfg, NodeConfig::default())
+    }
+
+    /// Builds a cluster with explicit node tuning.
+    pub fn with_node_config(cfg: ClusterConfig, node_cfg: NodeConfig) -> Cluster {
+        let ring = Ring::new(cfg.nodes, cfg.vnodes, cfg.replication_factor);
+        let nodes = (0..cfg.nodes)
+            .map(|i| Arc::new(StorageNode::new(NodeId(i), node_cfg)))
+            .collect();
+        Cluster {
+            ring,
+            nodes,
+            schemas: RwLock::new(HashMap::new()),
+            clock: AtomicU64::new(1),
+            hints: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The token ring (placement inspection, locality-aware scheduling).
+    pub fn ring(&self) -> &Ring {
+        &self.ring
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Access to a node (tests, stats, locality scans).
+    pub fn node(&self, id: NodeId) -> &Arc<StorageNode> {
+        &self.nodes[id.0]
+    }
+
+    /// Registers a table on every node.
+    pub fn create_table(&self, schema: TableSchema) -> Result<(), DbError> {
+        let mut schemas = self.schemas.write();
+        if schemas.contains_key(&schema.name) {
+            return Err(DbError::TableExists(schema.name));
+        }
+        for node in &self.nodes {
+            node.create_table(&schema.name);
+        }
+        schemas.insert(schema.name.clone(), schema);
+        Ok(())
+    }
+
+    /// Looks up a table schema.
+    pub fn schema(&self, table: &str) -> Option<TableSchema> {
+        self.schemas.read().get(table).cloned()
+    }
+
+    /// All table names.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.schemas.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Next logical write timestamp.
+    fn next_write_ts(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Inserts one row.
+    pub fn insert(
+        &self,
+        table: &str,
+        values: Vec<(&str, Value)>,
+        consistency: Consistency,
+    ) -> Result<(), DbError> {
+        let owned: Vec<(String, Value)> = values
+            .into_iter()
+            .map(|(n, v)| (n.to_owned(), v))
+            .collect();
+        self.insert_owned(table, owned, consistency)
+    }
+
+    /// Inserts one row with owned column names.
+    pub fn insert_owned(
+        &self,
+        table: &str,
+        values: Vec<(String, Value)>,
+        consistency: Consistency,
+    ) -> Result<(), DbError> {
+        let schema = self
+            .schema(table)
+            .ok_or_else(|| DbError::NoSuchTable(table.to_owned()))?;
+        schema.validate_insert(&values)?;
+        let (pk, ck, cells) = schema.split_insert(values);
+        let mutation = Mutation::upsert(
+            table,
+            Key(pk),
+            Key(ck),
+            cells,
+            self.next_write_ts(),
+        );
+        self.write_mutation(mutation, consistency)
+    }
+
+    /// Applies a batch of pre-validated inserts (ETL fast path). Each item
+    /// is `(column, value)` pairs; the whole batch shares one consistency
+    /// level. Returns the number applied.
+    pub fn insert_batch(
+        &self,
+        table: &str,
+        batch: Vec<Vec<(String, Value)>>,
+        consistency: Consistency,
+    ) -> Result<usize, DbError> {
+        let schema = self
+            .schema(table)
+            .ok_or_else(|| DbError::NoSuchTable(table.to_owned()))?;
+        let mut applied = 0;
+        for values in batch {
+            schema.validate_insert(&values)?;
+            let (pk, ck, cells) = schema.split_insert(values);
+            let m = Mutation::upsert(table, Key(pk), Key(ck), cells, self.next_write_ts());
+            self.write_mutation(m, consistency)?;
+            applied += 1;
+        }
+        Ok(applied)
+    }
+
+    /// Deletes one clustered row.
+    pub fn delete(
+        &self,
+        table: &str,
+        partition: Vec<Value>,
+        clustering: Vec<Value>,
+        consistency: Consistency,
+    ) -> Result<(), DbError> {
+        if self.schema(table).is_none() {
+            return Err(DbError::NoSuchTable(table.to_owned()));
+        }
+        let m = Mutation::delete(
+            table,
+            Key(partition),
+            Key(clustering),
+            self.next_write_ts(),
+        );
+        self.write_mutation(m, consistency)
+    }
+
+    fn write_mutation(&self, m: Mutation, consistency: Consistency) -> Result<(), DbError> {
+        let token = token_for(&m.partition);
+        let replicas = self.ring.replicas(token);
+        let required = consistency.required(replicas.len());
+        let mut acks = 0;
+        for id in &replicas {
+            let node = &self.nodes[id.0];
+            if node.apply(&m) {
+                acks += 1;
+            } else {
+                // Hinted handoff: remember the mutation for the down node.
+                self.hints.lock().entry(*id).or_default().push(m.clone());
+            }
+        }
+        if acks >= required {
+            Ok(())
+        } else {
+            Err(DbError::Unavailable {
+                required,
+                received: acks,
+            })
+        }
+    }
+
+    /// Marks a node down (failure injection).
+    pub fn take_node_down(&self, id: NodeId) {
+        self.nodes[id.0].set_up(false);
+    }
+
+    /// Brings a node back up and replays its hints.
+    pub fn bring_node_up(&self, id: NodeId) {
+        self.nodes[id.0].set_up(true);
+        let hints = self.hints.lock().remove(&id).unwrap_or_default();
+        for m in hints {
+            self.nodes[id.0].apply(&m);
+        }
+    }
+
+    /// Pending hint count for a node (tests).
+    pub fn pending_hints(&self, id: NodeId) -> usize {
+        self.hints.lock().get(&id).map_or(0, Vec::len)
+    }
+
+    /// Starts a fluent select.
+    pub fn select<'c>(&'c self, table: &str) -> SelectBuilder<'c> {
+        SelectBuilder {
+            cluster: self,
+            table: table.to_owned(),
+            partition: Vec::new(),
+            prefix: Vec::new(),
+            lower: None,
+            upper: None,
+            limit: None,
+            descending: false,
+        }
+    }
+
+    /// Executes a resolved read plan.
+    pub fn read(&self, plan: &ReadPlan, consistency: Consistency) -> Result<Vec<Row>, DbError> {
+        let schema = self
+            .schema(&plan.table)
+            .ok_or_else(|| DbError::NoSuchTable(plan.table.clone()))?;
+        if plan.partition.0.len() != schema.partition_key.len() {
+            return Err(DbError::BadQuery(format!(
+                "partition key for '{}' needs {} components, got {}",
+                plan.table,
+                schema.partition_key.len(),
+                plan.partition.0.len()
+            )));
+        }
+        let token = token_for(&plan.partition);
+        let replicas = self.ring.replicas(token);
+        let required = consistency.required(replicas.len());
+
+        let mut responses: Vec<(NodeId, Vec<(Key, RowEntry)>)> = Vec::new();
+        for id in &replicas {
+            if let Some(raw) = self.nodes[id.0].read_raw(&plan.table, &plan.partition, &plan.range)
+            {
+                responses.push((*id, raw));
+            }
+            if responses.len() >= required {
+                break;
+            }
+        }
+        if responses.len() < required {
+            return Err(DbError::Unavailable {
+                required,
+                received: responses.len(),
+            });
+        }
+
+        // Merge replica responses (LWW per cell).
+        let mut merged: BTreeMap<Key, RowEntry> = BTreeMap::new();
+        for (_, raw) in &responses {
+            for (ck, entry) in raw {
+                match merged.remove(ck) {
+                    None => {
+                        merged.insert(ck.clone(), entry.clone());
+                    }
+                    Some(existing) => {
+                        merged.insert(ck.clone(), RowEntry::merge(existing, entry.clone()));
+                    }
+                }
+            }
+        }
+
+        // Read repair: push the merged state back to replicas that answered
+        // with stale or missing rows.
+        if responses.len() > 1 {
+            self.read_repair(&plan.table, &plan.partition, &merged, &responses);
+        }
+
+        let mut rows: Vec<Row> = merged
+            .into_iter()
+            .filter_map(|(ck, e)| {
+                e.visible().map(|cells| Row {
+                    clustering: ck,
+                    cells,
+                })
+            })
+            .collect();
+        if plan.descending {
+            rows.reverse();
+        }
+        if let Some(limit) = plan.limit {
+            rows.truncate(limit);
+        }
+        Ok(rows)
+    }
+
+    fn read_repair(
+        &self,
+        table: &str,
+        partition: &Key,
+        merged: &BTreeMap<Key, RowEntry>,
+        responses: &[(NodeId, Vec<(Key, RowEntry)>)],
+    ) {
+        for (id, raw) in responses {
+            let theirs: HashMap<&Key, &RowEntry> = raw.iter().map(|(k, e)| (k, e)).collect();
+            for (ck, entry) in merged {
+                let stale = theirs.get(ck).is_none_or(|have| *have != entry);
+                if !stale {
+                    continue;
+                }
+                let m = Mutation {
+                    table: table.to_owned(),
+                    partition: partition.clone(),
+                    clustering: ck.clone(),
+                    cells: entry
+                        .cells
+                        .iter()
+                        .map(|(n, c)| (n.clone(), c.clone()))
+                        .collect(),
+                    row_delete: entry.deleted_at,
+                };
+                self.nodes[id.0].apply(&m);
+            }
+        }
+    }
+
+    /// Executes a CQL statement.
+    pub fn execute(&self, cql_text: &str, consistency: Consistency) -> Result<ExecResult, DbError> {
+        let stmt = cql::parse_statement(cql_text)?;
+        self.execute_statement(stmt, consistency)
+    }
+
+    /// Executes a parsed statement.
+    pub fn execute_statement(
+        &self,
+        stmt: Statement,
+        consistency: Consistency,
+    ) -> Result<ExecResult, DbError> {
+        match stmt {
+            Statement::CreateTable(schema) => {
+                self.create_table(schema)?;
+                Ok(ExecResult::Applied)
+            }
+            Statement::Insert { table, values } => {
+                let schema = self
+                    .schema(&table)
+                    .ok_or_else(|| DbError::NoSuchTable(table.clone()))?;
+                let mut typed = Vec::with_capacity(values.len());
+                for (col, lit) in values {
+                    let def = schema.column(&col).ok_or_else(|| {
+                        DbError::SchemaViolation(format!("unknown column '{col}'"))
+                    })?;
+                    let v = lit.coerce(def.ctype).ok_or_else(|| {
+                        DbError::SchemaViolation(format!(
+                            "literal {lit:?} does not fit column '{col}' ({})",
+                            def.ctype.cql_name()
+                        ))
+                    })?;
+                    typed.push((col, v));
+                }
+                self.insert_owned(&table, typed, consistency)?;
+                Ok(ExecResult::Applied)
+            }
+            Statement::Select(sel) => {
+                let plan = self.plan_select(&sel)?;
+                let mut rows = self.read(&plan, consistency)?;
+                if let Some(cols) = &sel.columns {
+                    let schema = self
+                        .schema(&sel.table)
+                        .ok_or_else(|| DbError::NoSuchTable(sel.table.clone()))?;
+                    for col in cols {
+                        if schema.column(col).is_none() {
+                            return Err(DbError::BadQuery(format!(
+                                "unknown column '{col}' in projection"
+                            )));
+                        }
+                    }
+                    for row in &mut rows {
+                        row.cells.retain(|name, _| cols.iter().any(|c| c == name));
+                    }
+                }
+                Ok(ExecResult::Rows(rows))
+            }
+            Statement::Delete { table, predicates } => {
+                let schema = self
+                    .schema(&table)
+                    .ok_or_else(|| DbError::NoSuchTable(table.clone()))?;
+                let mut pk = Vec::new();
+                let mut ck = Vec::new();
+                for col in schema.partition_key.iter().chain(&schema.clustering_key) {
+                    let p = predicates
+                        .iter()
+                        .find(|p| p.column == col.name && p.op == CmpOp::Eq)
+                        .ok_or_else(|| {
+                            DbError::BadQuery(format!(
+                                "DELETE requires '{}' pinned by equality",
+                                col.name
+                            ))
+                        })?;
+                    let v = p.value.coerce(col.ctype).ok_or_else(|| {
+                        DbError::SchemaViolation(format!("bad literal for '{}'", col.name))
+                    })?;
+                    match schema.role_of(&col.name) {
+                        Some(KeyRole::Partition) => pk.push(v),
+                        _ => ck.push(v),
+                    }
+                }
+                self.delete(&table, pk, ck, consistency)?;
+                Ok(ExecResult::Applied)
+            }
+        }
+    }
+
+    /// Turns a parsed `SELECT` into a read plan, enforcing the CQL-style
+    /// restrictions: all partition keys pinned by equality; clustering keys
+    /// constrained as an equality prefix plus at most one ranged component.
+    pub fn plan_select(&self, sel: &SelectStatement) -> Result<ReadPlan, DbError> {
+        let schema = self
+            .schema(&sel.table)
+            .ok_or_else(|| DbError::NoSuchTable(sel.table.clone()))?;
+
+        let mut partition = Vec::with_capacity(schema.partition_key.len());
+        for col in &schema.partition_key {
+            let p = sel
+                .predicates
+                .iter()
+                .find(|p| p.column == col.name)
+                .ok_or_else(|| {
+                    DbError::BadQuery(format!("partition key '{}' must be constrained", col.name))
+                })?;
+            if p.op != CmpOp::Eq {
+                return Err(DbError::BadQuery(format!(
+                    "partition key '{}' only supports '='",
+                    col.name
+                )));
+            }
+            partition.push(p.value.coerce(col.ctype).ok_or_else(|| {
+                DbError::SchemaViolation(format!("bad literal for '{}'", col.name))
+            })?);
+        }
+
+        // Clustering: equality prefix, then optionally one ranged column.
+        let mut prefix = Vec::new();
+        let mut lower = None;
+        let mut upper = None;
+        let mut ranged = false;
+        for col in &schema.clustering_key {
+            let preds: Vec<&Predicate> = sel
+                .predicates
+                .iter()
+                .filter(|p| p.column == col.name)
+                .collect();
+            if preds.is_empty() {
+                break;
+            }
+            if ranged {
+                return Err(DbError::BadQuery(format!(
+                    "clustering column '{}' constrained after a ranged column",
+                    col.name
+                )));
+            }
+            if preds.len() == 1 && preds[0].op == CmpOp::Eq {
+                prefix.push(preds[0].value.coerce(col.ctype).ok_or_else(|| {
+                    DbError::SchemaViolation(format!("bad literal for '{}'", col.name))
+                })?);
+                continue;
+            }
+            for p in preds {
+                let v = p.value.coerce(col.ctype).ok_or_else(|| {
+                    DbError::SchemaViolation(format!("bad literal for '{}'", col.name))
+                })?;
+                match p.op {
+                    CmpOp::Eq => {
+                        return Err(DbError::BadQuery(format!(
+                            "cannot mix '=' and ranges on '{}'",
+                            col.name
+                        )))
+                    }
+                    CmpOp::Gt => lower = Some((v, false)),
+                    CmpOp::Ge => lower = Some((v, true)),
+                    CmpOp::Lt => upper = Some((v, false)),
+                    CmpOp::Le => upper = Some((v, true)),
+                }
+            }
+            ranged = true;
+        }
+
+        // Reject predicates on unknown/regular columns (no filtering).
+        for p in &sel.predicates {
+            match schema.role_of(&p.column) {
+                Some(KeyRole::Partition) | Some(KeyRole::Clustering) => {}
+                Some(KeyRole::Regular) => {
+                    return Err(DbError::BadQuery(format!(
+                        "predicate on regular column '{}' unsupported",
+                        p.column
+                    )))
+                }
+                None => {
+                    return Err(DbError::BadQuery(format!("unknown column '{}'", p.column)))
+                }
+            }
+        }
+
+        let range = clustering_bounds(prefix, lower, upper, schema.clustering_key.len());
+        Ok(ReadPlan {
+            table: sel.table.clone(),
+            partition: Key(partition),
+            range,
+            limit: sel.limit,
+            descending: sel.descending,
+        })
+    }
+
+    /// The replica set that owns a partition key of `table`.
+    pub fn owners(&self, partition: &Key) -> Vec<NodeId> {
+        self.ring.replicas(token_for(partition))
+    }
+
+    /// The token of a partition key.
+    pub fn token_of(&self, partition: &Key) -> Token {
+        token_for(partition)
+    }
+
+    /// Partition keys whose *primary* replica is `node` (locality scans).
+    pub fn local_partition_keys(&self, table: &str, node: NodeId) -> Vec<Key> {
+        self.nodes[node.0]
+            .local_partition_keys(table)
+            .into_iter()
+            .filter(|k| self.ring.primary(token_for(k)) == node)
+            .collect()
+    }
+
+    /// Flushes every table on every node (benches, deterministic reads).
+    pub fn flush_all(&self) {
+        let tables = self.table_names();
+        for node in &self.nodes {
+            for t in &tables {
+                node.flush(t);
+                node.maybe_compact(t);
+            }
+        }
+    }
+
+    /// Aggregated stats across nodes.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.nodes
+            .iter()
+            .fold(StatsSnapshot::default(), |acc, n| acc.add(&n.stats()))
+    }
+}
+
+/// Fluent `SELECT` builder for programmatic queries.
+pub struct SelectBuilder<'c> {
+    cluster: &'c Cluster,
+    table: String,
+    partition: Vec<Value>,
+    prefix: Vec<Value>,
+    lower: Option<(Value, bool)>,
+    upper: Option<(Value, bool)>,
+    limit: Option<usize>,
+    descending: bool,
+}
+
+impl<'c> SelectBuilder<'c> {
+    /// Sets the full partition key.
+    pub fn partition(mut self, key: Vec<Value>) -> Self {
+        self.partition = key;
+        self
+    }
+
+    /// Adds an equality constraint on the next clustering component.
+    pub fn clustering_eq(mut self, value: Value) -> Self {
+        self.prefix.push(value);
+        self
+    }
+
+    /// Inclusive lower bound on the next clustering component.
+    pub fn from_inclusive(mut self, value: Value) -> Self {
+        self.lower = Some((value, true));
+        self
+    }
+
+    /// Exclusive upper bound on the next clustering component.
+    pub fn to_exclusive(mut self, value: Value) -> Self {
+        self.upper = Some((value, false));
+        self
+    }
+
+    /// Inclusive upper bound on the next clustering component.
+    pub fn to_inclusive(mut self, value: Value) -> Self {
+        self.upper = Some((value, true));
+        self
+    }
+
+    /// Limits the number of rows returned.
+    pub fn limit(mut self, n: usize) -> Self {
+        self.limit = Some(n);
+        self
+    }
+
+    /// Returns rows in reverse clustering order.
+    pub fn descending(mut self) -> Self {
+        self.descending = true;
+        self
+    }
+
+    /// Runs the read.
+    pub fn run(self, consistency: Consistency) -> Result<Vec<Row>, DbError> {
+        let schema = self
+            .cluster
+            .schema(&self.table)
+            .ok_or_else(|| DbError::NoSuchTable(self.table.clone()))?;
+        let range = clustering_bounds(
+            self.prefix,
+            self.lower,
+            self.upper,
+            schema.clustering_key.len(),
+        );
+        let plan = ReadPlan {
+            table: self.table,
+            partition: Key(self.partition),
+            range,
+            limit: self.limit,
+            descending: self.descending,
+        };
+        self.cluster.read(&plan, consistency)
+    }
+}
+
+/// Convenience: an unbounded clustering range.
+pub fn full_range() -> (Bound<Key>, Bound<Key>) {
+    (Bound::Unbounded, Bound::Unbounded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnType;
+
+    fn events_cluster(nodes: usize, rf: usize) -> Cluster {
+        let c = Cluster::new(ClusterConfig {
+            nodes,
+            replication_factor: rf,
+            vnodes: 8,
+        });
+        c.create_table(
+            TableSchema::builder("event_by_time")
+                .partition_key("hour", ColumnType::BigInt)
+                .partition_key("type", ColumnType::Text)
+                .clustering_key("ts", ColumnType::Timestamp)
+                .column("source", ColumnType::Text)
+                .column("amount", ColumnType::Int)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        c
+    }
+
+    fn put(c: &Cluster, hour: i64, typ: &str, ts: i64, src: &str, cl: Consistency) {
+        c.insert(
+            "event_by_time",
+            vec![
+                ("hour", Value::BigInt(hour)),
+                ("type", Value::text(typ)),
+                ("ts", Value::Timestamp(ts)),
+                ("source", Value::text(src)),
+                ("amount", Value::Int(1)),
+            ],
+            cl,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn insert_select_roundtrip() {
+        let c = events_cluster(4, 3);
+        for ts in 0..50 {
+            put(&c, 1, "MCE", ts, "c0-0c0s0n0", Consistency::Quorum);
+        }
+        let rows = c
+            .select("event_by_time")
+            .partition(vec![Value::BigInt(1), Value::text("MCE")])
+            .run(Consistency::Quorum)
+            .unwrap();
+        assert_eq!(rows.len(), 50);
+        // Time-series order.
+        assert!(rows.windows(2).all(|w| w[0].clustering < w[1].clustering));
+    }
+
+    #[test]
+    fn range_limit_descending() {
+        let c = events_cluster(4, 3);
+        for ts in 0..100 {
+            put(&c, 1, "MCE", ts, "n", Consistency::One);
+        }
+        let rows = c
+            .select("event_by_time")
+            .partition(vec![Value::BigInt(1), Value::text("MCE")])
+            .from_inclusive(Value::Timestamp(10))
+            .to_exclusive(Value::Timestamp(20))
+            .run(Consistency::One)
+            .unwrap();
+        assert_eq!(rows.len(), 10);
+
+        let rows = c
+            .select("event_by_time")
+            .partition(vec![Value::BigInt(1), Value::text("MCE")])
+            .descending()
+            .limit(3)
+            .run(Consistency::One)
+            .unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].clustering, Key(vec![Value::Timestamp(99)]));
+    }
+
+    #[test]
+    fn quorum_survives_one_node_down_with_rf3() {
+        let c = events_cluster(5, 3);
+        put(&c, 7, "MCE", 1, "n", Consistency::All);
+        let owners = c.owners(&Key(vec![Value::BigInt(7), Value::text("MCE")]));
+        c.take_node_down(owners[0]);
+        // Quorum still works…
+        put(&c, 7, "MCE", 2, "n", Consistency::Quorum);
+        let rows = c
+            .select("event_by_time")
+            .partition(vec![Value::BigInt(7), Value::text("MCE")])
+            .run(Consistency::Quorum)
+            .unwrap();
+        assert_eq!(rows.len(), 2);
+        // …but ALL fails.
+        let err = c
+            .select("event_by_time")
+            .partition(vec![Value::BigInt(7), Value::text("MCE")])
+            .run(Consistency::All)
+            .unwrap_err();
+        assert!(matches!(err, DbError::Unavailable { .. }));
+    }
+
+    #[test]
+    fn write_fails_when_too_many_replicas_down() {
+        let c = events_cluster(3, 3);
+        let owners = c.owners(&Key(vec![Value::BigInt(7), Value::text("MCE")]));
+        c.take_node_down(owners[0]);
+        c.take_node_down(owners[1]);
+        let err = c
+            .insert(
+                "event_by_time",
+                vec![
+                    ("hour", Value::BigInt(7)),
+                    ("type", Value::text("MCE")),
+                    ("ts", Value::Timestamp(1)),
+                ],
+                Consistency::Quorum,
+            )
+            .unwrap_err();
+        assert!(matches!(err, DbError::Unavailable { required: 2, received: 1 }));
+    }
+
+    #[test]
+    fn hinted_handoff_catches_up_recovered_node() {
+        let c = events_cluster(3, 3);
+        let pkey = Key(vec![Value::BigInt(7), Value::text("MCE")]);
+        let owners = c.owners(&pkey);
+        c.take_node_down(owners[2]);
+        put(&c, 7, "MCE", 1, "n", Consistency::Quorum);
+        put(&c, 7, "MCE", 2, "n", Consistency::Quorum);
+        assert_eq!(c.pending_hints(owners[2]), 2);
+        c.bring_node_up(owners[2]);
+        assert_eq!(c.pending_hints(owners[2]), 0);
+        // The recovered node can now serve the data alone.
+        for other in &owners[..2] {
+            c.take_node_down(*other);
+        }
+        let rows = c
+            .select("event_by_time")
+            .partition(vec![Value::BigInt(7), Value::text("MCE")])
+            .run(Consistency::One)
+            .unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn read_repair_heals_stale_replica() {
+        let c = events_cluster(3, 3);
+        let pkey = Key(vec![Value::BigInt(7), Value::text("MCE")]);
+        let owners = c.owners(&pkey);
+        // Write while one replica is down (hint stored but not delivered).
+        c.take_node_down(owners[2]);
+        put(&c, 7, "MCE", 1, "n", Consistency::Quorum);
+        // Bring it up WITHOUT hints (simulate hint loss).
+        c.nodes[owners[2].0].set_up(true);
+        c.hints.lock().clear();
+        // A quorum read touches the stale node only if it is among the
+        // first `required` responders; read at ALL to force it.
+        let rows = c
+            .select("event_by_time")
+            .partition(vec![Value::BigInt(7), Value::text("MCE")])
+            .run(Consistency::All)
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        // After repair, the once-stale replica can serve alone.
+        c.take_node_down(owners[0]);
+        c.take_node_down(owners[1]);
+        let rows = c
+            .select("event_by_time")
+            .partition(vec![Value::BigInt(7), Value::text("MCE")])
+            .run(Consistency::One)
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn select_requires_full_partition_key() {
+        let c = events_cluster(3, 2);
+        let err = c
+            .select("event_by_time")
+            .partition(vec![Value::BigInt(1)])
+            .run(Consistency::One)
+            .unwrap_err();
+        assert!(matches!(err, DbError::BadQuery(_)));
+    }
+
+    #[test]
+    fn duplicate_create_table_rejected() {
+        let c = events_cluster(2, 1);
+        let err = c
+            .create_table(
+                TableSchema::builder("event_by_time")
+                    .partition_key("x", ColumnType::Int)
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, DbError::TableExists(_)));
+    }
+
+    #[test]
+    fn lww_across_replicas() {
+        let c = events_cluster(4, 3);
+        put(&c, 1, "MCE", 5, "first", Consistency::All);
+        put(&c, 1, "MCE", 5, "second", Consistency::All);
+        let rows = c
+            .select("event_by_time")
+            .partition(vec![Value::BigInt(1), Value::text("MCE")])
+            .run(Consistency::All)
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].cell("source"), Some(&Value::text("second")));
+    }
+
+    #[test]
+    fn delete_then_read_is_empty() {
+        let c = events_cluster(3, 2);
+        put(&c, 1, "MCE", 5, "n", Consistency::All);
+        c.delete(
+            "event_by_time",
+            vec![Value::BigInt(1), Value::text("MCE")],
+            vec![Value::Timestamp(5)],
+            Consistency::All,
+        )
+        .unwrap();
+        let rows = c
+            .select("event_by_time")
+            .partition(vec![Value::BigInt(1), Value::text("MCE")])
+            .run(Consistency::All)
+            .unwrap();
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn cql_projection_filters_cells() {
+        let c = events_cluster(3, 2);
+        put(&c, 1, "MCE", 5, "nodeA", Consistency::All);
+        let out = c
+            .execute(
+                "SELECT source FROM event_by_time WHERE hour = 1 AND type = 'MCE'",
+                Consistency::All,
+            )
+            .unwrap();
+        let ExecResult::Rows(rows) = out else { panic!() };
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].cells.len(), 1);
+        assert_eq!(rows[0].cell("source"), Some(&Value::text("nodeA")));
+        assert_eq!(rows[0].cell("amount"), None);
+        // Unknown projected column is a clean error.
+        let err = c
+            .execute(
+                "SELECT bogus FROM event_by_time WHERE hour = 1 AND type = 'MCE'",
+                Consistency::All,
+            )
+            .unwrap_err();
+        assert!(matches!(err, DbError::BadQuery(_)));
+    }
+
+    #[test]
+    fn local_partition_keys_cover_all_partitions_once() {
+        let c = events_cluster(4, 2);
+        for hour in 0..24 {
+            put(&c, hour, "MCE", 1, "n", Consistency::All);
+        }
+        let mut seen = std::collections::HashSet::new();
+        for n in 0..c.node_count() {
+            for k in c.local_partition_keys("event_by_time", NodeId(n)) {
+                assert!(seen.insert(k), "primary ownership must be unique");
+            }
+        }
+        assert_eq!(seen.len(), 24);
+    }
+}

@@ -1,0 +1,183 @@
+//! Size-tiered compaction: merge similar-sized SSTables into one run.
+
+use crate::memtable::RowEntry;
+use crate::sstable::SsTable;
+use crate::types::Key;
+use std::collections::BTreeMap;
+
+/// Size-tiered strategy parameters (Cassandra defaults scaled down).
+#[derive(Debug, Clone, Copy)]
+pub struct CompactionConfig {
+    /// Minimum number of similar-sized tables before a merge triggers.
+    pub min_threshold: usize,
+    /// Tables within `bucket_ratio` of each other share a bucket.
+    pub bucket_ratio: f64,
+}
+
+impl Default for CompactionConfig {
+    fn default() -> Self {
+        CompactionConfig {
+            min_threshold: 4,
+            bucket_ratio: 2.0,
+        }
+    }
+}
+
+/// Picks the indices of tables to merge, or `None` when no bucket is ripe.
+pub fn pick_bucket(tables: &[SsTable], cfg: &CompactionConfig) -> Option<Vec<usize>> {
+    if tables.len() < cfg.min_threshold {
+        return None;
+    }
+    // Sort indices by size, then greedily bucket neighbours whose sizes are
+    // within the ratio.
+    let mut by_size: Vec<usize> = (0..tables.len()).collect();
+    by_size.sort_by_key(|&i| tables[i].cell_count());
+    let mut bucket: Vec<usize> = Vec::new();
+    for &i in &by_size {
+        let fits = bucket.last().is_none_or(|&j| {
+            let a = tables[j].cell_count().max(1) as f64;
+            let b = tables[i].cell_count().max(1) as f64;
+            b / a <= cfg.bucket_ratio
+        });
+        if fits {
+            bucket.push(i);
+        } else if bucket.len() >= cfg.min_threshold {
+            break;
+        } else {
+            bucket.clear();
+            bucket.push(i);
+        }
+    }
+    if bucket.len() >= cfg.min_threshold {
+        Some(bucket)
+    } else {
+        None
+    }
+}
+
+/// Merges tables into a single run with last-write-wins semantics.
+/// Tombstoned cells older than their row tombstone are dropped; the
+/// tombstones themselves are retained (no GC grace modelled).
+pub fn merge(tables: Vec<SsTable>, sequence: u64) -> SsTable {
+    let mut merged: BTreeMap<Key, BTreeMap<Key, RowEntry>> = BTreeMap::new();
+    for table in tables {
+        for (pk, rows) in table.into_partitions() {
+            let part = merged.entry(pk).or_default();
+            for (ck, entry) in rows {
+                match part.remove(&ck) {
+                    None => {
+                        part.insert(ck, entry);
+                    }
+                    Some(existing) => {
+                        part.insert(ck, RowEntry::merge(existing, entry));
+                    }
+                }
+            }
+        }
+    }
+    // Drop cells shadowed by their row tombstone to reclaim space.
+    let data: Vec<(Key, Vec<(Key, RowEntry)>)> = merged
+        .into_iter()
+        .map(|(pk, rows)| {
+            let rows = rows
+                .into_iter()
+                .map(|(ck, mut e)| {
+                    if let Some(ts) = e.deleted_at {
+                        e.cells.retain(|_, c| c.write_ts > ts);
+                    }
+                    (ck, e)
+                })
+                .collect();
+            (pk, rows)
+        })
+        .collect();
+    SsTable::build(sequence, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memtable::full_range;
+    use crate::types::{Cell, Value};
+
+    fn pk(h: i64) -> Key {
+        Key(vec![Value::BigInt(h)])
+    }
+
+    fn ck(ts: i64) -> Key {
+        Key(vec![Value::Timestamp(ts)])
+    }
+
+    fn table_with(seq: u64, h: i64, ts: i64, v: i32, write_ts: u64) -> SsTable {
+        let mut e = RowEntry::default();
+        e.upsert([("v".to_owned(), Cell::live(Value::Int(v), write_ts))]);
+        SsTable::build(seq, vec![(pk(h), vec![(ck(ts), e)])])
+    }
+
+    #[test]
+    fn merge_applies_lww_across_tables() {
+        let old = table_with(1, 1, 5, 10, 100);
+        let new = table_with(2, 1, 5, 20, 200);
+        let merged = merge(vec![old, new], 3);
+        assert_eq!(merged.partition_count(), 1);
+        let rows = merged.read_raw(&pk(1), &full_range(), true);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(
+            rows[0].1.cells.get("v").unwrap().value,
+            Some(Value::Int(20))
+        );
+        // Merge order must not matter.
+        let old = table_with(1, 1, 5, 10, 100);
+        let new = table_with(2, 1, 5, 20, 200);
+        let merged2 = merge(vec![new, old], 3);
+        let rows2 = merged2.read_raw(&pk(1), &full_range(), true);
+        assert_eq!(rows[0].1, rows2[0].1);
+    }
+
+    #[test]
+    fn merge_keeps_distinct_rows() {
+        let a = table_with(1, 1, 1, 1, 1);
+        let b = table_with(2, 1, 2, 2, 1);
+        let c = table_with(3, 2, 1, 3, 1);
+        let merged = merge(vec![a, b, c], 4);
+        assert_eq!(merged.partition_count(), 2);
+        assert_eq!(merged.read_raw(&pk(1), &full_range(), true).len(), 2);
+    }
+
+    #[test]
+    fn tombstone_drops_shadowed_cells_but_survives() {
+        let live = table_with(1, 1, 1, 7, 10);
+        let mut dead_entry = RowEntry::default();
+        dead_entry.delete(20);
+        let dead = SsTable::build(2, vec![(pk(1), vec![(ck(1), dead_entry)])]);
+        let merged = merge(vec![live, dead], 3);
+        let rows = merged.read_raw(&pk(1), &full_range(), true);
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].1.cells.is_empty(), "shadowed cell reclaimed");
+        assert_eq!(rows[0].1.deleted_at, Some(20));
+        assert!(rows[0].1.visible().is_none());
+    }
+
+    #[test]
+    fn bucket_requires_threshold_and_similar_sizes() {
+        let cfg = CompactionConfig::default();
+        let small: Vec<SsTable> = (0..4).map(|i| table_with(i, i as i64, 1, 1, 1)).collect();
+        assert!(pick_bucket(&small[..3], &cfg).is_none(), "below threshold");
+        let got = pick_bucket(&small, &cfg).unwrap();
+        assert_eq!(got.len(), 4);
+
+        // One giant table must not bucket with four tiny ones.
+        let mut mixed = small;
+        let big_rows: Vec<(Key, RowEntry)> = (0..1000)
+            .map(|t| {
+                let mut e = RowEntry::default();
+                e.upsert([("v".to_owned(), Cell::live(Value::Int(1), 1))]);
+                (ck(t), e)
+            })
+            .collect();
+        mixed.push(SsTable::build(9, vec![(pk(99), big_rows)]));
+        let got = pick_bucket(&mixed, &cfg).unwrap();
+        assert_eq!(got.len(), 4, "giant table excluded from the bucket");
+        assert!(!got.contains(&4));
+    }
+}

@@ -1,0 +1,58 @@
+//! Error type shared by the storage and query layers.
+
+use std::fmt;
+
+/// Anything that can go wrong in `rasdb`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// Table already exists.
+    TableExists(String),
+    /// Referenced table does not exist.
+    NoSuchTable(String),
+    /// Statement or mutation does not fit the table schema.
+    SchemaViolation(String),
+    /// Not enough live replicas acknowledged the operation.
+    Unavailable {
+        /// Acks required by the consistency level.
+        required: usize,
+        /// Acks actually received.
+        received: usize,
+    },
+    /// CQL text failed to parse.
+    Parse(String),
+    /// Malformed query (e.g. partition key not fully specified).
+    BadQuery(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::TableExists(t) => write!(f, "table '{t}' already exists"),
+            DbError::NoSuchTable(t) => write!(f, "no such table '{t}'"),
+            DbError::SchemaViolation(m) => write!(f, "schema violation: {m}"),
+            DbError::Unavailable { required, received } => write!(
+                f,
+                "unavailable: required {required} replica acks, received {received}"
+            ),
+            DbError::Parse(m) => write!(f, "CQL parse error: {m}"),
+            DbError::BadQuery(m) => write!(f, "bad query: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DbError::Unavailable {
+            required: 2,
+            received: 1,
+        };
+        assert!(e.to_string().contains("required 2"));
+        assert!(DbError::NoSuchTable("x".into()).to_string().contains("'x'"));
+    }
+}

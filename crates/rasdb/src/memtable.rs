@@ -1,0 +1,294 @@
+//! In-memory write buffer: partitions → clustering-sorted rows.
+
+use crate::types::{Cell, Key, Row, Value};
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// Stored form of one clustered row: named cells plus an optional row
+/// tombstone. A cell is visible only if it is newer than the tombstone.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RowEntry {
+    /// Cells by column name.
+    pub cells: BTreeMap<String, Cell>,
+    /// Row-level delete timestamp, if any.
+    pub deleted_at: Option<u64>,
+}
+
+impl RowEntry {
+    /// Applies new cells (last-write-wins per cell).
+    pub fn upsert(&mut self, cells: impl IntoIterator<Item = (String, Cell)>) {
+        for (name, cell) in cells {
+            match self.cells.get_mut(&name) {
+                Some(existing) => *existing = Cell::merge(existing, &cell),
+                None => {
+                    self.cells.insert(name, cell);
+                }
+            }
+        }
+    }
+
+    /// Marks the whole row deleted at `ts`.
+    pub fn delete(&mut self, ts: u64) {
+        self.deleted_at = Some(self.deleted_at.map_or(ts, |old| old.max(ts)));
+    }
+
+    /// Merges two stored versions of the same row.
+    pub fn merge(mut a: RowEntry, b: RowEntry) -> RowEntry {
+        if let Some(ts) = b.deleted_at {
+            a.delete(ts);
+        }
+        a.upsert(b.cells);
+        a
+    }
+
+    /// Materializes the visible cells, honoring tombstones. Returns `None`
+    /// when nothing is visible (fully deleted row).
+    pub fn visible(&self) -> Option<BTreeMap<String, Value>> {
+        let floor = self.deleted_at;
+        let cells: BTreeMap<String, Value> = self
+            .cells
+            .iter()
+            .filter(|(_, c)| floor.is_none_or(|ts| c.write_ts > ts))
+            .filter_map(|(n, c)| c.value.clone().map(|v| (n.clone(), v)))
+            .collect();
+        if cells.is_empty() {
+            None
+        } else {
+            Some(cells)
+        }
+    }
+
+    /// Number of stored cells (size accounting).
+    pub fn weight(&self) -> usize {
+        self.cells.len() + 1
+    }
+}
+
+/// One partition: clustering key → row, kept sorted (the paper's
+/// "time series representation of events that is one hour long").
+pub type Partition = BTreeMap<Key, RowEntry>;
+
+/// The memtable for a single table on a single node.
+#[derive(Debug, Default)]
+pub struct Memtable {
+    partitions: BTreeMap<Key, Partition>,
+    weight: usize,
+}
+
+impl Memtable {
+    /// Creates an empty memtable.
+    pub fn new() -> Memtable {
+        Memtable::default()
+    }
+
+    /// Upserts cells into a clustered row.
+    pub fn upsert(
+        &mut self,
+        partition: Key,
+        clustering: Key,
+        cells: Vec<(String, Cell)>,
+    ) {
+        let row = self
+            .partitions
+            .entry(partition)
+            .or_default()
+            .entry(clustering)
+            .or_default();
+        self.weight -= row.weight().min(self.weight);
+        row.upsert(cells);
+        self.weight += row.weight();
+    }
+
+    /// Row-level delete.
+    pub fn delete_row(&mut self, partition: Key, clustering: Key, ts: u64) {
+        let row = self
+            .partitions
+            .entry(partition)
+            .or_default()
+            .entry(clustering)
+            .or_default();
+        row.delete(ts);
+        self.weight += 1;
+    }
+
+    /// Reads raw row entries of one partition within a clustering range.
+    pub fn read_raw(
+        &self,
+        partition: &Key,
+        range: (Bound<Key>, Bound<Key>),
+    ) -> Vec<(Key, RowEntry)> {
+        match self.partitions.get(partition) {
+            None => Vec::new(),
+            Some(p) => p
+                .range(range)
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        }
+    }
+
+    /// Materialized read of one partition (visible rows only).
+    pub fn read(
+        &self,
+        partition: &Key,
+        range: (Bound<Key>, Bound<Key>),
+    ) -> Vec<Row> {
+        self.read_raw(partition, range)
+            .into_iter()
+            .filter_map(|(k, e)| {
+                e.visible().map(|cells| Row {
+                    clustering: k,
+                    cells,
+                })
+            })
+            .collect()
+    }
+
+    /// Approximate size in cells; drives flush decisions.
+    pub fn weight(&self) -> usize {
+        self.weight
+    }
+
+    /// Number of partitions currently buffered.
+    pub fn partition_count(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.partitions.is_empty()
+    }
+
+    /// Drains the memtable into sorted `(partition, rows)` pairs for an
+    /// SSTable flush.
+    pub fn drain_sorted(&mut self) -> Vec<(Key, Vec<(Key, RowEntry)>)> {
+        self.weight = 0;
+        std::mem::take(&mut self.partitions)
+            .into_iter()
+            .map(|(pk, p)| (pk, p.into_iter().collect()))
+            .collect()
+    }
+
+    /// Iterates all partition keys (for token-range scans).
+    pub fn partition_keys(&self) -> impl Iterator<Item = &Key> {
+        self.partitions.keys()
+    }
+}
+
+/// Convenience: full unbounded clustering range.
+pub fn full_range() -> (Bound<Key>, Bound<Key>) {
+    (Bound::Unbounded, Bound::Unbounded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pk(h: i64) -> Key {
+        Key(vec![Value::BigInt(h)])
+    }
+
+    fn ck(ts: i64) -> Key {
+        Key(vec![Value::Timestamp(ts)])
+    }
+
+    fn cellv(v: i32, ts: u64) -> Cell {
+        Cell::live(Value::Int(v), ts)
+    }
+
+    #[test]
+    fn rows_stay_sorted_by_clustering_key() {
+        let mut m = Memtable::new();
+        for ts in [5i64, 1, 3, 2, 4] {
+            m.upsert(pk(1), ck(ts), vec![("amount".into(), cellv(ts as i32, 1))]);
+        }
+        let rows = m.read(&pk(1), full_range());
+        let keys: Vec<i64> = rows
+            .iter()
+            .map(|r| match r.clustering.0[0] {
+                Value::Timestamp(t) => t,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(keys, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn range_reads_are_inclusive_exclusive_aware() {
+        let mut m = Memtable::new();
+        for ts in 0..10 {
+            m.upsert(pk(1), ck(ts), vec![("amount".into(), cellv(1, 1))]);
+        }
+        let rows = m.read(&pk(1), (Bound::Included(ck(3)), Bound::Excluded(ck(7))));
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].clustering, ck(3));
+        assert_eq!(rows[3].clustering, ck(6));
+    }
+
+    #[test]
+    fn lww_update_within_memtable() {
+        let mut m = Memtable::new();
+        m.upsert(pk(1), ck(1), vec![("amount".into(), cellv(1, 10))]);
+        m.upsert(pk(1), ck(1), vec![("amount".into(), cellv(2, 20))]);
+        // Stale write loses.
+        m.upsert(pk(1), ck(1), vec![("amount".into(), cellv(3, 15))]);
+        let rows = m.read(&pk(1), full_range());
+        assert_eq!(rows[0].cell("amount"), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn row_tombstone_hides_older_cells_only() {
+        let mut m = Memtable::new();
+        m.upsert(pk(1), ck(1), vec![("a".into(), cellv(1, 10))]);
+        m.delete_row(pk(1), ck(1), 15);
+        assert!(m.read(&pk(1), full_range()).is_empty());
+        // A newer write resurrects the row.
+        m.upsert(pk(1), ck(1), vec![("a".into(), cellv(2, 20))]);
+        let rows = m.read(&pk(1), full_range());
+        assert_eq!(rows[0].cell("a"), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn missing_partition_reads_empty() {
+        let m = Memtable::new();
+        assert!(m.read(&pk(42), full_range()).is_empty());
+    }
+
+    #[test]
+    fn drain_empties_and_sorts() {
+        let mut m = Memtable::new();
+        m.upsert(pk(2), ck(1), vec![("a".into(), cellv(1, 1))]);
+        m.upsert(pk(1), ck(2), vec![("a".into(), cellv(1, 1))]);
+        m.upsert(pk(1), ck(1), vec![("a".into(), cellv(1, 1))]);
+        let drained = m.drain_sorted();
+        assert!(m.is_empty());
+        assert_eq!(m.weight(), 0);
+        assert_eq!(drained.len(), 2);
+        assert!(drained[0].0 < drained[1].0);
+        assert_eq!(drained[0].1.len(), 2);
+        assert!(drained[0].1[0].0 < drained[0].1[1].0);
+    }
+
+    #[test]
+    fn weight_grows_with_cells() {
+        let mut m = Memtable::new();
+        assert_eq!(m.weight(), 0);
+        m.upsert(pk(1), ck(1), vec![("a".into(), cellv(1, 1))]);
+        let w1 = m.weight();
+        m.upsert(pk(1), ck(2), vec![("a".into(), cellv(1, 1)), ("b".into(), cellv(2, 1))]);
+        assert!(m.weight() > w1);
+    }
+
+    #[test]
+    fn merge_row_entries_combines_tombstones_and_cells() {
+        let mut a = RowEntry::default();
+        a.upsert([("x".to_owned(), cellv(1, 5))]);
+        let mut b = RowEntry::default();
+        b.delete(3);
+        b.upsert([("y".to_owned(), cellv(2, 4))]);
+        let m = RowEntry::merge(a, b);
+        assert_eq!(m.deleted_at, Some(3));
+        let vis = m.visible().unwrap();
+        assert_eq!(vis.get("x"), Some(&Value::Int(1)));
+        assert_eq!(vis.get("y"), Some(&Value::Int(2)));
+    }
+}

@@ -1,0 +1,444 @@
+//! A storage node: commit log + memtable + SSTables per table, behind a
+//! message-style API used only by coordinators.
+
+use crate::commitlog::{CommitLog, Mutation};
+use crate::compaction::{self, CompactionConfig};
+use crate::memtable::{Memtable, RowEntry};
+use crate::ring::NodeId;
+use crate::sstable::SsTable;
+use crate::stats::{NodeStats, StatsSnapshot};
+use crate::types::{Key, Row};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::ops::Bound;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Node tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeConfig {
+    /// Memtable cell count that triggers a flush.
+    pub flush_threshold: usize,
+    /// Commit-log segment size in records.
+    pub commitlog_segment: usize,
+    /// Compaction strategy parameters.
+    pub compaction: CompactionConfig,
+    /// Bloom-filter usage on reads (ablation hook).
+    pub use_bloom: bool,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        NodeConfig {
+            flush_threshold: 64 * 1024,
+            commitlog_segment: 16 * 1024,
+            compaction: CompactionConfig::default(),
+            use_bloom: true,
+        }
+    }
+}
+
+/// Storage for one table on one node.
+#[derive(Debug)]
+struct TableStore {
+    memtable: Memtable,
+    sstables: Vec<SsTable>,
+    next_sequence: u64,
+    commitlog: CommitLog,
+}
+
+impl TableStore {
+    fn new(cfg: &NodeConfig) -> TableStore {
+        TableStore {
+            memtable: Memtable::new(),
+            sstables: Vec::new(),
+            next_sequence: 1,
+            commitlog: CommitLog::new(cfg.commitlog_segment),
+        }
+    }
+}
+
+/// One simulated cluster node.
+#[derive(Debug)]
+pub struct StorageNode {
+    /// This node's id.
+    pub id: NodeId,
+    cfg: NodeConfig,
+    tables: RwLock<HashMap<String, Mutex<TableStore>>>,
+    up: AtomicBool,
+    stats: NodeStats,
+}
+
+impl StorageNode {
+    /// Creates an empty (up) node.
+    pub fn new(id: NodeId, cfg: NodeConfig) -> StorageNode {
+        StorageNode {
+            id,
+            cfg,
+            tables: RwLock::new(HashMap::new()),
+            up: AtomicBool::new(true),
+            stats: NodeStats::default(),
+        }
+    }
+
+    /// Registers a table (idempotent).
+    pub fn create_table(&self, name: &str) {
+        let mut tables = self.tables.write();
+        tables
+            .entry(name.to_owned())
+            .or_insert_with(|| Mutex::new(TableStore::new(&self.cfg)));
+    }
+
+    /// Liveness flag checked by coordinators.
+    pub fn is_up(&self) -> bool {
+        self.up.load(Ordering::SeqCst)
+    }
+
+    /// Simulates failure/recovery.
+    pub fn set_up(&self, up: bool) {
+        self.up.store(up, Ordering::SeqCst);
+    }
+
+    /// Applies one mutation (commit log first, then memtable), flushing
+    /// and compacting if thresholds are crossed.
+    pub fn apply(&self, mutation: &Mutation) -> bool {
+        if !self.is_up() {
+            return false;
+        }
+        let tables = self.tables.read();
+        let Some(store) = tables.get(&mutation.table) else {
+            return false;
+        };
+        let mut store = store.lock();
+        store.commitlog.append(mutation.clone());
+        if let Some(ts) = mutation.row_delete {
+            store
+                .memtable
+                .delete_row(mutation.partition.clone(), mutation.clustering.clone(), ts);
+        }
+        if !mutation.cells.is_empty() {
+            store.memtable.upsert(
+                mutation.partition.clone(),
+                mutation.clustering.clone(),
+                mutation.cells.clone(),
+            );
+        }
+        self.stats.record_write();
+        if store.memtable.weight() >= self.cfg.flush_threshold {
+            self.flush_locked(&mut store);
+            self.maybe_compact_locked(&mut store);
+        }
+        true
+    }
+
+    /// Reads merged raw row entries for a partition range.
+    pub fn read_raw(
+        &self,
+        table: &str,
+        partition: &Key,
+        range: &(Bound<Key>, Bound<Key>),
+    ) -> Option<Vec<(Key, RowEntry)>> {
+        if !self.is_up() {
+            return None;
+        }
+        let tables = self.tables.read();
+        let store = tables.get(table)?.lock();
+        self.stats.record_read();
+        let mut merged: std::collections::BTreeMap<Key, RowEntry> = std::collections::BTreeMap::new();
+        for sst in &store.sstables {
+            if self.cfg.use_bloom && !sst.may_contain(partition) {
+                self.stats.record_bloom_skip();
+                continue;
+            }
+            self.stats.record_sstable_probe();
+            for (ck, entry) in sst.read_raw(partition, range, self.cfg.use_bloom) {
+                merge_into(&mut merged, ck, entry);
+            }
+        }
+        for (ck, entry) in store.memtable.read_raw(partition, range.clone()) {
+            merge_into(&mut merged, ck, entry);
+        }
+        Some(merged.into_iter().collect())
+    }
+
+    /// Materialized read (visible rows only).
+    pub fn read(
+        &self,
+        table: &str,
+        partition: &Key,
+        range: &(Bound<Key>, Bound<Key>),
+    ) -> Option<Vec<Row>> {
+        let raw = self.read_raw(table, partition, range)?;
+        Some(
+            raw.into_iter()
+                .filter_map(|(ck, e)| {
+                    e.visible().map(|cells| Row {
+                        clustering: ck,
+                        cells,
+                    })
+                })
+                .collect(),
+        )
+    }
+
+    /// All partition keys stored locally for `table` (memtable + SSTables).
+    /// Drives token-range scans by the processing engine.
+    pub fn local_partition_keys(&self, table: &str) -> Vec<Key> {
+        let tables = self.tables.read();
+        let Some(store) = tables.get(table) else {
+            return Vec::new();
+        };
+        let store = store.lock();
+        let mut keys: std::collections::BTreeSet<Key> =
+            store.memtable.partition_keys().cloned().collect();
+        for sst in &store.sstables {
+            for (pk, _) in sst.partitions() {
+                keys.insert(pk.clone());
+            }
+        }
+        keys.into_iter().collect()
+    }
+
+    /// Forces a memtable flush.
+    pub fn flush(&self, table: &str) {
+        let tables = self.tables.read();
+        if let Some(store) = tables.get(table) {
+            let mut store = store.lock();
+            self.flush_locked(&mut store);
+        }
+    }
+
+    fn flush_locked(&self, store: &mut TableStore) {
+        if store.memtable.is_empty() {
+            return;
+        }
+        let data = store.memtable.drain_sorted();
+        let seq = store.next_sequence;
+        store.next_sequence += 1;
+        store.sstables.push(SsTable::build(seq, data));
+        store.commitlog.truncate_flushed();
+        self.stats.record_flush();
+    }
+
+    /// Runs compaction if a bucket is ripe.
+    pub fn maybe_compact(&self, table: &str) {
+        let tables = self.tables.read();
+        if let Some(store) = tables.get(table) {
+            let mut store = store.lock();
+            self.maybe_compact_locked(&mut store);
+        }
+    }
+
+    fn maybe_compact_locked(&self, store: &mut TableStore) {
+        while let Some(bucket) = compaction::pick_bucket(&store.sstables, &self.cfg.compaction) {
+            let mut picked = Vec::with_capacity(bucket.len());
+            // Remove in descending index order to keep indices valid.
+            let mut idxs = bucket;
+            idxs.sort_unstable_by(|a, b| b.cmp(a));
+            for i in idxs {
+                picked.push(store.sstables.remove(i));
+            }
+            let seq = store.next_sequence;
+            store.next_sequence += 1;
+            store.sstables.push(compaction::merge(picked, seq));
+            self.stats.record_compaction();
+        }
+    }
+
+    /// Simulates a crash/restart: memtable contents are rebuilt from the
+    /// commit log.
+    pub fn restart(&self) {
+        let tables = self.tables.read();
+        for store in tables.values() {
+            let mut store = store.lock();
+            // Crash: memtable lost.
+            store.memtable = Memtable::new();
+            // Recovery: replay retained commit-log records.
+            for m in store.commitlog.replay() {
+                if let Some(ts) = m.row_delete {
+                    store.memtable.delete_row(m.partition.clone(), m.clustering.clone(), ts);
+                }
+                if !m.cells.is_empty() {
+                    store
+                        .memtable
+                        .upsert(m.partition.clone(), m.clustering.clone(), m.cells.clone());
+                }
+            }
+        }
+        self.set_up(true);
+    }
+
+    /// Current SSTable count for a table (tests/benches).
+    pub fn sstable_count(&self, table: &str) -> usize {
+        let tables = self.tables.read();
+        tables
+            .get(table)
+            .map(|s| s.lock().sstables.len())
+            .unwrap_or(0)
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+}
+
+fn merge_into(
+    merged: &mut std::collections::BTreeMap<Key, RowEntry>,
+    ck: Key,
+    entry: RowEntry,
+) {
+    match merged.remove(&ck) {
+        None => {
+            merged.insert(ck, entry);
+        }
+        Some(existing) => {
+            merged.insert(ck, RowEntry::merge(existing, entry));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memtable::full_range;
+    use crate::types::Value;
+
+    fn node(flush_threshold: usize) -> StorageNode {
+        let n = StorageNode::new(
+            NodeId(0),
+            NodeConfig {
+                flush_threshold,
+                ..Default::default()
+            },
+        );
+        n.create_table("t");
+        n
+    }
+
+    fn upsert(n: &StorageNode, h: i64, ts: i64, v: i32, wts: u64) {
+        let m = Mutation::upsert(
+            "t",
+            Key(vec![Value::BigInt(h)]),
+            Key(vec![Value::Timestamp(ts)]),
+            vec![("v".to_owned(), Value::Int(v))],
+            wts,
+        );
+        assert!(n.apply(&m));
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let n = node(1000);
+        upsert(&n, 1, 10, 7, 1);
+        let rows = n.read("t", &Key(vec![Value::BigInt(1)]), &full_range()).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].cell("v"), Some(&Value::Int(7)));
+    }
+
+    #[test]
+    fn reads_merge_memtable_over_sstables() {
+        let n = node(1000);
+        upsert(&n, 1, 10, 1, 1);
+        n.flush("t");
+        assert_eq!(n.sstable_count("t"), 1);
+        upsert(&n, 1, 10, 2, 2); // newer write in memtable
+        let rows = n.read("t", &Key(vec![Value::BigInt(1)]), &full_range()).unwrap();
+        assert_eq!(rows[0].cell("v"), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn automatic_flush_and_compaction() {
+        let n = node(8);
+        for i in 0..100 {
+            upsert(&n, i % 5, i, i as i32, i as u64);
+        }
+        // Flushes happened automatically...
+        assert!(n.stats().flushes > 0);
+        // ...and compaction kept the table count bounded.
+        assert!(n.sstable_count("t") < 10, "{}", n.sstable_count("t"));
+        // All data still readable.
+        let total: usize = (0..5)
+            .map(|h| {
+                n.read("t", &Key(vec![Value::BigInt(h)]), &full_range())
+                    .unwrap()
+                    .len()
+            })
+            .sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn down_node_rejects_operations() {
+        let n = node(1000);
+        upsert(&n, 1, 1, 1, 1);
+        n.set_up(false);
+        let m = Mutation::upsert(
+            "t",
+            Key(vec![Value::BigInt(1)]),
+            Key(vec![Value::Timestamp(2)]),
+            vec![("v".to_owned(), Value::Int(1))],
+            2,
+        );
+        assert!(!n.apply(&m));
+        assert!(n.read("t", &Key(vec![Value::BigInt(1)]), &full_range()).is_none());
+        n.set_up(true);
+        assert!(n.read("t", &Key(vec![Value::BigInt(1)]), &full_range()).is_some());
+    }
+
+    #[test]
+    fn restart_replays_commitlog() {
+        let n = node(1000); // nothing flushed -> everything in commit log
+        for i in 0..20 {
+            upsert(&n, 1, i, i as i32, i as u64);
+        }
+        n.restart();
+        let rows = n.read("t", &Key(vec![Value::BigInt(1)]), &full_range()).unwrap();
+        assert_eq!(rows.len(), 20);
+    }
+
+    #[test]
+    fn restart_after_flush_loses_nothing() {
+        let n = node(1000);
+        for i in 0..10 {
+            upsert(&n, 1, i, i as i32, i as u64);
+        }
+        n.flush("t");
+        for i in 10..15 {
+            upsert(&n, 1, i, i as i32, i as u64);
+        }
+        n.restart();
+        let rows = n.read("t", &Key(vec![Value::BigInt(1)]), &full_range()).unwrap();
+        assert_eq!(rows.len(), 15, "flushed + replayed rows");
+    }
+
+    #[test]
+    fn delete_row_via_mutation() {
+        let n = node(1000);
+        upsert(&n, 1, 1, 1, 1);
+        let d = Mutation::delete(
+            "t",
+            Key(vec![Value::BigInt(1)]),
+            Key(vec![Value::Timestamp(1)]),
+            5,
+        );
+        n.apply(&d);
+        assert!(n.read("t", &Key(vec![Value::BigInt(1)]), &full_range()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn local_partition_keys_union_memtable_and_sstables() {
+        let n = node(1000);
+        upsert(&n, 1, 1, 1, 1);
+        n.flush("t");
+        upsert(&n, 2, 1, 1, 1);
+        let keys = n.local_partition_keys("t");
+        assert_eq!(keys.len(), 2);
+    }
+
+    #[test]
+    fn unknown_table_apply_fails() {
+        let n = node(1000);
+        let m = Mutation::upsert("nope", Key(vec![]), Key(vec![]), vec![], 1);
+        assert!(!n.apply(&m));
+    }
+}

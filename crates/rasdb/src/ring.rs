@@ -1,0 +1,170 @@
+//! Consistent-hash token ring with virtual nodes and simple replication.
+//!
+//! Mirrors Cassandra's masterless design: each physical node owns several
+//! vnode tokens; a partition's replicas are the first `rf` *distinct* nodes
+//! found walking clockwise from the partition token.
+
+use crate::partitioner::{murmur3_x64_128, Token};
+
+/// Identifies a cluster node (dense indices `0..n`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+/// The token ring.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    /// `(token, owner)` sorted by token.
+    entries: Vec<(Token, NodeId)>,
+    nodes: usize,
+    replication_factor: usize,
+}
+
+impl Ring {
+    /// Builds a ring of `nodes` physical nodes with `vnodes` tokens each.
+    /// Tokens are derived deterministically from `(node, vnode)` so cluster
+    /// layouts are reproducible.
+    pub fn new(nodes: usize, vnodes: usize, replication_factor: usize) -> Ring {
+        assert!(nodes > 0, "ring needs at least one node");
+        assert!(vnodes > 0, "each node needs at least one vnode");
+        assert!(
+            replication_factor >= 1 && replication_factor <= nodes,
+            "replication factor must be in 1..=nodes"
+        );
+        let mut entries = Vec::with_capacity(nodes * vnodes);
+        for node in 0..nodes {
+            for v in 0..vnodes {
+                let seed = ((node as u64) << 32) | v as u64;
+                let (h, _) = murmur3_x64_128(&seed.to_le_bytes(), 0x5ca1ab1e);
+                entries.push((Token(h as i64), NodeId(node)));
+            }
+        }
+        entries.sort_unstable();
+        entries.dedup_by_key(|e| e.0);
+        Ring {
+            entries,
+            nodes,
+            replication_factor,
+        }
+    }
+
+    /// Number of physical nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes
+    }
+
+    /// Configured replication factor.
+    pub fn replication_factor(&self) -> usize {
+        self.replication_factor
+    }
+
+    /// The primary replica for a token (first owner clockwise).
+    pub fn primary(&self, token: Token) -> NodeId {
+        self.replicas(token)[0]
+    }
+
+    /// The ordered replica set for a token: the first `rf` distinct nodes
+    /// walking clockwise.
+    pub fn replicas(&self, token: Token) -> Vec<NodeId> {
+        let start = self
+            .entries
+            .partition_point(|(t, _)| *t < token)
+            // Wrap past the last token back to the ring start.
+            % self.entries.len();
+        let mut out = Vec::with_capacity(self.replication_factor);
+        for i in 0..self.entries.len() {
+            let (_, node) = self.entries[(start + i) % self.entries.len()];
+            if !out.contains(&node) {
+                out.push(node);
+                if out.len() == self.replication_factor {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// All vnode tokens owned by `node`, used for token-range scans.
+    pub fn tokens_of(&self, node: NodeId) -> Vec<Token> {
+        self.entries
+            .iter()
+            .filter(|(_, n)| *n == node)
+            .map(|(t, _)| *t)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partitioner::token_for;
+    use crate::types::{Key, Value};
+
+    #[test]
+    fn replicas_are_distinct_and_sized_rf() {
+        let ring = Ring::new(8, 16, 3);
+        for h in 0..200i64 {
+            let t = token_for(&Key(vec![Value::BigInt(h)]));
+            let reps = ring.replicas(t);
+            assert_eq!(reps.len(), 3);
+            let set: std::collections::HashSet<_> = reps.iter().collect();
+            assert_eq!(set.len(), 3, "replicas must be distinct nodes");
+        }
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let r1 = Ring::new(8, 16, 3);
+        let r2 = Ring::new(8, 16, 3);
+        let t = Token(42);
+        assert_eq!(r1.replicas(t), r2.replicas(t));
+    }
+
+    #[test]
+    fn rf_one_single_replica() {
+        let ring = Ring::new(4, 8, 1);
+        let t = Token(-7);
+        assert_eq!(ring.replicas(t).len(), 1);
+        assert_eq!(ring.primary(t), ring.replicas(t)[0]);
+    }
+
+    #[test]
+    fn wraparound_at_ring_end() {
+        let ring = Ring::new(4, 8, 2);
+        // A token beyond the maximum entry must wrap to the ring start.
+        let reps = ring.replicas(Token(i64::MAX));
+        assert_eq!(reps.len(), 2);
+    }
+
+    #[test]
+    fn vnodes_spread_load() {
+        // With vnodes, per-node primary ownership of many random keys
+        // should be roughly balanced (coefficient of variation < 0.5).
+        let ring = Ring::new(8, 64, 1);
+        let mut counts = vec![0usize; 8];
+        for i in 0..20_000i64 {
+            let t = token_for(&Key(vec![Value::BigInt(i)]));
+            counts[ring.primary(t).0] += 1;
+        }
+        let mean = 20_000.0 / 8.0;
+        let var = counts
+            .iter()
+            .map(|&c| (c as f64 - mean).powi(2))
+            .sum::<f64>()
+            / 8.0;
+        let cv = var.sqrt() / mean;
+        assert!(cv < 0.5, "cv = {cv}, counts = {counts:?}");
+    }
+
+    #[test]
+    fn tokens_of_partitions_the_ring() {
+        let ring = Ring::new(4, 8, 2);
+        let total: usize = (0..4).map(|n| ring.tokens_of(NodeId(n)).len()).sum();
+        assert_eq!(total, ring.entries.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "replication factor")]
+    fn rf_larger_than_nodes_panics() {
+        Ring::new(2, 4, 3);
+    }
+}

@@ -1,0 +1,397 @@
+//! Table schemas: partition keys, clustering keys, and typed columns.
+
+use crate::error::DbError;
+use crate::types::Value;
+
+/// Column data types (the CQL subset the framework needs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnType {
+    /// UTF-8 text.
+    Text,
+    /// 32-bit integer.
+    Int,
+    /// 64-bit integer.
+    BigInt,
+    /// 64-bit float.
+    Double,
+    /// Boolean.
+    Bool,
+    /// Milliseconds since epoch.
+    Timestamp,
+    /// Raw bytes.
+    Blob,
+    /// List of values.
+    List,
+    /// String-keyed map; the paper's "Other Info" columns with
+    /// per-application sub-columns map onto this.
+    Map,
+}
+
+impl ColumnType {
+    /// Whether `value` inhabits this type.
+    pub fn accepts(&self, value: &Value) -> bool {
+        matches!(
+            (self, value),
+            (ColumnType::Text, Value::Text(_))
+                | (ColumnType::Int, Value::Int(_))
+                | (ColumnType::BigInt, Value::BigInt(_))
+                | (ColumnType::Double, Value::Double(_))
+                | (ColumnType::Bool, Value::Bool(_))
+                | (ColumnType::Timestamp, Value::Timestamp(_))
+                | (ColumnType::Blob, Value::Blob(_))
+                | (ColumnType::List, Value::List(_))
+                | (ColumnType::Map, Value::Map(_))
+        )
+    }
+
+    /// CQL spelling.
+    pub fn cql_name(&self) -> &'static str {
+        match self {
+            ColumnType::Text => "text",
+            ColumnType::Int => "int",
+            ColumnType::BigInt => "bigint",
+            ColumnType::Double => "double",
+            ColumnType::Bool => "boolean",
+            ColumnType::Timestamp => "timestamp",
+            ColumnType::Blob => "blob",
+            ColumnType::List => "list",
+            ColumnType::Map => "map",
+        }
+    }
+
+    /// Parses a CQL type name.
+    pub fn from_cql_name(name: &str) -> Option<ColumnType> {
+        Some(match name.to_ascii_lowercase().as_str() {
+            "text" | "varchar" | "ascii" => ColumnType::Text,
+            "int" => ColumnType::Int,
+            "bigint" | "counter" => ColumnType::BigInt,
+            "double" | "float" => ColumnType::Double,
+            "boolean" => ColumnType::Bool,
+            "timestamp" => ColumnType::Timestamp,
+            "blob" => ColumnType::Blob,
+            "list" => ColumnType::List,
+            "map" => ColumnType::Map,
+            _ => return None,
+        })
+    }
+}
+
+/// One column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub ctype: ColumnType,
+}
+
+/// Which role a column plays in the primary key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyRole {
+    /// Hash-distributed partition key component.
+    Partition,
+    /// Sort-order clustering key component.
+    Clustering,
+    /// Regular (non-key) column.
+    Regular,
+}
+
+/// A table schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSchema {
+    /// Table name.
+    pub name: String,
+    /// Partition-key columns, in key order.
+    pub partition_key: Vec<ColumnDef>,
+    /// Clustering-key columns, in sort order.
+    pub clustering_key: Vec<ColumnDef>,
+    /// Regular columns.
+    pub columns: Vec<ColumnDef>,
+}
+
+impl TableSchema {
+    /// Starts a schema builder.
+    pub fn builder(name: impl Into<String>) -> TableSchemaBuilder {
+        TableSchemaBuilder {
+            name: name.into(),
+            partition_key: Vec::new(),
+            clustering_key: Vec::new(),
+            columns: Vec::new(),
+        }
+    }
+
+    /// The role of `column` in this table, or `None` if unknown.
+    pub fn role_of(&self, column: &str) -> Option<KeyRole> {
+        if self.partition_key.iter().any(|c| c.name == column) {
+            Some(KeyRole::Partition)
+        } else if self.clustering_key.iter().any(|c| c.name == column) {
+            Some(KeyRole::Clustering)
+        } else if self.columns.iter().any(|c| c.name == column) {
+            Some(KeyRole::Regular)
+        } else {
+            None
+        }
+    }
+
+    /// Looks up any column definition by name.
+    pub fn column(&self, name: &str) -> Option<&ColumnDef> {
+        self.partition_key
+            .iter()
+            .chain(&self.clustering_key)
+            .chain(&self.columns)
+            .find(|c| c.name == name)
+    }
+
+    /// Validates an insert's `(column, value)` list: every partition and
+    /// clustering key present and typed; regular columns known and typed.
+    pub fn validate_insert(&self, values: &[(String, Value)]) -> Result<(), DbError> {
+        for key in self.partition_key.iter().chain(&self.clustering_key) {
+            let found = values
+                .iter()
+                .find(|(n, _)| *n == key.name)
+                .ok_or_else(|| {
+                    DbError::SchemaViolation(format!(
+                        "missing key column '{}' in insert into '{}'",
+                        key.name, self.name
+                    ))
+                })?;
+            if !key.ctype.accepts(&found.1) {
+                return Err(DbError::SchemaViolation(format!(
+                    "key column '{}' expects {}, got {}",
+                    key.name,
+                    key.ctype.cql_name(),
+                    found.1
+                )));
+            }
+        }
+        for (name, value) in values {
+            match self.role_of(name) {
+                None => {
+                    return Err(DbError::SchemaViolation(format!(
+                        "unknown column '{}' in table '{}'",
+                        name, self.name
+                    )))
+                }
+                Some(KeyRole::Regular) => {
+                    let def = self.column(name).expect("role implies presence");
+                    if !def.ctype.accepts(value) {
+                        return Err(DbError::SchemaViolation(format!(
+                            "column '{}' expects {}, got {}",
+                            name,
+                            def.ctype.cql_name(),
+                            value
+                        )));
+                    }
+                }
+                Some(_) => {} // keys already checked
+            }
+        }
+        Ok(())
+    }
+
+    /// Splits insert values into (partition key, clustering key, regular
+    /// cells) in schema order. Call after [`Self::validate_insert`].
+    pub fn split_insert(
+        &self,
+        values: Vec<(String, Value)>,
+    ) -> (Vec<Value>, Vec<Value>, Vec<(String, Value)>) {
+        let mut pk = Vec::with_capacity(self.partition_key.len());
+        let mut ck = Vec::with_capacity(self.clustering_key.len());
+        let mut rest = Vec::new();
+        let mut pool: Vec<Option<(String, Value)>> = values.into_iter().map(Some).collect();
+        for key in &self.partition_key {
+            let slot = pool
+                .iter_mut()
+                .find(|s| s.as_ref().is_some_and(|(n, _)| *n == key.name))
+                .expect("validated insert");
+            pk.push(slot.take().expect("present").1);
+        }
+        for key in &self.clustering_key {
+            let slot = pool
+                .iter_mut()
+                .find(|s| s.as_ref().is_some_and(|(n, _)| *n == key.name))
+                .expect("validated insert");
+            ck.push(slot.take().expect("present").1);
+        }
+        for slot in pool.into_iter().flatten() {
+            rest.push(slot);
+        }
+        (pk, ck, rest)
+    }
+}
+
+/// Fluent builder for [`TableSchema`].
+pub struct TableSchemaBuilder {
+    name: String,
+    partition_key: Vec<ColumnDef>,
+    clustering_key: Vec<ColumnDef>,
+    columns: Vec<ColumnDef>,
+}
+
+impl TableSchemaBuilder {
+    /// Adds a partition-key column.
+    pub fn partition_key(mut self, name: impl Into<String>, ctype: ColumnType) -> Self {
+        self.partition_key.push(ColumnDef {
+            name: name.into(),
+            ctype,
+        });
+        self
+    }
+
+    /// Adds a clustering-key column.
+    pub fn clustering_key(mut self, name: impl Into<String>, ctype: ColumnType) -> Self {
+        self.clustering_key.push(ColumnDef {
+            name: name.into(),
+            ctype,
+        });
+        self
+    }
+
+    /// Adds a regular column.
+    pub fn column(mut self, name: impl Into<String>, ctype: ColumnType) -> Self {
+        self.columns.push(ColumnDef {
+            name: name.into(),
+            ctype,
+        });
+        self
+    }
+
+    /// Finishes, checking structural invariants.
+    pub fn build(self) -> Result<TableSchema, DbError> {
+        if self.name.is_empty() {
+            return Err(DbError::SchemaViolation("empty table name".into()));
+        }
+        if self.partition_key.is_empty() {
+            return Err(DbError::SchemaViolation(format!(
+                "table '{}' needs at least one partition key column",
+                self.name
+            )));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for c in self
+            .partition_key
+            .iter()
+            .chain(&self.clustering_key)
+            .chain(&self.columns)
+        {
+            if !seen.insert(c.name.as_str()) {
+                return Err(DbError::SchemaViolation(format!(
+                    "duplicate column '{}' in table '{}'",
+                    c.name, self.name
+                )));
+            }
+        }
+        Ok(TableSchema {
+            name: self.name,
+            partition_key: self.partition_key,
+            clustering_key: self.clustering_key,
+            columns: self.columns,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TableSchema {
+        TableSchema::builder("event_by_time")
+            .partition_key("hour", ColumnType::BigInt)
+            .partition_key("type", ColumnType::Text)
+            .clustering_key("ts", ColumnType::Timestamp)
+            .column("source", ColumnType::Text)
+            .column("amount", ColumnType::Int)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn roles_are_reported() {
+        let s = sample();
+        assert_eq!(s.role_of("hour"), Some(KeyRole::Partition));
+        assert_eq!(s.role_of("ts"), Some(KeyRole::Clustering));
+        assert_eq!(s.role_of("amount"), Some(KeyRole::Regular));
+        assert_eq!(s.role_of("nope"), None);
+    }
+
+    #[test]
+    fn builder_rejects_duplicates_and_keyless_tables() {
+        assert!(TableSchema::builder("t")
+            .partition_key("a", ColumnType::Int)
+            .column("a", ColumnType::Int)
+            .build()
+            .is_err());
+        assert!(TableSchema::builder("t").column("a", ColumnType::Int).build().is_err());
+        assert!(TableSchema::builder("").partition_key("a", ColumnType::Int).build().is_err());
+    }
+
+    #[test]
+    fn validate_insert_checks_presence_and_types() {
+        let s = sample();
+        let ok = vec![
+            ("hour".to_owned(), Value::BigInt(1)),
+            ("type".to_owned(), Value::text("MCE")),
+            ("ts".to_owned(), Value::Timestamp(5)),
+            ("amount".to_owned(), Value::Int(2)),
+        ];
+        assert!(s.validate_insert(&ok).is_ok());
+
+        let missing_key = vec![
+            ("hour".to_owned(), Value::BigInt(1)),
+            ("ts".to_owned(), Value::Timestamp(5)),
+        ];
+        assert!(matches!(
+            s.validate_insert(&missing_key),
+            Err(DbError::SchemaViolation(_))
+        ));
+
+        let wrong_type = vec![
+            ("hour".to_owned(), Value::text("not a number")),
+            ("type".to_owned(), Value::text("MCE")),
+            ("ts".to_owned(), Value::Timestamp(5)),
+        ];
+        assert!(s.validate_insert(&wrong_type).is_err());
+
+        let unknown = vec![
+            ("hour".to_owned(), Value::BigInt(1)),
+            ("type".to_owned(), Value::text("MCE")),
+            ("ts".to_owned(), Value::Timestamp(5)),
+            ("bogus".to_owned(), Value::Int(1)),
+        ];
+        assert!(s.validate_insert(&unknown).is_err());
+    }
+
+    #[test]
+    fn split_insert_orders_by_schema() {
+        let s = sample();
+        let values = vec![
+            ("amount".to_owned(), Value::Int(2)),
+            ("ts".to_owned(), Value::Timestamp(5)),
+            ("type".to_owned(), Value::text("MCE")),
+            ("hour".to_owned(), Value::BigInt(1)),
+        ];
+        s.validate_insert(&values).unwrap();
+        let (pk, ck, rest) = s.split_insert(values);
+        assert_eq!(pk, vec![Value::BigInt(1), Value::text("MCE")]);
+        assert_eq!(ck, vec![Value::Timestamp(5)]);
+        assert_eq!(rest, vec![("amount".to_owned(), Value::Int(2))]);
+    }
+
+    #[test]
+    fn type_names_roundtrip() {
+        for t in [
+            ColumnType::Text,
+            ColumnType::Int,
+            ColumnType::BigInt,
+            ColumnType::Double,
+            ColumnType::Bool,
+            ColumnType::Timestamp,
+            ColumnType::Blob,
+            ColumnType::List,
+            ColumnType::Map,
+        ] {
+            assert_eq!(ColumnType::from_cql_name(t.cql_name()), Some(t));
+        }
+        assert_eq!(ColumnType::from_cql_name("uuid"), None);
+    }
+}

@@ -1,0 +1,186 @@
+//! Immutable sorted runs flushed from the memtable.
+//!
+//! An `SsTable` mirrors the on-disk artifact of an LSM engine: partition
+//! data sorted by key, an index for binary search, and a bloom filter that
+//! lets reads skip tables that cannot contain the partition. (Data lives in
+//! memory here — the cluster is an in-process simulation — but every
+//! structural property reads rely on is preserved.)
+
+use crate::bloom::BloomFilter;
+use crate::memtable::RowEntry;
+use crate::types::Key;
+use std::ops::Bound;
+
+/// One immutable sorted run.
+#[derive(Debug, Clone)]
+pub struct SsTable {
+    /// Monotonic flush sequence number (newer tables have larger values).
+    pub sequence: u64,
+    /// Partitions sorted by partition key.
+    data: Vec<(Key, Vec<(Key, RowEntry)>)>,
+    bloom: BloomFilter,
+    cells: usize,
+}
+
+impl SsTable {
+    /// Builds a table from sorted flush output.
+    pub fn build(sequence: u64, data: Vec<(Key, Vec<(Key, RowEntry)>)>) -> SsTable {
+        debug_assert!(
+            data.windows(2).all(|w| w[0].0 < w[1].0),
+            "flush output must be sorted by partition key"
+        );
+        let mut bloom = BloomFilter::new(data.len().max(8), 0.01);
+        let mut cells = 0;
+        for (pk, rows) in &data {
+            bloom.insert(&pk.encode());
+            cells += rows.iter().map(|(_, e)| e.weight()).sum::<usize>();
+        }
+        SsTable {
+            sequence,
+            data,
+            bloom,
+            cells,
+        }
+    }
+
+    /// Number of partitions.
+    pub fn partition_count(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Total stored cells (compaction sizing).
+    pub fn cell_count(&self) -> usize {
+        self.cells
+    }
+
+    /// Bloom-filter check; false means the partition is definitely absent.
+    pub fn may_contain(&self, partition: &Key) -> bool {
+        self.bloom.may_contain(&partition.encode())
+    }
+
+    /// Reads row entries of one partition within a clustering range.
+    /// `use_bloom` enables the filter short-circuit (ablation hook).
+    pub fn read_raw(
+        &self,
+        partition: &Key,
+        range: &(Bound<Key>, Bound<Key>),
+        use_bloom: bool,
+    ) -> Vec<(Key, RowEntry)> {
+        if use_bloom && !self.may_contain(partition) {
+            return Vec::new();
+        }
+        let idx = match self.data.binary_search_by(|(pk, _)| pk.cmp(partition)) {
+            Ok(i) => i,
+            Err(_) => return Vec::new(),
+        };
+        let rows = &self.data[idx].1;
+        let start = match &range.0 {
+            Bound::Unbounded => 0,
+            Bound::Included(k) => rows.partition_point(|(ck, _)| ck < k),
+            Bound::Excluded(k) => rows.partition_point(|(ck, _)| ck <= k),
+        };
+        let end = match &range.1 {
+            Bound::Unbounded => rows.len(),
+            Bound::Included(k) => rows.partition_point(|(ck, _)| ck <= k),
+            Bound::Excluded(k) => rows.partition_point(|(ck, _)| ck < k),
+        };
+        if start >= end {
+            return Vec::new();
+        }
+        rows[start..end].to_vec()
+    }
+
+    /// Iterates all partitions (compaction and token-range scans).
+    pub fn partitions(&self) -> impl Iterator<Item = &(Key, Vec<(Key, RowEntry)>)> {
+        self.data.iter()
+    }
+
+    /// Consumes the table into its partitions.
+    pub fn into_partitions(self) -> Vec<(Key, Vec<(Key, RowEntry)>)> {
+        self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Cell, Value};
+
+    fn pk(h: i64) -> Key {
+        Key(vec![Value::BigInt(h)])
+    }
+
+    fn ck(ts: i64) -> Key {
+        Key(vec![Value::Timestamp(ts)])
+    }
+
+    fn entry(v: i32, ts: u64) -> RowEntry {
+        let mut e = RowEntry::default();
+        e.upsert([("v".to_owned(), Cell::live(Value::Int(v), ts))]);
+        e
+    }
+
+    fn sample() -> SsTable {
+        SsTable::build(
+            1,
+            vec![
+                (pk(1), vec![(ck(1), entry(1, 1)), (ck(3), entry(3, 1))]),
+                (pk(2), vec![(ck(2), entry(2, 1))]),
+                (pk(5), (0..100).map(|t| (ck(t), entry(t as i32, 1))).collect()),
+            ],
+        )
+    }
+
+    #[test]
+    fn point_lookup_finds_partition() {
+        let t = sample();
+        assert_eq!(t.read_raw(&pk(2), &crate::memtable::full_range(), true).len(), 1);
+        assert!(t.read_raw(&pk(9), &crate::memtable::full_range(), true).is_empty());
+    }
+
+    #[test]
+    fn clustering_range_bounds() {
+        let t = sample();
+        let r = t.read_raw(
+            &pk(5),
+            &(Bound::Included(ck(10)), Bound::Excluded(ck(20))),
+            true,
+        );
+        assert_eq!(r.len(), 10);
+        assert_eq!(r[0].0, ck(10));
+        assert_eq!(r[9].0, ck(19));
+        let r = t.read_raw(&pk(5), &(Bound::Excluded(ck(10)), Bound::Included(ck(20))), true);
+        assert_eq!(r.len(), 10);
+        assert_eq!(r[0].0, ck(11));
+        assert_eq!(r[9].0, ck(20));
+    }
+
+    #[test]
+    fn empty_range_is_empty() {
+        let t = sample();
+        let r = t.read_raw(&pk(5), &(Bound::Included(ck(50)), Bound::Excluded(ck(50))), true);
+        assert!(r.is_empty());
+        let r = t.read_raw(&pk(5), &(Bound::Included(ck(200)), Bound::Unbounded), true);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn bloom_skips_absent_partitions() {
+        let t = sample();
+        // Present partitions always pass the filter.
+        assert!(t.may_contain(&pk(1)));
+        assert!(t.may_contain(&pk(5)));
+        // Nearly all absent partitions are rejected.
+        let rejected = (1000i64..2000)
+            .filter(|h| !t.may_contain(&pk(*h)))
+            .count();
+        assert!(rejected > 900, "rejected {rejected}/1000");
+    }
+
+    #[test]
+    fn counts_reported() {
+        let t = sample();
+        assert_eq!(t.partition_count(), 3);
+        assert!(t.cell_count() >= 103);
+    }
+}

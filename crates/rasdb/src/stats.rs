@@ -1,0 +1,127 @@
+//! Lightweight atomic counters exposed by nodes and the cluster.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-node operation counters. All methods are lock-free; relaxed ordering
+/// is fine because the counters are monotonic telemetry, not synchronization.
+#[derive(Debug, Default)]
+pub struct NodeStats {
+    writes: AtomicU64,
+    reads: AtomicU64,
+    flushes: AtomicU64,
+    compactions: AtomicU64,
+    bloom_skips: AtomicU64,
+    sstable_probes: AtomicU64,
+}
+
+impl NodeStats {
+    /// Records a write.
+    pub fn record_write(&self) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a read.
+    pub fn record_read(&self) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a memtable flush.
+    pub fn record_flush(&self) {
+        self.flushes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a compaction.
+    pub fn record_compaction(&self) {
+        self.compactions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an SSTable skipped thanks to its bloom filter.
+    pub fn record_bloom_skip(&self) {
+        self.bloom_skips.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an SSTable actually probed.
+    pub fn record_sstable_probe(&self) {
+        self.sstable_probes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            writes: self.writes.load(Ordering::Relaxed),
+            reads: self.reads.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+            compactions: self.compactions.load(Ordering::Relaxed),
+            bloom_skips: self.bloom_skips.load(Ordering::Relaxed),
+            sstable_probes: self.sstable_probes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`NodeStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Mutations applied.
+    pub writes: u64,
+    /// Partition reads served.
+    pub reads: u64,
+    /// Memtable flushes performed.
+    pub flushes: u64,
+    /// Compactions performed.
+    pub compactions: u64,
+    /// SSTables skipped by bloom filters.
+    pub bloom_skips: u64,
+    /// SSTables probed during reads.
+    pub sstable_probes: u64,
+}
+
+impl StatsSnapshot {
+    /// Element-wise sum, for cluster-level aggregation.
+    pub fn add(&self, other: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            writes: self.writes + other.writes,
+            reads: self.reads + other.reads,
+            flushes: self.flushes + other.flushes,
+            compactions: self.compactions + other.compactions,
+            bloom_skips: self.bloom_skips + other.bloom_skips,
+            sstable_probes: self.sstable_probes + other.sstable_probes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = NodeStats::default();
+        s.record_write();
+        s.record_write();
+        s.record_read();
+        s.record_flush();
+        let snap = s.snapshot();
+        assert_eq!(snap.writes, 2);
+        assert_eq!(snap.reads, 1);
+        assert_eq!(snap.flushes, 1);
+        assert_eq!(snap.compactions, 0);
+    }
+
+    #[test]
+    fn snapshots_add() {
+        let a = StatsSnapshot {
+            writes: 1,
+            reads: 2,
+            ..Default::default()
+        };
+        let b = StatsSnapshot {
+            writes: 10,
+            bloom_skips: 5,
+            ..Default::default()
+        };
+        let c = a.add(&b);
+        assert_eq!(c.writes, 11);
+        assert_eq!(c.reads, 2);
+        assert_eq!(c.bloom_skips, 5);
+    }
+}

@@ -1,0 +1,483 @@
+//! Cell values, keys, and rows.
+
+use bytes::Bytes;
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A typed cell value.
+///
+/// `Value` has a *total* order (doubles compare with `total_cmp`) so that it
+/// can serve directly as a clustering-key component inside sorted
+/// structures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// UTF-8 text.
+    Text(String),
+    /// 32-bit integer.
+    Int(i32),
+    /// 64-bit integer.
+    BigInt(i64),
+    /// 64-bit float (totally ordered via `total_cmp`).
+    Double(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Milliseconds since the Unix epoch.
+    Timestamp(i64),
+    /// Raw bytes.
+    Blob(Bytes),
+    /// An ordered list of values.
+    List(Vec<Value>),
+    /// A string-keyed map of values.
+    Map(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Convenience constructor for text values.
+    pub fn text(s: impl Into<String>) -> Value {
+        Value::Text(s.into())
+    }
+
+    /// Returns the text if this is a `Text` value.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer widened to `i64` for `Int`, `BigInt`, and
+    /// `Timestamp` values.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v as i64),
+            Value::BigInt(v) | Value::Timestamp(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the float for `Double` (or widened integers).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Double(v) => Some(*v),
+            _ => self.as_i64().map(|v| v as f64),
+        }
+    }
+
+    /// A discriminant used for cross-type ordering and encoding.
+    fn tag(&self) -> u8 {
+        match self {
+            Value::Text(_) => 0,
+            Value::Int(_) => 1,
+            Value::BigInt(_) => 2,
+            Value::Double(_) => 3,
+            Value::Bool(_) => 4,
+            Value::Timestamp(_) => 5,
+            Value::Blob(_) => 6,
+            Value::List(_) => 7,
+            Value::Map(_) => 8,
+        }
+    }
+
+    /// Appends a self-delimiting binary encoding of this value; used for
+    /// partition-key hashing and commit-log serialization.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(self.tag());
+        match self {
+            Value::Text(s) => {
+                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+            Value::Int(v) => out.extend_from_slice(&v.to_le_bytes()),
+            Value::BigInt(v) | Value::Timestamp(v) => out.extend_from_slice(&v.to_le_bytes()),
+            Value::Double(v) => out.extend_from_slice(&v.to_bits().to_le_bytes()),
+            Value::Bool(v) => out.push(*v as u8),
+            Value::Blob(b) => {
+                out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+                out.extend_from_slice(b);
+            }
+            Value::List(items) => {
+                out.extend_from_slice(&(items.len() as u32).to_le_bytes());
+                for item in items {
+                    item.encode_into(out);
+                }
+            }
+            Value::Map(map) => {
+                out.extend_from_slice(&(map.len() as u32).to_le_bytes());
+                for (k, v) in map {
+                    out.extend_from_slice(&(k.len() as u32).to_le_bytes());
+                    out.extend_from_slice(k.as_bytes());
+                    v.encode_into(out);
+                }
+            }
+        }
+    }
+}
+
+impl Value {
+    /// Decodes one value from the front of `bytes`, returning it and the
+    /// remaining slice. Inverse of [`Value::encode_into`].
+    pub fn decode(bytes: &[u8]) -> Option<(Value, &[u8])> {
+        let (&tag, rest) = bytes.split_first()?;
+        fn take<const N: usize>(b: &[u8]) -> Option<([u8; N], &[u8])> {
+            if b.len() < N {
+                return None;
+            }
+            Some((b[..N].try_into().ok()?, &b[N..]))
+        }
+        fn take_len(b: &[u8]) -> Option<(usize, &[u8])> {
+            let (raw, rest) = take::<4>(b)?;
+            Some((u32::from_le_bytes(raw) as usize, rest))
+        }
+        Some(match tag {
+            0 => {
+                let (len, rest) = take_len(rest)?;
+                if rest.len() < len {
+                    return None;
+                }
+                let s = std::str::from_utf8(&rest[..len]).ok()?;
+                (Value::Text(s.to_owned()), &rest[len..])
+            }
+            1 => {
+                let (raw, rest) = take::<4>(rest)?;
+                (Value::Int(i32::from_le_bytes(raw)), rest)
+            }
+            2 => {
+                let (raw, rest) = take::<8>(rest)?;
+                (Value::BigInt(i64::from_le_bytes(raw)), rest)
+            }
+            3 => {
+                let (raw, rest) = take::<8>(rest)?;
+                (Value::Double(f64::from_bits(u64::from_le_bytes(raw))), rest)
+            }
+            4 => {
+                let (&b, rest) = rest.split_first()?;
+                (Value::Bool(b != 0), rest)
+            }
+            5 => {
+                let (raw, rest) = take::<8>(rest)?;
+                (Value::Timestamp(i64::from_le_bytes(raw)), rest)
+            }
+            6 => {
+                let (len, rest) = take_len(rest)?;
+                if rest.len() < len {
+                    return None;
+                }
+                (Value::Blob(Bytes::copy_from_slice(&rest[..len])), &rest[len..])
+            }
+            7 => {
+                let (len, mut rest) = take_len(rest)?;
+                let mut items = Vec::with_capacity(len.min(1024));
+                for _ in 0..len {
+                    let (v, r) = Value::decode(rest)?;
+                    items.push(v);
+                    rest = r;
+                }
+                (Value::List(items), rest)
+            }
+            8 => {
+                let (len, mut rest) = take_len(rest)?;
+                let mut map = BTreeMap::new();
+                for _ in 0..len {
+                    let (klen, r) = take_len(rest)?;
+                    if r.len() < klen {
+                        return None;
+                    }
+                    let key = std::str::from_utf8(&r[..klen]).ok()?.to_owned();
+                    let (v, r2) = Value::decode(&r[klen..])?;
+                    map.insert(key, v);
+                    rest = r2;
+                }
+                (Value::Map(map), rest)
+            }
+            _ => return None,
+        })
+    }
+}
+
+impl Eq for Value {}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Text(a), Text(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (BigInt(a), BigInt(b)) => a.cmp(b),
+            (Double(a), Double(b)) => a.total_cmp(b),
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Timestamp(a), Timestamp(b)) => a.cmp(b),
+            (Blob(a), Blob(b)) => a.cmp(b),
+            (List(a), List(b)) => a.cmp(b),
+            (Map(a), Map(b)) => a.cmp(b),
+            (a, b) => a.tag().cmp(&b.tag()),
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        let mut buf = Vec::with_capacity(16);
+        self.encode_into(&mut buf);
+        buf.hash(state);
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Text(s) => write!(f, "'{s}'"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::BigInt(v) => write!(f, "{v}"),
+            Value::Double(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Timestamp(v) => write!(f, "ts:{v}"),
+            Value::Blob(b) => write!(f, "0x{}", hex(b)),
+            Value::List(items) => {
+                write!(f, "[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Map(map) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "'{k}': {v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// A composite key: the ordered components of a partition or clustering key.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Key(pub Vec<Value>);
+
+impl Key {
+    /// Binary encoding used for token hashing.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.0.len() * 12);
+        for v in &self.0 {
+            v.encode_into(&mut out);
+        }
+        out
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<Value>> for Key {
+    fn from(v: Vec<Value>) -> Key {
+        Key(v)
+    }
+}
+
+/// One cell: a value plus its write timestamp for last-write-wins merging.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cell {
+    /// `None` encodes a tombstone (deleted cell).
+    pub value: Option<Value>,
+    /// Logical write timestamp assigned by the coordinator.
+    pub write_ts: u64,
+}
+
+impl Cell {
+    /// A live cell.
+    pub fn live(value: Value, write_ts: u64) -> Cell {
+        Cell {
+            value: Some(value),
+            write_ts,
+        }
+    }
+
+    /// A tombstone.
+    pub fn tombstone(write_ts: u64) -> Cell {
+        Cell {
+            value: None,
+            write_ts,
+        }
+    }
+
+    /// Last-write-wins merge; ties resolve toward the tombstone, then the
+    /// larger value, so merging is commutative.
+    pub fn merge(a: &Cell, b: &Cell) -> Cell {
+        match a.write_ts.cmp(&b.write_ts) {
+            Ordering::Greater => a.clone(),
+            Ordering::Less => b.clone(),
+            Ordering::Equal => match (&a.value, &b.value) {
+                (None, _) => a.clone(),
+                (_, None) => b.clone(),
+                (Some(x), Some(y)) => {
+                    if x >= y {
+                        a.clone()
+                    } else {
+                        b.clone()
+                    }
+                }
+            },
+        }
+    }
+}
+
+/// A materialized row returned by reads: clustering key plus named cells.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Row {
+    /// Clustering-key components.
+    pub clustering: Key,
+    /// Live cells by column name.
+    pub cells: BTreeMap<String, Value>,
+}
+
+impl Row {
+    /// Looks up a cell by column name.
+    pub fn cell(&self, column: &str) -> Option<&Value> {
+        self.cells.get(column)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_accessors() {
+        let v = Value::text("hi");
+        assert_eq!(v.as_text(), Some("hi"));
+        assert_eq!(v.as_i64(), None);
+        assert_eq!(Value::Int(5).as_i64(), Some(5));
+        assert_eq!(Value::Timestamp(9).as_i64(), Some(9));
+        assert_eq!(Value::Double(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::Int(2).as_f64(), Some(2.0));
+    }
+
+    #[test]
+    fn ordering_is_total_even_for_nan() {
+        let a = Value::Double(f64::NAN);
+        let b = Value::Double(1.0);
+        // total_cmp puts NaN above all numbers; the point is it doesn't panic
+        // and is consistent.
+        assert_eq!(a.cmp(&b), Ordering::Greater);
+        assert_eq!(b.cmp(&a), Ordering::Less);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn cross_type_ordering_by_tag() {
+        assert!(Value::text("z") < Value::Int(0));
+        assert!(Value::Int(0) < Value::BigInt(0));
+    }
+
+    #[test]
+    fn encoding_is_injective_for_adjacent_strings() {
+        // ("ab","c") must not collide with ("a","bc").
+        let k1 = Key(vec![Value::text("ab"), Value::text("c")]);
+        let k2 = Key(vec![Value::text("a"), Value::text("bc")]);
+        assert_ne!(k1.encode(), k2.encode());
+    }
+
+    #[test]
+    fn cell_merge_lww() {
+        let old = Cell::live(Value::Int(1), 1);
+        let new = Cell::live(Value::Int(2), 2);
+        assert_eq!(Cell::merge(&old, &new).value, Some(Value::Int(2)));
+        assert_eq!(Cell::merge(&new, &old).value, Some(Value::Int(2)));
+    }
+
+    #[test]
+    fn cell_merge_tie_prefers_tombstone_and_is_commutative() {
+        let live = Cell::live(Value::Int(1), 5);
+        let dead = Cell::tombstone(5);
+        assert_eq!(Cell::merge(&live, &dead).value, None);
+        assert_eq!(Cell::merge(&dead, &live).value, None);
+        let a = Cell::live(Value::Int(1), 5);
+        let b = Cell::live(Value::Int(2), 5);
+        assert_eq!(Cell::merge(&a, &b), Cell::merge(&b, &a));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::text("x").to_string(), "'x'");
+        assert_eq!(
+            Value::List(vec![Value::Int(1), Value::Int(2)]).to_string(),
+            "[1, 2]"
+        );
+        let k = Key(vec![Value::BigInt(7), Value::text("MCE")]);
+        assert_eq!(k.to_string(), "(7, 'MCE')");
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_all_variants() {
+        let mut m = BTreeMap::new();
+        m.insert("k".to_owned(), Value::Bool(false));
+        let values = vec![
+            Value::text("hello"),
+            Value::Int(-5),
+            Value::BigInt(i64::MAX),
+            Value::Double(2.5),
+            Value::Bool(true),
+            Value::Timestamp(1_500_000_000_000),
+            Value::Blob(Bytes::from_static(b"\x00\x01\x02")),
+            Value::List(vec![Value::Int(1), Value::text("x")]),
+            Value::Map(m),
+        ];
+        for v in values {
+            let mut buf = Vec::new();
+            v.encode_into(&mut buf);
+            buf.extend_from_slice(b"trailer");
+            let (back, rest) = Value::decode(&buf).unwrap();
+            assert_eq!(back, v);
+            assert_eq!(rest, b"trailer");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_truncated_and_garbage() {
+        let mut buf = Vec::new();
+        Value::text("hello").encode_into(&mut buf);
+        assert!(Value::decode(&buf[..3]).is_none());
+        assert!(Value::decode(&[]).is_none());
+        assert!(Value::decode(&[99, 1, 2]).is_none());
+    }
+
+    #[test]
+    fn map_and_blob_roundtrip_in_encoding() {
+        let mut m = BTreeMap::new();
+        m.insert("k".to_owned(), Value::Bool(true));
+        let v = Value::Map(m);
+        let mut b1 = Vec::new();
+        v.encode_into(&mut b1);
+        let mut b2 = Vec::new();
+        v.clone().encode_into(&mut b2);
+        assert_eq!(b1, b2);
+        assert!(!b1.is_empty());
+    }
+}

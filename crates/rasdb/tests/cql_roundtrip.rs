@@ -1,0 +1,129 @@
+//! Property tests for the CQL text path: inserts and range selects issued
+//! as text must behave exactly like the typed API / a BTreeMap model.
+
+use proptest::prelude::*;
+use rasdb::cluster::{Cluster, ClusterConfig, ExecResult};
+use rasdb::query::Consistency;
+use std::collections::BTreeMap;
+
+fn cluster() -> Cluster {
+    let c = Cluster::new(ClusterConfig {
+        nodes: 3,
+        replication_factor: 2,
+        vnodes: 8,
+    });
+    let create = "CREATE TABLE ev (hour bigint, type text, ts timestamp, source text, \
+                  amount int, PRIMARY KEY ((hour, type), ts))";
+    match c.execute(create, Consistency::Quorum).unwrap() {
+        ExecResult::Applied => c,
+        other => panic!("{other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn text_inserts_equal_model_range_scans(
+        rows in prop::collection::vec((0i64..3, 0i64..500, 0i32..100), 0..60),
+        lo in 0i64..500,
+        width in 1i64..300,
+    ) {
+        let c = cluster();
+        let mut model: BTreeMap<(i64, i64), i32> = BTreeMap::new();
+        for (hour, ts, amount) in &rows {
+            let stmt = format!(
+                "INSERT INTO ev (hour, type, ts, source, amount) \
+                 VALUES ({hour}, 'MCE', {ts}, 'c0-0c0s0n0', {amount})"
+            );
+            c.execute(&stmt, Consistency::Quorum).unwrap();
+            model.insert((*hour, *ts), *amount);
+        }
+        let hi = lo + width;
+        for hour in 0..3i64 {
+            let q = format!(
+                "SELECT * FROM ev WHERE hour = {hour} AND type = 'MCE' \
+                 AND ts >= {lo} AND ts < {hi}"
+            );
+            let got = match c.execute(&q, Consistency::Quorum).unwrap() {
+                ExecResult::Rows(rows) => rows,
+                other => panic!("{other:?}"),
+            };
+            let want: Vec<(i64, i32)> = model
+                .range((hour, lo)..(hour, hi))
+                .map(|((_, ts), a)| (*ts, *a))
+                .collect();
+            let got_pairs: Vec<(i64, i32)> = got
+                .iter()
+                .map(|r| {
+                    let ts = r.clustering.0[0].as_i64().unwrap();
+                    let a = r.cell("amount").unwrap().as_i64().unwrap() as i32;
+                    (ts, a)
+                })
+                .collect();
+            prop_assert_eq!(got_pairs, want, "hour {}", hour);
+        }
+    }
+
+    #[test]
+    fn limit_and_order_by_desc_agree_with_model(
+        ts_values in prop::collection::btree_set(0i64..1000, 1..40),
+        limit in 1usize..20,
+    ) {
+        let c = cluster();
+        for ts in &ts_values {
+            c.execute(
+                &format!(
+                    "INSERT INTO ev (hour, type, ts, source, amount) \
+                     VALUES (0, 'MCE', {ts}, 'n', 1)"
+                ),
+                Consistency::Quorum,
+            )
+            .unwrap();
+        }
+        let q = format!(
+            "SELECT * FROM ev WHERE hour = 0 AND type = 'MCE' ORDER BY ts DESC LIMIT {limit}"
+        );
+        let got = match c.execute(&q, Consistency::Quorum).unwrap() {
+            ExecResult::Rows(rows) => rows,
+            other => panic!("{other:?}"),
+        };
+        let want: Vec<i64> = ts_values.iter().rev().take(limit).copied().collect();
+        let got_ts: Vec<i64> = got.iter().map(|r| r.clustering.0[0].as_i64().unwrap()).collect();
+        prop_assert_eq!(got_ts, want);
+    }
+
+    #[test]
+    fn delete_via_text_removes_exactly_one_row(
+        ts_values in prop::collection::btree_set(0i64..100, 2..20),
+    ) {
+        let c = cluster();
+        for ts in &ts_values {
+            c.execute(
+                &format!(
+                    "INSERT INTO ev (hour, type, ts, source, amount) \
+                     VALUES (0, 'MCE', {ts}, 'n', 1)"
+                ),
+                Consistency::Quorum,
+            )
+            .unwrap();
+        }
+        let victim = *ts_values.iter().next().unwrap();
+        c.execute(
+            &format!("DELETE FROM ev WHERE hour = 0 AND type = 'MCE' AND ts = {victim}"),
+            Consistency::Quorum,
+        )
+        .unwrap();
+        let got = match c
+            .execute("SELECT * FROM ev WHERE hour = 0 AND type = 'MCE'", Consistency::Quorum)
+            .unwrap()
+        {
+            ExecResult::Rows(rows) => rows,
+            other => panic!("{other:?}"),
+        };
+        prop_assert_eq!(got.len(), ts_values.len() - 1);
+        prop_assert!(!got
+            .iter()
+            .any(|r| r.clustering.0[0].as_i64() == Some(victim)));
+    }
+}

@@ -1,0 +1,150 @@
+//! Pattern syntax tree.
+
+/// A node of the parsed pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ast {
+    /// The empty pattern (matches the empty string).
+    Empty,
+    /// A single literal character.
+    Literal(char),
+    /// `.` — any character except `\n`.
+    AnyChar,
+    /// A character class; `ranges` are inclusive, `negated` flips the set.
+    Class(ClassSet),
+    /// `^`
+    StartAnchor,
+    /// `$`
+    EndAnchor,
+    /// Concatenation of sub-patterns.
+    Concat(Vec<Ast>),
+    /// `a|b|c`
+    Alternate(Vec<Ast>),
+    /// Repetition of a sub-pattern.
+    Repeat {
+        /// The repeated node.
+        node: Box<Ast>,
+        /// Minimum repetitions.
+        min: u32,
+        /// Maximum repetitions; `None` means unbounded.
+        max: Option<u32>,
+        /// Greedy (default) or lazy (`?` suffix).
+        greedy: bool,
+    },
+    /// A group; `index` is `Some(n)` for capturing groups.
+    Group {
+        /// Capture index (1-based); `None` for `(?:...)`.
+        index: Option<u32>,
+        /// The grouped pattern.
+        node: Box<Ast>,
+    },
+}
+
+/// A set of inclusive character ranges, possibly negated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassSet {
+    /// Inclusive `(lo, hi)` ranges, normalized (sorted, merged).
+    pub ranges: Vec<(char, char)>,
+    /// When true the class matches characters *outside* the ranges.
+    pub negated: bool,
+}
+
+impl ClassSet {
+    /// Builds a normalized class from arbitrary ranges.
+    pub fn new(mut ranges: Vec<(char, char)>, negated: bool) -> ClassSet {
+        ranges.sort_unstable();
+        let mut merged: Vec<(char, char)> = Vec::with_capacity(ranges.len());
+        for (lo, hi) in ranges {
+            match merged.last_mut() {
+                Some((_, phi)) if (lo as u32) <= (*phi as u32).saturating_add(1) => {
+                    if hi > *phi {
+                        *phi = hi;
+                    }
+                }
+                _ => merged.push((lo, hi)),
+            }
+        }
+        ClassSet {
+            ranges: merged,
+            negated,
+        }
+    }
+
+    /// Whether `c` is in the (possibly negated) set.
+    pub fn contains(&self, c: char) -> bool {
+        let inside = self
+            .ranges
+            .binary_search_by(|&(lo, hi)| {
+                if c < lo {
+                    std::cmp::Ordering::Greater
+                } else if c > hi {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok();
+        inside != self.negated
+    }
+
+    /// `\d`
+    pub fn digit() -> ClassSet {
+        ClassSet::new(vec![('0', '9')], false)
+    }
+
+    /// `\w`
+    pub fn word() -> ClassSet {
+        ClassSet::new(vec![('0', '9'), ('A', 'Z'), ('_', '_'), ('a', 'z')], false)
+    }
+
+    /// `\s`
+    pub fn space() -> ClassSet {
+        ClassSet::new(
+            vec![(' ', ' '), ('\t', '\t'), ('\n', '\n'), ('\r', '\r'), ('\u{b}', '\u{c}')],
+            false,
+        )
+    }
+
+    /// Returns the negated copy of this class.
+    pub fn negate(mut self) -> ClassSet {
+        self.negated = !self.negated;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_merge_and_sort() {
+        let c = ClassSet::new(vec![('d', 'f'), ('a', 'c'), ('x', 'z')], false);
+        assert_eq!(c.ranges, vec![('a', 'f'), ('x', 'z')]);
+    }
+
+    #[test]
+    fn overlapping_ranges_merge() {
+        let c = ClassSet::new(vec![('a', 'm'), ('g', 'z')], false);
+        assert_eq!(c.ranges, vec![('a', 'z')]);
+    }
+
+    #[test]
+    fn contains_respects_negation() {
+        let c = ClassSet::digit();
+        assert!(c.contains('5'));
+        assert!(!c.contains('x'));
+        let n = c.negate();
+        assert!(!n.contains('5'));
+        assert!(n.contains('x'));
+    }
+
+    #[test]
+    fn word_class_members() {
+        let w = ClassSet::word();
+        for c in ['a', 'Z', '0', '_'] {
+            assert!(w.contains(c), "{c}");
+        }
+        for c in ['-', ' ', '.', 'é'] {
+            assert!(!w.contains(c), "{c}");
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Thompson-NFA construction: AST → instruction program.
+
+use crate::ast::{Ast, ClassSet};
+
+/// One predicate over a single input character.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CharPred {
+    /// Exact character.
+    Literal(char),
+    /// Any character except `\n`.
+    Any,
+    /// Character-class membership.
+    Class(ClassSet),
+}
+
+impl CharPred {
+    /// Whether the predicate accepts `c`.
+    #[inline]
+    pub fn matches(&self, c: char) -> bool {
+        match self {
+            CharPred::Literal(l) => *l == c,
+            CharPred::Any => c != '\n',
+            CharPred::Class(set) => set.contains(c),
+        }
+    }
+}
+
+/// A VM instruction. `usize` operands are program counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Instr {
+    /// Consume one char matching the predicate, then go to pc+1.
+    Char(CharPred),
+    /// Fork execution; the first target has higher priority.
+    Split(usize, usize),
+    /// Unconditional jump.
+    Jmp(usize),
+    /// Store the current position into capture slot `n`.
+    Save(usize),
+    /// Zero-width assert: at start of text.
+    AssertStart,
+    /// Zero-width assert: at end of text.
+    AssertEnd,
+    /// Accept.
+    Match,
+}
+
+/// A compiled program plus its capture-group count (incl. group 0).
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Instruction list; entry point is pc 0.
+    pub instrs: Vec<Instr>,
+    /// Number of capture groups (group 0 included).
+    pub groups: usize,
+}
+
+/// Compiles an AST. The produced program is wrapped as
+/// `Save(0) <ast> Save(1) Match` so slot pair 0 is the overall span.
+pub fn compile(ast: &Ast) -> Program {
+    let mut c = Compiler {
+        instrs: Vec::new(),
+        max_group: 0,
+    };
+    c.emit(Instr::Save(0));
+    c.node(ast);
+    c.emit(Instr::Save(1));
+    c.emit(Instr::Match);
+    Program {
+        instrs: c.instrs,
+        groups: c.max_group as usize + 1,
+    }
+}
+
+struct Compiler {
+    instrs: Vec<Instr>,
+    max_group: u32,
+}
+
+impl Compiler {
+    fn emit(&mut self, i: Instr) -> usize {
+        self.instrs.push(i);
+        self.instrs.len() - 1
+    }
+
+    fn pc(&self) -> usize {
+        self.instrs.len()
+    }
+
+    fn node(&mut self, ast: &Ast) {
+        match ast {
+            Ast::Empty => {}
+            Ast::Literal(c) => {
+                self.emit(Instr::Char(CharPred::Literal(*c)));
+            }
+            Ast::AnyChar => {
+                self.emit(Instr::Char(CharPred::Any));
+            }
+            Ast::Class(set) => {
+                self.emit(Instr::Char(CharPred::Class(set.clone())));
+            }
+            Ast::StartAnchor => {
+                self.emit(Instr::AssertStart);
+            }
+            Ast::EndAnchor => {
+                self.emit(Instr::AssertEnd);
+            }
+            Ast::Concat(items) => {
+                for item in items {
+                    self.node(item);
+                }
+            }
+            Ast::Alternate(branches) => self.alternate(branches),
+            Ast::Group { index, node } => {
+                if let Some(idx) = *index {
+                    self.max_group = self.max_group.max(idx);
+                    self.emit(Instr::Save(idx as usize * 2));
+                    self.node(node);
+                    self.emit(Instr::Save(idx as usize * 2 + 1));
+                } else {
+                    self.node(node);
+                }
+            }
+            Ast::Repeat {
+                node,
+                min,
+                max,
+                greedy,
+            } => self.repeat(node, *min, *max, *greedy),
+        }
+    }
+
+    fn alternate(&mut self, branches: &[Ast]) {
+        // branch1 | branch2 | ... — chain of splits, each jumping to a
+        // common exit patched afterwards.
+        let mut jmp_ends = Vec::new();
+        for (i, b) in branches.iter().enumerate() {
+            if i + 1 < branches.len() {
+                let split = self.emit(Instr::Split(0, 0));
+                let b_start = self.pc();
+                self.node(b);
+                jmp_ends.push(self.emit(Instr::Jmp(0)));
+                let next = self.pc();
+                self.instrs[split] = Instr::Split(b_start, next);
+            } else {
+                self.node(b);
+            }
+        }
+        let end = self.pc();
+        for j in jmp_ends {
+            self.instrs[j] = Instr::Jmp(end);
+        }
+    }
+
+    fn repeat(&mut self, node: &Ast, min: u32, max: Option<u32>, greedy: bool) {
+        // Counted parts expand to copies; the parser bounds counts so the
+        // program stays small.
+        for _ in 0..min {
+            self.node(node);
+        }
+        match max {
+            None => self.star(node, greedy),
+            Some(m) => {
+                // (m - min) optional copies: each is `split exit` around one copy.
+                let mut splits = Vec::new();
+                for _ in min..m {
+                    let split = self.emit(Instr::Split(0, 0));
+                    let body = self.pc();
+                    self.node(node);
+                    splits.push((split, body));
+                }
+                let end = self.pc();
+                for (split, body) in splits {
+                    self.instrs[split] = if greedy {
+                        Instr::Split(body, end)
+                    } else {
+                        Instr::Split(end, body)
+                    };
+                }
+            }
+        }
+    }
+
+    fn star(&mut self, node: &Ast, greedy: bool) {
+        let split = self.emit(Instr::Split(0, 0));
+        let body = self.pc();
+        self.node(node);
+        self.emit(Instr::Jmp(split));
+        let end = self.pc();
+        self.instrs[split] = if greedy {
+            Instr::Split(body, end)
+        } else {
+            Instr::Split(end, body)
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn compile_str(p: &str) -> Program {
+        compile(&parse(p).unwrap())
+    }
+
+    #[test]
+    fn program_wraps_with_save_and_match() {
+        let prog = compile_str("a");
+        assert_eq!(prog.instrs.first(), Some(&Instr::Save(0)));
+        assert_eq!(prog.instrs.last(), Some(&Instr::Match));
+        assert_eq!(prog.groups, 1);
+    }
+
+    #[test]
+    fn groups_counted() {
+        assert_eq!(compile_str("(a)(b)").groups, 3);
+        assert_eq!(compile_str("(?:a)").groups, 1);
+    }
+
+    #[test]
+    fn star_structure() {
+        // a* — split points into body first (greedy).
+        let prog = compile_str("a*");
+        let split = prog
+            .instrs
+            .iter()
+            .find_map(|i| match i {
+                Instr::Split(a, b) => Some((*a, *b)),
+                _ => None,
+            })
+            .unwrap();
+        assert!(split.0 < split.1, "greedy split prefers the body");
+    }
+
+    #[test]
+    fn counted_expansion_size() {
+        let p3 = compile_str("a{3}");
+        let p5 = compile_str("a{5}");
+        assert!(p5.instrs.len() > p3.instrs.len());
+    }
+}

@@ -1,0 +1,461 @@
+//! Recursive-descent pattern parser.
+
+use crate::ast::{Ast, ClassSet};
+use std::fmt;
+
+/// A pattern-compilation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternError {
+    /// Char offset in the pattern.
+    pub offset: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for PatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid pattern at {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for PatternError {}
+
+/// Parses `pattern` into an [`Ast`]; group indices are assigned
+/// left-to-right starting at 1.
+pub fn parse(pattern: &str) -> Result<Ast, PatternError> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut p = Parser {
+        chars,
+        pos: 0,
+        next_group: 1,
+    };
+    let ast = p.alternation()?;
+    if p.pos != p.chars.len() {
+        return Err(p.err("unmatched ')'"));
+    }
+    Ok(ast)
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+    next_group: u32,
+}
+
+impl Parser {
+    fn err(&self, msg: impl Into<String>) -> PatternError {
+        PatternError {
+            offset: self.pos,
+            message: msg.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn alternation(&mut self) -> Result<Ast, PatternError> {
+        let mut branches = vec![self.concat()?];
+        while self.eat('|') {
+            branches.push(self.concat()?);
+        }
+        Ok(if branches.len() == 1 {
+            branches.pop().expect("one branch")
+        } else {
+            Ast::Alternate(branches)
+        })
+    }
+
+    fn concat(&mut self) -> Result<Ast, PatternError> {
+        let mut items = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            items.push(self.repeat()?);
+        }
+        Ok(match items.len() {
+            0 => Ast::Empty,
+            1 => items.pop().expect("one item"),
+            _ => Ast::Concat(items),
+        })
+    }
+
+    fn repeat(&mut self) -> Result<Ast, PatternError> {
+        let atom = self.atom()?;
+        let (min, max) = match self.peek() {
+            Some('*') => {
+                self.pos += 1;
+                (0, None)
+            }
+            Some('+') => {
+                self.pos += 1;
+                (1, None)
+            }
+            Some('?') => {
+                self.pos += 1;
+                (0, Some(1))
+            }
+            Some('{') => {
+                // `{` not followed by a count spec is a literal brace.
+                if let Some(spec) = self.try_counted()? {
+                    spec
+                } else {
+                    return Ok(atom);
+                }
+            }
+            _ => return Ok(atom),
+        };
+        if matches!(
+            atom,
+            Ast::StartAnchor | Ast::EndAnchor | Ast::Empty
+        ) {
+            return Err(self.err("repetition of empty-width atom"));
+        }
+        if let Some(m) = max {
+            if m < min {
+                return Err(self.err("repetition max below min"));
+            }
+        }
+        let greedy = !self.eat('?');
+        Ok(Ast::Repeat {
+            node: Box::new(atom),
+            min,
+            max,
+            greedy,
+        })
+    }
+
+    /// Parses `{n}`, `{n,}`, `{n,m}` after having peeked `{`. Returns
+    /// `Ok(None)` (without consuming) when the braces are not a valid count.
+    fn try_counted(&mut self) -> Result<Option<(u32, Option<u32>)>, PatternError> {
+        let start = self.pos;
+        self.pos += 1; // consume '{'
+        let min = self.number();
+        let spec = match (min, self.peek()) {
+            (Some(n), Some('}')) => {
+                self.pos += 1;
+                Some((n, Some(n)))
+            }
+            (Some(n), Some(',')) => {
+                self.pos += 1;
+                let max = self.number();
+                if self.eat('}') {
+                    Some((n, max))
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
+        if spec.is_none() {
+            self.pos = start; // literal '{'
+            return Ok(None);
+        }
+        if let Some((n, m)) = spec {
+            const MAX_COUNT: u32 = 1000;
+            if n > MAX_COUNT || m.unwrap_or(0) > MAX_COUNT {
+                return Err(self.err("repetition count too large"));
+            }
+        }
+        Ok(spec)
+    }
+
+    fn number(&mut self) -> Option<u32> {
+        let start = self.pos;
+        while matches!(self.peek(), Some('0'..='9')) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return None;
+        }
+        self.chars[start..self.pos]
+            .iter()
+            .collect::<String>()
+            .parse()
+            .ok()
+    }
+
+    fn atom(&mut self) -> Result<Ast, PatternError> {
+        match self.bump() {
+            Some('(') => {
+                let index = if self.peek() == Some('?') {
+                    // Only (?:...) is supported among the (?...) forms.
+                    self.pos += 1;
+                    if !self.eat(':') {
+                        return Err(self.err("unsupported group flag (only (?:) allowed)"));
+                    }
+                    None
+                } else {
+                    let idx = self.next_group;
+                    self.next_group += 1;
+                    Some(idx)
+                };
+                let inner = self.alternation()?;
+                if !self.eat(')') {
+                    return Err(self.err("unclosed group"));
+                }
+                Ok(Ast::Group {
+                    index,
+                    node: Box::new(inner),
+                })
+            }
+            Some('[') => self.class(),
+            Some('.') => Ok(Ast::AnyChar),
+            Some('^') => Ok(Ast::StartAnchor),
+            Some('$') => Ok(Ast::EndAnchor),
+            Some('\\') => self.escape(),
+            Some(c @ ('*' | '+' | '?')) => Err(self.err(format!("dangling repetition '{c}'"))),
+            Some(c) => Ok(Ast::Literal(c)),
+            None => Err(self.err("unexpected end of pattern")),
+        }
+    }
+
+    fn escape(&mut self) -> Result<Ast, PatternError> {
+        match self.bump() {
+            Some('d') => Ok(Ast::Class(ClassSet::digit())),
+            Some('D') => Ok(Ast::Class(ClassSet::digit().negate())),
+            Some('w') => Ok(Ast::Class(ClassSet::word())),
+            Some('W') => Ok(Ast::Class(ClassSet::word().negate())),
+            Some('s') => Ok(Ast::Class(ClassSet::space())),
+            Some('S') => Ok(Ast::Class(ClassSet::space().negate())),
+            Some('n') => Ok(Ast::Literal('\n')),
+            Some('t') => Ok(Ast::Literal('\t')),
+            Some('r') => Ok(Ast::Literal('\r')),
+            Some('0') => Ok(Ast::Literal('\0')),
+            Some(c) if !c.is_alphanumeric() => Ok(Ast::Literal(c)),
+            Some(c) => Err(self.err(format!("unknown escape '\\{c}'"))),
+            None => Err(self.err("trailing backslash")),
+        }
+    }
+
+    fn class(&mut self) -> Result<Ast, PatternError> {
+        let negated = self.eat('^');
+        let mut ranges: Vec<(char, char)> = Vec::new();
+        // `]` first in a class is a literal.
+        if self.eat(']') {
+            ranges.push((']', ']'));
+        }
+        loop {
+            let lo = match self.bump() {
+                None => return Err(self.err("unclosed character class")),
+                Some(']') => break,
+                Some('\\') => match self.class_escape()? {
+                    ClassAtom::Char(c) => c,
+                    ClassAtom::Set(set) => {
+                        ranges.extend(set.ranges);
+                        continue;
+                    }
+                },
+                Some(c) => c,
+            };
+            // Possible range `lo-hi`.
+            if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
+                self.pos += 1; // consume '-'
+                let hi = match self.bump() {
+                    None => return Err(self.err("unclosed character class")),
+                    Some('\\') => match self.class_escape()? {
+                        ClassAtom::Char(c) => c,
+                        ClassAtom::Set(_) => {
+                            return Err(self.err("class shorthand cannot bound a range"))
+                        }
+                    },
+                    Some(c) => c,
+                };
+                if hi < lo {
+                    return Err(self.err("invalid range (hi < lo)"));
+                }
+                ranges.push((lo, hi));
+            } else {
+                ranges.push((lo, lo));
+            }
+        }
+        if ranges.is_empty() {
+            return Err(self.err("empty character class"));
+        }
+        Ok(Ast::Class(ClassSet::new(ranges, negated)))
+    }
+
+    fn class_escape(&mut self) -> Result<ClassAtom, PatternError> {
+        match self.bump() {
+            Some('d') => Ok(ClassAtom::Set(ClassSet::digit())),
+            Some('w') => Ok(ClassAtom::Set(ClassSet::word())),
+            Some('s') => Ok(ClassAtom::Set(ClassSet::space())),
+            Some('n') => Ok(ClassAtom::Char('\n')),
+            Some('t') => Ok(ClassAtom::Char('\t')),
+            Some('r') => Ok(ClassAtom::Char('\r')),
+            Some(c) if !c.is_alphanumeric() => Ok(ClassAtom::Char(c)),
+            Some(c) => Err(self.err(format!("unknown class escape '\\{c}'"))),
+            None => Err(self.err("trailing backslash in class")),
+        }
+    }
+}
+
+enum ClassAtom {
+    Char(char),
+    Set(ClassSet),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Ast {
+        parse(s).unwrap()
+    }
+
+    fn bad(s: &str) -> PatternError {
+        parse(s).unwrap_err()
+    }
+
+    #[test]
+    fn literals_concat() {
+        assert_eq!(
+            p("ab"),
+            Ast::Concat(vec![Ast::Literal('a'), Ast::Literal('b')])
+        );
+    }
+
+    #[test]
+    fn empty_pattern_is_empty() {
+        assert_eq!(p(""), Ast::Empty);
+    }
+
+    #[test]
+    fn alternation_branches() {
+        match p("a|b|c") {
+            Ast::Alternate(bs) => assert_eq!(bs.len(), 3),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn group_indices_assigned_in_order() {
+        let ast = p("(a)(?:b)((c))");
+        let mut indices = Vec::new();
+        fn walk(a: &Ast, out: &mut Vec<Option<u32>>) {
+            match a {
+                Ast::Group { index, node } => {
+                    out.push(*index);
+                    walk(node, out);
+                }
+                Ast::Concat(v) | Ast::Alternate(v) => v.iter().for_each(|n| walk(n, out)),
+                Ast::Repeat { node, .. } => walk(node, out),
+                _ => {}
+            }
+        }
+        walk(&ast, &mut indices);
+        assert_eq!(indices, vec![Some(1), None, Some(2), Some(3)]);
+    }
+
+    #[test]
+    fn counted_reps_parse() {
+        match p("a{2,5}") {
+            Ast::Repeat { min, max, .. } => {
+                assert_eq!((min, max), (2, Some(5)));
+            }
+            other => panic!("{other:?}"),
+        }
+        match p("a{3,}") {
+            Ast::Repeat { min, max, .. } => assert_eq!((min, max), (3, None)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn literal_brace_when_not_a_count() {
+        assert_eq!(
+            p("a{x"),
+            Ast::Concat(vec![Ast::Literal('a'), Ast::Literal('{'), Ast::Literal('x')])
+        );
+    }
+
+    #[test]
+    fn lazy_flag_parsed() {
+        match p("a+?") {
+            Ast::Repeat { greedy, .. } => assert!(!greedy),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn class_features() {
+        match p("[a-c\\d_]") {
+            Ast::Class(set) => {
+                assert!(set.contains('b'));
+                assert!(set.contains('7'));
+                assert!(set.contains('_'));
+                assert!(!set.contains('z'));
+            }
+            other => panic!("{other:?}"),
+        }
+        match p("[^a-z]") {
+            Ast::Class(set) => {
+                assert!(!set.contains('m'));
+                assert!(set.contains('M'));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn leading_bracket_literal_in_class() {
+        match p("[]a]") {
+            Ast::Class(set) => {
+                assert!(set.contains(']'));
+                assert!(set.contains('a'));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        match p("[a-]") {
+            Ast::Class(set) => {
+                assert!(set.contains('a'));
+                assert!(set.contains('-'));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        bad("(a");
+        bad("a)");
+        bad("[a");
+        bad("[z-a]");
+        bad("*a");
+        bad("a{5,2}");
+        bad("\\q");
+        bad("(?=x)");
+        bad("a{2000}");
+        bad("^*");
+    }
+
+    #[test]
+    fn escaped_metachars_are_literals() {
+        assert_eq!(
+            p(r"\.\*\("),
+            Ast::Concat(vec![Ast::Literal('.'), Ast::Literal('*'), Ast::Literal('(')])
+        );
+    }
+}

@@ -1,0 +1,250 @@
+//! Pike VM: executes a compiled program over text in O(len × program) time
+//! while tracking capture slots.
+
+use crate::compiler::{Instr, Program};
+use std::rc::Rc;
+
+type Slots = Rc<Vec<Option<usize>>>;
+
+struct Thread {
+    pc: usize,
+    slots: Slots,
+}
+
+/// Runs an unanchored leftmost search over `text` starting at byte `start`.
+/// Returns capture slots on success (`2 × groups` entries).
+pub fn search(prog: &Program, text: &str, start: usize) -> Option<Vec<Option<usize>>> {
+    if start > text.len() || !text.is_char_boundary(start) {
+        return None;
+    }
+    let nslots = prog.groups * 2;
+    let mut clist: Vec<Thread> = Vec::new();
+    let mut nlist: Vec<Thread> = Vec::new();
+    // Generation marks prevent queueing the same pc twice per position.
+    let mut mark = vec![usize::MAX; prog.instrs.len()];
+    let mut generation = 0usize;
+    let mut matched: Option<Vec<Option<usize>>> = None;
+
+    let mut iter = text[start..].char_indices().map(|(i, c)| (start + i, c));
+    let mut next = iter.next();
+    let mut pos = start;
+
+    loop {
+        if matched.is_none() {
+            // Leftmost semantics: seed a fresh attempt at every boundary
+            // until something matches. Seeding after live threads keeps
+            // earlier attempts at higher priority.
+            add_thread(
+                prog,
+                &mut clist,
+                &mut mark,
+                generation,
+                Thread {
+                    pc: 0,
+                    slots: Rc::new(vec![None; nslots]),
+                },
+                pos,
+                text,
+            );
+        }
+
+        let ch = next.map(|(_, c)| c);
+        for th in &clist {
+            match &prog.instrs[th.pc] {
+                Instr::Char(pred) => {
+                    if let Some(c) = ch {
+                        if pred.matches(c) {
+                            nlist.push(Thread {
+                                pc: th.pc + 1,
+                                slots: Rc::clone(&th.slots),
+                            });
+                        }
+                    }
+                }
+                Instr::Match => {
+                    // Every live thread ahead of this one has higher
+                    // priority (earlier start), so overwriting is correct;
+                    // threads behind it are cut.
+                    matched = Some(th.slots.as_ref().clone());
+                    break;
+                }
+                // Epsilon instructions never appear here: add_thread
+                // resolved them when the thread was queued.
+                other => unreachable!("epsilon instr {other:?} in run list"),
+            }
+        }
+
+        generation += 1;
+        clist.clear();
+
+        // The end-of-text boundary was just processed: finished.
+        let Some((i, c)) = next else { break };
+        let next_pos = i + c.len_utf8();
+        for th in nlist.drain(..) {
+            add_thread(prog, &mut clist, &mut mark, generation, th, next_pos, text);
+        }
+        if clist.is_empty() && matched.is_some() {
+            break;
+        }
+        pos = next_pos;
+        next = iter.next();
+    }
+    matched
+}
+
+/// Adds a thread, following epsilon transitions (`Jmp`, `Split`, `Save`,
+/// asserts) until character or match instructions are reached. Split pushes
+/// its low-priority branch on an explicit stack, so resolved threads land in
+/// `list` in priority order.
+fn add_thread(
+    prog: &Program,
+    list: &mut Vec<Thread>,
+    mark: &mut [usize],
+    generation: usize,
+    th: Thread,
+    pos: usize,
+    text: &str,
+) {
+    let mut stack = vec![th];
+    while let Some(mut th) = stack.pop() {
+        loop {
+            if mark[th.pc] == generation {
+                break;
+            }
+            mark[th.pc] = generation;
+            match &prog.instrs[th.pc] {
+                Instr::Jmp(t) => th.pc = *t,
+                Instr::Split(a, b) => {
+                    stack.push(Thread {
+                        pc: *b,
+                        slots: Rc::clone(&th.slots),
+                    });
+                    th.pc = *a;
+                }
+                Instr::Save(slot) => {
+                    let slots = Rc::make_mut(&mut th.slots);
+                    slots[*slot] = Some(pos);
+                    th.pc += 1;
+                }
+                Instr::AssertStart => {
+                    if pos == 0 {
+                        th.pc += 1;
+                    } else {
+                        break;
+                    }
+                }
+                Instr::AssertEnd => {
+                    if pos == text.len() {
+                        th.pc += 1;
+                    } else {
+                        break;
+                    }
+                }
+                Instr::Char(_) | Instr::Match => {
+                    list.push(Thread {
+                        pc: th.pc,
+                        slots: Rc::clone(&th.slots),
+                    });
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::compiler::compile;
+    use crate::parser::parse;
+
+    fn spans(pattern: &str, text: &str) -> Option<(usize, usize)> {
+        let prog = compile(&parse(pattern).unwrap());
+        let slots = super::search(&prog, text, 0)?;
+        Some((slots[0].unwrap(), slots[1].unwrap()))
+    }
+
+    #[test]
+    fn leftmost_match_wins() {
+        assert_eq!(spans("ab|b", "xabx"), Some((1, 3)));
+        assert_eq!(spans("b|ab", "xabx"), Some((1, 3))); // leftmost beats alt order
+    }
+
+    #[test]
+    fn greedy_consumes_most() {
+        assert_eq!(spans("a+", "xaaa"), Some((1, 4)));
+        assert_eq!(spans("a*", "aaa"), Some((0, 3)));
+    }
+
+    #[test]
+    fn lazy_consumes_least() {
+        assert_eq!(spans("a+?", "xaaa"), Some((1, 2)));
+    }
+
+    #[test]
+    fn anchored_end() {
+        assert_eq!(spans("a+$", "aabaa"), Some((3, 5)));
+        assert_eq!(spans("^a+", "aabaa"), Some((0, 2)));
+    }
+
+    #[test]
+    fn search_from_offset() {
+        let prog = compile(&parse("a").unwrap());
+        let slots = super::search(&prog, "abca", 1).unwrap();
+        assert_eq!(slots[0], Some(3));
+    }
+
+    #[test]
+    fn offset_past_end_is_none() {
+        let prog = compile(&parse("a").unwrap());
+        assert!(super::search(&prog, "abc", 10).is_none());
+    }
+
+    #[test]
+    fn offset_mid_char_is_none() {
+        let prog = compile(&parse("a").unwrap());
+        assert!(super::search(&prog, "é a", 1).is_none());
+    }
+
+    #[test]
+    fn nested_group_slots() {
+        let prog = compile(&parse("(a(b)c)").unwrap());
+        let slots = super::search(&prog, "zabcz", 0).unwrap();
+        assert_eq!(slots[2], Some(1)); // group 1 start
+        assert_eq!(slots[3], Some(4)); // group 1 end
+        assert_eq!(slots[4], Some(2)); // group 2 start
+        assert_eq!(slots[5], Some(3)); // group 2 end
+    }
+
+    #[test]
+    fn group_in_unmatched_branch_stays_none() {
+        let prog = compile(&parse("(x)|(y)").unwrap());
+        let slots = super::search(&prog, "y", 0).unwrap();
+        assert_eq!(slots[2], None);
+        assert_eq!(slots[4], Some(0));
+    }
+
+    #[test]
+    fn empty_pattern_matches_empty_prefix() {
+        assert_eq!(spans("", "abc"), Some((0, 0)));
+        assert_eq!(spans("", ""), Some((0, 0)));
+    }
+
+    #[test]
+    fn no_match_reports_none() {
+        assert_eq!(spans("zz", "aaaa"), None);
+        assert_eq!(spans("a", ""), None);
+    }
+
+    #[test]
+    fn alternation_with_classes() {
+        assert_eq!(spans(r"[0-9]+|[a-z]+", "___abc12"), Some((3, 6)));
+    }
+
+    #[test]
+    fn repeated_group_captures_last_iteration() {
+        let prog = compile(&parse("(ab)+").unwrap());
+        let slots = super::search(&prog, "ababab", 0).unwrap();
+        assert_eq!((slots[0], slots[1]), (Some(0), Some(6)));
+        assert_eq!((slots[2], slots[3]), (Some(4), Some(6)));
+    }
+}

@@ -1,0 +1,151 @@
+//! Property tests: the Pike VM agrees with a straightforward backtracking
+//! interpreter of the same AST on randomly generated patterns and texts.
+
+use proptest::prelude::*;
+use rex::ast::Ast;
+use rex::parser::parse;
+use rex::Regex;
+
+/// Backtracking reference: calls `k(end)` for every possible match end in
+/// thread-priority order; returns the first accepted end.
+fn match_node(ast: &Ast, text: &[char], pos: usize, k: &mut dyn FnMut(usize) -> bool) -> bool {
+    match ast {
+        Ast::Empty => k(pos),
+        Ast::Literal(c) => pos < text.len() && text[pos] == *c && k(pos + 1),
+        Ast::AnyChar => pos < text.len() && text[pos] != '\n' && k(pos + 1),
+        Ast::Class(set) => pos < text.len() && set.contains(text[pos]) && k(pos + 1),
+        Ast::StartAnchor => pos == 0 && k(pos),
+        Ast::EndAnchor => pos == text.len() && k(pos),
+        Ast::Group { node, .. } => match_node(node, text, pos, k),
+        Ast::Concat(items) => match_seq(items, text, pos, k),
+        Ast::Alternate(branches) => branches.iter().any(|b| match_node(b, text, pos, k)),
+        Ast::Repeat {
+            node,
+            min,
+            max,
+            greedy,
+        } => match_rep(node, *min, *max, *greedy, text, pos, k),
+    }
+}
+
+fn match_seq(items: &[Ast], text: &[char], pos: usize, k: &mut dyn FnMut(usize) -> bool) -> bool {
+    match items.split_first() {
+        None => k(pos),
+        Some((head, rest)) => match_node(head, text, pos, &mut |p| match_seq(rest, text, p, k)),
+    }
+}
+
+fn match_rep(
+    node: &Ast,
+    min: u32,
+    max: Option<u32>,
+    greedy: bool,
+    text: &[char],
+    pos: usize,
+    k: &mut dyn FnMut(usize) -> bool,
+) -> bool {
+    if min > 0 {
+        return match_node(node, text, pos, &mut |p| {
+            match_rep(node, min - 1, max.map(|m| m - 1), greedy, text, p, k)
+        });
+    }
+    if max == Some(0) {
+        return k(pos);
+    }
+    let more = |k2: &mut dyn FnMut(usize) -> bool, from: usize| {
+        match_node(node, text, from, &mut |p| {
+            // Require progress on unbounded repeats of possibly-empty nodes.
+            p != from && match_rep(node, 0, max.map(|m| m - 1), greedy, text, p, k2)
+        })
+    };
+    if greedy {
+        more(k, pos) || k(pos)
+    } else {
+        k(pos) || more(k, pos)
+    }
+}
+
+/// Reference leftmost match span.
+fn reference_find(pattern: &str, text: &str) -> Option<(usize, usize)> {
+    let ast = parse(pattern).unwrap();
+    let chars: Vec<char> = text.chars().collect();
+    // Map char index -> byte offset for comparison with the VM.
+    let mut byte_at: Vec<usize> = Vec::with_capacity(chars.len() + 1);
+    let mut b = 0;
+    for c in &chars {
+        byte_at.push(b);
+        b += c.len_utf8();
+    }
+    byte_at.push(b);
+    for start in 0..=chars.len() {
+        let mut found: Option<usize> = None;
+        match_node(&ast, &chars, start, &mut |end| {
+            found = Some(end);
+            true
+        });
+        if let Some(end) = found {
+            return Some((byte_at[start], byte_at[end]));
+        }
+    }
+    None
+}
+
+/// Small random patterns over {a, b} with the full operator set.
+fn arb_pattern() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        Just("a".to_owned()),
+        Just("b".to_owned()),
+        Just(".".to_owned()),
+        Just("[ab]".to_owned()),
+        Just("[^a]".to_owned()),
+        Just("\\w".to_owned()),
+    ];
+    leaf.prop_recursive(3, 16, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("{a}{b}")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("(?:{a}|{b})")),
+            inner.clone().prop_map(|a| format!("(?:{a})*")),
+            inner.clone().prop_map(|a| format!("(?:{a})+")),
+            inner.clone().prop_map(|a| format!("(?:{a})?")),
+            inner.clone().prop_map(|a| format!("(?:{a}){{1,2}}")),
+            inner.prop_map(|a| format!("({a})")),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn vm_agrees_with_backtracker(pattern in arb_pattern(), text in "[ab]{0,10}") {
+        let re = Regex::new(&pattern).unwrap();
+        let expected = reference_find(&pattern, &text);
+        let actual = re.find(&text);
+        prop_assert_eq!(actual, expected, "pattern {:?} on {:?}", pattern, text);
+    }
+
+    #[test]
+    fn is_match_equals_find_some(pattern in arb_pattern(), text in "[ab]{0,10}") {
+        let re = Regex::new(&pattern).unwrap();
+        prop_assert_eq!(re.is_match(&text), re.find(&text).is_some());
+    }
+
+    #[test]
+    fn anchored_pattern_agrees(pattern in arb_pattern(), text in "[ab]{0,8}") {
+        let anchored = format!("^(?:{pattern})$");
+        let re = Regex::new(&anchored).unwrap();
+        let expected = reference_find(&anchored, &text);
+        prop_assert_eq!(re.find(&text), expected);
+    }
+
+    #[test]
+    fn compile_never_panics_on_random_input(pattern in "\\PC{0,20}") {
+        let _ = Regex::new(&pattern);
+    }
+
+    #[test]
+    fn matching_never_panics(pattern in arb_pattern(), text in "\\PC{0,20}") {
+        let re = Regex::new(&pattern).unwrap();
+        let _ = re.captures(&text);
+    }
+}

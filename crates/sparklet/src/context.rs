@@ -1,0 +1,217 @@
+//! The driver-side context: owns the executor pool and runs jobs.
+
+use crate::pool::ExecutorPool;
+use crate::rdd::{PartitionSource, Rdd, SourceRdd, VecPartitions};
+use crate::Data;
+use crossbeam::channel::unbounded;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+struct CtxInner {
+    pool: ExecutorPool,
+    locality: AtomicBool,
+}
+
+/// The engine handle. Cheap to clone; all clones share the same executors.
+#[derive(Clone)]
+pub struct SparkletContext {
+    inner: Arc<CtxInner>,
+}
+
+impl SparkletContext {
+    /// Starts a context with `workers` executor threads.
+    pub fn new(workers: usize) -> SparkletContext {
+        SparkletContext {
+            inner: Arc::new(CtxInner {
+                pool: ExecutorPool::new(workers),
+                locality: AtomicBool::new(true),
+            }),
+        }
+    }
+
+    /// Number of executors.
+    pub fn workers(&self) -> usize {
+        self.inner.pool.workers()
+    }
+
+    /// Enables/disables locality-aware task placement (ablation hook).
+    /// When disabled, tasks are spread round-robin regardless of
+    /// preferred executors.
+    pub fn set_locality(&self, enabled: bool) {
+        self.inner.locality.store(enabled, Ordering::SeqCst);
+    }
+
+    /// Whether locality-aware placement is on.
+    pub fn locality(&self) -> bool {
+        self.inner.locality.load(Ordering::SeqCst)
+    }
+
+    /// Dispatch statistics (locality experiments).
+    pub fn pool_stats(&self) -> (u64, u64) {
+        let s = self.inner.pool.stats();
+        (
+            s.local_dispatches.load(Ordering::Relaxed),
+            s.other_dispatches.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Distributes a vector over `num_partitions` partitions.
+    pub fn parallelize<T: Data>(&self, data: Vec<T>, num_partitions: usize) -> Rdd<T> {
+        let n = num_partitions.max(1);
+        let len = data.len();
+        // Balanced split: the first `len % n` partitions get one extra item.
+        let base = len / n;
+        let extra = len % n;
+        let mut parts: Vec<Arc<Vec<T>>> = Vec::with_capacity(n);
+        let mut iter = data.into_iter();
+        for i in 0..n {
+            let size = base + usize::from(i < extra);
+            let part: Vec<T> = iter.by_ref().take(size).collect();
+            parts.push(Arc::new(part));
+        }
+        Rdd {
+            ctx: self.clone(),
+            imp: Arc::new(VecPartitions { parts }),
+        }
+    }
+
+    /// Builds a dataset from loader-backed partitions (storage scans).
+    pub fn from_sources<T: Data>(&self, sources: Vec<PartitionSource<T>>) -> Rdd<T> {
+        Rdd {
+            ctx: self.clone(),
+            imp: Arc::new(SourceRdd { sources }),
+        }
+    }
+
+    /// Builds a dataset from pre-materialized partitions (shuffle output).
+    pub(crate) fn materialized<T: Data>(&self, parts: Vec<Arc<Vec<T>>>) -> Rdd<T> {
+        Rdd {
+            ctx: self.clone(),
+            imp: Arc::new(VecPartitions { parts }),
+        }
+    }
+
+    /// Runs one job: computes every partition of `rdd` on the pool and
+    /// applies `f` to each materialized partition. Results come back in
+    /// partition order. Panics in tasks propagate to the driver.
+    pub fn run_job<T: Data, R: Send + 'static>(
+        &self,
+        rdd: &Rdd<T>,
+        f: impl Fn(usize, Vec<T>) -> R + Send + Sync + 'static,
+    ) -> Vec<R> {
+        let n = rdd.imp.partitions();
+        if n == 0 {
+            return Vec::new();
+        }
+        let f = Arc::new(f);
+        let (tx, rx) = unbounded();
+        let locality = self.locality();
+        for p in 0..n {
+            let imp = Arc::clone(&rdd.imp);
+            let f = Arc::clone(&f);
+            let tx = tx.clone();
+            let task = Box::new(move || {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let data = imp.compute(p);
+                    f(p, data)
+                }));
+                // Receiver hang-ups only happen when the driver already
+                // panicked; nothing useful to do with the error then.
+                let _ = tx.send((p, result));
+            });
+            if locality {
+                self.inner.pool.submit(rdd.imp.preferred(p), task);
+            } else {
+                self.inner.pool.submit_round_robin(task);
+            }
+        }
+        drop(tx);
+        let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            let (p, result) = rx.recv().expect("executor alive");
+            match result {
+                Ok(r) => results[p] = Some(r),
+                Err(panic) => {
+                    let msg = panic
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| panic.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "opaque panic".to_owned());
+                    panic!("task for partition {p} panicked: {msg}");
+                }
+            }
+        }
+        results.into_iter().map(|r| r.expect("all received")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallelize_balances_partitions() {
+        let ctx = SparkletContext::new(2);
+        let rdd = ctx.parallelize((0..10).collect::<Vec<i32>>(), 3);
+        assert_eq!(rdd.num_partitions(), 3);
+        let sizes = ctx.run_job(&rdd, |_, d| d.len());
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().all(|&s| s == 3 || s == 4));
+    }
+
+    #[test]
+    fn parallelize_more_partitions_than_items() {
+        let ctx = SparkletContext::new(2);
+        let rdd = ctx.parallelize(vec![1, 2], 8);
+        assert_eq!(rdd.num_partitions(), 8);
+        assert_eq!(rdd.collect(), vec![1, 2]);
+    }
+
+    #[test]
+    fn empty_rdd_jobs_return_empty() {
+        let ctx = SparkletContext::new(2);
+        let rdd = ctx.parallelize(Vec::<i32>::new(), 4);
+        assert_eq!(rdd.collect(), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn run_job_results_in_partition_order() {
+        let ctx = SparkletContext::new(4);
+        let rdd = ctx.parallelize((0..64).collect::<Vec<i32>>(), 16);
+        let idx = ctx.run_job(&rdd, |p, _| p);
+        assert_eq!(idx, (0..16).collect::<Vec<usize>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "task for partition")]
+    fn task_panic_propagates() {
+        let ctx = SparkletContext::new(2);
+        let rdd = ctx.parallelize(vec![1i32, 2, 3, 4], 4);
+        let _ = ctx.run_job(&rdd, |p, _| {
+            if p == 2 {
+                panic!("boom");
+            }
+            p
+        });
+    }
+
+    #[test]
+    fn locality_toggle_changes_dispatch_counters() {
+        let ctx = SparkletContext::new(2);
+        let sources = (0..8)
+            .map(|i| crate::rdd::PartitionSource {
+                preferred: Some(i % 2),
+                load: Arc::new(move || vec![i as i32]),
+            })
+            .collect();
+        let rdd = ctx.from_sources(sources);
+        rdd.count();
+        let (local_after_first, _) = ctx.pool_stats();
+        assert_eq!(local_after_first, 8, "all tasks pinned");
+        ctx.set_locality(false);
+        rdd.count();
+        let (local_after_second, other) = ctx.pool_stats();
+        assert_eq!(local_after_second, 8, "no new pinned dispatches");
+        assert_eq!(other, 8, "round-robin dispatches recorded");
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests: parallel execution must agree with the obvious
+//! sequential evaluation, for any data and partitioning.
+
+use proptest::prelude::*;
+use sparklet::context::SparkletContext;
+use std::collections::HashMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn map_filter_equals_sequential(
+        data in prop::collection::vec(any::<i32>(), 0..200),
+        parts in 1usize..12,
+    ) {
+        let ctx = SparkletContext::new(4);
+        let got = ctx
+            .parallelize(data.clone(), parts)
+            .map(|x| x.wrapping_mul(3))
+            .filter(|x| x % 2 == 0)
+            .collect();
+        let want: Vec<i32> = data
+            .into_iter()
+            .map(|x| x.wrapping_mul(3))
+            .filter(|x| x % 2 == 0)
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn reduce_by_key_equals_hashmap_fold(
+        pairs in prop::collection::vec((0i64..20, any::<i32>()), 0..300),
+        parts in 1usize..10,
+        shuffle_parts in 1usize..10,
+    ) {
+        let ctx = SparkletContext::new(4);
+        let got: HashMap<i64, i64> = ctx
+            .parallelize(pairs.clone(), parts)
+            .map(|(k, v)| (k, v as i64))
+            .reduce_by_key(shuffle_parts, |a, b| a + b)
+            .collect()
+            .into_iter()
+            .collect();
+        let mut want: HashMap<i64, i64> = HashMap::new();
+        for (k, v) in pairs {
+            *want.entry(k).or_insert(0) += v as i64;
+        }
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn sort_by_key_is_a_permutation_sorted(
+        pairs in prop::collection::vec((any::<i64>(), any::<i32>()), 0..200),
+        parts in 1usize..8,
+        out_parts in 1usize..8,
+    ) {
+        let ctx = SparkletContext::new(4);
+        let got = ctx.parallelize(pairs.clone(), parts).sort_by_key(out_parts).collect();
+        // Keys ascending.
+        prop_assert!(got.windows(2).all(|w| w[0].0 <= w[1].0));
+        // Same multiset.
+        let mut got_sorted = got.clone();
+        got_sorted.sort();
+        let mut want = pairs;
+        want.sort();
+        prop_assert_eq!(got_sorted, want);
+    }
+
+    #[test]
+    fn count_and_reduce_agree(
+        data in prop::collection::vec(-1000i64..1000, 0..200),
+        parts in 1usize..8,
+    ) {
+        let ctx = SparkletContext::new(3);
+        let rdd = ctx.parallelize(data.clone(), parts);
+        prop_assert_eq!(rdd.count(), data.len());
+        prop_assert_eq!(rdd.reduce(|a, b| a + b), data.into_iter().reduce(|a, b| a + b));
+    }
+
+    #[test]
+    fn union_collect_is_concatenation(
+        a in prop::collection::vec(any::<i16>(), 0..50),
+        b in prop::collection::vec(any::<i16>(), 0..50),
+    ) {
+        let ctx = SparkletContext::new(2);
+        let got = ctx.parallelize(a.clone(), 3).union(&ctx.parallelize(b.clone(), 2)).collect();
+        let want: Vec<i16> = a.into_iter().chain(b).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn coalesce_conserves_counts(
+        events in prop::collection::vec((0i64..5, 0i64..5, 1u32..4), 0..100),
+    ) {
+        let merged = sparklet::streaming::coalesce(
+            events.clone(),
+            |(ts, node, _)| (*ts, *node),
+            |a, b| a.2 += b.2,
+        );
+        let total_in: u32 = events.iter().map(|e| e.2).sum();
+        let total_out: u32 = merged.iter().map(|e| e.2).sum();
+        prop_assert_eq!(total_in, total_out);
+        // Keys unique after coalescing.
+        let keys: std::collections::HashSet<_> = merged.iter().map(|(t, n, _)| (t, n)).collect();
+        prop_assert_eq!(keys.len(), merged.len());
+    }
+}

@@ -1,0 +1,133 @@
+//! Word bubbles: the text-analytics view that exposed the dead OST in the
+//! paper's Fig 7 — "word bubbles as the result of text analysis on raw
+//! Lustre event logs".
+
+use crate::color::heat_color;
+use crate::svg::SvgDoc;
+
+const W: f64 = 560.0;
+const H: f64 = 360.0;
+
+/// Renders weighted terms as packed circles. Radius scales with the square
+/// root of the weight; placement walks an Archimedean spiral from the
+/// center until a collision-free spot is found (deterministic).
+pub fn render_word_bubbles(title: &str, terms: &[(String, f64)]) -> String {
+    let mut doc = SvgDoc::new(W, H);
+    doc.text(16.0, 20.0, 13.0, title);
+    let max_w = terms.iter().map(|(_, w)| *w).fold(0.0f64, f64::max);
+    if max_w <= 0.0 {
+        return doc.finish();
+    }
+    // Largest first so dominant terms take the center.
+    let mut order: Vec<usize> = (0..terms.len()).collect();
+    order.sort_by(|a, b| terms[*b].1.total_cmp(&terms[*a].1));
+
+    let mut placed: Vec<(f64, f64, f64)> = Vec::new(); // (cx, cy, r)
+    for idx in order {
+        let (ref word, weight) = terms[idx];
+        let frac = (weight / max_w).clamp(0.0, 1.0);
+        let r = 10.0 + frac.sqrt() * 52.0;
+        let (cx, cy) = spiral_place(&placed, r);
+        doc.circle(cx, cy, r, &heat_color(frac), 0.75);
+        let font = (r * 0.42).max(7.0);
+        let display = if word.len() as f64 * font * 0.62 > r * 2.0 && word.len() > 8 {
+            format!("{}…", &word[..7.min(word.len())])
+        } else {
+            word.clone()
+        };
+        doc.text_anchored(cx, cy + font / 3.0, font, &display, "middle");
+        placed.push((cx, cy, r));
+    }
+    doc.finish()
+}
+
+fn spiral_place(placed: &[(f64, f64, f64)], r: f64) -> (f64, f64) {
+    let (cx0, cy0) = (W / 2.0, H / 2.0 + 10.0);
+    let mut theta = 0.0f64;
+    loop {
+        let rad = theta * 3.5;
+        let cx = cx0 + rad * theta.cos();
+        let cy = cy0 + rad * theta.sin() * 0.7; // squash to the canvas shape
+        let ok = placed
+            .iter()
+            .all(|(px, py, pr)| ((cx - px).powi(2) + (cy - py).powi(2)).sqrt() >= pr + r + 2.0);
+        if ok {
+            return (cx, cy);
+        }
+        theta += 0.25;
+        if theta > 200.0 {
+            // Give up gracefully on absurd inputs; stack at the edge.
+            return (W - r, H - r);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn terms(n: usize) -> Vec<(String, f64)> {
+        (0..n).map(|i| (format!("word{i}"), (n - i) as f64)).collect()
+    }
+
+    #[test]
+    fn renders_a_circle_per_term() {
+        let svg = render_word_bubbles("Lustre terms", &terms(8));
+        assert_eq!(svg.matches("<circle").count(), 8);
+        assert!(svg.contains("word0"));
+        assert!(svg.contains("Lustre terms"));
+    }
+
+    #[test]
+    fn bubbles_do_not_overlap() {
+        // Re-derive placements by parsing the SVG circles.
+        let svg = render_word_bubbles("t", &terms(12));
+        let mut circles = Vec::new();
+        for chunk in svg.split("<circle ").skip(1) {
+            let get = |attr: &str| -> f64 {
+                let at = chunk.find(attr).unwrap() + attr.len() + 2;
+                chunk[at..].split('"').next().unwrap().parse().unwrap()
+            };
+            circles.push((get("cx"), get("cy"), get(" r")));
+        }
+        for i in 0..circles.len() {
+            for j in i + 1..circles.len() {
+                let (x1, y1, r1) = circles[i];
+                let (x2, y2, r2) = circles[j];
+                let d = ((x1 - x2).powi(2) + (y1 - y2).powi(2)).sqrt();
+                assert!(d >= r1 + r2, "bubbles {i} and {j} overlap: d={d} r={}", r1 + r2);
+            }
+        }
+    }
+
+    #[test]
+    fn biggest_weight_gets_biggest_radius() {
+        let svg = render_word_bubbles("t", &[("big".into(), 100.0), ("small".into(), 1.0)]);
+        let radii: Vec<f64> = svg
+            .split(" r=\"")
+            .skip(1)
+            .map(|s| s.split('"').next().unwrap().parse().unwrap())
+            .collect();
+        assert_eq!(radii.len(), 2);
+        assert!(radii[0] > radii[1] * 2.0);
+    }
+
+    #[test]
+    fn empty_and_zero_weight_inputs_are_safe() {
+        assert!(render_word_bubbles("t", &[]).starts_with("<svg"));
+        assert!(render_word_bubbles("t", &[("x".into(), 0.0)]).starts_with("<svg"));
+    }
+
+    #[test]
+    fn long_words_are_truncated_with_ellipsis() {
+        let svg = render_word_bubbles("t", &[("extraordinarily-long-term".into(), 0.10), ("x".into(), 100.0)]);
+        assert!(svg.contains("…"), "{svg}");
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let a = render_word_bubbles("t", &terms(6));
+        let b = render_word_bubbles("t", &terms(6));
+        assert_eq!(a, b);
+    }
+}

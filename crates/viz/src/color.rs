@@ -1,0 +1,75 @@
+//! Sequential color ramp for heat maps.
+
+/// Control points of a viridis-like perceptual ramp (dark blue → teal →
+/// green → yellow).
+const RAMP: &[(u8, u8, u8)] = &[
+    (68, 1, 84),
+    (59, 82, 139),
+    (33, 145, 140),
+    (94, 201, 98),
+    (253, 231, 37),
+];
+
+/// Maps `t ∈ [0, 1]` to a hex color on the ramp; out-of-range clamps.
+pub fn heat_color(t: f64) -> String {
+    let t = if t.is_finite() { t.clamp(0.0, 1.0) } else { 0.0 };
+    let scaled = t * (RAMP.len() - 1) as f64;
+    let i = (scaled.floor() as usize).min(RAMP.len() - 2);
+    let frac = scaled - i as f64;
+    let (r0, g0, b0) = RAMP[i];
+    let (r1, g1, b1) = RAMP[i + 1];
+    let lerp = |a: u8, b: u8| (a as f64 + (b as f64 - a as f64) * frac).round() as u8;
+    format!("#{:02x}{:02x}{:02x}", lerp(r0, r1), lerp(g0, g1), lerp(b0, b1))
+}
+
+/// Normalizes values to `[0, 1]` against their max (all-zero stays zero).
+pub fn normalize(values: &[f64]) -> Vec<f64> {
+    let max = values.iter().copied().fold(0.0f64, f64::max);
+    if max <= 0.0 {
+        return vec![0.0; values.len()];
+    }
+    values.iter().map(|v| (v / max).clamp(0.0, 1.0)).collect()
+}
+
+/// ASCII shade for `t ∈ [0,1]`: ` .:-=+*#%@` from cold to hot.
+pub fn ascii_shade(t: f64) -> char {
+    const SHADES: &[u8] = b" .:-=+*#%@";
+    let t = if t.is_finite() { t.clamp(0.0, 1.0) } else { 0.0 };
+    SHADES[((t * (SHADES.len() - 1) as f64).round() as usize).min(SHADES.len() - 1)] as char
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_and_clamping() {
+        assert_eq!(heat_color(0.0), "#440154");
+        assert_eq!(heat_color(1.0), "#fde725");
+        assert_eq!(heat_color(-5.0), heat_color(0.0));
+        assert_eq!(heat_color(7.0), heat_color(1.0));
+        assert_eq!(heat_color(f64::NAN), heat_color(0.0));
+    }
+
+    #[test]
+    fn midpoints_interpolate() {
+        let mid = heat_color(0.5);
+        assert_eq!(mid, "#21918c"); // exact control point at t=0.5
+        assert_ne!(heat_color(0.25), heat_color(0.26));
+    }
+
+    #[test]
+    fn normalize_handles_zeros_and_scales() {
+        assert_eq!(normalize(&[0.0, 0.0]), vec![0.0, 0.0]);
+        assert_eq!(normalize(&[]), Vec::<f64>::new());
+        let n = normalize(&[1.0, 2.0, 4.0]);
+        assert_eq!(n, vec![0.25, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn ascii_shades_are_monotone() {
+        assert_eq!(ascii_shade(0.0), ' ');
+        assert_eq!(ascii_shade(1.0), '@');
+        assert!(ascii_shade(0.5) != ' ');
+    }
+}

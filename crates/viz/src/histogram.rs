@@ -1,0 +1,108 @@
+//! Event histograms: counts per bucket (hour, cabinet, application, ...).
+
+use crate::color::heat_color;
+use crate::svg::SvgDoc;
+
+const BAR_W: f64 = 18.0;
+const GAP: f64 = 4.0;
+const PLOT_H: f64 = 160.0;
+const MARGIN: f64 = 44.0;
+
+/// Renders a labeled bar chart.
+pub fn render_histogram(title: &str, labels: &[String], counts: &[f64]) -> String {
+    let n = labels.len().min(counts.len());
+    let max = counts.iter().take(n).copied().fold(0.0f64, f64::max);
+    let width = MARGIN * 2.0 + n as f64 * (BAR_W + GAP);
+    let height = MARGIN * 2.0 + PLOT_H + 30.0;
+    let mut doc = SvgDoc::new(width.max(200.0), height);
+    doc.text(MARGIN, 20.0, 13.0, title);
+    // Axis.
+    doc.line(MARGIN, MARGIN, MARGIN, MARGIN + PLOT_H, "#333333", 1.0);
+    doc.line(
+        MARGIN,
+        MARGIN + PLOT_H,
+        width - MARGIN,
+        MARGIN + PLOT_H,
+        "#333333",
+        1.0,
+    );
+    doc.text(4.0, MARGIN + 8.0, 9.0, &format!("{max:.0}"));
+    for i in 0..n {
+        let frac = if max > 0.0 { counts[i] / max } else { 0.0 };
+        let h = frac * PLOT_H;
+        let x = MARGIN + GAP + i as f64 * (BAR_W + GAP);
+        doc.rect(
+            x,
+            MARGIN + PLOT_H - h,
+            BAR_W,
+            h,
+            &heat_color(frac),
+            Some("#555555"),
+        );
+        doc.text_anchored(
+            x + BAR_W / 2.0,
+            MARGIN + PLOT_H + 12.0,
+            8.0,
+            &labels[i],
+            "middle",
+        );
+    }
+    doc.finish()
+}
+
+/// Terminal bar chart; bars scale to `width` characters.
+pub fn ascii_histogram(title: &str, labels: &[String], counts: &[f64], width: usize) -> String {
+    let n = labels.len().min(counts.len());
+    let max = counts.iter().take(n).copied().fold(0.0f64, f64::max);
+    let label_w = labels.iter().take(n).map(String::len).max().unwrap_or(0);
+    let mut out = format!("{title}\n");
+    for i in 0..n {
+        let frac = if max > 0.0 { counts[i] / max } else { 0.0 };
+        let bar = "#".repeat((frac * width as f64).round() as usize);
+        out.push_str(&format!(
+            "{:>label_w$} | {:<width$} {:.0}\n",
+            labels[i], bar, counts[i]
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("h{i}")).collect()
+    }
+
+    #[test]
+    fn svg_histogram_bar_count() {
+        let svg = render_histogram("events/hour", &labels(5), &[1.0, 2.0, 3.0, 4.0, 5.0]);
+        // background + 5 bars.
+        assert_eq!(svg.matches("<rect").count(), 1 + 5);
+        assert!(svg.contains("events/hour"));
+        assert!(svg.contains("h4"));
+    }
+
+    #[test]
+    fn mismatched_lengths_take_min() {
+        let svg = render_histogram("t", &labels(3), &[1.0, 2.0]);
+        assert_eq!(svg.matches("<rect").count(), 1 + 2);
+    }
+
+    #[test]
+    fn zero_counts_render_flat() {
+        let svg = render_histogram("t", &labels(2), &[0.0, 0.0]);
+        assert!(svg.contains("<svg"));
+    }
+
+    #[test]
+    fn ascii_bars_scale() {
+        let text = ascii_histogram("title", &labels(3), &[10.0, 5.0, 0.0], 20);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].contains(&"#".repeat(20)));
+        assert!(lines[2].contains(&"#".repeat(10)));
+        assert!(!lines[3].contains('#'));
+    }
+}

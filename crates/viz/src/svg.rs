@@ -1,0 +1,122 @@
+//! A minimal SVG document builder.
+
+use std::fmt::Write as _;
+
+/// An SVG document under construction.
+#[derive(Debug)]
+pub struct SvgDoc {
+    width: f64,
+    height: f64,
+    body: String,
+}
+
+impl SvgDoc {
+    /// Starts a document of the given pixel size.
+    pub fn new(width: f64, height: f64) -> SvgDoc {
+        SvgDoc {
+            width,
+            height,
+            body: String::new(),
+        }
+    }
+
+    /// Adds a filled rectangle (optionally stroked).
+    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: &str, stroke: Option<&str>) {
+        let stroke = match stroke {
+            Some(s) => format!(" stroke=\"{s}\" stroke-width=\"0.5\""),
+            None => String::new(),
+        };
+        let _ = write!(
+            self.body,
+            "<rect x=\"{x:.1}\" y=\"{y:.1}\" width=\"{w:.1}\" height=\"{h:.1}\" fill=\"{fill}\"{stroke}/>",
+        );
+    }
+
+    /// Adds a circle.
+    pub fn circle(&mut self, cx: f64, cy: f64, r: f64, fill: &str, opacity: f64) {
+        let _ = write!(
+            self.body,
+            "<circle cx=\"{cx:.1}\" cy=\"{cy:.1}\" r=\"{r:.1}\" fill=\"{fill}\" fill-opacity=\"{opacity:.2}\"/>",
+        );
+    }
+
+    /// Adds left-anchored text.
+    pub fn text(&mut self, x: f64, y: f64, size: f64, content: &str) {
+        self.text_anchored(x, y, size, content, "start");
+    }
+
+    /// Adds text with an explicit anchor (`start`/`middle`/`end`).
+    pub fn text_anchored(&mut self, x: f64, y: f64, size: f64, content: &str, anchor: &str) {
+        let _ = write!(
+            self.body,
+            "<text x=\"{x:.1}\" y=\"{y:.1}\" font-size=\"{size:.1}\" font-family=\"monospace\" text-anchor=\"{anchor}\">{}</text>",
+            escape(content),
+        );
+    }
+
+    /// Adds a polyline through the points.
+    pub fn polyline(&mut self, points: &[(f64, f64)], stroke: &str, width: f64) {
+        let pts: Vec<String> = points
+            .iter()
+            .map(|(x, y)| format!("{x:.1},{y:.1}"))
+            .collect();
+        let _ = write!(
+            self.body,
+            "<polyline points=\"{}\" fill=\"none\" stroke=\"{stroke}\" stroke-width=\"{width:.1}\"/>",
+            pts.join(" "),
+        );
+    }
+
+    /// Adds a straight line.
+    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64) {
+        let _ = write!(
+            self.body,
+            "<line x1=\"{x1:.1}\" y1=\"{y1:.1}\" x2=\"{x2:.1}\" y2=\"{y2:.1}\" stroke=\"{stroke}\" stroke-width=\"{width:.1}\"/>",
+        );
+    }
+
+    /// Finishes the document.
+    pub fn finish(self) -> String {
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\" viewBox=\"0 0 {:.0} {:.0}\"><rect width=\"100%\" height=\"100%\" fill=\"white\"/>{}</svg>",
+            self.width, self.height, self.width, self.height, self.body,
+        )
+    }
+}
+
+/// Escapes text content for XML.
+pub fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_structure() {
+        let mut doc = SvgDoc::new(100.0, 50.0);
+        doc.rect(0.0, 0.0, 10.0, 10.0, "#ff0000", Some("#000000"));
+        doc.circle(5.0, 5.0, 2.0, "#00ff00", 0.5);
+        doc.text(1.0, 1.0, 8.0, "hello");
+        doc.polyline(&[(0.0, 0.0), (1.0, 2.0)], "#0000ff", 1.0);
+        let svg = doc.finish();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        for needle in ["<rect", "<circle", "<text", "<polyline", "width=\"100\""] {
+            assert!(svg.contains(needle), "{needle}");
+        }
+    }
+
+    #[test]
+    fn text_is_escaped() {
+        let mut doc = SvgDoc::new(10.0, 10.0);
+        doc.text(0.0, 0.0, 8.0, "a<b & \"c\"");
+        let svg = doc.finish();
+        assert!(svg.contains("a&lt;b &amp; &quot;c&quot;"));
+        assert!(!svg.contains("a<b"));
+    }
+}

@@ -1,0 +1,171 @@
+//! The physical system map: cabinets on the machine-room floor, colored by
+//! a metric (event counts, utilization) — the paper's Figs 5 and 6.
+
+use crate::color::{ascii_shade, heat_color, normalize};
+use crate::svg::SvgDoc;
+
+/// Floor-grid geometry and labeling.
+#[derive(Debug, Clone)]
+pub struct SystemMapSpec {
+    /// Cabinet rows.
+    pub rows: usize,
+    /// Cabinet columns.
+    pub cols: usize,
+    /// Title drawn above the map.
+    pub title: String,
+}
+
+const CELL: f64 = 26.0;
+const GAP: f64 = 4.0;
+const MARGIN: f64 = 40.0;
+
+/// Renders a cabinet-level heat map. `values[cabinet]` in row-major order;
+/// missing trailing values read as 0.
+pub fn render_cabinet_heatmap(spec: &SystemMapSpec, values: &[f64]) -> String {
+    let mut vals = values.to_vec();
+    vals.resize(spec.rows * spec.cols, 0.0);
+    let norm = normalize(&vals);
+    let width = MARGIN * 2.0 + spec.cols as f64 * (CELL + GAP);
+    let height = MARGIN * 2.0 + spec.rows as f64 * (CELL + GAP) + 20.0;
+    let mut doc = SvgDoc::new(width, height);
+    doc.text(MARGIN, 20.0, 14.0, &spec.title);
+    for row in 0..spec.rows {
+        for col in 0..spec.cols {
+            let v = norm[row * spec.cols + col];
+            doc.rect(
+                MARGIN + col as f64 * (CELL + GAP),
+                MARGIN + row as f64 * (CELL + GAP),
+                CELL,
+                CELL,
+                &heat_color(v),
+                Some("#888888"),
+            );
+        }
+    }
+    // Color-scale legend.
+    let legend_y = height - 18.0;
+    for i in 0..20 {
+        doc.rect(
+            MARGIN + i as f64 * 8.0,
+            legend_y,
+            8.0,
+            10.0,
+            &heat_color(i as f64 / 19.0),
+            None,
+        );
+    }
+    let max = vals.iter().copied().fold(0.0f64, f64::max);
+    doc.text(MARGIN + 168.0, legend_y + 9.0, 9.0, &format!("0 .. {max:.0}"));
+    doc.finish()
+}
+
+/// Renders a node-level heat map: each cabinet cell subdivides into its
+/// nodes (column-major inside the cabinet, cage by cage).
+/// `node_values[cabinet * nodes_per_cabinet + i]`.
+pub fn render_node_heatmap(
+    spec: &SystemMapSpec,
+    node_values: &[f64],
+    nodes_per_cabinet: usize,
+) -> String {
+    let n = spec.rows * spec.cols * nodes_per_cabinet;
+    let mut vals = node_values.to_vec();
+    vals.resize(n, 0.0);
+    let norm = normalize(&vals);
+    // Nodes inside a cabinet draw as a sub-grid.
+    let sub_cols = (nodes_per_cabinet as f64).sqrt().ceil() as usize;
+    let sub_rows = nodes_per_cabinet.div_ceil(sub_cols);
+    let sub = CELL / sub_cols.max(sub_rows) as f64;
+    let width = MARGIN * 2.0 + spec.cols as f64 * (CELL + GAP);
+    let height = MARGIN * 2.0 + spec.rows as f64 * (CELL + GAP);
+    let mut doc = SvgDoc::new(width, height);
+    doc.text(MARGIN, 20.0, 14.0, &spec.title);
+    for row in 0..spec.rows {
+        for col in 0..spec.cols {
+            let cab = row * spec.cols + col;
+            let x0 = MARGIN + col as f64 * (CELL + GAP);
+            let y0 = MARGIN + row as f64 * (CELL + GAP);
+            for i in 0..nodes_per_cabinet {
+                let v = norm[cab * nodes_per_cabinet + i];
+                let sx = x0 + (i % sub_cols) as f64 * sub;
+                let sy = y0 + (i / sub_cols) as f64 * sub;
+                doc.rect(sx, sy, sub, sub, &heat_color(v), None);
+            }
+            doc.rect(x0, y0, CELL, CELL, "none", Some("#666666"));
+        }
+    }
+    doc.finish()
+}
+
+/// ASCII variant of the cabinet heat map for terminals/tests.
+pub fn ascii_cabinet_heatmap(spec: &SystemMapSpec, values: &[f64]) -> String {
+    let mut vals = values.to_vec();
+    vals.resize(spec.rows * spec.cols, 0.0);
+    let norm = normalize(&vals);
+    let mut out = String::with_capacity(spec.rows * (spec.cols + 1) + spec.title.len() + 8);
+    out.push_str(&spec.title);
+    out.push('\n');
+    for row in 0..spec.rows {
+        for col in 0..spec.cols {
+            out.push(ascii_shade(norm[row * spec.cols + col]));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> SystemMapSpec {
+        SystemMapSpec {
+            rows: 3,
+            cols: 4,
+            title: "MCE heat".to_owned(),
+        }
+    }
+
+    #[test]
+    fn cabinet_map_has_one_rect_per_cabinet() {
+        let svg = render_cabinet_heatmap(&spec(), &[1.0; 12]);
+        let rects = svg.matches("<rect").count();
+        // 12 cabinets + background + 20 legend cells.
+        assert_eq!(rects, 12 + 1 + 20);
+        assert!(svg.contains("MCE heat"));
+    }
+
+    #[test]
+    fn hot_cabinet_differs_from_cold() {
+        let mut vals = vec![0.0; 12];
+        vals[5] = 100.0;
+        let svg = render_cabinet_heatmap(&spec(), &vals);
+        assert!(svg.contains("#fde725"), "hottest color present");
+        assert!(svg.contains("#440154"), "coldest color present");
+    }
+
+    #[test]
+    fn short_value_slice_is_padded() {
+        let svg = render_cabinet_heatmap(&spec(), &[1.0]);
+        assert!(svg.contains("<svg"));
+    }
+
+    #[test]
+    fn node_map_renders_subgrid() {
+        let svg = render_node_heatmap(&spec(), &vec![1.0; 12 * 96], 96);
+        let rects = svg.matches("<rect").count();
+        // background + 12*96 node cells + 12 cabinet outlines.
+        assert_eq!(rects, 1 + 12 * 96 + 12);
+    }
+
+    #[test]
+    fn ascii_map_shape() {
+        let mut vals = vec![0.0; 12];
+        vals[0] = 10.0;
+        let text = ascii_cabinet_heatmap(&spec(), &vals);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4); // title + 3 rows
+        assert_eq!(lines[1].len(), 4);
+        assert_eq!(lines[1].chars().next(), Some('@'));
+        assert_eq!(lines[2].chars().next(), Some(' '));
+    }
+}

@@ -1,0 +1,44 @@
+//! Transfer-entropy plots: the Fig 7 (top) view — both directed TE curves
+//! against lag, labeled with the pair of event types.
+
+use crate::timeseries::{render_timeseries, Series};
+
+/// Renders TE(X→Y) and TE(Y→X) as functions of lag.
+///
+/// `sweep` holds `(lag, te_x_to_y, te_y_to_x)` triples, typically from
+/// the analytics layer's lag sweep.
+pub fn render_te_plot(type_x: &str, type_y: &str, sweep: &[(usize, f64, f64)]) -> String {
+    let forward = Series {
+        name: format!("TE({type_x} -> {type_y})"),
+        points: sweep.iter().map(|(l, f, _)| (*l as f64, *f)).collect(),
+    };
+    let backward = Series {
+        name: format!("TE({type_y} -> {type_x})"),
+        points: sweep.iter().map(|(l, _, b)| (*l as f64, *b)).collect(),
+    };
+    render_timeseries(
+        &format!("Transfer entropy: {type_x} vs {type_y}"),
+        &[forward, backward],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plot_carries_both_directions_and_labels() {
+        let sweep: Vec<(usize, f64, f64)> =
+            (1..=5).map(|l| (l, 0.1 * l as f64, 0.01)).collect();
+        let svg = render_te_plot("MCE", "GPU_DBE", &sweep);
+        assert!(svg.contains("TE(MCE -&gt; GPU_DBE)") || svg.contains("TE(MCE -> GPU_DBE)"));
+        assert!(svg.contains("TE(GPU_DBE -&gt; MCE)") || svg.contains("TE(GPU_DBE -> MCE)"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+    }
+
+    #[test]
+    fn empty_sweep_is_safe() {
+        let svg = render_te_plot("A", "B", &[]);
+        assert!(svg.starts_with("<svg"));
+    }
+}

@@ -1,0 +1,140 @@
+//! Time-series / line plots: the temporal map and transfer-entropy curves.
+
+use crate::svg::SvgDoc;
+
+/// One named line on the plot.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// `(x, y)` points; x is typically time or lag.
+    pub points: Vec<(f64, f64)>,
+}
+
+const SERIES_COLORS: &[&str] = &["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e"];
+const W: f64 = 520.0;
+const H: f64 = 240.0;
+const MARGIN: f64 = 46.0;
+
+/// Renders one or more series on shared axes.
+pub fn render_timeseries(title: &str, series: &[Series]) -> String {
+    let mut doc = SvgDoc::new(W, H);
+    doc.text(MARGIN, 18.0, 13.0, title);
+    let (x0, x1, y0, y1) = bounds(series);
+    doc.line(MARGIN, MARGIN, MARGIN, H - MARGIN, "#333333", 1.0);
+    doc.line(MARGIN, H - MARGIN, W - 16.0, H - MARGIN, "#333333", 1.0);
+    doc.text(4.0, MARGIN + 6.0, 9.0, &format!("{y1:.3}"));
+    doc.text(4.0, H - MARGIN, 9.0, &format!("{y0:.3}"));
+    doc.text(MARGIN, H - MARGIN + 14.0, 9.0, &format!("{x0:.0}"));
+    doc.text_anchored(W - 16.0, H - MARGIN + 14.0, 9.0, &format!("{x1:.0}"), "end");
+    for (i, s) in series.iter().enumerate() {
+        let color = SERIES_COLORS[i % SERIES_COLORS.len()];
+        let pts: Vec<(f64, f64)> = s
+            .points
+            .iter()
+            .map(|(x, y)| (map(*x, x0, x1, MARGIN, W - 16.0), map(*y, y0, y1, H - MARGIN, MARGIN)))
+            .collect();
+        if pts.len() > 1 {
+            doc.polyline(&pts, color, 1.5);
+        } else if let Some(p) = pts.first() {
+            doc.circle(p.0, p.1, 2.0, color, 1.0);
+        }
+        doc.text(
+            MARGIN + 8.0 + i as f64 * 120.0,
+            MARGIN - 6.0,
+            10.0,
+            &s.name,
+        );
+        doc.line(
+            MARGIN + i as f64 * 120.0,
+            MARGIN - 10.0,
+            MARGIN + 6.0 + i as f64 * 120.0,
+            MARGIN - 10.0,
+            color,
+            2.0,
+        );
+    }
+    doc.finish()
+}
+
+fn bounds(series: &[Series]) -> (f64, f64, f64, f64) {
+    let mut x0 = f64::INFINITY;
+    let mut x1 = f64::NEG_INFINITY;
+    let mut y0 = f64::INFINITY;
+    let mut y1 = f64::NEG_INFINITY;
+    for s in series {
+        for (x, y) in &s.points {
+            x0 = x0.min(*x);
+            x1 = x1.max(*x);
+            y0 = y0.min(*y);
+            y1 = y1.max(*y);
+        }
+    }
+    if !x0.is_finite() {
+        return (0.0, 1.0, 0.0, 1.0);
+    }
+    if x0 == x1 {
+        x1 = x0 + 1.0;
+    }
+    if y0 == y1 {
+        y1 = y0 + 1.0;
+    }
+    (x0, x1, y0, y1)
+}
+
+fn map(v: f64, v0: f64, v1: f64, out0: f64, out1: f64) -> f64 {
+    out0 + (v - v0) / (v1 - v0) * (out1 - out0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_multi_series_with_legend() {
+        let svg = render_timeseries(
+            "TE",
+            &[
+                Series {
+                    name: "TE(MCE→GPU)".to_owned(),
+                    points: (0..10).map(|i| (i as f64, (i * i) as f64)).collect(),
+                },
+                Series {
+                    name: "TE(GPU→MCE)".to_owned(),
+                    points: (0..10).map(|i| (i as f64, i as f64)).collect(),
+                },
+            ],
+        );
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("TE(MCE→GPU)"));
+        assert!(svg.contains("#1f77b4"));
+        assert!(svg.contains("#d62728"));
+    }
+
+    #[test]
+    fn empty_series_produce_valid_svg() {
+        let svg = render_timeseries("empty", &[]);
+        assert!(svg.starts_with("<svg"));
+        let svg = render_timeseries(
+            "one point",
+            &[Series {
+                name: "p".into(),
+                points: vec![(5.0, 5.0)],
+            }],
+        );
+        assert!(svg.contains("<circle"));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let svg = render_timeseries(
+            "flat",
+            &[Series {
+                name: "f".into(),
+                points: vec![(0.0, 3.0), (1.0, 3.0)],
+            }],
+        );
+        assert!(!svg.contains("NaN"));
+        assert!(!svg.contains("inf"));
+    }
+}

@@ -1,0 +1,100 @@
+//! The Fig 7 (top) scenario: transfer entropy between two event types over
+//! a selected interval exposes a *directed* relationship — here, Gemini
+//! link failures driving Lustre errors, not the other way around.
+//!
+//! Run with: `cargo run --release --example transfer_entropy`
+//! Writes `artifacts/transfer_entropy.svg`.
+
+use hpclog_core::analytics::correlation::event_cross_correlation;
+use hpclog_core::analytics::transfer_entropy::te_lag_sweep;
+use hpclog_core::framework::{Framework, FrameworkConfig};
+use hpclog_core::model::event::EventRecord;
+use hpclog_core::model::keys::HOUR_MS;
+use loggen::events::Occurrence;
+use loggen::failure::{self, rng};
+use loggen::topology::Topology;
+use rand::Rng;
+use viz::{render_timeseries, Series};
+
+fn main() {
+    let topo = Topology::scaled(3, 3);
+    let fw = Framework::new(FrameworkConfig {
+        db_nodes: 6,
+        replication_factor: 3,
+        vnodes: 16,
+        topology: topo.clone(),
+        ..Default::default()
+    })
+    .expect("framework boot");
+
+    // Build a causally coupled trace: NET_LINK failures each trigger a
+    // cascade of LUSTRE_ERR events 1–2 minutes later.
+    let mut r = rng(99);
+    let t0: i64 = 1_500_000_000_000;
+    let mut events: Vec<Occurrence> = Vec::new();
+    for _ in 0..200 {
+        // Poisson-like arrivals avoid a periodic echo in the TE estimate.
+        let seed = Occurrence {
+            ts_ms: t0 + r.gen_range(0..10 * HOUR_MS),
+            event_type: "NET_LINK",
+            node: r.gen_range(0..topo.node_count()),
+            count: 1,
+        };
+        let kids = failure::cascade(&topo, &seed, "LUSTRE_ERR", 90_000, 2.5, &mut r);
+        events.push(seed);
+        events.extend(kids);
+    }
+    for occ in &events {
+        fw.insert_event(&EventRecord {
+            ts_ms: occ.ts_ms,
+            event_type: occ.event_type.to_owned(),
+            source: topo.node(occ.node).cname,
+            amount: occ.count as i32,
+            raw: String::new(),
+        })
+        .expect("insert");
+    }
+    let t1 = t0 + 11 * HOUR_MS;
+    println!("inserted {} coupled NET_LINK / LUSTRE_ERR events", events.len());
+
+    // TE sweep over lags (1-minute bins).
+    let sweep = te_lag_sweep(&fw, "NET_LINK", "LUSTRE_ERR", t0, t1, 60_000, 8).expect("te");
+    println!("\nlag  TE(NET→LUSTRE)  TE(LUSTRE→NET)");
+    for (lag, te) in &sweep {
+        println!("{lag:>3}  {:>14.4}  {:>14.4}", te.x_to_y, te.y_to_x);
+    }
+    let fwd: Vec<(f64, f64)> = sweep.iter().map(|(l, t)| (*l as f64, t.x_to_y)).collect();
+    let bwd: Vec<(f64, f64)> = sweep.iter().map(|(l, t)| (*l as f64, t.y_to_x)).collect();
+    std::fs::create_dir_all("artifacts").expect("mkdir");
+    std::fs::write(
+        "artifacts/transfer_entropy.svg",
+        render_timeseries(
+            "Transfer entropy vs lag (1-min bins)",
+            &[
+                Series { name: "TE(NET_LINK -> LUSTRE_ERR)".to_owned(), points: fwd },
+                Series { name: "TE(LUSTRE_ERR -> NET_LINK)".to_owned(), points: bwd },
+            ],
+        ),
+    )
+    .expect("write svg");
+    println!("wrote artifacts/transfer_entropy.svg");
+
+    let best = sweep
+        .iter()
+        .max_by(|a, b| a.1.x_to_y.total_cmp(&b.1.x_to_y))
+        .expect("sweep");
+    println!(
+        "\nDIAGNOSIS: strongest information flow NET_LINK -> LUSTRE_ERR at lag {} min \
+         (TE {:.4} vs reverse {:.4})",
+        best.0, best.1.x_to_y, best.1.y_to_x
+    );
+
+    // Symmetric cross-correlation for comparison.
+    let xc = event_cross_correlation(&fw, "NET_LINK", "LUSTRE_ERR", t0, t1, 60_000, 5)
+        .expect("xcorr");
+    let peak = xc.iter().max_by(|a, b| a.1.total_cmp(&b.1)).expect("xc");
+    println!(
+        "cross-correlation peaks at lag {} min (r = {:.3}) — symmetric, no direction",
+        peak.0, peak.1
+    );
+}
