@@ -1,0 +1,443 @@
+//! Unbounded MPMC channels with a biased two-way select.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::time::{Duration, Instant};
+
+pub use crate::select;
+
+/// Error returned by `send` when every receiver has been dropped.
+#[derive(PartialEq, Eq, Clone, Copy)]
+pub struct SendError<T>(pub T);
+
+impl<T> std::fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> std::fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+impl<T> std::error::Error for SendError<T> {}
+
+/// Error returned by `recv` when the channel is empty and disconnected.
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub struct RecvError;
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Error returned by `recv_timeout`.
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub enum RecvTimeoutError {
+    Timeout,
+    Disconnected,
+}
+
+impl std::fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Timeout => f.write_str("timed out waiting on receive operation"),
+            Self::Disconnected => f.write_str("channel is empty and disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for RecvTimeoutError {}
+
+/// Error returned by `try_recv`.
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub enum TryRecvError {
+    Empty,
+    Disconnected,
+}
+
+/// Waker a `select!` registers with both channels so a push on either one
+/// (or a disconnect) wakes the selecting thread.
+pub struct Waker {
+    ready: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Waker {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            ready: Mutex::new(false),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn signal(&self) {
+        *self.ready.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) {
+        let mut ready = self.ready.lock().unwrap_or_else(|e| e.into_inner());
+        while !*ready {
+            ready = self.cv.wait(ready).unwrap_or_else(|e| e.into_inner());
+        }
+        *ready = false;
+    }
+}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+    watchers: Vec<Weak<Waker>>,
+}
+
+struct Chan<T> {
+    state: Mutex<State<T>>,
+    cv: Condvar,
+}
+
+impl<T> Chan<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Wake blocked receivers and any registered selectors.
+    fn notify(state: &mut State<T>, cv: &Condvar, all: bool) {
+        if all {
+            cv.notify_all();
+        } else {
+            cv.notify_one();
+        }
+        state.watchers.retain(|w| match w.upgrade() {
+            Some(w) => {
+                w.signal();
+                true
+            }
+            None => false,
+        });
+    }
+}
+
+/// Creates an unbounded channel; both halves are cloneable (MPMC).
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let chan = Arc::new(Chan {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+            watchers: Vec::new(),
+        }),
+        cv: Condvar::new(),
+    });
+    (
+        Sender {
+            chan: Arc::clone(&chan),
+        },
+        Receiver { chan },
+    )
+}
+
+pub struct Sender<T> {
+    chan: Arc<Chan<T>>,
+}
+
+impl<T> Sender<T> {
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut state = self.chan.lock();
+        if state.receivers == 0 {
+            return Err(SendError(value));
+        }
+        state.queue.push_back(value);
+        Chan::notify(&mut state, &self.chan.cv, false);
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.chan.lock().senders += 1;
+        Self {
+            chan: Arc::clone(&self.chan),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.chan.lock();
+        state.senders -= 1;
+        if state.senders == 0 {
+            // Disconnection must wake everyone so they can observe it.
+            Chan::notify(&mut state, &self.chan.cv, true);
+        }
+    }
+}
+
+pub struct Receiver<T> {
+    chan: Arc<Chan<T>>,
+}
+
+impl<T> Receiver<T> {
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut state = self.chan.lock();
+        loop {
+            if let Some(v) = state.queue.pop_front() {
+                return Ok(v);
+            }
+            if state.senders == 0 {
+                return Err(RecvError);
+            }
+            state = self.chan.cv.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.chan.lock();
+        loop {
+            if let Some(v) = state.queue.pop_front() {
+                return Ok(v);
+            }
+            if state.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _) = self
+                .chan
+                .cv
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            state = guard;
+        }
+    }
+
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut state = self.chan.lock();
+        if let Some(v) = state.queue.pop_front() {
+            Ok(v)
+        } else if state.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.chan.lock().queue.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.chan.lock().queue.len()
+    }
+
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { rx: self }
+    }
+
+    fn register(&self, waker: &Arc<Waker>) {
+        self.chan.lock().watchers.push(Arc::downgrade(waker));
+    }
+
+    fn unregister(&self, waker: &Arc<Waker>) {
+        self.chan
+            .lock()
+            .watchers
+            .retain(|w| !w.ptr_eq(&Arc::downgrade(waker)));
+    }
+
+    /// Non-blocking readiness probe: a message, or `Err` once disconnected.
+    fn poll(&self) -> Option<Result<T, RecvError>> {
+        let mut state = self.chan.lock();
+        if let Some(v) = state.queue.pop_front() {
+            Some(Ok(v))
+        } else if state.senders == 0 {
+            Some(Err(RecvError))
+        } else {
+            None
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.chan.lock().receivers += 1;
+        Self {
+            chan: Arc::clone(&self.chan),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.chan.lock().receivers -= 1;
+    }
+}
+
+pub struct Iter<'a, T> {
+    rx: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.rx.recv().ok()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Receiver<T> {
+    type Item = T;
+    type IntoIter = Iter<'a, T>;
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}
+
+/// Which of the two receivers a [`select2`] resolved to.
+pub enum Selected<A, B> {
+    First(Result<A, RecvError>),
+    Second(Result<B, RecvError>),
+}
+
+/// Blocks until either receiver is ready (has a message or is disconnected),
+/// biased toward the first. Backs the two-arm `select!` macro.
+pub fn select2<A, B>(first: &Receiver<A>, second: &Receiver<B>) -> Selected<A, B> {
+    // Fast path: no registration needed if something is already ready.
+    if let Some(res) = first.poll() {
+        return Selected::First(res);
+    }
+    if let Some(res) = second.poll() {
+        return Selected::Second(res);
+    }
+    let waker = Waker::new();
+    first.register(&waker);
+    second.register(&waker);
+    let out = loop {
+        if let Some(res) = first.poll() {
+            break Selected::First(res);
+        }
+        if let Some(res) = second.poll() {
+            break Selected::Second(res);
+        }
+        waker.wait();
+    };
+    first.unregister(&waker);
+    second.unregister(&waker);
+    out
+}
+
+/// Two-arm `select!` over receive operations, biased toward the first arm.
+#[macro_export]
+macro_rules! select {
+    (
+        recv($rx1:expr) -> $res1:pat => $body1:expr,
+        recv($rx2:expr) -> $res2:pat => $body2:expr $(,)?
+    ) => {
+        match $crate::channel::select2(&$rx1, &$rx2) {
+            $crate::channel::Selected::First(r) => {
+                let $res1 = r;
+                $body1
+            }
+            $crate::channel::Selected::Second(r) => {
+                let $res2 = r;
+                $body2
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn send_recv_fifo() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn mpmc_clones_share_the_queue() {
+        let (tx, rx) = unbounded();
+        let rx2 = rx.clone();
+        let h = thread::spawn(move || rx2.recv().unwrap());
+        tx.send(42u32).unwrap();
+        let got = h.join().unwrap();
+        assert!(got == 42 || rx.try_recv() == Ok(42));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = unbounded();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(7));
+    }
+
+    #[test]
+    fn send_fails_when_receivers_gone() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert_eq!(tx.send(5), Err(SendError(5)));
+    }
+
+    #[test]
+    fn select_is_biased_to_first_arm() {
+        let (tx1, rx1) = unbounded();
+        let (tx2, rx2) = unbounded();
+        tx1.send("pinned").unwrap();
+        tx2.send("shared").unwrap();
+        let got = crate::select! {
+            recv(rx1) -> v => v.unwrap(),
+            recv(rx2) -> v => v.unwrap(),
+        };
+        assert_eq!(got, "pinned");
+    }
+
+    #[test]
+    fn select_wakes_on_late_message() {
+        let (tx1, rx1) = unbounded::<i32>();
+        let (tx2, rx2) = unbounded::<i32>();
+        let h = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(20));
+            tx2.send(9).unwrap();
+        });
+        let got = crate::select! {
+            recv(rx1) -> v => v,
+            recv(rx2) -> v => v,
+        };
+        assert_eq!(got, Ok(9));
+        h.join().unwrap();
+        drop(tx1);
+    }
+
+    #[test]
+    fn select_sees_disconnect() {
+        let (tx1, rx1) = unbounded::<i32>();
+        let (tx2, rx2) = unbounded::<i32>();
+        drop(tx2);
+        let disconnected = crate::select! {
+            recv(rx1) -> _v => false,
+            recv(rx2) -> v => v.is_err(),
+        };
+        assert!(disconnected);
+        drop(tx1);
+    }
+}

@@ -1,0 +1,12 @@
+//! Offline shim for `crossbeam`.
+//!
+//! Implements the `crossbeam::channel` subset the workspace uses: unbounded
+//! MPMC channels (`Sender`/`Receiver` both `Clone`), blocking `recv`,
+//! `recv_timeout`, iteration, and a two-receiver `select!` that is biased
+//! toward its first arm (the executor pool drains pinned work first).
+//!
+//! Channels are a `Mutex<VecDeque>` plus a `Condvar`. To let `select!`
+//! block on two channels at once without spinning, each channel keeps a
+//! list of external wakers that are signalled alongside its own condvar.
+
+pub mod channel;

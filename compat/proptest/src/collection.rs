@@ -1,0 +1,136 @@
+//! Collection strategies: `vec`, `btree_map`, `btree_set`.
+
+use crate::strategy::{BoxedStrategy, Strategy};
+use crate::test_runner::TestRng;
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::{Range, RangeInclusive};
+
+/// Inclusive-exclusive size bound accepted by the collection strategies.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        debug_assert!(self.lo < self.hi);
+        self.lo + rng.below((self.hi - self.lo) as u64) as usize
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        Self {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        Self {
+            lo: *r.start(),
+            hi: *r.end() + 1,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { lo: n, hi: n + 1 }
+    }
+}
+
+pub fn vec<S>(element: S, size: impl Into<SizeRange>) -> BoxedStrategy<Vec<S::Value>>
+where
+    S: Strategy + 'static,
+    S::Value: 'static,
+{
+    let size = size.into();
+    BoxedStrategy::from_fn(move |rng| {
+        let n = size.pick(rng);
+        (0..n).map(|_| element.sample(rng)).collect()
+    })
+}
+
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BoxedStrategy<BTreeSet<S::Value>>
+where
+    S: Strategy + 'static,
+    S::Value: Ord + 'static,
+{
+    let size = size.into();
+    BoxedStrategy::from_fn(move |rng| {
+        let n = size.pick(rng);
+        let mut out = BTreeSet::new();
+        // Duplicates collapse, so keep sampling (bounded) to reach the
+        // requested cardinality over small domains.
+        let mut attempts = 0usize;
+        while out.len() < n && attempts < n * 20 + 50 {
+            out.insert(element.sample(rng));
+            attempts += 1;
+        }
+        out
+    })
+}
+
+pub fn btree_map<K, V>(
+    keys: K,
+    values: V,
+    size: impl Into<SizeRange>,
+) -> BoxedStrategy<BTreeMap<K::Value, V::Value>>
+where
+    K: Strategy + 'static,
+    V: Strategy + 'static,
+    K::Value: Ord + 'static,
+    V::Value: 'static,
+{
+    let size = size.into();
+    BoxedStrategy::from_fn(move |rng| {
+        let n = size.pick(rng);
+        let mut out = BTreeMap::new();
+        let mut attempts = 0usize;
+        while out.len() < n && attempts < n * 20 + 50 {
+            out.insert(keys.sample(rng), values.sample(rng));
+            attempts += 1;
+        }
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_respects_size_range() {
+        let s = vec(0..100i64, 2..5);
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn btree_set_reaches_min_cardinality() {
+        let s = btree_set(0i64..100, 2..20);
+        let mut rng = TestRng::from_seed(2);
+        for _ in 0..100 {
+            let set = s.sample(&mut rng);
+            assert!(set.len() >= 2, "len {}", set.len());
+        }
+    }
+
+    #[test]
+    fn btree_map_keys_unique() {
+        let s = btree_map("[a-z]{1,6}", 0..10i32, 0..6);
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..50 {
+            let m = s.sample(&mut rng);
+            assert!(m.len() < 6);
+        }
+    }
+}

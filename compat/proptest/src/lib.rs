@@ -1,0 +1,32 @@
+//! Offline shim for `proptest`.
+//!
+//! A generate-only property-testing harness with proptest's API shape:
+//! the `proptest!` macro, `Strategy` with `prop_map`/`prop_recursive`,
+//! `prop_oneof!`, `Just`, `any::<T>()`, collection strategies, and
+//! string-from-regex strategies (a small regex subset: literals, classes
+//! with ranges, `\PC`, `\w`, `\d`, `\s`, `.`, and `{m,n}` repetition).
+//!
+//! Differences from upstream: no shrinking (a failing case panics with the
+//! generated inputs reachable via the deterministic per-test seed), and
+//! case generation is seeded from the test name so runs are reproducible.
+
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub mod arbitrary {
+    pub use crate::strategy::{any, Arbitrary};
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Mirrors `proptest::prelude::prop` (module-style access to strategies).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}

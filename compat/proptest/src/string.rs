@@ -1,0 +1,214 @@
+//! String generation from a small regex subset: literals, `[...]` classes
+//! (ranges, negation over printable ASCII), `\PC`, `\w`, `\d`, `\s`, `.`,
+//! and the quantifiers `{m,n}`, `{n}`, `*`, `+`, `?`.
+
+use crate::test_runner::TestRng;
+
+struct Atom {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// Printable ASCII plus a few multibyte chars — stands in for `\PC`
+/// (any non-control codepoint).
+fn non_control() -> Vec<char> {
+    let mut v: Vec<char> = (' '..='~').collect();
+    v.extend(['é', 'ß', 'λ', 'Ω', '日', '本', '±', '—']);
+    v
+}
+
+fn word_chars() -> Vec<char> {
+    let mut v: Vec<char> = ('a'..='z').collect();
+    v.extend('A'..='Z');
+    v.extend('0'..='9');
+    v.push('_');
+    v
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let set = match chars[i] {
+            '[' => {
+                i += 1;
+                let negate = chars.get(i) == Some(&'^');
+                if negate {
+                    i += 1;
+                }
+                let mut set = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    if chars[i] == '\\' && i + 1 < chars.len() {
+                        i += 1;
+                        set.extend(escape_class(chars[i]));
+                        i += 1;
+                    } else if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (lo, hi) = (chars[i], chars[i + 2]);
+                        assert!(lo <= hi, "bad class range in {pattern}");
+                        set.extend(lo..=hi);
+                        i += 3;
+                    } else {
+                        set.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in {pattern}");
+                i += 1; // closing ']'
+                if negate {
+                    (' '..='~').filter(|c| !set.contains(c)).collect()
+                } else {
+                    set
+                }
+            }
+            '\\' => {
+                i += 1;
+                assert!(i < chars.len(), "dangling escape in {pattern}");
+                let c = chars[i];
+                i += 1;
+                if c == 'P' || c == 'p' {
+                    // Single-letter Unicode category (`\PC`); we only model
+                    // "not control".
+                    i += 1;
+                    non_control()
+                } else {
+                    escape_class(c)
+                }
+            }
+            '.' => {
+                i += 1;
+                (' '..='~').collect()
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        let (min, max) = parse_quantifier(&chars, &mut i, pattern);
+        atoms.push(Atom {
+            chars: set,
+            min,
+            max,
+        });
+    }
+    atoms
+}
+
+fn escape_class(c: char) -> Vec<char> {
+    match c {
+        'w' => word_chars(),
+        'd' => ('0'..='9').collect(),
+        's' => vec![' ', '\t', '\n'],
+        'n' => vec!['\n'],
+        't' => vec!['\t'],
+        'r' => vec!['\r'],
+        other => vec![other],
+    }
+}
+
+fn parse_quantifier(chars: &[char], i: &mut usize, pattern: &str) -> (usize, usize) {
+    match chars.get(*i) {
+        Some('{') => {
+            let close = chars[*i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| *i + p)
+                .unwrap_or_else(|| panic!("unterminated quantifier in {pattern}"));
+            let body: String = chars[*i + 1..close].iter().collect();
+            *i = close + 1;
+            if let Some((lo, hi)) = body.split_once(',') {
+                (
+                    lo.trim().parse().expect("quantifier lower bound"),
+                    hi.trim().parse().expect("quantifier upper bound"),
+                )
+            } else {
+                let n = body.trim().parse().expect("quantifier count");
+                (n, n)
+            }
+        }
+        Some('*') => {
+            *i += 1;
+            (0, 4)
+        }
+        Some('+') => {
+            *i += 1;
+            (1, 4)
+        }
+        Some('?') => {
+            *i += 1;
+            (0, 1)
+        }
+        _ => (1, 1),
+    }
+}
+
+/// Generates a string matching `pattern` (within the supported subset).
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for atom in parse(pattern) {
+        let n = atom.min + rng.below((atom.max - atom.min + 1) as u64) as usize;
+        for _ in 0..n {
+            out.push(atom.chars[rng.below(atom.chars.len() as u64) as usize]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(42)
+    }
+
+    #[test]
+    fn class_with_range_and_counts() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate("[a-z]{1,6}", &mut r);
+            assert!((1..=6).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literal_prefix_with_digits() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate("k[0-9]{1,2}", &mut r);
+            assert!(s.starts_with('k'));
+            assert!((2..=3).contains(&s.len()), "{s:?}");
+            assert!(s[1..].bytes().all(|b| b.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn printable_space_through_tilde() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate("[ -~]{0,20}", &mut r);
+            assert!(s.chars().count() <= 20);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn non_control_category() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate("\\PC{0,60}", &mut r);
+            assert!(s.chars().count() <= 60);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn exact_count_and_alternatives() {
+        let mut r = rng();
+        let s = generate("[ab]{8}", &mut r);
+        assert_eq!(s.len(), 8);
+        assert!(s.bytes().all(|b| b == b'a' || b == b'b'));
+    }
+}

@@ -38,13 +38,17 @@ fn bench_heatmap(c: &mut Criterion) {
     group.sample_size(10);
     let fw = seeded(24, 2000);
     for hours in [1i64, 6, 24] {
-        group.bench_with_input(BenchmarkId::new("cabinet_heatmap", hours), &hours, |b, &h| {
-            b.iter(|| {
-                let hm = cabinet_heatmap(&fw, "MCE", 0, h * HOUR_MS).expect("heatmap");
-                assert_eq!(hm.total as i64, h * 2000);
-                hm.hottest
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("cabinet_heatmap", hours),
+            &hours,
+            |b, &h| {
+                b.iter(|| {
+                    let hm = cabinet_heatmap(&fw, "MCE", 0, h * HOUR_MS).expect("heatmap");
+                    assert_eq!(hm.total as i64, h * 2000);
+                    hm.hottest
+                })
+            },
+        );
     }
     group.bench_function("distribution_by_blade_24h", |b| {
         b.iter(|| {

@@ -52,14 +52,18 @@ fn bench_locality(c: &mut Criterion) {
     let mut group = c.benchmark_group("locality");
     group.sample_size(10);
     for (label, locality) in [("locality_aware", true), ("round_robin", false)] {
-        group.bench_with_input(BenchmarkId::new("scan_aggregate_48h", label), &locality, |b, &loc| {
-            fw.engine().set_locality(loc);
-            b.iter(|| {
-                let distinct = scan_and_aggregate(&fw);
-                assert!(distinct > 0);
-                distinct
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("scan_aggregate_48h", label),
+            &locality,
+            |b, &loc| {
+                fw.engine().set_locality(loc);
+                b.iter(|| {
+                    let distinct = scan_and_aggregate(&fw);
+                    assert!(distinct > 0);
+                    distinct
+                });
+            },
+        );
     }
     fw.engine().set_locality(true);
     group.finish();

@@ -43,7 +43,10 @@ fn bench_partition_balance(c: &mut Criterion) {
 
     // The paper's deployment: 32 nodes. Report the figure's content once.
     PRINT.call_once(|| {
-        println!("\npartition_balance: one week of (hour,type) partitions = {} keys", keys.len());
+        println!(
+            "\npartition_balance: one week of (hour,type) partitions = {} keys",
+            keys.len()
+        );
         for nodes in [4usize, 8, 16, 32] {
             let cluster = Cluster::new(ClusterConfig {
                 nodes,

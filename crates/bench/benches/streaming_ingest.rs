@@ -40,9 +40,65 @@ fn bench_streaming(c: &mut Criterion) {
     for n in [5_000usize, 20_000] {
         let lines = bursty_lines(n);
         group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::new("bus_window_coalesce_store", n), &n, |b, _| {
+        group.bench_with_input(
+            BenchmarkId::new("bus_window_coalesce_store", n),
+            &n,
+            |b, _| {
+                b.iter_with_setup(
+                    || {
+                        let fw = fw();
+                        publish_lines(&fw, &lines).expect("publish");
+                        fw
+                    },
+                    |fw| {
+                        let report = StreamIngester::new(&fw, "bench", 60_000)
+                            .expect("join")
+                            .run_to_completion(1024)
+                            .expect("drain");
+                        assert_eq!(report.events_in, lines.len());
+                        assert!(report.events_out < report.events_in);
+                        report.events_out
+                    },
+                );
+            },
+        );
+
+        // Ablation: no coalescing — every raw event becomes a store write.
+        group.bench_with_input(
+            BenchmarkId::new("no_coalescing_direct_store", n),
+            &n,
+            |b, _| {
+                b.iter_with_setup(fw, |fw| {
+                    let evs: Vec<EventRecord> = lines
+                        .iter()
+                        .map(|l| EventRecord {
+                            ts_ms: l.ts_ms,
+                            event_type: "MCE".into(),
+                            source: l.source.clone(),
+                            amount: 1,
+                            raw: l.text.clone(),
+                        })
+                        .collect();
+                    fw.insert_events(&evs).expect("insert")
+                });
+            },
+        );
+    }
+    group.finish();
+
+    // Telemetry overhead: the identical drain with the global registry on
+    // vs off. Span guards and counters stay at every call site; "off"
+    // reduces each to a relaxed atomic load and branch.
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.sample_size(10);
+    let n = 20_000usize;
+    let lines = bursty_lines(n);
+    group.throughput(Throughput::Elements(n as u64));
+    for (label, enabled) in [("enabled", true), ("disabled", false)] {
+        group.bench_with_input(BenchmarkId::new("streaming_ingest", label), &n, |b, _| {
             b.iter_with_setup(
                 || {
+                    telemetry::set_enabled(enabled);
                     let fw = fw();
                     publish_lines(&fw, &lines).expect("publish");
                     fw
@@ -53,29 +109,12 @@ fn bench_streaming(c: &mut Criterion) {
                         .run_to_completion(1024)
                         .expect("drain");
                     assert_eq!(report.events_in, lines.len());
-                    assert!(report.events_out < report.events_in);
                     report.events_out
                 },
             );
         });
-
-        // Ablation: no coalescing — every raw event becomes a store write.
-        group.bench_with_input(BenchmarkId::new("no_coalescing_direct_store", n), &n, |b, _| {
-            b.iter_with_setup(fw, |fw| {
-                let evs: Vec<EventRecord> = lines
-                    .iter()
-                    .map(|l| EventRecord {
-                        ts_ms: l.ts_ms,
-                        event_type: "MCE".into(),
-                        source: l.source.clone(),
-                        amount: 1,
-                        raw: l.text.clone(),
-                    })
-                    .collect();
-                fw.insert_events(&evs).expect("insert")
-            });
-        });
     }
+    telemetry::set_enabled(true);
     group.finish();
 }
 

@@ -60,9 +60,7 @@ fn bench_wordcount(c: &mut Criterion) {
     }
 
     let messages = storm_messages(10_000);
-    group.bench_function("tf_idf_10k", |b| {
-        b.iter(|| tf_idf(&messages).len())
-    });
+    group.bench_function("tf_idf_10k", |b| b.iter(|| tf_idf(&messages).len()));
     group.finish();
 }
 

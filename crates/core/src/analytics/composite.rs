@@ -138,7 +138,13 @@ pub fn mine_from_store(
     for etype in loggen::events::EVENT_CATALOG {
         events.extend(fw.events_by_type(etype.name, from_ms, to_ms)?);
     }
-    Ok(mine_rules(&events, fw.topology(), window_ms, scope, min_support))
+    Ok(mine_rules(
+        &events,
+        fw.topology(),
+        window_ms,
+        scope,
+        min_support,
+    ))
 }
 
 #[cfg(test)]
@@ -167,7 +173,12 @@ mod tests {
         // spread over a long span so the base rate stays low.
         for i in 0..50i64 {
             events.push(ev(i * 600_000, "NET_LINK", (i % 8) as usize, &topo));
-            events.push(ev(i * 600_000 + 5_000, "LUSTRE_ERR", (i % 8) as usize, &topo));
+            events.push(ev(
+                i * 600_000 + 5_000,
+                "LUSTRE_ERR",
+                (i % 8) as usize,
+                &topo,
+            ));
         }
         let rules = mine_rules(&events, &topo, 10_000, Scope::Node, 5);
         let top = &rules[0];
@@ -187,17 +198,17 @@ mod tests {
         let topo = topo();
         // A on node 0 (cabinet 0), B on node 96 (cabinet 1): only System
         // scope should connect them.
-        let events = vec![
-            ev(0, "MCE", 0, &topo),
-            ev(1_000, "KERNEL_PANIC", 96, &topo),
-        ];
+        let events = vec![ev(0, "MCE", 0, &topo), ev(1_000, "KERNEL_PANIC", 96, &topo)];
         assert!(mine_rules(&events, &topo, 5_000, Scope::Node, 1).is_empty());
         assert!(mine_rules(&events, &topo, 5_000, Scope::Cabinet, 1).is_empty());
         let rules = mine_rules(&events, &topo, 5_000, Scope::System, 1);
         assert_eq!(rules.len(), 1);
         // Same cabinet, different node: cabinet scope matches, node doesn't.
         let events = vec![ev(0, "MCE", 0, &topo), ev(1_000, "KERNEL_PANIC", 5, &topo)];
-        assert_eq!(mine_rules(&events, &topo, 5_000, Scope::Cabinet, 1).len(), 1);
+        assert_eq!(
+            mine_rules(&events, &topo, 5_000, Scope::Cabinet, 1).len(),
+            1
+        );
         assert!(mine_rules(&events, &topo, 5_000, Scope::Node, 1).is_empty());
     }
 

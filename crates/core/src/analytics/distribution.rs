@@ -60,9 +60,9 @@ pub fn distribution_of(
 
     // Application grouping needs the runs active in the events' span.
     let runs = if group_by == GroupBy::Application {
-        let (lo, hi) = events
-            .iter()
-            .fold((i64::MAX, i64::MIN), |(lo, hi), e| (lo.min(e.ts_ms), hi.max(e.ts_ms)));
+        let (lo, hi) = events.iter().fold((i64::MAX, i64::MIN), |(lo, hi), e| {
+            (lo.min(e.ts_ms), hi.max(e.ts_ms))
+        });
         if lo <= hi {
             // Runs may have started up to a day before the first event.
             fw.apps_by_time(lo - 24 * 3_600_000, hi + 1)?

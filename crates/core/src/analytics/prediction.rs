@@ -200,8 +200,16 @@ impl FailurePredictor {
             hits,
             caught,
             failures,
-            precision: if alarms > 0 { hits as f64 / alarms as f64 } else { 0.0 },
-            recall: if failures > 0 { caught as f64 / failures as f64 } else { 0.0 },
+            precision: if alarms > 0 {
+                hits as f64 / alarms as f64
+            } else {
+                0.0
+            },
+            recall: if failures > 0 {
+                caught as f64 / failures as f64
+            } else {
+                0.0
+            },
         }
     }
 }

@@ -119,11 +119,7 @@ pub fn profile_distance(a: &AppProfile, b: &AppProfile) -> f64 {
 /// Flags runs whose total event rate deviates from the application's mean
 /// by more than `k_sigma` standard deviations. Returns `(apid, z-score)`
 /// sorted by descending score.
-pub fn anomalous_runs(
-    fw: &Framework,
-    app: &str,
-    k_sigma: f64,
-) -> Result<Vec<(i64, f64)>, DbError> {
+pub fn anomalous_runs(fw: &Framework, app: &str, k_sigma: f64) -> Result<Vec<(i64, f64)>, DbError> {
     let exposures = run_exposures(fw, app)?;
     if exposures.len() < 2 {
         return Ok(Vec::new());
@@ -239,7 +235,13 @@ mod tests {
             ev(&fw, apid * HOUR_MS + 500, "MEM_ECC", 0, 1);
         }
         for i in 0..40 {
-            ev(&fw, 5 * HOUR_MS + 1000 + i, "LUSTRE_ERR", (i % 4) as usize, 1);
+            ev(
+                &fw,
+                5 * HOUR_MS + 1000 + i,
+                "LUSTRE_ERR",
+                (i % 4) as usize,
+                1,
+            );
         }
         let flagged = anomalous_runs(&fw, "XGC", 1.5).unwrap();
         assert_eq!(flagged.len(), 1);

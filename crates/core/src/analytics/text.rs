@@ -9,8 +9,26 @@ use std::collections::HashMap;
 
 /// Words carrying no diagnostic signal in system logs.
 const STOPWORDS: &[&str] = &[
-    "the", "with", "was", "for", "this", "will", "using", "service", "operations", "progress",
-    "and", "that", "are", "not", "all", "from", "has", "have", "been", "its",
+    "the",
+    "with",
+    "was",
+    "for",
+    "this",
+    "will",
+    "using",
+    "service",
+    "operations",
+    "progress",
+    "and",
+    "that",
+    "are",
+    "not",
+    "all",
+    "from",
+    "has",
+    "have",
+    "been",
+    "its",
 ];
 
 /// Splits a message into analyzable tokens: alphanumeric runs, length ≥ 3,
@@ -145,7 +163,13 @@ mod tests {
         })
         .unwrap();
         let messages: Vec<String> = (0..200)
-            .map(|i| format!("LustreError OST{:04x} timeout ost_write retry{}", i % 5, i % 3))
+            .map(|i| {
+                format!(
+                    "LustreError OST{:04x} timeout ost_write retry{}",
+                    i % 5,
+                    i % 3
+                )
+            })
             .collect();
         let serial = word_count_serial(&messages);
         let parallel = word_count_parallel(&fw, messages);
@@ -167,8 +191,9 @@ mod tests {
     #[test]
     fn tf_idf_downweights_ubiquitous_terms() {
         // "LustreError" appears in every message (idf = 0); "OST0041" in few.
-        let mut messages: Vec<String> =
-            (0..50).map(|i| format!("LustreError timeout node{i}")).collect();
+        let mut messages: Vec<String> = (0..50)
+            .map(|i| format!("LustreError timeout node{i}"))
+            .collect();
         messages.push("LustreError OST0041 refused".to_owned());
         messages.push("LustreError OST0041 refused again".to_owned());
         let scores = tf_idf(&messages);

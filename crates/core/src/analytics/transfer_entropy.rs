@@ -130,10 +130,14 @@ mod tests {
         let mut state = 0x12345678u64;
         let mut x = Vec::with_capacity(n);
         for _ in 0..n {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             x.push((state >> 62) & 1 == 1);
         }
-        let y: Vec<bool> = (0..n).map(|t| if t >= lag { x[t - lag] } else { false }).collect();
+        let y: Vec<bool> = (0..n)
+            .map(|t| if t >= lag { x[t - lag] } else { false })
+            .collect();
         (x, y)
     }
 
@@ -162,7 +166,9 @@ mod tests {
         let mut state = 0x9abcdefu64;
         let z: Vec<bool> = (0..4000)
             .map(|_| {
-                state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                state = state
+                    .wrapping_mul(2862933555777941757)
+                    .wrapping_add(3037000493);
                 (state >> 61) & 1 == 1
             })
             .collect();
@@ -180,7 +186,10 @@ mod tests {
 
     #[test]
     fn binarize_thresholds_at_zero() {
-        assert_eq!(binarize(&[0.0, 1.0, 0.5, 0.0]), vec![false, true, true, false]);
+        assert_eq!(
+            binarize(&[0.0, 1.0, 0.5, 0.0]),
+            vec![false, true, true, false]
+        );
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub fn import(fw: &Framework, lines: &[RawLine]) -> Result<ImportReport, DbError
 
 /// Runs the batch import over pre-rendered raw text lines.
 pub fn import_rendered(fw: &Framework, rendered: Vec<String>) -> Result<ImportReport, DbError> {
+    let _span = telemetry::span!("etl.batch.import");
     let nparts = (fw.engine().workers() * 2).max(1);
     let rdd = fw.engine().parallelize(rendered, nparts);
     let cluster = Arc::clone(fw.cluster());
@@ -131,6 +132,13 @@ pub fn import_rendered(fw: &Framework, rendered: Vec<String>) -> Result<ImportRe
         report.jobs += 1;
     }
     report.unmatched_jobs += ends.len();
+    let g = telemetry::global();
+    g.counter("etl.batch.lines_parsed")
+        .incr(report.parsed as u64);
+    g.counter("etl.batch.lines_skipped")
+        .incr(report.skipped as u64);
+    g.counter("etl.batch.event_rows")
+        .incr(report.event_rows as u64);
     Ok(report)
 }
 
@@ -208,7 +216,8 @@ mod tests {
         let fw = fw();
         let lines = vec![
             "not a log line at all".to_owned(),
-            "1500000000123 console c0-0c0s0n0 Machine Check Exception: bank 1: b2 addr 3f cpu 0".to_owned(),
+            "1500000000123 console c0-0c0s0n0 Machine Check Exception: bank 1: b2 addr 3f cpu 0"
+                .to_owned(),
             "1500000000124 console c0-0c0s0n0 routine chatter nothing matches".to_owned(),
         ];
         let report = import_rendered(&fw, lines).unwrap();

@@ -74,7 +74,9 @@ impl EventParser {
             net_link: re(r"Gemini LCB lcb=\S+ failed"),
             net_throttle: re(r"congestion protection engaged"),
             panic: re(r"^Kernel panic"),
-            job_start: re(r"^apid (\d+) start user=(\w+) app=([A-Za-z0-9+._\-]+) nodes=(\d+)-(\d+)"),
+            job_start: re(
+                r"^apid (\d+) start user=(\w+) app=([A-Za-z0-9+._\-]+) nodes=(\d+)-(\d+)",
+            ),
             job_end: re(r"^apid (\d+) end exit=(-?\d+)"),
         }
     }
@@ -241,7 +243,9 @@ mod tests {
         }
         let line = "1500000360000 app alps apid 1000001 end exit=-9 runtime_s=360";
         match p.parse(line).unwrap() {
-            ParsedLine::JobEnd { apid, exit_code, .. } => {
+            ParsedLine::JobEnd {
+                apid, exit_code, ..
+            } => {
                 assert_eq!(apid, 1_000_001);
                 assert_eq!(exit_code, -9);
             }
@@ -252,7 +256,8 @@ mod tests {
     #[test]
     fn event_lines_become_event_records_with_raw() {
         let p = parser();
-        let line = "1500000000123 console c3-2c1s4n2 Machine Check Exception: bank 4: b2 addr 3f cpu 12";
+        let line =
+            "1500000000123 console c3-2c1s4n2 Machine Check Exception: bank 4: b2 addr 3f cpu 12";
         match p.parse(line).unwrap() {
             ParsedLine::Event(ev) => {
                 assert_eq!(ev.event_type, "MCE");
@@ -268,7 +273,9 @@ mod tests {
     fn unparseable_lines_yield_none() {
         let p = parser();
         assert!(p.parse("").is_none());
-        assert!(p.parse("1500 console c0-0c0s0n0 just some chatter").is_none());
+        assert!(p
+            .parse("1500 console c0-0c0s0n0 just some chatter")
+            .is_none());
         assert!(p.parse("garbage").is_none());
     }
 

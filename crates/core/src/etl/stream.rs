@@ -68,6 +68,7 @@ impl<'f> StreamIngester<'f> {
     /// Polls once and processes every ready window. Returns the number of
     /// bus records consumed (0 = idle).
     pub fn step(&mut self, max_records: usize) -> Result<usize, DbError> {
+        let _span = telemetry::span!("etl.stream.step");
         let records = self.consumer.poll(max_records);
         let polled = records.len();
         self.report.polled += polled;
@@ -86,6 +87,9 @@ impl<'f> StreamIngester<'f> {
             self.flush_window(window_start, batch)?;
         }
         self.consumer.commit();
+        telemetry::global()
+            .gauge("etl.stream.ingest_lag")
+            .set(self.consumer.lag() as i64);
         Ok(polled)
     }
 
@@ -105,6 +109,9 @@ impl<'f> StreamIngester<'f> {
     }
 
     fn flush_window(&mut self, window_start: i64, batch: Vec<EventRecord>) -> Result<(), DbError> {
+        let mut span = telemetry::span!("etl.stream.window");
+        span.tag("window_start_ms", window_start.to_string());
+        let events_in = batch.len();
         // Coalesce same (type, source) within the window into one event
         // stamped at the window start, amounts summed.
         let merged = coalesce(
@@ -120,6 +127,11 @@ impl<'f> StreamIngester<'f> {
             })
             .collect();
         self.report.events_out += merged.len();
+        let g = telemetry::global();
+        g.gauge("etl.stream.window_events_in").set(events_in as i64);
+        g.gauge("etl.stream.window_events_out")
+            .set(merged.len() as i64);
+        g.counter("etl.stream.events_out").incr(merged.len() as u64);
         self.fw.insert_events(&merged)?;
         Ok(())
     }

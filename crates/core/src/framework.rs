@@ -217,12 +217,7 @@ impl Framework {
     /// primary replica. When a partition is computed on a *different*
     /// executor, the loader pays a marshalling round trip (encode + decode
     /// of every cell) — the cost a co-located deployment avoids.
-    pub fn scan_events_rdd(
-        &self,
-        event_type: &str,
-        from_ms: i64,
-        to_ms: i64,
-    ) -> Rdd<EventRecord> {
+    pub fn scan_events_rdd(&self, event_type: &str, from_ms: i64, to_ms: i64) -> Rdd<EventRecord> {
         let workers = self.engine.workers();
         let sources: Vec<PartitionSource<EventRecord>> = keys::hours_in(from_ms, to_ms)
             .map(|hour| {
@@ -321,6 +316,14 @@ impl Framework {
     ) -> Result<crate::etl::batch::ImportReport, DbError> {
         crate::etl::batch::import(self, lines)
     }
+
+    /// Human-readable table of every instrument in the global telemetry
+    /// registry (counters, gauges, and latency histograms with
+    /// p50/p95/p99/max). For the machine-readable form use the `metrics`
+    /// query op or `GET /metrics`.
+    pub fn telemetry_report(&self) -> String {
+        telemetry::global().render_table()
+    }
 }
 
 /// Simulates fetching a record set from a non-co-located storage node:
@@ -407,7 +410,9 @@ mod tests {
         let fw = small();
         assert_eq!(fw.cluster().table_names().len(), 9);
         // nodeinfos populated for the whole topology.
-        let info = nodeinfo::lookup(fw.cluster(), "c1-1c2s7n3").unwrap().unwrap();
+        let info = nodeinfo::lookup(fw.cluster(), "c1-1c2s7n3")
+            .unwrap()
+            .unwrap();
         assert_eq!(info.index, fw.topology().node_count() - 1);
         // eventtypes loaded.
         let rows = fw
@@ -487,7 +492,10 @@ mod tests {
 
     #[test]
     fn marshal_roundtrip_is_identity() {
-        let records = vec![ev(1, "MCE", "c0-0c0s0n0"), ev(2, "LUSTRE_ERR", "c1-0c0s0n0")];
+        let records = vec![
+            ev(1, "MCE", "c0-0c0s0n0"),
+            ev(2, "LUSTRE_ERR", "c1-0c0s0n0"),
+        ];
         assert_eq!(marshal_roundtrip(records.clone()), records);
     }
 

@@ -107,7 +107,10 @@ impl AppRun {
             user: cell_text("userid").or_else(|| user.map(str::to_owned))?,
             app: cell_text("appname").or_else(|| app.map(str::to_owned))?,
             start_ms,
-            end_ms: row.cell("end_ts").and_then(|v| v.as_i64()).unwrap_or(start_ms),
+            end_ms: row
+                .cell("end_ts")
+                .and_then(|v| v.as_i64())
+                .unwrap_or(start_ms),
             node_first: row.cell("node_first").and_then(|v| v.as_i64()).unwrap_or(0),
             node_last: row.cell("node_last").and_then(|v| v.as_i64()).unwrap_or(0),
             exit_code: row.cell("exit_code").and_then(|v| v.as_i64()).unwrap_or(0) as i32,
@@ -148,7 +151,9 @@ mod tests {
             node_first: 192,
             node_last: 319,
             exit_code: 0,
-            other_info: [("queue".to_owned(), Value::text("batch"))].into_iter().collect(),
+            other_info: [("queue".to_owned(), Value::text("batch"))]
+                .into_iter()
+                .collect(),
         }
     }
 
@@ -165,11 +170,17 @@ mod tests {
     fn views_carry_their_partition_keys() {
         let run = sample();
         let time_row = run.to_time_row();
-        assert!(time_row.iter().any(|(n, v)| n == "hour" && *v == Value::BigInt(2)));
+        assert!(time_row
+            .iter()
+            .any(|(n, v)| n == "hour" && *v == Value::BigInt(2)));
         let loc_row = run.to_location_row();
-        assert!(loc_row.iter().any(|(n, v)| n == "cabinet" && *v == Value::BigInt(2)));
+        assert!(loc_row
+            .iter()
+            .any(|(n, v)| n == "cabinet" && *v == Value::BigInt(2)));
         let name_row = run.to_name_row();
-        assert!(name_row.iter().any(|(n, v)| n == "appname" && *v == Value::text("VASP")));
+        assert!(name_row
+            .iter()
+            .any(|(n, v)| n == "appname" && *v == Value::text("VASP")));
     }
 
     #[test]

@@ -110,7 +110,10 @@ mod tests {
         let row = sample().to_time_row();
         assert_eq!(row[0], ("hour".to_owned(), Value::BigInt(3)));
         assert_eq!(row[1], ("type".to_owned(), Value::text("MCE")));
-        assert_eq!(row[2], ("ts".to_owned(), Value::Timestamp(3 * HOUR_MS + 1234)));
+        assert_eq!(
+            row[2],
+            ("ts".to_owned(), Value::Timestamp(3 * HOUR_MS + 1234))
+        );
     }
 
     #[test]
@@ -125,10 +128,7 @@ mod tests {
         use rasdb::types::Key;
         let ev = sample();
         let row = Row {
-            clustering: Key(vec![
-                Value::Timestamp(ev.ts_ms),
-                Value::text(&ev.source),
-            ]),
+            clustering: Key(vec![Value::Timestamp(ev.ts_ms), Value::text(&ev.source)]),
             cells: [
                 ("amount".to_owned(), Value::Int(ev.amount)),
                 ("raw".to_owned(), Value::text(&ev.raw)),

@@ -21,7 +21,11 @@ pub fn day_of(ts_ms: i64) -> i64 {
 /// Iterates the hour buckets intersecting `[from_ms, to_ms)`.
 pub fn hours_in(from_ms: i64, to_ms: i64) -> impl Iterator<Item = i64> {
     let first = hour_of(from_ms);
-    let last = if to_ms > from_ms { hour_of(to_ms - 1) } else { first - 1 };
+    let last = if to_ms > from_ms {
+        hour_of(to_ms - 1)
+    } else {
+        first - 1
+    };
     first..=last
 }
 

@@ -32,9 +32,15 @@ impl QueryEngine {
     /// Handles one JSON request string; always returns a JSON response
     /// with a `"status"` field (`ok` / `error`).
     pub fn handle(&self, request: &str) -> String {
+        let mut span = telemetry::span!("server.request");
         let response = match jsonlite::parse(request) {
             Err(e) => err(format!("bad JSON: {e}")),
-            Ok(req) => self.dispatch(&req).unwrap_or_else(err),
+            Ok(req) => {
+                if let Some(op) = req["op"].as_str() {
+                    span.tag("op", op);
+                }
+                self.dispatch(&req).unwrap_or_else(err)
+            }
         };
         response.to_string()
     }
@@ -59,6 +65,11 @@ impl QueryEngine {
             "predict" => self.op_predict(req),
             "render" => self.op_render(req),
             "cql" => self.op_cql(req),
+            "metrics" => self.op_metrics(req),
+            "trace" => Ok(ok([(
+                "spans",
+                crate::server::telemetry_export::trace_json(),
+            )])),
             other => Err(format!("unknown op '{other}'")),
         }
     }
@@ -206,8 +217,7 @@ impl QueryEngine {
         let (from, to) = self.window(req)?;
         let t = req["type"].as_str().unwrap_or("LUSTRE_ERR");
         let k = req["top"].as_i64().unwrap_or(20).max(1) as usize;
-        let counts =
-            text::word_count_events(&self.fw, t, from, to).map_err(|e| e.to_string())?;
+        let counts = text::word_count_events(&self.fw, t, from, to).map_err(|e| e.to_string())?;
         let top = text::top_k(&counts, k);
         Ok(ok([(
             "terms",
@@ -389,6 +399,20 @@ impl QueryEngine {
         Ok(ok([("view", Json::from(view)), ("svg", Json::from(svg))]))
     }
 
+    /// The global telemetry registry: counters, gauges, and latency
+    /// histograms. Pass `"reset": true` to zero everything after reading.
+    fn op_metrics(&self, req: &Json) -> Result<Json, String> {
+        let snap = crate::server::telemetry_export::metrics_json();
+        let mut resp = ok([("enabled", Json::from(telemetry::enabled()))]);
+        resp.insert("counters", snap["counters"].clone());
+        resp.insert("gauges", snap["gauges"].clone());
+        resp.insert("histograms", snap["histograms"].clone());
+        if req["reset"].as_bool() == Some(true) {
+            telemetry::global().reset();
+        }
+        Ok(resp)
+    }
+
     /// Simple queries go "directly handled by the query engine" — raw CQL
     /// pass-through to the backend.
     fn op_cql(&self, req: &Json) -> Result<Json, String> {
@@ -427,7 +451,10 @@ fn db_value_to_json(v: &rasdb::types::Value) -> Json {
         V::BigInt(n) | V::Timestamp(n) => Json::from(*n),
         V::Double(f) => Json::from(*f),
         V::Bool(b) => Json::from(*b),
-        V::Blob(b) => Json::from(format!("0x{}", b.iter().map(|x| format!("{x:02x}")).collect::<String>())),
+        V::Blob(b) => Json::from(format!(
+            "0x{}",
+            b.iter().map(|x| format!("{x:02x}")).collect::<String>()
+        )),
         V::List(items) => json_array(items.iter().map(db_value_to_json)),
         V::Map(m) => json_object(m.iter().map(|(k, v)| (k.clone(), db_value_to_json(v)))),
     }
@@ -483,10 +510,7 @@ mod tests {
     #[test]
     fn events_roundtrip_through_json() {
         let e = engine();
-        let resp = call(
-            &e,
-            r#"{"op":"events","type":"MCE","from":0,"to":3600000}"#,
-        );
+        let resp = call(&e, r#"{"op":"events","type":"MCE","from":0,"to":3600000}"#);
         assert_eq!(resp["status"].as_str(), Some("ok"));
         assert_eq!(resp["rows"].as_array().unwrap().len(), 10);
         assert_eq!(resp["rows"][0]["type"].as_str(), Some("MCE"));
@@ -567,7 +591,10 @@ mod tests {
         let e = engine();
         // Seed a causal pair so `rules` finds something.
         for i in 0..20i64 {
-            for (t, at) in [("NET_LINK", i * 120_000), ("LUSTRE_ERR", i * 120_000 + 5_000)] {
+            for (t, at) in [
+                ("NET_LINK", i * 120_000),
+                ("LUSTRE_ERR", i * 120_000 + 5_000),
+            ] {
                 e.framework()
                     .insert_event(&EventRecord {
                         ts_ms: at,
@@ -612,10 +639,7 @@ mod tests {
         assert_eq!(resp["status"].as_str(), Some("ok"));
         let svg = resp["svg"].as_str().unwrap();
         assert!(svg.starts_with("<svg"));
-        let resp = call(
-            &e,
-            r#"{"op":"render","view":"nope","from":0,"to":1}"#,
-        );
+        let resp = call(&e, r#"{"op":"render","view":"nope","from":0,"to":1}"#);
         assert_eq!(resp["status"].as_str(), Some("error"));
     }
 

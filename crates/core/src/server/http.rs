@@ -1,6 +1,8 @@
 //! A minimal HTTP/1.1 endpoint for the query engine — the stand-in for the
 //! paper's Tornado web server. `POST /query` with a JSON body returns the
-//! engine's JSON response; `GET /health` answers liveness probes.
+//! engine's JSON response; `GET /health` answers liveness probes;
+//! `GET /metrics` and `GET /trace` expose the global telemetry registry
+//! and span trace log as JSON.
 
 use crate::server::engine::QueryEngine;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -96,10 +98,22 @@ fn handle_connection(stream: TcpStream, engine: &QueryEngine) -> std::io::Result
     let mut stream = stream;
     match (method, path) {
         ("GET", "/health") => respond(&mut stream, 200, r#"{"status":"ok"}"#),
+        ("GET", "/metrics") => {
+            let body = crate::server::telemetry_export::metrics_json().to_string();
+            respond(&mut stream, 200, &body)
+        }
+        ("GET", "/trace") => {
+            let body = crate::server::telemetry_export::trace_json().to_string();
+            respond(&mut stream, 200, &body)
+        }
         ("POST", "/query") => {
             // Bound the body to keep hostile clients from exhausting memory.
             if content_length > 8 * 1024 * 1024 {
-                return respond(&mut stream, 413, r#"{"status":"error","message":"body too large"}"#);
+                return respond(
+                    &mut stream,
+                    413,
+                    r#"{"status":"error","message":"body too large"}"#,
+                );
             }
             let mut body = vec![0u8; content_length];
             reader.read_exact(&mut body)?;
@@ -110,7 +124,7 @@ fn handle_connection(stream: TcpStream, engine: &QueryEngine) -> std::io::Result
         _ => respond(
             &mut stream,
             404,
-            r#"{"status":"error","message":"use POST /query or GET /health"}"#,
+            r#"{"status":"error","message":"use POST /query or GET /health, /metrics, /trace"}"#,
         ),
     }
 }
@@ -158,10 +172,7 @@ mod tests {
     #[test]
     fn health_endpoint_answers() {
         let server = server();
-        let resp = request(
-            server.addr(),
-            "GET /health HTTP/1.1\r\nHost: x\r\n\r\n",
-        );
+        let resp = request(server.addr(), "GET /health HTTP/1.1\r\nHost: x\r\n\r\n");
         assert!(resp.starts_with("HTTP/1.1 200"));
         assert!(resp.contains(r#"{"status":"ok"}"#));
     }
@@ -182,6 +193,37 @@ mod tests {
     }
 
     #[test]
+    fn metrics_and_trace_endpoints_serve_json() {
+        let server = server();
+        // Drive one query so the registry and trace have something in them.
+        let body = r#"{"op":"events","type":"MCE","from":0,"to":1000}"#;
+        let raw = format!(
+            "POST /query HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        request(server.addr(), &raw);
+
+        let resp = request(server.addr(), "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+        assert!(resp.contains(r#""histograms""#), "{resp}");
+
+        // Other tests in this process may flood the trace ring between our
+        // query and the read, so retry the pair a few times.
+        let mut found = false;
+        for _ in 0..5 {
+            request(server.addr(), &raw);
+            let resp = request(server.addr(), "GET /trace HTTP/1.1\r\nHost: x\r\n\r\n");
+            assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+            if resp.contains("server.request") {
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "no server.request span surfaced in /trace");
+    }
+
+    #[test]
     fn unknown_paths_get_404() {
         let server = server();
         let resp = request(server.addr(), "GET /nope HTTP/1.1\r\nHost: x\r\n\r\n");
@@ -195,8 +237,7 @@ mod tests {
         let handles: Vec<_> = (0..8)
             .map(|_| {
                 std::thread::spawn(move || {
-                    let resp =
-                        request(addr, "GET /health HTTP/1.1\r\nHost: x\r\n\r\n");
+                    let resp = request(addr, "GET /health HTTP/1.1\r\nHost: x\r\n\r\n");
                     assert!(resp.contains("ok"));
                 })
             })

@@ -7,6 +7,7 @@
 
 pub mod engine;
 pub mod http;
+pub mod telemetry_export;
 pub mod views;
 
 pub use engine::QueryEngine;

@@ -1,0 +1,109 @@
+//! JSON rendering of the global telemetry registry and trace log.
+//!
+//! The `telemetry` crate stays dependency-free; everything that needs a
+//! wire format (the `metrics`/`trace` query ops and the `/metrics` and
+//! `/trace` HTTP endpoints) goes through these helpers instead.
+
+use jsonlite::{json_array, json_object, Value as Json};
+use telemetry::{HistogramSummary, Snapshot, SpanRecord};
+
+fn summary_json(s: &HistogramSummary) -> Json {
+    json_object([
+        ("count", Json::from(s.count)),
+        ("sum", Json::from(s.sum)),
+        ("mean", Json::from(s.mean)),
+        ("p50", Json::from(s.p50)),
+        ("p95", Json::from(s.p95)),
+        ("p99", Json::from(s.p99)),
+        ("max", Json::from(s.max)),
+    ])
+}
+
+/// A [`Snapshot`] as a JSON object with `counters`, `gauges`, and
+/// `histograms` maps (histogram values in nanoseconds).
+pub fn snapshot_json(snap: &Snapshot) -> Json {
+    json_object([
+        (
+            "counters",
+            json_object(
+                snap.counters
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::from(*v))),
+            ),
+        ),
+        (
+            "gauges",
+            json_object(snap.gauges.iter().map(|(k, v)| (k.clone(), Json::from(*v)))),
+        ),
+        (
+            "histograms",
+            json_object(
+                snap.histograms
+                    .iter()
+                    .map(|(k, s)| (k.clone(), summary_json(s))),
+            ),
+        ),
+    ])
+}
+
+/// The current global registry as JSON.
+pub fn metrics_json() -> Json {
+    snapshot_json(&telemetry::global().snapshot())
+}
+
+fn span_json(s: &SpanRecord) -> Json {
+    let mut obj = json_object([
+        ("id", Json::from(s.id)),
+        ("name", Json::from(s.name)),
+        ("start_us", Json::from(s.start_us)),
+        ("duration_ns", Json::from(s.duration_ns)),
+        (
+            "tags",
+            json_object(s.tags.iter().map(|(k, v)| (*k, Json::from(v.as_str())))),
+        ),
+    ]);
+    if let Some(p) = s.parent {
+        obj.insert("parent", Json::from(p));
+    }
+    obj
+}
+
+/// The trace ring buffer as a JSON array, oldest span first.
+pub fn trace_json() -> Json {
+    json_array(telemetry::trace_snapshot().iter().map(span_json))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_renders_every_instrument_kind() {
+        telemetry::global().counter("test.export.count").incr(3);
+        telemetry::global().gauge("test.export.lag").set(-4);
+        telemetry::global()
+            .histogram("test.export.lat")
+            .record(1_000);
+        let json = metrics_json();
+        assert_eq!(json["counters"]["test.export.count"].as_i64(), Some(3));
+        assert_eq!(json["gauges"]["test.export.lag"].as_i64(), Some(-4));
+        assert!(json["histograms"]["test.export.lat"]["count"].as_i64() >= Some(1));
+    }
+
+    #[test]
+    fn trace_spans_carry_parent_and_tags() {
+        {
+            let root = telemetry::span!("test.export.root");
+            let mut child = telemetry::span!("test.export.child", root.id());
+            child.tag("k", "v");
+        }
+        let spans = trace_json();
+        let arr = spans.as_array().unwrap();
+        let child = arr
+            .iter()
+            .find(|s| s["name"].as_str() == Some("test.export.child"))
+            .unwrap();
+        assert!(child["parent"].as_i64().is_some());
+        assert_eq!(child["tags"]["k"].as_str(), Some("v"));
+    }
+}

@@ -1,8 +1,8 @@
 //! Property tests across the framework's pipelines.
 
+use hpclog_core::analytics::bin_counts;
 use hpclog_core::analytics::composite::{mine_rules, Scope};
 use hpclog_core::analytics::transfer_entropy::transfer_entropy_binary;
-use hpclog_core::analytics::{bin_counts};
 use hpclog_core::etl::parsers::{EventParser, ParsedLine};
 use hpclog_core::model::event::EventRecord;
 use loggen::topology::Topology;

@@ -144,7 +144,10 @@ mod tests {
 
     #[test]
     fn empty_containers_stay_compact_in_pretty_mode() {
-        let v = json_object([("a", Value::Array(vec![])), ("b", Value::Object(Default::default()))]);
+        let v = json_object([
+            ("a", Value::Array(vec![])),
+            ("b", Value::Object(Default::default())),
+        ]);
         assert_eq!(to_string_pretty(&v), "{\n  \"a\": [],\n  \"b\": {}\n}");
     }
 }

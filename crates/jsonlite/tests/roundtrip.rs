@@ -12,8 +12,7 @@ fn arb_value() -> impl Strategy<Value = Value> {
         (-1e12f64..1e12f64).prop_map(Value::Number),
         "[ -~]{0,20}".prop_map(Value::from),
         // Exercise escapes and non-ASCII.
-        prop_oneof![Just("\"quoted\"\n"), Just("日本\t"), Just("\\back\\")]
-            .prop_map(Value::from),
+        prop_oneof![Just("\"quoted\"\n"), Just("日本\t"), Just("\\back\\")].prop_map(Value::from),
     ];
     leaf.prop_recursive(4, 64, 8, |inner| {
         prop_oneof![

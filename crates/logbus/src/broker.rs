@@ -73,7 +73,10 @@ impl Broker {
         if topics.contains_key(name) {
             return Err(BusError::TopicExists(name.to_owned()));
         }
-        topics.insert(name.to_owned(), Arc::new(Topic::new(name, partitions, retention)));
+        topics.insert(
+            name.to_owned(),
+            Arc::new(Topic::new(name, partitions, retention)),
+        );
         Ok(())
     }
 
@@ -114,7 +117,10 @@ mod tests {
         b.create_topic("b", 4).unwrap();
         assert_eq!(b.topic("a").unwrap().partitions.len(), 2);
         assert_eq!(b.topic_names(), vec!["a", "b"]);
-        assert!(matches!(b.create_topic("a", 1), Err(BusError::TopicExists(_))));
+        assert!(matches!(
+            b.create_topic("a", 1),
+            Err(BusError::TopicExists(_))
+        ));
         assert!(matches!(b.topic("zzz"), Err(BusError::NoSuchTopic(_))));
     }
 

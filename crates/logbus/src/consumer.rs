@@ -74,6 +74,7 @@ impl Consumer {
     /// Polls up to `max` records across assigned partitions (fair
     /// round-robin over partitions). Returns immediately (possibly empty).
     pub fn poll(&mut self, max: usize) -> Vec<Record> {
+        let mut span = telemetry::span!("logbus.consumer.poll");
         if self.group.read().generation != self.seen_generation {
             self.rebalance();
         }
@@ -97,6 +98,10 @@ impl Consumer {
             self.positions[idx].1 = records.last().expect("nonempty").offset + 1;
             out.extend(records);
         }
+        span.tag("records", out.len().to_string());
+        telemetry::global()
+            .counter("logbus.consumer.records")
+            .incr(out.len() as u64);
         out
     }
 
@@ -114,7 +119,11 @@ impl Consumer {
     pub fn lag(&self) -> u64 {
         self.positions
             .iter()
-            .map(|(p, offset)| self.topic.partitions[*p].end_offset().saturating_sub(*offset))
+            .map(|(p, offset)| {
+                self.topic.partitions[*p]
+                    .end_offset()
+                    .saturating_sub(*offset)
+            })
             .sum()
     }
 }
@@ -143,7 +152,8 @@ mod tests {
         let b = setup(3);
         let p = Producer::new(&b);
         for i in 0..30 {
-            p.send("t", Some(&format!("k{}", i % 5)), format!("m{i}")).unwrap();
+            p.send("t", Some(&format!("k{}", i % 5)), format!("m{i}"))
+                .unwrap();
         }
         let mut c = Consumer::new(&b, "g", "t").unwrap();
         assert_eq!(c.assignment(), vec![0, 1, 2]);

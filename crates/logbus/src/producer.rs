@@ -39,6 +39,7 @@ impl<'b> Producer<'b> {
         value: impl Into<String>,
         timestamp_ms: i64,
     ) -> Result<(usize, u64), BusError> {
+        let _span = telemetry::span!("logbus.producer.send");
         let topic_ref = self.broker.topic(topic)?;
         let partition = match key {
             Some(k) => topic_ref.partition_for_key(k),

@@ -57,13 +57,7 @@ impl PartitionLog {
             return Vec::new();
         }
         let idx = (start - inner.base_offset) as usize;
-        inner
-            .records
-            .iter()
-            .skip(idx)
-            .take(max)
-            .cloned()
-            .collect()
+        inner.records.iter().skip(idx).take(max).cloned().collect()
     }
 
     /// The next offset that will be assigned (= log end).

@@ -31,7 +31,7 @@ pub fn render_console(o: &Occurrence, rng: &mut StdRng) -> String {
             rng.gen_range(0..4),
             rng.gen_range(0x1000..0xfffff),
             rng.gen_range(0..8),
-            ['A', 'B', 'C', 'D'][rng.gen_range(0..4)],
+            ['A', 'B', 'C', 'D'][rng.gen_range(0..4usize)],
             rng.gen_range(1..3),
         ),
         "GPU_DBE" => format!(
@@ -47,7 +47,7 @@ pub fn render_console(o: &Occurrence, rng: &mut StdRng) -> String {
         "GPU_SXM_PWR" => format!(
             "NVRM: Xid (0000:{:02x}:00): 62, GPU power excursion detected, throttling to {} MHz",
             rng.gen_range(2..4),
-            [324, 614, 732][rng.gen_range(0..3)],
+            [324, 614, 732][rng.gen_range(0..3usize)],
         ),
         "DVS_ERR" => format!(
             "DVS: file_node_down: removing c{}-{}c{}s{}n{} from list of available servers for {} mount points",

@@ -57,7 +57,7 @@ pub fn cabinet_burst(
     // Hot blades: pick 2-4 blades that absorb ~80% of the burst.
     let blade_starts: Vec<usize> = {
         let mut starts: Vec<usize> = nodes.iter().copied().step_by(4).collect();
-        let hot = rng.gen_range(2..=4).min(starts.len());
+        let hot = rng.gen_range(2..=4usize).min(starts.len());
         for i in 0..hot {
             let j = rng.gen_range(i..starts.len());
             starts.swap(i, j);
@@ -69,7 +69,7 @@ pub fn cabinet_burst(
     for _ in 0..events {
         let node = if rng.gen_bool(0.8) {
             let blade = blade_starts[rng.gen_range(0..blade_starts.len())];
-            blade + rng.gen_range(0..4)
+            blade + rng.gen_range(0..4usize)
         } else {
             nodes[rng.gen_range(0..nodes.len())]
         };
@@ -187,7 +187,7 @@ mod tests {
     #[test]
     fn background_timestamps_within_range_and_sorted() {
         let topo = Topology::scaled(2, 2);
-        let evs = background(&topo, 500, 1000, 50.0, &mut rng(2));
+        let evs = background(&topo, 500, 1000, 500.0, &mut rng(2));
         assert!(!evs.is_empty());
         assert!(evs.iter().all(|o| o.ts_ms >= 500 && o.ts_ms < 1500));
         assert!(evs.windows(2).all(|w| w[0].ts_ms <= w[1].ts_ms));
@@ -198,9 +198,7 @@ mod tests {
         let topo = Topology::scaled(3, 3);
         let evs = cabinet_burst(&topo, 4, "MCE", 0, 60_000, 500, &mut rng(3));
         assert_eq!(evs.len(), 500);
-        assert!(evs
-            .iter()
-            .all(|o| o.node / NODES_PER_CABINET == 4));
+        assert!(evs.iter().all(|o| o.node / NODES_PER_CABINET == 4));
         // Concentration: the busiest blade has far more than a uniform share.
         let mut per_blade = std::collections::HashMap::new();
         for o in &evs {
@@ -235,7 +233,10 @@ mod tests {
             let n = 2000;
             let total: usize = (0..n).map(|_| sample_poisson(lambda, &mut r)).sum();
             let mean = total as f64 / n as f64;
-            assert!((mean - lambda).abs() < lambda.max(1.0) * 0.15, "λ={lambda} mean={mean}");
+            assert!(
+                (mean - lambda).abs() < lambda.max(1.0) * 0.15,
+                "λ={lambda} mean={mean}"
+            );
         }
         assert_eq!(sample_poisson(0.0, &mut r), 0);
     }

@@ -115,7 +115,7 @@ pub fn generate_jobs(
         let exit = {
             let roll: f64 = rng.gen();
             if roll < cfg.failure_fraction {
-                ExitStatus::Failed([134, 139, 137, 1][rng.gen_range(0..4)])
+                ExitStatus::Failed([134, 139, 137, 1][rng.gen_range(0..4usize)])
             } else if roll < cfg.failure_fraction + 0.05 {
                 ExitStatus::Walltime
             } else {
@@ -179,7 +179,13 @@ mod tests {
     #[test]
     fn allocations_fit_the_machine() {
         let topo = Topology::scaled(2, 2);
-        let jobs = generate_jobs(&topo, &JobGenConfig::default(), 0, 48 * 3_600_000, &mut rng(2));
+        let jobs = generate_jobs(
+            &topo,
+            &JobGenConfig::default(),
+            0,
+            48 * 3_600_000,
+            &mut rng(2),
+        );
         for j in &jobs {
             assert!(j.node_last < topo.node_count(), "{j:?}");
             assert!(j.node_count().is_power_of_two());
@@ -192,13 +198,22 @@ mod tests {
         let topo = Topology::scaled(4, 4);
         let jobs = generate_jobs(
             &topo,
-            &JobGenConfig { jobs_per_hour: 500.0, ..Default::default() },
+            &JobGenConfig {
+                jobs_per_hour: 500.0,
+                ..Default::default()
+            },
             0,
             24 * 3_600_000,
             &mut rng(3),
         );
-        let failed = jobs.iter().filter(|j| matches!(j.exit, ExitStatus::Failed(_))).count();
-        let ok = jobs.iter().filter(|j| j.exit == ExitStatus::Success).count();
+        let failed = jobs
+            .iter()
+            .filter(|j| matches!(j.exit, ExitStatus::Failed(_)))
+            .count();
+        let ok = jobs
+            .iter()
+            .filter(|j| j.exit == ExitStatus::Success)
+            .count();
         assert!(failed > 0);
         assert!(ok > failed * 3);
     }

@@ -46,10 +46,10 @@ pub fn render_error(_o: &Occurrence, forced_ost: Option<u16>, rng: &mut StdRng) 
             "LustreError: {}:{}:({}.c:{}:{}()) {FSNAME}-OST{ost:04x}: {op} RPC to {nid} timed out (limit {} s)",
             rng.gen_range(1000..32000),
             rng.gen_range(0..100),
-            ["client", "import", "niobuf", "events"][rng.gen_range(0..4)],
+            ["client", "import", "niobuf", "events"][rng.gen_range(0..4usize)],
             rng.gen_range(100..3000),
-            ["ptlrpc_expire_one_request", "request_out_callback", "osc_build_rpc"][rng.gen_range(0..3)],
-            [7, 27, 100][rng.gen_range(0..3)],
+            ["ptlrpc_expire_one_request", "request_out_callback", "osc_build_rpc"][rng.gen_range(0..3usize)],
+            [7, 27, 100][rng.gen_range(0..3usize)],
         ),
         _ => format!(
             "Lustre: {FSNAME}-OST{ost:04x}-osc-ffff{:012x}: Connection to {FSNAME}-OST{ost:04x} (at {nid}) was lost; in progress operations using this service will wait for recovery to complete",

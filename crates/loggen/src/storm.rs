@@ -72,8 +72,7 @@ mod tests {
         let topo = Topology::scaled(4, 2);
         let spec = StormSpec::default();
         let storm = generate_storm(&topo, &spec, &mut rng(1));
-        let afflicted: std::collections::HashSet<usize> =
-            storm.iter().map(|o| o.node).collect();
+        let afflicted: std::collections::HashSet<usize> = storm.iter().map(|o| o.node).collect();
         let frac = afflicted.len() as f64 / topo.node_count() as f64;
         assert!(frac > 0.7, "only {frac} of nodes afflicted");
         // Volume matches "tens of thousands" scaled to topology size.

@@ -205,7 +205,16 @@ mod tests {
     #[test]
     fn parse_rejects_garbage_and_out_of_range() {
         let t = Topology::scaled(2, 2);
-        for bad in ["", "c0-0", "x0-0c0s0n0", "c0-0c0s0n9", "c9-0c0s0n0", "c0-9c0s0n0", "c0-0c0s0n0x", "c--0c0s0n0"] {
+        for bad in [
+            "",
+            "c0-0",
+            "x0-0c0s0n0",
+            "c0-0c0s0n9",
+            "c9-0c0s0n0",
+            "c0-9c0s0n0",
+            "c0-0c0s0n0x",
+            "c--0c0s0n0",
+        ] {
             assert_eq!(t.parse_cname(bad), None, "{bad}");
         }
     }

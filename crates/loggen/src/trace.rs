@@ -165,8 +165,9 @@ impl Scenario {
             .map(|spec| (spec.ost, generate_storm(topo, spec, &mut r)));
         let jobs = generate_jobs(topo, &cfg.jobs, cfg.start_ms, cfg.duration_ms, &mut r);
 
-        let mut lines: Vec<RawLine> =
-            Vec::with_capacity(truth.len() + jobs.len() * 2 + storm.as_ref().map_or(0, |(_, s)| s.len()));
+        let mut lines: Vec<RawLine> = Vec::with_capacity(
+            truth.len() + jobs.len() * 2 + storm.as_ref().map_or(0, |(_, s)| s.len()),
+        );
         for occ in &truth {
             lines.push(render_occurrence(topo, occ, None, &mut r));
         }

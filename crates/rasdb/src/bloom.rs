@@ -22,7 +22,9 @@ impl BloomFilter {
         // m = -n ln p / (ln 2)^2 ; k = m/n ln 2
         let m = (-(expected as f64) * fp.ln() / (2f64.ln().powi(2))).ceil() as usize;
         let nbits = m.max(64);
-        let k = ((nbits as f64 / expected as f64) * 2f64.ln()).round().max(1.0) as u32;
+        let k = ((nbits as f64 / expected as f64) * 2f64.ln())
+            .round()
+            .max(1.0) as u32;
         BloomFilter {
             bits: vec![0; nbits.div_ceil(64)],
             nbits,

@@ -132,10 +132,8 @@ impl Cluster {
         values: Vec<(&str, Value)>,
         consistency: Consistency,
     ) -> Result<(), DbError> {
-        let owned: Vec<(String, Value)> = values
-            .into_iter()
-            .map(|(n, v)| (n.to_owned(), v))
-            .collect();
+        let owned: Vec<(String, Value)> =
+            values.into_iter().map(|(n, v)| (n.to_owned(), v)).collect();
         self.insert_owned(table, owned, consistency)
     }
 
@@ -151,13 +149,7 @@ impl Cluster {
             .ok_or_else(|| DbError::NoSuchTable(table.to_owned()))?;
         schema.validate_insert(&values)?;
         let (pk, ck, cells) = schema.split_insert(values);
-        let mutation = Mutation::upsert(
-            table,
-            Key(pk),
-            Key(ck),
-            cells,
-            self.next_write_ts(),
-        );
+        let mutation = Mutation::upsert(table, Key(pk), Key(ck), cells, self.next_write_ts());
         self.write_mutation(mutation, consistency)
     }
 
@@ -170,6 +162,7 @@ impl Cluster {
         batch: Vec<Vec<(String, Value)>>,
         consistency: Consistency,
     ) -> Result<usize, DbError> {
+        let _span = telemetry::span!("rasdb.coordinator.batch");
         let schema = self
             .schema(table)
             .ok_or_else(|| DbError::NoSuchTable(table.to_owned()))?;
@@ -195,16 +188,12 @@ impl Cluster {
         if self.schema(table).is_none() {
             return Err(DbError::NoSuchTable(table.to_owned()));
         }
-        let m = Mutation::delete(
-            table,
-            Key(partition),
-            Key(clustering),
-            self.next_write_ts(),
-        );
+        let m = Mutation::delete(table, Key(partition), Key(clustering), self.next_write_ts());
         self.write_mutation(m, consistency)
     }
 
     fn write_mutation(&self, m: Mutation, consistency: Consistency) -> Result<(), DbError> {
+        let _span = telemetry::span!("rasdb.coordinator.write");
         let token = token_for(&m.partition);
         let replicas = self.ring.replicas(token);
         let required = consistency.required(replicas.len());
@@ -263,6 +252,7 @@ impl Cluster {
 
     /// Executes a resolved read plan.
     pub fn read(&self, plan: &ReadPlan, consistency: Consistency) -> Result<Vec<Row>, DbError> {
+        let _span = telemetry::span!("rasdb.coordinator.read");
         let schema = self
             .schema(&plan.table)
             .ok_or_else(|| DbError::NoSuchTable(plan.table.clone()))?;
@@ -535,9 +525,7 @@ impl Cluster {
                         p.column
                     )))
                 }
-                None => {
-                    return Err(DbError::BadQuery(format!("unknown column '{}'", p.column)))
-                }
+                None => return Err(DbError::BadQuery(format!("unknown column '{}'", p.column))),
             }
         }
 
@@ -794,7 +782,13 @@ mod tests {
                 Consistency::Quorum,
             )
             .unwrap_err();
-        assert!(matches!(err, DbError::Unavailable { required: 2, received: 1 }));
+        assert!(matches!(
+            err,
+            DbError::Unavailable {
+                required: 2,
+                received: 1
+            }
+        ));
     }
 
     #[test]
@@ -918,7 +912,9 @@ mod tests {
                 Consistency::All,
             )
             .unwrap();
-        let ExecResult::Rows(rows) = out else { panic!() };
+        let ExecResult::Rows(rows) = out else {
+            panic!()
+        };
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].cells.len(), 1);
         assert_eq!(rows[0].cell("source"), Some(&Value::text("nodeA")));

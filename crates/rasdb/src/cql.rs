@@ -198,7 +198,9 @@ impl Cursor {
                 self.pos += 1;
                 Ok(s)
             }
-            other => Err(DbError::Parse(format!("expected identifier, found {other:?}"))),
+            other => Err(DbError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -278,9 +280,9 @@ impl Cursor {
                 builder = builder.column(c, *t);
             }
         }
-        Ok(Statement::CreateTable(builder.build().map_err(|e| {
-            DbError::Parse(e.to_string())
-        })?))
+        Ok(Statement::CreateTable(
+            builder.build().map_err(|e| DbError::Parse(e.to_string()))?,
+        ))
     }
 
     fn insert(&mut self) -> Result<Statement, DbError> {
@@ -330,11 +332,13 @@ impl Cursor {
                     "<=" => CmpOp::Le,
                     ">" => CmpOp::Gt,
                     ">=" => CmpOp::Ge,
-                    other => {
-                        return Err(DbError::Parse(format!("unsupported operator '{other}'")))
-                    }
+                    other => return Err(DbError::Parse(format!("unsupported operator '{other}'"))),
                 },
-                other => return Err(DbError::Parse(format!("expected operator, found {other:?}"))),
+                other => {
+                    return Err(DbError::Parse(format!(
+                        "expected operator, found {other:?}"
+                    )))
+                }
             };
             self.pos += 1;
             let value = self.literal()?;
@@ -431,8 +435,7 @@ mod tests {
 
     #[test]
     fn parses_create_table_simple_pk() {
-        let stmt =
-            parse_statement("create table t (a int, b text, primary key (a, b))").unwrap();
+        let stmt = parse_statement("create table t (a int, b text, primary key (a, b))").unwrap();
         let Statement::CreateTable(schema) = stmt else {
             panic!();
         };
@@ -463,7 +466,9 @@ mod tests {
              AND ts >= 100 AND ts < 200 ORDER BY ts DESC LIMIT 50",
         )
         .unwrap();
-        let Statement::Select(sel) = stmt else { panic!() };
+        let Statement::Select(sel) = stmt else {
+            panic!()
+        };
         assert_eq!(sel.predicates.len(), 4);
         assert_eq!(sel.predicates[2].op, CmpOp::Ge);
         assert_eq!(sel.predicates[3].op, CmpOp::Lt);
@@ -474,7 +479,9 @@ mod tests {
     #[test]
     fn parses_select_without_where() {
         let stmt = parse_statement("select * from t").unwrap();
-        let Statement::Select(sel) = stmt else { panic!() };
+        let Statement::Select(sel) = stmt else {
+            panic!()
+        };
         assert!(sel.predicates.is_empty());
         assert!(!sel.descending);
         assert_eq!(sel.limit, None);
@@ -484,7 +491,9 @@ mod tests {
     #[test]
     fn parses_column_projection() {
         let stmt = parse_statement("SELECT source, amount FROM t WHERE a = 1").unwrap();
-        let Statement::Select(sel) = stmt else { panic!() };
+        let Statement::Select(sel) = stmt else {
+            panic!()
+        };
         assert_eq!(
             sel.columns,
             Some(vec!["source".to_owned(), "amount".to_owned()])
@@ -493,8 +502,7 @@ mod tests {
 
     #[test]
     fn parses_delete() {
-        let stmt =
-            parse_statement("DELETE FROM t WHERE a = 1 AND b = 'x' AND ts = 5").unwrap();
+        let stmt = parse_statement("DELETE FROM t WHERE a = 1 AND b = 'x' AND ts = 5").unwrap();
         let Statement::Delete { predicates, .. } = stmt else {
             panic!()
         };

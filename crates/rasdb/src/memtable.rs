@@ -82,12 +82,7 @@ impl Memtable {
     }
 
     /// Upserts cells into a clustered row.
-    pub fn upsert(
-        &mut self,
-        partition: Key,
-        clustering: Key,
-        cells: Vec<(String, Cell)>,
-    ) {
+    pub fn upsert(&mut self, partition: Key, clustering: Key, cells: Vec<(String, Cell)>) {
         let row = self
             .partitions
             .entry(partition)
@@ -127,11 +122,7 @@ impl Memtable {
     }
 
     /// Materialized read of one partition (visible rows only).
-    pub fn read(
-        &self,
-        partition: &Key,
-        range: (Bound<Key>, Bound<Key>),
-    ) -> Vec<Row> {
+    pub fn read(&self, partition: &Key, range: (Bound<Key>, Bound<Key>)) -> Vec<Row> {
         self.read_raw(partition, range)
             .into_iter()
             .filter_map(|(k, e)| {
@@ -274,7 +265,11 @@ mod tests {
         assert_eq!(m.weight(), 0);
         m.upsert(pk(1), ck(1), vec![("a".into(), cellv(1, 1))]);
         let w1 = m.weight();
-        m.upsert(pk(1), ck(2), vec![("a".into(), cellv(1, 1)), ("b".into(), cellv(2, 1))]);
+        m.upsert(
+            pk(1),
+            ck(2),
+            vec![("a".into(), cellv(1, 1)), ("b".into(), cellv(2, 1))],
+        );
         assert!(m.weight() > w1);
     }
 

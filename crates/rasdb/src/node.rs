@@ -143,7 +143,8 @@ impl StorageNode {
         let tables = self.tables.read();
         let store = tables.get(table)?.lock();
         self.stats.record_read();
-        let mut merged: std::collections::BTreeMap<Key, RowEntry> = std::collections::BTreeMap::new();
+        let mut merged: std::collections::BTreeMap<Key, RowEntry> =
+            std::collections::BTreeMap::new();
         for sst in &store.sstables {
             if self.cfg.use_bloom && !sst.may_contain(partition) {
                 self.stats.record_bloom_skip();
@@ -255,12 +256,16 @@ impl StorageNode {
             // Recovery: replay retained commit-log records.
             for m in store.commitlog.replay() {
                 if let Some(ts) = m.row_delete {
-                    store.memtable.delete_row(m.partition.clone(), m.clustering.clone(), ts);
-                }
-                if !m.cells.is_empty() {
                     store
                         .memtable
-                        .upsert(m.partition.clone(), m.clustering.clone(), m.cells.clone());
+                        .delete_row(m.partition.clone(), m.clustering.clone(), ts);
+                }
+                if !m.cells.is_empty() {
+                    store.memtable.upsert(
+                        m.partition.clone(),
+                        m.clustering.clone(),
+                        m.cells.clone(),
+                    );
                 }
             }
         }
@@ -282,11 +287,7 @@ impl StorageNode {
     }
 }
 
-fn merge_into(
-    merged: &mut std::collections::BTreeMap<Key, RowEntry>,
-    ck: Key,
-    entry: RowEntry,
-) {
+fn merge_into(merged: &mut std::collections::BTreeMap<Key, RowEntry>, ck: Key, entry: RowEntry) {
     match merged.remove(&ck) {
         None => {
             merged.insert(ck, entry);
@@ -330,7 +331,9 @@ mod tests {
     fn write_then_read_roundtrip() {
         let n = node(1000);
         upsert(&n, 1, 10, 7, 1);
-        let rows = n.read("t", &Key(vec![Value::BigInt(1)]), &full_range()).unwrap();
+        let rows = n
+            .read("t", &Key(vec![Value::BigInt(1)]), &full_range())
+            .unwrap();
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].cell("v"), Some(&Value::Int(7)));
     }
@@ -342,7 +345,9 @@ mod tests {
         n.flush("t");
         assert_eq!(n.sstable_count("t"), 1);
         upsert(&n, 1, 10, 2, 2); // newer write in memtable
-        let rows = n.read("t", &Key(vec![Value::BigInt(1)]), &full_range()).unwrap();
+        let rows = n
+            .read("t", &Key(vec![Value::BigInt(1)]), &full_range())
+            .unwrap();
         assert_eq!(rows[0].cell("v"), Some(&Value::Int(2)));
     }
 
@@ -380,9 +385,13 @@ mod tests {
             2,
         );
         assert!(!n.apply(&m));
-        assert!(n.read("t", &Key(vec![Value::BigInt(1)]), &full_range()).is_none());
+        assert!(n
+            .read("t", &Key(vec![Value::BigInt(1)]), &full_range())
+            .is_none());
         n.set_up(true);
-        assert!(n.read("t", &Key(vec![Value::BigInt(1)]), &full_range()).is_some());
+        assert!(n
+            .read("t", &Key(vec![Value::BigInt(1)]), &full_range())
+            .is_some());
     }
 
     #[test]
@@ -392,7 +401,9 @@ mod tests {
             upsert(&n, 1, i, i as i32, i as u64);
         }
         n.restart();
-        let rows = n.read("t", &Key(vec![Value::BigInt(1)]), &full_range()).unwrap();
+        let rows = n
+            .read("t", &Key(vec![Value::BigInt(1)]), &full_range())
+            .unwrap();
         assert_eq!(rows.len(), 20);
     }
 
@@ -407,7 +418,9 @@ mod tests {
             upsert(&n, 1, i, i as i32, i as u64);
         }
         n.restart();
-        let rows = n.read("t", &Key(vec![Value::BigInt(1)]), &full_range()).unwrap();
+        let rows = n
+            .read("t", &Key(vec![Value::BigInt(1)]), &full_range())
+            .unwrap();
         assert_eq!(rows.len(), 15, "flushed + replayed rows");
     }
 
@@ -422,7 +435,10 @@ mod tests {
             5,
         );
         n.apply(&d);
-        assert!(n.read("t", &Key(vec![Value::BigInt(1)]), &full_range()).unwrap().is_empty());
+        assert!(n
+            .read("t", &Key(vec![Value::BigInt(1)]), &full_range())
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

@@ -224,7 +224,10 @@ mod tests {
     #[test]
     fn literal_coercion() {
         assert_eq!(Lit::Num(5).coerce(ColumnType::Int), Some(Value::Int(5)));
-        assert_eq!(Lit::Num(5).coerce(ColumnType::BigInt), Some(Value::BigInt(5)));
+        assert_eq!(
+            Lit::Num(5).coerce(ColumnType::BigInt),
+            Some(Value::BigInt(5))
+        );
         assert_eq!(
             Lit::Num(5).coerce(ColumnType::Timestamp),
             Some(Value::Timestamp(5))
@@ -269,7 +272,10 @@ mod tests {
         assert!(contains(&probe(0)));
         assert!(contains(&probe(i64::MAX)));
         assert!(!contains(&Key(vec![Value::BigInt(2), Value::BigInt(5)])));
-        assert!(!contains(&Key(vec![Value::BigInt(4), Value::BigInt(i64::MIN)])));
+        assert!(!contains(&Key(vec![
+            Value::BigInt(4),
+            Value::BigInt(i64::MIN)
+        ])));
     }
 
     #[test]

@@ -146,15 +146,12 @@ impl TableSchema {
     /// clustering key present and typed; regular columns known and typed.
     pub fn validate_insert(&self, values: &[(String, Value)]) -> Result<(), DbError> {
         for key in self.partition_key.iter().chain(&self.clustering_key) {
-            let found = values
-                .iter()
-                .find(|(n, _)| *n == key.name)
-                .ok_or_else(|| {
-                    DbError::SchemaViolation(format!(
-                        "missing key column '{}' in insert into '{}'",
-                        key.name, self.name
-                    ))
-                })?;
+            let found = values.iter().find(|(n, _)| *n == key.name).ok_or_else(|| {
+                DbError::SchemaViolation(format!(
+                    "missing key column '{}' in insert into '{}'",
+                    key.name, self.name
+                ))
+            })?;
             if !key.ctype.accepts(&found.1) {
                 return Err(DbError::SchemaViolation(format!(
                     "key column '{}' expects {}, got {}",
@@ -321,8 +318,14 @@ mod tests {
             .column("a", ColumnType::Int)
             .build()
             .is_err());
-        assert!(TableSchema::builder("t").column("a", ColumnType::Int).build().is_err());
-        assert!(TableSchema::builder("").partition_key("a", ColumnType::Int).build().is_err());
+        assert!(TableSchema::builder("t")
+            .column("a", ColumnType::Int)
+            .build()
+            .is_err());
+        assert!(TableSchema::builder("")
+            .partition_key("a", ColumnType::Int)
+            .build()
+            .is_err());
     }
 
     #[test]

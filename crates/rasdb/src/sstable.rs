@@ -126,7 +126,10 @@ mod tests {
             vec![
                 (pk(1), vec![(ck(1), entry(1, 1)), (ck(3), entry(3, 1))]),
                 (pk(2), vec![(ck(2), entry(2, 1))]),
-                (pk(5), (0..100).map(|t| (ck(t), entry(t as i32, 1))).collect()),
+                (
+                    pk(5),
+                    (0..100).map(|t| (ck(t), entry(t as i32, 1))).collect(),
+                ),
             ],
         )
     }
@@ -134,8 +137,14 @@ mod tests {
     #[test]
     fn point_lookup_finds_partition() {
         let t = sample();
-        assert_eq!(t.read_raw(&pk(2), &crate::memtable::full_range(), true).len(), 1);
-        assert!(t.read_raw(&pk(9), &crate::memtable::full_range(), true).is_empty());
+        assert_eq!(
+            t.read_raw(&pk(2), &crate::memtable::full_range(), true)
+                .len(),
+            1
+        );
+        assert!(t
+            .read_raw(&pk(9), &crate::memtable::full_range(), true)
+            .is_empty());
     }
 
     #[test]
@@ -149,7 +158,11 @@ mod tests {
         assert_eq!(r.len(), 10);
         assert_eq!(r[0].0, ck(10));
         assert_eq!(r[9].0, ck(19));
-        let r = t.read_raw(&pk(5), &(Bound::Excluded(ck(10)), Bound::Included(ck(20))), true);
+        let r = t.read_raw(
+            &pk(5),
+            &(Bound::Excluded(ck(10)), Bound::Included(ck(20))),
+            true,
+        );
         assert_eq!(r.len(), 10);
         assert_eq!(r[0].0, ck(11));
         assert_eq!(r[9].0, ck(20));
@@ -158,7 +171,11 @@ mod tests {
     #[test]
     fn empty_range_is_empty() {
         let t = sample();
-        let r = t.read_raw(&pk(5), &(Bound::Included(ck(50)), Bound::Excluded(ck(50))), true);
+        let r = t.read_raw(
+            &pk(5),
+            &(Bound::Included(ck(50)), Bound::Excluded(ck(50))),
+            true,
+        );
         assert!(r.is_empty());
         let r = t.read_raw(&pk(5), &(Bound::Included(ck(200)), Bound::Unbounded), true);
         assert!(r.is_empty());
@@ -171,9 +188,7 @@ mod tests {
         assert!(t.may_contain(&pk(1)));
         assert!(t.may_contain(&pk(5)));
         // Nearly all absent partitions are rejected.
-        let rejected = (1000i64..2000)
-            .filter(|h| !t.may_contain(&pk(*h)))
-            .count();
+        let rejected = (1000i64..2000).filter(|h| !t.may_contain(&pk(*h))).count();
         assert!(rejected > 900, "rejected {rejected}/1000");
     }
 

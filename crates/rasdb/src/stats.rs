@@ -1,6 +1,39 @@
 //! Lightweight atomic counters exposed by nodes and the cluster.
+//!
+//! Each [`NodeStats`] keeps exact per-node counts (used by the bloom-filter
+//! ablation and the replication tests), and every increment is mirrored
+//! into process-wide `rasdb.storage.*` counters in the global
+//! [`telemetry`] registry so storage activity shows up in `metrics` output
+//! alongside coordinator latency histograms.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use telemetry::Counter;
+
+/// Registry-backed counters shared by every node in the process.
+struct GlobalStorageCounters {
+    writes: Arc<Counter>,
+    reads: Arc<Counter>,
+    flushes: Arc<Counter>,
+    compactions: Arc<Counter>,
+    bloom_skips: Arc<Counter>,
+    sstable_probes: Arc<Counter>,
+}
+
+fn globals() -> &'static GlobalStorageCounters {
+    static G: OnceLock<GlobalStorageCounters> = OnceLock::new();
+    G.get_or_init(|| {
+        let r = telemetry::global();
+        GlobalStorageCounters {
+            writes: r.counter("rasdb.storage.writes"),
+            reads: r.counter("rasdb.storage.reads"),
+            flushes: r.counter("rasdb.storage.flushes"),
+            compactions: r.counter("rasdb.storage.compactions"),
+            bloom_skips: r.counter("rasdb.storage.bloom_skips"),
+            sstable_probes: r.counter("rasdb.storage.sstable_probes"),
+        }
+    })
+}
 
 /// Per-node operation counters. All methods are lock-free; relaxed ordering
 /// is fine because the counters are monotonic telemetry, not synchronization.
@@ -18,31 +51,37 @@ impl NodeStats {
     /// Records a write.
     pub fn record_write(&self) {
         self.writes.fetch_add(1, Ordering::Relaxed);
+        globals().writes.incr(1);
     }
 
     /// Records a read.
     pub fn record_read(&self) {
         self.reads.fetch_add(1, Ordering::Relaxed);
+        globals().reads.incr(1);
     }
 
     /// Records a memtable flush.
     pub fn record_flush(&self) {
         self.flushes.fetch_add(1, Ordering::Relaxed);
+        globals().flushes.incr(1);
     }
 
     /// Records a compaction.
     pub fn record_compaction(&self) {
         self.compactions.fetch_add(1, Ordering::Relaxed);
+        globals().compactions.incr(1);
     }
 
     /// Records an SSTable skipped thanks to its bloom filter.
     pub fn record_bloom_skip(&self) {
         self.bloom_skips.fetch_add(1, Ordering::Relaxed);
+        globals().bloom_skips.incr(1);
     }
 
     /// Records an SSTable actually probed.
     pub fn record_sstable_probe(&self) {
         self.sstable_probes.fetch_add(1, Ordering::Relaxed);
+        globals().sstable_probes.incr(1);
     }
 
     /// Snapshot of all counters.

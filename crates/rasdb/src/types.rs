@@ -163,7 +163,10 @@ impl Value {
                 if rest.len() < len {
                     return None;
                 }
-                (Value::Blob(Bytes::copy_from_slice(&rest[..len])), &rest[len..])
+                (
+                    Value::Blob(Bytes::copy_from_slice(&rest[..len])),
+                    &rest[len..],
+                )
             }
             7 => {
                 let (len, mut rest) = take_len(rest)?;

@@ -21,7 +21,12 @@ enum Op {
     /// Crash/restart one node (commit-log replay).
     Restart(usize),
     /// Take a node down, write something, bring it back (hints replay).
-    Blip { node: usize, hour: i64, ts: i64, v: i32 },
+    Blip {
+        node: usize,
+        hour: i64,
+        ts: i64,
+        v: i32,
+    },
 }
 
 fn arb_op() -> impl Strategy<Value = Op> {
@@ -155,6 +160,55 @@ proptest! {
         let got: Vec<i64> = rows.iter().map(|r| r.clustering.0[0].as_i64().unwrap()).collect();
         let want: Vec<i64> = model.range(lo..hi).map(|(ts, _)| *ts).collect();
         prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn bloom_filters_skip_foreign_sstables(hours in prop::collection::vec(0..32i64, 8..24)) {
+        let cluster = Cluster::new(ClusterConfig { nodes: 1, replication_factor: 1, vnodes: 8 });
+        cluster.create_table(schema()).unwrap();
+        // One SSTable per distinct partition: insert, then flush each round.
+        let distinct: std::collections::BTreeSet<i64> = hours.iter().copied().collect();
+        for hour in &distinct {
+            cluster.insert(
+                "t",
+                vec![
+                    ("hour", Value::BigInt(*hour)),
+                    ("ts", Value::Timestamp(0)),
+                    ("v", Value::Int(1)),
+                ],
+                Consistency::One,
+            ).unwrap();
+            cluster.flush_all();
+        }
+        // Compaction may have merged some tables; whatever count is left is
+        // stable during the reads below (reads never compact).
+        let sstables = cluster.node(NodeId(0)).sstable_count("t") as u64;
+        prop_assert!(sstables >= 1);
+        let before = cluster.stats();
+        for hour in &distinct {
+            let rows = cluster
+                .select("t")
+                .partition(vec![Value::BigInt(*hour)])
+                .run(Consistency::One)
+                .unwrap();
+            prop_assert_eq!(rows.len(), 1);
+        }
+        let after = cluster.stats();
+        let probes = after.sstable_probes - before.sstable_probes;
+        let skips = after.bloom_skips - before.bloom_skips;
+        // Conservation: every (read, sstable) pair is either probed or
+        // bloom-skipped.
+        let reads = distinct.len() as u64;
+        prop_assert_eq!(probes + skips, reads * sstables);
+        // Every partition lives in exactly one sstable, so each read must
+        // probe at least that one...
+        prop_assert!(probes >= reads, "probes={} reads={}", probes, reads);
+        // ...and with several sstables the blooms must skip foreign ones
+        // (false positives would have to fire on every single pair to make
+        // this 0, which a working filter never does at this scale).
+        if sstables > 1 {
+            prop_assert!(skips > 0, "no bloom skips across {} sstables", sstables);
+        }
     }
 
     #[test]

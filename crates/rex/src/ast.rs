@@ -99,7 +99,13 @@ impl ClassSet {
     /// `\s`
     pub fn space() -> ClassSet {
         ClassSet::new(
-            vec![(' ', ' '), ('\t', '\t'), ('\n', '\n'), ('\r', '\r'), ('\u{b}', '\u{c}')],
+            vec![
+                (' ', ' '),
+                ('\t', '\t'),
+                ('\n', '\n'),
+                ('\r', '\r'),
+                ('\u{b}', '\u{c}'),
+            ],
             false,
         )
     }

@@ -123,10 +123,7 @@ impl Parser {
             }
             _ => return Ok(atom),
         };
-        if matches!(
-            atom,
-            Ast::StartAnchor | Ast::EndAnchor | Ast::Empty
-        ) {
+        if matches!(atom, Ast::StartAnchor | Ast::EndAnchor | Ast::Empty) {
             return Err(self.err("repetition of empty-width atom"));
         }
         if let Some(m) = max {
@@ -383,7 +380,11 @@ mod tests {
     fn literal_brace_when_not_a_count() {
         assert_eq!(
             p("a{x"),
-            Ast::Concat(vec![Ast::Literal('a'), Ast::Literal('{'), Ast::Literal('x')])
+            Ast::Concat(vec![
+                Ast::Literal('a'),
+                Ast::Literal('{'),
+                Ast::Literal('x')
+            ])
         );
     }
 
@@ -455,7 +456,11 @@ mod tests {
     fn escaped_metachars_are_literals() {
         assert_eq!(
             p(r"\.\*\("),
-            Ast::Concat(vec![Ast::Literal('.'), Ast::Literal('*'), Ast::Literal('(')])
+            Ast::Concat(vec![
+                Ast::Literal('.'),
+                Ast::Literal('*'),
+                Ast::Literal('(')
+            ])
         );
     }
 }

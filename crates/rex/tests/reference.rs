@@ -58,6 +58,8 @@ fn match_rep(
             p != from && match_rep(node, 0, max.map(|m| m - 1), greedy, text, p, k2)
         })
     };
+    // Not actually identical: greediness is the short-circuit order.
+    #[allow(clippy::if_same_then_else)]
     if greedy {
         more(k, pos) || k(pos)
     } else {

@@ -22,7 +22,11 @@ impl Hasher for Fnv1a {
     }
     fn write(&mut self, bytes: &[u8]) {
         const PRIME: u64 = 0x100_0000_01b3;
-        let mut h = if self.0 == 0 { 0xcbf2_9ce4_8422_2325 } else { self.0 };
+        let mut h = if self.0 == 0 {
+            0xcbf2_9ce4_8422_2325
+        } else {
+            self.0
+        };
         for &b in bytes {
             h ^= b as u64;
             h = h.wrapping_mul(PRIME);
@@ -115,7 +119,12 @@ where
         let f = Arc::new(f);
         let f1 = Arc::clone(&f);
         let f2 = Arc::clone(&f);
-        self.combine_by_key(num_partitions, |v| v, move |c, v| f1(c, v), move |a, b| f2(a, b))
+        self.combine_by_key(
+            num_partitions,
+            |v| v,
+            move |c, v| f1(c, v),
+            move |a, b| f2(a, b),
+        )
     }
 
     /// Groups all values per key.
@@ -226,7 +235,10 @@ where
         let mut sample: Vec<K> = self
             .ctx
             .run_job(self, |_, data: Vec<(K, V)>| {
-                data.iter().step_by(7.max(data.len() / 64).max(1)).map(|(k, _)| k.clone()).collect::<Vec<K>>()
+                data.iter()
+                    .step_by(7.max(data.len() / 64).max(1))
+                    .map(|(k, _)| k.clone())
+                    .collect::<Vec<K>>()
             })
             .into_iter()
             .flatten()
@@ -329,9 +341,12 @@ mod tests {
         // Average per key: aggregate into (sum, count).
         let avg: HashMap<i32, f64> = ctx
             .parallelize(vec![(1, 2.0f64), (1, 4.0), (2, 10.0)], 2)
-            .aggregate_by_key(2, (0.0f64, 0u64), |(s, c), v| (s + v, c + 1), |a, b| {
-                (a.0 + b.0, a.1 + b.1)
-            })
+            .aggregate_by_key(
+                2,
+                (0.0f64, 0u64),
+                |(s, c), v| (s + v, c + 1),
+                |a, b| (a.0 + b.0, a.1 + b.1),
+            )
             .map(|(k, (s, c))| (k, s / c as f64))
             .collect()
             .into_iter()
@@ -354,7 +369,10 @@ mod tests {
     fn join_inner_semantics() {
         let ctx = ctx();
         let users = ctx.parallelize(vec![(1, "alice"), (2, "bob"), (3, "carol")], 2);
-        let jobs = ctx.parallelize(vec![(1, "vasp"), (1, "lammps"), (3, "gromacs"), (9, "ghost")], 3);
+        let jobs = ctx.parallelize(
+            vec![(1, "vasp"), (1, "lammps"), (3, "gromacs"), (9, "ghost")],
+            3,
+        );
         let mut joined = users.join(&jobs, 4).collect();
         joined.sort();
         let mut expected = vec![
@@ -384,7 +402,10 @@ mod tests {
             .parallelize(vec![(3, ()), (1, ()), (2, ())], 1)
             .sort_by_key(8)
             .collect();
-        assert_eq!(sorted.iter().map(|(k, _)| *k).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(
+            sorted.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
     }
 
     #[test]
@@ -404,7 +425,15 @@ mod tests {
     fn empty_shuffles_are_fine() {
         let ctx = ctx();
         let empty: Vec<(i32, i32)> = Vec::new();
-        assert!(ctx.parallelize(empty.clone(), 3).reduce_by_key(4, |a, b| a + b).collect().is_empty());
-        assert!(ctx.parallelize(empty, 3).sort_by_key(4).collect().is_empty());
+        assert!(ctx
+            .parallelize(empty.clone(), 3)
+            .reduce_by_key(4, |a, b| a + b)
+            .collect()
+            .is_empty());
+        assert!(ctx
+            .parallelize(empty, 3)
+            .sort_by_key(4)
+            .collect()
+            .is_empty());
     }
 }

@@ -49,10 +49,7 @@ impl SparkletContext {
     /// Dispatch statistics (locality experiments).
     pub fn pool_stats(&self) -> (u64, u64) {
         let s = self.inner.pool.stats();
-        (
-            s.local_dispatches.load(Ordering::Relaxed),
-            s.other_dispatches.load(Ordering::Relaxed),
-        )
+        (s.local_dispatches(), s.other_dispatches())
     }
 
     /// Distributes a vector over `num_partitions` partitions.
@@ -106,15 +103,32 @@ impl SparkletContext {
         let f = Arc::new(f);
         let (tx, rx) = unbounded();
         let locality = self.locality();
+        let stage_span = telemetry::span!("sparklet.scheduler.stage");
+        let stage_id = stage_span.id();
         for p in 0..n {
             let imp = Arc::clone(&rdd.imp);
             let f = Arc::clone(&f);
             let tx = tx.clone();
+            let preferred = rdd.imp.preferred(p);
             let task = Box::new(move || {
+                // Child of the stage span even though it runs on an
+                // executor thread; locality is judged where the task
+                // actually landed, not where it was aimed.
+                let mut task_span = telemetry::span!("sparklet.scheduler.task", stage_id);
+                let hit = preferred.is_some() && crate::pool::current_worker() == preferred;
+                task_span.tag("locality", if hit { "hit" } else { "miss" });
+                telemetry::global()
+                    .counter(if hit {
+                        "sparklet.scheduler.task.locality_hit"
+                    } else {
+                        "sparklet.scheduler.task.locality_miss"
+                    })
+                    .incr(1);
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     let data = imp.compute(p);
                     f(p, data)
                 }));
+                drop(task_span);
                 // Receiver hang-ups only happen when the driver already
                 // panicked; nothing useful to do with the error then.
                 let _ = tx.send((p, result));
@@ -141,7 +155,10 @@ impl SparkletContext {
                 }
             }
         }
-        results.into_iter().map(|r| r.expect("all received")).collect()
+        results
+            .into_iter()
+            .map(|r| r.expect("all received"))
+            .collect()
     }
 }
 

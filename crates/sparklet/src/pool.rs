@@ -20,13 +20,40 @@ pub fn current_worker() -> Option<usize> {
     WORKER_ID.with(|w| w.get())
 }
 
-/// Scheduling statistics for the locality experiments.
+/// Scheduling statistics for the locality experiments. Per-pool counts are
+/// exact (tests create many pools concurrently); every increment is also
+/// mirrored into the process-wide `sparklet.pool.*` counters of the global
+/// [`telemetry`] registry so dispatch activity shows up in `metrics` output.
 #[derive(Debug, Default)]
 pub struct PoolStats {
+    local_dispatches: AtomicU64,
+    other_dispatches: AtomicU64,
+}
+
+impl PoolStats {
+    fn record_local(&self) {
+        self.local_dispatches.fetch_add(1, Ordering::Relaxed);
+        telemetry::global()
+            .counter("sparklet.pool.local_dispatches")
+            .incr(1);
+    }
+
+    fn record_other(&self) {
+        self.other_dispatches.fetch_add(1, Ordering::Relaxed);
+        telemetry::global()
+            .counter("sparklet.pool.other_dispatches")
+            .incr(1);
+    }
+
     /// Tasks dispatched to their preferred executor.
-    pub local_dispatches: AtomicU64,
+    pub fn local_dispatches(&self) -> u64 {
+        self.local_dispatches.load(Ordering::Relaxed)
+    }
+
     /// Tasks dispatched elsewhere (no preference, or locality disabled).
-    pub other_dispatches: AtomicU64,
+    pub fn other_dispatches(&self) -> u64 {
+        self.other_dispatches.load(Ordering::Relaxed)
+    }
 }
 
 /// A fixed pool of executor threads.
@@ -76,11 +103,11 @@ impl ExecutorPool {
     pub fn submit(&self, preferred: Option<usize>, task: Task) {
         match preferred {
             Some(w) if w < self.private_txs.len() => {
-                self.stats.local_dispatches.fetch_add(1, Ordering::Relaxed);
+                self.stats.record_local();
                 self.private_txs[w].send(task).expect("executor alive");
             }
             _ => {
-                self.stats.other_dispatches.fetch_add(1, Ordering::Relaxed);
+                self.stats.record_other();
                 self.shared_tx.send(task).expect("executor alive");
             }
         }
@@ -91,7 +118,7 @@ impl ExecutorPool {
     /// queueing behaviour comparable).
     pub fn submit_round_robin(&self, task: Task) {
         let w = (self.next_rr.fetch_add(1, Ordering::Relaxed) as usize) % self.private_txs.len();
-        self.stats.other_dispatches.fetch_add(1, Ordering::Relaxed);
+        self.stats.record_other();
         self.private_txs[w].send(task).expect("executor alive");
     }
 
@@ -149,13 +176,18 @@ mod tests {
         for _ in 0..100 {
             let c = Arc::clone(&counter);
             let tx = done_tx.clone();
-            pool.submit(None, Box::new(move || {
-                c.fetch_add(1, Ordering::SeqCst);
-                tx.send(()).unwrap();
-            }));
+            pool.submit(
+                None,
+                Box::new(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                    tx.send(()).unwrap();
+                }),
+            );
         }
         for _ in 0..100 {
-            done_rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
+            done_rx
+                .recv_timeout(std::time::Duration::from_secs(5))
+                .unwrap();
         }
         assert_eq!(counter.load(Ordering::SeqCst), 100);
     }
@@ -169,14 +201,19 @@ mod tests {
             for _ in 0..10 {
                 let seen = Arc::clone(&seen);
                 let tx = done_tx.clone();
-                pool.submit(Some(w), Box::new(move || {
-                    seen.lock().unwrap().push((w, current_worker()));
-                    tx.send(()).unwrap();
-                }));
+                pool.submit(
+                    Some(w),
+                    Box::new(move || {
+                        seen.lock().unwrap().push((w, current_worker()));
+                        tx.send(()).unwrap();
+                    }),
+                );
             }
         }
         for _ in 0..40 {
-            done_rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
+            done_rx
+                .recv_timeout(std::time::Duration::from_secs(5))
+                .unwrap();
         }
         for (wanted, got) in seen.lock().unwrap().iter() {
             assert_eq!(Some(*wanted), *got);
@@ -187,12 +224,17 @@ mod tests {
     fn out_of_range_preference_falls_back_to_shared() {
         let pool = ExecutorPool::new(2);
         let (done_tx, done_rx) = unbounded();
-        pool.submit(Some(99), Box::new(move || {
-            done_tx.send(current_worker()).unwrap();
-        }));
-        let who = done_rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
+        pool.submit(
+            Some(99),
+            Box::new(move || {
+                done_tx.send(current_worker()).unwrap();
+            }),
+        );
+        let who = done_rx
+            .recv_timeout(std::time::Duration::from_secs(5))
+            .unwrap();
         assert!(who.is_some());
-        assert_eq!(pool.stats().other_dispatches.load(Ordering::Relaxed), 1);
+        assert_eq!(pool.stats().other_dispatches(), 1);
     }
 
     #[test]
@@ -207,14 +249,17 @@ mod tests {
         for w in 0..2 {
             for _ in 0..50 {
                 let c = Arc::clone(&counter);
-                pool.submit(Some(w), Box::new(move || {
-                    c.fetch_add(1, Ordering::SeqCst);
-                }));
+                pool.submit(
+                    Some(w),
+                    Box::new(move || {
+                        c.fetch_add(1, Ordering::SeqCst);
+                    }),
+                );
             }
         }
         drop(pool); // must process or abandon without deadlock
-        // All pinned tasks were queued before drop; workers drain their
-        // private queues before exiting.
+                    // All pinned tasks were queued before drop; workers drain their
+                    // private queues before exiting.
         assert_eq!(counter.load(Ordering::SeqCst), 100);
     }
 
@@ -234,7 +279,9 @@ mod tests {
             }));
         }
         for _ in 0..64 {
-            done_rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
+            done_rx
+                .recv_timeout(std::time::Duration::from_secs(5))
+                .unwrap();
         }
         assert_eq!(seen.lock().unwrap().len(), 4);
     }

@@ -88,7 +88,11 @@ impl<T: Data, U: Data> RddImpl<U> for MapRdd<T, U> {
         self.parent.preferred(p)
     }
     fn compute(&self, p: usize) -> Vec<U> {
-        self.parent.compute(p).into_iter().map(|t| (self.f)(t)).collect()
+        self.parent
+            .compute(p)
+            .into_iter()
+            .map(|t| (self.f)(t))
+            .collect()
     }
 }
 
@@ -105,7 +109,11 @@ impl<T: Data> RddImpl<T> for FilterRdd<T> {
         self.parent.preferred(p)
     }
     fn compute(&self, p: usize) -> Vec<T> {
-        self.parent.compute(p).into_iter().filter(|t| (self.f)(t)).collect()
+        self.parent
+            .compute(p)
+            .into_iter()
+            .filter(|t| (self.f)(t))
+            .collect()
     }
 }
 

@@ -187,25 +187,44 @@ mod tests {
     fn coalesce_merges_same_second_same_node() {
         // The paper's rule: same type+location+second becomes one event.
         let batch = vec![
-            Ev { ts: 1000, node: "c0-0c0s0n0", count: 1 },
-            Ev { ts: 1000, node: "c0-0c0s0n0", count: 1 },
-            Ev { ts: 1000, node: "c1-0c0s0n1", count: 1 },
-            Ev { ts: 1001, node: "c0-0c0s0n0", count: 1 },
+            Ev {
+                ts: 1000,
+                node: "c0-0c0s0n0",
+                count: 1,
+            },
+            Ev {
+                ts: 1000,
+                node: "c0-0c0s0n0",
+                count: 1,
+            },
+            Ev {
+                ts: 1000,
+                node: "c1-0c0s0n1",
+                count: 1,
+            },
+            Ev {
+                ts: 1001,
+                node: "c0-0c0s0n0",
+                count: 1,
+            },
         ];
-        let merged = coalesce(
-            batch,
-            |e| (e.ts, e.node),
-            |a, b| a.count += b.count,
-        );
+        let merged = coalesce(batch, |e| (e.ts, e.node), |a, b| a.count += b.count);
         assert_eq!(merged.len(), 3);
-        let big = merged.iter().find(|e| e.ts == 1000 && e.node == "c0-0c0s0n0").unwrap();
+        let big = merged
+            .iter()
+            .find(|e| e.ts == 1000 && e.node == "c0-0c0s0n0")
+            .unwrap();
         assert_eq!(big.count, 2);
     }
 
     #[test]
     fn coalesce_preserves_total_count() {
         let batch: Vec<Ev> = (0..100)
-            .map(|i| Ev { ts: i % 7, node: "n", count: 1 })
+            .map(|i| Ev {
+                ts: i % 7,
+                node: "n",
+                count: 1,
+            })
             .collect();
         let merged = coalesce(batch, |e| e.ts, |a, b| a.count += b.count);
         assert_eq!(merged.iter().map(|e| e.count).sum::<u32>(), 100);

@@ -1,0 +1,242 @@
+//! Lock-free log2-bucketed histogram.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: bucket `i` holds values whose floor(log2) + 1 == `i`
+/// (bucket 0 is exactly the value 0), saturating at the last bucket.
+pub const BUCKETS: usize = 64;
+
+/// Concurrent histogram: every `record` is a handful of relaxed atomic RMW
+/// operations, so writer threads never contend on a lock.
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// Point-in-time summary of a [`Histogram`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct HistogramSummary {
+    pub count: u64,
+    pub sum: u64,
+    pub mean: f64,
+    pub p50: u64,
+    pub p95: u64,
+    pub p99: u64,
+    pub max: u64,
+}
+
+/// Index of the bucket a value lands in: 0 for 0, else floor(log2(v)) + 1,
+/// clamped to the last bucket (so `u64::MAX` is representable).
+#[inline]
+pub(crate) fn bucket_index(value: u64) -> usize {
+    ((64 - value.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+/// Upper bound of values in bucket `i` (inclusive), used as the reported
+/// quantile estimate.
+fn bucket_upper_bound(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        i if i >= BUCKETS - 1 => u64::MAX,
+        i => (1u64 << i) - 1,
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation (e.g. a latency in nanoseconds).
+    pub fn record(&self, value: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    pub fn record_duration(&self, duration: std::time::Duration) {
+        self.record(duration.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Estimate of the `q`-quantile (0.0..=1.0): the upper bound of the
+    /// bucket where the cumulative count crosses `q * count`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_upper_bound(i).min(self.max.load(Ordering::Relaxed));
+            }
+        }
+        self.max.load(Ordering::Relaxed)
+    }
+
+    pub fn summary(&self) -> HistogramSummary {
+        let count = self.count();
+        let sum = self.sum.load(Ordering::Relaxed);
+        HistogramSummary {
+            count,
+            sum,
+            mean: if count == 0 {
+                0.0
+            } else {
+                sum as f64 / count as f64
+            },
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn zero_lands_in_bucket_zero() {
+        let _g = crate::test_lock();
+        assert_eq!(bucket_index(0), 0);
+        let h = Histogram::new();
+        h.record(0);
+        assert_eq!(h.count(), 1);
+        let s = h.summary();
+        assert_eq!((s.p50, s.max, s.sum), (0, 0, 0));
+    }
+
+    #[test]
+    fn u64_max_saturates_into_last_bucket() {
+        let _g = crate::test_lock();
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        let s = h.summary();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.max, u64::MAX);
+        assert_eq!(s.p99, u64::MAX);
+    }
+
+    #[test]
+    fn bucket_boundaries_split_at_powers_of_two() {
+        // 2^k is the first value of bucket k+1; 2^k - 1 the last of bucket k.
+        for k in 1..63u32 {
+            let v = 1u64 << k;
+            assert_eq!(bucket_index(v), (k + 1) as usize, "2^{k}");
+            assert_eq!(bucket_index(v - 1), k as usize, "2^{k}-1");
+        }
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_upper_bounds() {
+        let _g = crate::test_lock();
+        let h = Histogram::new();
+        for _ in 0..99 {
+            h.record(100); // bucket 7, upper bound 127
+        }
+        h.record(1_000_000); // lone outlier
+        let s = h.summary();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50, 127);
+        assert_eq!(s.p95, 127);
+        assert_eq!(s.max, 1_000_000);
+        // p99 rank is 99, still inside the 100-value bucket.
+        assert_eq!(s.p99, 127);
+        assert!((s.mean - 10_099.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn quantile_never_exceeds_observed_max() {
+        let _g = crate::test_lock();
+        let h = Histogram::new();
+        h.record(5);
+        assert_eq!(h.quantile(1.0), 5);
+        assert_eq!(h.quantile(0.5), 5);
+    }
+
+    #[test]
+    fn empty_histogram_summarizes_to_zeroes() {
+        let s = Histogram::new().summary();
+        assert_eq!(s, HistogramSummary::default());
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let _g = crate::test_lock();
+        let h = Arc::new(Histogram::new());
+        let threads = 8;
+        let per_thread = 10_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        h.record(t * per_thread + i);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let s = h.summary();
+        assert_eq!(s.count, threads * per_thread);
+        assert_eq!(s.max, threads * per_thread - 1);
+        let bucket_total: u64 = (0..BUCKETS)
+            .map(|i| h.buckets[i].load(Ordering::Relaxed))
+            .sum();
+        assert_eq!(bucket_total, s.count);
+    }
+
+    #[test]
+    fn disabled_recording_is_a_noop() {
+        let _g = crate::test_lock();
+        crate::set_enabled(false);
+        let h = Histogram::new();
+        h.record(7);
+        crate::set_enabled(true);
+        assert_eq!(h.count(), 0);
+        h.record(7);
+        assert_eq!(h.count(), 1);
+    }
+}

@@ -1,0 +1,63 @@
+//! `telemetry` — zero-dependency observability for the whole workspace.
+//!
+//! Three pieces, all reachable from a global [`Registry`]:
+//!
+//! * **Metrics** — named [`Counter`]s, [`Gauge`]s, and log2-bucketed
+//!   [`Histogram`]s (lock-free `AtomicU64` buckets with p50/p95/p99/max
+//!   summaries). Names follow the `crate.component.metric` convention,
+//!   e.g. `rasdb.coordinator.read`.
+//! * **Spans** — the [`span!`] macro returns a guard that measures a
+//!   region, feeds its duration into the histogram of the same name, and
+//!   appends a [`SpanRecord`] (with parent/child causality) to a bounded
+//!   ring-buffer trace log.
+//! * **Export** — [`Snapshot`] (machine-readable) and
+//!   [`Registry::render_table`] (human-readable) views; the JSON and HTTP
+//!   surfaces live in `hpclog-core`, keeping this crate dependency-free.
+//!
+//! Everything is cheap when disabled: each record is a single relaxed
+//! atomic load and branch after [`set_enabled`]`(false)`.
+
+mod histogram;
+mod registry;
+mod span;
+
+pub use histogram::{Histogram, HistogramSummary, BUCKETS};
+pub use registry::{global, Counter, Gauge, Registry, Snapshot};
+pub use span::{active_span, trace_snapshot, SpanGuard, SpanRecord, TRACE_CAPACITY};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Turns every instrument on or off globally. Disabled recording costs one
+/// relaxed atomic load per call site.
+pub fn set_enabled(enabled: bool) {
+    ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Serializes unit tests that record into, reset, or toggle the global
+/// state, so parallel test threads don't observe each other's effects.
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Enters a named span: `let _s = span!("rasdb.coordinator.read");`
+///
+/// A second argument supplies an explicit parent span id (for causality
+/// across threads): `span!("sparklet.scheduler.task", parent)`.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::SpanGuard::enter($name)
+    };
+    ($name:expr, $parent:expr) => {
+        $crate::SpanGuard::enter_with_parent($name, $parent)
+    };
+}

@@ -1,0 +1,239 @@
+//! Global registry of named instruments.
+
+use crate::histogram::{Histogram, HistogramSummary};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Monotonically increasing count.
+#[derive(Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub fn incr(&self, n: u64) {
+        if crate::enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Instantaneous signed value.
+#[derive(Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    pub fn set(&self, v: i64) {
+        if crate::enabled() {
+            self.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    pub fn add(&self, delta: i64) {
+        if crate::enabled() {
+            self.value.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Named instruments, interned on first use. Handles are `Arc`s; hot paths
+/// should look an instrument up once and keep the handle.
+#[derive(Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+/// Machine-readable view of every instrument at one moment.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, i64)>,
+    pub histograms: Vec<(String, HistogramSummary)>,
+}
+
+fn intern<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+    if let Some(v) = map.read().unwrap_or_else(|e| e.into_inner()).get(name) {
+        return Arc::clone(v);
+    }
+    let mut w = map.write().unwrap_or_else(|e| e.into_inner());
+    Arc::clone(w.entry(name.to_owned()).or_default())
+}
+
+impl Registry {
+    /// The process-wide registry every instrument hangs off.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::default)
+    }
+
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        intern(&self.counters, name)
+    }
+
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        intern(&self.gauges, name)
+    }
+
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        intern(&self.histograms, name)
+    }
+
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .read()
+                .unwrap_or_else(|e| e.into_inner())
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .unwrap_or_else(|e| e.into_inner())
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .read()
+                .unwrap_or_else(|e| e.into_inner())
+                .iter()
+                .map(|(k, v)| (k.clone(), v.summary()))
+                .collect(),
+        }
+    }
+
+    /// Zeroes every instrument and clears the trace log. Instrument handles
+    /// stay valid (values reset in place).
+    pub fn reset(&self) {
+        for c in self
+            .counters
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+        {
+            c.value.store(0, Ordering::Relaxed);
+        }
+        for g in self
+            .gauges
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+        {
+            g.value.store(0, Ordering::Relaxed);
+        }
+        for h in self
+            .histograms
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+        {
+            h.reset();
+        }
+        crate::span::clear_trace();
+    }
+
+    /// Human-readable table of every instrument (durations shown in µs).
+    pub fn render_table(&self) -> String {
+        let snap = self.snapshot();
+        let mut out = String::new();
+        if !snap.counters.is_empty() {
+            out.push_str("counters\n");
+            for (name, v) in &snap.counters {
+                out.push_str(&format!("  {name:<44} {v:>12}\n"));
+            }
+        }
+        if !snap.gauges.is_empty() {
+            out.push_str("gauges\n");
+            for (name, v) in &snap.gauges {
+                out.push_str(&format!("  {name:<44} {v:>12}\n"));
+            }
+        }
+        if !snap.histograms.is_empty() {
+            out.push_str(&format!(
+                "histograms (latencies in µs)\n  {:<44} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+                "name", "count", "p50", "p95", "p99", "max"
+            ));
+            for (name, s) in &snap.histograms {
+                out.push_str(&format!(
+                    "  {:<44} {:>8} {:>10.1} {:>10.1} {:>10.1} {:>10.1}\n",
+                    name,
+                    s.count,
+                    s.p50 as f64 / 1_000.0,
+                    s.p95 as f64 / 1_000.0,
+                    s.p99 as f64 / 1_000.0,
+                    s.max as f64 / 1_000.0,
+                ));
+            }
+        }
+        if out.is_empty() {
+            out.push_str("no instruments registered\n");
+        }
+        out
+    }
+}
+
+/// Shorthand for [`Registry::global`].
+pub fn global() -> &'static Registry {
+    Registry::global()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_returns_the_same_instrument() {
+        let r = Registry::default();
+        let a = r.counter("x.y.z");
+        let b = r.counter("x.y.z");
+        a.incr(2);
+        b.incr(3);
+        assert_eq!(r.counter("x.y.z").get(), 5);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn snapshot_sees_all_kinds() {
+        let _g = crate::test_lock();
+        let r = Registry::default();
+        r.counter("a.b.c").incr(1);
+        r.gauge("a.b.lag").set(-7);
+        r.histogram("a.b.lat").record(1000);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters, vec![("a.b.c".to_owned(), 1)]);
+        assert_eq!(snap.gauges, vec![("a.b.lag".to_owned(), -7)]);
+        assert_eq!(snap.histograms.len(), 1);
+        assert_eq!(snap.histograms[0].1.count, 1);
+        let table = r.render_table();
+        assert!(table.contains("a.b.c"));
+        assert!(table.contains("a.b.lat"));
+    }
+
+    #[test]
+    fn reset_zeroes_in_place() {
+        let _g = crate::test_lock();
+        let r = Registry::default();
+        let c = r.counter("m.n.o");
+        c.incr(9);
+        let h = r.histogram("m.n.lat");
+        h.record(5);
+        r.reset();
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.count(), 0);
+    }
+}

@@ -1,0 +1,235 @@
+//! Spans: scoped timers with parent/child causality, logged to a bounded
+//! ring buffer and mirrored into same-named latency histograms.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Maximum spans retained in the trace ring buffer; older spans fall off.
+pub const TRACE_CAPACITY: usize = 4096;
+
+/// One completed span in the trace log.
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    pub id: u64,
+    pub parent: Option<u64>,
+    pub name: &'static str,
+    /// Start time in microseconds since the first span of the process.
+    pub start_us: u64,
+    pub duration_ns: u64,
+    pub tags: Vec<(&'static str, String)>,
+}
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn trace_log() -> &'static Mutex<VecDeque<SpanRecord>> {
+    static TRACE: OnceLock<Mutex<VecDeque<SpanRecord>>> = OnceLock::new();
+    TRACE.get_or_init(|| Mutex::new(VecDeque::with_capacity(TRACE_CAPACITY)))
+}
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Id of the innermost span open on this thread, if any. Pass it to
+/// `span!(name, parent)` in a worker closure to keep causality across
+/// thread boundaries.
+pub fn active_span() -> Option<u64> {
+    SPAN_STACK.with(|s| s.borrow().last().copied())
+}
+
+/// Drains a copy of the trace ring buffer, oldest span first.
+pub fn trace_snapshot() -> Vec<SpanRecord> {
+    trace_log()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .cloned()
+        .collect()
+}
+
+pub(crate) fn clear_trace() {
+    trace_log()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clear();
+}
+
+/// Live span; created by the [`span!`](crate::span!) macro, finished (and
+/// recorded) on drop. When telemetry is disabled the guard is inert.
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+}
+
+struct ActiveSpan {
+    id: u64,
+    parent: Option<u64>,
+    name: &'static str,
+    start: Instant,
+    start_us: u64,
+    tags: Vec<(&'static str, String)>,
+}
+
+impl SpanGuard {
+    pub fn enter(name: &'static str) -> Self {
+        Self::start(name, active_span(), true)
+    }
+
+    /// Enters a span with an explicit parent id (cross-thread causality).
+    pub fn enter_with_parent(name: &'static str, parent: Option<u64>) -> Self {
+        Self::start(name, parent, true)
+    }
+
+    fn start(name: &'static str, parent: Option<u64>, push: bool) -> Self {
+        if !crate::enabled() {
+            return Self { active: None };
+        }
+        let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        let start_us = epoch().elapsed().as_micros() as u64;
+        if push {
+            SPAN_STACK.with(|s| s.borrow_mut().push(id));
+        }
+        Self {
+            active: Some(ActiveSpan {
+                id,
+                parent,
+                name,
+                start: Instant::now(),
+                start_us,
+                tags: Vec::new(),
+            }),
+        }
+    }
+
+    /// This span's id, for parenting work dispatched to other threads.
+    pub fn id(&self) -> Option<u64> {
+        self.active.as_ref().map(|a| a.id)
+    }
+
+    /// Attaches a key/value tag (e.g. `locality => "hit"`).
+    pub fn tag(&mut self, key: &'static str, value: impl Into<String>) {
+        if let Some(a) = self.active.as_mut() {
+            a.tags.push((key, value.into()));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(a) = self.active.take() else {
+            return;
+        };
+        let duration = a.start.elapsed();
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|&id| id == a.id) {
+                stack.remove(pos);
+            }
+        });
+        crate::global().histogram(a.name).record_duration(duration);
+        let record = SpanRecord {
+            id: a.id,
+            parent: a.parent,
+            name: a.name,
+            start_us: a.start_us,
+            duration_ns: duration.as_nanos().min(u64::MAX as u128) as u64,
+            tags: a.tags,
+        };
+        let mut log = trace_log().lock().unwrap_or_else(|e| e.into_inner());
+        if log.len() >= TRACE_CAPACITY {
+            log.pop_front();
+        }
+        log.push_back(record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_record_causality() {
+        let _g = crate::test_lock();
+        clear_trace();
+        {
+            let outer = crate::span!("test.outer.op");
+            let outer_id = outer.id().unwrap();
+            {
+                let inner = crate::span!("test.inner.op");
+                assert_eq!(active_span(), inner.id());
+            }
+            assert_eq!(active_span(), Some(outer_id));
+        }
+        assert_eq!(active_span(), None);
+        let spans = trace_snapshot();
+        assert_eq!(spans.len(), 2);
+        // Inner finished first; its parent is the outer span.
+        assert_eq!(spans[0].name, "test.inner.op");
+        assert_eq!(spans[0].parent, Some(spans[1].id));
+        assert_eq!(spans[1].parent, None);
+        assert!(crate::global().histogram("test.outer.op").count() >= 1);
+    }
+
+    #[test]
+    fn explicit_parent_crosses_threads() {
+        let _g = crate::test_lock();
+        clear_trace();
+        let root = crate::span!("test.root.op");
+        let root_id = root.id();
+        std::thread::spawn(move || {
+            let _child = crate::span!("test.child.op", root_id);
+        })
+        .join()
+        .unwrap();
+        drop(root);
+        let spans = trace_snapshot();
+        let child = spans.iter().find(|s| s.name == "test.child.op").unwrap();
+        let root = spans.iter().find(|s| s.name == "test.root.op").unwrap();
+        assert_eq!(child.parent, Some(root.id));
+    }
+
+    #[test]
+    fn ring_buffer_is_bounded() {
+        let _g = crate::test_lock();
+        clear_trace();
+        for _ in 0..TRACE_CAPACITY + 100 {
+            let _s = crate::span!("test.flood.op");
+        }
+        assert_eq!(trace_snapshot().len(), TRACE_CAPACITY);
+    }
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        let _g = crate::test_lock();
+        clear_trace();
+        crate::set_enabled(false);
+        let before = crate::global().histogram("test.off.op").count();
+        {
+            let s = crate::span!("test.off.op");
+            assert_eq!(s.id(), None);
+            assert_eq!(active_span(), None);
+        }
+        crate::set_enabled(true);
+        assert_eq!(crate::global().histogram("test.off.op").count(), before);
+        assert!(trace_snapshot().is_empty());
+    }
+
+    #[test]
+    fn tags_survive_into_the_record() {
+        let _g = crate::test_lock();
+        clear_trace();
+        {
+            let mut s = crate::span!("test.tagged.op");
+            s.tag("locality", "hit");
+        }
+        let spans = trace_snapshot();
+        assert_eq!(spans[0].tags, vec![("locality", "hit".to_owned())]);
+    }
+}

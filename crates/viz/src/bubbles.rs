@@ -67,7 +67,9 @@ mod tests {
     use super::*;
 
     fn terms(n: usize) -> Vec<(String, f64)> {
-        (0..n).map(|i| (format!("word{i}"), (n - i) as f64)).collect()
+        (0..n)
+            .map(|i| (format!("word{i}"), (n - i) as f64))
+            .collect()
     }
 
     #[test]
@@ -95,7 +97,11 @@ mod tests {
                 let (x1, y1, r1) = circles[i];
                 let (x2, y2, r2) = circles[j];
                 let d = ((x1 - x2).powi(2) + (y1 - y2).powi(2)).sqrt();
-                assert!(d >= r1 + r2, "bubbles {i} and {j} overlap: d={d} r={}", r1 + r2);
+                assert!(
+                    d >= r1 + r2,
+                    "bubbles {i} and {j} overlap: d={d} r={}",
+                    r1 + r2
+                );
             }
         }
     }
@@ -120,7 +126,13 @@ mod tests {
 
     #[test]
     fn long_words_are_truncated_with_ellipsis() {
-        let svg = render_word_bubbles("t", &[("extraordinarily-long-term".into(), 0.10), ("x".into(), 100.0)]);
+        let svg = render_word_bubbles(
+            "t",
+            &[
+                ("extraordinarily-long-term".into(), 0.10),
+                ("x".into(), 100.0),
+            ],
+        );
         assert!(svg.contains("…"), "{svg}");
     }
 

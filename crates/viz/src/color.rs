@@ -12,14 +12,23 @@ const RAMP: &[(u8, u8, u8)] = &[
 
 /// Maps `t ∈ [0, 1]` to a hex color on the ramp; out-of-range clamps.
 pub fn heat_color(t: f64) -> String {
-    let t = if t.is_finite() { t.clamp(0.0, 1.0) } else { 0.0 };
+    let t = if t.is_finite() {
+        t.clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
     let scaled = t * (RAMP.len() - 1) as f64;
     let i = (scaled.floor() as usize).min(RAMP.len() - 2);
     let frac = scaled - i as f64;
     let (r0, g0, b0) = RAMP[i];
     let (r1, g1, b1) = RAMP[i + 1];
     let lerp = |a: u8, b: u8| (a as f64 + (b as f64 - a as f64) * frac).round() as u8;
-    format!("#{:02x}{:02x}{:02x}", lerp(r0, r1), lerp(g0, g1), lerp(b0, b1))
+    format!(
+        "#{:02x}{:02x}{:02x}",
+        lerp(r0, r1),
+        lerp(g0, g1),
+        lerp(b0, b1)
+    )
 }
 
 /// Normalizes values to `[0, 1]` against their max (all-zero stays zero).
@@ -34,7 +43,11 @@ pub fn normalize(values: &[f64]) -> Vec<f64> {
 /// ASCII shade for `t ∈ [0,1]`: ` .:-=+*#%@` from cold to hot.
 pub fn ascii_shade(t: f64) -> char {
     const SHADES: &[u8] = b" .:-=+*#%@";
-    let t = if t.is_finite() { t.clamp(0.0, 1.0) } else { 0.0 };
+    let t = if t.is_finite() {
+        t.clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
     SHADES[((t * (SHADES.len() - 1) as f64).round() as usize).min(SHADES.len() - 1)] as char
 }
 

@@ -16,5 +16,7 @@ pub mod timeseries;
 
 pub use bubbles::render_word_bubbles;
 pub use histogram::{ascii_histogram, render_histogram};
-pub use sysmap::{ascii_cabinet_heatmap, render_cabinet_heatmap, render_node_heatmap, SystemMapSpec};
+pub use sysmap::{
+    ascii_cabinet_heatmap, render_cabinet_heatmap, render_node_heatmap, SystemMapSpec,
+};
 pub use timeseries::{render_timeseries, Series};

@@ -55,7 +55,12 @@ pub fn render_cabinet_heatmap(spec: &SystemMapSpec, values: &[f64]) -> String {
         );
     }
     let max = vals.iter().copied().fold(0.0f64, f64::max);
-    doc.text(MARGIN + 168.0, legend_y + 9.0, 9.0, &format!("0 .. {max:.0}"));
+    doc.text(
+        MARGIN + 168.0,
+        legend_y + 9.0,
+        9.0,
+        &format!("0 .. {max:.0}"),
+    );
     doc.finish()
 }
 

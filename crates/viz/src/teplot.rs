@@ -28,8 +28,7 @@ mod tests {
 
     #[test]
     fn plot_carries_both_directions_and_labels() {
-        let sweep: Vec<(usize, f64, f64)> =
-            (1..=5).map(|l| (l, 0.1 * l as f64, 0.01)).collect();
+        let sweep: Vec<(usize, f64, f64)> = (1..=5).map(|l| (l, 0.1 * l as f64, 0.01)).collect();
         let svg = render_te_plot("MCE", "GPU_DBE", &sweep);
         assert!(svg.contains("TE(MCE -&gt; GPU_DBE)") || svg.contains("TE(MCE -> GPU_DBE)"));
         assert!(svg.contains("TE(GPU_DBE -&gt; MCE)") || svg.contains("TE(GPU_DBE -> MCE)"));

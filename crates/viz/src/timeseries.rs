@@ -32,19 +32,19 @@ pub fn render_timeseries(title: &str, series: &[Series]) -> String {
         let pts: Vec<(f64, f64)> = s
             .points
             .iter()
-            .map(|(x, y)| (map(*x, x0, x1, MARGIN, W - 16.0), map(*y, y0, y1, H - MARGIN, MARGIN)))
+            .map(|(x, y)| {
+                (
+                    map(*x, x0, x1, MARGIN, W - 16.0),
+                    map(*y, y0, y1, H - MARGIN, MARGIN),
+                )
+            })
             .collect();
         if pts.len() > 1 {
             doc.polyline(&pts, color, 1.5);
         } else if let Some(p) = pts.first() {
             doc.circle(p.0, p.1, 2.0, color, 1.0);
         }
-        doc.text(
-            MARGIN + 8.0 + i as f64 * 120.0,
-            MARGIN - 6.0,
-            10.0,
-            &s.name,
-        );
+        doc.text(MARGIN + 8.0 + i as f64 * 120.0, MARGIN - 6.0, 10.0, &s.name);
         doc.line(
             MARGIN + i as f64 * 120.0,
             MARGIN - 10.0,

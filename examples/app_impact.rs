@@ -30,7 +30,10 @@ fn main() {
     };
     let scenario = Scenario::generate(&topo, &cfg, 424_242);
     let report = fw.batch_import(&scenario.lines).expect("import");
-    println!("imported {} lines, {} application runs", report.parsed, report.jobs);
+    println!(
+        "imported {} lines, {} application runs",
+        report.parsed, report.jobs
+    );
 
     // Pick the heaviest user of the day.
     let mut by_user: std::collections::HashMap<&str, usize> = Default::default();
@@ -69,7 +72,7 @@ fn main() {
         *by_type.entry(e.event_type.as_str()).or_default() += 1;
     }
     let mut pairs: Vec<_> = by_type.into_iter().collect();
-    pairs.sort_by(|a, b| b.1.cmp(&a.1));
+    pairs.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
     for (t, n) in &pairs {
         println!("  {n:>5}  {t}");
     }

@@ -73,7 +73,10 @@ fn main() {
         );
     }
     assert!(
-        rules.iter().take(3).any(|r| r.antecedent == "GPU_DBE" && r.consequent == "GPU_OFF_BUS"),
+        rules
+            .iter()
+            .take(3)
+            .any(|r| r.antecedent == "GPU_DBE" && r.consequent == "GPU_OFF_BUS"),
         "the injected chain must be a top rule"
     );
 

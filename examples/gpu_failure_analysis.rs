@@ -28,9 +28,7 @@ fn main() {
     let cfg = ScenarioConfig::mce_hotspot(12, hot_cabinet);
     let scenario = Scenario::generate(&topo, &cfg, 55);
     fw.batch_import(&scenario.lines).expect("import");
-    println!(
-        "imported a 12-hour day with an injected MCE burst in cabinet {hot_cabinet}"
-    );
+    println!("imported a 12-hour day with an injected MCE burst in cabinet {hot_cabinet}");
 
     let t0 = cfg.start_ms;
     let t1 = t0 + 12 * HOUR_MS;
@@ -52,7 +50,10 @@ fn main() {
         "the injected hotspot must be flagged"
     );
 
-    save("artifacts/heatmap_cabinets.svg", &render_cabinet_heatmap(&spec, &hm.cabinets));
+    save(
+        "artifacts/heatmap_cabinets.svg",
+        &render_cabinet_heatmap(&spec, &hm.cabinets),
+    );
     let nodes = node_heatmap(&fw, "MCE", t0, t1).expect("node heatmap");
     save(
         "artifacts/heatmap_nodes.svg",

@@ -3,8 +3,10 @@
 //! analytics over the raw lines identify the unresponsive OST.
 //!
 //! Run with: `cargo run --release --example lustre_storm`
-//! Writes `artifacts/lustre_storm_bubbles.svg` and
-//! `artifacts/lustre_storm_timeline.svg`.
+//! Writes `artifacts/lustre_storm_bubbles.svg`,
+//! `artifacts/lustre_storm_timeline.svg`, and
+//! `artifacts/telemetry_snapshot.json` (the full metrics registry after
+//! the run).
 
 use hpclog_core::analytics::histogram::event_histogram;
 use hpclog_core::analytics::text::{self, top_k};
@@ -60,7 +62,10 @@ fn main() {
             .map(|(i, c)| (((hist.bin_start(i) - t0) / 60_000) as f64, *c))
             .collect(),
     };
-    save("artifacts/lustre_storm_timeline.svg", &render_timeseries("Lustre storm timeline (minutes into day)", &[series]));
+    save(
+        "artifacts/lustre_storm_timeline.svg",
+        &render_timeseries("Lustre storm timeline (minutes into day)", &[series]),
+    );
 
     // Step 2 — zoom into the storm window and run word count on raw text
     // ("a simple word counts ... can locate the source of the problem").
@@ -81,10 +86,7 @@ fn main() {
     );
 
     // Step 4 — the verdict: the dead OST must dominate the OST-shaped terms.
-    let ost_terms: Vec<&(String, u64)> = top
-        .iter()
-        .filter(|(w, _)| w.starts_with("OST"))
-        .collect();
+    let ost_terms: Vec<&(String, u64)> = top.iter().filter(|(w, _)| w.starts_with("OST")).collect();
     match ost_terms.first() {
         Some((label, count)) if *label == ost_label(dead_ost) => println!(
             "\nDIAGNOSIS: {} is not responding ({} mentions — next OST has {})",
@@ -95,6 +97,13 @@ fn main() {
         Some((label, _)) => println!("\nunexpected dominant OST {label}"),
         None => println!("\nno OST term surfaced — storm too small?"),
     }
+
+    // Step 5 — dump the telemetry registry accumulated by the whole
+    // pipeline (ETL spans, coordinator latencies, scheduler locality).
+    save(
+        "artifacts/telemetry_snapshot.json",
+        &hpclog_core::server::telemetry_export::metrics_json().to_string(),
+    );
 }
 
 fn save(path: &str, svg: &str) {

@@ -70,7 +70,9 @@ fn main() {
 
     // Time-series query through the dual schema (paper Fig 1).
     let t0 = cfg.start_ms;
-    let mce = fw.events_by_type("MCE", t0, t0 + 24 * HOUR_MS).expect("query");
+    let mce = fw
+        .events_by_type("MCE", t0, t0 + 24 * HOUR_MS)
+        .expect("query");
     println!("\nMCE events stored: {}", mce.len());
     if let Some(first) = mce.first() {
         let by_src = fw

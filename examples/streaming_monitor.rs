@@ -32,9 +32,20 @@ fn main() {
     let mut b = StreamIngester::new(&fw, "ingesters", 60_000).expect("join");
     let t = std::time::Instant::now();
     let mut rounds = 0u32;
+    let registry = telemetry::global();
     loop {
         let n = a.step(512).expect("step") + b.step(512).expect("step");
         rounds += 1;
+        // Live telemetry: last coalescing window + how far we lag the bus.
+        if rounds.is_multiple_of(8) {
+            println!(
+                "  [{rounds:>4} polls] window {} -> {} events, ingest lag {} records, {} stored so far",
+                registry.gauge("etl.stream.window_events_in").get(),
+                registry.gauge("etl.stream.window_events_out").get(),
+                registry.gauge("etl.stream.ingest_lag").get(),
+                registry.counter("etl.stream.events_out").get(),
+            );
+        }
         if n == 0 {
             break;
         }
@@ -56,8 +67,7 @@ fn main() {
 
     // Online-style anomaly check over what just landed in the store.
     let t0 = cfg.start_ms;
-    let hist =
-        event_histogram(&fw, "LUSTRE_ERR", t0, t0 + 2 * 3_600_000, 60_000).expect("hist");
+    let hist = event_histogram(&fw, "LUSTRE_ERR", t0, t0 + 2 * 3_600_000, 60_000).expect("hist");
     let mean = hist.total() / hist.bins.len() as f64;
     let (peak_bin, peak) = hist.peak().expect("bins");
     println!(
@@ -71,4 +81,6 @@ fn main() {
     } else {
         println!("no anomaly detected");
     }
+
+    println!("\ntelemetry after the run:\n{}", fw.telemetry_report());
 }

@@ -55,7 +55,10 @@ fn main() {
         .expect("insert");
     }
     let t1 = t0 + 11 * HOUR_MS;
-    println!("inserted {} coupled NET_LINK / LUSTRE_ERR events", events.len());
+    println!(
+        "inserted {} coupled NET_LINK / LUSTRE_ERR events",
+        events.len()
+    );
 
     // TE sweep over lags (1-minute bins).
     let sweep = te_lag_sweep(&fw, "NET_LINK", "LUSTRE_ERR", t0, t1, 60_000, 8).expect("te");
@@ -71,8 +74,14 @@ fn main() {
         render_timeseries(
             "Transfer entropy vs lag (1-min bins)",
             &[
-                Series { name: "TE(NET_LINK -> LUSTRE_ERR)".to_owned(), points: fwd },
-                Series { name: "TE(LUSTRE_ERR -> NET_LINK)".to_owned(), points: bwd },
+                Series {
+                    name: "TE(NET_LINK -> LUSTRE_ERR)".to_owned(),
+                    points: fwd,
+                },
+                Series {
+                    name: "TE(LUSTRE_ERR -> NET_LINK)".to_owned(),
+                    points: bwd,
+                },
             ],
         ),
     )
@@ -90,8 +99,8 @@ fn main() {
     );
 
     // Symmetric cross-correlation for comparison.
-    let xc = event_cross_correlation(&fw, "NET_LINK", "LUSTRE_ERR", t0, t1, 60_000, 5)
-        .expect("xcorr");
+    let xc =
+        event_cross_correlation(&fw, "NET_LINK", "LUSTRE_ERR", t0, t1, 60_000, 5).expect("xcorr");
     let peak = xc.iter().max_by(|a, b| a.1.total_cmp(&b.1)).expect("xc");
     println!(
         "cross-correlation peaks at lag {} min (r = {:.3}) — symmetric, no direction",

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Repo-wide hygiene gate: formatting, lints (warnings are errors), and the
+# tier-1 test suite. Run from anywhere; it cds to the workspace root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "All checks passed."

@@ -52,11 +52,7 @@ fn ingest_then_every_query_path_agrees_with_ground_truth() {
 
     // The dual location view holds the same events, node by node.
     let sample_node = fw.topology().node(17).cname;
-    let want_for_node = scenario
-        .truth
-        .iter()
-        .filter(|o| o.node == 17)
-        .count();
+    let want_for_node = scenario.truth.iter().filter(|o| o.node == 17).count();
     let got_for_node = fw
         .events_by_source(&sample_node, t0, t1)
         .expect("query")
@@ -109,9 +105,15 @@ fn json_server_serves_the_full_protocol_over_ingested_data() {
     let ops = [
         format!(r#"{{"op":"events","type":"MCE","from":{t0},"to":{t1}}}"#),
         format!(r#"{{"op":"heatmap","type":"LUSTRE_ERR","from":{t0},"to":{t1}}}"#),
-        format!(r#"{{"op":"histogram","type":"LUSTRE_ERR","from":{t0},"to":{t1},"bin_ms":3600000}}"#),
-        format!(r#"{{"op":"distribution","type":"LUSTRE_ERR","from":{t0},"to":{t1},"by":"cabinet"}}"#),
-        format!(r#"{{"op":"transfer_entropy","x":"NET_LINK","y":"LUSTRE_ERR","from":{t0},"to":{t1},"bin_ms":60000,"max_lag":4}}"#),
+        format!(
+            r#"{{"op":"histogram","type":"LUSTRE_ERR","from":{t0},"to":{t1},"bin_ms":3600000}}"#
+        ),
+        format!(
+            r#"{{"op":"distribution","type":"LUSTRE_ERR","from":{t0},"to":{t1},"by":"cabinet"}}"#
+        ),
+        format!(
+            r#"{{"op":"transfer_entropy","x":"NET_LINK","y":"LUSTRE_ERR","from":{t0},"to":{t1},"bin_ms":60000,"max_lag":4}}"#
+        ),
         format!(r#"{{"op":"wordcount","type":"LUSTRE_ERR","from":{t0},"to":{t1},"top":10}}"#),
         format!(r#"{{"op":"apps","from":{t0},"to":{t1}}}"#),
         r#"{"op":"nodeinfo","cname":"c0-0c0s0n0"}"#.to_owned(),
@@ -120,6 +122,82 @@ fn json_server_serves_the_full_protocol_over_ingested_data() {
         let resp = jsonlite::parse(&engine.handle(op)).expect("valid JSON");
         assert_eq!(resp["status"].as_str(), Some("ok"), "op {op}");
     }
+}
+
+#[test]
+fn telemetry_surfaces_ingest_query_and_analytics() {
+    let (fw, scenario, cfg) = boot();
+    fw.batch_import(&scenario.lines).expect("import");
+    let t0 = cfg.start_ms;
+    let t1 = t0 + cfg.duration_ms;
+    let engine = QueryEngine::new(Arc::new(fw));
+
+    // Drive a read and two RDD analytics jobs through the server surface so
+    // coordinator, scheduler, and request spans all fire. The heatmap op
+    // reaches scan_events_rdd, whose partitions are pinned to data owners
+    // (locality hits); wordcount parallelizes with no preference (misses).
+    let events_op = format!(r#"{{"op":"events","type":"MCE","from":{t0},"to":{t1}}}"#);
+    for op in [
+        events_op.clone(),
+        format!(r#"{{"op":"heatmap","type":"LUSTRE_ERR","from":{t0},"to":{t1}}}"#),
+        format!(r#"{{"op":"wordcount","type":"LUSTRE_ERR","from":{t0},"to":{t1},"top":5}}"#),
+    ] {
+        let resp = jsonlite::parse(&engine.handle(&op)).expect("valid JSON");
+        assert_eq!(resp["status"].as_str(), Some("ok"), "op {op}");
+    }
+
+    let metrics = jsonlite::parse(&engine.handle(r#"{"op":"metrics"}"#)).expect("valid JSON");
+    assert_eq!(metrics["status"].as_str(), Some("ok"));
+    let read_count = metrics["histograms"]["rasdb.coordinator.read"]["count"]
+        .as_i64()
+        .expect("read histogram present");
+    assert!(read_count > 0, "coordinator reads recorded");
+    let write_count = metrics["histograms"]["rasdb.coordinator.write"]["count"]
+        .as_i64()
+        .expect("write histogram present");
+    assert!(write_count > 0, "coordinator writes recorded");
+    // Scheduler tasks split by locality: scan_events_rdd pins partitions
+    // to data owners (hits); batch import spreads with no preference
+    // (misses).
+    let hits = metrics["counters"]["sparklet.scheduler.task.locality_hit"]
+        .as_i64()
+        .unwrap_or(0);
+    let misses = metrics["counters"]["sparklet.scheduler.task.locality_miss"]
+        .as_i64()
+        .unwrap_or(0);
+    assert!(hits > 0, "no locality hits recorded");
+    assert!(misses > 0, "no locality misses recorded");
+    assert!(
+        metrics["histograms"]["sparklet.scheduler.task"]["count"]
+            .as_i64()
+            .unwrap()
+            > 0
+    );
+
+    // The trace must contain at least one span tree rooted at a server
+    // request. Other tests in this binary can flood the bounded ring
+    // buffer between our query and the read, so retry the pair.
+    let mut rooted_tree = false;
+    for _ in 0..5 {
+        engine.handle(&events_op);
+        let trace = jsonlite::parse(&engine.handle(r#"{"op":"trace"}"#)).expect("valid JSON");
+        assert_eq!(trace["status"].as_str(), Some("ok"));
+        let spans = trace["spans"].as_array().expect("span array");
+        let roots: Vec<i64> = spans
+            .iter()
+            .filter(|s| {
+                s["name"].as_str() == Some("server.request") && s["parent"].as_i64().is_none()
+            })
+            .filter_map(|s| s["id"].as_i64())
+            .collect();
+        rooted_tree = spans
+            .iter()
+            .any(|s| s["parent"].as_i64().is_some_and(|p| roots.contains(&p)));
+        if rooted_tree {
+            break;
+        }
+    }
+    assert!(rooted_tree, "no span tree rooted at a server request");
 }
 
 #[test]

@@ -40,7 +40,8 @@ fn ingest_continues_with_one_node_down_and_recovers_it() {
         if i == 25 {
             fw.cluster().take_node_down(NodeId(2));
         }
-        fw.insert_event(&ev(i * 1000, "c0-0c0s0n0")).expect("quorum write");
+        fw.insert_event(&ev(i * 1000, "c0-0c0s0n0"))
+            .expect("quorum write");
     }
     // Everything is readable at quorum with the node still down.
     let got = fw.events_by_type("MCE", 0, HOUR_MS).expect("read");
@@ -94,7 +95,9 @@ fn node_crash_restart_replays_commit_log() {
     for n in 0..fw.cluster().node_count() {
         fw.cluster().node(NodeId(n)).restart();
     }
-    let got = fw.events_by_type("MCE", 0, HOUR_MS).expect("read after restart");
+    let got = fw
+        .events_by_type("MCE", 0, HOUR_MS)
+        .expect("read after restart");
     assert_eq!(got.len(), 30);
 }
 

@@ -33,7 +33,10 @@ fn lustre_storm_word_count_identifies_the_dead_ost() {
     let hist = event_histogram(&fw, "LUSTRE_ERR", t0, t1, 10 * 60_000).expect("hist");
     let (peak_bin, peak) = hist.peak().expect("bins");
     let mean = hist.total() / hist.bins.len() as f64;
-    assert!(peak > 5.0 * mean, "storm must stand out: peak={peak} mean={mean}");
+    assert!(
+        peak > 5.0 * mean,
+        "storm must stand out: peak={peak} mean={mean}"
+    );
 
     // Word count in the storm window pins the OST.
     let w0 = hist.bin_start(peak_bin) - 10 * 60_000;
@@ -61,8 +64,8 @@ fn hotspot_heatmap_flags_the_injected_cabinet() {
     let cfg = ScenarioConfig::mce_hotspot(6, hot);
     let scenario = Scenario::generate(fw.topology(), &cfg, 5);
     fw.batch_import(&scenario.lines).expect("import");
-    let hm = cabinet_heatmap(&fw, "MCE", cfg.start_ms, cfg.start_ms + cfg.duration_ms)
-        .expect("heatmap");
+    let hm =
+        cabinet_heatmap(&fw, "MCE", cfg.start_ms, cfg.start_ms + cfg.duration_ms).expect("heatmap");
     assert_eq!(hm.hottest, hot);
     assert!(hm.outliers(2.0).contains(&hot));
 }
@@ -96,8 +99,16 @@ fn causal_injection_shows_directed_transfer_entropy() {
             .expect("insert");
         }
     }
-    let sweep =
-        te_lag_sweep(&fw, "NET_LINK", "LUSTRE_ERR", t0, t0 + 7 * HOUR_MS, 60_000, 3).expect("te");
+    let sweep = te_lag_sweep(
+        &fw,
+        "NET_LINK",
+        "LUSTRE_ERR",
+        t0,
+        t0 + 7 * HOUR_MS,
+        60_000,
+        3,
+    )
+    .expect("te");
     let at_lag_1 = sweep.iter().find(|(l, _)| *l == 1).expect("lag 1").1;
     assert!(
         at_lag_1.x_to_y > 2.0 * at_lag_1.y_to_x,
