@@ -1,0 +1,158 @@
+//! Scatter-gather vs sequential hour-loop: a 24-hour window on a 4-node
+//! cluster, with simulated per-read replica service latency standing in
+//! for the RPC + disk time a networked Cassandra ring pays per partition
+//! read. Sequential coordination serializes those waits; `read_multi`
+//! overlaps them across the per-node worker queues.
+//!
+//! Emits `BENCH_scatter_gather.json` at the workspace root so the perf
+//! trajectory is tracked across PRs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rasdb::cluster::{full_range, Cluster, ClusterConfig};
+use rasdb::node::NodeConfig;
+use rasdb::query::{Consistency, ReadPlan};
+use rasdb::ring::NodeId;
+use rasdb::schema::{ColumnType, TableSchema};
+use rasdb::types::{Key, Value};
+use std::time::Instant;
+
+const HOURS: i64 = 24;
+/// Simulated per-read replica service time (RPC + disk) in microseconds.
+const READ_LATENCY_US: u64 = 500;
+
+fn seeded() -> Cluster {
+    let cluster = Cluster::with_node_config(
+        ClusterConfig {
+            nodes: 4,
+            replication_factor: 3,
+            vnodes: 16,
+        },
+        NodeConfig::default(),
+    );
+    cluster
+        .create_table(
+            TableSchema::builder("event_by_time")
+                .partition_key("hour", ColumnType::BigInt)
+                .partition_key("type", ColumnType::Text)
+                .clustering_key("ts", ColumnType::Timestamp)
+                .column("source", ColumnType::Text)
+                .column("amount", ColumnType::Int)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+    for hour in 0..HOURS {
+        for i in 0..50 {
+            cluster
+                .insert(
+                    "event_by_time",
+                    vec![
+                        ("hour", Value::BigInt(hour)),
+                        ("type", Value::text("LUSTRE_ERR")),
+                        ("ts", Value::Timestamp(hour * 3_600_000 + i * 1000)),
+                        ("source", Value::text(format!("c0-0c0s{}n0", i % 8))),
+                        ("amount", Value::Int(1)),
+                    ],
+                    Consistency::Quorum,
+                )
+                .unwrap();
+        }
+    }
+    cluster.flush_all();
+    // Simulated service latency goes on AFTER seeding so the writes above
+    // stay fast.
+    for n in 0..cluster.node_count() {
+        cluster.node(NodeId(n)).set_read_latency_us(READ_LATENCY_US);
+    }
+    cluster
+}
+
+fn window_plans() -> Vec<ReadPlan> {
+    (0..HOURS)
+        .map(|hour| ReadPlan {
+            table: "event_by_time".into(),
+            partition: Key(vec![Value::BigInt(hour), Value::text("LUSTRE_ERR")]),
+            range: full_range(),
+            limit: None,
+            descending: false,
+        })
+        .collect()
+}
+
+fn sequential(cluster: &Cluster, plans: &[ReadPlan]) -> usize {
+    plans
+        .iter()
+        .map(|p| cluster.read(p, Consistency::Quorum).unwrap().len())
+        .sum()
+}
+
+fn scatter(cluster: &Cluster, plans: &[ReadPlan]) -> usize {
+    cluster
+        .read_multi(plans, Consistency::Quorum)
+        .unwrap()
+        .iter()
+        .map(Vec::len)
+        .sum()
+}
+
+fn measure(mut f: impl FnMut() -> usize, iters: u32) -> f64 {
+    let t = Instant::now();
+    for _ in 0..iters {
+        assert_eq!(f(), (HOURS * 50) as usize);
+    }
+    t.elapsed().as_secs_f64() * 1000.0 / f64::from(iters)
+}
+
+fn bench_scatter_gather(c: &mut Criterion) {
+    let cluster = seeded();
+    let plans = window_plans();
+
+    // Equivalence before timing: both paths must return identical rows.
+    let seq: Vec<_> = plans
+        .iter()
+        .map(|p| cluster.read(p, Consistency::Quorum).unwrap())
+        .collect();
+    let par = cluster.read_multi(&plans, Consistency::Quorum).unwrap();
+    assert_eq!(seq, par, "scatter-gather must match the sequential loop");
+
+    // Steady-state timings for the JSON artifact (criterion's warm-up
+    // handles the pool spawn; here we hand-measure after one warm call).
+    let sequential_ms = measure(|| sequential(&cluster, &plans), 10);
+    let read_multi_ms = measure(|| scatter(&cluster, &plans), 10);
+    let speedup = sequential_ms / read_multi_ms;
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"scatter_gather\",\n",
+            "  \"hours\": {},\n",
+            "  \"nodes\": 4,\n",
+            "  \"replication_factor\": 3,\n",
+            "  \"consistency\": \"quorum\",\n",
+            "  \"read_latency_us\": {},\n",
+            "  \"sequential_ms\": {:.3},\n",
+            "  \"read_multi_ms\": {:.3},\n",
+            "  \"speedup\": {:.2}\n",
+            "}}\n"
+        ),
+        HOURS, READ_LATENCY_US, sequential_ms, read_multi_ms, speedup
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_scatter_gather.json"
+    );
+    std::fs::write(path, &json).expect("write BENCH_scatter_gather.json");
+    println!(
+        "sequential {sequential_ms:.3} ms, read_multi {read_multi_ms:.3} ms, speedup {speedup:.2}x"
+    );
+
+    let mut group = c.benchmark_group("scatter_gather");
+    group.sample_size(10);
+    group.bench_function("sequential_hour_loop_24h", |b| {
+        b.iter(|| sequential(&cluster, &plans))
+    });
+    group.bench_function("read_multi_24h", |b| b.iter(|| scatter(&cluster, &plans)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_scatter_gather);
+criterion_main!(benches);

@@ -6,12 +6,11 @@ use crate::model::{apprun::AppRun, keys, nodeinfo, tables};
 use logbus::Broker;
 use loggen::events::EVENT_CATALOG;
 use loggen::topology::Topology;
-use rasdb::cluster::{Cluster, ClusterConfig};
+use rasdb::cluster::{full_range, Cluster, ClusterConfig};
 use rasdb::error::DbError;
-use rasdb::query::Consistency;
-use rasdb::types::Value;
+use rasdb::query::{Consistency, ReadPlan};
+use rasdb::types::{Key, Value};
 use sparklet::pool::current_worker;
-use sparklet::rdd::PartitionSource;
 use sparklet::{Rdd, SparkletContext};
 use std::sync::Arc;
 
@@ -165,91 +164,107 @@ impl Framework {
         )
     }
 
-    /// Driver-side read of one event type over `[from_ms, to_ms)`.
+    /// Builds one [`ReadPlan`] per hour bucket of `[from_ms, to_ms)` —
+    /// partition key `(hour)` or `(hour, fixed)` — for a single
+    /// [`Cluster::read_multi`] scatter instead of an hour-by-hour loop.
+    /// Sparklet scans consume the same batches (see
+    /// [`Framework::scan_events_rdd`]), so driver-side reads and
+    /// owner-pinned tasks share one planning path.
+    pub fn window_plans(
+        table: &str,
+        fixed: Option<&str>,
+        from_ms: i64,
+        to_ms: i64,
+    ) -> Vec<ReadPlan> {
+        keys::hours_in(from_ms, to_ms)
+            .map(|hour| {
+                let mut pk = vec![Value::BigInt(hour)];
+                if let Some(f) = fixed {
+                    pk.push(Value::text(f));
+                }
+                ReadPlan {
+                    table: table.to_owned(),
+                    partition: Key(pk),
+                    range: full_range(),
+                    limit: None,
+                    descending: false,
+                }
+            })
+            .collect()
+    }
+
+    /// Driver-side read of one event type over `[from_ms, to_ms)`: one
+    /// scatter-gather batch across all hour partitions.
     pub fn events_by_type(
         &self,
         event_type: &str,
         from_ms: i64,
         to_ms: i64,
     ) -> Result<Vec<EventRecord>, DbError> {
-        let mut out = Vec::new();
-        for hour in keys::hours_in(from_ms, to_ms) {
-            let rows = self
-                .cluster
-                .select("event_by_time")
-                .partition(vec![Value::BigInt(hour), Value::text(event_type)])
-                .run(self.consistency)?;
-            out.extend(
-                rows.iter()
-                    .filter_map(|r| EventRecord::from_time_row(event_type, r))
-                    .filter(|e| e.ts_ms >= from_ms && e.ts_ms < to_ms),
-            );
-        }
-        Ok(out)
+        let plans = Self::window_plans("event_by_time", Some(event_type), from_ms, to_ms);
+        let batches = self.cluster.read_multi(&plans, self.consistency)?;
+        Ok(batches
+            .iter()
+            .flatten()
+            .filter_map(|r| EventRecord::from_time_row(event_type, r))
+            .filter(|e| e.ts_ms >= from_ms && e.ts_ms < to_ms)
+            .collect())
     }
 
     /// Driver-side read of everything one source reported in a window —
-    /// served by `event_by_location` without scanning other sources.
+    /// served by `event_by_location` without scanning other sources, as
+    /// one scatter-gather batch.
     pub fn events_by_source(
         &self,
         source: &str,
         from_ms: i64,
         to_ms: i64,
     ) -> Result<Vec<EventRecord>, DbError> {
-        let mut out = Vec::new();
-        for hour in keys::hours_in(from_ms, to_ms) {
-            let rows = self
-                .cluster
-                .select("event_by_location")
-                .partition(vec![Value::BigInt(hour), Value::text(source)])
-                .run(self.consistency)?;
-            out.extend(
-                rows.iter()
-                    .filter_map(|r| EventRecord::from_location_row(source, r))
-                    .filter(|e| e.ts_ms >= from_ms && e.ts_ms < to_ms),
-            );
-        }
-        Ok(out)
+        let plans = Self::window_plans("event_by_location", Some(source), from_ms, to_ms);
+        let batches = self.cluster.read_multi(&plans, self.consistency)?;
+        Ok(batches
+            .iter()
+            .flatten()
+            .filter_map(|r| EventRecord::from_location_row(source, r))
+            .filter(|e| e.ts_ms >= from_ms && e.ts_ms < to_ms)
+            .collect())
     }
 
     /// A locality-aware scan: one RDD partition per `(hour, type)` store
-    /// partition, preferring the executor co-located with the partition's
-    /// primary replica. When a partition is computed on a *different*
-    /// executor, the loader pays a marshalling round trip (encode + decode
-    /// of every cell) — the cost a co-located deployment avoids.
+    /// partition — the same plan batch `events_by_type` scatters — each
+    /// pinned to the executor co-located with the partition's primary
+    /// replica. When a partition is computed on a *different* executor,
+    /// the loader pays a marshalling round trip (encode + decode of every
+    /// cell) — the cost a co-located deployment avoids.
     pub fn scan_events_rdd(&self, event_type: &str, from_ms: i64, to_ms: i64) -> Rdd<EventRecord> {
         let workers = self.engine.workers();
-        let sources: Vec<PartitionSource<EventRecord>> = keys::hours_in(from_ms, to_ms)
-            .map(|hour| {
-                let cluster = Arc::clone(&self.cluster);
-                let event_type = event_type.to_owned();
-                let key = rasdb::types::Key(vec![Value::BigInt(hour), Value::text(&event_type)]);
-                let preferred = cluster.owners(&key)[0].0 % workers;
-                let consistency = self.consistency;
-                let link = self.remote_link_bytes_per_sec;
-                PartitionSource {
-                    preferred: Some(preferred),
-                    load: Arc::new(move || {
-                        let rows = cluster
-                            .select("event_by_time")
-                            .partition(key.0.clone())
-                            .run(consistency)
-                            .unwrap_or_default();
-                        let records: Vec<EventRecord> = rows
-                            .iter()
-                            .filter_map(|r| EventRecord::from_time_row(&event_type, r))
-                            .filter(|e| e.ts_ms >= from_ms && e.ts_ms < to_ms)
-                            .collect();
-                        if current_worker() == Some(preferred) {
-                            records
-                        } else {
-                            remote_transfer(records, link)
-                        }
-                    }),
+        let plans = Self::window_plans("event_by_time", Some(event_type), from_ms, to_ms);
+        let cluster = Arc::clone(&self.cluster);
+        let event_type = event_type.to_owned();
+        let consistency = self.consistency;
+        let link = self.remote_link_bytes_per_sec;
+        let owner_of = {
+            let cluster = Arc::clone(&cluster);
+            move |plan: &ReadPlan| Some(cluster.owners(&plan.partition)[0].0 % workers)
+        };
+        self.engine
+            .from_planned(plans, owner_of.clone(), move |plan| {
+                let preferred = owner_of(plan);
+                let rows = cluster
+                    .read_multi(std::slice::from_ref(plan), consistency)
+                    .map(|mut b| b.pop().unwrap_or_default())
+                    .unwrap_or_default();
+                let records: Vec<EventRecord> = rows
+                    .iter()
+                    .filter_map(|r| EventRecord::from_time_row(&event_type, r))
+                    .filter(|e| e.ts_ms >= from_ms && e.ts_ms < to_ms)
+                    .collect();
+                if current_worker() == preferred {
+                    records
+                } else {
+                    remote_transfer(records, link)
                 }
             })
-            .collect();
-        self.engine.from_sources(sources)
     }
 
     /// Application runs of a user.
@@ -278,22 +293,17 @@ impl Framework {
             .collect())
     }
 
-    /// Application runs that *started* in a window.
+    /// Application runs that *started* in a window, as one scatter-gather
+    /// batch across the hour partitions.
     pub fn apps_by_time(&self, from_ms: i64, to_ms: i64) -> Result<Vec<AppRun>, DbError> {
-        let mut out = Vec::new();
-        for hour in keys::hours_in(from_ms, to_ms) {
-            let rows = self
-                .cluster
-                .select("application_by_time")
-                .partition(vec![Value::BigInt(hour)])
-                .run(self.consistency)?;
-            out.extend(
-                rows.iter()
-                    .filter_map(|r| AppRun::from_row(r, None, None))
-                    .filter(|a| a.start_ms >= from_ms && a.start_ms < to_ms),
-            );
-        }
-        Ok(out)
+        let plans = Self::window_plans("application_by_time", None, from_ms, to_ms);
+        let batches = self.cluster.read_multi(&plans, self.consistency)?;
+        Ok(batches
+            .iter()
+            .flatten()
+            .filter_map(|r| AppRun::from_row(r, None, None))
+            .filter(|a| a.start_ms >= from_ms && a.start_ms < to_ms)
+            .collect())
     }
 
     /// Application runs whose allocation head sits in a cabinet.

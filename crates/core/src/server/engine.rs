@@ -3,12 +3,20 @@
 //! "The user queries are received by the web server, translated by the
 //! query engine, and either forwarded to the backend database, or the big
 //! data processing unit depending on the type of a user query."
+//!
+//! Every op goes through one [`QueryRequest`] parse step (window, context
+//! filters, `limit`, `cursor`) and answers in the uniform envelope built
+//! by [`envelope_ok`] / [`envelope_err`] — see [`crate::server::request`]
+//! for the wire format. `events` and `apps` paginate with opaque cursors
+//! backed by the coordinator's scatter-gather `read_multi`.
 
 use crate::analytics::distribution::{distribution_of, GroupBy};
 use crate::analytics::{correlation, heatmap, histogram, synopsis, text, transfer_entropy};
-use crate::context::Context;
 use crate::framework::Framework;
 use crate::model::nodeinfo;
+use crate::server::request::{
+    envelope_err, envelope_ok, ApiError, Cursor, ErrorCode, OpOutput, Page, QueryRequest,
+};
 use jsonlite::{json_array, json_object, Value as Json};
 use rasdb::cluster::ExecResult;
 use std::sync::Arc;
@@ -30,26 +38,27 @@ impl QueryEngine {
     }
 
     /// Handles one JSON request string; always returns a JSON response
-    /// with a `"status"` field (`ok` / `error`).
+    /// in the envelope format (`status` plus `data`/`error`).
     pub fn handle(&self, request: &str) -> String {
         let mut span = telemetry::span!("server.request");
         let response = match jsonlite::parse(request) {
-            Err(e) => err(format!("bad JSON: {e}")),
-            Ok(req) => {
-                if let Some(op) = req["op"].as_str() {
-                    span.tag("op", op);
+            Err(e) => envelope_err(&ApiError::new(ErrorCode::BadJson, format!("bad JSON: {e}"))),
+            Ok(body) => match QueryRequest::parse(&body) {
+                Err(e) => envelope_err(&e),
+                Ok(req) => {
+                    span.tag("op", &req.op);
+                    match self.dispatch(&req) {
+                        Ok(out) => envelope_ok(out),
+                        Err(e) => envelope_err(&e),
+                    }
                 }
-                self.dispatch(&req).unwrap_or_else(err)
-            }
+            },
         };
         response.to_string()
     }
 
-    fn dispatch(&self, req: &Json) -> Result<Json, String> {
-        let op = req["op"]
-            .as_str()
-            .ok_or_else(|| "missing 'op' field".to_owned())?;
-        match op {
+    fn dispatch(&self, req: &QueryRequest) -> Result<OpOutput, ApiError> {
+        match req.op.as_str() {
             "events" => self.op_events(req),
             "heatmap" => self.op_heatmap(req),
             "distribution" => self.op_distribution(req),
@@ -66,47 +75,61 @@ impl QueryEngine {
             "render" => self.op_render(req),
             "cql" => self.op_cql(req),
             "metrics" => self.op_metrics(req),
-            "trace" => Ok(ok([(
+            "trace" => Ok(OpOutput::data([(
                 "spans",
                 crate::server::telemetry_export::trace_json(),
             )])),
-            other => Err(format!("unknown op '{other}'")),
+            other => Err(ApiError::new(
+                ErrorCode::UnknownOp,
+                format!("unknown op '{other}'"),
+            )),
         }
     }
 
-    fn window(&self, req: &Json) -> Result<(i64, i64), String> {
-        let from = req["from"].as_i64().ok_or("missing 'from'")?;
-        let to = req["to"].as_i64().ok_or("missing 'to'")?;
-        if to < from {
-            return Err("'to' before 'from'".to_owned());
+    fn op_events(&self, req: &QueryRequest) -> Result<OpOutput, ApiError> {
+        let ctx = req.context()?;
+        let mut events = ctx.fetch_events(&self.fw)?;
+        events.sort_by(|a, b| {
+            (a.ts_ms, &a.source, &a.event_type).cmp(&(b.ts_ms, &b.source, &b.event_type))
+        });
+        if let Some(cursor) = &req.cursor {
+            let Cursor::Event {
+                ts_ms,
+                source,
+                event_type,
+            } = cursor
+            else {
+                return Err(ApiError::new(
+                    ErrorCode::BadCursor,
+                    "cursor is not an 'events' cursor",
+                ));
+            };
+            let key = (*ts_ms, source.as_str(), event_type.as_str());
+            events.retain(|e| (e.ts_ms, e.source.as_str(), e.event_type.as_str()) > key);
         }
-        Ok((from, to))
-    }
-
-    fn context(&self, req: &Json) -> Result<Context, String> {
-        let (from, to) = self.window(req)?;
-        let mut ctx = Context::window(from, to);
-        if let Some(t) = req["type"].as_str() {
-            ctx = ctx.with_type(t);
+        let mut page = None;
+        if let Some(limit) = req.limit {
+            let has_more = events.len() > limit;
+            events.truncate(limit);
+            let cursor = if has_more {
+                events.last().map(|e| {
+                    Cursor::Event {
+                        ts_ms: e.ts_ms,
+                        source: e.source.clone(),
+                        event_type: e.event_type.clone(),
+                    }
+                    .encode()
+                })
+            } else {
+                None
+            };
+            page = Some(Page { cursor, has_more });
+        } else if req.cursor.is_some() {
+            page = Some(Page {
+                cursor: None,
+                has_more: false,
+            });
         }
-        if let Some(s) = req["source"].as_str() {
-            ctx = ctx.with_source(s);
-        }
-        if let Some(c) = req["cabinet"].as_i64() {
-            ctx = ctx.with_cabinet(c as usize);
-        }
-        if let Some(u) = req["user"].as_str() {
-            ctx = ctx.with_user(u);
-        }
-        if let Some(a) = req["app"].as_str() {
-            ctx = ctx.with_app(a);
-        }
-        Ok(ctx)
-    }
-
-    fn op_events(&self, req: &Json) -> Result<Json, String> {
-        let ctx = self.context(req)?;
-        let events = ctx.fetch_events(&self.fw).map_err(|e| e.to_string())?;
         let rows = json_array(events.iter().map(|e| {
             json_object([
                 ("ts", Json::from(e.ts_ms)),
@@ -116,14 +139,18 @@ impl QueryEngine {
                 ("raw", Json::from(e.raw.as_str())),
             ])
         }));
-        Ok(ok([("rows", rows)]))
+        let mut out = OpOutput::data([("rows", rows)]);
+        if let Some(page) = page {
+            out = out.with_page(page);
+        }
+        Ok(out)
     }
 
-    fn op_heatmap(&self, req: &Json) -> Result<Json, String> {
-        let (from, to) = self.window(req)?;
-        let t = req["type"].as_str().ok_or("missing 'type'")?;
-        let hm = heatmap::cabinet_heatmap(&self.fw, t, from, to).map_err(|e| e.to_string())?;
-        Ok(ok([
+    fn op_heatmap(&self, req: &QueryRequest) -> Result<OpOutput, ApiError> {
+        let (from, to) = req.window()?;
+        let t = req.str_field("type")?;
+        let hm = heatmap::cabinet_heatmap(&self.fw, t, from, to)?;
+        Ok(OpOutput::data([
             ("cabinets", json_array(hm.cabinets.clone())),
             ("total", Json::from(hm.total)),
             ("hottest", Json::from(hm.hottest)),
@@ -136,18 +163,18 @@ impl QueryEngine {
         ]))
     }
 
-    fn op_distribution(&self, req: &Json) -> Result<Json, String> {
-        let ctx = self.context(req)?;
-        let by = match req["by"].as_str().unwrap_or("cabinet") {
+    fn op_distribution(&self, req: &QueryRequest) -> Result<OpOutput, ApiError> {
+        let ctx = req.context()?;
+        let by = match req.opt_str("by").unwrap_or("cabinet") {
             "cabinet" => GroupBy::Cabinet,
             "blade" => GroupBy::Blade,
             "node" => GroupBy::Node,
             "application" | "app" => GroupBy::Application,
-            other => return Err(format!("unknown grouping '{other}'")),
+            other => return Err(ApiError::bad_request(format!("unknown grouping '{other}'"))),
         };
-        let events = ctx.fetch_events(&self.fw).map_err(|e| e.to_string())?;
-        let d = distribution_of(&self.fw, &events, by).map_err(|e| e.to_string())?;
-        Ok(ok([
+        let events = ctx.fetch_events(&self.fw)?;
+        let d = distribution_of(&self.fw, &events, by)?;
+        Ok(OpOutput::data([
             (
                 "entries",
                 json_array(
@@ -160,31 +187,29 @@ impl QueryEngine {
         ]))
     }
 
-    fn op_histogram(&self, req: &Json) -> Result<Json, String> {
-        let (from, to) = self.window(req)?;
-        let t = req["type"].as_str().ok_or("missing 'type'")?;
-        let bin = req["bin_ms"].as_i64().unwrap_or(3_600_000);
+    fn op_histogram(&self, req: &QueryRequest) -> Result<OpOutput, ApiError> {
+        let (from, to) = req.window()?;
+        let t = req.str_field("type")?;
+        let bin = req.i64_or("bin_ms", 3_600_000);
         if bin <= 0 {
-            return Err("'bin_ms' must be positive".to_owned());
+            return Err(ApiError::bad_request("'bin_ms' must be positive"));
         }
-        let h =
-            histogram::event_histogram(&self.fw, t, from, to, bin).map_err(|e| e.to_string())?;
-        Ok(ok([
+        let h = histogram::event_histogram(&self.fw, t, from, to, bin)?;
+        Ok(OpOutput::data([
             ("from", Json::from(h.from_ms)),
             ("bin_ms", Json::from(h.bin_ms)),
             ("bins", json_array(h.bins.clone())),
         ]))
     }
 
-    fn op_transfer_entropy(&self, req: &Json) -> Result<Json, String> {
-        let (from, to) = self.window(req)?;
-        let x = req["x"].as_str().ok_or("missing 'x'")?;
-        let y = req["y"].as_str().ok_or("missing 'y'")?;
-        let bin = req["bin_ms"].as_i64().unwrap_or(60_000).max(1);
-        let max_lag = req["max_lag"].as_i64().unwrap_or(10).max(1) as usize;
-        let sweep = transfer_entropy::te_lag_sweep(&self.fw, x, y, from, to, bin, max_lag)
-            .map_err(|e| e.to_string())?;
-        Ok(ok([(
+    fn op_transfer_entropy(&self, req: &QueryRequest) -> Result<OpOutput, ApiError> {
+        let (from, to) = req.window()?;
+        let x = req.str_field("x")?;
+        let y = req.str_field("y")?;
+        let bin = req.i64_or("bin_ms", 60_000).max(1);
+        let max_lag = req.i64_or("max_lag", 10).max(1) as usize;
+        let sweep = transfer_entropy::te_lag_sweep(&self.fw, x, y, from, to, bin, max_lag)?;
+        Ok(OpOutput::data([(
             "lags",
             json_array(sweep.iter().map(|(lag, te)| {
                 json_object([
@@ -196,15 +221,14 @@ impl QueryEngine {
         )]))
     }
 
-    fn op_cross_correlation(&self, req: &Json) -> Result<Json, String> {
-        let (from, to) = self.window(req)?;
-        let a = req["x"].as_str().ok_or("missing 'x'")?;
-        let b = req["y"].as_str().ok_or("missing 'y'")?;
-        let bin = req["bin_ms"].as_i64().unwrap_or(60_000).max(1);
-        let max_lag = req["max_lag"].as_i64().unwrap_or(10).max(0) as usize;
-        let xc = correlation::event_cross_correlation(&self.fw, a, b, from, to, bin, max_lag)
-            .map_err(|e| e.to_string())?;
-        Ok(ok([(
+    fn op_cross_correlation(&self, req: &QueryRequest) -> Result<OpOutput, ApiError> {
+        let (from, to) = req.window()?;
+        let a = req.str_field("x")?;
+        let b = req.str_field("y")?;
+        let bin = req.i64_or("bin_ms", 60_000).max(1);
+        let max_lag = req.i64_or("max_lag", 10).max(0) as usize;
+        let xc = correlation::event_cross_correlation(&self.fw, a, b, from, to, bin, max_lag)?;
+        Ok(OpOutput::data([(
             "correlations",
             json_array(
                 xc.iter()
@@ -213,13 +237,13 @@ impl QueryEngine {
         )]))
     }
 
-    fn op_wordcount(&self, req: &Json) -> Result<Json, String> {
-        let (from, to) = self.window(req)?;
-        let t = req["type"].as_str().unwrap_or("LUSTRE_ERR");
-        let k = req["top"].as_i64().unwrap_or(20).max(1) as usize;
-        let counts = text::word_count_events(&self.fw, t, from, to).map_err(|e| e.to_string())?;
+    fn op_wordcount(&self, req: &QueryRequest) -> Result<OpOutput, ApiError> {
+        let (from, to) = req.window()?;
+        let t = req.event_type.as_deref().unwrap_or("LUSTRE_ERR");
+        let k = req.i64_or("top", 20).max(1) as usize;
+        let counts = text::word_count_events(&self.fw, t, from, to)?;
         let top = text::top_k(&counts, k);
-        Ok(ok([(
+        Ok(OpOutput::data([(
             "terms",
             json_array(
                 top.iter()
@@ -228,40 +252,77 @@ impl QueryEngine {
         )]))
     }
 
-    fn op_apps(&self, req: &Json) -> Result<Json, String> {
-        let runs = if let Some(user) = req["user"].as_str() {
+    fn op_apps(&self, req: &QueryRequest) -> Result<OpOutput, ApiError> {
+        let mut runs = if let Some(user) = &req.user {
             self.fw.apps_by_user(user)
-        } else if let Some(app) = req["app"].as_str() {
+        } else if let Some(app) = &req.app {
             self.fw.apps_by_name(app)
-        } else if let Some(cab) = req["cabinet"].as_i64() {
+        } else if let Some(cab) = req.cabinet {
             self.fw.apps_by_location(cab)
         } else {
-            let (from, to) = self.window(req)?;
+            let (from, to) = req.window()?;
             self.fw.apps_by_time(from, to)
+        }?;
+        runs.sort_by_key(|r| (r.start_ms, r.apid));
+        if let Some(cursor) = &req.cursor {
+            let Cursor::App { start_ms, apid } = cursor else {
+                return Err(ApiError::new(
+                    ErrorCode::BadCursor,
+                    "cursor is not an 'apps' cursor",
+                ));
+            };
+            let key = (*start_ms, *apid);
+            runs.retain(|r| (r.start_ms, r.apid) > key);
         }
-        .map_err(|e| e.to_string())?;
-        Ok(ok([(
-            "runs",
-            json_array(runs.iter().map(|r| {
-                json_object([
-                    ("apid", Json::from(r.apid)),
-                    ("user", Json::from(r.user.as_str())),
-                    ("app", Json::from(r.app.as_str())),
-                    ("start", Json::from(r.start_ms)),
-                    ("end", Json::from(r.end_ms)),
-                    ("node_first", Json::from(r.node_first)),
-                    ("node_last", Json::from(r.node_last)),
-                    ("exit_code", Json::from(r.exit_code)),
-                ])
-            })),
-        )]))
+        let mut page = None;
+        if let Some(limit) = req.limit {
+            let has_more = runs.len() > limit;
+            runs.truncate(limit);
+            let cursor = if has_more {
+                runs.last().map(|r| {
+                    Cursor::App {
+                        start_ms: r.start_ms,
+                        apid: r.apid,
+                    }
+                    .encode()
+                })
+            } else {
+                None
+            };
+            page = Some(Page { cursor, has_more });
+        } else if req.cursor.is_some() {
+            page = Some(Page {
+                cursor: None,
+                has_more: false,
+            });
+        }
+        let rows = json_array(runs.iter().map(|r| {
+            json_object([
+                ("apid", Json::from(r.apid)),
+                ("user", Json::from(r.user.as_str())),
+                ("app", Json::from(r.app.as_str())),
+                ("start", Json::from(r.start_ms)),
+                ("end", Json::from(r.end_ms)),
+                ("node_first", Json::from(r.node_first)),
+                ("node_last", Json::from(r.node_last)),
+                ("exit_code", Json::from(r.exit_code)),
+            ])
+        }));
+        let mut out = OpOutput::data([("runs", rows)]);
+        if let Some(page) = page {
+            out = out.with_page(page);
+        }
+        Ok(out)
     }
 
-    fn op_nodeinfo(&self, req: &Json) -> Result<Json, String> {
-        let cname = req["cname"].as_str().ok_or("missing 'cname'")?;
-        match nodeinfo::lookup(self.fw.cluster(), cname).map_err(|e| e.to_string())? {
-            None => Err(format!("unknown node '{cname}'")),
-            Some(info) => Ok(ok([
+    fn op_nodeinfo(&self, req: &QueryRequest) -> Result<OpOutput, ApiError> {
+        let cname = req.str_field("cname")?;
+        match nodeinfo::lookup(self.fw.cluster(), cname)? {
+            None => Err(ApiError::new(
+                ErrorCode::NotFound,
+                format!("unknown node '{cname}'"),
+            )),
+            Some(info) => Ok(OpOutput::data([
                 ("cname", Json::from(info.cname.as_str())),
                 ("index", Json::from(info.index)),
                 ("row", Json::from(info.row)),
@@ -274,10 +335,12 @@ impl QueryEngine {
         }
     }
 
-    fn op_synopsis(&self, req: &Json) -> Result<Json, String> {
-        let day = req["day"].as_i64().ok_or("missing 'day'")?;
-        let rows = synopsis::read_synopsis(&self.fw, day).map_err(|e| e.to_string())?;
-        Ok(ok([(
+    fn op_synopsis(&self, req: &QueryRequest) -> Result<OpOutput, ApiError> {
+        let day = req.raw["day"]
+            .as_i64()
+            .ok_or_else(|| ApiError::bad_request("missing 'day'"))?;
+        let rows = synopsis::read_synopsis(&self.fw, day)?;
+        Ok(OpOutput::data([(
             "rows",
             json_array(rows.iter().map(|r| {
                 json_object([
@@ -290,20 +353,19 @@ impl QueryEngine {
         )]))
     }
 
-    fn op_rules(&self, req: &Json) -> Result<Json, String> {
+    fn op_rules(&self, req: &QueryRequest) -> Result<OpOutput, ApiError> {
         use crate::analytics::composite::{mine_from_store, Scope};
-        let (from, to) = self.window(req)?;
-        let window_ms = req["window_ms"].as_i64().unwrap_or(60_000).max(1);
-        let min_support = req["min_support"].as_i64().unwrap_or(3).max(1) as u64;
-        let scope = match req["scope"].as_str().unwrap_or("node") {
+        let (from, to) = req.window()?;
+        let window_ms = req.i64_or("window_ms", 60_000).max(1);
+        let min_support = req.i64_or("min_support", 3).max(1) as u64;
+        let scope = match req.opt_str("scope").unwrap_or("node") {
             "node" => Scope::Node,
             "cabinet" => Scope::Cabinet,
             "system" => Scope::System,
-            other => return Err(format!("unknown scope '{other}'")),
+            other => return Err(ApiError::bad_request(format!("unknown scope '{other}'"))),
         };
-        let rules = mine_from_store(&self.fw, from, to, window_ms, scope, min_support)
-            .map_err(|e| e.to_string())?;
-        Ok(ok([(
+        let rules = mine_from_store(&self.fw, from, to, window_ms, scope, min_support)?;
+        Ok(OpOutput::data([(
             "rules",
             json_array(rules.iter().take(50).map(|r| {
                 json_object([
@@ -317,11 +379,14 @@ impl QueryEngine {
         )]))
     }
 
-    fn op_profile(&self, req: &Json) -> Result<Json, String> {
+    fn op_profile(&self, req: &QueryRequest) -> Result<OpOutput, ApiError> {
         use crate::analytics::profiles::application_profile;
-        let app = req["app"].as_str().ok_or("missing 'app'")?;
-        let p = application_profile(&self.fw, app).map_err(|e| e.to_string())?;
-        Ok(ok([
+        let app = req
+            .app
+            .as_deref()
+            .ok_or_else(|| ApiError::bad_request("missing 'app'"))?;
+        let p = application_profile(&self.fw, app)?;
+        Ok(OpOutput::data([
             ("app", Json::from(p.app.as_str())),
             ("runs", Json::from(p.runs)),
             ("node_hours", Json::from(p.node_hours)),
@@ -332,18 +397,17 @@ impl QueryEngine {
         ]))
     }
 
-    fn op_predict(&self, req: &Json) -> Result<Json, String> {
+    fn op_predict(&self, req: &QueryRequest) -> Result<OpOutput, ApiError> {
         use crate::analytics::prediction::{train_and_evaluate, PredictorConfig};
-        let (from, to) = self.window(req)?;
-        let target = req["target"].as_str().ok_or("missing 'target'")?;
+        let (from, to) = req.window()?;
+        let target = req.str_field("target")?;
         let cfg = PredictorConfig {
-            bin_ms: req["bin_ms"].as_i64().unwrap_or(60_000).max(1),
-            lead_bins: req["lead_bins"].as_i64().unwrap_or(5).max(1) as usize,
-            horizon_bins: req["horizon_bins"].as_i64().unwrap_or(5).max(1) as usize,
+            bin_ms: req.i64_or("bin_ms", 60_000).max(1),
+            lead_bins: req.i64_or("lead_bins", 5).max(1) as usize,
+            horizon_bins: req.i64_or("horizon_bins", 5).max(1) as usize,
         };
-        let (predictor, metrics) =
-            train_and_evaluate(&self.fw, target, from, to, cfg, 0.7).map_err(|e| e.to_string())?;
-        Ok(ok([
+        let (predictor, metrics) = train_and_evaluate(&self.fw, target, from, to, cfg, 0.7)?;
+        Ok(OpOutput::data([
             ("target", Json::from(target)),
             ("precision", Json::from(metrics.precision)),
             ("recall", Json::from(metrics.recall)),
@@ -362,11 +426,11 @@ impl QueryEngine {
     }
 
     /// Server-side rendering: the named view as an SVG document.
-    fn op_render(&self, req: &Json) -> Result<Json, String> {
+    fn op_render(&self, req: &QueryRequest) -> Result<OpOutput, ApiError> {
         use crate::server::views;
-        let (from, to) = self.window(req)?;
-        let view = req["view"].as_str().ok_or("missing 'view'")?;
-        let etype = req["type"].as_str().unwrap_or("LUSTRE_ERR");
+        let (from, to) = req.window()?;
+        let view = req.str_field("view")?;
+        let etype = req.event_type.as_deref().unwrap_or("LUSTRE_ERR");
         let svg = match view {
             "heatmap" => views::heatmap_svg(&self.fw, etype, from, to),
             "node_heatmap" => views::node_heatmap_svg(&self.fw, etype, from, to),
@@ -375,56 +439,60 @@ impl QueryEngine {
                 etype,
                 from,
                 to,
-                req["bin_ms"].as_i64().unwrap_or(3_600_000).max(1),
+                req.i64_or("bin_ms", 3_600_000).max(1),
             ),
             "te" => views::te_plot_svg(
                 &self.fw,
-                req["x"].as_str().ok_or("missing 'x'")?,
-                req["y"].as_str().ok_or("missing 'y'")?,
+                req.str_field("x")?,
+                req.str_field("y")?,
                 from,
                 to,
-                req["bin_ms"].as_i64().unwrap_or(60_000).max(1),
-                req["max_lag"].as_i64().unwrap_or(10).max(1) as usize,
+                req.i64_or("bin_ms", 60_000).max(1),
+                req.i64_or("max_lag", 10).max(1) as usize,
             ),
             "bubbles" => views::word_bubbles_svg(
                 &self.fw,
                 etype,
                 from,
                 to,
-                req["top"].as_i64().unwrap_or(15).max(1) as usize,
+                req.i64_or("top", 15).max(1) as usize,
             ),
-            other => return Err(format!("unknown view '{other}'")),
-        }
-        .map_err(|e| e.to_string())?;
-        Ok(ok([("view", Json::from(view)), ("svg", Json::from(svg))]))
+            other => {
+                return Err(ApiError::new(
+                    ErrorCode::NotFound,
+                    format!("unknown view '{other}'"),
+                ))
+            }
+        }?;
+        Ok(OpOutput::data([
+            ("view", Json::from(view)),
+            ("svg", Json::from(svg)),
+        ]))
     }
 
     /// The global telemetry registry: counters, gauges, and latency
     /// histograms. Pass `"reset": true` to zero everything after reading.
-    fn op_metrics(&self, req: &Json) -> Result<Json, String> {
+    fn op_metrics(&self, req: &QueryRequest) -> Result<OpOutput, ApiError> {
         let snap = crate::server::telemetry_export::metrics_json();
-        let mut resp = ok([("enabled", Json::from(telemetry::enabled()))]);
-        resp.insert("counters", snap["counters"].clone());
-        resp.insert("gauges", snap["gauges"].clone());
-        resp.insert("histograms", snap["histograms"].clone());
-        if req["reset"].as_bool() == Some(true) {
+        let out = OpOutput::data([
+            ("enabled", Json::from(telemetry::enabled())),
+            ("counters", snap["counters"].clone()),
+            ("gauges", snap["gauges"].clone()),
+            ("histograms", snap["histograms"].clone()),
+        ]);
+        if req.raw["reset"].as_bool() == Some(true) {
             telemetry::global().reset();
         }
-        Ok(resp)
+        Ok(out)
     }
 
     /// Simple queries go "directly handled by the query engine" — raw CQL
     /// pass-through to the backend.
-    fn op_cql(&self, req: &Json) -> Result<Json, String> {
-        let q = req["q"].as_str().ok_or("missing 'q'")?;
-        match self
-            .fw
-            .cluster()
-            .execute(q, self.fw.consistency())
-            .map_err(|e| e.to_string())?
-        {
-            ExecResult::Applied => Ok(ok([("applied", Json::from(true))])),
-            ExecResult::Rows(rows) => Ok(ok([(
+    fn op_cql(&self, req: &QueryRequest) -> Result<OpOutput, ApiError> {
+        let q = req.str_field("q")?;
+        match self.fw.cluster().execute(q, self.fw.consistency())? {
+            ExecResult::Applied => Ok(OpOutput::data([("applied", Json::from(true))])),
+            ExecResult::Rows(rows) => Ok(OpOutput::data([(
                 "rows",
                 json_array(rows.iter().map(|r| {
                     let mut obj = json_object(
@@ -460,24 +528,13 @@ fn db_value_to_json(v: &rasdb::types::Value) -> Json {
     }
 }
 
-fn ok<const N: usize>(fields: [(&str, Json); N]) -> Json {
-    let mut obj = json_object(fields);
-    obj.insert("status", "ok");
-    obj
-}
-
-fn err(message: impl Into<String>) -> Json {
-    json_object([
-        ("status", Json::from("error")),
-        ("message", Json::from(message.into())),
-    ])
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::framework::FrameworkConfig;
+    use crate::model::apprun::AppRun;
     use crate::model::event::EventRecord;
+    use crate::model::keys::HOUR_MS;
     use loggen::topology::Topology;
 
     fn engine() -> QueryEngine {
@@ -515,6 +572,103 @@ mod tests {
         assert_eq!(resp["rows"].as_array().unwrap().len(), 10);
         assert_eq!(resp["rows"][0]["type"].as_str(), Some("MCE"));
         assert!(resp["rows"][0]["raw"].as_str().unwrap().contains("bank"));
+        // The canonical nested form carries the same rows, and the flat
+        // mirror is flagged deprecated.
+        assert_eq!(resp["data"]["rows"].as_array().unwrap().len(), 10);
+        assert_eq!(resp["deprecated"][0].as_str(), Some("rows"));
+    }
+
+    #[test]
+    fn events_paginate_to_exhaustion() {
+        let e = engine();
+        let mut seen = Vec::new();
+        let mut cursor: Option<String> = None;
+        let mut pages = 0;
+        loop {
+            let req = match &cursor {
+                None => {
+                    r#"{"op":"events","type":"MCE","from":0,"to":3600000,"limit":3}"#.to_owned()
+                }
+                Some(c) => format!(
+                    r#"{{"op":"events","type":"MCE","from":0,"to":3600000,"limit":3,"cursor":"{c}"}}"#
+                ),
+            };
+            let resp = call(&e, &req);
+            assert_eq!(resp["status"].as_str(), Some("ok"), "{req}");
+            let rows = resp["rows"].as_array().unwrap();
+            assert!(rows.len() <= 3);
+            seen.extend(rows.iter().map(|r| r["ts"].as_i64().unwrap()));
+            pages += 1;
+            if resp["page"]["has_more"].as_bool() == Some(true) {
+                cursor = Some(resp["page"]["cursor"].as_str().unwrap().to_owned());
+            } else {
+                break;
+            }
+        }
+        assert_eq!(pages, 4, "10 events at limit 3");
+        assert_eq!(seen.len(), 10);
+        let mut sorted = seen.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10, "no duplicates or gaps across pages");
+    }
+
+    #[test]
+    fn apps_paginate_with_cursor() {
+        let e = engine();
+        for apid in 0..7i64 {
+            e.framework()
+                .insert_app_run(&AppRun {
+                    apid,
+                    user: "usr0001".into(),
+                    app: "VASP".into(),
+                    start_ms: apid * 1000,
+                    end_ms: HOUR_MS,
+                    node_first: 0,
+                    node_last: 3,
+                    exit_code: 0,
+                    other_info: Default::default(),
+                })
+                .unwrap();
+        }
+        let resp = call(&e, r#"{"op":"apps","from":0,"to":3600000,"limit":4}"#);
+        assert_eq!(resp["runs"].as_array().unwrap().len(), 4);
+        assert_eq!(resp["page"]["has_more"].as_bool(), Some(true));
+        let cursor = resp["page"]["cursor"].as_str().unwrap().to_owned();
+        let resp = call(
+            &e,
+            &format!(r#"{{"op":"apps","from":0,"to":3600000,"limit":4,"cursor":"{cursor}"}}"#),
+        );
+        assert_eq!(resp["runs"].as_array().unwrap().len(), 3);
+        assert_eq!(resp["page"]["has_more"].as_bool(), Some(false));
+        assert!(resp["page"]["cursor"].is_null());
+    }
+
+    #[test]
+    fn typed_error_codes_on_bad_requests() {
+        let e = engine();
+        for (req, code) in [
+            ("not json at all", "BAD_JSON"),
+            (r#"{"no_op":1}"#, "BAD_REQUEST"),
+            (r#"{"op":"zap"}"#, "UNKNOWN_OP"),
+            (r#"{"op":"events","from":100,"to":0}"#, "BAD_WINDOW"),
+            (r#"{"op":"events","from":100,"to":100}"#, "EMPTY_WINDOW"),
+            (r#"{"op":"events","from":0,"to":1,"limit":0}"#, "BAD_LIMIT"),
+            (
+                r#"{"op":"events","from":0,"to":1,"cursor":"junk"}"#,
+                "BAD_CURSOR",
+            ),
+            (
+                r#"{"op":"events","from":0,"to":1,"cursor":"ap:1:2"}"#,
+                "BAD_CURSOR",
+            ),
+            (r#"{"op":"nodeinfo","cname":"c9-9c9s9n9"}"#, "NOT_FOUND"),
+        ] {
+            let resp = call(&e, req);
+            assert_eq!(resp["status"].as_str(), Some("error"), "{req}");
+            assert_eq!(resp["error"]["code"].as_str(), Some(code), "{req}");
+            assert!(!resp["message"].as_str().unwrap().is_empty());
+        }
     }
 
     #[test]
@@ -659,6 +813,7 @@ mod tests {
             let resp = call(&e, bad);
             assert_eq!(resp["status"].as_str(), Some("error"), "{bad}");
             assert!(!resp["message"].as_str().unwrap().is_empty());
+            assert!(!resp["error"]["code"].as_str().unwrap().is_empty());
         }
     }
 }

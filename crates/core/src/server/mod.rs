@@ -7,7 +7,9 @@
 
 pub mod engine;
 pub mod http;
+pub mod request;
 pub mod telemetry_export;
 pub mod views;
 
 pub use engine::QueryEngine;
+pub use request::{ApiError, Cursor, ErrorCode, Page, QueryRequest};

@@ -1,0 +1,456 @@
+//! Typed query-protocol layer: one parse step shared by every op, a
+//! uniform response envelope, machine-readable error codes, and opaque
+//! pagination cursors.
+//!
+//! Request shape (all fields beyond `op` optional; ops validate what they
+//! need):
+//!
+//! ```json
+//! {"op": "events", "from": 0, "to": 3600000, "type": "MCE",
+//!  "limit": 100, "cursor": "ev:120000:c0-0c0s1n0:MCE"}
+//! ```
+//!
+//! Response envelope:
+//!
+//! ```json
+//! {"status": "ok", "data": {...}, "page": {"cursor": "...", "has_more": true},
+//!  "deprecated": ["rows"], ...legacy flat fields...}
+//! {"status": "error", "error": {"code": "BAD_WINDOW", "message": "..."},
+//!  "message": "..."}
+//! ```
+//!
+//! The legacy flat fields (`rows` at top level, `message` on errors) are
+//! mirrored for old clients and listed under `deprecated`; new clients
+//! should read `data` / `error` only.
+
+use crate::context::Context;
+use jsonlite::{json_object, Value as Json};
+use rasdb::error::DbError;
+
+/// Machine-readable error classification carried in `error.code`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request body was not valid JSON.
+    BadJson,
+    /// A required field is missing or has the wrong shape.
+    BadRequest,
+    /// Unknown `op`.
+    UnknownOp,
+    /// `to` precedes `from`.
+    BadWindow,
+    /// `to == from`: a half-open window `[from, from)` selects nothing.
+    EmptyWindow,
+    /// `limit` present but not a positive integer.
+    BadLimit,
+    /// `cursor` present but unparseable or from another op.
+    BadCursor,
+    /// A named entity (node, view, ...) does not exist.
+    NotFound,
+    /// The storage layer could not reach enough replicas.
+    Unavailable,
+    /// Anything else (storage faults, analytics failures).
+    Internal,
+}
+
+impl ErrorCode {
+    /// The wire form, e.g. `"EMPTY_WINDOW"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadJson => "BAD_JSON",
+            ErrorCode::BadRequest => "BAD_REQUEST",
+            ErrorCode::UnknownOp => "UNKNOWN_OP",
+            ErrorCode::BadWindow => "BAD_WINDOW",
+            ErrorCode::EmptyWindow => "EMPTY_WINDOW",
+            ErrorCode::BadLimit => "BAD_LIMIT",
+            ErrorCode::BadCursor => "BAD_CURSOR",
+            ErrorCode::NotFound => "NOT_FOUND",
+            ErrorCode::Unavailable => "UNAVAILABLE",
+            ErrorCode::Internal => "INTERNAL",
+        }
+    }
+}
+
+/// A typed error: code + human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiError {
+    /// Machine-readable classification.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ApiError {
+    /// Builds an error.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> ApiError {
+        ApiError {
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// Shorthand for [`ErrorCode::BadRequest`].
+    pub fn bad_request(message: impl Into<String>) -> ApiError {
+        ApiError::new(ErrorCode::BadRequest, message)
+    }
+}
+
+impl From<DbError> for ApiError {
+    fn from(e: DbError) -> ApiError {
+        let code = match &e {
+            DbError::Unavailable { .. } => ErrorCode::Unavailable,
+            DbError::NoSuchTable(_)
+            | DbError::BadQuery(_)
+            | DbError::SchemaViolation(_)
+            | DbError::Parse(_) => ErrorCode::BadRequest,
+            _ => ErrorCode::Internal,
+        };
+        ApiError::new(code, e.to_string())
+    }
+}
+
+/// An opaque pagination cursor. Encodes the sort key of the last item the
+/// previous page returned; the next page resumes strictly after it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Cursor {
+    /// `events` pages sort by `(ts_ms, source, type)`.
+    Event {
+        /// Timestamp of the last emitted event.
+        ts_ms: i64,
+        /// Source of the last emitted event.
+        source: String,
+        /// Type of the last emitted event.
+        event_type: String,
+    },
+    /// `apps` pages sort by `(start_ms, apid)`.
+    App {
+        /// Start time of the last emitted run.
+        start_ms: i64,
+        /// Apid of the last emitted run.
+        apid: i64,
+    },
+}
+
+impl Cursor {
+    /// The wire form handed back under `page.cursor`.
+    pub fn encode(&self) -> String {
+        match self {
+            Cursor::Event {
+                ts_ms,
+                source,
+                event_type,
+            } => format!("ev:{ts_ms}:{source}:{event_type}"),
+            Cursor::App { start_ms, apid } => format!("ap:{start_ms}:{apid}"),
+        }
+    }
+
+    /// Parses a wire cursor; `None` on any malformed input.
+    pub fn decode(s: &str) -> Option<Cursor> {
+        let rest = s.strip_prefix("ev:").map(|r| ("ev", r));
+        let rest = rest.or_else(|| s.strip_prefix("ap:").map(|r| ("ap", r)));
+        match rest? {
+            ("ev", r) => {
+                let mut it = r.splitn(3, ':');
+                let ts_ms = it.next()?.parse().ok()?;
+                let source = it.next()?.to_owned();
+                let event_type = it.next()?.to_owned();
+                Some(Cursor::Event {
+                    ts_ms,
+                    source,
+                    event_type,
+                })
+            }
+            ("ap", r) => {
+                let (start, apid) = r.split_once(':')?;
+                Some(Cursor::App {
+                    start_ms: start.parse().ok()?,
+                    apid: apid.parse().ok()?,
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Pagination state of a response page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Page {
+    /// Cursor resuming after this page, when `has_more`.
+    pub cursor: Option<String>,
+    /// Whether further items exist past this page.
+    pub has_more: bool,
+}
+
+impl Page {
+    /// The `page` envelope object.
+    pub fn to_json(&self) -> Json {
+        json_object([
+            (
+                "cursor",
+                self.cursor.as_deref().map(Json::from).unwrap_or(Json::Null),
+            ),
+            ("has_more", Json::from(self.has_more)),
+        ])
+    }
+}
+
+/// The parsed common request fields. Op-specific extras (`x`, `y`,
+/// `bin_ms`, `view`, ...) stay in [`QueryRequest::raw`] and are read
+/// through the typed accessors.
+#[derive(Debug, Clone)]
+pub struct QueryRequest {
+    /// The operation name.
+    pub op: String,
+    /// Half-open time window `[from, to)`, when both bounds were given.
+    pub window: Option<(i64, i64)>,
+    /// Event-type filter.
+    pub event_type: Option<String>,
+    /// Source (node cname) filter.
+    pub source: Option<String>,
+    /// Cabinet filter.
+    pub cabinet: Option<i64>,
+    /// User filter.
+    pub user: Option<String>,
+    /// Application-name filter.
+    pub app: Option<String>,
+    /// Page size, validated positive.
+    pub limit: Option<usize>,
+    /// Decoded pagination cursor.
+    pub cursor: Option<Cursor>,
+    /// The full request body, for op-specific fields.
+    pub raw: Json,
+}
+
+impl QueryRequest {
+    /// Parses and validates the common fields of a request body.
+    pub fn parse(req: &Json) -> Result<QueryRequest, ApiError> {
+        let op = req["op"]
+            .as_str()
+            .ok_or_else(|| ApiError::bad_request("missing 'op' field"))?
+            .to_owned();
+
+        let from = req["from"].as_i64();
+        let to = req["to"].as_i64();
+        let window = match (from, to) {
+            (Some(from), Some(to)) => {
+                if to < from {
+                    return Err(ApiError::new(ErrorCode::BadWindow, "'to' before 'from'"));
+                }
+                if to == from {
+                    return Err(ApiError::new(
+                        ErrorCode::EmptyWindow,
+                        "'to' equals 'from': the half-open window [from, to) is empty",
+                    ));
+                }
+                Some((from, to))
+            }
+            _ => None,
+        };
+
+        let limit = match req.get("limit") {
+            None => None,
+            Some(v) => match v.as_i64() {
+                Some(n) if n > 0 => Some(n as usize),
+                _ => {
+                    return Err(ApiError::new(
+                        ErrorCode::BadLimit,
+                        "'limit' must be a positive integer",
+                    ))
+                }
+            },
+        };
+
+        let cursor = match req["cursor"].as_str() {
+            None => None,
+            Some(s) => Some(Cursor::decode(s).ok_or_else(|| {
+                ApiError::new(ErrorCode::BadCursor, format!("unparseable cursor '{s}'"))
+            })?),
+        };
+
+        Ok(QueryRequest {
+            op,
+            window,
+            event_type: req["type"].as_str().map(str::to_owned),
+            source: req["source"].as_str().map(str::to_owned),
+            cabinet: req["cabinet"].as_i64(),
+            user: req["user"].as_str().map(str::to_owned),
+            app: req["app"].as_str().map(str::to_owned),
+            limit,
+            cursor,
+            raw: req.clone(),
+        })
+    }
+
+    /// The time window; errors when either bound is missing.
+    pub fn window(&self) -> Result<(i64, i64), ApiError> {
+        self.window.ok_or_else(|| {
+            ApiError::bad_request("missing 'from'/'to': this op needs a time window")
+        })
+    }
+
+    /// Builds an analytics [`Context`] from the window + filters.
+    pub fn context(&self) -> Result<Context, ApiError> {
+        let (from, to) = self.window()?;
+        let mut ctx = Context::window(from, to);
+        if let Some(t) = &self.event_type {
+            ctx = ctx.with_type(t);
+        }
+        if let Some(s) = &self.source {
+            ctx = ctx.with_source(s);
+        }
+        if let Some(c) = self.cabinet {
+            ctx = ctx.with_cabinet(c as usize);
+        }
+        if let Some(u) = &self.user {
+            ctx = ctx.with_user(u);
+        }
+        if let Some(a) = &self.app {
+            ctx = ctx.with_app(a);
+        }
+        Ok(ctx)
+    }
+
+    /// A required op-specific string field.
+    pub fn str_field(&self, name: &str) -> Result<&str, ApiError> {
+        self.raw[name]
+            .as_str()
+            .ok_or_else(|| ApiError::bad_request(format!("missing '{name}'")))
+    }
+
+    /// An optional op-specific string field.
+    pub fn opt_str(&self, name: &str) -> Option<&str> {
+        self.raw[name].as_str()
+    }
+
+    /// An optional op-specific integer field with a default.
+    pub fn i64_or(&self, name: &str, default: i64) -> i64 {
+        self.raw[name].as_i64().unwrap_or(default)
+    }
+}
+
+/// The result an op hands back to the dispatcher: named data fields plus
+/// optional pagination, assembled into the envelope in one place.
+pub struct OpOutput {
+    /// Named data fields; mirrored flat at the top level (deprecated form)
+    /// and nested under `data` (canonical form).
+    pub data: Vec<(String, Json)>,
+    /// Pagination, for cursor-driven ops.
+    pub page: Option<Page>,
+}
+
+impl OpOutput {
+    /// Output with data fields only.
+    pub fn data<const N: usize>(fields: [(&str, Json); N]) -> OpOutput {
+        OpOutput {
+            data: fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect(),
+            page: None,
+        }
+    }
+
+    /// Attaches pagination state.
+    pub fn with_page(mut self, page: Page) -> OpOutput {
+        self.page = Some(page);
+        self
+    }
+}
+
+/// Assembles the `ok` envelope: canonical `data` object, legacy flat
+/// mirror of the same fields, the mirror's names under `deprecated`, and
+/// `page` when the op paginates.
+pub fn envelope_ok(out: OpOutput) -> Json {
+    let mut resp = json_object([("status", Json::from("ok"))]);
+    let mut deprecated = Vec::new();
+    for (k, v) in &out.data {
+        resp.insert(k.clone(), v.clone());
+        deprecated.push(Json::from(k.as_str()));
+    }
+    resp.insert("data", json_object(out.data));
+    resp.insert("deprecated", Json::Array(deprecated));
+    if let Some(page) = &out.page {
+        resp.insert("page", page.to_json());
+    }
+    resp
+}
+
+/// Assembles the `error` envelope: typed `error.code`/`error.message`
+/// plus the legacy flat `message` mirror.
+pub fn envelope_err(e: &ApiError) -> Json {
+    json_object([
+        ("status", Json::from("error")),
+        ("message", Json::from(e.message.as_str())),
+        (
+            "error",
+            json_object([
+                ("code", Json::from(e.code.as_str())),
+                ("message", Json::from(e.message.as_str())),
+            ]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(body: &str) -> Result<QueryRequest, ApiError> {
+        QueryRequest::parse(&jsonlite::parse(body).unwrap())
+    }
+
+    #[test]
+    fn window_validation_is_typed() {
+        assert!(parse(r#"{"op":"events","from":0,"to":10}"#).is_ok());
+        let e = parse(r#"{"op":"events","from":10,"to":0}"#).unwrap_err();
+        assert_eq!(e.code, ErrorCode::BadWindow);
+        let e = parse(r#"{"op":"events","from":5,"to":5}"#).unwrap_err();
+        assert_eq!(e.code, ErrorCode::EmptyWindow);
+    }
+
+    #[test]
+    fn limit_must_be_positive() {
+        assert_eq!(
+            parse(r#"{"op":"events","limit":3}"#).unwrap().limit,
+            Some(3)
+        );
+        for bad in [r#"{"op":"e","limit":0}"#, r#"{"op":"e","limit":-2}"#] {
+            assert_eq!(parse(bad).unwrap_err().code, ErrorCode::BadLimit);
+        }
+    }
+
+    #[test]
+    fn cursors_roundtrip() {
+        let ev = Cursor::Event {
+            ts_ms: 120_000,
+            source: "c0-0c0s1n0".into(),
+            event_type: "MCE".into(),
+        };
+        assert_eq!(Cursor::decode(&ev.encode()), Some(ev));
+        let ap = Cursor::App {
+            start_ms: 7,
+            apid: 42,
+        };
+        assert_eq!(Cursor::decode(&ap.encode()), Some(ap));
+        assert_eq!(Cursor::decode("garbage"), None);
+        assert_eq!(Cursor::decode("ev:notanumber:a:b"), None);
+        let e = parse(r#"{"op":"events","cursor":"zzz"}"#).unwrap_err();
+        assert_eq!(e.code, ErrorCode::BadCursor);
+    }
+
+    #[test]
+    fn envelope_mirrors_flat_fields_and_marks_them_deprecated() {
+        let out = OpOutput::data([("rows", Json::from(3i64))]).with_page(Page {
+            cursor: Some("ev:1:a:b".into()),
+            has_more: true,
+        });
+        let env = envelope_ok(out);
+        assert_eq!(env["status"].as_str(), Some("ok"));
+        assert_eq!(env["rows"].as_i64(), Some(3));
+        assert_eq!(env["data"]["rows"].as_i64(), Some(3));
+        assert_eq!(env["deprecated"][0].as_str(), Some("rows"));
+        assert_eq!(env["page"]["has_more"].as_bool(), Some(true));
+
+        let err = envelope_err(&ApiError::new(ErrorCode::EmptyWindow, "nothing to see"));
+        assert_eq!(err["status"].as_str(), Some("error"));
+        assert_eq!(err["message"].as_str(), Some("nothing to see"));
+        assert_eq!(err["error"]["code"].as_str(), Some("EMPTY_WINDOW"));
+        assert_eq!(err["error"]["message"].as_str(), Some("nothing to see"));
+    }
+}

@@ -12,13 +12,15 @@ use crate::query::{
 };
 use crate::ring::{NodeId, Ring};
 use crate::schema::{KeyRole, TableSchema};
-use crate::stats::StatsSnapshot;
+use crate::stats::{CoordinatorStats, StatsSnapshot};
 use crate::types::{Key, Row, Value};
+use crossbeam::channel::{unbounded, RecvTimeoutError, Sender};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, HashMap};
 use std::ops::Bound;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
 
 /// Cluster construction parameters.
 #[derive(Debug, Clone, Copy)]
@@ -50,6 +52,63 @@ pub enum ExecResult {
     Applied,
 }
 
+/// Default per-read deadline before a speculative retry is sent to the
+/// next replica (see [`Cluster::read_multi`]).
+pub const DEFAULT_SPECULATIVE_TIMEOUT: Duration = Duration::from_millis(5);
+
+/// A unit of coordinator work bound for one storage node's queue.
+type CoordJob = Box<dyn FnOnce() + Send + 'static>;
+
+/// One replica's answer to a scatter read: `(plan index, replica, raw rows
+/// or None when the node was down)`.
+type ReplicaResponse = (usize, NodeId, Option<Vec<(Key, RowEntry)>>);
+
+/// Persistent coordinator worker pool: one thread + queue per storage
+/// node, so a slow or down node backs up only its own queue and can never
+/// stall reads bound for healthy nodes.
+struct CoordinatorPool {
+    queues: Vec<Sender<CoordJob>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl CoordinatorPool {
+    fn new(nodes: usize) -> CoordinatorPool {
+        let mut queues = Vec::with_capacity(nodes);
+        let mut handles = Vec::with_capacity(nodes);
+        for id in 0..nodes {
+            let (tx, rx) = unbounded::<CoordJob>();
+            queues.push(tx);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("rasdb-coord-{id}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            job();
+                        }
+                    })
+                    .expect("spawn coordinator worker"),
+            );
+        }
+        CoordinatorPool { queues, handles }
+    }
+
+    fn submit(&self, node: NodeId, job: CoordJob) {
+        self.queues[node.0]
+            .send(job)
+            .expect("coordinator worker alive");
+    }
+}
+
+impl Drop for CoordinatorPool {
+    fn drop(&mut self) {
+        // Closing the queues ends the worker loops.
+        self.queues.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
 /// An in-process distributed database.
 pub struct Cluster {
     ring: Ring,
@@ -57,6 +116,10 @@ pub struct Cluster {
     schemas: RwLock<HashMap<String, TableSchema>>,
     clock: AtomicU64,
     hints: Mutex<HashMap<NodeId, Vec<Mutation>>>,
+    /// Scatter-gather worker pool, spawned on first `read_multi`.
+    coordinator: OnceLock<CoordinatorPool>,
+    coord_stats: CoordinatorStats,
+    speculative_timeout_us: AtomicU64,
 }
 
 impl Cluster {
@@ -77,7 +140,31 @@ impl Cluster {
             schemas: RwLock::new(HashMap::new()),
             clock: AtomicU64::new(1),
             hints: Mutex::new(HashMap::new()),
+            coordinator: OnceLock::new(),
+            coord_stats: CoordinatorStats::default(),
+            speculative_timeout_us: AtomicU64::new(DEFAULT_SPECULATIVE_TIMEOUT.as_micros() as u64),
         }
+    }
+
+    /// The scatter-gather worker pool, spawned lazily so short-lived
+    /// clusters (unit tests, property-test shrink iterations) never pay
+    /// for threads they don't use.
+    fn coordinator(&self) -> &CoordinatorPool {
+        self.coordinator
+            .get_or_init(|| CoordinatorPool::new(self.nodes.len()))
+    }
+
+    /// Coordinator read-path counters (replica skips, speculative retries,
+    /// scatter batches).
+    pub fn coordinator_stats(&self) -> &CoordinatorStats {
+        &self.coord_stats
+    }
+
+    /// Overrides the per-read deadline after which `read_multi` sends a
+    /// speculative retry to the next replica.
+    pub fn set_speculative_timeout(&self, d: Duration) {
+        self.speculative_timeout_us
+            .store(d.as_micros() as u64, Ordering::SeqCst);
     }
 
     /// The token ring (placement inspection, locality-aware scheduling).
@@ -250,9 +337,13 @@ impl Cluster {
         }
     }
 
-    /// Executes a resolved read plan.
-    pub fn read(&self, plan: &ReadPlan, consistency: Consistency) -> Result<Vec<Row>, DbError> {
-        let _span = telemetry::span!("rasdb.coordinator.read");
+    /// Validates a plan against the schema and resolves its replica set
+    /// and quorum size.
+    fn plan_replicas(
+        &self,
+        plan: &ReadPlan,
+        consistency: Consistency,
+    ) -> Result<(Vec<NodeId>, usize), DbError> {
         let schema = self
             .schema(&plan.table)
             .ok_or_else(|| DbError::NoSuchTable(plan.table.clone()))?;
@@ -264,12 +355,23 @@ impl Cluster {
                 plan.partition.0.len()
             )));
         }
-        let token = token_for(&plan.partition);
-        let replicas = self.ring.replicas(token);
+        let replicas = self.ring.replicas(token_for(&plan.partition));
         let required = consistency.required(replicas.len());
+        Ok((replicas, required))
+    }
+
+    /// Executes a resolved read plan.
+    pub fn read(&self, plan: &ReadPlan, consistency: Consistency) -> Result<Vec<Row>, DbError> {
+        let _span = telemetry::span!("rasdb.coordinator.read");
+        let (replicas, required) = self.plan_replicas(plan, consistency)?;
 
         let mut responses: Vec<(NodeId, Vec<(Key, RowEntry)>)> = Vec::new();
         for id in &replicas {
+            // Skip known-down replicas without issuing the read at all.
+            if !self.nodes[id.0].is_up() {
+                self.coord_stats.record_replica_skipped();
+                continue;
+            }
             if let Some(raw) = self.nodes[id.0].read_raw(&plan.table, &plan.partition, &plan.range)
             {
                 responses.push((*id, raw));
@@ -284,10 +386,19 @@ impl Cluster {
                 received: responses.len(),
             });
         }
+        Ok(self.finish_read(plan, &responses))
+    }
 
+    /// Shared tail of every coordinator read: LWW merge across replica
+    /// responses, read repair, tombstone filtering, order and limit.
+    fn finish_read(
+        &self,
+        plan: &ReadPlan,
+        responses: &[(NodeId, Vec<(Key, RowEntry)>)],
+    ) -> Vec<Row> {
         // Merge replica responses (LWW per cell).
         let mut merged: BTreeMap<Key, RowEntry> = BTreeMap::new();
-        for (_, raw) in &responses {
+        for (_, raw) in responses {
             for (ck, entry) in raw {
                 match merged.remove(ck) {
                     None => {
@@ -303,7 +414,7 @@ impl Cluster {
         // Read repair: push the merged state back to replicas that answered
         // with stale or missing rows.
         if responses.len() > 1 {
-            self.read_repair(&plan.table, &plan.partition, &merged, &responses);
+            self.read_repair(&plan.table, &plan.partition, &merged, responses);
         }
 
         let mut rows: Vec<Row> = merged
@@ -321,7 +432,168 @@ impl Cluster {
         if let Some(limit) = plan.limit {
             rows.truncate(limit);
         }
-        Ok(rows)
+        rows
+    }
+
+    /// Scatter-gather read: executes every plan concurrently across the
+    /// coordinator worker pool and returns the results in plan order.
+    ///
+    /// Each plan's read fans out to its first `required` *up* replicas in
+    /// ring order — the same replica set the sequential [`Cluster::read`]
+    /// would consult, so results are identical. If a dispatched replica
+    /// turns out to be down mid-read, or a read outlives the speculative
+    /// deadline (see [`Cluster::set_speculative_timeout`]), the coordinator
+    /// retries against the next untried replica instead of blocking.
+    ///
+    /// Errors are all-or-nothing: any plan failing validation or falling
+    /// short of its consistency level fails the whole batch, mirroring the
+    /// error the sequential loop would have produced.
+    pub fn read_multi(
+        &self,
+        plans: &[ReadPlan],
+        consistency: Consistency,
+    ) -> Result<Vec<Vec<Row>>, DbError> {
+        let _span = telemetry::span!("rasdb.coordinator.read_multi");
+        if plans.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.coord_stats.record_read_multi(plans.len() as u64);
+
+        // Per-plan gather state. Validation happens up front so a bad plan
+        // fails before any work is queued.
+        struct Gather {
+            replicas: Vec<NodeId>,
+            required: usize,
+            /// Next replica index to try when a dispatched read fails or
+            /// times out.
+            next_replica: usize,
+            responses: Vec<(NodeId, Vec<(Key, RowEntry)>)>,
+            inflight: usize,
+            deadline: Instant,
+            done: bool,
+        }
+
+        let timeout = Duration::from_micros(self.speculative_timeout_us.load(Ordering::SeqCst));
+        let now = Instant::now();
+        let mut gathers = Vec::with_capacity(plans.len());
+        for plan in plans {
+            let (replicas, required) = self.plan_replicas(plan, consistency)?;
+            gathers.push(Gather {
+                replicas,
+                required,
+                next_replica: 0,
+                responses: Vec::new(),
+                inflight: 0,
+                deadline: now + timeout,
+                done: false,
+            });
+        }
+
+        let (tx, rx) = unbounded::<ReplicaResponse>();
+        let pool = self.coordinator();
+
+        // Queues the read for plan `idx` on gather `g`'s next untried *up*
+        // replica. Returns false when the replica list is exhausted.
+        let dispatch_next = |g: &mut Gather, idx: usize, tx: &Sender<ReplicaResponse>| -> bool {
+            while g.next_replica < g.replicas.len() {
+                let id = g.replicas[g.next_replica];
+                g.next_replica += 1;
+                if !self.nodes[id.0].is_up() {
+                    self.coord_stats.record_replica_skipped();
+                    continue;
+                }
+                let node = Arc::clone(&self.nodes[id.0]);
+                let plan = plans[idx].clone();
+                let tx = tx.clone();
+                pool.submit(
+                    id,
+                    Box::new(move || {
+                        let raw = node.read_raw(&plan.table, &plan.partition, &plan.range);
+                        let _ = tx.send((idx, node.id, raw));
+                    }),
+                );
+                g.inflight += 1;
+                return true;
+            }
+            false
+        };
+
+        // Initial scatter: `required` concurrent reads per plan.
+        for (idx, g) in gathers.iter_mut().enumerate() {
+            for _ in 0..g.required {
+                if !dispatch_next(g, idx, &tx) {
+                    break;
+                }
+            }
+            if g.inflight < g.required {
+                return Err(DbError::Unavailable {
+                    required: g.required,
+                    received: 0,
+                });
+            }
+        }
+
+        // Gather until every plan has `required` responses.
+        let mut remaining = plans.len();
+        while remaining > 0 {
+            match rx.recv_timeout(timeout) {
+                Ok((idx, id, raw)) => {
+                    let g = &mut gathers[idx];
+                    g.inflight -= 1;
+                    if g.done {
+                        continue;
+                    }
+                    match raw {
+                        Some(rows) => {
+                            g.responses.push((id, rows));
+                            if g.responses.len() >= g.required {
+                                g.done = true;
+                                remaining -= 1;
+                            }
+                        }
+                        None => {
+                            // The node went down between dispatch and read:
+                            // retry on the next replica.
+                            self.coord_stats.record_speculative_retry();
+                            if !dispatch_next(g, idx, &tx) && g.inflight == 0 {
+                                return Err(DbError::Unavailable {
+                                    required: g.required,
+                                    received: g.responses.len(),
+                                });
+                            }
+                        }
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    // Deadline pass: hedge every stalled plan with one more
+                    // replica. Extend deadlines so each plan hedges at most
+                    // once per timeout window.
+                    let now = Instant::now();
+                    for (idx, g) in gathers.iter_mut().enumerate() {
+                        if g.done || now < g.deadline {
+                            continue;
+                        }
+                        g.deadline = now + timeout;
+                        if dispatch_next(g, idx, &tx) {
+                            self.coord_stats.record_speculative_retry();
+                        } else if g.inflight == 0 {
+                            return Err(DbError::Unavailable {
+                                required: g.required,
+                                received: g.responses.len(),
+                            });
+                        }
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => unreachable!("tx held by coordinator"),
+            }
+        }
+        drop(tx);
+
+        Ok(plans
+            .iter()
+            .zip(&gathers)
+            .map(|(plan, g)| self.finish_read(plan, &g.responses))
+            .collect())
     }
 
     fn read_repair(
@@ -927,6 +1199,121 @@ mod tests {
             )
             .unwrap_err();
         assert!(matches!(err, DbError::BadQuery(_)));
+    }
+
+    #[test]
+    fn read_multi_matches_sequential_reads() {
+        let c = events_cluster(4, 3);
+        for hour in 0..24 {
+            for ts in 0..20 {
+                put(&c, hour, "MCE", ts, "n", Consistency::Quorum);
+            }
+        }
+        let plans: Vec<ReadPlan> = (0..24)
+            .map(|hour| ReadPlan {
+                table: "event_by_time".into(),
+                partition: Key(vec![Value::BigInt(hour), Value::text("MCE")]),
+                range: full_range(),
+                limit: None,
+                descending: false,
+            })
+            .collect();
+        let batched = c.read_multi(&plans, Consistency::Quorum).unwrap();
+        assert_eq!(batched.len(), 24);
+        for (plan, rows) in plans.iter().zip(&batched) {
+            assert_eq!(rows, &c.read(plan, Consistency::Quorum).unwrap());
+            assert_eq!(rows.len(), 20);
+        }
+        assert_eq!(c.coordinator_stats().read_multi_batches(), 1);
+        assert_eq!(c.coordinator_stats().read_multi_plans(), 24);
+    }
+
+    #[test]
+    fn read_multi_empty_batch_is_empty() {
+        let c = events_cluster(2, 1);
+        assert!(c.read_multi(&[], Consistency::One).unwrap().is_empty());
+    }
+
+    #[test]
+    fn read_multi_rejects_unknown_table() {
+        let c = events_cluster(2, 1);
+        let plan = ReadPlan {
+            table: "nope".into(),
+            partition: Key(vec![Value::BigInt(1)]),
+            range: full_range(),
+            limit: None,
+            descending: false,
+        };
+        assert!(matches!(
+            c.read_multi(&[plan], Consistency::One),
+            Err(DbError::NoSuchTable(_))
+        ));
+    }
+
+    #[test]
+    fn read_multi_survives_down_node_and_matches_sequential() {
+        let c = events_cluster(5, 3);
+        for hour in 0..12 {
+            put(&c, hour, "MCE", 1, "n", Consistency::All);
+        }
+        c.take_node_down(NodeId(0));
+        // More writes while the node is down: hints stay pending.
+        for hour in 0..12 {
+            put(&c, hour, "MCE", 2, "n", Consistency::Quorum);
+        }
+        let plans: Vec<ReadPlan> = (0..12)
+            .map(|hour| ReadPlan {
+                table: "event_by_time".into(),
+                partition: Key(vec![Value::BigInt(hour), Value::text("MCE")]),
+                range: full_range(),
+                limit: None,
+                descending: false,
+            })
+            .collect();
+        let batched = c.read_multi(&plans, Consistency::Quorum).unwrap();
+        for (plan, rows) in plans.iter().zip(&batched) {
+            assert_eq!(rows.len(), 2);
+            assert_eq!(rows, &c.read(plan, Consistency::Quorum).unwrap());
+        }
+    }
+
+    #[test]
+    fn read_skips_down_replicas_and_counts_them() {
+        let c = events_cluster(5, 3);
+        let pkey = Key(vec![Value::BigInt(7), Value::text("MCE")]);
+        put(&c, 7, "MCE", 1, "n", Consistency::All);
+        let owners = c.owners(&pkey);
+        c.take_node_down(owners[0]);
+        let before = c.coordinator_stats().replica_skipped();
+        let rows = c
+            .select("event_by_time")
+            .partition(vec![Value::BigInt(7), Value::text("MCE")])
+            .run(Consistency::Quorum)
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(c.coordinator_stats().replica_skipped(), before + 1);
+    }
+
+    #[test]
+    fn read_multi_hedges_a_slow_replica() {
+        let c = events_cluster(4, 3);
+        put(&c, 3, "MCE", 1, "n", Consistency::All);
+        let pkey = Key(vec![Value::BigInt(3), Value::text("MCE")]);
+        let owners = c.owners(&pkey);
+        // First replica answers slower than the speculative deadline; at
+        // Consistency::One the hedge to the next replica wins the race.
+        c.node(owners[0]).set_read_latency_us(20_000);
+        c.set_speculative_timeout(Duration::from_millis(2));
+        let plan = ReadPlan {
+            table: "event_by_time".into(),
+            partition: pkey,
+            range: full_range(),
+            limit: None,
+            descending: false,
+        };
+        let rows = c.read_multi(&[plan], Consistency::One).unwrap();
+        assert_eq!(rows[0].len(), 1);
+        assert!(c.coordinator_stats().speculative_retries() >= 1);
     }
 
     #[test]

@@ -11,7 +11,7 @@ use crate::types::{Key, Row};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::ops::Bound;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Node tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -24,6 +24,11 @@ pub struct NodeConfig {
     pub compaction: CompactionConfig,
     /// Bloom-filter usage on reads (ablation hook).
     pub use_bloom: bool,
+    /// Simulated per-read service latency (RPC + disk round trip of a
+    /// replica read). `0` = serve instantly. Benches use this to model a
+    /// real networked cluster, where the sequential-vs-scatter-gather
+    /// difference comes from overlapping replica waits.
+    pub read_latency_us: u64,
 }
 
 impl Default for NodeConfig {
@@ -33,6 +38,7 @@ impl Default for NodeConfig {
             commitlog_segment: 16 * 1024,
             compaction: CompactionConfig::default(),
             use_bloom: true,
+            read_latency_us: 0,
         }
     }
 }
@@ -65,6 +71,7 @@ pub struct StorageNode {
     cfg: NodeConfig,
     tables: RwLock<HashMap<String, Mutex<TableStore>>>,
     up: AtomicBool,
+    read_latency_us: AtomicU64,
     stats: NodeStats,
 }
 
@@ -76,8 +83,15 @@ impl StorageNode {
             cfg,
             tables: RwLock::new(HashMap::new()),
             up: AtomicBool::new(true),
+            read_latency_us: AtomicU64::new(cfg.read_latency_us),
             stats: NodeStats::default(),
         }
+    }
+
+    /// Changes the simulated read service latency at runtime (failure and
+    /// slow-replica injection in tests/benches).
+    pub fn set_read_latency_us(&self, us: u64) {
+        self.read_latency_us.store(us, Ordering::SeqCst);
     }
 
     /// Registers a table (idempotent).
@@ -139,6 +153,10 @@ impl StorageNode {
     ) -> Option<Vec<(Key, RowEntry)>> {
         if !self.is_up() {
             return None;
+        }
+        let latency = self.read_latency_us.load(Ordering::Relaxed);
+        if latency > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(latency));
         }
         let tables = self.tables.read();
         let store = tables.get(table)?.lock();

@@ -97,6 +97,67 @@ impl NodeStats {
     }
 }
 
+/// Coordinator-side read-path counters: replica selection and the
+/// scatter-gather machinery. Per-cluster counts are exact; every increment
+/// is mirrored into `rasdb.coordinator.*` counters in the global registry.
+#[derive(Debug, Default)]
+pub struct CoordinatorStats {
+    replica_skipped: AtomicU64,
+    speculative_retries: AtomicU64,
+    read_multi_batches: AtomicU64,
+    read_multi_plans: AtomicU64,
+}
+
+impl CoordinatorStats {
+    /// Records a known-down replica skipped before dispatch.
+    pub fn record_replica_skipped(&self) {
+        self.replica_skipped.fetch_add(1, Ordering::Relaxed);
+        telemetry::global()
+            .counter("rasdb.coordinator.replica_skipped")
+            .incr(1);
+    }
+
+    /// Records a speculative retry against the next replica (deadline hit
+    /// or a replica answered "down" mid-read).
+    pub fn record_speculative_retry(&self) {
+        self.speculative_retries.fetch_add(1, Ordering::Relaxed);
+        telemetry::global()
+            .counter("rasdb.coordinator.speculative_retries")
+            .incr(1);
+    }
+
+    /// Records one `read_multi` batch of `plans` partition reads.
+    pub fn record_read_multi(&self, plans: u64) {
+        self.read_multi_batches.fetch_add(1, Ordering::Relaxed);
+        self.read_multi_plans.fetch_add(plans, Ordering::Relaxed);
+        let r = telemetry::global();
+        r.counter("rasdb.coordinator.read_multi.batches").incr(1);
+        r.counter("rasdb.coordinator.read_multi.plans").incr(plans);
+        r.gauge("rasdb.coordinator.read_multi.fanout")
+            .set(plans as i64);
+    }
+
+    /// Down replicas skipped before dispatch.
+    pub fn replica_skipped(&self) -> u64 {
+        self.replica_skipped.load(Ordering::Relaxed)
+    }
+
+    /// Speculative retries issued.
+    pub fn speculative_retries(&self) -> u64 {
+        self.speculative_retries.load(Ordering::Relaxed)
+    }
+
+    /// `read_multi` batches executed.
+    pub fn read_multi_batches(&self) -> u64 {
+        self.read_multi_batches.load(Ordering::Relaxed)
+    }
+
+    /// Total plans fanned out across all batches.
+    pub fn read_multi_plans(&self) -> u64 {
+        self.read_multi_plans.load(Ordering::Relaxed)
+    }
+}
+
 /// A point-in-time copy of [`NodeStats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {

@@ -80,6 +80,36 @@ impl SparkletContext {
         }
     }
 
+    /// Builds a dataset from a batch of storage read plans: one partition
+    /// per plan, pinned to `preferred(&plan)`'s executor and materialized
+    /// by `load(&plan)`. This is how rasdb scatter-gather plan batches
+    /// enter the engine — driver-side `read_multi` callers and
+    /// owner-pinned tasks share the same plan objects.
+    pub fn from_planned<P, T>(
+        &self,
+        plans: Vec<P>,
+        preferred: impl Fn(&P) -> Option<usize>,
+        load: impl Fn(&P) -> Vec<T> + Send + Sync + 'static,
+    ) -> Rdd<T>
+    where
+        P: Send + Sync + 'static,
+        T: Data,
+    {
+        let load = Arc::new(load);
+        let sources = plans
+            .into_iter()
+            .map(|plan| {
+                let pinned = preferred(&plan);
+                let load = Arc::clone(&load);
+                PartitionSource {
+                    preferred: pinned,
+                    load: Arc::new(move || load(&plan)),
+                }
+            })
+            .collect();
+        self.from_sources(sources)
+    }
+
     /// Builds a dataset from pre-materialized partitions (shuffle output).
     pub(crate) fn materialized<T: Data>(&self, parts: Vec<Arc<Vec<T>>>) -> Rdd<T> {
         Rdd {
@@ -189,6 +219,20 @@ mod tests {
         let ctx = SparkletContext::new(2);
         let rdd = ctx.parallelize(Vec::<i32>::new(), 4);
         assert_eq!(rdd.collect(), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn from_planned_pins_and_loads_per_plan() {
+        let ctx = SparkletContext::new(2);
+        let plans: Vec<(usize, i32)> = (0..6).map(|i| (i % 2, i as i32)).collect();
+        let rdd = ctx.from_planned(plans, |p| Some(p.0), |p| vec![p.1, p.1 + 100]);
+        assert_eq!(rdd.num_partitions(), 6);
+        assert_eq!(
+            rdd.collect(),
+            vec![0, 100, 1, 101, 2, 102, 3, 103, 4, 104, 5, 105]
+        );
+        let (local, _) = ctx.pool_stats();
+        assert_eq!(local, 6, "every plan partition pinned to its owner");
     }
 
     #[test]
