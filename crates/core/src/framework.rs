@@ -66,6 +66,10 @@ pub struct Framework {
 /// The bus topic raw log lines are published to.
 pub const RAW_LOG_TOPIC: &str = "raw-logs";
 
+/// The dead-letter topic: lines that failed parsing and events that
+/// exhausted their store retries land here for inspection/requeue.
+pub const RAW_LOG_DLQ_TOPIC: &str = "raw-logs.dlq";
+
 impl Framework {
     /// Builds the cluster, creates the schema, loads `nodeinfos` and
     /// `eventtypes`, and provisions the streaming topic.
@@ -91,6 +95,8 @@ impl Framework {
         }
         let bus = Arc::new(Broker::new());
         bus.create_topic(RAW_LOG_TOPIC, cfg.db_nodes.max(1))
+            .expect("fresh broker");
+        bus.create_topic(RAW_LOG_DLQ_TOPIC, cfg.db_nodes.max(1))
             .expect("fresh broker");
         let workers = cfg.workers.unwrap_or(cfg.db_nodes).max(1);
         Ok(Framework {

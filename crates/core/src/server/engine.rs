@@ -74,6 +74,8 @@ impl QueryEngine {
             "predict" => self.op_predict(req),
             "render" => self.op_render(req),
             "cql" => self.op_cql(req),
+            "dlq" => self.op_dlq(req),
+            "dlq_requeue" => self.op_dlq_requeue(req),
             "metrics" => self.op_metrics(req),
             "trace" => Ok(OpOutput::data([(
                 "spans",
@@ -470,6 +472,50 @@ impl QueryEngine {
         ]))
     }
 
+    /// Inspects the ingestion dead-letter queue: current depth plus up to
+    /// `max` entries (default 20), without consuming anything.
+    fn op_dlq(&self, req: &QueryRequest) -> Result<OpOutput, ApiError> {
+        use crate::etl::stream::{dlq_depth, dlq_peek};
+        let max = req.i64_or("max", 20).max(1) as usize;
+        let depth = dlq_depth(&self.fw).map_err(bus_err)?;
+        let entries = dlq_peek(&self.fw, max).map_err(bus_err)?;
+        Ok(OpOutput::data([
+            ("depth", Json::from(depth as i64)),
+            (
+                "entries",
+                json_array(entries.iter().map(|r| {
+                    json_object([
+                        ("partition", Json::from(r.partition as i64)),
+                        ("offset", Json::from(r.offset as i64)),
+                        (
+                            "key",
+                            match &r.key {
+                                Some(k) => Json::from(k.as_str()),
+                                None => Json::Null,
+                            },
+                        ),
+                        ("value", Json::from(r.value.as_str())),
+                    ])
+                })),
+            ),
+        ]))
+    }
+
+    /// Replays up to `max` dead-letter entries (default 100): serialized
+    /// events re-insert into the event tables, raw lines republish to the
+    /// ingest topic. Entries that fail to replay stay queued.
+    fn op_dlq_requeue(&self, req: &QueryRequest) -> Result<OpOutput, ApiError> {
+        use crate::etl::stream::dlq_requeue;
+        let max = req.i64_or("max", 100).max(1) as usize;
+        let r = dlq_requeue(&self.fw, max)?;
+        Ok(OpOutput::data([
+            ("events_reinserted", Json::from(r.events_reinserted as i64)),
+            ("lines_republished", Json::from(r.lines_republished as i64)),
+            ("poison_dropped", Json::from(r.poison_dropped as i64)),
+            ("remaining", Json::from(r.remaining as i64)),
+        ]))
+    }
+
     /// The global telemetry registry: counters, gauges, and latency
     /// histograms. Pass `"reset": true` to zero everything after reading.
     fn op_metrics(&self, req: &QueryRequest) -> Result<OpOutput, ApiError> {
@@ -509,6 +555,10 @@ impl QueryEngine {
             )])),
         }
     }
+}
+
+fn bus_err(e: logbus::BusError) -> ApiError {
+    ApiError::new(ErrorCode::Internal, format!("bus error: {e}"))
 }
 
 fn db_value_to_json(v: &rasdb::types::Value) -> Json {
@@ -795,6 +845,47 @@ mod tests {
         assert!(svg.starts_with("<svg"));
         let resp = call(&e, r#"{"op":"render","view":"nope","from":0,"to":1}"#);
         assert_eq!(resp["status"].as_str(), Some("error"));
+    }
+
+    #[test]
+    fn dlq_ops_inspect_and_requeue() {
+        use crate::etl::stream::{publish_lines, StreamIngester};
+        use loggen::trace::{Facility, RawLine};
+        let e = engine();
+        // An empty DLQ reports zero depth.
+        let resp = call(&e, r#"{"op":"dlq"}"#);
+        assert_eq!(resp["status"].as_str(), Some("ok"));
+        assert_eq!(resp["depth"].as_i64(), Some(0));
+        // Ingest a poison line: it dead-letters.
+        publish_lines(
+            e.framework(),
+            &[RawLine {
+                ts_ms: 0,
+                facility: Facility::Console,
+                source: "c0-0c0s0n0".to_owned(),
+                text: "~~~ unparseable gibberish ~~~".to_owned(),
+            }],
+        )
+        .unwrap();
+        StreamIngester::new(e.framework(), "g", 0)
+            .unwrap()
+            .run_to_completion(16)
+            .unwrap();
+        let resp = call(&e, r#"{"op":"dlq","max":5}"#);
+        assert_eq!(resp["depth"].as_i64(), Some(1));
+        let entries = resp["entries"].as_array().unwrap();
+        assert_eq!(entries.len(), 1);
+        assert!(entries[0]["value"]
+            .as_str()
+            .unwrap()
+            .contains("unparseable gibberish"));
+        // Requeue republishes the line and empties the queue.
+        let resp = call(&e, r#"{"op":"dlq_requeue"}"#);
+        assert_eq!(resp["status"].as_str(), Some("ok"));
+        assert_eq!(resp["lines_republished"].as_i64(), Some(1));
+        assert_eq!(resp["remaining"].as_i64(), Some(0));
+        let resp = call(&e, r#"{"op":"dlq"}"#);
+        assert_eq!(resp["depth"].as_i64(), Some(0));
     }
 
     #[test]

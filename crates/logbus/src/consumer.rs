@@ -1,6 +1,6 @@
 //! Consumers: group-coordinated, offset-tracking topic readers.
 
-use crate::broker::{Broker, BusError, GroupState};
+use crate::broker::{Broker, BusError, FaultState, GroupState};
 use crate::record::Record;
 use crate::topic::Topic;
 use parking_lot::RwLock;
@@ -13,9 +13,33 @@ use std::sync::Arc;
 /// position per assigned partition, starting from the group's committed
 /// offset; [`Consumer::commit`] publishes positions back to the group.
 /// Membership changes trigger a rebalance on the next poll.
+///
+/// Commits move the topic's *commit floor*: retention eviction never trims
+/// past the lowest committed offset of any group, so an uncommitted record
+/// can be delayed (backpressure) but never silently lost.
+///
+/// ```
+/// use logbus::{Broker, Consumer, Producer};
+///
+/// let broker = Broker::new();
+/// broker.create_topic("t", 2).unwrap();
+/// let producer = Producer::new(&broker);
+/// for i in 0..4 {
+///     producer.send("t", None, format!("line {i}")).unwrap();
+/// }
+///
+/// let mut consumer = Consumer::new(&broker, "ingesters", "t").unwrap();
+/// let records = consumer.poll(100);
+/// assert_eq!(records.len(), 4);
+/// // Checkpoint: offsets + the event-time watermark travel together.
+/// let positions: Vec<(usize, u64)> = consumer.positions().to_vec();
+/// consumer.commit_through(&positions, 1_000).unwrap();
+/// assert_eq!(consumer.checkpoint_watermark(), 1_000);
+/// ```
 pub struct Consumer {
     topic: Arc<Topic>,
     group: Arc<RwLock<GroupState>>,
+    faults: Arc<FaultState>,
     member_id: u64,
     seen_generation: u64,
     /// (partition, next offset) pairs for the current assignment.
@@ -42,6 +66,7 @@ impl Consumer {
         let mut c = Consumer {
             topic,
             group,
+            faults: broker.faults(),
             member_id,
             seen_generation: 0,
             positions: Vec::new(),
@@ -54,6 +79,13 @@ impl Consumer {
     /// The partitions currently assigned to this consumer.
     pub fn assignment(&self) -> Vec<usize> {
         self.positions.iter().map(|(p, _)| *p).collect()
+    }
+
+    /// Current (partition, next-offset) positions for the assignment.
+    /// These are *poll* positions, ahead of the committed offsets until
+    /// [`Consumer::commit`] (or `commit_through`) publishes them.
+    pub fn positions(&self) -> &[(usize, u64)] {
+        &self.positions
     }
 
     fn rebalance(&mut self) {
@@ -73,6 +105,11 @@ impl Consumer {
 
     /// Polls up to `max` records across assigned partitions (fair
     /// round-robin over partitions). Returns immediately (possibly empty).
+    ///
+    /// Under an active [`crate::FaultPlan`] a poll may redeliver a record
+    /// (same partition and offset, exactly like a crash-restart replay);
+    /// downstream consumers must treat `(partition, offset)` as the
+    /// identity of a record, not its array position.
     pub fn poll(&mut self, max: usize) -> Vec<Record> {
         let mut span = telemetry::span!("logbus.consumer.poll");
         if self.group.read().generation != self.seen_generation {
@@ -89,14 +126,21 @@ impl Consumer {
             self.next_pick += 1;
             let (partition, offset) = self.positions[idx];
             let budget = max - out.len();
-            let records = self.topic.partitions[partition].read(offset, budget.min(64));
+            let cap = self.faults.visibility_cap(&self.topic.name, partition);
+            let records = self.topic.partitions[partition].read_until(offset, budget.min(64), cap);
             if records.is_empty() {
                 exhausted += 1;
                 continue;
             }
             exhausted = 0;
             self.positions[idx].1 = records.last().expect("nonempty").offset + 1;
-            out.extend(records);
+            if self.faults.duplicate_read() {
+                let dup = records.last().expect("nonempty").clone();
+                out.extend(records);
+                out.push(dup);
+            } else {
+                out.extend(records);
+            }
         }
         span.tag("records", out.len().to_string());
         telemetry::global()
@@ -105,14 +149,58 @@ impl Consumer {
         out
     }
 
-    /// Commits current positions to the group.
-    pub fn commit(&self) {
-        let mut g = self.group.write();
-        for (p, offset) in &self.positions {
-            if *offset > g.committed[*p] {
-                g.committed[*p] = *offset;
+    /// Commits current poll positions to the group.
+    ///
+    /// Fails only under an injected commit fault ([`BusError::CommitFailed`]);
+    /// positions are untouched on failure, so callers retry by calling
+    /// `commit` again later (records polled past the committed offset are
+    /// simply redelivered after a crash — at-least-once).
+    pub fn commit(&self) -> Result<(), BusError> {
+        let positions = self.positions.clone();
+        self.commit_through(&positions, i64::MIN)
+    }
+
+    /// Commits explicit `(partition, offset)` pairs plus an event-time
+    /// watermark, atomically (one group-state write).
+    ///
+    /// This is the checkpoint primitive for at-least-once ingestion: an
+    /// ingester commits the lowest offset it has *not yet durably stored*
+    /// per partition, together with its coalescing watermark. A restarted
+    /// member resumes from those offsets and seeds its window watermark
+    /// from [`Consumer::checkpoint_watermark`], so replayed records whose
+    /// windows were already flushed are suppressed as late instead of
+    /// re-written as partial windows.
+    ///
+    /// Offsets never regress (a commit below the group's committed offset
+    /// is a no-op for that partition), and the watermark is monotonic.
+    pub fn commit_through(
+        &self,
+        through: &[(usize, u64)],
+        watermark_ms: i64,
+    ) -> Result<(), BusError> {
+        if self.faults.fail_commit() {
+            return Err(BusError::CommitFailed);
+        }
+        {
+            let mut g = self.group.write();
+            for (p, offset) in through {
+                if *p < g.committed.len() && *offset > g.committed[*p] {
+                    g.committed[*p] = *offset;
+                }
+            }
+            if watermark_ms > g.checkpoint_watermark {
+                g.checkpoint_watermark = watermark_ms;
             }
         }
+        // Group lock released above: floors re-read every group state.
+        self.topic.refresh_commit_floors();
+        Ok(())
+    }
+
+    /// The event-time watermark last checkpointed by this consumer group
+    /// (`i64::MIN` before the first checkpoint).
+    pub fn checkpoint_watermark(&self) -> i64 {
+        self.group.read().checkpoint_watermark
     }
 
     /// Lag: records available but not yet polled, across the assignment.
@@ -139,6 +227,7 @@ impl Drop for Consumer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::broker::FaultPlan;
     use crate::producer::Producer;
 
     fn setup(partitions: usize) -> Broker {
@@ -220,7 +309,7 @@ mod tests {
             let mut c = Consumer::new(&b, "g", "t").unwrap();
             let got = c.poll(6);
             assert_eq!(got.len(), 6);
-            c.commit();
+            c.commit().unwrap();
         } // drop -> leave group
         let mut c = Consumer::new(&b, "g", "t").unwrap();
         let got = c.poll(100);
@@ -252,7 +341,7 @@ mod tests {
             p.send("t", None, format!("m{i}")).unwrap();
         }
         assert_eq!(c1.poll(100).len(), 8);
-        c1.commit();
+        c1.commit().unwrap();
         // New member joins: c1 must shrink its assignment on next poll.
         let c2 = Consumer::new(&b, "g", "t").unwrap();
         let _ = c1.poll(1);
@@ -271,5 +360,73 @@ mod tests {
         let mut g2 = Consumer::new(&b, "beta", "t").unwrap();
         assert_eq!(g1.poll(100).len(), 5);
         assert_eq!(g2.poll(100).len(), 5, "fan-out to both groups");
+    }
+
+    #[test]
+    fn commit_through_checkpoints_offsets_and_watermark() {
+        let b = setup(2);
+        let p = Producer::new(&b);
+        for i in 0..10 {
+            p.send("t", None, format!("m{i}")).unwrap();
+        }
+        {
+            let mut c = Consumer::new(&b, "g", "t").unwrap();
+            assert_eq!(c.poll(100).len(), 10);
+            // Pretend offsets below 3 (p0) / 2 (p1) are durably stored.
+            c.commit_through(&[(0, 3), (1, 2)], 7_000).unwrap();
+            // Watermark is monotonic: a stale commit can't move it back.
+            c.commit_through(&[], 5_000).unwrap();
+            assert_eq!(c.checkpoint_watermark(), 7_000);
+        }
+        let mut c = Consumer::new(&b, "g", "t").unwrap();
+        assert_eq!(c.checkpoint_watermark(), 7_000);
+        assert_eq!(c.poll(100).len(), 5, "replays only unacked records");
+    }
+
+    #[test]
+    fn commit_never_regresses_offsets() {
+        let b = setup(1);
+        let p = Producer::new(&b);
+        for i in 0..5 {
+            p.send("t", None, format!("m{i}")).unwrap();
+        }
+        let mut c = Consumer::new(&b, "g", "t").unwrap();
+        c.poll(100);
+        c.commit_through(&[(0, 4)], 0).unwrap();
+        c.commit_through(&[(0, 1)], 0).unwrap();
+        assert_eq!(c.group.read().committed[0], 4);
+    }
+
+    #[test]
+    fn injected_commit_fault_fails_then_recovers() {
+        let b = setup(1);
+        b.inject_faults(FaultPlan::new().fail_commits(2));
+        let p = Producer::new(&b);
+        for i in 0..5 {
+            p.send("t", None, format!("m{i}")).unwrap();
+        }
+        let mut c = Consumer::new(&b, "g", "t").unwrap();
+        c.poll(100);
+        assert_eq!(c.commit(), Err(BusError::CommitFailed));
+        assert_eq!(c.commit(), Err(BusError::CommitFailed));
+        c.commit().unwrap(); // budget exhausted, commit goes through
+        assert_eq!(c.group.read().committed[0], 5);
+    }
+
+    #[test]
+    fn duplicate_fault_redelivers_same_offset() {
+        let b = setup(1);
+        b.inject_faults(FaultPlan::new().duplicate_every(1));
+        let p = Producer::new(&b);
+        for i in 0..3 {
+            p.send("t", None, format!("m{i}")).unwrap();
+        }
+        let mut c = Consumer::new(&b, "g", "t").unwrap();
+        let records = c.poll(100);
+        assert_eq!(records.len(), 4, "one batch, last record delivered twice");
+        assert_eq!(records[2].offset, records[3].offset);
+        assert_eq!(records[2].value, records[3].value);
+        // Position advanced normally: no further replay.
+        assert!(c.poll(100).is_empty());
     }
 }

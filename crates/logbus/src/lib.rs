@@ -12,6 +12,13 @@
 //!   records are retained (up to a cap) rather than consumed destructively.
 //! * **Consumer groups** — partitions are balanced over group members, and
 //!   committed offsets survive rebalances.
+//! * **Delivery contract** — retention never evicts past the lowest
+//!   committed group offset; a full partition backpressures producers
+//!   ([`BusError::Full`]) instead of dropping unread records. Combined
+//!   with commit-after-ack consumers this yields at-least-once delivery.
+//! * **Fault injection** — a broker-wide [`FaultPlan`] can drop, duplicate
+//!   or delay records and fail commits on a deterministic schedule, so the
+//!   delivery contract is falsifiable in tests.
 //!
 //! # Example
 //! ```
@@ -27,8 +34,10 @@
 //! let records = consumer.poll(10);
 //! assert_eq!(records.len(), 1);
 //! assert_eq!(records[0].value, "OST0041 not responding");
-//! consumer.commit();
+//! consumer.commit().unwrap();
 //! ```
+
+#![deny(missing_docs)]
 
 pub mod broker;
 pub mod consumer;
@@ -36,7 +45,7 @@ pub mod producer;
 pub mod record;
 pub mod topic;
 
-pub use broker::{Broker, BusError};
+pub use broker::{Broker, BusError, FaultPlan};
 pub use consumer::Consumer;
 pub use producer::Producer;
 pub use record::Record;

@@ -1,11 +1,21 @@
 //! Topics: named sets of append-only partition logs with bounded retention.
+//!
+//! Retention doubles as capacity: a partition never holds more than
+//! `retention` records. Eviction of the oldest record is gated by the
+//! *commit floor* — the lowest offset any registered consumer group has
+//! committed for that partition. A full partition whose floor pins the
+//! head rejects appends instead of silently dropping unread data; the
+//! producer surfaces that as [`crate::BusError::Full`] backpressure.
 
+use crate::broker::GroupState;
 use crate::record::Record;
 use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-/// Default per-partition retention (records). Old records are trimmed, and
-/// their offsets remain valid-but-gone (reads clamp forward), matching
-/// log-retention semantics.
+/// Default per-partition retention (records). Old records are trimmed once
+/// every registered group has committed past them, and their offsets remain
+/// valid-but-gone (reads clamp forward), matching log-retention semantics.
 pub const DEFAULT_RETENTION: usize = 1_000_000;
 
 /// One append-only partition log.
@@ -13,6 +23,10 @@ pub const DEFAULT_RETENTION: usize = 1_000_000;
 pub struct PartitionLog {
     inner: RwLock<LogInner>,
     retention: usize,
+    /// Lowest committed offset across registered consumer groups; eviction
+    /// never trims at or past this. `u64::MAX` means "unconstrained" (no
+    /// group has registered for the topic).
+    commit_floor: AtomicU64,
 }
 
 #[derive(Debug, Default)]
@@ -30,34 +44,57 @@ impl PartitionLog {
         PartitionLog {
             inner: RwLock::new(LogInner::default()),
             retention: retention.max(1),
+            commit_floor: AtomicU64::new(u64::MAX),
         }
     }
 
-    /// Appends a record; returns its offset.
-    pub fn append(&self, mut record: Record, partition: usize) -> u64 {
+    /// Appends a record; returns its offset, or `None` when the partition
+    /// is at capacity and the commit floor forbids evicting the head (the
+    /// producer maps this to [`crate::BusError::Full`]).
+    pub fn try_append(&self, mut record: Record, partition: usize) -> Option<u64> {
         let mut inner = self.inner.write();
+        if inner.records.len() >= self.retention {
+            // Evict the head only if every registered group has committed
+            // past it; otherwise reject and let backpressure do its job.
+            if inner.base_offset < self.commit_floor.load(Ordering::Acquire) {
+                inner.records.pop_front();
+                inner.base_offset += 1;
+            } else {
+                return None;
+            }
+        }
         let offset = inner.next_offset;
         record.offset = offset;
         record.partition = partition;
         inner.records.push_back(record);
         inner.next_offset += 1;
-        if inner.records.len() > self.retention {
-            inner.records.pop_front();
-            inner.base_offset += 1;
-        }
-        offset
+        Some(offset)
     }
 
     /// Reads up to `max` records starting at `offset` (clamped forward to
     /// the earliest retained record).
     pub fn read(&self, offset: u64, max: usize) -> Vec<Record> {
+        self.read_until(offset, max, u64::MAX)
+    }
+
+    /// Like [`PartitionLog::read`] but never returns records at or past
+    /// `end_cap` (used by delay fault-injection to hold back a suffix).
+    pub fn read_until(&self, offset: u64, max: usize, end_cap: u64) -> Vec<Record> {
         let inner = self.inner.read();
         let start = offset.max(inner.base_offset);
-        if start >= inner.next_offset {
+        let end = inner.next_offset.min(end_cap);
+        if start >= end {
             return Vec::new();
         }
         let idx = (start - inner.base_offset) as usize;
-        inner.records.iter().skip(idx).take(max).cloned().collect()
+        let avail = (end - start) as usize;
+        inner
+            .records
+            .iter()
+            .skip(idx)
+            .take(max.min(avail))
+            .cloned()
+            .collect()
     }
 
     /// The next offset that will be assigned (= log end).
@@ -79,6 +116,15 @@ impl PartitionLog {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Current commit floor (`u64::MAX` when unconstrained).
+    pub fn commit_floor(&self) -> u64 {
+        self.commit_floor.load(Ordering::Acquire)
+    }
+
+    fn set_commit_floor(&self, floor: u64) {
+        self.commit_floor.store(floor, Ordering::Release);
+    }
 }
 
 /// A named topic.
@@ -88,6 +134,9 @@ pub struct Topic {
     pub name: String,
     /// The partition logs.
     pub partitions: Vec<PartitionLog>,
+    /// Consumer-group states registered against this topic; their committed
+    /// offsets bound retention eviction.
+    groups: RwLock<Vec<Arc<RwLock<GroupState>>>>,
 }
 
 impl Topic {
@@ -98,6 +147,7 @@ impl Topic {
             partitions: (0..partitions.max(1))
                 .map(|_| PartitionLog::new(retention))
                 .collect(),
+            groups: RwLock::new(Vec::new()),
         }
     }
 
@@ -117,6 +167,26 @@ impl Topic {
     pub fn total_len(&self) -> usize {
         self.partitions.iter().map(PartitionLog::len).sum()
     }
+
+    pub(crate) fn register_group(&self, group: Arc<RwLock<GroupState>>) {
+        self.groups.write().push(group);
+        self.refresh_commit_floors();
+    }
+
+    /// Recomputes each partition's commit floor from the registered groups.
+    /// Called after commits and group registration; caller must not hold
+    /// any group lock.
+    pub(crate) fn refresh_commit_floors(&self) {
+        let groups = self.groups.read();
+        for (p, log) in self.partitions.iter().enumerate() {
+            let floor = groups
+                .iter()
+                .filter_map(|g| g.read().committed.get(p).copied())
+                .min()
+                .unwrap_or(u64::MAX);
+            log.set_commit_floor(floor);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -131,7 +201,7 @@ mod tests {
     fn offsets_are_dense_and_monotonic() {
         let log = PartitionLog::new(100);
         for i in 0..10 {
-            assert_eq!(log.append(rec(&i.to_string()), 0), i);
+            assert_eq!(log.try_append(rec(&i.to_string()), 0), Some(i));
         }
         assert_eq!(log.end_offset(), 10);
         assert_eq!(log.begin_offset(), 0);
@@ -141,7 +211,7 @@ mod tests {
     fn read_from_offset() {
         let log = PartitionLog::new(100);
         for i in 0..10 {
-            log.append(rec(&i.to_string()), 3);
+            log.try_append(rec(&i.to_string()), 3);
         }
         let r = log.read(4, 3);
         assert_eq!(r.len(), 3);
@@ -153,10 +223,22 @@ mod tests {
     }
 
     #[test]
+    fn read_until_holds_back_suffix() {
+        let log = PartitionLog::new(100);
+        for i in 0..10 {
+            log.try_append(rec(&i.to_string()), 0);
+        }
+        let r = log.read_until(0, 100, 6);
+        assert_eq!(r.len(), 6);
+        assert_eq!(r.last().unwrap().offset, 5);
+        assert!(log.read_until(6, 100, 6).is_empty());
+    }
+
+    #[test]
     fn retention_trims_and_reads_clamp() {
         let log = PartitionLog::new(5);
         for i in 0..12 {
-            log.append(rec(&i.to_string()), 0);
+            log.try_append(rec(&i.to_string()), 0).unwrap();
         }
         assert_eq!(log.len(), 5);
         assert_eq!(log.begin_offset(), 7);
@@ -164,6 +246,23 @@ mod tests {
         let r = log.read(0, 10);
         assert_eq!(r[0].value, "7");
         assert_eq!(r.len(), 5);
+    }
+
+    #[test]
+    fn commit_floor_blocks_eviction() {
+        let log = PartitionLog::new(4);
+        log.set_commit_floor(0); // a group sits at offset 0
+        for i in 0..4 {
+            assert!(log.try_append(rec(&i.to_string()), 0).is_some());
+        }
+        // Full and the head is uncommitted: reject.
+        assert_eq!(log.try_append(rec("x"), 0), None);
+        // Group commits through 2: two evictions become legal.
+        log.set_commit_floor(2);
+        assert!(log.try_append(rec("4"), 0).is_some());
+        assert!(log.try_append(rec("5"), 0).is_some());
+        assert_eq!(log.try_append(rec("6"), 0), None);
+        assert_eq!(log.begin_offset(), 2);
     }
 
     #[test]

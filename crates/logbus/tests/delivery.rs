@@ -94,7 +94,7 @@ proptest! {
         {
             let mut c = Consumer::new(&broker, "g", "t").unwrap();
             first_batch = c.poll(consumed_first).len();
-            c.commit();
+            c.commit().unwrap();
         }
         let mut c = Consumer::new(&broker, "g", "t").unwrap();
         let rest = c.poll(10_000).len();

@@ -16,7 +16,7 @@ use crate::stats::{CoordinatorStats, StatsSnapshot};
 use crate::types::{Key, Row, Value};
 use crossbeam::channel::{unbounded, RecvTimeoutError, Sender};
 use parking_lot::{Mutex, RwLock};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::ops::Bound;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -55,6 +55,9 @@ pub enum ExecResult {
 /// Default per-read deadline before a speculative retry is sent to the
 /// next replica (see [`Cluster::read_multi`]).
 pub const DEFAULT_SPECULATIVE_TIMEOUT: Duration = Duration::from_millis(5);
+
+/// Default per-node hinted-handoff queue cap (see [`Cluster::set_hint_cap`]).
+pub const DEFAULT_HINT_CAP: u64 = 8192;
 
 /// A unit of coordinator work bound for one storage node's queue.
 type CoordJob = Box<dyn FnOnce() + Send + 'static>;
@@ -115,7 +118,8 @@ pub struct Cluster {
     nodes: Vec<Arc<StorageNode>>,
     schemas: RwLock<HashMap<String, TableSchema>>,
     clock: AtomicU64,
-    hints: Mutex<HashMap<NodeId, Vec<Mutation>>>,
+    hints: Mutex<HashMap<NodeId, VecDeque<Mutation>>>,
+    hint_cap: AtomicU64,
     /// Scatter-gather worker pool, spawned on first `read_multi`.
     coordinator: OnceLock<CoordinatorPool>,
     coord_stats: CoordinatorStats,
@@ -140,6 +144,7 @@ impl Cluster {
             schemas: RwLock::new(HashMap::new()),
             clock: AtomicU64::new(1),
             hints: Mutex::new(HashMap::new()),
+            hint_cap: AtomicU64::new(DEFAULT_HINT_CAP),
             coordinator: OnceLock::new(),
             coord_stats: CoordinatorStats::default(),
             speculative_timeout_us: AtomicU64::new(DEFAULT_SPECULATIVE_TIMEOUT.as_micros() as u64),
@@ -291,7 +296,18 @@ impl Cluster {
                 acks += 1;
             } else {
                 // Hinted handoff: remember the mutation for the down node.
-                self.hints.lock().entry(*id).or_default().push(m.clone());
+                // The queue is capped; at capacity the *oldest* hint is
+                // dropped (LWW means newer mutations supersede it anyway)
+                // and counted, so a long outage degrades to read repair
+                // instead of growing coordinator memory without bound.
+                let cap = self.hint_cap.load(Ordering::Relaxed) as usize;
+                let mut hints = self.hints.lock();
+                let queue = hints.entry(*id).or_default();
+                while queue.len() >= cap.max(1) {
+                    queue.pop_front();
+                    self.coord_stats.record_hint_dropped();
+                }
+                queue.push_back(m.clone());
             }
         }
         if acks >= required {
@@ -320,7 +336,14 @@ impl Cluster {
 
     /// Pending hint count for a node (tests).
     pub fn pending_hints(&self, id: NodeId) -> usize {
-        self.hints.lock().get(&id).map_or(0, Vec::len)
+        self.hints.lock().get(&id).map_or(0, VecDeque::len)
+    }
+
+    /// Caps the per-node hinted-handoff queue (default
+    /// [`DEFAULT_HINT_CAP`]). At capacity the oldest hints are dropped and
+    /// counted in [`CoordinatorStats::hints_dropped`].
+    pub fn set_hint_cap(&self, cap: usize) {
+        self.hint_cap.store(cap.max(1) as u64, Ordering::Relaxed);
     }
 
     /// Starts a fluent select.
@@ -1084,6 +1107,32 @@ mod tests {
             .run(Consistency::One)
             .unwrap();
         assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn hint_queue_cap_drops_oldest_and_counts() {
+        let c = events_cluster(3, 3);
+        c.set_hint_cap(3);
+        let pkey = Key(vec![Value::BigInt(7), Value::text("MCE")]);
+        let owners = c.owners(&pkey);
+        c.take_node_down(owners[2]);
+        for ts in 1..=5 {
+            put(&c, 7, "MCE", ts, "n", Consistency::Quorum);
+        }
+        assert_eq!(c.pending_hints(owners[2]), 3, "queue capped");
+        assert_eq!(c.coordinator_stats().hints_dropped(), 2);
+        // Replay delivers the *newest* hints: recovered node alone serves
+        // the rows whose hints survived the cap.
+        c.bring_node_up(owners[2]);
+        for other in &owners[..2] {
+            c.take_node_down(*other);
+        }
+        let rows = c
+            .select("event_by_time")
+            .partition(vec![Value::BigInt(7), Value::text("MCE")])
+            .run(Consistency::One)
+            .unwrap();
+        assert_eq!(rows.len(), 3, "ts 3..=5 survived, ts 1..=2 dropped");
     }
 
     #[test]

@@ -106,6 +106,7 @@ pub struct CoordinatorStats {
     speculative_retries: AtomicU64,
     read_multi_batches: AtomicU64,
     read_multi_plans: AtomicU64,
+    hints_dropped: AtomicU64,
 }
 
 impl CoordinatorStats {
@@ -137,6 +138,15 @@ impl CoordinatorStats {
             .set(plans as i64);
     }
 
+    /// Records a hinted-handoff mutation evicted because the target node's
+    /// hint queue hit its cap (the node must rely on read repair for it).
+    pub fn record_hint_dropped(&self) {
+        self.hints_dropped.fetch_add(1, Ordering::Relaxed);
+        telemetry::global()
+            .counter("rasdb.coordinator.hints_dropped")
+            .incr(1);
+    }
+
     /// Down replicas skipped before dispatch.
     pub fn replica_skipped(&self) -> u64 {
         self.replica_skipped.load(Ordering::Relaxed)
@@ -155,6 +165,11 @@ impl CoordinatorStats {
     /// Total plans fanned out across all batches.
     pub fn read_multi_plans(&self) -> u64 {
         self.read_multi_plans.load(Ordering::Relaxed)
+    }
+
+    /// Hints evicted by the hint-queue cap.
+    pub fn hints_dropped(&self) -> u64 {
+        self.hints_dropped.load(Ordering::Relaxed)
     }
 }
 

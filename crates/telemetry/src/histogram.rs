@@ -18,12 +18,19 @@ pub struct Histogram {
 /// Point-in-time summary of a [`Histogram`].
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct HistogramSummary {
+    /// Observations recorded.
     pub count: u64,
+    /// Sum of all recorded values.
     pub sum: u64,
+    /// `sum / count` (0.0 when empty).
     pub mean: f64,
+    /// Estimated median (bucket upper bound).
     pub p50: u64,
+    /// Estimated 95th percentile.
     pub p95: u64,
+    /// Estimated 99th percentile.
     pub p99: u64,
+    /// Largest value recorded (exact).
     pub max: u64,
 }
 
@@ -45,6 +52,7 @@ fn bucket_upper_bound(index: usize) -> u64 {
 }
 
 impl Histogram {
+    /// Creates an empty histogram.
     pub fn new() -> Self {
         Self {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
@@ -65,10 +73,12 @@ impl Histogram {
         self.max.fetch_max(value, Ordering::Relaxed);
     }
 
+    /// Records a duration as nanoseconds (saturating at `u64::MAX`).
     pub fn record_duration(&self, duration: std::time::Duration) {
         self.record(duration.as_nanos().min(u64::MAX as u128) as u64);
     }
 
+    /// Observations recorded so far.
     pub fn count(&self) -> u64 {
         self.count.load(Ordering::Relaxed)
     }
@@ -91,6 +101,7 @@ impl Histogram {
         self.max.load(Ordering::Relaxed)
     }
 
+    /// Point-in-time summary: count, sum, mean, and quantile estimates.
     pub fn summary(&self) -> HistogramSummary {
         let count = self.count();
         let sum = self.sum.load(Ordering::Relaxed);
@@ -109,6 +120,7 @@ impl Histogram {
         }
     }
 
+    /// Zeroes every bucket and counter.
     pub fn reset(&self) {
         for b in &self.buckets {
             b.store(0, Ordering::Relaxed);

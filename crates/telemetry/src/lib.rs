@@ -17,6 +17,8 @@
 //! Everything is cheap when disabled: each record is a single relaxed
 //! atomic load and branch after [`set_enabled`]`(false)`.
 
+#![deny(missing_docs)]
+
 mod histogram;
 mod registry;
 mod span;
@@ -35,6 +37,7 @@ pub fn set_enabled(enabled: bool) {
     ENABLED.store(enabled, Ordering::Relaxed);
 }
 
+/// Whether telemetry is currently recording.
 #[inline]
 pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)

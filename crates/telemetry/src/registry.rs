@@ -12,12 +12,14 @@ pub struct Counter {
 }
 
 impl Counter {
+    /// Adds `n` to the counter (no-op while telemetry is disabled).
     pub fn incr(&self, n: u64) {
         if crate::enabled() {
             self.value.fetch_add(n, Ordering::Relaxed);
         }
     }
 
+    /// Current count.
     pub fn get(&self) -> u64 {
         self.value.load(Ordering::Relaxed)
     }
@@ -30,18 +32,21 @@ pub struct Gauge {
 }
 
 impl Gauge {
+    /// Overwrites the gauge (no-op while telemetry is disabled).
     pub fn set(&self, v: i64) {
         if crate::enabled() {
             self.value.store(v, Ordering::Relaxed);
         }
     }
 
+    /// Shifts the gauge by `delta` (no-op while telemetry is disabled).
     pub fn add(&self, delta: i64) {
         if crate::enabled() {
             self.value.fetch_add(delta, Ordering::Relaxed);
         }
     }
 
+    /// Current value.
     pub fn get(&self) -> i64 {
         self.value.load(Ordering::Relaxed)
     }
@@ -59,8 +64,11 @@ pub struct Registry {
 /// Machine-readable view of every instrument at one moment.
 #[derive(Clone, Debug, Default)]
 pub struct Snapshot {
+    /// Every counter's name and current count, name-sorted.
     pub counters: Vec<(String, u64)>,
+    /// Every gauge's name and current value, name-sorted.
     pub gauges: Vec<(String, i64)>,
+    /// Every histogram's name and summary, name-sorted.
     pub histograms: Vec<(String, HistogramSummary)>,
 }
 
@@ -79,18 +87,22 @@ impl Registry {
         GLOBAL.get_or_init(Registry::default)
     }
 
+    /// The counter named `name`, created on first use.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
         intern(&self.counters, name)
     }
 
+    /// The gauge named `name`, created on first use.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
         intern(&self.gauges, name)
     }
 
+    /// The histogram named `name`, created on first use.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
         intern(&self.histograms, name)
     }
 
+    /// A point-in-time copy of every instrument.
     pub fn snapshot(&self) -> Snapshot {
         Snapshot {
             counters: self

@@ -13,12 +13,17 @@ pub const TRACE_CAPACITY: usize = 4096;
 /// One completed span in the trace log.
 #[derive(Clone, Debug)]
 pub struct SpanRecord {
+    /// Unique id within the process.
     pub id: u64,
+    /// Id of the enclosing span, if any.
     pub parent: Option<u64>,
+    /// Span name (the `crate.component.op` string given to `span!`).
     pub name: &'static str,
     /// Start time in microseconds since the first span of the process.
     pub start_us: u64,
+    /// Wall-clock duration of the region.
     pub duration_ns: u64,
+    /// Key/value annotations attached via [`SpanGuard::tag`].
     pub tags: Vec<(&'static str, String)>,
 }
 
@@ -78,6 +83,7 @@ struct ActiveSpan {
 }
 
 impl SpanGuard {
+    /// Enters a span parented to this thread's innermost open span.
     pub fn enter(name: &'static str) -> Self {
         Self::start(name, active_span(), true)
     }
