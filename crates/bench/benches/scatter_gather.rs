@@ -59,6 +59,10 @@ fn seeded() -> Cluster {
         }
     }
     cluster.flush_all();
+    // This bench measures coordination strategy, not caching: disable the
+    // partition-block cache so every iteration pays the simulated replica
+    // service time (the cache has its own bench, query_cache).
+    cluster.set_block_cache_budget(0);
     // Simulated service latency goes on AFTER seeding so the writes above
     // stay fast.
     for n in 0..cluster.node_count() {

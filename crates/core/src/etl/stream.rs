@@ -195,8 +195,12 @@ impl<'f> StreamIngester<'f> {
         cfg: StreamConfig,
     ) -> Result<Self, BusError> {
         let consumer = Consumer::new(fw.bus(), group, RAW_LOG_TOPIC)?;
+        // Every flushed window is about to land in the event tables, so any
+        // memoized answer over the still-open hour is about to go stale.
+        let result_cache = std::sync::Arc::clone(fw.result_cache());
         let mut batcher = MicroBatcher::with_lateness(WINDOW_MS, cfg.lateness_ms)
             .with_high_watermark(cfg.high_watermark)
+            .with_flush_listener(move |_window_start| result_cache.invalidate_open())
             .with_compactor(|bucket: Vec<Tracked>| {
                 coalesce(
                     bucket,
@@ -420,7 +424,14 @@ impl<'f> StreamIngester<'f> {
                 },
             )
             .collect();
-        if self.consumer.commit_through(&safe, self.watermark).is_err() {
+        if self.consumer.commit_through(&safe, self.watermark).is_ok() {
+            // Advance the framework's ingest watermark and drop memoized
+            // answers over the (previously) open hour: a window closes only
+            // once its data is durably committed.
+            if self.watermark != i64::MIN {
+                self.fw.note_ingest_commit(self.watermark);
+            }
+        } else {
             // Injected commit fault: positions are untouched, the next
             // step's commit covers this one (at-least-once, maybe replay).
             self.report.commit_failures += 1;

@@ -3,6 +3,7 @@
 
 use crate::model::event::EventRecord;
 use crate::model::{apprun::AppRun, keys, nodeinfo, tables};
+use crate::server::cache::ResultCache;
 use logbus::Broker;
 use loggen::events::EVENT_CATALOG;
 use loggen::topology::Topology;
@@ -12,6 +13,7 @@ use rasdb::query::{Consistency, ReadPlan};
 use rasdb::types::{Key, Value};
 use sparklet::pool::current_worker;
 use sparklet::{Rdd, SparkletContext};
+use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
 
 /// Deployment parameters.
@@ -37,6 +39,11 @@ pub struct FrameworkConfig {
     /// this parameter to reproduce that comparison (1 Gbit/s default,
     /// a typical virtualized-cluster link).
     pub remote_link_bytes_per_sec: Option<u64>,
+    /// Byte budget for the coordinator's partition-block cache
+    /// (0 disables it).
+    pub block_cache_bytes: usize,
+    /// Byte budget for the analytics result cache (0 disables it).
+    pub result_cache_bytes: usize,
 }
 
 impl Default for FrameworkConfig {
@@ -49,6 +56,8 @@ impl Default for FrameworkConfig {
             topology: Topology::scaled(5, 4),
             consistency: Consistency::Quorum,
             remote_link_bytes_per_sec: Some(125_000_000), // 1 Gbit/s
+            block_cache_bytes: rasdb::cluster::DEFAULT_BLOCK_CACHE_BYTES,
+            result_cache_bytes: crate::server::cache::DEFAULT_RESULT_CACHE_BYTES,
         }
     }
 }
@@ -61,6 +70,11 @@ pub struct Framework {
     topology: Topology,
     consistency: Consistency,
     remote_link_bytes_per_sec: Option<u64>,
+    result_cache: Arc<ResultCache>,
+    /// Highest timestamp streaming ingestion has committed through;
+    /// `i64::MIN` until the first commit. Windows ending past this are
+    /// "open": cached results for them are dropped on every commit.
+    ingest_watermark: AtomicI64,
 }
 
 /// The bus topic raw log lines are published to.
@@ -79,6 +93,7 @@ impl Framework {
             replication_factor: cfg.replication_factor,
             vnodes: cfg.vnodes,
         }));
+        cluster.set_block_cache_budget(cfg.block_cache_bytes);
         tables::create_all(&cluster)?;
         nodeinfo::populate(&cluster, &cfg.topology)?;
         for etype in EVENT_CATALOG {
@@ -106,6 +121,8 @@ impl Framework {
             topology: cfg.topology,
             consistency: cfg.consistency,
             remote_link_bytes_per_sec: cfg.remote_link_bytes_per_sec,
+            result_cache: Arc::new(ResultCache::new(cfg.result_cache_bytes)),
+            ingest_watermark: AtomicI64::new(i64::MIN),
         })
     }
 
@@ -132,6 +149,46 @@ impl Framework {
     /// The framework's default consistency level.
     pub fn consistency(&self) -> Consistency {
         self.consistency
+    }
+
+    /// The analytics result cache (see [`crate::server::cache`]).
+    pub fn result_cache(&self) -> &Arc<ResultCache> {
+        &self.result_cache
+    }
+
+    /// The streaming ingest watermark: every event at or below this
+    /// timestamp has been committed by streaming ingestion. `i64::MIN`
+    /// until the first commit, so every window counts as open before
+    /// streaming starts.
+    pub fn ingest_watermark(&self) -> i64 {
+        self.ingest_watermark.load(Ordering::SeqCst)
+    }
+
+    /// Records a streaming commit through `watermark_ms`: advances the
+    /// ingest watermark (monotonically) and drops every open-window entry
+    /// from the result cache. Called by
+    /// [`StreamIngester`](crate::etl::stream::StreamIngester) after each
+    /// successful offset commit.
+    pub fn note_ingest_commit(&self, watermark_ms: i64) {
+        self.ingest_watermark
+            .fetch_max(watermark_ms, Ordering::SeqCst);
+        self.result_cache.invalidate_open();
+    }
+
+    /// The `(table, partition)` pairs a window read touches — one per
+    /// hour bucket, mirroring [`Framework::window_plans`]. Result-cache
+    /// entries list these as their dependencies so a write to any of them
+    /// invalidates the memoized answer.
+    pub fn window_deps(
+        table: &str,
+        fixed: Option<&str>,
+        from_ms: i64,
+        to_ms: i64,
+    ) -> Vec<(String, Key)> {
+        Self::window_plans(table, fixed, from_ms, to_ms)
+            .into_iter()
+            .map(|p| (p.table, p.partition))
+            .collect()
     }
 
     /// Inserts one event into both event tables (the dual views).

@@ -1,0 +1,247 @@
+//! The analytics result cache: complete engine responses memoized behind
+//! the typed query layer.
+//!
+//! Entries store an op's canonical `data` fields — never the envelope —
+//! so `"compat": true` requests share entries with v1 requests (the
+//! envelope and any flat mirror are re-assembled per response). Each
+//! entry carries the `(table, partition)` pairs the answer was computed
+//! from, the cluster data version of each at snapshot time, and the
+//! topology epoch. Validation is lazy: every hit re-checks those tags, so
+//! any write path — batch ETL, direct inserts, streaming, CQL — drops
+//! stale entries automatically, exactly like the partition-block cache
+//! one tier below (see [`rasdb::cache`]).
+//!
+//! On top of lazy validation, entries whose window overlaps the *open*
+//! hour (extends past the streaming ingest watermark) are tagged
+//! [`ResultEntry::open`] and dropped eagerly by [`ResultCache::invalidate_open`]
+//! whenever a streaming micro-batch commits: closed windows are immutable
+//! and cache indefinitely, open windows live only until the next commit.
+
+use jsonlite::Value as Json;
+use rasdb::cache::LruCache;
+use rasdb::cluster::Cluster;
+use rasdb::stats::CacheStats;
+use rasdb::types::Key;
+use std::sync::Mutex;
+
+/// Default byte budget for the analytics result cache.
+pub const DEFAULT_RESULT_CACHE_BYTES: usize = 8 << 20;
+
+/// One memoized engine response with its validity tags.
+#[derive(Debug, Clone)]
+pub struct ResultEntry {
+    /// The op's `data` fields, exactly as the uncached op returned them.
+    pub data: Vec<(String, Json)>,
+    /// `(table, partition)` pairs the answer was computed from.
+    pub deps: Vec<(String, Key)>,
+    /// [`Cluster::data_version`] of each dep, snapshotted *before* the
+    /// compute read any replica.
+    pub versions: Vec<u64>,
+    /// [`Cluster::topology_epoch`] at snapshot time.
+    pub epoch: u64,
+    /// Whether the query window extends past the ingest watermark: open
+    /// entries are dropped on every streaming commit.
+    pub open: bool,
+}
+
+/// Approximate footprint of an entry, for byte budgeting: serialized JSON
+/// length plus dep tags and a fixed overhead. Exactness does not matter,
+/// monotonicity in data size does.
+fn footprint(key_len: usize, e: &ResultEntry) -> usize {
+    let data: usize = e
+        .data
+        .iter()
+        .map(|(k, v)| k.len() + v.to_string().len())
+        .sum();
+    let deps: usize = e
+        .deps
+        .iter()
+        .map(|(t, p)| t.len() + p.encode().len() + 8)
+        .sum();
+    key_len + data + deps + 64
+}
+
+/// A byte-budgeted LRU over complete analytics responses, keyed by the
+/// canonical form of the typed [`QueryRequest`](crate::server::QueryRequest).
+#[derive(Debug)]
+pub struct ResultCache {
+    inner: Mutex<LruCache<ResultEntry>>,
+    stats: CacheStats,
+}
+
+impl ResultCache {
+    /// Creates a cache bounded by `budget_bytes` (0 disables it).
+    pub fn new(budget_bytes: usize) -> ResultCache {
+        ResultCache {
+            inner: Mutex::new(LruCache::new(budget_bytes)),
+            stats: CacheStats::new("result"),
+        }
+    }
+
+    /// Replaces the byte budget; shrinking evicts, zero clears and
+    /// disables.
+    pub fn set_budget(&self, bytes: usize) {
+        let evicted = self.inner.lock().unwrap().set_budget(bytes);
+        self.stats.record_evictions(evicted);
+    }
+
+    /// Hit/miss/evict/invalidate counters (`cache.result.*` in the global
+    /// telemetry registry).
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().unwrap().is_empty()
+    }
+
+    /// Looks up a canonical key, lazily validating the entry against the
+    /// cluster's current data versions and topology epoch. A stale entry
+    /// is removed and reported as an invalidation + miss.
+    pub fn lookup(&self, cluster: &Cluster, key: &[u8]) -> Option<Vec<(String, Json)>> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.budget() == 0 {
+            return None;
+        }
+        let Some(entry) = inner.get(key) else {
+            self.stats.record_miss();
+            return None;
+        };
+        let valid = entry.epoch == cluster.topology_epoch()
+            && entry
+                .deps
+                .iter()
+                .zip(&entry.versions)
+                .all(|((t, p), v)| cluster.data_version(t, p) == *v);
+        if valid {
+            let data = entry.data.clone();
+            self.stats.record_hit();
+            Some(data)
+        } else {
+            inner.remove(key);
+            self.stats.record_invalidations(1);
+            self.stats.record_miss();
+            None
+        }
+    }
+
+    /// Stores a computed response under its canonical key.
+    pub fn store(&self, key: Vec<u8>, entry: ResultEntry) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.budget() == 0 {
+            return;
+        }
+        let bytes = footprint(key.len(), &entry);
+        let evicted = inner.insert(key, entry, bytes);
+        self.stats.record_evictions(evicted);
+    }
+
+    /// Drops every open-window (watermark-tagged) entry. Streaming
+    /// ingestion calls this on each micro-batch commit.
+    pub fn invalidate_open(&self) {
+        let removed = self.inner.lock().unwrap().retain(|_, e| !e.open);
+        self.stats.record_invalidations(removed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rasdb::cluster::ClusterConfig;
+    use rasdb::query::Consistency;
+    use rasdb::schema::{ColumnType, TableSchema};
+    use rasdb::types::Value;
+
+    fn cluster() -> Cluster {
+        let c = Cluster::new(ClusterConfig {
+            nodes: 2,
+            replication_factor: 1,
+            vnodes: 4,
+        });
+        c.create_table(
+            TableSchema::builder("t")
+                .partition_key("pk", ColumnType::BigInt)
+                .clustering_key("ck", ColumnType::BigInt)
+                .column("v", ColumnType::Int)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        c
+    }
+
+    fn entry(cluster: &Cluster, open: bool) -> ResultEntry {
+        let dep = ("t".to_owned(), Key(vec![Value::BigInt(1)]));
+        ResultEntry {
+            data: vec![("total".to_owned(), Json::from(42i64))],
+            versions: vec![cluster.data_version(&dep.0, &dep.1)],
+            deps: vec![dep],
+            epoch: cluster.topology_epoch(),
+            open,
+        }
+    }
+
+    fn write(cluster: &Cluster, pk: i64) {
+        cluster
+            .insert(
+                "t",
+                vec![
+                    ("pk", Value::BigInt(pk)),
+                    ("ck", Value::BigInt(0)),
+                    ("v", Value::Int(1)),
+                ],
+                Consistency::One,
+            )
+            .unwrap();
+    }
+
+    #[test]
+    fn hit_then_write_invalidates() {
+        let c = cluster();
+        let cache = ResultCache::new(1 << 20);
+        cache.store(b"k".to_vec(), entry(&c, false));
+        assert_eq!(
+            cache.lookup(&c, b"k").unwrap()[0].1.as_i64(),
+            Some(42),
+            "valid entry hits"
+        );
+        assert_eq!(cache.stats().hits(), 1);
+        // A write to the dep partition makes the tag stale.
+        write(&c, 1);
+        assert!(cache.lookup(&c, b"k").is_none());
+        assert_eq!(cache.stats().invalidations(), 1);
+        assert_eq!(cache.stats().misses(), 1);
+        // A write elsewhere leaves a fresh entry valid.
+        cache.store(b"k".to_vec(), entry(&c, false));
+        write(&c, 2);
+        assert!(cache.lookup(&c, b"k").is_some());
+    }
+
+    #[test]
+    fn invalidate_open_drops_only_watermark_tagged_entries() {
+        let c = cluster();
+        let cache = ResultCache::new(1 << 20);
+        cache.store(b"closed".to_vec(), entry(&c, false));
+        cache.store(b"open".to_vec(), entry(&c, true));
+        cache.invalidate_open();
+        assert_eq!(cache.stats().invalidations(), 1);
+        assert!(cache.lookup(&c, b"open").is_none());
+        assert!(cache.lookup(&c, b"closed").is_some());
+    }
+
+    #[test]
+    fn zero_budget_disables_without_stats_noise() {
+        let c = cluster();
+        let cache = ResultCache::new(0);
+        cache.store(b"k".to_vec(), entry(&c, false));
+        assert!(cache.lookup(&c, b"k").is_none());
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().hits() + cache.stats().misses(), 0);
+    }
+}

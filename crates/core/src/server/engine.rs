@@ -13,12 +13,15 @@
 use crate::analytics::distribution::{distribution_of, GroupBy};
 use crate::analytics::{correlation, heatmap, histogram, synopsis, text, transfer_entropy};
 use crate::framework::Framework;
+use crate::model::keys::{DAY_MS, HOUR_MS};
 use crate::model::nodeinfo;
+use crate::server::cache::ResultEntry;
 use crate::server::request::{
     envelope_err, envelope_ok, ApiError, Cursor, ErrorCode, OpOutput, Page, QueryRequest,
 };
 use jsonlite::{json_array, json_object, Value as Json};
 use rasdb::cluster::ExecResult;
+use rasdb::types::Key;
 use std::sync::Arc;
 
 /// The analytics server's query dispatcher.
@@ -38,23 +41,73 @@ impl QueryEngine {
     }
 
     /// Handles one JSON request string; always returns a JSON response
-    /// in the envelope format (`status` plus `data`/`error`).
+    /// in the v1 envelope format (`v`, `status`, `data`/`error`, `page`;
+    /// flat legacy mirrors only when the request carries `"compat": true`).
     pub fn handle(&self, request: &str) -> String {
         let mut span = telemetry::span!("server.request");
         let response = match jsonlite::parse(request) {
-            Err(e) => envelope_err(&ApiError::new(ErrorCode::BadJson, format!("bad JSON: {e}"))),
-            Ok(body) => match QueryRequest::parse(&body) {
-                Err(e) => envelope_err(&e),
-                Ok(req) => {
-                    span.tag("op", &req.op);
-                    match self.dispatch(&req) {
-                        Ok(out) => envelope_ok(out),
-                        Err(e) => envelope_err(&e),
+            Err(e) => envelope_err(
+                &ApiError::new(ErrorCode::BadJson, format!("bad JSON: {e}")),
+                false,
+            ),
+            Ok(body) => {
+                let compat = body["compat"].as_bool() == Some(true);
+                match QueryRequest::parse(&body) {
+                    Err(e) => envelope_err(&e, compat),
+                    Ok(req) => {
+                        span.tag("op", &req.op);
+                        match self.dispatch(&req) {
+                            Ok(out) => envelope_ok(out, compat),
+                            Err(e) => envelope_err(&e, compat),
+                        }
                     }
                 }
-            },
+            }
         };
         response.to_string()
+    }
+
+    /// Whether a window ending at `to` extends past the streaming ingest
+    /// watermark (i.e. overlaps the open, still-filling hour).
+    fn window_open(&self, to: i64) -> bool {
+        to > self.fw.ingest_watermark()
+    }
+
+    /// Runs `compute` through the result cache. A validated hit returns
+    /// the memoized `data` fields verbatim; a miss snapshots the topology
+    /// epoch and every dependency's data version *before* computing (so a
+    /// write racing the compute can only make the stored entry stale,
+    /// never silently current), then stores the result. Errors are never
+    /// cached.
+    fn cached(
+        &self,
+        key: Vec<u8>,
+        deps: Vec<(String, Key)>,
+        open: bool,
+        compute: impl FnOnce() -> Result<OpOutput, ApiError>,
+    ) -> Result<OpOutput, ApiError> {
+        let cache = self.fw.result_cache();
+        let cluster = self.fw.cluster();
+        if let Some(data) = cache.lookup(cluster, &key) {
+            return Ok(OpOutput { data, page: None });
+        }
+        let epoch = cluster.topology_epoch();
+        let versions = deps
+            .iter()
+            .map(|(t, p)| cluster.data_version(t, p))
+            .collect();
+        let out = compute()?;
+        cache.store(
+            key,
+            ResultEntry {
+                data: out.data.clone(),
+                deps,
+                versions,
+                epoch,
+                open,
+            },
+        );
+        Ok(out)
     }
 
     fn dispatch(&self, req: &QueryRequest) -> Result<OpOutput, ApiError> {
@@ -150,108 +203,193 @@ impl QueryEngine {
 
     fn op_heatmap(&self, req: &QueryRequest) -> Result<OpOutput, ApiError> {
         let (from, to) = req.window()?;
-        let t = req.str_field("type")?;
-        let hm = heatmap::cabinet_heatmap(&self.fw, t, from, to)?;
-        Ok(OpOutput::data([
-            ("cabinets", json_array(hm.cabinets.clone())),
-            ("total", Json::from(hm.total)),
-            ("hottest", Json::from(hm.hottest)),
-            ("mean", Json::from(hm.mean)),
-            ("stddev", Json::from(hm.stddev)),
-            (
-                "outliers",
-                json_array(hm.outliers(2.0).into_iter().map(Json::from)),
-            ),
-        ]))
+        let t = req.str_field("type")?.to_owned();
+        let key = cache_key(&["heatmap", &t, &from.to_string(), &to.to_string()]);
+        let deps = Framework::window_deps("event_by_time", Some(&t), from, to);
+        self.cached(key, deps, self.window_open(to), || {
+            let hm = heatmap::cabinet_heatmap(&self.fw, &t, from, to)?;
+            Ok(OpOutput::data([
+                ("cabinets", json_array(hm.cabinets.clone())),
+                ("total", Json::from(hm.total)),
+                ("hottest", Json::from(hm.hottest)),
+                ("mean", Json::from(hm.mean)),
+                ("stddev", Json::from(hm.stddev)),
+                (
+                    "outliers",
+                    json_array(hm.outliers(2.0).into_iter().map(Json::from)),
+                ),
+            ]))
+        })
     }
 
     fn op_distribution(&self, req: &QueryRequest) -> Result<OpOutput, ApiError> {
         let ctx = req.context()?;
-        let by = match req.opt_str("by").unwrap_or("cabinet") {
+        let by_name = req.opt_str("by").unwrap_or("cabinet");
+        let by = match by_name {
             "cabinet" => GroupBy::Cabinet,
             "blade" => GroupBy::Blade,
             "node" => GroupBy::Node,
             "application" | "app" => GroupBy::Application,
             other => return Err(ApiError::bad_request(format!("unknown grouping '{other}'"))),
         };
-        let events = ctx.fetch_events(&self.fw)?;
-        let d = distribution_of(&self.fw, &events, by)?;
-        Ok(OpOutput::data([
-            (
-                "entries",
-                json_array(
-                    d.entries
-                        .iter()
-                        .map(|(l, c)| json_array([Json::from(l.as_str()), Json::from(*c)])),
+        let compute = || {
+            let events = ctx.fetch_events(&self.fw)?;
+            let d = distribution_of(&self.fw, &events, by)?;
+            Ok(OpOutput::data([
+                (
+                    "entries",
+                    json_array(
+                        d.entries
+                            .iter()
+                            .map(|(l, c)| json_array([Json::from(l.as_str()), Json::from(*c)])),
+                    ),
                 ),
-            ),
-            ("unattributed", Json::from(d.unattributed)),
-        ]))
+                ("unattributed", Json::from(d.unattributed)),
+            ]))
+        };
+        // Only the pure (type, window) selection is memoized; source,
+        // cabinet, user, and app filters join per-request state whose
+        // dependencies are not expressible as hour partitions.
+        let Some(t) = ctx.event_type.clone() else {
+            return compute();
+        };
+        if ctx.source.is_some() || ctx.cabinet.is_some() || ctx.user.is_some() || ctx.app.is_some()
+        {
+            return compute();
+        }
+        let (from, to) = (ctx.from_ms, ctx.to_ms);
+        let key = cache_key(&[
+            "distribution",
+            &t,
+            by_name,
+            &from.to_string(),
+            &to.to_string(),
+        ]);
+        let mut deps = Framework::window_deps("event_by_time", Some(&t), from, to);
+        if by == GroupBy::Application {
+            // Attribution joins runs that may have started up to a day
+            // earlier (see `distribution_of`): depend on that superset.
+            deps.extend(Framework::window_deps(
+                "application_by_time",
+                None,
+                from.saturating_sub(24 * HOUR_MS),
+                to,
+            ));
+        }
+        self.cached(key, deps, self.window_open(to), compute)
     }
 
     fn op_histogram(&self, req: &QueryRequest) -> Result<OpOutput, ApiError> {
         let (from, to) = req.window()?;
-        let t = req.str_field("type")?;
-        let bin = req.i64_or("bin_ms", 3_600_000);
-        if bin <= 0 {
-            return Err(ApiError::bad_request("'bin_ms' must be positive"));
-        }
-        let h = histogram::event_histogram(&self.fw, t, from, to, bin)?;
-        Ok(OpOutput::data([
-            ("from", Json::from(h.from_ms)),
-            ("bin_ms", Json::from(h.bin_ms)),
-            ("bins", json_array(h.bins.clone())),
-        ]))
+        let t = req.str_field("type")?.to_owned();
+        let bin = req.pos_i64_or("bin_ms", 3_600_000)?;
+        let key = cache_key(&[
+            "histogram",
+            &t,
+            &from.to_string(),
+            &to.to_string(),
+            &bin.to_string(),
+        ]);
+        let deps = Framework::window_deps("event_by_time", Some(&t), from, to);
+        self.cached(key, deps, self.window_open(to), || {
+            let h = histogram::event_histogram(&self.fw, &t, from, to, bin)?;
+            Ok(OpOutput::data([
+                ("from", Json::from(h.from_ms)),
+                ("bin_ms", Json::from(h.bin_ms)),
+                ("bins", json_array(h.bins.clone())),
+            ]))
+        })
     }
 
     fn op_transfer_entropy(&self, req: &QueryRequest) -> Result<OpOutput, ApiError> {
         let (from, to) = req.window()?;
-        let x = req.str_field("x")?;
-        let y = req.str_field("y")?;
-        let bin = req.i64_or("bin_ms", 60_000).max(1);
-        let max_lag = req.i64_or("max_lag", 10).max(1) as usize;
-        let sweep = transfer_entropy::te_lag_sweep(&self.fw, x, y, from, to, bin, max_lag)?;
-        Ok(OpOutput::data([(
-            "lags",
-            json_array(sweep.iter().map(|(lag, te)| {
-                json_object([
-                    ("lag", Json::from(*lag)),
-                    ("x_to_y", Json::from(te.x_to_y)),
-                    ("y_to_x", Json::from(te.y_to_x)),
-                ])
-            })),
-        )]))
+        let x = req.str_field("x")?.to_owned();
+        let y = req.str_field("y")?.to_owned();
+        let bin = req.pos_i64_or("bin_ms", 60_000)?;
+        let max_lag = req.pos_i64_or("max_lag", 10)? as usize;
+        let key = cache_key(&[
+            "transfer_entropy",
+            &x,
+            &y,
+            &from.to_string(),
+            &to.to_string(),
+            &bin.to_string(),
+            &max_lag.to_string(),
+        ]);
+        let mut deps = Framework::window_deps("event_by_time", Some(&x), from, to);
+        deps.extend(Framework::window_deps("event_by_time", Some(&y), from, to));
+        self.cached(key, deps, self.window_open(to), || {
+            let sweep = transfer_entropy::te_lag_sweep(&self.fw, &x, &y, from, to, bin, max_lag)?;
+            Ok(OpOutput::data([(
+                "lags",
+                json_array(sweep.iter().map(|(lag, te)| {
+                    json_object([
+                        ("lag", Json::from(*lag)),
+                        ("x_to_y", Json::from(te.x_to_y)),
+                        ("y_to_x", Json::from(te.y_to_x)),
+                    ])
+                })),
+            )]))
+        })
     }
 
     fn op_cross_correlation(&self, req: &QueryRequest) -> Result<OpOutput, ApiError> {
         let (from, to) = req.window()?;
-        let a = req.str_field("x")?;
-        let b = req.str_field("y")?;
-        let bin = req.i64_or("bin_ms", 60_000).max(1);
-        let max_lag = req.i64_or("max_lag", 10).max(0) as usize;
-        let xc = correlation::event_cross_correlation(&self.fw, a, b, from, to, bin, max_lag)?;
-        Ok(OpOutput::data([(
-            "correlations",
-            json_array(
-                xc.iter()
-                    .map(|(lag, r)| json_array([Json::from(*lag), Json::from(*r)])),
-            ),
-        )]))
+        let a = req.str_field("x")?.to_owned();
+        let b = req.str_field("y")?.to_owned();
+        let bin = req.pos_i64_or("bin_ms", 60_000)?;
+        let max_lag = req.i64_or("max_lag", 10)?;
+        if max_lag < 0 {
+            return Err(ApiError::bad_request("'max_lag' must be non-negative"));
+        }
+        let max_lag = max_lag as usize;
+        let key = cache_key(&[
+            "cross_correlation",
+            &a,
+            &b,
+            &from.to_string(),
+            &to.to_string(),
+            &bin.to_string(),
+            &max_lag.to_string(),
+        ]);
+        let mut deps = Framework::window_deps("event_by_time", Some(&a), from, to);
+        deps.extend(Framework::window_deps("event_by_time", Some(&b), from, to));
+        self.cached(key, deps, self.window_open(to), || {
+            let xc =
+                correlation::event_cross_correlation(&self.fw, &a, &b, from, to, bin, max_lag)?;
+            Ok(OpOutput::data([(
+                "correlations",
+                json_array(
+                    xc.iter()
+                        .map(|(lag, r)| json_array([Json::from(*lag), Json::from(*r)])),
+                ),
+            )]))
+        })
     }
 
     fn op_wordcount(&self, req: &QueryRequest) -> Result<OpOutput, ApiError> {
         let (from, to) = req.window()?;
-        let t = req.event_type.as_deref().unwrap_or("LUSTRE_ERR");
-        let k = req.i64_or("top", 20).max(1) as usize;
-        let counts = text::word_count_events(&self.fw, t, from, to)?;
-        let top = text::top_k(&counts, k);
-        Ok(OpOutput::data([(
-            "terms",
-            json_array(
-                top.iter()
-                    .map(|(w, c)| json_array([Json::from(w.as_str()), Json::from(*c)])),
-            ),
-        )]))
+        let t = req.event_type.as_deref().unwrap_or("LUSTRE_ERR").to_owned();
+        let k = req.pos_i64_or("top", 20)? as usize;
+        let key = cache_key(&[
+            "wordcount",
+            &t,
+            &from.to_string(),
+            &to.to_string(),
+            &k.to_string(),
+        ]);
+        let deps = Framework::window_deps("event_by_time", Some(&t), from, to);
+        self.cached(key, deps, self.window_open(to), || {
+            let counts = text::word_count_events(&self.fw, &t, from, to)?;
+            let top = text::top_k(&counts, k);
+            Ok(OpOutput::data([(
+                "terms",
+                json_array(
+                    top.iter()
+                        .map(|(w, c)| json_array([Json::from(w.as_str()), Json::from(*c)])),
+                ),
+            )]))
+        })
     }
 
     fn op_apps(&self, req: &QueryRequest) -> Result<OpOutput, ApiError> {
@@ -338,28 +476,34 @@ impl QueryEngine {
     }
 
     fn op_synopsis(&self, req: &QueryRequest) -> Result<OpOutput, ApiError> {
-        let day = req.raw["day"]
-            .as_i64()
-            .ok_or_else(|| ApiError::bad_request("missing 'day'"))?;
-        let rows = synopsis::read_synopsis(&self.fw, day)?;
-        Ok(OpOutput::data([(
-            "rows",
-            json_array(rows.iter().map(|r| {
-                json_object([
-                    ("hour", Json::from(r.hour)),
-                    ("type", Json::from(r.event_type.as_str())),
-                    ("events", Json::from(r.events)),
-                    ("nodes", Json::from(r.nodes)),
-                ])
-            })),
-        )]))
+        let day = req.i64_field("day")?;
+        let key = cache_key(&["synopsis", &day.to_string()]);
+        let deps = vec![(
+            "eventsynopsis".to_owned(),
+            Key(vec![rasdb::types::Value::BigInt(day)]),
+        )];
+        let day_end = day.saturating_add(1).saturating_mul(DAY_MS);
+        self.cached(key, deps, self.window_open(day_end), || {
+            let rows = synopsis::read_synopsis(&self.fw, day)?;
+            Ok(OpOutput::data([(
+                "rows",
+                json_array(rows.iter().map(|r| {
+                    json_object([
+                        ("hour", Json::from(r.hour)),
+                        ("type", Json::from(r.event_type.as_str())),
+                        ("events", Json::from(r.events)),
+                        ("nodes", Json::from(r.nodes)),
+                    ])
+                })),
+            )]))
+        })
     }
 
     fn op_rules(&self, req: &QueryRequest) -> Result<OpOutput, ApiError> {
         use crate::analytics::composite::{mine_from_store, Scope};
         let (from, to) = req.window()?;
-        let window_ms = req.i64_or("window_ms", 60_000).max(1);
-        let min_support = req.i64_or("min_support", 3).max(1) as u64;
+        let window_ms = req.pos_i64_or("window_ms", 60_000)?;
+        let min_support = req.pos_i64_or("min_support", 3)? as u64;
         let scope = match req.opt_str("scope").unwrap_or("node") {
             "node" => Scope::Node,
             "cabinet" => Scope::Cabinet,
@@ -404,9 +548,9 @@ impl QueryEngine {
         let (from, to) = req.window()?;
         let target = req.str_field("target")?;
         let cfg = PredictorConfig {
-            bin_ms: req.i64_or("bin_ms", 60_000).max(1),
-            lead_bins: req.i64_or("lead_bins", 5).max(1) as usize,
-            horizon_bins: req.i64_or("horizon_bins", 5).max(1) as usize,
+            bin_ms: req.pos_i64_or("bin_ms", 60_000)?,
+            lead_bins: req.pos_i64_or("lead_bins", 5)? as usize,
+            horizon_bins: req.pos_i64_or("horizon_bins", 5)? as usize,
         };
         let (predictor, metrics) = train_and_evaluate(&self.fw, target, from, to, cfg, 0.7)?;
         Ok(OpOutput::data([
@@ -441,7 +585,7 @@ impl QueryEngine {
                 etype,
                 from,
                 to,
-                req.i64_or("bin_ms", 3_600_000).max(1),
+                req.pos_i64_or("bin_ms", 3_600_000)?,
             ),
             "te" => views::te_plot_svg(
                 &self.fw,
@@ -449,15 +593,15 @@ impl QueryEngine {
                 req.str_field("y")?,
                 from,
                 to,
-                req.i64_or("bin_ms", 60_000).max(1),
-                req.i64_or("max_lag", 10).max(1) as usize,
+                req.pos_i64_or("bin_ms", 60_000)?,
+                req.pos_i64_or("max_lag", 10)? as usize,
             ),
             "bubbles" => views::word_bubbles_svg(
                 &self.fw,
                 etype,
                 from,
                 to,
-                req.i64_or("top", 15).max(1) as usize,
+                req.pos_i64_or("top", 15)? as usize,
             ),
             other => {
                 return Err(ApiError::new(
@@ -476,7 +620,7 @@ impl QueryEngine {
     /// `max` entries (default 20), without consuming anything.
     fn op_dlq(&self, req: &QueryRequest) -> Result<OpOutput, ApiError> {
         use crate::etl::stream::{dlq_depth, dlq_peek};
-        let max = req.i64_or("max", 20).max(1) as usize;
+        let max = req.pos_i64_or("max", 20)? as usize;
         let depth = dlq_depth(&self.fw).map_err(bus_err)?;
         let entries = dlq_peek(&self.fw, max).map_err(bus_err)?;
         Ok(OpOutput::data([
@@ -506,7 +650,7 @@ impl QueryEngine {
     /// ingest topic. Entries that fail to replay stay queued.
     fn op_dlq_requeue(&self, req: &QueryRequest) -> Result<OpOutput, ApiError> {
         use crate::etl::stream::dlq_requeue;
-        let max = req.i64_or("max", 100).max(1) as usize;
+        let max = req.pos_i64_or("max", 100)? as usize;
         let r = dlq_requeue(&self.fw, max)?;
         Ok(OpOutput::data([
             ("events_reinserted", Json::from(r.events_reinserted as i64)),
@@ -555,6 +699,17 @@ impl QueryEngine {
             )])),
         }
     }
+}
+
+/// Canonical result-cache key: the op name plus every validated request
+/// field that can change the answer, joined with an unprintable separator
+/// (so `("a", "b\x1fc")` and `("a\x1fb", "c")` cannot collide on any
+/// realistic field value). Keys are built *after* validation, from the
+/// typed [`QueryRequest`] fields — never from the raw body — so requests
+/// that produce identical answers share one entry regardless of field
+/// order, whitespace, or `compat`.
+fn cache_key(parts: &[&str]) -> Vec<u8> {
+    parts.join("\x1f").into_bytes()
 }
 
 fn bus_err(e: logbus::BusError) -> ApiError {
@@ -618,12 +773,23 @@ mod tests {
     fn events_roundtrip_through_json() {
         let e = engine();
         let resp = call(&e, r#"{"op":"events","type":"MCE","from":0,"to":3600000}"#);
+        assert_eq!(resp["v"].as_i64(), Some(1));
         assert_eq!(resp["status"].as_str(), Some("ok"));
+        assert_eq!(resp["data"]["rows"].as_array().unwrap().len(), 10);
+        assert_eq!(resp["data"]["rows"][0]["type"].as_str(), Some("MCE"));
+        assert!(resp["data"]["rows"][0]["raw"]
+            .as_str()
+            .unwrap()
+            .contains("bank"));
+        assert!(resp["rows"].is_null(), "no flat mirror without compat");
+        assert!(resp["deprecated"].is_null());
+        // `"compat": true` additionally mirrors every data field flat and
+        // lists the mirrors as deprecated.
+        let resp = call(
+            &e,
+            r#"{"op":"events","type":"MCE","from":0,"to":3600000,"compat":true}"#,
+        );
         assert_eq!(resp["rows"].as_array().unwrap().len(), 10);
-        assert_eq!(resp["rows"][0]["type"].as_str(), Some("MCE"));
-        assert!(resp["rows"][0]["raw"].as_str().unwrap().contains("bank"));
-        // The canonical nested form carries the same rows, and the flat
-        // mirror is flagged deprecated.
         assert_eq!(resp["data"]["rows"].as_array().unwrap().len(), 10);
         assert_eq!(resp["deprecated"][0].as_str(), Some("rows"));
     }
@@ -645,7 +811,7 @@ mod tests {
             };
             let resp = call(&e, &req);
             assert_eq!(resp["status"].as_str(), Some("ok"), "{req}");
-            let rows = resp["rows"].as_array().unwrap();
+            let rows = resp["data"]["rows"].as_array().unwrap();
             assert!(rows.len() <= 3);
             seen.extend(rows.iter().map(|r| r["ts"].as_i64().unwrap()));
             pages += 1;
@@ -682,14 +848,14 @@ mod tests {
                 .unwrap();
         }
         let resp = call(&e, r#"{"op":"apps","from":0,"to":3600000,"limit":4}"#);
-        assert_eq!(resp["runs"].as_array().unwrap().len(), 4);
+        assert_eq!(resp["data"]["runs"].as_array().unwrap().len(), 4);
         assert_eq!(resp["page"]["has_more"].as_bool(), Some(true));
         let cursor = resp["page"]["cursor"].as_str().unwrap().to_owned();
         let resp = call(
             &e,
             &format!(r#"{{"op":"apps","from":0,"to":3600000,"limit":4,"cursor":"{cursor}"}}"#),
         );
-        assert_eq!(resp["runs"].as_array().unwrap().len(), 3);
+        assert_eq!(resp["data"]["runs"].as_array().unwrap().len(), 3);
         assert_eq!(resp["page"]["has_more"].as_bool(), Some(false));
         assert!(resp["page"]["cursor"].is_null());
     }
@@ -717,8 +883,12 @@ mod tests {
             let resp = call(&e, req);
             assert_eq!(resp["status"].as_str(), Some("error"), "{req}");
             assert_eq!(resp["error"]["code"].as_str(), Some(code), "{req}");
-            assert!(!resp["message"].as_str().unwrap().is_empty());
+            assert!(!resp["error"]["message"].as_str().unwrap().is_empty());
+            assert!(resp["message"].is_null(), "no flat mirror without compat");
         }
+        // With compat, errors also mirror `message` flat.
+        let resp = call(&e, r#"{"op":"zap","compat":true}"#);
+        assert_eq!(resp["message"].as_str(), resp["error"]["message"].as_str());
     }
 
     #[test]
@@ -726,14 +896,14 @@ mod tests {
         let e = engine();
         let resp = call(&e, r#"{"op":"heatmap","type":"MCE","from":0,"to":3600000}"#);
         assert_eq!(resp["status"].as_str(), Some("ok"));
-        assert_eq!(resp["cabinets"].as_array().unwrap().len(), 4);
-        assert_eq!(resp["total"].as_f64(), Some(10.0));
+        assert_eq!(resp["data"]["cabinets"].as_array().unwrap().len(), 4);
+        assert_eq!(resp["data"]["total"].as_f64(), Some(10.0));
 
         let resp = call(
             &e,
             r#"{"op":"histogram","type":"MCE","from":0,"to":3600000,"bin_ms":600000}"#,
         );
-        assert_eq!(resp["bins"].as_array().unwrap().len(), 6);
+        assert_eq!(resp["data"]["bins"].as_array().unwrap().len(), 6);
     }
 
     #[test]
@@ -744,7 +914,7 @@ mod tests {
             r#"{"op":"distribution","type":"MCE","from":0,"to":3600000,"by":"node"}"#,
         );
         assert_eq!(resp["status"].as_str(), Some("ok"));
-        assert_eq!(resp["entries"].as_array().unwrap().len(), 4);
+        assert_eq!(resp["data"]["entries"].as_array().unwrap().len(), 4);
     }
 
     #[test]
@@ -754,12 +924,12 @@ mod tests {
             &e,
             r#"{"op":"transfer_entropy","x":"MCE","y":"GPU_DBE","from":0,"to":3600000,"bin_ms":60000,"max_lag":5}"#,
         );
-        assert_eq!(resp["lags"].as_array().unwrap().len(), 5);
+        assert_eq!(resp["data"]["lags"].as_array().unwrap().len(), 5);
         let resp = call(
             &e,
             r#"{"op":"cross_correlation","x":"MCE","y":"GPU_DBE","from":0,"to":3600000,"bin_ms":60000,"max_lag":3}"#,
         );
-        assert_eq!(resp["correlations"].as_array().unwrap().len(), 7);
+        assert_eq!(resp["data"]["correlations"].as_array().unwrap().len(), 7);
     }
 
     #[test]
@@ -769,7 +939,7 @@ mod tests {
             &e,
             r#"{"op":"wordcount","type":"MCE","from":0,"to":3600000,"top":5}"#,
         );
-        let terms = resp["terms"].as_array().unwrap();
+        let terms = resp["data"]["terms"].as_array().unwrap();
         assert!(!terms.is_empty());
         // "Machine" appears in every raw message.
         assert!(terms.iter().any(|t| t[0].as_str() == Some("Machine")));
@@ -780,14 +950,14 @@ mod tests {
         let e = engine();
         let resp = call(&e, r#"{"op":"nodeinfo","cname":"c1-1c2s7n3"}"#);
         assert_eq!(resp["status"].as_str(), Some("ok"));
-        assert_eq!(resp["row"].as_i64(), Some(1));
+        assert_eq!(resp["data"]["row"].as_i64(), Some(1));
 
         let resp = call(
             &e,
             r#"{"op":"cql","q":"SELECT * FROM event_by_time WHERE hour = 0 AND type = 'MCE' LIMIT 3"}"#,
         );
         assert_eq!(resp["status"].as_str(), Some("ok"));
-        assert_eq!(resp["rows"].as_array().unwrap().len(), 3);
+        assert_eq!(resp["data"]["rows"].as_array().unwrap().len(), 3);
     }
 
     #[test]
@@ -815,7 +985,7 @@ mod tests {
             r#"{"op":"rules","from":0,"to":3600000,"window_ms":10000,"scope":"node","min_support":5}"#,
         );
         assert_eq!(resp["status"].as_str(), Some("ok"));
-        let rules = resp["rules"].as_array().unwrap();
+        let rules = resp["data"]["rules"].as_array().unwrap();
         assert!(rules
             .iter()
             .any(|r| r["antecedent"].as_str() == Some("NET_LINK")
@@ -823,14 +993,14 @@ mod tests {
 
         let resp = call(&e, r#"{"op":"profile","app":"VASP"}"#);
         assert_eq!(resp["status"].as_str(), Some("ok"));
-        assert_eq!(resp["runs"].as_i64(), Some(0));
+        assert_eq!(resp["data"]["runs"].as_i64(), Some(0));
 
         let resp = call(
             &e,
             r#"{"op":"predict","target":"LUSTRE_ERR","from":0,"to":3600000,"bin_ms":60000}"#,
         );
         assert_eq!(resp["status"].as_str(), Some("ok"));
-        assert!(resp["weights"].as_object().is_some());
+        assert!(resp["data"]["weights"].as_object().is_some());
     }
 
     #[test]
@@ -841,7 +1011,7 @@ mod tests {
             r#"{"op":"render","view":"heatmap","type":"MCE","from":0,"to":3600000}"#,
         );
         assert_eq!(resp["status"].as_str(), Some("ok"));
-        let svg = resp["svg"].as_str().unwrap();
+        let svg = resp["data"]["svg"].as_str().unwrap();
         assert!(svg.starts_with("<svg"));
         let resp = call(&e, r#"{"op":"render","view":"nope","from":0,"to":1}"#);
         assert_eq!(resp["status"].as_str(), Some("error"));
@@ -855,7 +1025,7 @@ mod tests {
         // An empty DLQ reports zero depth.
         let resp = call(&e, r#"{"op":"dlq"}"#);
         assert_eq!(resp["status"].as_str(), Some("ok"));
-        assert_eq!(resp["depth"].as_i64(), Some(0));
+        assert_eq!(resp["data"]["depth"].as_i64(), Some(0));
         // Ingest a poison line: it dead-letters.
         publish_lines(
             e.framework(),
@@ -872,8 +1042,8 @@ mod tests {
             .run_to_completion(16)
             .unwrap();
         let resp = call(&e, r#"{"op":"dlq","max":5}"#);
-        assert_eq!(resp["depth"].as_i64(), Some(1));
-        let entries = resp["entries"].as_array().unwrap();
+        assert_eq!(resp["data"]["depth"].as_i64(), Some(1));
+        let entries = resp["data"]["entries"].as_array().unwrap();
         assert_eq!(entries.len(), 1);
         assert!(entries[0]["value"]
             .as_str()
@@ -882,10 +1052,10 @@ mod tests {
         // Requeue republishes the line and empties the queue.
         let resp = call(&e, r#"{"op":"dlq_requeue"}"#);
         assert_eq!(resp["status"].as_str(), Some("ok"));
-        assert_eq!(resp["lines_republished"].as_i64(), Some(1));
-        assert_eq!(resp["remaining"].as_i64(), Some(0));
+        assert_eq!(resp["data"]["lines_republished"].as_i64(), Some(1));
+        assert_eq!(resp["data"]["remaining"].as_i64(), Some(0));
         let resp = call(&e, r#"{"op":"dlq"}"#);
-        assert_eq!(resp["depth"].as_i64(), Some(0));
+        assert_eq!(resp["data"]["depth"].as_i64(), Some(0));
     }
 
     #[test]
@@ -903,8 +1073,42 @@ mod tests {
         ] {
             let resp = call(&e, bad);
             assert_eq!(resp["status"].as_str(), Some("error"), "{bad}");
-            assert!(!resp["message"].as_str().unwrap().is_empty());
+            assert!(!resp["error"]["message"].as_str().unwrap().is_empty());
             assert!(!resp["error"]["code"].as_str().unwrap().is_empty());
         }
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_result_cache_until_new_data_lands() {
+        let e = engine();
+        let req = r#"{"op":"heatmap","type":"MCE","from":0,"to":3600000}"#;
+        let first = e.handle(req);
+        let hits0 = e.framework().result_cache().stats().hits();
+        let second = e.handle(req);
+        assert_eq!(first, second, "cached response is byte-identical");
+        assert_eq!(e.framework().result_cache().stats().hits(), hits0 + 1);
+        // An equivalent request with different field order and an
+        // unrelated compat flag shares the entry (canonical keys)...
+        let compat =
+            e.handle(r#"{"compat":true,"to":3600000,"from":0,"type":"MCE","op":"heatmap"}"#);
+        assert_eq!(e.framework().result_cache().stats().hits(), hits0 + 2);
+        let compat = jsonlite::parse(&compat).unwrap();
+        assert_eq!(compat["data"]["total"].as_f64(), Some(10.0));
+        assert_eq!(compat["total"].as_f64(), Some(10.0), "mirrored flat");
+        // ...and new data in the window invalidates lazily.
+        e.framework()
+            .insert_event(&EventRecord {
+                ts_ms: 30_000,
+                event_type: "MCE".into(),
+                source: "c0-0c0s1n0".into(),
+                amount: 1,
+                raw: "one more".into(),
+            })
+            .unwrap();
+        let third = e.handle(req);
+        assert_ne!(second, third);
+        let parsed = jsonlite::parse(&third).unwrap();
+        assert_eq!(parsed["data"]["total"].as_f64(), Some(11.0));
+        assert!(e.framework().result_cache().stats().invalidations() >= 1);
     }
 }

@@ -5,6 +5,7 @@
 //! server"; "query results are sent in JSON object format to avoid data
 //! format conversion at the frontend."
 
+pub mod cache;
 pub mod engine;
 pub mod http;
 pub mod request;

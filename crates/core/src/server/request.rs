@@ -10,18 +10,26 @@
 //!  "limit": 100, "cursor": "ev:120000:c0-0c0s1n0:MCE"}
 //! ```
 //!
-//! Response envelope:
+//! Response envelope (v1):
 //!
 //! ```json
-//! {"status": "ok", "data": {...}, "page": {"cursor": "...", "has_more": true},
-//!  "deprecated": ["rows"], ...legacy flat fields...}
-//! {"status": "error", "error": {"code": "BAD_WINDOW", "message": "..."},
-//!  "message": "..."}
+//! {"v": 1, "status": "ok", "data": {...},
+//!  "page": {"cursor": "...", "has_more": true}}
+//! {"v": 1, "status": "error",
+//!  "error": {"code": "BAD_WINDOW", "message": "..."}}
 //! ```
 //!
-//! The legacy flat fields (`rows` at top level, `message` on errors) are
-//! mirrored for old clients and listed under `deprecated`; new clients
-//! should read `data` / `error` only.
+//! Responses are envelope-only by default. Requests carrying
+//! `"compat": true` additionally get the legacy flat mirrors (each `data`
+//! field at the top level, listed under `deprecated`; `message` flat on
+//! errors) for clients that predate the envelope. New clients should read
+//! `data` / `error` only.
+//!
+//! The envelope is also the cache boundary: analytics result-cache keys
+//! derive from the parsed [`QueryRequest`] (the canonical form of a
+//! request), and cached entries store the `data` fields — the envelope
+//! (and any compat mirror) is re-assembled per response, so `compat`
+//! never influences caching.
 
 use crate::context::Context;
 use jsonlite::{json_object, Value as Json};
@@ -321,17 +329,46 @@ impl QueryRequest {
         self.raw[name].as_str()
     }
 
-    /// An optional op-specific integer field with a default.
-    pub fn i64_or(&self, name: &str, default: i64) -> i64 {
-        self.raw[name].as_i64().unwrap_or(default)
+    /// A required op-specific integer field.
+    pub fn i64_field(&self, name: &str) -> Result<i64, ApiError> {
+        self.raw[name]
+            .as_i64()
+            .ok_or_else(|| ApiError::bad_request(format!("missing '{name}'")))
+    }
+
+    /// An optional op-specific integer field with a default. Unlike a
+    /// silent `unwrap_or`, a field that is *present* but not an integer is
+    /// a typed `BAD_REQUEST` — it would otherwise change the result while
+    /// looking accepted.
+    pub fn i64_or(&self, name: &str, default: i64) -> Result<i64, ApiError> {
+        match self.raw.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .as_i64()
+                .ok_or_else(|| ApiError::bad_request(format!("'{name}' must be an integer"))),
+        }
+    }
+
+    /// An optional op-specific *positive* integer field with a default; a
+    /// present field that is zero, negative, or not an integer is a typed
+    /// `BAD_REQUEST`.
+    pub fn pos_i64_or(&self, name: &str, default: i64) -> Result<i64, ApiError> {
+        let v = self.i64_or(name, default)?;
+        if v <= 0 {
+            return Err(ApiError::bad_request(format!("'{name}' must be positive")));
+        }
+        Ok(v)
     }
 }
+
+/// Envelope protocol version carried as `"v"` in every response.
+pub const ENVELOPE_VERSION: i64 = 1;
 
 /// The result an op hands back to the dispatcher: named data fields plus
 /// optional pagination, assembled into the envelope in one place.
 pub struct OpOutput {
-    /// Named data fields; mirrored flat at the top level (deprecated form)
-    /// and nested under `data` (canonical form).
+    /// Named data fields, nested under `data` (canonical form); mirrored
+    /// flat at the top level only for `"compat": true` requests.
     pub data: Vec<(String, Json)>,
     /// Pagination, for cursor-driven ops.
     pub page: Option<Page>,
@@ -353,30 +390,36 @@ impl OpOutput {
     }
 }
 
-/// Assembles the `ok` envelope: canonical `data` object, legacy flat
-/// mirror of the same fields, the mirror's names under `deprecated`, and
-/// `page` when the op paginates.
-pub fn envelope_ok(out: OpOutput) -> Json {
-    let mut resp = json_object([("status", Json::from("ok"))]);
-    let mut deprecated = Vec::new();
-    for (k, v) in &out.data {
-        resp.insert(k.clone(), v.clone());
-        deprecated.push(Json::from(k.as_str()));
+/// Assembles the v1 `ok` envelope: `v`, `status`, the canonical `data`
+/// object, and `page` when the op paginates. With `compat`, every data
+/// field is additionally mirrored flat at the top level and the mirror's
+/// names are listed under `deprecated`.
+pub fn envelope_ok(out: OpOutput, compat: bool) -> Json {
+    let mut resp = json_object([
+        ("v", Json::from(ENVELOPE_VERSION)),
+        ("status", Json::from("ok")),
+    ]);
+    if compat {
+        let mut deprecated = Vec::new();
+        for (k, v) in &out.data {
+            resp.insert(k.clone(), v.clone());
+            deprecated.push(Json::from(k.as_str()));
+        }
+        resp.insert("deprecated", Json::Array(deprecated));
     }
     resp.insert("data", json_object(out.data));
-    resp.insert("deprecated", Json::Array(deprecated));
     if let Some(page) = &out.page {
         resp.insert("page", page.to_json());
     }
     resp
 }
 
-/// Assembles the `error` envelope: typed `error.code`/`error.message`
-/// plus the legacy flat `message` mirror.
-pub fn envelope_err(e: &ApiError) -> Json {
-    json_object([
+/// Assembles the v1 `error` envelope: typed `error.code`/`error.message`.
+/// With `compat`, `message` is additionally mirrored flat.
+pub fn envelope_err(e: &ApiError, compat: bool) -> Json {
+    let mut resp = json_object([
+        ("v", Json::from(ENVELOPE_VERSION)),
         ("status", Json::from("error")),
-        ("message", Json::from(e.message.as_str())),
         (
             "error",
             json_object([
@@ -384,7 +427,11 @@ pub fn envelope_err(e: &ApiError) -> Json {
                 ("message", Json::from(e.message.as_str())),
             ]),
         ),
-    ])
+    ]);
+    if compat {
+        resp.insert("message", Json::from(e.message.as_str()));
+    }
+    resp
 }
 
 #[cfg(test)]
@@ -435,22 +482,65 @@ mod tests {
     }
 
     #[test]
-    fn envelope_mirrors_flat_fields_and_marks_them_deprecated() {
+    fn default_envelope_is_versioned_and_flat_free() {
         let out = OpOutput::data([("rows", Json::from(3i64))]).with_page(Page {
             cursor: Some("ev:1:a:b".into()),
             has_more: true,
         });
-        let env = envelope_ok(out);
+        let env = envelope_ok(out, false);
+        assert_eq!(env["v"].as_i64(), Some(ENVELOPE_VERSION));
         assert_eq!(env["status"].as_str(), Some("ok"));
+        assert_eq!(env["data"]["rows"].as_i64(), Some(3));
+        assert_eq!(env["page"]["has_more"].as_bool(), Some(true));
+        assert!(env["rows"].is_null(), "no flat mirror without compat");
+        assert!(env["deprecated"].is_null());
+
+        let err = envelope_err(
+            &ApiError::new(ErrorCode::EmptyWindow, "nothing to see"),
+            false,
+        );
+        assert_eq!(err["v"].as_i64(), Some(ENVELOPE_VERSION));
+        assert_eq!(err["status"].as_str(), Some("error"));
+        assert_eq!(err["error"]["code"].as_str(), Some("EMPTY_WINDOW"));
+        assert_eq!(err["error"]["message"].as_str(), Some("nothing to see"));
+        assert!(err["message"].is_null(), "no flat mirror without compat");
+    }
+
+    #[test]
+    fn compat_envelope_mirrors_flat_fields_and_marks_them_deprecated() {
+        let out = OpOutput::data([("rows", Json::from(3i64))]);
+        let env = envelope_ok(out, true);
         assert_eq!(env["rows"].as_i64(), Some(3));
         assert_eq!(env["data"]["rows"].as_i64(), Some(3));
         assert_eq!(env["deprecated"][0].as_str(), Some("rows"));
-        assert_eq!(env["page"]["has_more"].as_bool(), Some(true));
 
-        let err = envelope_err(&ApiError::new(ErrorCode::EmptyWindow, "nothing to see"));
-        assert_eq!(err["status"].as_str(), Some("error"));
+        let err = envelope_err(
+            &ApiError::new(ErrorCode::EmptyWindow, "nothing to see"),
+            true,
+        );
         assert_eq!(err["message"].as_str(), Some("nothing to see"));
-        assert_eq!(err["error"]["code"].as_str(), Some("EMPTY_WINDOW"));
         assert_eq!(err["error"]["message"].as_str(), Some("nothing to see"));
+    }
+
+    #[test]
+    fn optional_int_accessors_reject_wrong_shapes() {
+        let req = parse(r#"{"op":"histogram","bin_ms":600,"top":"five"}"#).unwrap();
+        assert_eq!(req.i64_or("bin_ms", 1).unwrap(), 600);
+        assert_eq!(req.i64_or("missing", 7).unwrap(), 7);
+        assert_eq!(
+            req.i64_or("top", 1).unwrap_err().code,
+            ErrorCode::BadRequest
+        );
+        assert_eq!(req.pos_i64_or("missing", 9).unwrap(), 9);
+        let req = parse(r#"{"op":"histogram","bin_ms":-5}"#).unwrap();
+        assert_eq!(
+            req.pos_i64_or("bin_ms", 1).unwrap_err().code,
+            ErrorCode::BadRequest
+        );
+        assert_eq!(req.i64_field("bin_ms").unwrap(), -5);
+        assert_eq!(
+            req.i64_field("day").unwrap_err().code,
+            ErrorCode::BadRequest
+        );
     }
 }

@@ -1,0 +1,151 @@
+//! Cache equivalence: for any interleaving of direct writes, streaming
+//! ingestion (with watermark commits), synopsis rebuilds, and queries, a
+//! framework with both cache tiers enabled must answer every request
+//! **byte-for-byte identically** to a framework with both tiers disabled.
+//!
+//! This is the correctness contract of the whole caching design: hits,
+//! misses, lazy invalidation, and open-window (watermark) invalidation
+//! must never be observable through the API.
+
+use hpclog_core::analytics::synopsis;
+use hpclog_core::etl::stream::{publish_lines, StreamIngester};
+use hpclog_core::framework::{Framework, FrameworkConfig};
+use hpclog_core::model::event::EventRecord;
+use hpclog_core::server::QueryEngine;
+use loggen::topology::Topology;
+use loggen::trace::{Facility, RawLine};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const T0: i64 = 1_500_000_000_000;
+const SPAN_MS: i64 = 2 * 3_600_000;
+
+/// One step of the interleaved workload, applied to both frameworks.
+#[derive(Debug, Clone)]
+enum Step {
+    /// Direct insert through the batch path (bumps data versions).
+    Insert { dt: i64, node: usize },
+    /// Publish one raw line to the bus and run a streaming step — flushed
+    /// windows commit offsets + watermark, invalidating open entries.
+    Stream { dt: i64, node: usize },
+    /// Rebuild the synopsis table over the whole span.
+    Synopsis,
+    /// Run one query from the fixed list against both engines.
+    Query(usize),
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0..SPAN_MS, 0usize..8).prop_map(|(dt, node)| Step::Insert { dt, node }),
+        (0..SPAN_MS, 0usize..8).prop_map(|(dt, node)| Step::Stream { dt, node }),
+        Just(Step::Synopsis),
+        (0usize..7).prop_map(Step::Query),
+    ]
+}
+
+fn queries() -> Vec<String> {
+    let (a, b) = (T0, T0 + SPAN_MS);
+    vec![
+        format!(r#"{{"op":"heatmap","type":"MCE","from":{a},"to":{b}}}"#),
+        format!(r#"{{"op":"histogram","type":"MCE","from":{a},"to":{b},"bin_ms":600000}}"#),
+        format!(r#"{{"op":"wordcount","type":"MCE","from":{a},"to":{b},"top":10}}"#),
+        format!(r#"{{"op":"distribution","type":"MCE","from":{a},"to":{b},"by":"node"}}"#),
+        format!(r#"{{"op":"events","type":"MCE","from":{a},"to":{b}}}"#),
+        format!(
+            r#"{{"op":"cross_correlation","x":"MCE","y":"MCE","from":{a},"to":{b},"bin_ms":600000,"max_lag":3}}"#
+        ),
+        format!(r#"{{"op":"synopsis","day":{}}}"#, T0 / (24 * 3_600_000)),
+    ]
+}
+
+fn boot(caches_on: bool) -> Arc<Framework> {
+    let (block, result) = if caches_on {
+        (4 << 20, 4 << 20)
+    } else {
+        (0, 0)
+    };
+    Arc::new(
+        Framework::new(FrameworkConfig {
+            db_nodes: 2,
+            replication_factor: 1,
+            vnodes: 4,
+            topology: Topology::scaled(1, 1),
+            block_cache_bytes: block,
+            result_cache_bytes: result,
+            ..Default::default()
+        })
+        .unwrap(),
+    )
+}
+
+fn mce_line(topo: &Topology, dt: i64, node: usize) -> RawLine {
+    RawLine {
+        ts_ms: T0 + dt,
+        facility: Facility::Console,
+        source: topo.node(node % topo.node_count()).cname,
+        text: "Machine Check Exception: bank 1: b2 addr 3f cpu 0".to_owned(),
+    }
+}
+
+fn mce_event(topo: &Topology, dt: i64, node: usize) -> EventRecord {
+    EventRecord {
+        ts_ms: T0 + dt,
+        event_type: "MCE".into(),
+        source: topo.node(node % topo.node_count()).cname,
+        amount: 1,
+        raw: "Machine Check Exception: bank 1: b2 addr 3f cpu 0".into(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn cached_and_uncached_frameworks_answer_byte_identically(
+        script in prop::collection::vec(arb_step(), 1..28),
+    ) {
+        let cached_fw = boot(true);
+        let plain_fw = boot(false);
+        let cached = QueryEngine::new(Arc::clone(&cached_fw));
+        let plain = QueryEngine::new(Arc::clone(&plain_fw));
+        let mut cached_ing = StreamIngester::new(&cached_fw, "eq", 0).unwrap();
+        let mut plain_ing = StreamIngester::new(&plain_fw, "eq", 0).unwrap();
+        let queries = queries();
+
+        for step in &script {
+            match step {
+                Step::Insert { dt, node } => {
+                    cached_fw
+                        .insert_event(&mce_event(cached_fw.topology(), *dt, *node))
+                        .unwrap();
+                    plain_fw
+                        .insert_event(&mce_event(plain_fw.topology(), *dt, *node))
+                        .unwrap();
+                }
+                Step::Stream { dt, node } => {
+                    publish_lines(&cached_fw, &[mce_line(cached_fw.topology(), *dt, *node)])
+                        .unwrap();
+                    publish_lines(&plain_fw, &[mce_line(plain_fw.topology(), *dt, *node)])
+                        .unwrap();
+                    cached_ing.step(16).unwrap();
+                    plain_ing.step(16).unwrap();
+                }
+                Step::Synopsis => {
+                    synopsis::build_synopsis(&cached_fw, T0, T0 + SPAN_MS).unwrap();
+                    synopsis::build_synopsis(&plain_fw, T0, T0 + SPAN_MS).unwrap();
+                }
+                Step::Query(i) => {
+                    let q = &queries[*i];
+                    prop_assert_eq!(cached.handle(q), plain.handle(q), "query {}", q);
+                }
+            }
+        }
+        // Final sweep: every query, twice (the second pass reads the
+        // cached side's warm entries), must still match the uncached
+        // framework exactly.
+        for q in &queries {
+            prop_assert_eq!(cached.handle(q), plain.handle(q), "final {}", q);
+            prop_assert_eq!(cached.handle(q), plain.handle(q), "warm {}", q);
+        }
+    }
+}

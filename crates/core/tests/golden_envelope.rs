@@ -1,0 +1,279 @@
+//! Golden envelope suite: one good request per op pinned against the v1
+//! envelope contract, plus the typed error code each op's characteristic
+//! bad input must produce.
+//!
+//! The contract under test (see `hpclog_core::server::request`):
+//! - every response carries `"v": 1` and `"status"`;
+//! - ok responses nest all op fields under `data` — nothing flat, no
+//!   `deprecated` list — unless the request carries `"compat": true`, in
+//!   which case every data field is mirrored flat and the mirror names are
+//!   listed under `deprecated`;
+//! - error responses carry `error.code` / `error.message`, with a flat
+//!   `message` mirror only under compat.
+
+use hpclog_core::analytics::synopsis;
+use hpclog_core::framework::{Framework, FrameworkConfig};
+use hpclog_core::model::apprun::AppRun;
+use hpclog_core::model::event::EventRecord;
+use hpclog_core::model::keys::HOUR_MS;
+use hpclog_core::server::QueryEngine;
+use jsonlite::Value as Json;
+use loggen::topology::Topology;
+use std::sync::Arc;
+
+fn engine() -> QueryEngine {
+    let fw = Framework::new(FrameworkConfig {
+        db_nodes: 3,
+        replication_factor: 2,
+        vnodes: 8,
+        topology: Topology::scaled(2, 2),
+        ..Default::default()
+    })
+    .unwrap();
+    for i in 0..10i64 {
+        fw.insert_event(&EventRecord {
+            ts_ms: i * 60_000,
+            event_type: "MCE".into(),
+            source: format!("c0-0c0s{}n0", i % 4),
+            amount: 1,
+            raw: format!("Machine Check Exception: bank {i}"),
+        })
+        .unwrap();
+    }
+    fw.insert_app_run(&AppRun {
+        apid: 1,
+        user: "usr0001".into(),
+        app: "VASP".into(),
+        start_ms: 0,
+        end_ms: HOUR_MS,
+        node_first: 0,
+        node_last: 3,
+        exit_code: 0,
+        other_info: Default::default(),
+    })
+    .unwrap();
+    synopsis::build_synopsis(&fw, 0, HOUR_MS).unwrap();
+    QueryEngine::new(Arc::new(fw))
+}
+
+fn call(e: &QueryEngine, req: &str) -> Json {
+    jsonlite::parse(&e.handle(req)).expect("valid response JSON")
+}
+
+/// One golden good request per op, with the exact `data` field names the
+/// op must answer with. Changing a field name (or leaking a new one) is an
+/// API break and must show up here.
+fn golden_ops() -> Vec<(&'static str, String, Vec<&'static str>)> {
+    vec![
+        (
+            "events",
+            r#"{"op":"events","type":"MCE","from":0,"to":3600000}"#.into(),
+            vec!["rows"],
+        ),
+        (
+            "heatmap",
+            r#"{"op":"heatmap","type":"MCE","from":0,"to":3600000}"#.into(),
+            vec!["cabinets", "hottest", "mean", "outliers", "stddev", "total"],
+        ),
+        (
+            "distribution",
+            r#"{"op":"distribution","type":"MCE","from":0,"to":3600000,"by":"node"}"#.into(),
+            vec!["entries", "unattributed"],
+        ),
+        (
+            "histogram",
+            r#"{"op":"histogram","type":"MCE","from":0,"to":3600000,"bin_ms":600000}"#.into(),
+            vec!["bin_ms", "bins", "from"],
+        ),
+        (
+            "transfer_entropy",
+            r#"{"op":"transfer_entropy","x":"MCE","y":"GPU_DBE","from":0,"to":3600000,"bin_ms":60000,"max_lag":5}"#.into(),
+            vec!["lags"],
+        ),
+        (
+            "cross_correlation",
+            r#"{"op":"cross_correlation","x":"MCE","y":"GPU_DBE","from":0,"to":3600000,"bin_ms":60000,"max_lag":3}"#.into(),
+            vec!["correlations"],
+        ),
+        (
+            "wordcount",
+            r#"{"op":"wordcount","type":"MCE","from":0,"to":3600000,"top":5}"#.into(),
+            vec!["terms"],
+        ),
+        (
+            "apps",
+            r#"{"op":"apps","from":0,"to":3600000}"#.into(),
+            vec!["runs"],
+        ),
+        (
+            "nodeinfo",
+            r#"{"op":"nodeinfo","cname":"c0-0c0s0n0"}"#.into(),
+            vec!["cage", "cname", "col", "gemini", "index", "node", "row", "slot"],
+        ),
+        (
+            "synopsis",
+            r#"{"op":"synopsis","day":0}"#.into(),
+            vec!["rows"],
+        ),
+        (
+            "rules",
+            r#"{"op":"rules","from":0,"to":3600000,"window_ms":10000,"scope":"node","min_support":1}"#.into(),
+            vec!["rules"],
+        ),
+        (
+            "profile",
+            r#"{"op":"profile","app":"VASP"}"#.into(),
+            vec!["app", "node_hours", "rates", "runs"],
+        ),
+        (
+            "predict",
+            r#"{"op":"predict","target":"MCE","from":0,"to":3600000,"bin_ms":60000}"#.into(),
+            vec!["alarms", "failures", "precision", "recall", "target", "weights"],
+        ),
+        (
+            "render",
+            r#"{"op":"render","view":"heatmap","type":"MCE","from":0,"to":3600000}"#.into(),
+            vec!["svg", "view"],
+        ),
+        (
+            "cql",
+            r#"{"op":"cql","q":"SELECT * FROM event_by_time WHERE hour = 0 AND type = 'MCE' LIMIT 3"}"#.into(),
+            vec!["rows"],
+        ),
+        ("dlq", r#"{"op":"dlq"}"#.into(), vec!["depth", "entries"]),
+        (
+            "dlq_requeue",
+            r#"{"op":"dlq_requeue"}"#.into(),
+            vec![
+                "events_reinserted",
+                "lines_republished",
+                "poison_dropped",
+                "remaining",
+            ],
+        ),
+        (
+            "metrics",
+            r#"{"op":"metrics"}"#.into(),
+            vec!["counters", "enabled", "gauges", "histograms"],
+        ),
+        ("trace", r#"{"op":"trace"}"#.into(), vec!["spans"]),
+    ]
+}
+
+#[test]
+fn every_op_answers_in_the_v1_envelope_with_no_flat_leakage() {
+    let e = engine();
+    for (op, req, fields) in golden_ops() {
+        let resp = call(&e, &req);
+        assert_eq!(resp["v"].as_i64(), Some(1), "op {op}: envelope version");
+        assert_eq!(resp["status"].as_str(), Some("ok"), "op {op}: {resp}");
+        let data = resp["data"].as_object().unwrap_or_else(|| {
+            panic!("op {op}: 'data' must be an object, got {resp}");
+        });
+        let keys: Vec<&str> = data.keys().map(String::as_str).collect();
+        assert_eq!(keys, fields, "op {op}: golden data field set");
+        assert!(
+            resp["deprecated"].is_null(),
+            "op {op}: no deprecated list without compat"
+        );
+        for field in &fields {
+            assert!(
+                resp[*field].is_null(),
+                "op {op}: field '{field}' leaked flat without compat"
+            );
+        }
+    }
+}
+
+#[test]
+fn compat_requests_mirror_every_data_field_flat_and_deprecate_the_mirror() {
+    let e = engine();
+    for (op, req, fields) in golden_ops() {
+        let compat_req = format!(r#"{{"compat":true,{}"#, &req[1..]);
+        let resp = call(&e, &compat_req);
+        assert_eq!(resp["status"].as_str(), Some("ok"), "op {op}: {resp}");
+        // `deprecated` follows the op's field insertion order; compare as
+        // sets (the golden lists are alphabetical, matching `data`).
+        let mut deprecated: Vec<&str> = resp["deprecated"]
+            .as_array()
+            .unwrap_or_else(|| panic!("op {op}: compat must list deprecated mirrors"))
+            .iter()
+            .map(|v| v.as_str().unwrap())
+            .collect();
+        deprecated.sort_unstable();
+        assert_eq!(deprecated, fields, "op {op}: deprecated lists the mirrors");
+        for field in &fields {
+            assert_eq!(
+                resp[*field], resp["data"][*field],
+                "op {op}: flat mirror of '{field}' must equal the data field"
+            );
+        }
+    }
+}
+
+#[test]
+fn each_op_reports_its_characteristic_typed_error_code() {
+    let e = engine();
+    for (req, code) in [
+        ("not json at all", "BAD_JSON"),
+        (r#"{"no_op":1}"#, "BAD_REQUEST"),
+        (r#"{"op":"zap"}"#, "UNKNOWN_OP"),
+        (r#"{"op":"events","from":100,"to":0}"#, "BAD_WINDOW"),
+        (r#"{"op":"events","from":100,"to":100}"#, "EMPTY_WINDOW"),
+        (r#"{"op":"events","from":0,"to":1,"limit":0}"#, "BAD_LIMIT"),
+        (
+            r#"{"op":"events","from":0,"to":1,"cursor":"junk"}"#,
+            "BAD_CURSOR",
+        ),
+        (
+            r#"{"op":"events","from":0,"to":1,"cursor":"ap:1:2"}"#,
+            "BAD_CURSOR",
+        ),
+        (r#"{"op":"heatmap","from":0,"to":1}"#, "BAD_REQUEST"),
+        (
+            r#"{"op":"distribution","type":"MCE","from":0,"to":1,"by":"galaxy"}"#,
+            "BAD_REQUEST",
+        ),
+        (
+            r#"{"op":"histogram","type":"MCE","from":0,"to":1,"bin_ms":0}"#,
+            "BAD_REQUEST",
+        ),
+        (
+            r#"{"op":"transfer_entropy","y":"MCE","from":0,"to":1}"#,
+            "BAD_REQUEST",
+        ),
+        (
+            r#"{"op":"cross_correlation","x":"MCE","y":"MCE","from":0,"to":1,"max_lag":-1}"#,
+            "BAD_REQUEST",
+        ),
+        (
+            r#"{"op":"wordcount","type":"MCE","from":0,"to":1,"top":0}"#,
+            "BAD_REQUEST",
+        ),
+        (r#"{"op":"apps"}"#, "BAD_REQUEST"),
+        (r#"{"op":"nodeinfo","cname":"c9-9c9s9n9"}"#, "NOT_FOUND"),
+        (r#"{"op":"synopsis"}"#, "BAD_REQUEST"),
+        (
+            r#"{"op":"rules","from":0,"to":1,"scope":"continent"}"#,
+            "BAD_REQUEST",
+        ),
+        (r#"{"op":"profile"}"#, "BAD_REQUEST"),
+        (r#"{"op":"predict","from":0,"to":1}"#, "BAD_REQUEST"),
+        (
+            r#"{"op":"render","view":"nope","from":0,"to":1}"#,
+            "NOT_FOUND",
+        ),
+        (r#"{"op":"cql"}"#, "BAD_REQUEST"),
+        (r#"{"op":"cql","q":"DROP TABLE x"}"#, "BAD_REQUEST"),
+        (r#"{"op":"dlq","max":0}"#, "BAD_REQUEST"),
+        (r#"{"op":"dlq_requeue","max":-3}"#, "BAD_REQUEST"),
+    ] {
+        let resp = call(&e, req);
+        assert_eq!(resp["v"].as_i64(), Some(1), "{req}");
+        assert_eq!(resp["status"].as_str(), Some("error"), "{req}: {resp}");
+        assert_eq!(resp["error"]["code"].as_str(), Some(code), "{req}: {resp}");
+        assert!(!resp["error"]["message"].as_str().unwrap().is_empty());
+        assert!(resp["message"].is_null(), "{req}: no flat mirror");
+        assert!(resp["data"].is_null(), "{req}: errors carry no data");
+    }
+}

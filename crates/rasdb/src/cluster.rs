@@ -1,6 +1,7 @@
 //! The cluster: a masterless ring of storage nodes plus coordinator logic
 //! (replication, consistency levels, hinted handoff, read repair).
 
+use crate::cache::{block_key, rows_footprint, BlockEntry, LruCache};
 use crate::commitlog::Mutation;
 use crate::cql;
 use crate::error::DbError;
@@ -12,7 +13,7 @@ use crate::query::{
 };
 use crate::ring::{NodeId, Ring};
 use crate::schema::{KeyRole, TableSchema};
-use crate::stats::{CoordinatorStats, StatsSnapshot};
+use crate::stats::{CacheStats, CoordinatorStats, StatsSnapshot};
 use crate::types::{Key, Row, Value};
 use crossbeam::channel::{unbounded, RecvTimeoutError, Sender};
 use parking_lot::{Mutex, RwLock};
@@ -58,6 +59,19 @@ pub const DEFAULT_SPECULATIVE_TIMEOUT: Duration = Duration::from_millis(5);
 
 /// Default per-node hinted-handoff queue cap (see [`Cluster::set_hint_cap`]).
 pub const DEFAULT_HINT_CAP: u64 = 8192;
+
+/// Default byte budget for the partition-block cache (see
+/// [`Cluster::set_block_cache_budget`]).
+pub const DEFAULT_BLOCK_CACHE_BYTES: usize = 32 << 20;
+
+/// Combined `(table, partition)` key for the data-version map.
+fn version_key(table: &str, partition: &Key) -> Vec<u8> {
+    let mut out = Vec::with_capacity(table.len() + 20);
+    out.extend_from_slice(&(table.len() as u32).to_le_bytes());
+    out.extend_from_slice(table.as_bytes());
+    out.extend_from_slice(&partition.encode());
+    out
+}
 
 /// A unit of coordinator work bound for one storage node's queue.
 type CoordJob = Box<dyn FnOnce() + Send + 'static>;
@@ -124,6 +138,15 @@ pub struct Cluster {
     coordinator: OnceLock<CoordinatorPool>,
     coord_stats: CoordinatorStats,
     speculative_timeout_us: AtomicU64,
+    /// Monotonic per-partition data versions: bumped after every mutation
+    /// (including repairs), so cached reads can be validated exactly.
+    versions: Mutex<HashMap<Vec<u8>, u64>>,
+    version_counter: AtomicU64,
+    /// Bumped whenever replica visibility changes (node down/up), which can
+    /// change what a read at a given consistency level observes.
+    epoch: AtomicU64,
+    block_cache: Mutex<LruCache<BlockEntry>>,
+    block_cache_stats: CacheStats,
 }
 
 impl Cluster {
@@ -148,7 +171,97 @@ impl Cluster {
             coordinator: OnceLock::new(),
             coord_stats: CoordinatorStats::default(),
             speculative_timeout_us: AtomicU64::new(DEFAULT_SPECULATIVE_TIMEOUT.as_micros() as u64),
+            versions: Mutex::new(HashMap::new()),
+            version_counter: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
+            block_cache: Mutex::new(LruCache::new(DEFAULT_BLOCK_CACHE_BYTES)),
+            block_cache_stats: CacheStats::new("block"),
         }
+    }
+
+    /// The data version of one partition: strictly increases with every
+    /// mutation that may have touched it (writes, deletes, read repairs).
+    /// `0` means never written. Cache layers snapshot this *before* reading
+    /// and re-validate on every lookup, so a matching version proves the
+    /// cached rows are still current.
+    pub fn data_version(&self, table: &str, partition: &Key) -> u64 {
+        self.versions
+            .lock()
+            .get(&version_key(table, partition))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Topology epoch: bumped whenever a node goes down or comes back up
+    /// (hint replay included). Any cached read is invalidated by an epoch
+    /// change because replica visibility may have shifted.
+    pub fn topology_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    fn bump_version(&self, table: &str, partition: &Key) {
+        let v = self.version_counter.fetch_add(1, Ordering::SeqCst) + 1;
+        self.versions
+            .lock()
+            .insert(version_key(table, partition), v);
+    }
+
+    /// Replaces the partition-block cache byte budget (default
+    /// [`DEFAULT_BLOCK_CACHE_BYTES`]); `0` disables the cache and drops
+    /// every entry. Benches comparing raw read paths should disable it.
+    pub fn set_block_cache_budget(&self, bytes: usize) {
+        let evicted = self.block_cache.lock().set_budget(bytes);
+        self.block_cache_stats.record_evictions(evicted);
+    }
+
+    /// Hit/miss/evict/invalidate counters for the partition-block cache.
+    pub fn block_cache_stats(&self) -> &CacheStats {
+        &self.block_cache_stats
+    }
+
+    /// Looks up a block, validating its version and epoch tags; stale
+    /// entries are dropped and count as both an invalidation and a miss.
+    fn block_cache_get(&self, key: &[u8], version: u64, epoch: u64) -> Option<Vec<Row>> {
+        let mut cache = self.block_cache.lock();
+        if cache.budget() == 0 {
+            return None;
+        }
+        let hit = match cache.get(key) {
+            Some(e) if e.version == version && e.epoch == epoch => Some(e.rows.clone()),
+            Some(_) => {
+                cache.remove(key);
+                self.block_cache_stats.record_invalidations(1);
+                None
+            }
+            None => None,
+        };
+        drop(cache);
+        match hit {
+            Some(rows) => {
+                self.block_cache_stats.record_hit();
+                Some(rows)
+            }
+            None => {
+                self.block_cache_stats.record_miss();
+                None
+            }
+        }
+    }
+
+    fn block_cache_insert(&self, key: Vec<u8>, rows: &[Row], version: u64, epoch: u64) {
+        let mut cache = self.block_cache.lock();
+        if cache.budget() == 0 {
+            return;
+        }
+        let bytes = rows_footprint(rows) + key.len();
+        let entry = BlockEntry {
+            rows: rows.to_vec(),
+            version,
+            epoch,
+        };
+        let evicted = cache.insert(key, entry, bytes);
+        drop(cache);
+        self.block_cache_stats.record_evictions(evicted);
     }
 
     /// The scatter-gather worker pool, spawned lazily so short-lived
@@ -310,6 +423,11 @@ impl Cluster {
                 queue.push_back(m.clone());
             }
         }
+        // Bump *after* the replica applies so a concurrent reader that
+        // snapshotted the old version cannot cache post-write rows under a
+        // still-current tag. Bumped even on the Unavailable path: some
+        // replicas may have applied the mutation.
+        self.bump_version(&m.table, &m.partition);
         if acks >= required {
             Ok(())
         } else {
@@ -323,6 +441,7 @@ impl Cluster {
     /// Marks a node down (failure injection).
     pub fn take_node_down(&self, id: NodeId) {
         self.nodes[id.0].set_up(false);
+        self.epoch.fetch_add(1, Ordering::SeqCst);
     }
 
     /// Brings a node back up and replays its hints.
@@ -332,6 +451,7 @@ impl Cluster {
         for m in hints {
             self.nodes[id.0].apply(&m);
         }
+        self.epoch.fetch_add(1, Ordering::SeqCst);
     }
 
     /// Pending hint count for a node (tests).
@@ -383,21 +503,43 @@ impl Cluster {
         Ok((replicas, required))
     }
 
+    /// Advances `cursor` past known-down replicas (counting each skip) and
+    /// returns the next replica worth dispatching to. Shared by the
+    /// sequential read loop and the scatter-gather dispatcher so both paths
+    /// select replicas — and feed the block cache — identically.
+    fn next_up_replica(&self, replicas: &[NodeId], cursor: &mut usize) -> Option<NodeId> {
+        while *cursor < replicas.len() {
+            let id = replicas[*cursor];
+            *cursor += 1;
+            if self.nodes[id.0].is_up() {
+                return Some(id);
+            }
+            self.coord_stats.record_replica_skipped();
+        }
+        None
+    }
+
     /// Executes a resolved read plan.
     pub fn read(&self, plan: &ReadPlan, consistency: Consistency) -> Result<Vec<Row>, DbError> {
         let _span = telemetry::span!("rasdb.coordinator.read");
         let (replicas, required) = self.plan_replicas(plan, consistency)?;
 
+        // Version and epoch are snapshotted *before* any replica read: a
+        // write landing mid-read bumps past the snapshot, so the entry we
+        // insert below can never be validated against post-write state.
+        let cache_key = block_key(plan, consistency);
+        let version = self.data_version(&plan.table, &plan.partition);
+        let epoch = self.topology_epoch();
+        if let Some(rows) = self.block_cache_get(&cache_key, version, epoch) {
+            return Ok(rows);
+        }
+
         let mut responses: Vec<(NodeId, Vec<(Key, RowEntry)>)> = Vec::new();
-        for id in &replicas {
-            // Skip known-down replicas without issuing the read at all.
-            if !self.nodes[id.0].is_up() {
-                self.coord_stats.record_replica_skipped();
-                continue;
-            }
+        let mut cursor = 0;
+        while let Some(id) = self.next_up_replica(&replicas, &mut cursor) {
             if let Some(raw) = self.nodes[id.0].read_raw(&plan.table, &plan.partition, &plan.range)
             {
-                responses.push((*id, raw));
+                responses.push((id, raw));
             }
             if responses.len() >= required {
                 break;
@@ -409,7 +551,9 @@ impl Cluster {
                 received: responses.len(),
             });
         }
-        Ok(self.finish_read(plan, &responses))
+        let rows = self.finish_read(plan, &responses);
+        self.block_cache_insert(cache_key, &rows, version, epoch);
+        Ok(rows)
     }
 
     /// Shared tail of every coordinator read: LWW merge across replica
@@ -435,9 +579,13 @@ impl Cluster {
         }
 
         // Read repair: push the merged state back to replicas that answered
-        // with stale or missing rows.
-        if responses.len() > 1 {
-            self.read_repair(&plan.table, &plan.partition, &merged, responses);
+        // with stale or missing rows. A repair changes what lower
+        // consistency levels may observe on the repaired replica, so it
+        // bumps the partition version like any other mutation.
+        if responses.len() > 1
+            && self.read_repair(&plan.table, &plan.partition, &merged, responses) > 0
+        {
+            self.bump_version(&plan.table, &plan.partition);
         }
 
         let mut rows: Vec<Row> = merged
@@ -498,9 +646,26 @@ impl Cluster {
 
         let timeout = Duration::from_micros(self.speculative_timeout_us.load(Ordering::SeqCst));
         let now = Instant::now();
-        let mut gathers = Vec::with_capacity(plans.len());
-        for plan in plans {
+
+        // Validate every plan up front (the batch is all-or-nothing), then
+        // consult the block cache: only misses are scattered. Versions and
+        // the topology epoch are snapshotted before any replica read, for
+        // the same reason as in [`Cluster::read`].
+        let epoch = self.topology_epoch();
+        let mut results: Vec<Option<Vec<Row>>> = (0..plans.len()).map(|_| None).collect();
+        let mut miss: Vec<usize> = Vec::new();
+        let mut miss_keys: Vec<(Vec<u8>, u64)> = Vec::new();
+        let mut gathers = Vec::new();
+        for (idx, plan) in plans.iter().enumerate() {
             let (replicas, required) = self.plan_replicas(plan, consistency)?;
+            let key = block_key(plan, consistency);
+            let version = self.data_version(&plan.table, &plan.partition);
+            if let Some(rows) = self.block_cache_get(&key, version, epoch) {
+                results[idx] = Some(rows);
+                continue;
+            }
+            miss.push(idx);
+            miss_keys.push((key, version));
             gathers.push(Gather {
                 replicas,
                 required,
@@ -512,73 +677,89 @@ impl Cluster {
             });
         }
 
-        let (tx, rx) = unbounded::<ReplicaResponse>();
-        let pool = self.coordinator();
+        if !miss.is_empty() {
+            let (tx, rx) = unbounded::<ReplicaResponse>();
+            let pool = self.coordinator();
 
-        // Queues the read for plan `idx` on gather `g`'s next untried *up*
-        // replica. Returns false when the replica list is exhausted.
-        let dispatch_next = |g: &mut Gather, idx: usize, tx: &Sender<ReplicaResponse>| -> bool {
-            while g.next_replica < g.replicas.len() {
-                let id = g.replicas[g.next_replica];
-                g.next_replica += 1;
-                if !self.nodes[id.0].is_up() {
-                    self.coord_stats.record_replica_skipped();
-                    continue;
+            // Queues the read for gather `gi` on its next untried *up*
+            // replica. Returns false when the replica list is exhausted.
+            let dispatch_next = |g: &mut Gather, gi: usize, tx: &Sender<ReplicaResponse>| -> bool {
+                if let Some(id) = self.next_up_replica(&g.replicas, &mut g.next_replica) {
+                    let node = Arc::clone(&self.nodes[id.0]);
+                    let plan = plans[miss[gi]].clone();
+                    let tx = tx.clone();
+                    pool.submit(
+                        id,
+                        Box::new(move || {
+                            let raw = node.read_raw(&plan.table, &plan.partition, &plan.range);
+                            let _ = tx.send((gi, node.id, raw));
+                        }),
+                    );
+                    g.inflight += 1;
+                    return true;
                 }
-                let node = Arc::clone(&self.nodes[id.0]);
-                let plan = plans[idx].clone();
-                let tx = tx.clone();
-                pool.submit(
-                    id,
-                    Box::new(move || {
-                        let raw = node.read_raw(&plan.table, &plan.partition, &plan.range);
-                        let _ = tx.send((idx, node.id, raw));
-                    }),
-                );
-                g.inflight += 1;
-                return true;
-            }
-            false
-        };
+                false
+            };
 
-        // Initial scatter: `required` concurrent reads per plan.
-        for (idx, g) in gathers.iter_mut().enumerate() {
-            for _ in 0..g.required {
-                if !dispatch_next(g, idx, &tx) {
-                    break;
-                }
-            }
-            if g.inflight < g.required {
-                return Err(DbError::Unavailable {
-                    required: g.required,
-                    received: 0,
-                });
-            }
-        }
-
-        // Gather until every plan has `required` responses.
-        let mut remaining = plans.len();
-        while remaining > 0 {
-            match rx.recv_timeout(timeout) {
-                Ok((idx, id, raw)) => {
-                    let g = &mut gathers[idx];
-                    g.inflight -= 1;
-                    if g.done {
-                        continue;
+            // Initial scatter: `required` concurrent reads per plan.
+            for (gi, g) in gathers.iter_mut().enumerate() {
+                for _ in 0..g.required {
+                    if !dispatch_next(g, gi, &tx) {
+                        break;
                     }
-                    match raw {
-                        Some(rows) => {
-                            g.responses.push((id, rows));
-                            if g.responses.len() >= g.required {
-                                g.done = true;
-                                remaining -= 1;
+                }
+                if g.inflight < g.required {
+                    return Err(DbError::Unavailable {
+                        required: g.required,
+                        received: 0,
+                    });
+                }
+            }
+
+            // Gather until every plan has `required` responses.
+            let mut remaining = gathers.len();
+            while remaining > 0 {
+                match rx.recv_timeout(timeout) {
+                    Ok((gi, id, raw)) => {
+                        let g = &mut gathers[gi];
+                        g.inflight -= 1;
+                        if g.done {
+                            continue;
+                        }
+                        match raw {
+                            Some(rows) => {
+                                g.responses.push((id, rows));
+                                if g.responses.len() >= g.required {
+                                    g.done = true;
+                                    remaining -= 1;
+                                }
+                            }
+                            None => {
+                                // The node went down between dispatch and
+                                // read: retry on the next replica.
+                                self.coord_stats.record_speculative_retry();
+                                if !dispatch_next(g, gi, &tx) && g.inflight == 0 {
+                                    return Err(DbError::Unavailable {
+                                        required: g.required,
+                                        received: g.responses.len(),
+                                    });
+                                }
                             }
                         }
-                        None => {
-                            // The node went down between dispatch and read:
-                            // retry on the next replica.
-                            self.coord_stats.record_speculative_retry();
-                            if !dispatch_next(g, idx, &tx) && g.inflight == 0 {
+                    }
+                    Err(RecvTimeoutError::Timeout) => {
+                        // Deadline pass: hedge every stalled plan with one
+                        // more replica. Extend deadlines so each plan hedges
+                        // at most once per timeout window.
+                        let now = Instant::now();
+                        for (gi, g) in gathers.iter_mut().enumerate() {
+                            if g.done || now < g.deadline {
+                                continue;
+                            }
+                            g.deadline = now + timeout;
+                            if dispatch_next(g, gi, &tx) {
+                                self.coord_stats.record_speculative_retry();
+                            } else if g.inflight == 0 {
                                 return Err(DbError::Unavailable {
                                     required: g.required,
                                     received: g.responses.len(),
@@ -586,46 +767,34 @@ impl Cluster {
                             }
                         }
                     }
+                    Err(RecvTimeoutError::Disconnected) => unreachable!("tx held by coordinator"),
                 }
-                Err(RecvTimeoutError::Timeout) => {
-                    // Deadline pass: hedge every stalled plan with one more
-                    // replica. Extend deadlines so each plan hedges at most
-                    // once per timeout window.
-                    let now = Instant::now();
-                    for (idx, g) in gathers.iter_mut().enumerate() {
-                        if g.done || now < g.deadline {
-                            continue;
-                        }
-                        g.deadline = now + timeout;
-                        if dispatch_next(g, idx, &tx) {
-                            self.coord_stats.record_speculative_retry();
-                        } else if g.inflight == 0 {
-                            return Err(DbError::Unavailable {
-                                required: g.required,
-                                received: g.responses.len(),
-                            });
-                        }
-                    }
-                }
-                Err(RecvTimeoutError::Disconnected) => unreachable!("tx held by coordinator"),
+            }
+            drop(tx);
+
+            for ((gi, g), (key, version)) in gathers.iter().enumerate().zip(miss_keys) {
+                let idx = miss[gi];
+                let rows = self.finish_read(&plans[idx], &g.responses);
+                self.block_cache_insert(key, &rows, version, epoch);
+                results[idx] = Some(rows);
             }
         }
-        drop(tx);
 
-        Ok(plans
-            .iter()
-            .zip(&gathers)
-            .map(|(plan, g)| self.finish_read(plan, &g.responses))
+        Ok(results
+            .into_iter()
+            .map(|rows| rows.expect("every plan served from cache or scatter"))
             .collect())
     }
 
+    /// Returns the number of repair mutations applied.
     fn read_repair(
         &self,
         table: &str,
         partition: &Key,
         merged: &BTreeMap<Key, RowEntry>,
         responses: &[(NodeId, Vec<(Key, RowEntry)>)],
-    ) {
+    ) -> u64 {
+        let mut repaired = 0;
         for (id, raw) in responses {
             let theirs: HashMap<&Key, &RowEntry> = raw.iter().map(|(k, e)| (k, e)).collect();
             for (ck, entry) in merged {
@@ -644,9 +813,12 @@ impl Cluster {
                         .collect(),
                     row_delete: entry.deleted_at,
                 };
-                self.nodes[id.0].apply(&m);
+                if self.nodes[id.0].apply(&m) {
+                    repaired += 1;
+                }
             }
         }
+        repaired
     }
 
     /// Executes a CQL statement.
@@ -1363,6 +1535,49 @@ mod tests {
         let rows = c.read_multi(&[plan], Consistency::One).unwrap();
         assert_eq!(rows[0].len(), 1);
         assert!(c.coordinator_stats().speculative_retries() >= 1);
+    }
+
+    #[test]
+    fn block_cache_serves_repeats_and_invalidates_on_write() {
+        let c = events_cluster(4, 3);
+        for ts in 0..10 {
+            put(&c, 1, "MCE", ts, "n", Consistency::Quorum);
+        }
+        let plan = ReadPlan {
+            table: "event_by_time".into(),
+            partition: Key(vec![Value::BigInt(1), Value::text("MCE")]),
+            range: full_range(),
+            limit: None,
+            descending: false,
+        };
+        let first = c.read(&plan, Consistency::Quorum).unwrap();
+        let hits = c.block_cache_stats().hits();
+        assert_eq!(c.read(&plan, Consistency::Quorum).unwrap(), first);
+        assert_eq!(c.block_cache_stats().hits(), hits + 1);
+
+        // A write to the partition bumps its version: the stale entry is
+        // invalidated and the re-read sees the new row.
+        put(&c, 1, "MCE", 99, "n", Consistency::Quorum);
+        let invalidations = c.block_cache_stats().invalidations();
+        assert_eq!(c.read(&plan, Consistency::Quorum).unwrap().len(), 11);
+        assert_eq!(c.block_cache_stats().invalidations(), invalidations + 1);
+
+        // Topology changes invalidate too: a down node shifts what any
+        // consistency level can observe.
+        c.take_node_down(NodeId(0));
+        let invalidations = c.block_cache_stats().invalidations();
+        let _ = c.read(&plan, Consistency::One).unwrap();
+        let _ = c.read(&plan, Consistency::One).unwrap();
+        c.bring_node_up(NodeId(0));
+        let _ = c.read(&plan, Consistency::One).unwrap();
+        assert!(c.block_cache_stats().invalidations() > invalidations);
+
+        // Budget zero disables the cache entirely.
+        c.set_block_cache_budget(0);
+        let hits = c.block_cache_stats().hits();
+        let _ = c.read(&plan, Consistency::Quorum).unwrap();
+        let _ = c.read(&plan, Consistency::Quorum).unwrap();
+        assert_eq!(c.block_cache_stats().hits(), hits);
     }
 
     #[test]

@@ -70,6 +70,7 @@
 //! ```
 
 pub mod bloom;
+pub mod cache;
 pub mod cluster;
 pub mod commitlog;
 pub mod compaction;

@@ -8,7 +8,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
-use telemetry::Counter;
+use telemetry::{Counter, Gauge};
 
 /// Registry-backed counters shared by every node in the process.
 struct GlobalStorageCounters {
@@ -170,6 +170,114 @@ impl CoordinatorStats {
     /// Hints evicted by the hint-queue cap.
     pub fn hints_dropped(&self) -> u64 {
         self.hints_dropped.load(Ordering::Relaxed)
+    }
+}
+
+/// Hit/miss/evict/invalidate counters for one cache tier.
+///
+/// Local counts are exact; every increment is mirrored into
+/// `cache.<tier>.{hit,miss,evict,invalidate}` counters in the global
+/// registry, and each hit or miss refreshes a `cache.<tier>.hit_ratio_pct`
+/// gauge so `/metrics` shows cache effectiveness directly.
+pub struct CacheStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    invalidations: AtomicU64,
+    hit_counter: Arc<Counter>,
+    miss_counter: Arc<Counter>,
+    evict_counter: Arc<Counter>,
+    invalidate_counter: Arc<Counter>,
+    ratio_gauge: Arc<Gauge>,
+}
+
+impl CacheStats {
+    /// Creates counters for a named cache tier (e.g. `"block"`, `"result"`).
+    pub fn new(tier: &str) -> CacheStats {
+        let r = telemetry::global();
+        CacheStats {
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+            hit_counter: r.counter(&format!("cache.{tier}.hit")),
+            miss_counter: r.counter(&format!("cache.{tier}.miss")),
+            evict_counter: r.counter(&format!("cache.{tier}.evict")),
+            invalidate_counter: r.counter(&format!("cache.{tier}.invalidate")),
+            ratio_gauge: r.gauge(&format!("cache.{tier}.hit_ratio_pct")),
+        }
+    }
+
+    fn refresh_ratio(&self) {
+        let hits = self.hits.load(Ordering::Relaxed);
+        let total = hits + self.misses.load(Ordering::Relaxed);
+        if let Some(pct) = (hits * 100).checked_div(total) {
+            self.ratio_gauge.set(pct as i64);
+        }
+    }
+
+    /// Records a lookup served from cache.
+    pub fn record_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        self.hit_counter.incr(1);
+        self.refresh_ratio();
+    }
+
+    /// Records a lookup that had to fall through to the backing store.
+    pub fn record_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.miss_counter.incr(1);
+        self.refresh_ratio();
+    }
+
+    /// Records `n` entries evicted under byte-budget pressure.
+    pub fn record_evictions(&self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.evictions.fetch_add(n, Ordering::Relaxed);
+        self.evict_counter.incr(n);
+    }
+
+    /// Records `n` entries dropped because their data version, topology
+    /// epoch, or watermark tag went stale.
+    pub fn record_invalidations(&self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.invalidations.fetch_add(n, Ordering::Relaxed);
+        self.invalidate_counter.incr(n);
+    }
+
+    /// Lookups served from cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that missed.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted by the byte budget.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Entries invalidated by staleness.
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CacheStats")
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .field("evictions", &self.evictions())
+            .field("invalidations", &self.invalidations())
+            .finish()
     }
 }
 

@@ -16,4 +16,10 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> golden envelope suite"
+cargo test -q -p hpclog-core --test golden_envelope
+
+echo "==> query cache bench (smoke mode)"
+QUERY_CACHE_SMOKE=1 cargo bench -q -p hpclog-bench --bench query_cache
+
 echo "All checks passed."

@@ -148,27 +148,27 @@ fn telemetry_surfaces_ingest_query_and_analytics() {
 
     let metrics = jsonlite::parse(&engine.handle(r#"{"op":"metrics"}"#)).expect("valid JSON");
     assert_eq!(metrics["status"].as_str(), Some("ok"));
-    let read_count = metrics["histograms"]["rasdb.coordinator.read"]["count"]
+    let read_count = metrics["data"]["histograms"]["rasdb.coordinator.read"]["count"]
         .as_i64()
         .expect("read histogram present");
     assert!(read_count > 0, "coordinator reads recorded");
-    let write_count = metrics["histograms"]["rasdb.coordinator.write"]["count"]
+    let write_count = metrics["data"]["histograms"]["rasdb.coordinator.write"]["count"]
         .as_i64()
         .expect("write histogram present");
     assert!(write_count > 0, "coordinator writes recorded");
     // Scheduler tasks split by locality: scan_events_rdd pins partitions
     // to data owners (hits); batch import spreads with no preference
     // (misses).
-    let hits = metrics["counters"]["sparklet.scheduler.task.locality_hit"]
+    let hits = metrics["data"]["counters"]["sparklet.scheduler.task.locality_hit"]
         .as_i64()
         .unwrap_or(0);
-    let misses = metrics["counters"]["sparklet.scheduler.task.locality_miss"]
+    let misses = metrics["data"]["counters"]["sparklet.scheduler.task.locality_miss"]
         .as_i64()
         .unwrap_or(0);
     assert!(hits > 0, "no locality hits recorded");
     assert!(misses > 0, "no locality misses recorded");
     assert!(
-        metrics["histograms"]["sparklet.scheduler.task"]["count"]
+        metrics["data"]["histograms"]["sparklet.scheduler.task"]["count"]
             .as_i64()
             .unwrap()
             > 0
@@ -182,7 +182,7 @@ fn telemetry_surfaces_ingest_query_and_analytics() {
         engine.handle(&events_op);
         let trace = jsonlite::parse(&engine.handle(r#"{"op":"trace"}"#)).expect("valid JSON");
         assert_eq!(trace["status"].as_str(), Some("ok"));
-        let spans = trace["spans"].as_array().expect("span array");
+        let spans = trace["data"]["spans"].as_array().expect("span array");
         let roots: Vec<i64> = spans
             .iter()
             .filter(|s| {
