@@ -127,6 +127,7 @@ impl QueryEngine {
             "predict" => self.op_predict(req),
             "render" => self.op_render(req),
             "cql" => self.op_cql(req),
+            "topology" => self.op_topology(req),
             "dlq" => self.op_dlq(req),
             "dlq_requeue" => self.op_dlq_requeue(req),
             "metrics" => self.op_metrics(req),
@@ -475,6 +476,52 @@ impl QueryEngine {
         }
     }
 
+    /// Topology admin and status. `action` defaults to `"status"`; `"join"`
+    /// adds a new node and streams its ranges in, `"decommission"` drains
+    /// the named node's ranges and retires it. A concurrent transition
+    /// surfaces as `TOPOLOGY_CHANGING` with a retry hint.
+    fn op_topology(&self, req: &QueryRequest) -> Result<OpOutput, ApiError> {
+        let cluster = self.fw.cluster();
+        match req.opt_str("action").unwrap_or("status") {
+            "status" => {
+                let s = cluster.topology_status();
+                Ok(OpOutput::data([
+                    ("epoch", Json::from(s.epoch as i64)),
+                    (
+                        "replication_factor",
+                        Json::from(s.replication_factor as i64),
+                    ),
+                    ("state", Json::from(s.state.as_str())),
+                    (
+                        "members",
+                        json_array(s.members.iter().map(|m| {
+                            json_object([
+                                ("id", Json::from(m.id.0 as i64)),
+                                ("up", Json::from(m.up)),
+                                ("in_ring", Json::from(m.in_ring)),
+                            ])
+                        })),
+                    ),
+                ]))
+            }
+            "join" => {
+                let report = cluster.join_node()?;
+                Ok(transition_json(&report))
+            }
+            "decommission" => {
+                let id = req.i64_field("node")?;
+                if id < 0 {
+                    return Err(ApiError::bad_request("'node' must be non-negative"));
+                }
+                let report = cluster.decommission_node(rasdb::ring::NodeId(id as usize))?;
+                Ok(transition_json(&report))
+            }
+            other => Err(ApiError::bad_request(format!(
+                "unknown topology action '{other}'"
+            ))),
+        }
+    }
+
     fn op_synopsis(&self, req: &QueryRequest) -> Result<OpOutput, ApiError> {
         let day = req.i64_field("day")?;
         let key = cache_key(&["synopsis", &day.to_string()]);
@@ -710,6 +757,24 @@ impl QueryEngine {
 /// order, whitespace, or `compat`.
 fn cache_key(parts: &[&str]) -> Vec<u8> {
     parts.join("\x1f").into_bytes()
+}
+
+/// Shared shape for committed join/decommission reports.
+fn transition_json(r: &rasdb::TransitionReport) -> OpOutput {
+    OpOutput::data([
+        ("action", Json::from(r.kind.as_str())),
+        ("node", Json::from(r.node.0 as i64)),
+        ("epoch", Json::from(r.epoch as i64)),
+        (
+            "partitions_streamed",
+            Json::from(r.partitions_streamed as i64),
+        ),
+        ("rows_streamed", Json::from(r.rows_streamed as i64)),
+        ("chunks_streamed", Json::from(r.chunks_streamed as i64)),
+        ("chunk_retries", Json::from(r.chunk_retries as i64)),
+        ("stream_resumes", Json::from(r.stream_resumes as i64)),
+        ("hints_rerouted", Json::from(r.hints_rerouted as i64)),
+    ])
 }
 
 fn bus_err(e: logbus::BusError) -> ApiError {
@@ -1056,6 +1121,44 @@ mod tests {
         assert_eq!(resp["data"]["remaining"].as_i64(), Some(0));
         let resp = call(&e, r#"{"op":"dlq"}"#);
         assert_eq!(resp["data"]["depth"].as_i64(), Some(0));
+    }
+
+    #[test]
+    fn topology_op_status_join_decommission() {
+        let e = engine();
+        let resp = call(&e, r#"{"op":"topology"}"#);
+        assert_eq!(resp["status"].as_str(), Some("ok"));
+        assert_eq!(resp["data"]["state"].as_str(), Some("stable"));
+        assert_eq!(resp["data"]["members"].as_array().unwrap().len(), 3);
+        let epoch0 = resp["data"]["epoch"].as_i64().unwrap();
+
+        // Join a fourth node: ranges stream in, epoch bumps once.
+        let resp = call(&e, r#"{"op":"topology","action":"join"}"#);
+        assert_eq!(resp["status"].as_str(), Some("ok"), "{resp}");
+        assert_eq!(resp["data"]["action"].as_str(), Some("join"));
+        assert_eq!(resp["data"]["node"].as_i64(), Some(3));
+        assert_eq!(resp["data"]["epoch"].as_i64(), Some(epoch0 + 1));
+        let resp = call(&e, r#"{"op":"topology"}"#);
+        assert_eq!(resp["data"]["members"].as_array().unwrap().len(), 4);
+
+        // Decommission it again: back to three ring members, retired slot
+        // stays listed.
+        let resp = call(&e, r#"{"op":"topology","action":"decommission","node":3}"#);
+        assert_eq!(resp["status"].as_str(), Some("ok"), "{resp}");
+        assert_eq!(resp["data"]["action"].as_str(), Some("decommission"));
+        let resp = call(&e, r#"{"op":"topology"}"#);
+        let members = resp["data"]["members"].as_array().unwrap();
+        assert_eq!(members.len(), 4);
+        assert_eq!(members[3]["in_ring"].as_bool(), Some(false));
+        assert_eq!(members[3]["up"].as_bool(), Some(false));
+
+        // Bad actions and bad targets are typed errors.
+        let resp = call(&e, r#"{"op":"topology","action":"warp"}"#);
+        assert_eq!(resp["error"]["code"].as_str(), Some("BAD_REQUEST"));
+        let resp = call(&e, r#"{"op":"topology","action":"decommission"}"#);
+        assert_eq!(resp["error"]["code"].as_str(), Some("BAD_REQUEST"));
+        let resp = call(&e, r#"{"op":"topology","action":"decommission","node":3}"#);
+        assert_eq!(resp["error"]["code"].as_str(), Some("BAD_REQUEST"));
     }
 
     #[test]

@@ -56,6 +56,9 @@ pub enum ErrorCode {
     NotFound,
     /// The storage layer could not reach enough replicas.
     Unavailable,
+    /// A topology transition (join/decommission) is in flight; retry the
+    /// admin op after `error.retry_after_ms`.
+    TopologyChanging,
     /// Anything else (storage faults, analytics failures).
     Internal,
 }
@@ -73,18 +76,23 @@ impl ErrorCode {
             ErrorCode::BadCursor => "BAD_CURSOR",
             ErrorCode::NotFound => "NOT_FOUND",
             ErrorCode::Unavailable => "UNAVAILABLE",
+            ErrorCode::TopologyChanging => "TOPOLOGY_CHANGING",
             ErrorCode::Internal => "INTERNAL",
         }
     }
 }
 
-/// A typed error: code + human-readable message.
+/// A typed error: code + human-readable message, plus an optional retry
+/// hint for transient conditions.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ApiError {
     /// Machine-readable classification.
     pub code: ErrorCode,
     /// Human-readable detail.
     pub message: String,
+    /// Client back-off hint, emitted as `error.retry_after_ms` when set
+    /// (currently only on [`ErrorCode::TopologyChanging`]).
+    pub retry_after_ms: Option<u64>,
 }
 
 impl ApiError {
@@ -93,6 +101,7 @@ impl ApiError {
         ApiError {
             code,
             message: message.into(),
+            retry_after_ms: None,
         }
     }
 
@@ -100,19 +109,34 @@ impl ApiError {
     pub fn bad_request(message: impl Into<String>) -> ApiError {
         ApiError::new(ErrorCode::BadRequest, message)
     }
+
+    /// Attaches a retry hint, surfaced as `error.retry_after_ms`.
+    pub fn with_retry_after(mut self, ms: u64) -> ApiError {
+        self.retry_after_ms = Some(ms);
+        self
+    }
 }
 
 impl From<DbError> for ApiError {
     fn from(e: DbError) -> ApiError {
         let code = match &e {
-            DbError::Unavailable { .. } => ErrorCode::Unavailable,
+            DbError::Unavailable { .. } | DbError::StreamAborted(_) => ErrorCode::Unavailable,
+            DbError::TopologyChanging { .. } => ErrorCode::TopologyChanging,
             DbError::NoSuchTable(_)
             | DbError::BadQuery(_)
             | DbError::SchemaViolation(_)
             | DbError::Parse(_) => ErrorCode::BadRequest,
             _ => ErrorCode::Internal,
         };
-        ApiError::new(code, e.to_string())
+        let retry = match &e {
+            DbError::TopologyChanging { retry_after_ms } => Some(*retry_after_ms),
+            _ => None,
+        };
+        let err = ApiError::new(code, e.to_string());
+        match retry {
+            Some(ms) => err.with_retry_after(ms),
+            None => err,
+        }
     }
 }
 
@@ -414,19 +438,21 @@ pub fn envelope_ok(out: OpOutput, compat: bool) -> Json {
     resp
 }
 
-/// Assembles the v1 `error` envelope: typed `error.code`/`error.message`.
-/// With `compat`, `message` is additionally mirrored flat.
+/// Assembles the v1 `error` envelope: typed `error.code`/`error.message`,
+/// plus `error.retry_after_ms` for retryable conditions. With `compat`,
+/// `message` is additionally mirrored flat.
 pub fn envelope_err(e: &ApiError, compat: bool) -> Json {
+    let mut error = json_object([
+        ("code", Json::from(e.code.as_str())),
+        ("message", Json::from(e.message.as_str())),
+    ]);
+    if let Some(ms) = e.retry_after_ms {
+        error.insert("retry_after_ms", Json::from(ms as i64));
+    }
     let mut resp = json_object([
         ("v", Json::from(ENVELOPE_VERSION)),
         ("status", Json::from("error")),
-        (
-            "error",
-            json_object([
-                ("code", Json::from(e.code.as_str())),
-                ("message", Json::from(e.message.as_str())),
-            ]),
-        ),
+        ("error", error),
     ]);
     if compat {
         resp.insert("message", Json::from(e.message.as_str()));
@@ -520,6 +546,26 @@ mod tests {
         );
         assert_eq!(err["message"].as_str(), Some("nothing to see"));
         assert_eq!(err["error"]["message"].as_str(), Some("nothing to see"));
+    }
+
+    #[test]
+    fn topology_changing_maps_to_typed_retry_envelope() {
+        let api: ApiError = DbError::TopologyChanging {
+            retry_after_ms: 250,
+        }
+        .into();
+        assert_eq!(api.code, ErrorCode::TopologyChanging);
+        assert_eq!(api.retry_after_ms, Some(250));
+        let env = envelope_err(&api, false);
+        assert_eq!(env["error"]["code"].as_str(), Some("TOPOLOGY_CHANGING"));
+        assert_eq!(env["error"]["retry_after_ms"].as_i64(), Some(250));
+        // Non-retryable errors never carry the hint.
+        let env = envelope_err(&ApiError::bad_request("nope"), false);
+        assert!(env["error"]["retry_after_ms"].is_null());
+        // Stream aborts surface as UNAVAILABLE (the transition rolled
+        // back; the client may retry the whole admin op).
+        let api: ApiError = DbError::StreamAborted("x".into()).into();
+        assert_eq!(api.code, ErrorCode::Unavailable);
     }
 
     #[test]

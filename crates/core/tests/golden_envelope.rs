@@ -140,6 +140,11 @@ fn golden_ops() -> Vec<(&'static str, String, Vec<&'static str>)> {
             r#"{"op":"cql","q":"SELECT * FROM event_by_time WHERE hour = 0 AND type = 'MCE' LIMIT 3"}"#.into(),
             vec!["rows"],
         ),
+        (
+            "topology",
+            r#"{"op":"topology"}"#.into(),
+            vec!["epoch", "members", "replication_factor", "state"],
+        ),
         ("dlq", r#"{"op":"dlq"}"#.into(), vec!["depth", "entries"]),
         (
             "dlq_requeue",
@@ -211,6 +216,54 @@ fn compat_requests_mirror_every_data_field_flat_and_deprecate_the_mirror() {
     }
 }
 
+/// While a join is streaming, admin ops are refused with the typed
+/// `TOPOLOGY_CHANGING` code and a machine-readable retry hint; once the
+/// transition commits, the same request succeeds (or fails for its own
+/// reasons, not the transition's).
+#[test]
+fn concurrent_admin_op_gets_topology_changing_with_retry_hint() {
+    let e = engine();
+    let cluster = Arc::clone(e.framework().cluster());
+    // Tiny chunks plus a stall per chunk keep the join window open long
+    // enough for the probe below to land inside it.
+    cluster.set_stream_chunk_rows(1);
+    let plan =
+        rasdb::TopologyFaultPlan::none().slow_chunk_every(1, std::time::Duration::from_millis(20));
+    let join = std::thread::spawn(move || cluster.join_node_with(plan).unwrap());
+    // Wait until the status op reports the join in flight — probing with a
+    // mutating op any earlier could win the race and start its own
+    // transition instead.
+    let mut joining = false;
+    for _ in 0..5000 {
+        let resp = call(&e, r#"{"op":"topology"}"#);
+        if resp["data"]["state"]
+            .as_str()
+            .unwrap()
+            .starts_with("joining")
+        {
+            joining = true;
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    assert!(joining, "status never reported the join in flight");
+    let resp = call(&e, r#"{"op":"topology","action":"decommission","node":0}"#);
+    assert_eq!(
+        resp["error"]["code"].as_str(),
+        Some("TOPOLOGY_CHANGING"),
+        "{resp}"
+    );
+    assert!(
+        resp["error"]["retry_after_ms"].as_i64().unwrap() > 0,
+        "retry hint must be positive: {resp}"
+    );
+    join.join().unwrap();
+    // After commit the cluster is stable again: the same op now runs (and
+    // succeeds — four members at rf 2 can lose one).
+    let resp = call(&e, r#"{"op":"topology","action":"decommission","node":0}"#);
+    assert_eq!(resp["status"].as_str(), Some("ok"), "{resp}");
+}
+
 #[test]
 fn each_op_reports_its_characteristic_typed_error_code() {
     let e = engine();
@@ -265,6 +318,15 @@ fn each_op_reports_its_characteristic_typed_error_code() {
         ),
         (r#"{"op":"cql"}"#, "BAD_REQUEST"),
         (r#"{"op":"cql","q":"DROP TABLE x"}"#, "BAD_REQUEST"),
+        (r#"{"op":"topology","action":"warp"}"#, "BAD_REQUEST"),
+        (
+            r#"{"op":"topology","action":"decommission"}"#,
+            "BAD_REQUEST",
+        ),
+        (
+            r#"{"op":"topology","action":"decommission","node":99}"#,
+            "BAD_REQUEST",
+        ),
         (r#"{"op":"dlq","max":0}"#, "BAD_REQUEST"),
         (r#"{"op":"dlq_requeue","max":-3}"#, "BAD_REQUEST"),
     ] {

@@ -1,5 +1,6 @@
 //! The cluster: a masterless ring of storage nodes plus coordinator logic
-//! (replication, consistency levels, hinted handoff, read repair).
+//! (replication, consistency levels, hinted handoff, read repair) and live
+//! topology changes (join/decommission with fault-tolerant range streaming).
 
 use crate::cache::{block_key, rows_footprint, BlockEntry, LruCache};
 use crate::commitlog::Mutation;
@@ -13,11 +14,15 @@ use crate::query::{
 };
 use crate::ring::{NodeId, Ring};
 use crate::schema::{KeyRole, TableSchema};
-use crate::stats::{CacheStats, CoordinatorStats, StatsSnapshot};
+use crate::sstable::{encode_stream_chunk, stream_chunk_checksum};
+use crate::stats::{CacheStats, CoordinatorStats, StatsSnapshot, TopologyStats};
+use crate::topology::{
+    MemberStatus, StreamFaults, TopologyFaultPlan, TopologyStatus, TransitionKind, TransitionReport,
+};
 use crate::types::{Key, Row, Value};
 use crossbeam::channel::{unbounded, RecvTimeoutError, Sender};
 use parking_lot::{Mutex, RwLock};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::ops::Bound;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -64,6 +69,14 @@ pub const DEFAULT_HINT_CAP: u64 = 8192;
 /// [`Cluster::set_block_cache_budget`]).
 pub const DEFAULT_BLOCK_CACHE_BYTES: usize = 32 << 20;
 
+/// Suggested client back-off returned with [`DbError::TopologyChanging`]
+/// when an admin op is rejected because a transition is already in flight.
+pub const TOPOLOGY_RETRY_AFTER_MS: u64 = 100;
+
+/// Default rows per range-streaming chunk (see
+/// [`Cluster::set_stream_chunk_rows`]).
+pub const DEFAULT_STREAM_CHUNK_ROWS: u64 = 128;
+
 /// Combined `(table, partition)` key for the data-version map.
 fn version_key(table: &str, partition: &Key) -> Vec<u8> {
     let mut out = Vec::with_capacity(table.len() + 20);
@@ -82,17 +95,33 @@ type ReplicaResponse = (usize, NodeId, Option<Vec<(Key, RowEntry)>>);
 
 /// Persistent coordinator worker pool: one thread + queue per storage
 /// node, so a slow or down node backs up only its own queue and can never
-/// stall reads bound for healthy nodes.
+/// stall reads bound for healthy nodes. The pool grows when nodes join a
+/// live cluster; slots are never removed (decommissioned nodes keep their
+/// idle worker, matching their permanently reserved `NodeId`).
 struct CoordinatorPool {
-    queues: Vec<Sender<CoordJob>>,
-    handles: Vec<std::thread::JoinHandle<()>>,
+    queues: RwLock<Vec<Sender<CoordJob>>>,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
 impl CoordinatorPool {
     fn new(nodes: usize) -> CoordinatorPool {
-        let mut queues = Vec::with_capacity(nodes);
-        let mut handles = Vec::with_capacity(nodes);
-        for id in 0..nodes {
+        let pool = CoordinatorPool {
+            queues: RwLock::new(Vec::with_capacity(nodes)),
+            handles: Mutex::new(Vec::with_capacity(nodes)),
+        };
+        pool.ensure(nodes);
+        pool
+    }
+
+    /// Grows the pool to at least `nodes` workers.
+    fn ensure(&self, nodes: usize) {
+        if self.queues.read().len() >= nodes {
+            return;
+        }
+        let mut queues = self.queues.write();
+        let mut handles = self.handles.lock();
+        while queues.len() < nodes {
+            let id = queues.len();
             let (tx, rx) = unbounded::<CoordJob>();
             queues.push(tx);
             handles.push(
@@ -106,11 +135,10 @@ impl CoordinatorPool {
                     .expect("spawn coordinator worker"),
             );
         }
-        CoordinatorPool { queues, handles }
     }
 
     fn submit(&self, node: NodeId, job: CoordJob) {
-        self.queues[node.0]
+        self.queues.read()[node.0]
             .send(job)
             .expect("coordinator worker alive");
     }
@@ -119,17 +147,37 @@ impl CoordinatorPool {
 impl Drop for CoordinatorPool {
     fn drop(&mut self) {
         // Closing the queues ends the worker loops.
-        self.queues.clear();
-        for h in self.handles.drain(..) {
+        self.queues.write().clear();
+        for h in self.handles.lock().drain(..) {
             let _ = h.join();
         }
     }
 }
 
+/// The ring plus any in-flight membership transition, swapped atomically
+/// under one lock so every coordinator snapshot sees a consistent pair.
+struct TopologyState {
+    ring: Ring,
+    transition: Option<Transition>,
+}
+
+/// One in-flight join or decommission.
+struct Transition {
+    kind: TransitionKind,
+    node: NodeId,
+    /// The ring the cluster converges to when the transition commits.
+    target_ring: Ring,
+}
+
 /// An in-process distributed database.
 pub struct Cluster {
-    ring: Ring,
-    nodes: Vec<Arc<StorageNode>>,
+    /// Ring + in-flight transition. Lock ordering: `topology` before
+    /// `nodes`; neither is ever held across range streaming.
+    topology: RwLock<TopologyState>,
+    /// Every node slot ever created, indexed by `NodeId`. Append-only:
+    /// decommissioned nodes are retired in place so ids stay stable.
+    nodes: RwLock<Vec<Arc<StorageNode>>>,
+    node_cfg: NodeConfig,
     schemas: RwLock<HashMap<String, TableSchema>>,
     clock: AtomicU64,
     hints: Mutex<HashMap<NodeId, VecDeque<Mutation>>>,
@@ -147,6 +195,8 @@ pub struct Cluster {
     epoch: AtomicU64,
     block_cache: Mutex<LruCache<BlockEntry>>,
     block_cache_stats: CacheStats,
+    topo_stats: TopologyStats,
+    stream_chunk_rows: AtomicU64,
 }
 
 impl Cluster {
@@ -162,8 +212,12 @@ impl Cluster {
             .map(|i| Arc::new(StorageNode::new(NodeId(i), node_cfg)))
             .collect();
         Cluster {
-            ring,
-            nodes,
+            topology: RwLock::new(TopologyState {
+                ring,
+                transition: None,
+            }),
+            nodes: RwLock::new(nodes),
+            node_cfg,
             schemas: RwLock::new(HashMap::new()),
             clock: AtomicU64::new(1),
             hints: Mutex::new(HashMap::new()),
@@ -176,6 +230,8 @@ impl Cluster {
             epoch: AtomicU64::new(0),
             block_cache: Mutex::new(LruCache::new(DEFAULT_BLOCK_CACHE_BYTES)),
             block_cache_stats: CacheStats::new("block"),
+            topo_stats: TopologyStats::default(),
+            stream_chunk_rows: AtomicU64::new(DEFAULT_STREAM_CHUNK_ROWS),
         }
     }
 
@@ -193,8 +249,11 @@ impl Cluster {
     }
 
     /// Topology epoch: bumped whenever a node goes down or comes back up
-    /// (hint replay included). Any cached read is invalidated by an epoch
-    /// change because replica visibility may have shifted.
+    /// (hint replay included), and exactly once when a join or decommission
+    /// commits. Any cached read is invalidated by an epoch change because
+    /// replica visibility or placement may have shifted. Aborted
+    /// transitions do NOT bump it — nothing moved, so no cache entry went
+    /// stale.
     pub fn topology_epoch(&self) -> u64 {
         self.epoch.load(Ordering::SeqCst)
     }
@@ -268,8 +327,12 @@ impl Cluster {
     /// clusters (unit tests, property-test shrink iterations) never pay
     /// for threads they don't use.
     fn coordinator(&self) -> &CoordinatorPool {
-        self.coordinator
-            .get_or_init(|| CoordinatorPool::new(self.nodes.len()))
+        let pool = self
+            .coordinator
+            .get_or_init(|| CoordinatorPool::new(self.node_count()));
+        // Nodes may have joined since the pool was spawned.
+        pool.ensure(self.node_count());
+        pool
     }
 
     /// Coordinator read-path counters (replica skips, speculative retries,
@@ -285,19 +348,31 @@ impl Cluster {
             .store(d.as_micros() as u64, Ordering::SeqCst);
     }
 
-    /// The token ring (placement inspection, locality-aware scheduling).
-    pub fn ring(&self) -> &Ring {
-        &self.ring
+    /// A snapshot of the token ring (placement inspection, locality-aware
+    /// scheduling). The clone decouples callers from topology changes: a
+    /// join or decommission swaps the live ring out from under them.
+    pub fn ring(&self) -> Ring {
+        self.topology.read().ring.clone()
     }
 
-    /// Number of nodes.
+    /// Number of node slots ever created (including retired ones), i.e.
+    /// `NodeId`s run `0..node_count()`.
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.nodes.read().len()
+    }
+
+    /// Number of current ring members (excludes retired slots).
+    pub fn member_count(&self) -> usize {
+        self.topology.read().ring.node_count()
     }
 
     /// Access to a node (tests, stats, locality scans).
-    pub fn node(&self, id: NodeId) -> &Arc<StorageNode> {
-        &self.nodes[id.0]
+    pub fn node(&self, id: NodeId) -> Arc<StorageNode> {
+        self.node_arc(id)
+    }
+
+    fn node_arc(&self, id: NodeId) -> Arc<StorageNode> {
+        Arc::clone(&self.nodes.read()[id.0])
     }
 
     /// Registers a table on every node.
@@ -306,7 +381,7 @@ impl Cluster {
         if schemas.contains_key(&schema.name) {
             return Err(DbError::TableExists(schema.name));
         }
-        for node in &self.nodes {
+        for node in self.nodes.read().iter() {
             node.create_table(&schema.name);
         }
         schemas.insert(schema.name.clone(), schema);
@@ -397,30 +472,60 @@ impl Cluster {
         self.write_mutation(m, consistency)
     }
 
+    /// Hinted handoff: remember the mutation for a node that missed it.
+    /// The queue is capped; at capacity the *oldest* hint is dropped (LWW
+    /// means newer mutations supersede it anyway) and counted, so a long
+    /// outage degrades to read repair instead of growing coordinator
+    /// memory without bound.
+    fn queue_hint(&self, id: NodeId, m: &Mutation) {
+        let cap = self.hint_cap.load(Ordering::Relaxed) as usize;
+        let mut hints = self.hints.lock();
+        let queue = hints.entry(id).or_default();
+        while queue.len() >= cap.max(1) {
+            queue.pop_front();
+            self.coord_stats.record_hint_dropped();
+        }
+        queue.push_back(m.clone());
+    }
+
     fn write_mutation(&self, m: Mutation, consistency: Consistency) -> Result<(), DbError> {
         let _span = telemetry::span!("rasdb.coordinator.write");
         let token = token_for(&m.partition);
-        let replicas = self.ring.replicas(token);
+        // One topology snapshot yields both replica sets, so a transition
+        // committing mid-write can never make the coordinator miss both
+        // the old and the new owner of a range.
+        let (replicas, gainers) = {
+            let topo = self.topology.read();
+            let replicas = topo.ring.replicas(token);
+            let gainers: Vec<NodeId> = match &topo.transition {
+                Some(t) => t
+                    .target_ring
+                    .replicas(token)
+                    .into_iter()
+                    .filter(|n| !replicas.contains(n))
+                    .collect(),
+                None => Vec::new(),
+            };
+            (replicas, gainers)
+        };
         let required = consistency.required(replicas.len());
         let mut acks = 0;
         for id in &replicas {
-            let node = &self.nodes[id.0];
-            if node.apply(&m) {
+            if self.node_arc(*id).apply(&m) {
                 acks += 1;
             } else {
-                // Hinted handoff: remember the mutation for the down node.
-                // The queue is capped; at capacity the *oldest* hint is
-                // dropped (LWW means newer mutations supersede it anyway)
-                // and counted, so a long outage degrades to read repair
-                // instead of growing coordinator memory without bound.
-                let cap = self.hint_cap.load(Ordering::Relaxed) as usize;
-                let mut hints = self.hints.lock();
-                let queue = hints.entry(*id).or_default();
-                while queue.len() >= cap.max(1) {
-                    queue.pop_front();
-                    self.coord_stats.record_hint_dropped();
-                }
-                queue.push_back(m.clone());
+                self.queue_hint(*id, &m);
+            }
+        }
+        // Double-write window: while a transition is in flight, every
+        // future owner of the range receives the mutation too, so commit
+        // finds nothing missing. These writes never count toward the
+        // client's consistency level — the old ring stays authoritative
+        // until commit — and a miss (gainer down) is hinted and drained
+        // synchronously at commit.
+        for id in &gainers {
+            if !self.node_arc(*id).apply(&m) {
+                self.queue_hint(*id, &m);
             }
         }
         // Bump *after* the replica applies so a concurrent reader that
@@ -440,16 +545,21 @@ impl Cluster {
 
     /// Marks a node down (failure injection).
     pub fn take_node_down(&self, id: NodeId) {
-        self.nodes[id.0].set_up(false);
+        self.node_arc(id).set_up(false);
         self.epoch.fetch_add(1, Ordering::SeqCst);
     }
 
-    /// Brings a node back up and replays its hints.
+    /// Brings a node back up and replays its hints. A retired node cannot
+    /// come back: this is a no-op (no epoch bump, hints left untouched).
     pub fn bring_node_up(&self, id: NodeId) {
-        self.nodes[id.0].set_up(true);
+        let node = self.node_arc(id);
+        if node.is_retired() {
+            return;
+        }
+        node.set_up(true);
         let hints = self.hints.lock().remove(&id).unwrap_or_default();
         for m in hints {
-            self.nodes[id.0].apply(&m);
+            node.apply(&m);
         }
         self.epoch.fetch_add(1, Ordering::SeqCst);
     }
@@ -498,7 +608,14 @@ impl Cluster {
                 plan.partition.0.len()
             )));
         }
-        let replicas = self.ring.replicas(token_for(&plan.partition));
+        // Reads route via the *old* ring for the whole transition window:
+        // gainers may still be mid-stream, so only the pre-change replica
+        // set is guaranteed complete until commit swaps the ring.
+        let replicas = self
+            .topology
+            .read()
+            .ring
+            .replicas(token_for(&plan.partition));
         let required = consistency.required(replicas.len());
         Ok((replicas, required))
     }
@@ -511,7 +628,7 @@ impl Cluster {
         while *cursor < replicas.len() {
             let id = replicas[*cursor];
             *cursor += 1;
-            if self.nodes[id.0].is_up() {
+            if self.node_arc(id).is_up() {
                 return Some(id);
             }
             self.coord_stats.record_replica_skipped();
@@ -537,7 +654,9 @@ impl Cluster {
         let mut responses: Vec<(NodeId, Vec<(Key, RowEntry)>)> = Vec::new();
         let mut cursor = 0;
         while let Some(id) = self.next_up_replica(&replicas, &mut cursor) {
-            if let Some(raw) = self.nodes[id.0].read_raw(&plan.table, &plan.partition, &plan.range)
+            if let Some(raw) = self
+                .node_arc(id)
+                .read_raw(&plan.table, &plan.partition, &plan.range)
             {
                 responses.push((id, raw));
             }
@@ -685,7 +804,7 @@ impl Cluster {
             // replica. Returns false when the replica list is exhausted.
             let dispatch_next = |g: &mut Gather, gi: usize, tx: &Sender<ReplicaResponse>| -> bool {
                 if let Some(id) = self.next_up_replica(&g.replicas, &mut g.next_replica) {
-                    let node = Arc::clone(&self.nodes[id.0]);
+                    let node = self.node_arc(id);
                     let plan = plans[miss[gi]].clone();
                     let tx = tx.clone();
                     pool.submit(
@@ -813,7 +932,7 @@ impl Cluster {
                         .collect(),
                     row_delete: entry.deleted_at,
                 };
-                if self.nodes[id.0].apply(&m) {
+                if self.node_arc(*id).apply(&m) {
                     repaired += 1;
                 }
             }
@@ -1008,7 +1127,7 @@ impl Cluster {
 
     /// The replica set that owns a partition key of `table`.
     pub fn owners(&self, partition: &Key) -> Vec<NodeId> {
-        self.ring.replicas(token_for(partition))
+        self.topology.read().ring.replicas(token_for(partition))
     }
 
     /// The token of a partition key.
@@ -1018,17 +1137,19 @@ impl Cluster {
 
     /// Partition keys whose *primary* replica is `node` (locality scans).
     pub fn local_partition_keys(&self, table: &str, node: NodeId) -> Vec<Key> {
-        self.nodes[node.0]
+        let ring = self.ring();
+        self.node_arc(node)
             .local_partition_keys(table)
             .into_iter()
-            .filter(|k| self.ring.primary(token_for(k)) == node)
+            .filter(|k| ring.primary(token_for(k)) == node)
             .collect()
     }
 
     /// Flushes every table on every node (benches, deterministic reads).
     pub fn flush_all(&self) {
         let tables = self.table_names();
-        for node in &self.nodes {
+        let nodes = self.nodes.read().clone();
+        for node in &nodes {
             for t in &tables {
                 node.flush(t);
                 node.maybe_compact(t);
@@ -1039,9 +1160,510 @@ impl Cluster {
     /// Aggregated stats across nodes.
     pub fn stats(&self) -> StatsSnapshot {
         self.nodes
+            .read()
             .iter()
             .fold(StatsSnapshot::default(), |acc, n| acc.add(&n.stats()))
     }
+
+    /// Topology-transition counters (streaming, retries, resumes, aborts).
+    pub fn topology_stats(&self) -> &TopologyStats {
+        &self.topo_stats
+    }
+
+    /// Overrides the rows-per-chunk granularity of range streaming
+    /// (default [`DEFAULT_STREAM_CHUNK_ROWS`]); smaller chunks mean finer
+    /// resume points and more fault-plan trigger opportunities.
+    pub fn set_stream_chunk_rows(&self, rows: u64) {
+        self.stream_chunk_rows.store(rows.max(1), Ordering::SeqCst);
+    }
+
+    /// Point-in-time topology summary: epoch, transition state, and every
+    /// node slot with its liveness and ring membership.
+    pub fn topology_status(&self) -> TopologyStatus {
+        let topo = self.topology.read();
+        let state = match &topo.transition {
+            None => "stable".to_owned(),
+            Some(t) => format!("{}ing({})", t.kind.as_str(), t.node.0),
+        };
+        let members = self
+            .nodes
+            .read()
+            .iter()
+            .map(|n| MemberStatus {
+                id: n.id,
+                up: n.is_up(),
+                in_ring: topo.ring.contains(n.id),
+            })
+            .collect();
+        TopologyStatus {
+            epoch: self.epoch.load(Ordering::SeqCst),
+            replication_factor: topo.ring.replication_factor(),
+            state,
+            members,
+        }
+    }
+
+    /// Adds a brand-new node to the ring, streaming its token ranges from
+    /// the current owners before it takes ownership. Returns the committed
+    /// transition's report. See [`Cluster::join_node_with`] for fault
+    /// injection.
+    pub fn join_node(&self) -> Result<TransitionReport, DbError> {
+        self.join_node_with(TopologyFaultPlan::none())
+    }
+
+    /// [`Cluster::join_node`] with a deterministic fault plan injected into
+    /// the range stream. On stream exhaustion the join aborts cleanly: the
+    /// pre-join ring and epoch are restored exactly, the half-filled joiner
+    /// is retired, and its queued hints are dropped (counted in
+    /// [`CoordinatorStats::hints_dropped`]).
+    pub fn join_node_with(&self, plan: TopologyFaultPlan) -> Result<TransitionReport, DbError> {
+        let _span = telemetry::span!("rasdb.topology.join");
+        // Install the transition atomically: slot creation, target ring,
+        // and the double-write window all become visible together.
+        let (joiner, old_ring, target_ring) = {
+            let mut topo = self.topology.write();
+            if topo.transition.is_some() {
+                return Err(DbError::TopologyChanging {
+                    retry_after_ms: TOPOLOGY_RETRY_AFTER_MS,
+                });
+            }
+            let joiner = {
+                let mut nodes = self.nodes.write();
+                let id = NodeId(nodes.len());
+                nodes.push(Arc::new(StorageNode::new(id, self.node_cfg)));
+                id
+            };
+            // Register every table on the joiner *after* its slot exists:
+            // a concurrent `create_table` either finished earlier (so
+            // `table_names` sees it) or iterates the node list after the
+            // push (so it covers the joiner itself).
+            let node = self.node_arc(joiner);
+            for t in self.table_names() {
+                node.create_table(&t);
+            }
+            let target = topo.ring.with_member(joiner);
+            topo.transition = Some(Transition {
+                kind: TransitionKind::Join,
+                node: joiner,
+                target_ring: target.clone(),
+            });
+            (joiner, topo.ring.clone(), target)
+        };
+
+        let faults = StreamFaults::new(plan);
+        let mut report = TransitionReport {
+            kind: TransitionKind::Join,
+            node: joiner,
+            partitions_streamed: 0,
+            rows_streamed: 0,
+            chunks_streamed: 0,
+            chunk_retries: 0,
+            stream_resumes: 0,
+            hints_rerouted: 0,
+            epoch: 0,
+        };
+        match self.stream_transition(joiner, &old_ring, &target_ring, &faults, &mut report) {
+            Ok(()) => {
+                self.commit_join(joiner, target_ring, &mut report);
+                Ok(report)
+            }
+            Err(e) => {
+                self.abort_join(joiner);
+                Err(e)
+            }
+        }
+    }
+
+    fn commit_join(&self, joiner: NodeId, target_ring: Ring, report: &mut TransitionReport) {
+        let node = self.node_arc(joiner);
+        let mut topo = self.topology.write();
+        // Drain the joiner's hints (double-writes that missed it while it
+        // streamed) under the topology lock so the swap is atomic: by the
+        // time any coordinator sees the new ring, the new owner is whole.
+        let hints = self.hints.lock().remove(&joiner).unwrap_or_default();
+        for m in &hints {
+            node.apply(m);
+        }
+        topo.ring = target_ring;
+        topo.transition = None;
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        drop(topo);
+        report.epoch = self.topology_epoch();
+        self.topo_stats.record_join();
+    }
+
+    fn abort_join(&self, joiner: NodeId) {
+        {
+            let mut topo = self.topology.write();
+            topo.transition = None;
+        }
+        // The half-filled joiner never owned anything: retire it in place
+        // (its id is burned) and drop any hints double-writes queued for
+        // it. No epoch bump — placement never changed, so no cache entry
+        // went stale.
+        self.node_arc(joiner).retire();
+        let dropped = self.hints.lock().remove(&joiner).map_or(0, |q| q.len());
+        for _ in 0..dropped {
+            self.coord_stats.record_hint_dropped();
+        }
+        self.topo_stats.record_abort();
+    }
+
+    /// Removes a member from the ring, streaming its ranges to their new
+    /// owners first. Works even when the leaver is down (`removenode`
+    /// semantics): the remaining replicas donate its data. See
+    /// [`Cluster::decommission_node_with`] for fault injection.
+    pub fn decommission_node(&self, id: NodeId) -> Result<TransitionReport, DbError> {
+        self.decommission_node_with(id, TopologyFaultPlan::none())
+    }
+
+    /// [`Cluster::decommission_node`] with a deterministic fault plan
+    /// injected into the range stream. On stream exhaustion the
+    /// decommission aborts: the leaver stays a full member and no epoch is
+    /// bumped (partially streamed rows on gainers are harmless — streaming
+    /// is idempotent LWW state transfer).
+    pub fn decommission_node_with(
+        &self,
+        id: NodeId,
+        plan: TopologyFaultPlan,
+    ) -> Result<TransitionReport, DbError> {
+        let _span = telemetry::span!("rasdb.topology.decommission");
+        let (old_ring, target_ring) = {
+            let mut topo = self.topology.write();
+            if topo.transition.is_some() {
+                return Err(DbError::TopologyChanging {
+                    retry_after_ms: TOPOLOGY_RETRY_AFTER_MS,
+                });
+            }
+            if !topo.ring.contains(id) {
+                return Err(DbError::BadQuery(format!(
+                    "node {} is not a ring member",
+                    id.0
+                )));
+            }
+            if topo.ring.node_count() <= topo.ring.replication_factor() {
+                return Err(DbError::BadQuery(format!(
+                    "cannot decommission node {}: membership would fall below the replication factor",
+                    id.0
+                )));
+            }
+            let target = topo.ring.without_member(id);
+            topo.transition = Some(Transition {
+                kind: TransitionKind::Decommission,
+                node: id,
+                target_ring: target.clone(),
+            });
+            (topo.ring.clone(), target)
+        };
+
+        let faults = StreamFaults::new(plan);
+        let mut report = TransitionReport {
+            kind: TransitionKind::Decommission,
+            node: id,
+            partitions_streamed: 0,
+            rows_streamed: 0,
+            chunks_streamed: 0,
+            chunk_retries: 0,
+            stream_resumes: 0,
+            hints_rerouted: 0,
+            epoch: 0,
+        };
+        match self.stream_transition(id, &old_ring, &target_ring, &faults, &mut report) {
+            Ok(()) => {
+                self.commit_decommission(id, &old_ring, target_ring, &mut report);
+                Ok(report)
+            }
+            Err(e) => {
+                {
+                    let mut topo = self.topology.write();
+                    topo.transition = None;
+                }
+                self.topo_stats.record_abort();
+                Err(e)
+            }
+        }
+    }
+
+    fn commit_decommission(
+        &self,
+        leaver: NodeId,
+        old_ring: &Ring,
+        target_ring: Ring,
+        report: &mut TransitionReport,
+    ) {
+        // Re-route the leaver's queued hints to each range's new owner:
+        // they would otherwise wait forever on a node that never returns.
+        // The hinted data also traveled the stream (it lives on the other
+        // old replicas the stream sourced from), so this is convergence
+        // acceleration, not the only copy — but it keeps the gainer whole
+        // without waiting for read repair.
+        let leaver_hints = self.hints.lock().remove(&leaver).unwrap_or_default();
+        for m in &leaver_hints {
+            let token = token_for(&m.partition);
+            let old_reps = old_ring.replicas(token);
+            for g in target_ring.replicas(token) {
+                if old_reps.contains(&g) {
+                    continue;
+                }
+                if !self.node_arc(g).apply(m) {
+                    self.queue_hint(g, m);
+                }
+            }
+            report.hints_rerouted += 1;
+            self.coord_stats.record_hint_rerouted();
+            self.bump_version(&m.table, &m.partition);
+        }
+        let mut topo = self.topology.write();
+        topo.ring = target_ring;
+        topo.transition = None;
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        drop(topo);
+        // Retire directly (not `take_node_down`): leaving the ring is the
+        // epoch-relevant event and it was already counted above.
+        self.node_arc(leaver).retire();
+        report.epoch = self.topology_epoch();
+        self.topo_stats.record_decommission();
+    }
+
+    /// Streams every partition that gains an owner under `target_ring`
+    /// from its current owners. Holds no cluster locks: coordinators keep
+    /// serving reads and (double-)writes throughout.
+    fn stream_transition(
+        &self,
+        tnode: NodeId,
+        old_ring: &Ring,
+        target_ring: &Ring,
+        faults: &StreamFaults,
+        report: &mut TransitionReport,
+    ) -> Result<(), DbError> {
+        let _span = telemetry::span!("rasdb.topology.stream");
+        for table in self.table_names() {
+            // Candidate partitions: the union of what every current member
+            // stores. (For a join the transitioning node holds nothing
+            // yet; for a decommission it may be down — the union over all
+            // members covers every partition either way.)
+            let mut candidates: BTreeSet<Key> = BTreeSet::new();
+            for id in old_ring.members() {
+                for pk in self.node_arc(*id).local_partition_keys(&table) {
+                    candidates.insert(pk);
+                }
+            }
+            for pk in candidates {
+                let token = token_for(&pk);
+                let donors = old_ring.replicas(token);
+                let gainers: Vec<NodeId> = target_ring
+                    .replicas(token)
+                    .into_iter()
+                    .filter(|n| !donors.contains(n))
+                    .collect();
+                if gainers.is_empty() {
+                    continue;
+                }
+                let mut streamed_any = false;
+                for g in gainers {
+                    let rows =
+                        self.stream_partition(&table, &pk, &donors, g, tnode, faults, report)?;
+                    if rows > 0 {
+                        streamed_any = true;
+                        report.rows_streamed += rows;
+                    }
+                }
+                if streamed_any {
+                    report.partitions_streamed += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Quorum-merged source rows for one partition: reading any quorum of
+    /// the old owners is the zero-loss keystone — every row ever acked at
+    /// QUORUM lives on at least a quorum of them, and any two quorums
+    /// intersect, so the merge can never miss an acked row. A single-donor
+    /// stream would NOT have this property.
+    fn stream_source_rows(
+        &self,
+        table: &str,
+        pk: &Key,
+        donors: &[NodeId],
+    ) -> Result<Vec<(Key, RowEntry)>, DbError> {
+        let required = Consistency::Quorum.required(donors.len());
+        let mut merged: BTreeMap<Key, RowEntry> = BTreeMap::new();
+        let mut responses = 0;
+        for id in donors {
+            let Some(raw) = self.node_arc(*id).read_raw(table, pk, &full_range()) else {
+                continue;
+            };
+            responses += 1;
+            for (ck, entry) in raw {
+                match merged.remove(&ck) {
+                    None => {
+                        merged.insert(ck, entry);
+                    }
+                    Some(existing) => {
+                        merged.insert(ck, RowEntry::merge(existing, entry));
+                    }
+                }
+            }
+        }
+        if responses < required {
+            return Err(DbError::Unavailable {
+                required,
+                received: responses,
+            });
+        }
+        Ok(merged.into_iter().collect())
+    }
+
+    /// Streams one partition to one gainer in checksummed chunks, resuming
+    /// from the last acked chunk after donor or receiver crashes. Returns
+    /// the number of rows delivered.
+    #[allow(clippy::too_many_arguments)]
+    fn stream_partition(
+        &self,
+        table: &str,
+        pk: &Key,
+        donors: &[NodeId],
+        gainer: NodeId,
+        tnode: NodeId,
+        faults: &StreamFaults,
+        report: &mut TransitionReport,
+    ) -> Result<u64, DbError> {
+        let chunk_rows = self.stream_chunk_rows.load(Ordering::SeqCst).max(1) as usize;
+        // Resume cursor: the clustering key of the last acked row. After a
+        // crash the source is re-fetched (the surviving quorum may differ)
+        // and rows at or below the cursor are skipped — they were acked,
+        // and any *new* row landing below the cursor mid-transition is
+        // covered by the double-write path, never by the stream.
+        let mut last_acked: Option<Key> = None;
+        let mut streamed = 0u64;
+        'restart: loop {
+            let all = self.stream_source_rows(table, pk, donors)?;
+            let pending: Vec<(Key, RowEntry)> = match &last_acked {
+                None => all,
+                Some(b) => all.into_iter().filter(|(ck, _)| ck > b).collect(),
+            };
+            if pending.is_empty() {
+                return Ok(streamed);
+            }
+            for chunk in pending.chunks(chunk_rows) {
+                match self.send_chunk(table, pk, chunk, donors, gainer, tnode, faults, report)? {
+                    ChunkOutcome::Acked => {
+                        last_acked = Some(chunk.last().expect("non-empty chunk").0.clone());
+                        streamed += chunk.len() as u64;
+                    }
+                    ChunkOutcome::RestartPartition => {
+                        report.stream_resumes += 1;
+                        self.topo_stats.record_stream_resume();
+                        continue 'restart;
+                    }
+                }
+            }
+            return Ok(streamed);
+        }
+    }
+
+    /// One chunk through the fault plan: drop/slow/corrupt injection on
+    /// the wire, checksum verification at the receiver, crash triggers on
+    /// either side. Retries up to the plan's attempt budget; exhaustion
+    /// aborts the whole transition.
+    #[allow(clippy::too_many_arguments)]
+    fn send_chunk(
+        &self,
+        table: &str,
+        pk: &Key,
+        rows: &[(Key, RowEntry)],
+        donors: &[NodeId],
+        gainer: NodeId,
+        tnode: NodeId,
+        faults: &StreamFaults,
+        report: &mut TransitionReport,
+    ) -> Result<ChunkOutcome, DbError> {
+        let max_attempts = faults.plan().effective_attempts();
+        let retry = |report: &mut TransitionReport| {
+            report.chunk_retries += 1;
+            self.topo_stats.record_chunk_retry();
+        };
+        for _ in 0..max_attempts {
+            let attempt = faults.next_attempt();
+            if faults.donor_crash_due(attempt) {
+                // Crash a donor that is not the transitioning node itself;
+                // the stream must re-source from the surviving quorum.
+                if let Some(victim) = donors
+                    .iter()
+                    .find(|d| **d != tnode && self.node_arc(**d).is_up())
+                {
+                    self.take_node_down(*victim);
+                }
+                return Ok(ChunkOutcome::RestartPartition);
+            }
+            if let Some(d) = faults.slow_for(attempt) {
+                std::thread::sleep(d);
+            }
+            if faults.should_drop(attempt) {
+                retry(report);
+                continue;
+            }
+            // The chunk travels as canonical bytes with a checksum computed
+            // before transmission; the receiver recomputes it over what
+            // arrived and NAKs on mismatch.
+            let mut encoded = encode_stream_chunk(pk, rows);
+            let sent_checksum = stream_chunk_checksum(&encoded);
+            if faults.should_corrupt(attempt) {
+                let i = encoded.len() / 2;
+                encoded[i] ^= 0xff;
+            }
+            if stream_chunk_checksum(&encoded) != sent_checksum {
+                retry(report);
+                continue;
+            }
+            let gnode = self.node_arc(gainer);
+            let muts: Vec<Mutation> = rows
+                .iter()
+                .map(|(ck, entry)| Mutation {
+                    table: table.to_owned(),
+                    partition: pk.clone(),
+                    clustering: ck.clone(),
+                    cells: entry
+                        .cells
+                        .iter()
+                        .map(|(n, c)| (n.clone(), c.clone()))
+                        .collect(),
+                    row_delete: entry.deleted_at,
+                })
+                .collect();
+            if !gnode.apply_chunk(&muts) {
+                // The receiver is down mid-transfer: bounce it (commit-log
+                // recovery preserves every previously acked chunk) and
+                // retry this one.
+                gnode.restart();
+                retry(report);
+                continue;
+            }
+            report.chunks_streamed += 1;
+            self.topo_stats.record_chunk(rows.len() as u64);
+            if faults.ack_and_check_joiner_crash() {
+                // Receiver crash after the ack: restart it and resume the
+                // stream from this (acked, commit-logged) chunk boundary.
+                gnode.set_up(false);
+                gnode.restart();
+                return Ok(ChunkOutcome::RestartPartition);
+            }
+            return Ok(ChunkOutcome::Acked);
+        }
+        Err(DbError::StreamAborted(format!(
+            "chunk for a partition of '{table}' exhausted {max_attempts} attempts"
+        )))
+    }
+}
+
+/// Outcome of one chunk send.
+enum ChunkOutcome {
+    /// Receiver acked; advance to the next chunk.
+    Acked,
+    /// A crash interrupted the stream; re-source the partition and resume
+    /// past the last acked chunk.
+    RestartPartition,
 }
 
 /// Fluent `SELECT` builder for programmatic queries.
@@ -1316,7 +1938,7 @@ mod tests {
         c.take_node_down(owners[2]);
         put(&c, 7, "MCE", 1, "n", Consistency::Quorum);
         // Bring it up WITHOUT hints (simulate hint loss).
-        c.nodes[owners[2].0].set_up(true);
+        c.node(owners[2]).set_up(true);
         c.hints.lock().clear();
         // A quorum read touches the stale node only if it is among the
         // first `required` responders; read at ALL to force it.

@@ -22,6 +22,15 @@ pub enum DbError {
     Parse(String),
     /// Malformed query (e.g. partition key not fully specified).
     BadQuery(String),
+    /// A topology transition (join/decommission) is already in flight; the
+    /// coordinator rejects overlapping admin ops instead of queueing them.
+    TopologyChanging {
+        /// Suggested client back-off before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// Range streaming exhausted its retry budget (or lost its quorum of
+    /// donors); the transition was rolled back to the pre-change topology.
+    StreamAborted(String),
 }
 
 impl fmt::Display for DbError {
@@ -36,6 +45,11 @@ impl fmt::Display for DbError {
             ),
             DbError::Parse(m) => write!(f, "CQL parse error: {m}"),
             DbError::BadQuery(m) => write!(f, "bad query: {m}"),
+            DbError::TopologyChanging { retry_after_ms } => write!(
+                f,
+                "topology change in flight; retry after {retry_after_ms}ms"
+            ),
+            DbError::StreamAborted(m) => write!(f, "range streaming aborted: {m}"),
         }
     }
 }

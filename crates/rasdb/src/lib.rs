@@ -19,6 +19,10 @@
 //!   down replicas and last-write-wins cell merging ([`cluster`]).
 //! * **Query layer** — a CQL-subset text language and a typed query AST
 //!   ([`cql`], [`query`]).
+//! * **Elasticity** — live node join/decommission: checksummed, resumable
+//!   range streaming with deterministic fault injection, a double-write
+//!   window so no quorum read misses a row, and a single epoch bump on
+//!   commit for atomic cache invalidation ([`topology`], [`cluster`]).
 //!
 //! The cluster is an in-process, shared-nothing simulation: every node owns
 //! its storage exclusively and is reached only through coordinator calls,
@@ -84,10 +88,12 @@ pub mod ring;
 pub mod schema;
 pub mod sstable;
 pub mod stats;
+pub mod topology;
 pub mod types;
 
 pub use cluster::{Cluster, ClusterConfig};
 pub use error::DbError;
 pub use query::Consistency;
 pub use schema::{ColumnType, TableSchema};
+pub use topology::{TopologyFaultPlan, TransitionReport};
 pub use types::{Row, Value};

@@ -71,6 +71,10 @@ pub struct StorageNode {
     cfg: NodeConfig,
     tables: RwLock<HashMap<String, Mutex<TableStore>>>,
     up: AtomicBool,
+    /// Permanently removed from service (decommissioned, or a joiner whose
+    /// join aborted). A retired node never comes back up — its `NodeId` slot
+    /// is kept only so ids stay stable.
+    retired: AtomicBool,
     read_latency_us: AtomicU64,
     stats: NodeStats,
 }
@@ -83,6 +87,7 @@ impl StorageNode {
             cfg,
             tables: RwLock::new(HashMap::new()),
             up: AtomicBool::new(true),
+            retired: AtomicBool::new(false),
             read_latency_us: AtomicU64::new(cfg.read_latency_us),
             stats: NodeStats::default(),
         }
@@ -107,9 +112,35 @@ impl StorageNode {
         self.up.load(Ordering::SeqCst)
     }
 
-    /// Simulates failure/recovery.
+    /// Simulates failure/recovery. Retired nodes stay down forever.
     pub fn set_up(&self, up: bool) {
+        if up && self.is_retired() {
+            return;
+        }
         self.up.store(up, Ordering::SeqCst);
+    }
+
+    /// Permanently removes the node from service: marks it down and blocks
+    /// every future `set_up(true)` / `restart()` from reviving it.
+    pub fn retire(&self) {
+        self.retired.store(true, Ordering::SeqCst);
+        self.up.store(false, Ordering::SeqCst);
+    }
+
+    /// Whether the node has been permanently removed from service.
+    pub fn is_retired(&self) -> bool {
+        self.retired.load(Ordering::SeqCst)
+    }
+
+    /// Applies a full stream chunk of mutations atomically from the
+    /// receiver's point of view: either the node is up and every mutation
+    /// lands (commit log first, so acked chunks survive a crash/restart),
+    /// or the chunk is NAKed for the sender to retry.
+    pub fn apply_chunk(&self, mutations: &[Mutation]) -> bool {
+        if !self.is_up() {
+            return false;
+        }
+        mutations.iter().all(|m| self.apply(m))
     }
 
     /// Applies one mutation (commit log first, then memtable), flushing
@@ -264,8 +295,11 @@ impl StorageNode {
     }
 
     /// Simulates a crash/restart: memtable contents are rebuilt from the
-    /// commit log.
+    /// commit log. A retired node cannot restart.
     pub fn restart(&self) {
+        if self.is_retired() {
+            return;
+        }
         let tables = self.tables.read();
         for store in tables.values() {
             let mut store = store.lock();
@@ -467,6 +501,44 @@ mod tests {
         upsert(&n, 2, 1, 1, 1);
         let keys = n.local_partition_keys("t");
         assert_eq!(keys.len(), 2);
+    }
+
+    #[test]
+    fn retired_node_never_revives() {
+        let n = node(1000);
+        upsert(&n, 1, 1, 1, 1);
+        n.retire();
+        assert!(n.is_retired());
+        assert!(!n.is_up());
+        n.set_up(true);
+        assert!(!n.is_up(), "set_up must not revive a retired node");
+        n.restart();
+        assert!(!n.is_up(), "restart must not revive a retired node");
+    }
+
+    #[test]
+    fn apply_chunk_lands_all_or_naks() {
+        let n = node(1000);
+        let muts: Vec<Mutation> = (0..5)
+            .map(|i| {
+                Mutation::upsert(
+                    "t",
+                    Key(vec![Value::BigInt(1)]),
+                    Key(vec![Value::Timestamp(i)]),
+                    vec![("v".to_owned(), Value::Int(i as i32))],
+                    i as u64 + 1,
+                )
+            })
+            .collect();
+        assert!(n.apply_chunk(&muts));
+        assert_eq!(
+            n.read("t", &Key(vec![Value::BigInt(1)]), &full_range())
+                .unwrap()
+                .len(),
+            5
+        );
+        n.set_up(false);
+        assert!(!n.apply_chunk(&muts), "down receiver must NAK the chunk");
     }
 
     #[test]

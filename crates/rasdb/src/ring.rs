@@ -3,10 +3,19 @@
 //! Mirrors Cassandra's masterless design: each physical node owns several
 //! vnode tokens; a partition's replicas are the first `rf` *distinct* nodes
 //! found walking clockwise from the partition token.
+//!
+//! Membership is explicit: a ring is built from a member list, and
+//! [`Ring::with_member`] / [`Ring::without_member`] derive the ring a live
+//! join or decommission converges to. Because every node's vnode tokens
+//! are a pure function of its id, membership changes move only the ranges
+//! adjacent to the added/removed tokens — the consistent-hashing minimal
+//! movement property the paper's Cassandra deployment relies on when
+//! scaling the ring under live ingest.
 
 use crate::partitioner::{murmur3_x64_128, Token};
 
-/// Identifies a cluster node (dense indices `0..n`).
+/// Identifies a cluster node (dense indices `0..n`; ids are stable for the
+/// cluster's lifetime — a decommissioned node's id is never reused).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub usize);
 
@@ -15,41 +24,95 @@ pub struct NodeId(pub usize);
 pub struct Ring {
     /// `(token, owner)` sorted by token.
     entries: Vec<(Token, NodeId)>,
-    nodes: usize,
+    /// Current members, sorted by id.
+    members: Vec<NodeId>,
+    vnodes: usize,
     replication_factor: usize,
 }
 
 impl Ring {
-    /// Builds a ring of `nodes` physical nodes with `vnodes` tokens each.
-    /// Tokens are derived deterministically from `(node, vnode)` so cluster
-    /// layouts are reproducible.
+    /// Builds a ring of `nodes` physical nodes (`NodeId(0..nodes)`) with
+    /// `vnodes` tokens each. Tokens are derived deterministically from
+    /// `(node, vnode)` so cluster layouts are reproducible.
     pub fn new(nodes: usize, vnodes: usize, replication_factor: usize) -> Ring {
-        assert!(nodes > 0, "ring needs at least one node");
+        Ring::from_members((0..nodes).map(NodeId).collect(), vnodes, replication_factor)
+    }
+
+    /// Builds a ring from an explicit member list. Panics when the member
+    /// list is empty, `vnodes` is zero, or the replication factor does not
+    /// fit the membership.
+    pub fn from_members(
+        mut members: Vec<NodeId>,
+        vnodes: usize,
+        replication_factor: usize,
+    ) -> Ring {
+        members.sort_unstable();
+        members.dedup();
+        assert!(!members.is_empty(), "ring needs at least one node");
         assert!(vnodes > 0, "each node needs at least one vnode");
         assert!(
-            replication_factor >= 1 && replication_factor <= nodes,
+            replication_factor >= 1 && replication_factor <= members.len(),
             "replication factor must be in 1..=nodes"
         );
-        let mut entries = Vec::with_capacity(nodes * vnodes);
-        for node in 0..nodes {
+        let mut entries = Vec::with_capacity(members.len() * vnodes);
+        for node in &members {
             for v in 0..vnodes {
-                let seed = ((node as u64) << 32) | v as u64;
+                // Tokens depend only on (node id, vnode), never on the
+                // membership: adding or removing a member leaves every
+                // other member's tokens in place, so only the ranges next
+                // to the changed tokens move owners.
+                let seed = ((node.0 as u64) << 32) | v as u64;
                 let (h, _) = murmur3_x64_128(&seed.to_le_bytes(), 0x5ca1ab1e);
-                entries.push((Token(h as i64), NodeId(node)));
+                entries.push((Token(h as i64), *node));
             }
         }
         entries.sort_unstable();
         entries.dedup_by_key(|e| e.0);
         Ring {
             entries,
-            nodes,
+            members,
+            vnodes,
             replication_factor,
         }
     }
 
-    /// Number of physical nodes.
+    /// The ring this one becomes when `node` joins.
+    pub fn with_member(&self, node: NodeId) -> Ring {
+        let mut members = self.members.clone();
+        members.push(node);
+        Ring::from_members(members, self.vnodes, self.replication_factor)
+    }
+
+    /// The ring this one becomes when `node` leaves. Panics when the
+    /// remaining membership no longer fits the replication factor.
+    pub fn without_member(&self, node: NodeId) -> Ring {
+        let members: Vec<NodeId> = self
+            .members
+            .iter()
+            .copied()
+            .filter(|m| *m != node)
+            .collect();
+        Ring::from_members(members, self.vnodes, self.replication_factor)
+    }
+
+    /// Current members, sorted by id.
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// Whether `node` is a member.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.members.binary_search(&node).is_ok()
+    }
+
+    /// Number of member nodes.
     pub fn node_count(&self) -> usize {
-        self.nodes
+        self.members.len()
+    }
+
+    /// Virtual nodes per member.
+    pub fn vnodes(&self) -> usize {
+        self.vnodes
     }
 
     /// Configured replication factor.
@@ -166,5 +229,68 @@ mod tests {
     #[should_panic(expected = "replication factor")]
     fn rf_larger_than_nodes_panics() {
         Ring::new(2, 4, 3);
+    }
+
+    #[test]
+    fn membership_ops_roundtrip() {
+        let ring = Ring::new(4, 8, 2);
+        assert_eq!(
+            ring.members(),
+            &[NodeId(0), NodeId(1), NodeId(2), NodeId(3)]
+        );
+        let grown = ring.with_member(NodeId(4));
+        assert_eq!(grown.node_count(), 5);
+        assert!(grown.contains(NodeId(4)));
+        let shrunk = grown.without_member(NodeId(4));
+        assert_eq!(shrunk.members(), ring.members());
+        // Identical membership ⇒ identical placement.
+        for h in 0..50i64 {
+            let t = token_for(&Key(vec![Value::BigInt(h)]));
+            assert_eq!(shrunk.replicas(t), ring.replicas(t));
+        }
+    }
+
+    #[test]
+    fn sparse_membership_matches_dense_equivalent() {
+        // A ring with a decommissioned middle node behaves exactly like a
+        // ring built directly from the surviving members.
+        let survivors = vec![NodeId(0), NodeId(2), NodeId(3)];
+        let direct = Ring::from_members(survivors, 8, 2);
+        let derived = Ring::new(4, 8, 2).without_member(NodeId(1));
+        for h in 0..100i64 {
+            let t = token_for(&Key(vec![Value::BigInt(h)]));
+            assert_eq!(direct.replicas(t), derived.replicas(t));
+        }
+    }
+
+    #[test]
+    fn join_moves_only_ranges_gained_by_the_joiner() {
+        // Consistent hashing: adding a member must never reshuffle ranges
+        // between existing members — every replica-set change involves the
+        // joiner gaining a slot.
+        let old = Ring::new(6, 16, 3);
+        let new = old.with_member(NodeId(6));
+        let mut moved = 0;
+        for h in 0..2_000i64 {
+            let t = token_for(&Key(vec![Value::BigInt(h)]));
+            let before = old.replicas(t);
+            let after = new.replicas(t);
+            if before != after {
+                moved += 1;
+                assert!(
+                    after.contains(&NodeId(6)),
+                    "changed replica set must include the joiner: {before:?} -> {after:?}"
+                );
+            }
+        }
+        // Roughly rf/n of the keyspace should move — never most of it.
+        assert!(moved > 0, "the joiner must gain some ranges");
+        assert!(moved < 2_000 / 2, "minimal movement violated: {moved}/2000");
+    }
+
+    #[test]
+    #[should_panic(expected = "replication factor")]
+    fn without_member_below_rf_panics() {
+        Ring::new(3, 8, 3).without_member(NodeId(0));
     }
 }

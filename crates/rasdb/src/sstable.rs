@@ -8,8 +8,66 @@
 
 use crate::bloom::BloomFilter;
 use crate::memtable::RowEntry;
+use crate::partitioner::murmur3_x64_128;
 use crate::types::Key;
 use std::ops::Bound;
+
+/// Seed for stream-chunk checksums (distinct from the ring token seed so
+/// the two hash domains can never alias).
+const STREAM_CHECKSUM_SEED: u64 = 0x0dd_ba11;
+
+/// Canonical byte encoding of one streamed row: clustering key, row
+/// tombstone, then every cell (name, write timestamp, value-or-tombstone)
+/// in column order. Range streaming checksums chunks of this encoding;
+/// both sides of a transfer must produce identical bytes for identical
+/// rows, which the deterministic `Value` encoding guarantees.
+pub fn encode_stream_row(out: &mut Vec<u8>, clustering: &Key, entry: &RowEntry) {
+    let ck = clustering.encode();
+    out.extend_from_slice(&(ck.len() as u32).to_le_bytes());
+    out.extend_from_slice(&ck);
+    match entry.deleted_at {
+        None => out.push(0),
+        Some(ts) => {
+            out.push(1);
+            out.extend_from_slice(&ts.to_le_bytes());
+        }
+    }
+    out.extend_from_slice(&(entry.cells.len() as u32).to_le_bytes());
+    for (name, cell) in &entry.cells {
+        out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        out.extend_from_slice(name.as_bytes());
+        out.extend_from_slice(&cell.write_ts.to_le_bytes());
+        match &cell.value {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode_into(out);
+            }
+        }
+    }
+}
+
+/// Encodes a whole stream chunk — the partition key plus every row in
+/// chunk order — into the wire form that [`stream_chunk_checksum`] covers.
+pub fn encode_stream_chunk(partition: &Key, rows: &[(Key, RowEntry)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 * rows.len().max(1));
+    let pk = partition.encode();
+    out.extend_from_slice(&(pk.len() as u32).to_le_bytes());
+    out.extend_from_slice(&pk);
+    out.extend_from_slice(&(rows.len() as u32).to_le_bytes());
+    for (ck, entry) in rows {
+        encode_stream_row(&mut out, ck, entry);
+    }
+    out
+}
+
+/// Order-sensitive checksum over an encoded stream chunk. The sender
+/// computes it before transmission, the receiver recomputes it over the
+/// received bytes; any corruption in flight shows up as a mismatch and the
+/// chunk is NAKed for retry.
+pub fn stream_chunk_checksum(encoded: &[u8]) -> u64 {
+    murmur3_x64_128(encoded, STREAM_CHECKSUM_SEED).0
+}
 
 /// One immutable sorted run.
 #[derive(Debug, Clone)]
@@ -197,5 +255,50 @@ mod tests {
         let t = sample();
         assert_eq!(t.partition_count(), 3);
         assert!(t.cell_count() >= 103);
+    }
+
+    #[test]
+    fn stream_checksum_is_stable_and_order_sensitive() {
+        let rows = vec![(ck(1), entry(1, 1)), (ck(2), entry(2, 1))];
+        let a = stream_chunk_checksum(&encode_stream_chunk(&pk(1), &rows));
+        let b = stream_chunk_checksum(&encode_stream_chunk(&pk(1), &rows));
+        assert_eq!(a, b, "identical chunks must checksum identically");
+        let swapped = vec![rows[1].clone(), rows[0].clone()];
+        assert_ne!(
+            a,
+            stream_chunk_checksum(&encode_stream_chunk(&pk(1), &swapped)),
+            "row order is part of the chunk identity"
+        );
+        assert_ne!(
+            a,
+            stream_chunk_checksum(&encode_stream_chunk(&pk(2), &rows)),
+            "the partition key is part of the chunk identity"
+        );
+    }
+
+    #[test]
+    fn stream_checksum_detects_any_flipped_byte() {
+        let rows = vec![(ck(1), entry(7, 3)), (ck(2), entry(9, 4))];
+        let encoded = encode_stream_chunk(&pk(5), &rows);
+        let sum = stream_chunk_checksum(&encoded);
+        for i in 0..encoded.len() {
+            let mut corrupted = encoded.clone();
+            corrupted[i] ^= 0xff;
+            assert_ne!(
+                sum,
+                stream_chunk_checksum(&corrupted),
+                "flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn stream_encoding_distinguishes_tombstones() {
+        let live = entry(1, 5);
+        let mut dead = RowEntry::default();
+        dead.delete(5);
+        let a = encode_stream_chunk(&pk(1), &[(ck(1), live)]);
+        let b = encode_stream_chunk(&pk(1), &[(ck(1), dead)]);
+        assert_ne!(a, b, "a tombstone must encode differently from a live row");
     }
 }

@@ -107,6 +107,7 @@ pub struct CoordinatorStats {
     read_multi_batches: AtomicU64,
     read_multi_plans: AtomicU64,
     hints_dropped: AtomicU64,
+    hints_rerouted: AtomicU64,
 }
 
 impl CoordinatorStats {
@@ -167,9 +168,124 @@ impl CoordinatorStats {
         self.read_multi_plans.load(Ordering::Relaxed)
     }
 
+    /// Records a hinted-handoff mutation re-applied to a partition's new
+    /// owner because its original target was decommissioned (or aborted
+    /// out of a join) — the hint would otherwise wait on a node that will
+    /// never come back.
+    pub fn record_hint_rerouted(&self) {
+        self.hints_rerouted.fetch_add(1, Ordering::Relaxed);
+        telemetry::global()
+            .counter("rasdb.coordinator.hints_rerouted")
+            .incr(1);
+    }
+
     /// Hints evicted by the hint-queue cap.
     pub fn hints_dropped(&self) -> u64 {
         self.hints_dropped.load(Ordering::Relaxed)
+    }
+
+    /// Hints re-applied to new owners during a topology commit.
+    pub fn hints_rerouted(&self) -> u64 {
+        self.hints_rerouted.load(Ordering::Relaxed)
+    }
+}
+
+/// Topology-transition counters: range streaming progress and the fault
+/// recovery machinery (retries, resumes, aborts). Per-cluster counts are
+/// exact; every increment is mirrored into `rasdb.topology.*` counters in
+/// the global registry so rebalances show up in `metrics` output next to
+/// coordinator and storage activity.
+#[derive(Debug, Default)]
+pub struct TopologyStats {
+    joins: AtomicU64,
+    decommissions: AtomicU64,
+    aborts: AtomicU64,
+    chunks_streamed: AtomicU64,
+    rows_streamed: AtomicU64,
+    chunk_retries: AtomicU64,
+    stream_resumes: AtomicU64,
+}
+
+impl TopologyStats {
+    /// Records a committed join.
+    pub fn record_join(&self) {
+        self.joins.fetch_add(1, Ordering::Relaxed);
+        telemetry::global().counter("rasdb.topology.joins").incr(1);
+    }
+
+    /// Records a committed decommission.
+    pub fn record_decommission(&self) {
+        self.decommissions.fetch_add(1, Ordering::Relaxed);
+        telemetry::global()
+            .counter("rasdb.topology.decommissions")
+            .incr(1);
+    }
+
+    /// Records a transition rolled back to the pre-change topology.
+    pub fn record_abort(&self) {
+        self.aborts.fetch_add(1, Ordering::Relaxed);
+        telemetry::global().counter("rasdb.topology.aborts").incr(1);
+    }
+
+    /// Records one acked stream chunk carrying `rows` rows.
+    pub fn record_chunk(&self, rows: u64) {
+        self.chunks_streamed.fetch_add(1, Ordering::Relaxed);
+        self.rows_streamed.fetch_add(rows, Ordering::Relaxed);
+        let r = telemetry::global();
+        r.counter("rasdb.topology.chunks_streamed").incr(1);
+        r.counter("rasdb.topology.rows_streamed").incr(rows);
+    }
+
+    /// Records a chunk attempt retried after a drop or checksum mismatch.
+    pub fn record_chunk_retry(&self) {
+        self.chunk_retries.fetch_add(1, Ordering::Relaxed);
+        telemetry::global()
+            .counter("rasdb.topology.chunk_retries")
+            .incr(1);
+    }
+
+    /// Records a stream resumed from its last acked chunk after a donor or
+    /// receiver crash.
+    pub fn record_stream_resume(&self) {
+        self.stream_resumes.fetch_add(1, Ordering::Relaxed);
+        telemetry::global()
+            .counter("rasdb.topology.stream_resumes")
+            .incr(1);
+    }
+
+    /// Committed joins.
+    pub fn joins(&self) -> u64 {
+        self.joins.load(Ordering::Relaxed)
+    }
+
+    /// Committed decommissions.
+    pub fn decommissions(&self) -> u64 {
+        self.decommissions.load(Ordering::Relaxed)
+    }
+
+    /// Transitions rolled back.
+    pub fn aborts(&self) -> u64 {
+        self.aborts.load(Ordering::Relaxed)
+    }
+
+    /// Stream chunks acked.
+    pub fn chunks_streamed(&self) -> u64 {
+        self.chunks_streamed.load(Ordering::Relaxed)
+    }
+
+    /// Rows delivered over range streams.
+    pub fn rows_streamed(&self) -> u64 {
+        self.rows_streamed.load(Ordering::Relaxed)
+    }
+
+    /// Chunk attempts retried.
+    pub fn chunk_retries(&self) -> u64 {
+        self.chunk_retries.load(Ordering::Relaxed)
+    }
+
+    /// Streams resumed after crashes.
+    pub fn stream_resumes(&self) -> u64 {
+        self.stream_resumes.load(Ordering::Relaxed)
     }
 }
 

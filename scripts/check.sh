@@ -22,4 +22,7 @@ cargo test -q -p hpclog-core --test golden_envelope
 echo "==> query cache bench (smoke mode)"
 QUERY_CACHE_SMOKE=1 cargo bench -q -p hpclog-bench --bench query_cache
 
+echo "==> rebalance bench (smoke mode)"
+REBALANCE_SMOKE=1 cargo bench -q -p hpclog-bench --bench rebalance
+
 echo "All checks passed."
