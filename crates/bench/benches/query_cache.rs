@@ -116,10 +116,20 @@ fn bench_query_cache(c: &mut Criterion) {
     let panels = dashboard();
 
     // Correctness before timing: every panel must be byte-identical cold
-    // vs warm, on the priming pass and again on the all-hits pass.
+    // vs warm (modulo the per-request trace id), on the priming pass and
+    // again on the all-hits pass.
+    let sans_trace = |resp: String| {
+        let mut v = jsonlite::parse(&resp).expect("valid response JSON");
+        v.remove("trace_id");
+        v.to_string()
+    };
     for pass in ["prime", "hits"] {
         for q in &panels {
-            assert_eq!(cold.handle(q), warm.handle(q), "{pass}: {q}");
+            assert_eq!(
+                sans_trace(cold.handle(q)),
+                sans_trace(warm.handle(q)),
+                "{pass}: {q}"
+            );
         }
     }
     let stats = warm.framework().result_cache().stats();

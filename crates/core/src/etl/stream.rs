@@ -234,7 +234,11 @@ impl<'f> StreamIngester<'f> {
     /// durable by the flushes. Returns the number of bus records consumed
     /// (0 = idle).
     pub fn step(&mut self, max_records: usize) -> Result<usize, DbError> {
-        let _span = telemetry::span!("etl.stream.step");
+        // Each step is a root trace: window flushes, store retries, and the
+        // commit hook below all record spans under one trace id, so a slow
+        // ingest step can be reconstructed exactly like a slow query.
+        let ctx = telemetry::TraceContext::root();
+        let _span = telemetry::SpanGuard::enter_in("etl.stream.step", &ctx);
         let records = self.consumer.poll(max_records);
         let polled = records.len();
         self.report.polled += polled;
@@ -255,7 +259,9 @@ impl<'f> StreamIngester<'f> {
         let (p, off) = (record.partition, record.offset);
         if self.max_seen.get(&p).is_some_and(|m| off <= *m) {
             self.report.duplicates += 1;
-            telemetry::global().counter("ingest.duplicates").incr(1);
+            telemetry::global()
+                .counter("ingest.consume.duplicates")
+                .incr(1);
             return;
         }
         self.max_seen.insert(p, off);
@@ -365,8 +371,10 @@ impl<'f> StreamIngester<'f> {
     /// Writes the batch, retrying `DbError::Unavailable` with exponential
     /// backoff + jitter up to the configured attempt budget.
     fn store_with_retry(&mut self, merged: &[EventRecord]) -> Result<(), DbError> {
+        let mut span = telemetry::span!("etl.stream.store");
         let mut attempt: u32 = 0;
         loop {
+            span.tag("attempt", (attempt + 1).to_string());
             match self.fw.insert_events(merged) {
                 Ok(_) => return Ok(()),
                 Err(e @ DbError::Unavailable { .. }) => {
@@ -383,8 +391,8 @@ impl<'f> StreamIngester<'f> {
                     let delay = exp + self.rng.gen_range(0..=exp / 2);
                     self.report.retries += 1;
                     let g = telemetry::global();
-                    g.counter("ingest.retries").incr(1);
-                    g.counter("ingest.backoff_ms").incr(delay);
+                    g.counter("ingest.store.retries").incr(1);
+                    g.counter("ingest.store.backoff_ms").incr(delay);
                     std::thread::sleep(std::time::Duration::from_millis(delay));
                 }
                 Err(e) => return Err(e),
@@ -399,11 +407,11 @@ impl<'f> StreamIngester<'f> {
         let producer = Producer::new(self.fw.bus());
         match send_with_retry(&producer, RAW_LOG_DLQ_TOPIC, key, value, 0) {
             Ok(_) => {
-                telemetry::global().gauge("ingest.dlq_depth").add(1);
+                telemetry::global().gauge("ingest.dlq.depth").add(1);
             }
             Err(_) => {
                 telemetry::global()
-                    .counter("ingest.dlq_publish_failures")
+                    .counter("ingest.dlq.publish_failures")
                     .incr(1);
             }
         }
@@ -413,6 +421,7 @@ impl<'f> StreamIngester<'f> {
     /// window (everything below it is durable) — or the poll position when
     /// nothing is buffered — together with the event-time watermark.
     fn commit_safe(&mut self) {
+        let _span = telemetry::span!("etl.stream.commit");
         let safe: Vec<(usize, u64)> = self
             .consumer
             .positions()
@@ -436,7 +445,7 @@ impl<'f> StreamIngester<'f> {
             // step's commit covers this one (at-least-once, maybe replay).
             self.report.commit_failures += 1;
             telemetry::global()
-                .counter("ingest.commit_failures")
+                .counter("ingest.commit.failures")
                 .incr(1);
         }
     }
@@ -533,7 +542,7 @@ pub fn dlq_requeue(fw: &Framework, max: usize) -> Result<DlqRequeueReport, DbErr
     // idempotent for events (LWW upsert) and lines (stream re-coalesces).
     let _ = consumer.commit_through(&commits, i64::MIN);
     telemetry::global()
-        .gauge("ingest.dlq_depth")
+        .gauge("ingest.dlq.depth")
         .add(-processed);
     report.remaining = consumer.lag();
     Ok(report)

@@ -16,23 +16,48 @@ use crate::framework::Framework;
 use crate::model::keys::{DAY_MS, HOUR_MS};
 use crate::model::nodeinfo;
 use crate::server::cache::ResultEntry;
+use crate::server::recorder::{FlightRecorder, RecordedQuery};
 use crate::server::request::{
     envelope_err, envelope_ok, ApiError, Cursor, ErrorCode, OpOutput, Page, QueryRequest,
 };
+use crate::server::slo::SloRegistry;
 use jsonlite::{json_array, json_object, Value as Json};
 use rasdb::cluster::ExecResult;
 use rasdb::types::Key;
 use std::sync::Arc;
+use std::time::Instant;
+use telemetry::{SpanRecord, TraceContext};
 
 /// The analytics server's query dispatcher.
 pub struct QueryEngine {
     fw: Arc<Framework>,
+    recorder: FlightRecorder,
+    slo: SloRegistry,
 }
+
+/// The request phases reported in profiles and flight-recorder entries,
+/// in pipeline order. They partition the end-to-end latency: `parse` +
+/// `serialize` are measured directly, and the execute interval splits
+/// into `cache_probe` / `plan` / `fan_out` / `merge` (from the request's
+/// coordinator spans) with the remainder attributed to `analyze`.
+const PHASES: [&str; 7] = [
+    "parse",
+    "cache_probe",
+    "plan",
+    "fan_out",
+    "merge",
+    "analyze",
+    "serialize",
+];
 
 impl QueryEngine {
     /// Wraps a framework.
     pub fn new(fw: Arc<Framework>) -> QueryEngine {
-        QueryEngine { fw }
+        QueryEngine {
+            fw,
+            recorder: FlightRecorder::new(),
+            slo: SloRegistry::new(),
+        }
     }
 
     /// The wrapped framework.
@@ -40,31 +65,120 @@ impl QueryEngine {
         &self.fw
     }
 
+    /// The slow-query flight recorder.
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// The per-op SLO accounting behind the `health` op.
+    pub fn slo(&self) -> &SloRegistry {
+        &self.slo
+    }
+
     /// Handles one JSON request string; always returns a JSON response
-    /// in the v1 envelope format (`v`, `status`, `data`/`error`, `page`;
-    /// flat legacy mirrors only when the request carries `"compat": true`).
+    /// in the v1 envelope format (`v`, `status`, `data`/`error`, `page`,
+    /// `trace_id`; flat legacy mirrors only when the request carries
+    /// `"compat": true`).
     pub fn handle(&self, request: &str) -> String {
-        let mut span = telemetry::span!("server.request");
-        let response = match jsonlite::parse(request) {
-            Err(e) => envelope_err(
-                &ApiError::new(ErrorCode::BadJson, format!("bad JSON: {e}")),
-                false,
+        self.handle_traced(request, None)
+    }
+
+    /// [`QueryEngine::handle`] with an optional caller-supplied trace id
+    /// (e.g. from an `X-Trace-Id` header). Precedence: a `"trace_id"`
+    /// request field wins, then `adopted`, else a fresh id is minted — so
+    /// the envelope always carries one. `"profile": true` additionally
+    /// collects every span of the request and returns a per-phase
+    /// breakdown under `profile`.
+    pub fn handle_traced(&self, request: &str, adopted: Option<u64>) -> String {
+        let t_start = Instant::now();
+        let parsed = jsonlite::parse(request);
+        let parse_ns = elapsed_ns(t_start);
+
+        let (trace, profiled, compat) = match &parsed {
+            Ok(body) => (
+                body["trace_id"]
+                    .as_str()
+                    .and_then(TraceContext::parse_hex)
+                    .or(adopted),
+                body["profile"].as_bool() == Some(true),
+                body["compat"].as_bool() == Some(true),
             ),
-            Ok(body) => {
-                let compat = body["compat"].as_bool() == Some(true);
-                match QueryRequest::parse(&body) {
-                    Err(e) => envelope_err(&e, compat),
+            Err(_) => (adopted, false, false),
+        };
+        let ctx = match trace {
+            Some(t) => TraceContext::adopt(t),
+            None => TraceContext::root(),
+        };
+        if profiled {
+            telemetry::begin_profile(ctx.trace_id);
+        }
+        let engine_thread = telemetry::current_thread();
+
+        let t_exec = Instant::now();
+        let mut op = String::new();
+        let mut ok = true;
+        let mut response = {
+            let mut span = telemetry::SpanGuard::enter_in("server.engine.request", &ctx);
+            match &parsed {
+                Err(e) => {
+                    ok = false;
+                    envelope_err(
+                        &ApiError::new(ErrorCode::BadJson, format!("bad JSON: {e}")),
+                        false,
+                    )
+                }
+                Ok(body) => match QueryRequest::parse(body) {
+                    Err(e) => {
+                        ok = false;
+                        envelope_err(&e, compat)
+                    }
                     Ok(req) => {
+                        op = req.op.clone();
                         span.tag("op", &req.op);
                         match self.dispatch(&req) {
                             Ok(out) => envelope_ok(out, compat),
-                            Err(e) => envelope_err(&e, compat),
+                            Err(e) => {
+                                ok = false;
+                                envelope_err(&e, compat)
+                            }
                         }
                     }
-                }
+                },
             }
+            // Request span closes here so its duration (and its trace's
+            // profile) covers exactly the execute interval.
         };
-        response.to_string()
+        let exec_ns = elapsed_ns(t_exec);
+
+        response.insert("trace_id", Json::from(ctx.hex()));
+        let t_ser = Instant::now();
+        let mut text = response.to_string();
+        let serialize_ns = elapsed_ns(t_ser);
+        let total_us = (parse_ns + exec_ns + serialize_ns) as f64 / 1_000.0;
+
+        let spans = if profiled {
+            telemetry::take_profile(ctx.trace_id)
+        } else {
+            Vec::new()
+        };
+        let phases = phase_breakdown(parse_ns, exec_ns, serialize_ns, &spans, engine_thread);
+        if profiled {
+            response.insert("profile", profile_json(&ctx, total_us, &phases, &spans));
+            text = response.to_string();
+        }
+
+        self.recorder.observe(RecordedQuery {
+            trace_id: ctx.trace_id,
+            op: op.clone(),
+            status: if ok { "ok" } else { "error" },
+            total_us,
+            phases: phases.clone(),
+            profiled,
+        });
+        if known_op(&op) {
+            self.slo.record(&op, ok, total_us as u64);
+        }
+        text
     }
 
     /// Whether a window ending at `to` extends past the streaming ingest
@@ -88,8 +202,13 @@ impl QueryEngine {
     ) -> Result<OpOutput, ApiError> {
         let cache = self.fw.result_cache();
         let cluster = self.fw.cluster();
-        if let Some(data) = cache.lookup(cluster, &key) {
-            return Ok(OpOutput { data, page: None });
+        {
+            let mut probe = telemetry::span!("cache.result.probe");
+            if let Some(data) = cache.lookup(cluster, &key) {
+                probe.tag("outcome", "hit");
+                return Ok(OpOutput { data, page: None });
+            }
+            probe.tag("outcome", "miss");
         }
         let epoch = cluster.topology_epoch();
         let versions = deps
@@ -131,6 +250,8 @@ impl QueryEngine {
             "dlq" => self.op_dlq(req),
             "dlq_requeue" => self.op_dlq_requeue(req),
             "metrics" => self.op_metrics(req),
+            "slow_queries" => self.op_slow_queries(req),
+            "health" => self.op_health(req),
             "trace" => Ok(OpOutput::data([(
                 "spans",
                 crate::server::telemetry_export::trace_json(),
@@ -723,6 +844,86 @@ impl QueryEngine {
         Ok(out)
     }
 
+    /// Flight-recorder readout: the most recent slow queries, newest
+    /// first. An optional `threshold_ms` field re-arms the recorder (0
+    /// captures every request); `max` caps the returned rows (default 32).
+    fn op_slow_queries(&self, req: &QueryRequest) -> Result<OpOutput, ApiError> {
+        if !req.raw["threshold_ms"].is_null() {
+            let Some(ms) = req.raw["threshold_ms"].as_i64().filter(|ms| *ms >= 0) else {
+                return Err(ApiError::bad_request(
+                    "threshold_ms must be a non-negative integer".to_owned(),
+                ));
+            };
+            self.recorder.set_threshold_ms(ms as u64);
+        }
+        let max = match req.raw["max"].as_i64() {
+            None => 32,
+            Some(n) if n >= 1 => n as usize,
+            Some(_) => {
+                return Err(ApiError::bad_request(
+                    "max must be a positive integer".to_owned(),
+                ))
+            }
+        };
+        let mut queries = self.recorder.snapshot();
+        queries.truncate(max);
+        Ok(OpOutput::data([
+            ("count", Json::from(queries.len())),
+            (
+                "queries",
+                json_array(queries.iter().map(|q| {
+                    json_object([
+                        ("op", Json::from(q.op.as_str())),
+                        (
+                            "phases",
+                            json_object(
+                                q.phases
+                                    .iter()
+                                    .map(|(name, us)| (name.to_string(), Json::from(*us))),
+                            ),
+                        ),
+                        ("profiled", Json::from(q.profiled)),
+                        ("status", Json::from(q.status)),
+                        ("total_us", Json::from(q.total_us)),
+                        ("trace_id", Json::from(telemetry::trace_hex(q.trace_id))),
+                    ])
+                })),
+            ),
+            (
+                "threshold_ms",
+                Json::from(self.recorder.threshold_ms() as i64),
+            ),
+        ]))
+    }
+
+    /// Per-op SLO health rows plus the overall status (the worst row).
+    fn op_health(&self, _req: &QueryRequest) -> Result<OpOutput, ApiError> {
+        let (status, rows) = self.slo.health();
+        Ok(OpOutput::data([
+            (
+                "ops",
+                json_array(rows.iter().map(|h| {
+                    json_object([
+                        ("burn_rate", Json::from(h.burn_rate)),
+                        ("good", Json::from(h.good as i64)),
+                        ("latency_ms", Json::from(h.policy.latency_ms as i64)),
+                        ("objective", Json::from(h.policy.objective)),
+                        ("op", Json::from(h.op.as_str())),
+                        ("status", Json::from(h.status)),
+                        ("total", Json::from(h.total as i64)),
+                    ])
+                })),
+            ),
+            // `overall`, not `status`: the envelope already owns that
+            // name, and compat mirroring must never clobber it.
+            ("overall", Json::from(status)),
+            (
+                "window_ms",
+                Json::from((crate::server::slo::WINDOW_SECS * 1_000) as i64),
+            ),
+        ]))
+    }
+
     /// Simple queries go "directly handled by the query engine" — raw CQL
     /// pass-through to the backend.
     fn op_cql(&self, req: &QueryRequest) -> Result<OpOutput, ApiError> {
@@ -757,6 +958,152 @@ impl QueryEngine {
 /// order, whitespace, or `compat`.
 fn cache_key(parts: &[&str]) -> Vec<u8> {
     parts.join("\x1f").into_bytes()
+}
+
+fn elapsed_ns(since: Instant) -> u64 {
+    since.elapsed().as_nanos() as u64
+}
+
+/// Splits a request's wall clock across [`PHASES`]. `parse` and
+/// `serialize` come from direct timestamps; within the execute interval,
+/// `cache_probe` / `plan` / `merge` are the summed durations of the
+/// request's same-named spans **on the dispatch thread** (worker-thread
+/// replica reads overlap each other, so counting them would double-bill
+/// wall time), `fan_out` is the coordinator's `read_multi` time not spent
+/// planning or merging, and `analyze` is whatever execute time remains.
+/// Without a profile (`spans` empty) the span-derived phases are 0 and
+/// the whole execute interval lands in `analyze`.
+fn phase_breakdown(
+    parse_ns: u64,
+    exec_ns: u64,
+    serialize_ns: u64,
+    spans: &[SpanRecord],
+    engine_thread: u64,
+) -> Vec<(&'static str, f64)> {
+    let sum = |name: &str| -> u64 {
+        spans
+            .iter()
+            .filter(|s| s.thread == engine_thread && s.name == name)
+            .map(|s| s.duration_ns)
+            .sum()
+    };
+    let probe = sum("cache.result.probe");
+    let plan = sum("rasdb.coordinator.plan");
+    let merge = sum("rasdb.coordinator.merge");
+    let read_multi = sum("rasdb.coordinator.read_multi");
+    let fan_out = read_multi.saturating_sub(plan).saturating_sub(merge);
+    let analyze = exec_ns.saturating_sub(probe).saturating_sub(read_multi);
+    let vals = [parse_ns, probe, plan, fan_out, merge, analyze, serialize_ns];
+    PHASES
+        .iter()
+        .zip(vals)
+        .map(|(name, ns)| (*name, ns as f64 / 1_000.0))
+        .collect()
+}
+
+/// The `profile` envelope section for `"profile": true` requests: the
+/// phase breakdown, the result-cache outcome, coordinator fan-out stats
+/// (scatter/retry/hedge counts from the `read_multi` span tags), and the
+/// trace's full span list (ids in the same hex form as `trace_id`).
+fn profile_json(
+    ctx: &TraceContext,
+    total_us: f64,
+    phases: &[(&'static str, f64)],
+    spans: &[SpanRecord],
+) -> Json {
+    let mut profile = json_object([
+        (
+            "phases",
+            json_object(
+                phases
+                    .iter()
+                    .map(|(name, us)| (name.to_string(), Json::from(*us))),
+            ),
+        ),
+        ("span_count", Json::from(spans.len())),
+        ("total_us", Json::from(total_us)),
+        ("trace_id", Json::from(ctx.hex())),
+    ]);
+    if let Some(probe) = spans.iter().find(|s| s.name == "cache.result.probe") {
+        if let Some((_, outcome)) = probe.tags.iter().find(|(k, _)| *k == "outcome") {
+            profile.insert(
+                "cache",
+                json_object([("result", Json::from(outcome.as_str()))]),
+            );
+        }
+    }
+    if let Some(rm) = spans
+        .iter()
+        .find(|s| s.name == "rasdb.coordinator.read_multi")
+    {
+        profile.insert(
+            "fan_out",
+            json_object(rm.tags.iter().map(|(k, v)| {
+                let val = v
+                    .parse::<i64>()
+                    .map(Json::from)
+                    .unwrap_or_else(|_| Json::from(v.as_str()));
+                (k.to_string(), val)
+            })),
+        );
+    }
+    profile.insert(
+        "spans",
+        json_array(spans.iter().map(|s| {
+            json_object([
+                ("duration_us", Json::from(s.duration_ns as f64 / 1_000.0)),
+                ("id", Json::from(telemetry::trace_hex(s.id))),
+                ("name", Json::from(s.name)),
+                (
+                    "parent",
+                    s.parent
+                        .map(|p| Json::from(telemetry::trace_hex(p)))
+                        .unwrap_or(Json::Null),
+                ),
+                (
+                    "tags",
+                    json_object(
+                        s.tags
+                            .iter()
+                            .map(|(k, v)| (k.to_string(), Json::from(v.as_str()))),
+                    ),
+                ),
+                ("thread", Json::from(s.thread)),
+            ])
+        })),
+    );
+    profile
+}
+
+/// Ops that feed SLO accounting — the dispatchable op set. Unknown ops
+/// and pre-dispatch failures are excluded so a typo'd op name cannot
+/// page anyone.
+fn known_op(op: &str) -> bool {
+    matches!(
+        op,
+        "events"
+            | "heatmap"
+            | "distribution"
+            | "histogram"
+            | "transfer_entropy"
+            | "cross_correlation"
+            | "wordcount"
+            | "apps"
+            | "nodeinfo"
+            | "synopsis"
+            | "rules"
+            | "profile"
+            | "predict"
+            | "render"
+            | "cql"
+            | "topology"
+            | "dlq"
+            | "dlq_requeue"
+            | "metrics"
+            | "slow_queries"
+            | "health"
+            | "trace"
+    )
 }
 
 /// Shared shape for committed join/decommission reports.
@@ -1185,9 +1532,17 @@ mod tests {
     fn repeated_queries_hit_the_result_cache_until_new_data_lands() {
         let e = engine();
         let req = r#"{"op":"heatmap","type":"MCE","from":0,"to":3600000}"#;
-        let first = e.handle(req);
+        // Each response carries its own trace id; strip it before the
+        // byte-identical comparison.
+        let strip_trace = |resp: &str| {
+            let mut v = jsonlite::parse(resp).unwrap();
+            assert!(v["trace_id"].as_str().is_some(), "trace_id on envelope");
+            v.remove("trace_id");
+            v.to_string()
+        };
+        let first = strip_trace(&e.handle(req));
         let hits0 = e.framework().result_cache().stats().hits();
-        let second = e.handle(req);
+        let second = strip_trace(&e.handle(req));
         assert_eq!(first, second, "cached response is byte-identical");
         assert_eq!(e.framework().result_cache().stats().hits(), hits0 + 1);
         // An equivalent request with different field order and an
@@ -1208,7 +1563,7 @@ mod tests {
                 raw: "one more".into(),
             })
             .unwrap();
-        let third = e.handle(req);
+        let third = strip_trace(&e.handle(req));
         assert_ne!(second, third);
         let parsed = jsonlite::parse(&third).unwrap();
         assert_eq!(parsed["data"]["total"].as_f64(), Some(11.0));

@@ -1,8 +1,11 @@
 //! A minimal HTTP/1.1 endpoint for the query engine — the stand-in for the
 //! paper's Tornado web server. `POST /query` with a JSON body returns the
-//! engine's JSON response; `GET /health` answers liveness probes;
-//! `GET /metrics` and `GET /trace` expose the global telemetry registry
-//! and span trace log as JSON.
+//! engine's JSON response (honoring an `X-Trace-Id` header when the body
+//! doesn't carry its own `trace_id`); `GET /health` answers liveness
+//! probes while `GET /healthz` adds SLO burn rates (503 when any op is
+//! failing); `GET /metrics`, `GET /trace`, and `GET /slow_queries` expose
+//! the global telemetry registry, span trace log, and slow-query flight
+//! recorder as JSON.
 
 use crate::server::engine::QueryEngine;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -10,6 +13,7 @@ use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use telemetry::TraceContext;
 
 /// A running HTTP server.
 pub struct HttpServer {
@@ -76,8 +80,9 @@ fn handle_connection(stream: TcpStream, engine: &QueryEngine) -> std::io::Result
     let method = parts.next().unwrap_or("");
     let path = parts.next().unwrap_or("");
 
-    // Headers: we only need Content-Length.
+    // Headers: we only need Content-Length and X-Trace-Id.
     let mut content_length = 0usize;
+    let mut header_trace = None;
     loop {
         let mut line = String::new();
         reader.read_line(&mut line)?;
@@ -85,13 +90,20 @@ fn handle_connection(stream: TcpStream, engine: &QueryEngine) -> std::io::Result
         if line.is_empty() {
             break;
         }
-        if let Some(v) = line
-            .to_ascii_lowercase()
+        let lower = line.to_ascii_lowercase();
+        if let Some(v) = lower
             .strip_prefix("content-length:")
             .map(str::trim)
             .and_then(|v| v.parse::<usize>().ok())
         {
             content_length = v;
+        }
+        if let Some(v) = lower
+            .strip_prefix("x-trace-id:")
+            .map(str::trim)
+            .and_then(TraceContext::parse_hex)
+        {
+            header_trace = Some(v);
         }
     }
 
@@ -106,6 +118,19 @@ fn handle_connection(stream: TcpStream, engine: &QueryEngine) -> std::io::Result
             let body = crate::server::telemetry_export::trace_json().to_string();
             respond(&mut stream, 200, &body)
         }
+        ("GET", "/slow_queries") => {
+            let body = engine.handle(r#"{"op":"slow_queries"}"#);
+            respond(&mut stream, 200, &body)
+        }
+        ("GET", "/healthz") => {
+            let body = engine.handle(r#"{"op":"health"}"#);
+            let code = if engine.slo().overall() == "failing" {
+                503
+            } else {
+                200
+            };
+            respond(&mut stream, code, &body)
+        }
         ("POST", "/query") => {
             // Bound the body to keep hostile clients from exhausting memory.
             if content_length > 8 * 1024 * 1024 {
@@ -118,13 +143,13 @@ fn handle_connection(stream: TcpStream, engine: &QueryEngine) -> std::io::Result
             let mut body = vec![0u8; content_length];
             reader.read_exact(&mut body)?;
             let body = String::from_utf8_lossy(&body);
-            let response = engine.handle(&body);
+            let response = engine.handle_traced(&body, header_trace);
             respond(&mut stream, 200, &response)
         }
         _ => respond(
             &mut stream,
             404,
-            r#"{"status":"error","message":"use POST /query or GET /health, /metrics, /trace"}"#,
+            r#"{"status":"error","message":"use POST /query or GET /health, /healthz, /metrics, /trace, /slow_queries"}"#,
         ),
     }
 }
@@ -134,6 +159,7 @@ fn respond(stream: &mut TcpStream, code: u16, body: &str) -> std::io::Result<()>
         200 => "OK",
         404 => "Not Found",
         413 => "Payload Too Large",
+        503 => "Service Unavailable",
         _ => "Error",
     };
     write!(
@@ -215,12 +241,43 @@ mod tests {
             request(server.addr(), &raw);
             let resp = request(server.addr(), "GET /trace HTTP/1.1\r\nHost: x\r\n\r\n");
             assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
-            if resp.contains("server.request") {
+            if resp.contains("server.engine.request") {
                 found = true;
                 break;
             }
         }
-        assert!(found, "no server.request span surfaced in /trace");
+        assert!(found, "no server.engine.request span surfaced in /trace");
+    }
+
+    #[test]
+    fn x_trace_id_header_is_adopted() {
+        let server = server();
+        let body = r#"{"op":"events","type":"MCE","from":0,"to":1000}"#;
+        let raw = format!(
+            "POST /query HTTP/1.1\r\nHost: x\r\nX-Trace-Id: deadbeef\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        let resp = request(server.addr(), &raw);
+        assert!(
+            resp.contains(r#""trace_id":"00000000deadbeef""#),
+            "header trace id should come back on the envelope: {resp}"
+        );
+    }
+
+    #[test]
+    fn slow_queries_and_healthz_endpoints_serve_json() {
+        let server = server();
+        let resp = request(
+            server.addr(),
+            "GET /slow_queries HTTP/1.1\r\nHost: x\r\n\r\n",
+        );
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+        assert!(resp.contains(r#""threshold_ms":100"#), "{resp}");
+
+        let resp = request(server.addr(), "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+        assert!(resp.contains(r#""status":"ok""#), "{resp}");
     }
 
     #[test]

@@ -8,7 +8,9 @@
 pub mod cache;
 pub mod engine;
 pub mod http;
+pub mod recorder;
 pub mod request;
+pub mod slo;
 pub mod telemetry_export;
 pub mod views;
 

@@ -1,0 +1,309 @@
+//! Per-op latency objectives with rolling good/total windows and burn
+//! rates — the data behind the `health` op and `GET /healthz`.
+//!
+//! Every completed request is classified *good* (answered `ok` within the
+//! op's latency target) or *bad* and counted into a rolling window of
+//! [`WINDOW_SECS`] one-second buckets. Health reports the **burn rate**
+//! per op: the observed error ratio divided by the error budget the
+//! objective allows,
+//!
+//! ```text
+//! burn = (1 - good/total) / (1 - objective)
+//! ```
+//!
+//! so `burn < 1` means the op is inside budget (`"ok"`), `burn >= 1`
+//! means the budget is being consumed faster than allowed (`"degraded"`),
+//! and `burn >= 10` means it is burning an order of magnitude too fast
+//! (`"failing"`). The overall service status is the worst per-op status.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Length of the rolling window, in one-second buckets.
+pub const WINDOW_SECS: u64 = 60;
+
+/// Burn rate at which an op is reported `"degraded"`.
+pub const DEGRADED_BURN: f64 = 1.0;
+
+/// Burn rate at which an op is reported `"failing"`.
+pub const FAILING_BURN: f64 = 10.0;
+
+/// One op's objective: answer `ok` within `latency_ms`, for at least
+/// `objective` of requests over the rolling window.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SloPolicy {
+    /// A request slower than this is *bad* even when it answered `ok`.
+    pub latency_ms: u64,
+    /// Target good ratio in `[0, 1)`; the error budget is `1 - objective`.
+    pub objective: f64,
+}
+
+impl Default for SloPolicy {
+    fn default() -> Self {
+        SloPolicy {
+            latency_ms: 250,
+            objective: 0.99,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Bucket {
+    epoch_s: u64,
+    good: u64,
+    total: u64,
+}
+
+struct OpSlo {
+    policy: SloPolicy,
+    buckets: [Bucket; WINDOW_SECS as usize],
+}
+
+impl OpSlo {
+    fn new(policy: SloPolicy) -> Self {
+        OpSlo {
+            policy,
+            buckets: [Bucket::default(); WINDOW_SECS as usize],
+        }
+    }
+
+    fn record(&mut self, now_s: u64, good: bool) {
+        let b = &mut self.buckets[(now_s % WINDOW_SECS) as usize];
+        if b.epoch_s != now_s {
+            *b = Bucket {
+                epoch_s: now_s,
+                good: 0,
+                total: 0,
+            };
+        }
+        b.total += 1;
+        if good {
+            b.good += 1;
+        }
+    }
+
+    /// `(good, total)` over the still-live buckets of the window.
+    fn window(&self, now_s: u64) -> (u64, u64) {
+        self.buckets
+            .iter()
+            .filter(|b| now_s - b.epoch_s < WINDOW_SECS)
+            .fold((0, 0), |(g, t), b| (g + b.good, t + b.total))
+    }
+}
+
+/// One op's health row, as reported by [`SloRegistry::health`].
+#[derive(Clone, Debug)]
+pub struct OpHealth {
+    /// The op name.
+    pub op: String,
+    /// The objective it is judged against.
+    pub policy: SloPolicy,
+    /// Good requests in the rolling window.
+    pub good: u64,
+    /// Total requests in the rolling window.
+    pub total: u64,
+    /// Error-budget burn rate (0 when the window is empty).
+    pub burn_rate: f64,
+    /// `"ok"`, `"degraded"`, or `"failing"`.
+    pub status: &'static str,
+}
+
+/// The per-op SLO accounting behind the `health` op.
+pub struct SloRegistry {
+    start: Instant,
+    ops: Mutex<BTreeMap<String, OpSlo>>,
+}
+
+impl Default for SloRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SloRegistry {
+    /// An empty registry; ops appear on their first recorded request with
+    /// the default policy unless [`SloRegistry::set_policy`] ran first.
+    pub fn new() -> Self {
+        SloRegistry {
+            start: Instant::now(),
+            ops: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    fn now_s(&self) -> u64 {
+        self.start.elapsed().as_secs()
+    }
+
+    /// Installs (or replaces) an op's objective. Existing window counts
+    /// are kept: the policy only changes how they are judged.
+    pub fn set_policy(&self, op: &str, policy: SloPolicy) {
+        let mut ops = self.ops.lock().unwrap_or_else(|e| e.into_inner());
+        ops.entry(op.to_owned())
+            .or_insert_with(|| OpSlo::new(policy))
+            .policy = policy;
+    }
+
+    /// Counts one completed request for `op`.
+    pub fn record(&self, op: &str, ok: bool, total_us: u64) {
+        let now_s = self.now_s();
+        let mut ops = self.ops.lock().unwrap_or_else(|e| e.into_inner());
+        let slo = ops
+            .entry(op.to_owned())
+            .or_insert_with(|| OpSlo::new(SloPolicy::default()));
+        let good = ok && total_us <= slo.policy.latency_ms.saturating_mul(1_000);
+        slo.record(now_s, good);
+    }
+
+    /// Every op's health row (ops sorted by name) plus the overall status:
+    /// the worst per-op status, `"ok"` when nothing was recorded.
+    pub fn health(&self) -> (&'static str, Vec<OpHealth>) {
+        let now_s = self.now_s();
+        let ops = self.ops.lock().unwrap_or_else(|e| e.into_inner());
+        let mut overall = "ok";
+        let rows = ops
+            .iter()
+            .map(|(op, slo)| {
+                let (good, total) = slo.window(now_s);
+                let burn_rate = burn_rate(good, total, slo.policy.objective);
+                let status = status_for(burn_rate);
+                if rank(status) > rank(overall) {
+                    overall = status;
+                }
+                OpHealth {
+                    op: op.clone(),
+                    policy: slo.policy,
+                    good,
+                    total,
+                    burn_rate,
+                    status,
+                }
+            })
+            .collect();
+        (overall, rows)
+    }
+
+    /// The overall status alone (for the `/healthz` status code).
+    pub fn overall(&self) -> &'static str {
+        self.health().0
+    }
+}
+
+/// Error-budget burn: observed error ratio over allowed error ratio. An
+/// empty window burns nothing; an objective of 1.0 is clamped so a fully
+/// good window still reports 0 instead of dividing by zero.
+fn burn_rate(good: u64, total: u64, objective: f64) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let error_ratio = 1.0 - good as f64 / total as f64;
+    if error_ratio == 0.0 {
+        return 0.0;
+    }
+    error_ratio / (1.0 - objective.clamp(0.0, 0.9999))
+}
+
+fn status_for(burn: f64) -> &'static str {
+    if burn >= FAILING_BURN {
+        "failing"
+    } else if burn >= DEGRADED_BURN {
+        "degraded"
+    } else {
+        "ok"
+    }
+}
+
+fn rank(status: &str) -> u8 {
+    match status {
+        "failing" => 2,
+        "degraded" => 1,
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_good_burns_nothing() {
+        let slo = SloRegistry::new();
+        for _ in 0..10 {
+            slo.record("events", true, 1_000);
+        }
+        let (overall, rows) = slo.health();
+        assert_eq!(overall, "ok");
+        assert_eq!(rows.len(), 1);
+        assert_eq!((rows[0].good, rows[0].total), (10, 10));
+        assert_eq!(rows[0].burn_rate, 0.0);
+        assert_eq!(rows[0].status, "ok");
+    }
+
+    #[test]
+    fn slow_requests_are_bad_even_when_ok() {
+        let slo = SloRegistry::new();
+        slo.set_policy(
+            "heatmap",
+            SloPolicy {
+                latency_ms: 1,
+                objective: 0.99,
+            },
+        );
+        slo.record("heatmap", true, 5_000_000); // 5 s: over target
+        let (overall, rows) = slo.health();
+        assert_eq!(rows[0].good, 0);
+        // One fully-bad request burns 1.0/0.01 = 100x the budget.
+        assert!(rows[0].burn_rate > FAILING_BURN);
+        assert_eq!(rows[0].status, "failing");
+        assert_eq!(overall, "failing");
+    }
+
+    #[test]
+    fn loose_objective_degrades_instead_of_failing() {
+        let slo = SloRegistry::new();
+        slo.set_policy(
+            "events",
+            SloPolicy {
+                latency_ms: 0,
+                objective: 0.5,
+            },
+        );
+        slo.record("events", true, 1_000); // always over a 0ms target
+        let (overall, rows) = slo.health();
+        assert!((rows[0].burn_rate - 2.0).abs() < 1e-9);
+        assert_eq!(rows[0].status, "degraded");
+        assert_eq!(overall, "degraded");
+    }
+
+    #[test]
+    fn errors_count_against_the_budget() {
+        let slo = SloRegistry::new();
+        for _ in 0..99 {
+            slo.record("cql", true, 1_000);
+        }
+        slo.record("cql", false, 1_000);
+        let (_, rows) = slo.health();
+        assert_eq!((rows[0].good, rows[0].total), (99, 100));
+        // 1% errors against a 1% budget: burning exactly at the line.
+        assert!((rows[0].burn_rate - 1.0).abs() < 1e-9);
+        assert_eq!(rows[0].status, "degraded");
+    }
+
+    #[test]
+    fn worst_op_wins_overall() {
+        let slo = SloRegistry::new();
+        slo.record("events", true, 1_000);
+        slo.set_policy(
+            "heatmap",
+            SloPolicy {
+                latency_ms: 0,
+                objective: 0.5,
+            },
+        );
+        slo.record("heatmap", true, 1_000);
+        let (overall, rows) = slo.health();
+        assert_eq!(overall, "degraded");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(slo.overall(), "degraded");
+    }
+}

@@ -8,7 +8,7 @@ use jsonlite::{json_array, json_object, Value as Json};
 use telemetry::{HistogramSummary, Snapshot, SpanRecord};
 
 fn summary_json(s: &HistogramSummary) -> Json {
-    json_object([
+    let mut obj = json_object([
         ("count", Json::from(s.count)),
         ("sum", Json::from(s.sum)),
         ("mean", Json::from(s.mean)),
@@ -16,7 +16,23 @@ fn summary_json(s: &HistogramSummary) -> Json {
         ("p95", Json::from(s.p95)),
         ("p99", Json::from(s.p99)),
         ("max", Json::from(s.max)),
-    ])
+    ]);
+    // Exemplars link the slow tail back to a concrete request: the trace
+    // id (same hex form as the envelope's `trace_id`) of the latest
+    // sample at or above each quantile's bucket.
+    if s.p99_exemplar != 0 {
+        obj.insert(
+            "p99_exemplar",
+            Json::from(telemetry::trace_hex(s.p99_exemplar)),
+        );
+    }
+    if s.max_exemplar != 0 {
+        obj.insert(
+            "max_exemplar",
+            Json::from(telemetry::trace_hex(s.max_exemplar)),
+        );
+    }
+    obj
 }
 
 /// A [`Snapshot`] as a JSON object with `counters`, `gauges`, and
@@ -57,6 +73,7 @@ fn span_json(s: &SpanRecord) -> Json {
         ("name", Json::from(s.name)),
         ("start_us", Json::from(s.start_us)),
         ("duration_ns", Json::from(s.duration_ns)),
+        ("thread", Json::from(s.thread)),
         (
             "tags",
             json_object(s.tags.iter().map(|(k, v)| (*k, Json::from(v.as_str())))),
@@ -64,6 +81,9 @@ fn span_json(s: &SpanRecord) -> Json {
     ]);
     if let Some(p) = s.parent {
         obj.insert("parent", Json::from(p));
+    }
+    if let Some(t) = s.trace {
+        obj.insert("trace", Json::from(telemetry::trace_hex(t)));
     }
     obj
 }

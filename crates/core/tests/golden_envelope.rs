@@ -161,6 +161,16 @@ fn golden_ops() -> Vec<(&'static str, String, Vec<&'static str>)> {
             r#"{"op":"metrics"}"#.into(),
             vec!["counters", "enabled", "gauges", "histograms"],
         ),
+        (
+            "slow_queries",
+            r#"{"op":"slow_queries"}"#.into(),
+            vec!["count", "queries", "threshold_ms"],
+        ),
+        (
+            "health",
+            r#"{"op":"health"}"#.into(),
+            vec!["ops", "overall", "window_ms"],
+        ),
         ("trace", r#"{"op":"trace"}"#.into(), vec!["spans"]),
     ]
 }
@@ -172,6 +182,11 @@ fn every_op_answers_in_the_v1_envelope_with_no_flat_leakage() {
         let resp = call(&e, &req);
         assert_eq!(resp["v"].as_i64(), Some(1), "op {op}: envelope version");
         assert_eq!(resp["status"].as_str(), Some("ok"), "op {op}: {resp}");
+        assert_eq!(
+            resp["trace_id"].as_str().map(str::len),
+            Some(16),
+            "op {op}: every envelope carries a 16-hex-digit trace_id"
+        );
         let data = resp["data"].as_object().unwrap_or_else(|| {
             panic!("op {op}: 'data' must be an object, got {resp}");
         });
@@ -337,5 +352,84 @@ fn each_op_reports_its_characteristic_typed_error_code() {
         assert!(!resp["error"]["message"].as_str().unwrap().is_empty());
         assert!(resp["message"].is_null(), "{req}: no flat mirror");
         assert!(resp["data"].is_null(), "{req}: errors carry no data");
+        assert_eq!(
+            resp["trace_id"].as_str().map(str::len),
+            Some(16),
+            "{req}: errors carry a trace_id too"
+        );
     }
+}
+
+/// The flight recorder links slow queries back to the trace ids the
+/// envelopes handed out. Re-arming the threshold to 0 captures every
+/// request, so the next query must show up with its phases.
+#[test]
+fn flight_recorder_surfaces_queries_with_their_trace_ids() {
+    let e = engine();
+    let resp = call(&e, r#"{"op":"slow_queries","threshold_ms":0}"#);
+    assert_eq!(resp["data"]["threshold_ms"].as_i64(), Some(0));
+    let q = call(&e, r#"{"op":"heatmap","type":"MCE","from":0,"to":3600000}"#);
+    let trace = q["trace_id"].as_str().unwrap().to_owned();
+    let resp = call(&e, r#"{"op":"slow_queries"}"#);
+    let rows = resp["data"]["queries"].as_array().unwrap();
+    assert_eq!(
+        resp["data"]["count"].as_i64(),
+        Some(rows.len() as i64),
+        "{resp}"
+    );
+    let row = rows
+        .iter()
+        .find(|r| r["trace_id"].as_str() == Some(&trace))
+        .unwrap_or_else(|| panic!("query {trace} not in recorder: {resp}"));
+    assert_eq!(row["op"].as_str(), Some("heatmap"));
+    assert_eq!(row["status"].as_str(), Some("ok"));
+    assert!(row["total_us"].as_f64().unwrap() > 0.0);
+    for phase in [
+        "parse",
+        "cache_probe",
+        "plan",
+        "fan_out",
+        "merge",
+        "analyze",
+        "serialize",
+    ] {
+        assert!(
+            row["phases"][phase].as_f64().is_some(),
+            "phase '{phase}' missing: {row}"
+        );
+    }
+}
+
+/// An op whose objective cannot be met (0 ms latency target at a 50%
+/// objective) must drive the health surface to `degraded`; untouched ops
+/// stay `ok` and the overall status is the worst row.
+#[test]
+fn health_reports_forced_degradation() {
+    use hpclog_core::server::slo::SloPolicy;
+    let e = engine();
+    e.slo().set_policy(
+        "events",
+        SloPolicy {
+            latency_ms: 0,
+            objective: 0.5,
+        },
+    );
+    call(&e, r#"{"op":"events","type":"MCE","from":0,"to":3600000}"#);
+    call(&e, r#"{"op":"heatmap","type":"MCE","from":0,"to":3600000}"#);
+    let resp = call(&e, r#"{"op":"health"}"#);
+    assert_eq!(resp["status"].as_str(), Some("ok"), "envelope itself is ok");
+    assert_eq!(resp["data"]["overall"].as_str(), Some("degraded"), "{resp}");
+    let ops = resp["data"]["ops"].as_array().unwrap();
+    let events = ops
+        .iter()
+        .find(|r| r["op"].as_str() == Some("events"))
+        .unwrap();
+    assert_eq!(events["status"].as_str(), Some("degraded"), "{resp}");
+    assert!(events["burn_rate"].as_f64().unwrap() >= 1.0);
+    assert_eq!(events["latency_ms"].as_i64(), Some(0));
+    let heatmap = ops
+        .iter()
+        .find(|r| r["op"].as_str() == Some("heatmap"))
+        .unwrap();
+    assert_eq!(heatmap["status"].as_str(), Some("ok"), "{resp}");
 }

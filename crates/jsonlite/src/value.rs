@@ -109,6 +109,16 @@ impl Value {
             other => panic!("Value::insert on non-object {other:?}"),
         }
     }
+
+    /// Removes and returns a field. `None` for non-objects and missing
+    /// keys, so callers can strip per-request fields (e.g. `trace_id`)
+    /// without shape checks.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        match self {
+            Value::Object(o) => o.remove(key),
+            _ => None,
+        }
+    }
 }
 
 /// Missing lookups index as `Null`, mirroring `serde_json` ergonomics.

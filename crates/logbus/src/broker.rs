@@ -152,9 +152,9 @@ pub(crate) struct FaultState {
 impl FaultState {
     fn count(&self, kind: &str) {
         self.injected.fetch_add(1, Ordering::Relaxed);
-        telemetry::global().counter("bus.injected_faults").incr(1);
+        telemetry::global().counter("bus.faults.injected").incr(1);
         telemetry::global()
-            .counter(&format!("bus.injected_faults.{kind}"))
+            .counter(&format!("bus.faults.injected.{kind}"))
             .incr(1);
     }
 

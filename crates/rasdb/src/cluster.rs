@@ -743,7 +743,10 @@ impl Cluster {
         plans: &[ReadPlan],
         consistency: Consistency,
     ) -> Result<Vec<Vec<Row>>, DbError> {
-        let _span = telemetry::span!("rasdb.coordinator.read_multi");
+        let mut span = telemetry::span!("rasdb.coordinator.read_multi");
+        // Trace context for worker-pool closures: replica reads on pool
+        // threads parent under this span and carry the request's trace id.
+        let ctx = span.context();
         if plans.is_empty() {
             return Ok(Vec::new());
         }
@@ -774,26 +777,39 @@ impl Cluster {
         let mut results: Vec<Option<Vec<Row>>> = (0..plans.len()).map(|_| None).collect();
         let mut miss: Vec<usize> = Vec::new();
         let mut miss_keys: Vec<(Vec<u8>, u64)> = Vec::new();
+        // Plan/merge sub-spans (like the per-replica spans below) are
+        // profile-level phase detail: skipped unless a profile is being
+        // collected, so the steady-state read path emits exactly one span
+        // per read_multi call.
+        let detail = telemetry::profiling_active();
         let mut gathers = Vec::new();
-        for (idx, plan) in plans.iter().enumerate() {
-            let (replicas, required) = self.plan_replicas(plan, consistency)?;
-            let key = block_key(plan, consistency);
-            let version = self.data_version(&plan.table, &plan.partition);
-            if let Some(rows) = self.block_cache_get(&key, version, epoch) {
-                results[idx] = Some(rows);
-                continue;
+        {
+            let _plan_span = detail.then(|| telemetry::span!("rasdb.coordinator.plan"));
+            for (idx, plan) in plans.iter().enumerate() {
+                let (replicas, required) = self.plan_replicas(plan, consistency)?;
+                let key = block_key(plan, consistency);
+                let version = self.data_version(&plan.table, &plan.partition);
+                if let Some(rows) = self.block_cache_get(&key, version, epoch) {
+                    results[idx] = Some(rows);
+                    continue;
+                }
+                miss.push(idx);
+                miss_keys.push((key, version));
+                gathers.push(Gather {
+                    replicas,
+                    required,
+                    next_replica: 0,
+                    responses: Vec::new(),
+                    inflight: 0,
+                    deadline: now + timeout,
+                    done: false,
+                });
             }
-            miss.push(idx);
-            miss_keys.push((key, version));
-            gathers.push(Gather {
-                replicas,
-                required,
-                next_replica: 0,
-                responses: Vec::new(),
-                inflight: 0,
-                deadline: now + timeout,
-                done: false,
-            });
+        }
+        if detail {
+            span.tag("plans", plans.len().to_string());
+            span.tag("block_hits", (plans.len() - miss.len()).to_string());
+            span.tag("block_misses", miss.len().to_string());
         }
 
         if !miss.is_empty() {
@@ -802,28 +818,51 @@ impl Cluster {
 
             // Queues the read for gather `gi` on its next untried *up*
             // replica. Returns false when the replica list is exhausted.
-            let dispatch_next = |g: &mut Gather, gi: usize, tx: &Sender<ReplicaResponse>| -> bool {
-                if let Some(id) = self.next_up_replica(&g.replicas, &mut g.next_replica) {
-                    let node = self.node_arc(id);
-                    let plan = plans[miss[gi]].clone();
-                    let tx = tx.clone();
-                    pool.submit(
-                        id,
-                        Box::new(move || {
-                            let raw = node.read_raw(&plan.table, &plan.partition, &plan.range);
-                            let _ = tx.send((gi, node.id, raw));
-                        }),
-                    );
-                    g.inflight += 1;
-                    return true;
-                }
-                false
-            };
+            // `kind` labels why the read was dispatched (`scatter` for the
+            // initial fan-out, `retry` after a down replica, `hedge` on a
+            // speculative deadline) and rides into the replica span.
+            let dispatch_next =
+                |g: &mut Gather, gi: usize, kind: &'static str, tx: &Sender<ReplicaResponse>| {
+                    if let Some(id) = self.next_up_replica(&g.replicas, &mut g.next_replica) {
+                        let node = self.node_arc(id);
+                        let plan = plans[miss[gi]].clone();
+                        let tx = tx.clone();
+                        pool.submit(
+                            id,
+                            Box::new(move || {
+                                // Per-replica spans are profile-level detail:
+                                // emitted only while some request is profiling,
+                                // so the unprofiled fan-out hot path pays one
+                                // atomic load per dispatch instead of a span.
+                                // (Aggregate scatter/retry/hedge stats stay
+                                // always-on via the `read_multi` span tags.)
+                                let rspan = telemetry::profiling_active().then(|| {
+                                    let mut rspan = match ctx {
+                                        Some(c) => telemetry::SpanGuard::enter_in(
+                                            "rasdb.coordinator.replica_read",
+                                            &c,
+                                        ),
+                                        None => telemetry::span!("rasdb.coordinator.replica_read"),
+                                    };
+                                    rspan.tag("node", node.id.0.to_string());
+                                    rspan.tag("kind", kind);
+                                    rspan
+                                });
+                                let raw = node.read_raw(&plan.table, &plan.partition, &plan.range);
+                                drop(rspan);
+                                let _ = tx.send((gi, node.id, raw));
+                            }),
+                        );
+                        g.inflight += 1;
+                        return true;
+                    }
+                    false
+                };
 
             // Initial scatter: `required` concurrent reads per plan.
             for (gi, g) in gathers.iter_mut().enumerate() {
                 for _ in 0..g.required {
-                    if !dispatch_next(g, gi, &tx) {
+                    if !dispatch_next(g, gi, "scatter", &tx) {
                         break;
                     }
                 }
@@ -836,6 +875,8 @@ impl Cluster {
             }
 
             // Gather until every plan has `required` responses.
+            let mut retries = 0u64;
+            let mut hedges = 0u64;
             let mut remaining = gathers.len();
             while remaining > 0 {
                 match rx.recv_timeout(timeout) {
@@ -857,7 +898,8 @@ impl Cluster {
                                 // The node went down between dispatch and
                                 // read: retry on the next replica.
                                 self.coord_stats.record_speculative_retry();
-                                if !dispatch_next(g, gi, &tx) && g.inflight == 0 {
+                                retries += 1;
+                                if !dispatch_next(g, gi, "retry", &tx) && g.inflight == 0 {
                                     return Err(DbError::Unavailable {
                                         required: g.required,
                                         received: g.responses.len(),
@@ -876,8 +918,9 @@ impl Cluster {
                                 continue;
                             }
                             g.deadline = now + timeout;
-                            if dispatch_next(g, gi, &tx) {
+                            if dispatch_next(g, gi, "hedge", &tx) {
                                 self.coord_stats.record_speculative_retry();
+                                hedges += 1;
                             } else if g.inflight == 0 {
                                 return Err(DbError::Unavailable {
                                     required: g.required,
@@ -890,7 +933,16 @@ impl Cluster {
                 }
             }
             drop(tx);
+            // Always tagged when nonzero — a retry or hedge is exactly
+            // what a ring reader wants to see; the zero case is noise.
+            if detail || retries > 0 {
+                span.tag("retries", retries.to_string());
+            }
+            if detail || hedges > 0 {
+                span.tag("hedges", hedges.to_string());
+            }
 
+            let _merge_span = detail.then(|| telemetry::span!("rasdb.coordinator.merge"));
             for ((gi, g), (key, version)) in gathers.iter().enumerate().zip(miss_keys) {
                 let idx = miss[gi];
                 let rows = self.finish_read(&plans[idx], &g.responses);

@@ -135,6 +135,11 @@ impl SparkletContext {
         let locality = self.locality();
         let stage_span = telemetry::span!("sparklet.scheduler.stage");
         let stage_id = stage_span.id();
+        // Trace context for executor threads: tasks parent under the stage
+        // span *and* inherit the request's trace id (the stage picked it up
+        // from the engine's thread-local), so cross-thread analytics work
+        // stays attributable to the originating request.
+        let stage_ctx = stage_span.context();
         for p in 0..n {
             let imp = Arc::clone(&rdd.imp);
             let f = Arc::clone(&f);
@@ -144,7 +149,10 @@ impl SparkletContext {
                 // Child of the stage span even though it runs on an
                 // executor thread; locality is judged where the task
                 // actually landed, not where it was aimed.
-                let mut task_span = telemetry::span!("sparklet.scheduler.task", stage_id);
+                let mut task_span = match stage_ctx {
+                    Some(c) => telemetry::SpanGuard::enter_in("sparklet.scheduler.task", &c),
+                    None => telemetry::span!("sparklet.scheduler.task", stage_id),
+                };
                 let hit = preferred.is_some() && crate::pool::current_worker() == preferred;
                 task_span.tag("locality", if hit { "hit" } else { "miss" });
                 telemetry::global()

@@ -10,6 +10,9 @@ pub const BUCKETS: usize = 64;
 /// operations, so writer threads never contend on a lock.
 pub struct Histogram {
     buckets: [AtomicU64; BUCKETS],
+    /// Latest trace id observed per bucket (0 = none): the exemplar linking
+    /// a latency bucket back to a concrete recorded request trace.
+    exemplars: [AtomicU64; BUCKETS],
     count: AtomicU64,
     sum: AtomicU64,
     max: AtomicU64,
@@ -32,6 +35,10 @@ pub struct HistogramSummary {
     pub p99: u64,
     /// Largest value recorded (exact).
     pub max: u64,
+    /// Latest trace id seen in the p99 bucket (0 when none recorded).
+    pub p99_exemplar: u64,
+    /// Latest trace id seen in the bucket holding the max (0 when none).
+    pub max_exemplar: u64,
 }
 
 /// Index of the bucket a value lands in: 0 for 0, else floor(log2(v)) + 1,
@@ -56,6 +63,7 @@ impl Histogram {
     pub fn new() -> Self {
         Self {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            exemplars: std::array::from_fn(|_| AtomicU64::new(0)),
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
             max: AtomicU64::new(0),
@@ -64,10 +72,20 @@ impl Histogram {
 
     /// Records one observation (e.g. a latency in nanoseconds).
     pub fn record(&self, value: u64) {
+        self.record_traced(value, None);
+    }
+
+    /// Records one observation and, when `trace` is set, stamps it as the
+    /// latest exemplar of the bucket the value lands in.
+    pub fn record_traced(&self, value: u64, trace: Option<u64>) {
         if !crate::enabled() {
             return;
         }
-        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        let bucket = bucket_index(value);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        if let Some(t) = trace {
+            self.exemplars[bucket].store(t, Ordering::Relaxed);
+        }
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(value, Ordering::Relaxed);
         self.max.fetch_max(value, Ordering::Relaxed);
@@ -86,19 +104,53 @@ impl Histogram {
     /// Estimate of the `q`-quantile (0.0..=1.0): the upper bound of the
     /// bucket where the cumulative count crosses `q * count`.
     pub fn quantile(&self, q: f64) -> u64 {
+        match self.quantile_bucket(q) {
+            Some(i) => bucket_upper_bound(i).min(self.max.load(Ordering::Relaxed)),
+            None => self.max.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Index of the bucket where the cumulative count crosses `q * count`,
+    /// or `None` when the histogram is empty.
+    fn quantile_bucket(&self, q: f64) -> Option<usize> {
         let total = self.count();
         if total == 0 {
-            return 0;
+            return Some(0);
         }
         let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
         let mut seen = 0u64;
         for (i, b) in self.buckets.iter().enumerate() {
             seen += b.load(Ordering::Relaxed);
             if seen >= rank {
-                return bucket_upper_bound(i).min(self.max.load(Ordering::Relaxed));
+                return Some(i);
             }
         }
-        self.max.load(Ordering::Relaxed)
+        None
+    }
+
+    /// Latest exemplar trace id at or above `bucket` (0 when none): walks
+    /// upward so a quantile bucket whose own exemplar was never stamped
+    /// still links to the nearest slower recorded trace.
+    fn exemplar_at_or_above(&self, bucket: usize) -> u64 {
+        for e in &self.exemplars[bucket.min(BUCKETS - 1)..] {
+            let t = e.load(Ordering::Relaxed);
+            if t != 0 {
+                return t;
+            }
+        }
+        0
+    }
+
+    /// Non-empty per-bucket exemplars as `(bucket_index, trace_id)` pairs.
+    pub fn exemplars(&self) -> Vec<(usize, u64)> {
+        self.exemplars
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| {
+                let t = e.load(Ordering::Relaxed);
+                (t != 0).then_some((i, t))
+            })
+            .collect()
     }
 
     /// Point-in-time summary: count, sum, mean, and quantile estimates.
@@ -117,13 +169,20 @@ impl Histogram {
             p95: self.quantile(0.95),
             p99: self.quantile(0.99),
             max: self.max.load(Ordering::Relaxed),
+            p99_exemplar: self
+                .quantile_bucket(0.99)
+                .map_or(0, |b| self.exemplar_at_or_above(b)),
+            max_exemplar: self.exemplar_at_or_above(bucket_index(self.max.load(Ordering::Relaxed))),
         }
     }
 
-    /// Zeroes every bucket and counter.
+    /// Zeroes every bucket, exemplar, and counter.
     pub fn reset(&self) {
         for b in &self.buckets {
             b.store(0, Ordering::Relaxed);
+        }
+        for e in &self.exemplars {
+            e.store(0, Ordering::Relaxed);
         }
         self.count.store(0, Ordering::Relaxed);
         self.sum.store(0, Ordering::Relaxed);
@@ -238,6 +297,29 @@ mod tests {
             .map(|i| h.buckets[i].load(Ordering::Relaxed))
             .sum();
         assert_eq!(bucket_total, s.count);
+    }
+
+    #[test]
+    fn exemplars_link_buckets_to_the_latest_trace() {
+        let _g = crate::test_lock();
+        let h = Histogram::new();
+        for _ in 0..99 {
+            h.record_traced(100, Some(0xAAAA)); // bucket 7
+        }
+        h.record_traced(1_000_000, Some(0xBBBB)); // slow outlier, bucket 20
+        let s = h.summary();
+        // p99 rank (99 of 100) still lands in the fast bucket.
+        assert_eq!(s.p99_exemplar, 0xAAAA);
+        assert_eq!(s.max_exemplar, 0xBBBB);
+        h.record(1_000_000); // untraced: must not clobber the exemplar
+        assert_eq!(h.summary().max_exemplar, 0xBBBB);
+        assert_eq!(h.exemplars(), vec![(7, 0xAAAA), (20, 0xBBBB)]);
+        // A newer trace in the same bucket replaces the exemplar.
+        h.record_traced(1_000_000, Some(0xCCCC));
+        assert_eq!(h.summary().max_exemplar, 0xCCCC);
+        h.reset();
+        assert!(h.exemplars().is_empty());
+        assert_eq!(h.summary().p99_exemplar, 0);
     }
 
     #[test]

@@ -4,15 +4,37 @@
 //!
 //! * **Metrics** — named [`Counter`]s, [`Gauge`]s, and log2-bucketed
 //!   [`Histogram`]s (lock-free `AtomicU64` buckets with p50/p95/p99/max
-//!   summaries). Names follow the `crate.component.metric` convention,
-//!   e.g. `rasdb.coordinator.read`.
+//!   summaries and per-bucket trace-id exemplars).
 //! * **Spans** — the [`span!`] macro returns a guard that measures a
 //!   region, feeds its duration into the histogram of the same name, and
 //!   appends a [`SpanRecord`] (with parent/child causality) to a bounded
-//!   ring-buffer trace log.
+//!   ring-buffer trace log. A [`TraceContext`] threads a request-scoped
+//!   trace id through nested spans and across worker threads
+//!   ([`SpanGuard::enter_in`] / [`SpanGuard::context`]), and
+//!   [`begin_profile`]/[`take_profile`] collect every completed span of one
+//!   trace for per-request profiles.
 //! * **Export** — [`Snapshot`] (machine-readable) and
 //!   [`Registry::render_table`] (human-readable) views; the JSON and HTTP
 //!   surfaces live in `hpclog-core`, keeping this crate dependency-free.
+//!
+//! # Instrument naming
+//!
+//! Every instrument (counter, gauge, histogram, span) is named
+//! **`<subsystem>.<component>.<event>`**, all lowercase, exactly three
+//! dot-separated segments:
+//!
+//! * **subsystem** — the crate or domain: `rasdb`, `ingest`, `bus`,
+//!   `cache`, `server`, `etl`, `sparklet`, `logbus`.
+//! * **component** — the actor inside it: `coordinator`, `producer`,
+//!   `store`, `result`, `block`, `engine`, `stream`, `topology`.
+//! * **event** — what happened: `read`, `hit`, `miss`, `retries`,
+//!   `backpressure`, `duplicates`.
+//!
+//! Examples: `rasdb.coordinator.read_multi`, `cache.result.hit`,
+//! `bus.producer.backpressure`, `ingest.store.retries`,
+//! `server.engine.request`. Per-instance variants append a suffix segment
+//! (e.g. `bus.faults.drop_send`). New instruments must follow this shape;
+//! renames of existing ones are listed in CHANGES.md.
 //!
 //! Everything is cheap when disabled: each record is a single relaxed
 //! atomic load and branch after [`set_enabled`]`(false)`.
@@ -25,7 +47,10 @@ mod span;
 
 pub use histogram::{Histogram, HistogramSummary, BUCKETS};
 pub use registry::{global, Counter, Gauge, Registry, Snapshot};
-pub use span::{active_span, trace_snapshot, SpanGuard, SpanRecord, TRACE_CAPACITY};
+pub use span::{
+    active_span, begin_profile, current_thread, current_trace, profiling_active, take_profile,
+    trace_hex, trace_snapshot, SpanGuard, SpanRecord, TraceContext, TRACE_CAPACITY,
+};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 

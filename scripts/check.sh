@@ -25,4 +25,7 @@ QUERY_CACHE_SMOKE=1 cargo bench -q -p hpclog-bench --bench query_cache
 echo "==> rebalance bench (smoke mode)"
 REBALANCE_SMOKE=1 cargo bench -q -p hpclog-bench --bench rebalance
 
+echo "==> observability bench (smoke mode)"
+OBSERVABILITY_SMOKE=1 cargo bench -q -p hpclog-bench --bench observability
+
 echo "All checks passed."

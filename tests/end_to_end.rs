@@ -186,7 +186,8 @@ fn telemetry_surfaces_ingest_query_and_analytics() {
         let roots: Vec<i64> = spans
             .iter()
             .filter(|s| {
-                s["name"].as_str() == Some("server.request") && s["parent"].as_i64().is_none()
+                s["name"].as_str() == Some("server.engine.request")
+                    && s["parent"].as_i64().is_none()
             })
             .filter_map(|s| s["id"].as_i64())
             .collect();
