@@ -16,22 +16,44 @@
 //! [`ResultEntry::open`] and dropped eagerly by [`ResultCache::invalidate_open`]
 //! whenever a streaming micro-batch commits: closed windows are immutable
 //! and cache indefinitely, open windows live only until the next commit.
+//!
+//! # Concurrency
+//!
+//! The cache is built for the thread-pool HTTP frontend: many workers
+//! probing concurrently. Two decisions keep the lock out of profiles under
+//! that load (the single-mutex version was the top contention point the
+//! `loadgen` bench exposed):
+//!
+//! * the key space is split across [`SHARDS`] independently locked LRUs
+//!   (shard chosen by a hash of the canonical key), so concurrent probes
+//!   for different panels don't serialize, and
+//! * entry data is stored behind an [`Arc`], so a hit clones a pointer
+//!   inside the lock and the deep copy the envelope assembly needs happens
+//!   outside it.
+//!
+//! Eviction is LRU *per shard* under a per-shard slice of the byte
+//! budget; with a canonical-key hash the shards stay balanced and the
+//! aggregate behavior matches a global LRU closely enough for budgeting.
 
 use jsonlite::Value as Json;
 use rasdb::cache::LruCache;
 use rasdb::cluster::Cluster;
 use rasdb::stats::CacheStats;
 use rasdb::types::Key;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Default byte budget for the analytics result cache.
 pub const DEFAULT_RESULT_CACHE_BYTES: usize = 8 << 20;
+
+/// Number of independently locked LRU shards.
+pub const SHARDS: usize = 16;
 
 /// One memoized engine response with its validity tags.
 #[derive(Debug, Clone)]
 pub struct ResultEntry {
     /// The op's `data` fields, exactly as the uncached op returned them.
-    pub data: Vec<(String, Json)>,
+    /// Shared so hits clone a pointer, not the payload.
+    pub data: Arc<Vec<(String, Json)>>,
     /// `(table, partition)` pairs the answer was computed from.
     pub deps: Vec<(String, Key)>,
     /// [`Cluster::data_version`] of each dep, snapshotted *before* the
@@ -61,19 +83,44 @@ fn footprint(key_len: usize, e: &ResultEntry) -> usize {
     key_len + data + deps + 64
 }
 
-/// A byte-budgeted LRU over complete analytics responses, keyed by the
-/// canonical form of the typed [`QueryRequest`](crate::server::QueryRequest).
+/// FNV-1a over the canonical key; cheap, stable, and well-spread for the
+/// short `op\x1f...` keys the engine builds.
+fn shard_of(key: &[u8]) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    (h % SHARDS as u64) as usize
+}
+
+/// Per-shard slice of a byte budget. Rounds up so any nonzero budget keeps
+/// every shard enabled; zero disables all of them.
+fn shard_budget(budget_bytes: usize) -> usize {
+    if budget_bytes == 0 {
+        0
+    } else {
+        budget_bytes.div_ceil(SHARDS)
+    }
+}
+
+/// A byte-budgeted, sharded LRU over complete analytics responses, keyed
+/// by the canonical form of the typed
+/// [`QueryRequest`](crate::server::QueryRequest).
 #[derive(Debug)]
 pub struct ResultCache {
-    inner: Mutex<LruCache<ResultEntry>>,
+    shards: Vec<Mutex<LruCache<ResultEntry>>>,
     stats: CacheStats,
 }
 
 impl ResultCache {
     /// Creates a cache bounded by `budget_bytes` (0 disables it).
     pub fn new(budget_bytes: usize) -> ResultCache {
+        let per_shard = shard_budget(budget_bytes);
         ResultCache {
-            inner: Mutex::new(LruCache::new(budget_bytes)),
+            shards: (0..SHARDS)
+                .map(|_| Mutex::new(LruCache::new(per_shard)))
+                .collect(),
             stats: CacheStats::new("result"),
         }
     }
@@ -81,8 +128,11 @@ impl ResultCache {
     /// Replaces the byte budget; shrinking evicts, zero clears and
     /// disables.
     pub fn set_budget(&self, bytes: usize) {
-        let evicted = self.inner.lock().unwrap().set_budget(bytes);
-        self.stats.record_evictions(evicted);
+        let per_shard = shard_budget(bytes);
+        for shard in &self.shards {
+            let evicted = lock(shard).set_budget(per_shard);
+            self.stats.record_evictions(evicted);
+        }
     }
 
     /// Hit/miss/evict/invalidate counters (`cache.result.*` in the global
@@ -91,21 +141,23 @@ impl ResultCache {
         &self.stats
     }
 
-    /// Live entries.
+    /// Live entries across every shard.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().len()
+        self.shards.iter().map(|s| lock(s).len()).sum()
     }
 
     /// True when nothing is cached.
     pub fn is_empty(&self) -> bool {
-        self.inner.lock().unwrap().is_empty()
+        self.shards.iter().all(|s| lock(s).is_empty())
     }
 
     /// Looks up a canonical key, lazily validating the entry against the
     /// cluster's current data versions and topology epoch. A stale entry
-    /// is removed and reported as an invalidation + miss.
-    pub fn lookup(&self, cluster: &Cluster, key: &[u8]) -> Option<Vec<(String, Json)>> {
-        let mut inner = self.inner.lock().unwrap();
+    /// is removed and reported as an invalidation + miss. A hit returns a
+    /// shared handle to the data — cloning the payload (if the caller
+    /// needs to) happens outside the shard lock.
+    pub fn lookup(&self, cluster: &Cluster, key: &[u8]) -> Option<Arc<Vec<(String, Json)>>> {
+        let mut inner = lock(&self.shards[shard_of(key)]);
         if inner.budget() == 0 {
             return None;
         }
@@ -120,7 +172,7 @@ impl ResultCache {
                 .zip(&entry.versions)
                 .all(|((t, p), v)| cluster.data_version(t, p) == *v);
         if valid {
-            let data = entry.data.clone();
+            let data = Arc::clone(&entry.data);
             self.stats.record_hit();
             Some(data)
         } else {
@@ -133,7 +185,7 @@ impl ResultCache {
 
     /// Stores a computed response under its canonical key.
     pub fn store(&self, key: Vec<u8>, entry: ResultEntry) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock(&self.shards[shard_of(&key)]);
         if inner.budget() == 0 {
             return;
         }
@@ -145,9 +197,16 @@ impl ResultCache {
     /// Drops every open-window (watermark-tagged) entry. Streaming
     /// ingestion calls this on each micro-batch commit.
     pub fn invalidate_open(&self) {
-        let removed = self.inner.lock().unwrap().retain(|_, e| !e.open);
+        let mut removed = 0;
+        for shard in &self.shards {
+            removed += lock(shard).retain(|_, e| !e.open);
+        }
         self.stats.record_invalidations(removed);
     }
+}
+
+fn lock(shard: &Mutex<LruCache<ResultEntry>>) -> std::sync::MutexGuard<'_, LruCache<ResultEntry>> {
+    shard.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 #[cfg(test)]
@@ -179,7 +238,7 @@ mod tests {
     fn entry(cluster: &Cluster, open: bool) -> ResultEntry {
         let dep = ("t".to_owned(), Key(vec![Value::BigInt(1)]));
         ResultEntry {
-            data: vec![("total".to_owned(), Json::from(42i64))],
+            data: Arc::new(vec![("total".to_owned(), Json::from(42i64))]),
             versions: vec![cluster.data_version(&dep.0, &dep.1)],
             deps: vec![dep],
             epoch: cluster.topology_epoch(),
@@ -243,5 +302,41 @@ mod tests {
         assert!(cache.lookup(&c, b"k").is_none());
         assert!(cache.is_empty());
         assert_eq!(cache.stats().hits() + cache.stats().misses(), 0);
+    }
+
+    #[test]
+    fn entries_spread_across_shards_and_len_sums_them() {
+        let c = cluster();
+        let cache = ResultCache::new(1 << 20);
+        let mut shards_seen = std::collections::BTreeSet::new();
+        for i in 0..64 {
+            let key = format!("heatmap\x1fMCE\x1f{i}").into_bytes();
+            shards_seen.insert(shard_of(&key));
+            cache.store(key, entry(&c, false));
+        }
+        assert_eq!(cache.len(), 64);
+        assert!(
+            shards_seen.len() > SHARDS / 2,
+            "canonical keys should spread over most shards, hit {shards_seen:?}"
+        );
+        // Concurrent probes from many threads agree with the stored data.
+        let cache = Arc::new(cache);
+        let c = Arc::new(c);
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for i in 0..64 {
+                        let key = format!("heatmap\x1fMCE\x1f{}", (i + t * 7) % 64).into_bytes();
+                        let data = cache.lookup(&c, &key).expect("entry present");
+                        assert_eq!(data[0].1.as_i64(), Some(42));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
     }
 }

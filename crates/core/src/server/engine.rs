@@ -35,6 +35,19 @@ pub struct QueryEngine {
     slo: SloRegistry,
 }
 
+/// One handled request with the transport-level facts the HTTP frontend
+/// needs: the envelope body, the HTTP status implied by the typed error
+/// code (200 on success), and the retry hint to mirror into a
+/// `Retry-After` header when present.
+pub struct EngineResponse {
+    /// The v1 envelope, serialized.
+    pub body: String,
+    /// [`ErrorCode::http_status`] of the error, or 200.
+    pub status: u16,
+    /// `error.retry_after_ms`, when the error carries one.
+    pub retry_after_ms: Option<u64>,
+}
+
 /// The request phases reported in profiles and flight-recorder entries,
 /// in pipeline order. They partition the end-to-end latency: `parse` +
 /// `serialize` are measured directly, and the execute interval splits
@@ -90,6 +103,13 @@ impl QueryEngine {
     /// collects every span of the request and returns a per-phase
     /// breakdown under `profile`.
     pub fn handle_traced(&self, request: &str, adopted: Option<u64>) -> String {
+        self.handle_http(request, adopted).body
+    }
+
+    /// [`QueryEngine::handle_traced`] returning the transport view: the
+    /// body plus the HTTP status and retry hint the frontend maps the
+    /// typed error code to (see [`ErrorCode::http_status`]).
+    pub fn handle_http(&self, request: &str, adopted: Option<u64>) -> EngineResponse {
         let t_start = Instant::now();
         let parsed = jsonlite::parse(request);
         let parse_ns = elapsed_ns(t_start);
@@ -116,21 +136,21 @@ impl QueryEngine {
 
         let t_exec = Instant::now();
         let mut op = String::new();
-        let mut ok = true;
+        let mut error: Option<ApiError> = None;
         let mut response = {
             let mut span = telemetry::SpanGuard::enter_in("server.engine.request", &ctx);
             match &parsed {
                 Err(e) => {
-                    ok = false;
-                    envelope_err(
-                        &ApiError::new(ErrorCode::BadJson, format!("bad JSON: {e}")),
-                        false,
-                    )
+                    let api = ApiError::new(ErrorCode::BadJson, format!("bad JSON: {e}"));
+                    let env = envelope_err(&api, false);
+                    error = Some(api);
+                    env
                 }
                 Ok(body) => match QueryRequest::parse(body) {
                     Err(e) => {
-                        ok = false;
-                        envelope_err(&e, compat)
+                        let env = envelope_err(&e, compat);
+                        error = Some(e);
+                        env
                     }
                     Ok(req) => {
                         op = req.op.clone();
@@ -138,8 +158,9 @@ impl QueryEngine {
                         match self.dispatch(&req) {
                             Ok(out) => envelope_ok(out, compat),
                             Err(e) => {
-                                ok = false;
-                                envelope_err(&e, compat)
+                                let env = envelope_err(&e, compat);
+                                error = Some(e);
+                                env
                             }
                         }
                     }
@@ -149,6 +170,7 @@ impl QueryEngine {
             // profile) covers exactly the execute interval.
         };
         let exec_ns = elapsed_ns(t_exec);
+        let ok = error.is_none();
 
         response.insert("trace_id", Json::from(ctx.hex()));
         let t_ser = Instant::now();
@@ -178,7 +200,11 @@ impl QueryEngine {
         if known_op(&op) {
             self.slo.record(&op, ok, total_us as u64);
         }
-        text
+        EngineResponse {
+            body: text,
+            status: error.as_ref().map(|e| e.code.http_status()).unwrap_or(200),
+            retry_after_ms: error.and_then(|e| e.retry_after_ms),
+        }
     }
 
     /// Whether a window ending at `to` extends past the streaming ingest
@@ -206,7 +232,11 @@ impl QueryEngine {
             let mut probe = telemetry::span!("cache.result.probe");
             if let Some(data) = cache.lookup(cluster, &key) {
                 probe.tag("outcome", "hit");
-                return Ok(OpOutput { data, page: None });
+                // The deep clone happens here, outside the shard lock.
+                return Ok(OpOutput {
+                    data: (*data).clone(),
+                    page: None,
+                });
             }
             probe.tag("outcome", "miss");
         }
@@ -219,7 +249,7 @@ impl QueryEngine {
         cache.store(
             key,
             ResultEntry {
-                data: out.data.clone(),
+                data: Arc::new(out.data.clone()),
                 deps,
                 versions,
                 epoch,

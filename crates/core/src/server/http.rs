@@ -1,58 +1,204 @@
-//! A minimal HTTP/1.1 endpoint for the query engine — the stand-in for the
-//! paper's Tornado web server. `POST /query` with a JSON body returns the
-//! engine's JSON response (honoring an `X-Trace-Id` header when the body
-//! doesn't carry its own `trace_id`); `GET /health` answers liveness
-//! probes while `GET /healthz` adds SLO burn rates (503 when any op is
-//! failing); `GET /metrics`, `GET /trace`, and `GET /slow_queries` expose
-//! the global telemetry registry, span trace log, and slow-query flight
-//! recorder as JSON.
+//! The HTTP/1.1 frontend for the query engine — the stand-in for the
+//! paper's Tornado web server, built for many concurrent dashboard
+//! sessions rather than one thread per socket.
+//!
+//! # Architecture
+//!
+//! Three fixed thread roles replace the old unbounded
+//! `thread::spawn`-per-connection model:
+//!
+//! * **acceptor** — accepts sockets and parks them (nonblocking) in the
+//!   poller's list with a header-read deadline;
+//! * **poller** — scans parked connections with a nonblocking
+//!   [`TcpStream::peek`] (a std-only stand-in for epoll), promoting
+//!   readable ones onto the bounded ready queue and dropping the ones
+//!   whose deadline (header-read or keep-alive idle) expired — the
+//!   slowloris defense;
+//! * **workers** — `HttpConfig::workers` threads pull connections off the
+//!   ready queue, serve every request already buffered (HTTP/1.1
+//!   keep-alive with pipelining), and park the connection again when its
+//!   buffer drains.
+//!
+//! A connection therefore cycles `accept → park → ready queue → worker →
+//! park → …` until the client closes, asks for `Connection: close`, or a
+//! deadline fires. Thread count is fixed at `2 + workers` no matter how
+//! many clients connect.
+//!
+//! # Admission control
+//!
+//! Before a request reaches the engine it passes two gates, shed with
+//! typed v1 envelopes and a mirrored `Retry-After` header:
+//!
+//! * a per-client token bucket (keyed by `X-Client-Id`, else the peer
+//!   IP) → `429` / `RATE_LIMITED` with `error.retry_after_ms` telling the
+//!   client when a token will be available;
+//! * a global in-flight cap → `503` / `OVERLOADED` when every permitted
+//!   slot is busy.
+//!
+//! Sheds are cheap (no engine work, connection stays open), which is what
+//! keeps goodput high under overload: see `BENCH_serving_concurrency.json`
+//! and the `loadgen` bench. Liveness/health paths bypass admission so
+//! probes and operators keep visibility while the server sheds.
+//!
+//! # Routes
+//!
+//! `POST /v1/query` is the query endpoint; `GET /v1/{metrics,trace,
+//! slow_queries,healthz,topology}` alias the corresponding ops. Legacy
+//! paths (`/query`, `/metrics`, `/trace`, `/slow_queries`, `/healthz`,
+//! `/health`) still answer but set a `Deprecation: true` header; their
+//! removal schedule is noted in CHANGES.md. Every failure produced by
+//! this layer — malformed JSON, unknown path, wrong method, oversized
+//! body, header-read timeout, shed load — is a v1 envelope with a typed
+//! `error.code`, a `trace_id`, and the HTTP status from
+//! [`ErrorCode::http_status`].
 
 use crate::server::engine::QueryEngine;
+use crate::server::request::{envelope_err, ApiError, ErrorCode};
+use jsonlite::Value as Json;
+use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 use telemetry::TraceContext;
 
-/// A running HTTP server.
+/// Longest accepted request-line or header line, in bytes.
+const MAX_HEADER_LINE: u64 = 16 * 1024;
+/// Most headers accepted per request.
+const MAX_HEADERS: usize = 64;
+/// Retry hint attached to `OVERLOADED` sheds.
+const OVERLOAD_RETRY_MS: u64 = 100;
+/// Lock shards for the per-client token-bucket map.
+const LIMITER_SHARDS: usize = 8;
+/// Buckets per limiter shard before stale entries are swept.
+const LIMITER_SWEEP_LEN: usize = 8 * 1024;
+
+/// Tunables of the frontend. Worker-pool size and the in-flight cap are
+/// also surfaced as `server.http.*` gauges so a running server's shape is
+/// visible in `/v1/metrics`.
+#[derive(Clone, Debug)]
+pub struct HttpConfig {
+    /// Worker threads serving requests (the only threads that touch the
+    /// engine).
+    pub workers: usize,
+    /// Bounded ready-queue depth; readable connections beyond it stay
+    /// parked until workers catch up.
+    pub queue_depth: usize,
+    /// Global cap on requests inside the engine at once; excess sheds
+    /// with `503` / `OVERLOADED`.
+    pub max_inflight: usize,
+    /// Byte cap on request bodies; larger bodies get `413` /
+    /// `PAYLOAD_TOO_LARGE`.
+    pub max_body_bytes: usize,
+    /// How long a promoted connection may take to deliver a full request
+    /// (headers + body) before the worker answers `400` and closes.
+    pub header_read_timeout: Duration,
+    /// Socket write timeout for responses.
+    pub write_timeout: Duration,
+    /// How long a parked keep-alive connection may stay idle before the
+    /// poller drops it.
+    pub idle_timeout: Duration,
+    /// Token-bucket refill rate per client, in requests/second; `<= 0`
+    /// disables per-client rate limiting.
+    pub rate_per_sec: f64,
+    /// Token-bucket capacity (burst allowance) per client.
+    pub rate_burst: f64,
+}
+
+impl Default for HttpConfig {
+    fn default() -> HttpConfig {
+        HttpConfig {
+            workers: 8,
+            queue_depth: 256,
+            max_inflight: 64,
+            max_body_bytes: 1 << 20,
+            header_read_timeout: Duration::from_secs(2),
+            write_timeout: Duration::from_secs(5),
+            idle_timeout: Duration::from_secs(30),
+            rate_per_sec: 500.0,
+            rate_burst: 250.0,
+        }
+    }
+}
+
+/// A running HTTP server; dropping it stops every thread.
 pub struct HttpServer {
     addr: std::net::SocketAddr,
-    stop: Arc<AtomicBool>,
-    handle: Option<JoinHandle<()>>,
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
 }
 
 impl HttpServer {
-    /// Binds `127.0.0.1:port` (0 = ephemeral) and serves in background
-    /// threads until dropped.
+    /// Binds `127.0.0.1:port` (0 = ephemeral) with the default
+    /// [`HttpConfig`].
     pub fn start(engine: Arc<QueryEngine>, port: u16) -> std::io::Result<HttpServer> {
+        HttpServer::start_with(engine, port, HttpConfig::default())
+    }
+
+    /// Binds `127.0.0.1:port` (0 = ephemeral) and serves with `cfg` until
+    /// dropped.
+    pub fn start_with(
+        engine: Arc<QueryEngine>,
+        port: u16,
+        cfg: HttpConfig,
+    ) -> std::io::Result<HttpServer> {
         let listener = TcpListener::bind(("127.0.0.1", port))?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let stop2 = Arc::clone(&stop);
-        let handle = std::thread::Builder::new()
-            .name("hpclog-http".to_owned())
-            .spawn(move || {
-                while !stop2.load(Ordering::SeqCst) {
-                    match listener.accept() {
-                        Ok((stream, _)) => {
-                            let engine = Arc::clone(&engine);
-                            std::thread::spawn(move || {
-                                let _ = handle_connection(stream, &engine);
-                            });
-                        }
-                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(std::time::Duration::from_millis(5));
-                        }
-                        Err(_) => break,
-                    }
-                }
-            })?;
+
+        let reg = telemetry::global();
+        reg.gauge("server.http.workers").set(cfg.workers as i64);
+        reg.gauge("server.http.max_inflight")
+            .set(cfg.max_inflight as i64);
+        reg.gauge("server.http.queue_depth")
+            .set(cfg.queue_depth as i64);
+        let stats = FrontendStats {
+            requests: reg.counter("server.http.requests"),
+            shed_rate_limited: reg.counter("server.http.shed.rate_limited"),
+            shed_overloaded: reg.counter("server.http.shed.overloaded"),
+            timeouts: reg.counter("server.http.timeouts"),
+            connections: reg.gauge("server.http.connections"),
+            inflight: reg.gauge("server.http.inflight"),
+        };
+
+        let shared = Arc::new(Shared {
+            engine,
+            limiter: Limiter::new(cfg.rate_per_sec, cfg.rate_burst),
+            ready: ReadyQueue::new(cfg.queue_depth),
+            parked: Mutex::new(Vec::new()),
+            inflight: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+            stats,
+            cfg,
+        });
+
+        let mut handles = Vec::new();
+        let s = Arc::clone(&shared);
+        handles.push(
+            std::thread::Builder::new()
+                .name("http-accept".to_owned())
+                .spawn(move || accept_loop(&listener, &s))?,
+        );
+        let s = Arc::clone(&shared);
+        handles.push(
+            std::thread::Builder::new()
+                .name("http-poll".to_owned())
+                .spawn(move || poll_loop(&s))?,
+        );
+        for i in 0..shared.cfg.workers.max(1) {
+            let s = Arc::clone(&shared);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("http-worker-{i}"))
+                    .spawn(move || worker_loop(&s))?,
+            );
+        }
         Ok(HttpServer {
             addr,
-            stop,
-            handle: Some(handle),
+            shared,
+            handles,
         })
     }
 
@@ -64,109 +210,672 @@ impl HttpServer {
 
 impl Drop for HttpServer {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
-        if let Some(h) = self.handle.take() {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        for h in self.handles.drain(..) {
             let _ = h.join();
         }
+        // Parked connections close here; gauges settle via Conn::drop.
+        lock(&self.shared.parked).clear();
     }
 }
 
-fn handle_connection(stream: TcpStream, engine: &QueryEngine) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(std::time::Duration::from_secs(5)))?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut request_line = String::new();
-    reader.read_line(&mut request_line)?;
-    let mut parts = request_line.split_whitespace();
-    let method = parts.next().unwrap_or("");
-    let path = parts.next().unwrap_or("");
+/// State every frontend thread shares.
+struct Shared {
+    engine: Arc<QueryEngine>,
+    cfg: HttpConfig,
+    limiter: Limiter,
+    ready: ReadyQueue,
+    parked: Mutex<Vec<Conn>>,
+    inflight: AtomicUsize,
+    stop: AtomicBool,
+    stats: FrontendStats,
+}
 
-    // Headers: we only need Content-Length and X-Trace-Id.
-    let mut content_length = 0usize;
-    let mut header_trace = None;
+/// Pre-resolved `server.http.*` instrument handles (resolving by name on
+/// every request would reintroduce the registry lock on the hot path).
+struct FrontendStats {
+    requests: Arc<telemetry::Counter>,
+    shed_rate_limited: Arc<telemetry::Counter>,
+    shed_overloaded: Arc<telemetry::Counter>,
+    timeouts: Arc<telemetry::Counter>,
+    connections: Arc<telemetry::Gauge>,
+    inflight: Arc<telemetry::Gauge>,
+}
+
+/// One client connection moving between the poller and the workers.
+struct Conn {
+    /// The raw socket: `peek` while parked, writes from workers. Mode
+    /// (nonblocking vs. blocking + timeouts) is flipped at each handoff.
+    stream: TcpStream,
+    /// Buffered reader over a dup of the socket; kept across parks so
+    /// pipelined bytes already buffered are never lost (the poller's
+    /// `peek` cannot see them, so a connection only parks when this
+    /// buffer is empty).
+    reader: BufReader<TcpStream>,
+    /// Peer address, the default rate-limit key.
+    peer: String,
+    /// When the poller gives up on this connection: header-read deadline
+    /// for fresh connections, idle deadline for parked keep-alive ones.
+    deadline: Instant,
+    /// Open-connection gauge, decremented on drop.
+    gauge: Arc<telemetry::Gauge>,
+}
+
+impl Conn {
+    fn new(
+        stream: TcpStream,
+        peer: String,
+        deadline: Instant,
+        gauge: Arc<telemetry::Gauge>,
+    ) -> std::io::Result<Conn> {
+        let reader = BufReader::new(stream.try_clone()?);
+        gauge.add(1);
+        Ok(Conn {
+            stream,
+            reader,
+            peer,
+            deadline,
+            gauge,
+        })
+    }
+}
+
+impl Drop for Conn {
+    fn drop(&mut self) {
+        self.gauge.add(-1);
+    }
+}
+
+/// The bounded connection queue between the poller and the workers.
+struct ReadyQueue {
+    inner: Mutex<VecDeque<Conn>>,
+    cv: Condvar,
+    cap: usize,
+}
+
+impl ReadyQueue {
+    fn new(cap: usize) -> ReadyQueue {
+        ReadyQueue {
+            inner: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Enqueues unless full; a full queue hands the connection back so
+    /// the poller keeps it parked (backpressure instead of an unbounded
+    /// buffer).
+    fn try_push(&self, conn: Conn) -> Result<(), Conn> {
+        let mut q = lock(&self.inner);
+        if q.len() >= self.cap {
+            return Err(conn);
+        }
+        q.push_back(conn);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Blocks up to `timeout` for a connection (workers re-check the stop
+    /// flag between waits).
+    fn pop(&self, timeout: Duration) -> Option<Conn> {
+        let mut q = lock(&self.inner);
+        if let Some(c) = q.pop_front() {
+            return Some(c);
+        }
+        let (mut q, _) = self
+            .cv
+            .wait_timeout(q, timeout)
+            .unwrap_or_else(|e| e.into_inner());
+        q.pop_front()
+    }
+}
+
+// --- acceptor / poller / workers -------------------------------------------
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                let _ = stream.set_nodelay(true);
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let deadline = Instant::now() + shared.cfg.header_read_timeout;
+                if let Ok(conn) = Conn::new(
+                    stream,
+                    peer.ip().to_string(),
+                    deadline,
+                    Arc::clone(&shared.stats.connections),
+                ) {
+                    lock(&shared.parked).push(conn);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Scans parked connections: EOF and expired ones drop, readable ones are
+/// promoted to the ready queue (unless it is full, which keeps them
+/// parked — that is the backpressure path). The list is taken out of the
+/// mutex for the scan so the acceptor never waits on a long sweep.
+fn poll_loop(shared: &Shared) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        let mut list = std::mem::take(&mut *lock(&shared.parked));
+        let mut keep = Vec::with_capacity(list.len());
+        let now = Instant::now();
+        let mut queue_full = false;
+        for conn in list.drain(..) {
+            if queue_full {
+                keep.push(conn);
+                continue;
+            }
+            let mut probe = [0u8; 1];
+            match conn.stream.peek(&mut probe) {
+                Ok(0) => {} // client closed; drop
+                Ok(_) => match shared.ready.try_push(conn) {
+                    Ok(()) => {}
+                    Err(conn) => {
+                        queue_full = true;
+                        keep.push(conn);
+                    }
+                },
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if now >= conn.deadline {
+                        shared.stats.timeouts.incr(1); // drop: slowloris or idle
+                    } else {
+                        keep.push(conn);
+                    }
+                }
+                Err(_) => {} // socket error; drop
+            }
+        }
+        lock(&shared.parked).append(&mut keep);
+        std::thread::sleep(Duration::from_micros(500));
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        let Some(mut conn) = shared.ready.pop(Duration::from_millis(50)) else {
+            continue;
+        };
+        if conn.stream.set_nonblocking(false).is_err() {
+            continue; // drops the connection
+        }
+        let _ = conn
+            .stream
+            .set_read_timeout(Some(shared.cfg.header_read_timeout));
+        let _ = conn
+            .stream
+            .set_write_timeout(Some(shared.cfg.write_timeout));
+        if let Disposition::Park = serve_ready(shared, &mut conn) {
+            conn.deadline = Instant::now() + shared.cfg.idle_timeout;
+            if conn.stream.set_nonblocking(true).is_ok() {
+                lock(&shared.parked).push(conn);
+            }
+        }
+    }
+}
+
+enum Disposition {
+    /// Keep-alive: back to the poller until more bytes arrive.
+    Park,
+    /// Drop the connection.
+    Close,
+}
+
+/// Serves every request available on a promoted connection: at least one
+/// (the poller saw bytes), then any pipelined requests already sitting in
+/// the read buffer. Parks only when the buffer is empty — bytes in the
+/// buffer are invisible to the poller's `peek`.
+fn serve_ready(shared: &Shared, conn: &mut Conn) -> Disposition {
     loop {
+        let req = match read_request(&mut conn.reader, shared.cfg.max_body_bytes) {
+            Ok(Some(req)) => req,
+            Ok(None) => return Disposition::Close, // clean EOF between requests
+            Err(failure) => {
+                let (code, message) = match failure {
+                    ReadFailure::Timeout => {
+                        shared.stats.timeouts.incr(1);
+                        (ErrorCode::BadRequest, "request read timed out".to_owned())
+                    }
+                    ReadFailure::TooLarge => (
+                        ErrorCode::PayloadTooLarge,
+                        format!(
+                            "request body exceeds the {}-byte cap",
+                            shared.cfg.max_body_bytes
+                        ),
+                    ),
+                    ReadFailure::Malformed(why) => (ErrorCode::BadRequest, why.to_owned()),
+                    ReadFailure::Io => return Disposition::Close,
+                };
+                let trace = TraceContext::root();
+                let reply = Reply::error(&ApiError::new(code, message), &trace);
+                let _ = write_reply(&mut conn.stream, &reply, false);
+                return Disposition::Close;
+            }
+        };
+        shared.stats.requests.incr(1);
+        let keep_alive = !req.close;
+        let reply = route(shared, &req, &conn.peer);
+        if write_reply(&mut conn.stream, &reply, keep_alive && !reply.close).is_err() {
+            return Disposition::Close;
+        }
+        if !keep_alive || reply.close {
+            return Disposition::Close;
+        }
+        if conn.reader.buffer().is_empty() {
+            return Disposition::Park;
+        }
+    }
+}
+
+// --- request parsing --------------------------------------------------------
+
+struct HttpRequest {
+    method: String,
+    path: String,
+    body: String,
+    /// Adopted `X-Trace-Id`, already parsed.
+    trace: Option<u64>,
+    /// `X-Client-Id`, the preferred rate-limit key.
+    client_id: Option<String>,
+    /// Client sent `Connection: close`.
+    close: bool,
+}
+
+enum ReadFailure {
+    /// The socket read timed out mid-request (slow headers or body).
+    Timeout,
+    /// `Content-Length` exceeds the configured body cap.
+    TooLarge,
+    /// Structurally invalid request.
+    Malformed(&'static str),
+    /// Any other socket error; not worth a response.
+    Io,
+}
+
+fn classify(e: std::io::Error) -> ReadFailure {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => ReadFailure::Timeout,
+        _ => ReadFailure::Io,
+    }
+}
+
+/// Reads one line, bounded by [`MAX_HEADER_LINE`]. `Ok(None)` is EOF
+/// before any byte.
+fn read_line_capped(
+    reader: &mut BufReader<TcpStream>,
+    line: &mut String,
+) -> Result<Option<()>, ReadFailure> {
+    match reader.by_ref().take(MAX_HEADER_LINE).read_line(line) {
+        Ok(0) => Ok(None),
+        Ok(_) if !line.ends_with('\n') && line.len() as u64 >= MAX_HEADER_LINE => {
+            Err(ReadFailure::Malformed("header line too long"))
+        }
+        Ok(_) => Ok(Some(())),
+        Err(e) => Err(classify(e)),
+    }
+}
+
+/// Reads one full request (request line, headers, body). `Ok(None)` means
+/// the client closed cleanly at a request boundary.
+fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    max_body_bytes: usize,
+) -> Result<Option<HttpRequest>, ReadFailure> {
+    let mut line = String::new();
+    if read_line_capped(reader, &mut line)?.is_none() {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_owned();
+    let path = parts.next().unwrap_or("").to_owned();
+    if method.is_empty() || path.is_empty() {
+        return Err(ReadFailure::Malformed("malformed request line"));
+    }
+
+    let mut content_length = 0usize;
+    let mut trace = None;
+    let mut client_id = None;
+    let mut close = false;
+    for n in 0.. {
+        if n >= MAX_HEADERS {
+            return Err(ReadFailure::Malformed("too many headers"));
+        }
         let mut line = String::new();
-        reader.read_line(&mut line)?;
-        let line = line.trim_end();
-        if line.is_empty() {
+        if read_line_capped(reader, &mut line)?.is_none() {
+            return Err(ReadFailure::Malformed("connection closed mid-headers"));
+        }
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
             break;
         }
-        let lower = line.to_ascii_lowercase();
-        if let Some(v) = lower
-            .strip_prefix("content-length:")
-            .map(str::trim)
-            .and_then(|v| v.parse::<usize>().ok())
-        {
-            content_length = v;
-        }
-        if let Some(v) = lower
-            .strip_prefix("x-trace-id:")
-            .map(str::trim)
-            .and_then(TraceContext::parse_hex)
-        {
-            header_trace = Some(v);
+        let lower = trimmed.to_ascii_lowercase();
+        if let Some(v) = lower.strip_prefix("content-length:") {
+            content_length = v
+                .trim()
+                .parse()
+                .map_err(|_| ReadFailure::Malformed("unparseable Content-Length"))?;
+        } else if let Some(v) = lower.strip_prefix("x-trace-id:") {
+            trace = TraceContext::parse_hex(v.trim());
+        } else if let Some(v) = lower.strip_prefix("x-client-id:") {
+            client_id = Some(v.trim().to_owned());
+        } else if lower.strip_prefix("connection:").map(str::trim) == Some("close") {
+            close = true;
         }
     }
 
-    let mut stream = stream;
-    match (method, path) {
-        ("GET", "/health") => respond(&mut stream, 200, r#"{"status":"ok"}"#),
-        ("GET", "/metrics") => {
-            let body = crate::server::telemetry_export::metrics_json().to_string();
-            respond(&mut stream, 200, &body)
+    if content_length > max_body_bytes {
+        return Err(ReadFailure::TooLarge);
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(classify)?;
+    Ok(Some(HttpRequest {
+        method,
+        path,
+        body: String::from_utf8_lossy(&body).into_owned(),
+        trace,
+        client_id,
+        close,
+    }))
+}
+
+// --- routing + admission ----------------------------------------------------
+
+/// A response ready to write.
+struct Reply {
+    status: u16,
+    body: String,
+    /// Mirrored into a `Retry-After` header (seconds, rounded up).
+    retry_after_ms: Option<u64>,
+    /// Sets `Deprecation: true` (legacy route aliases).
+    deprecated: bool,
+    /// `Allow` header for 405s.
+    allow: Option<&'static str>,
+    /// Force `Connection: close` (e.g. unread body bytes on the socket).
+    close: bool,
+}
+
+impl Reply {
+    fn ok(status: u16, body: String) -> Reply {
+        Reply {
+            status,
+            body,
+            retry_after_ms: None,
+            deprecated: false,
+            allow: None,
+            close: false,
         }
-        ("GET", "/trace") => {
-            let body = crate::server::telemetry_export::trace_json().to_string();
-            respond(&mut stream, 200, &body)
+    }
+
+    /// A typed v1 error envelope with a `trace_id`, status from
+    /// [`ErrorCode::http_status`], and the retry hint mirrored.
+    fn error(err: &ApiError, trace: &TraceContext) -> Reply {
+        let mut env = envelope_err(err, false);
+        env.insert("trace_id", Json::from(trace.hex()));
+        Reply {
+            status: err.code.http_status(),
+            body: env.to_string(),
+            retry_after_ms: err.retry_after_ms,
+            deprecated: false,
+            allow: None,
+            close: false,
         }
-        ("GET", "/slow_queries") => {
-            let body = engine.handle(r#"{"op":"slow_queries"}"#);
-            respond(&mut stream, 200, &body)
-        }
-        ("GET", "/healthz") => {
-            let body = engine.handle(r#"{"op":"health"}"#);
-            let code = if engine.slo().overall() == "failing" {
-                503
-            } else {
-                200
-            };
-            respond(&mut stream, code, &body)
-        }
-        ("POST", "/query") => {
-            // Bound the body to keep hostile clients from exhausting memory.
-            if content_length > 8 * 1024 * 1024 {
-                return respond(
-                    &mut stream,
-                    413,
-                    r#"{"status":"error","message":"body too large"}"#,
-                );
-            }
-            let mut body = vec![0u8; content_length];
-            reader.read_exact(&mut body)?;
-            let body = String::from_utf8_lossy(&body);
-            let response = engine.handle_traced(&body, header_trace);
-            respond(&mut stream, 200, &response)
-        }
-        _ => respond(
-            &mut stream,
-            404,
-            r#"{"status":"error","message":"use POST /query or GET /health, /healthz, /metrics, /trace, /slow_queries"}"#,
-        ),
+    }
+
+    fn deprecated(mut self) -> Reply {
+        self.deprecated = true;
+        self
     }
 }
 
-fn respond(stream: &mut TcpStream, code: u16, body: &str) -> std::io::Result<()> {
-    let reason = match code {
+/// Decrements the in-flight count (and gauge) when a request leaves the
+/// engine, however it leaves.
+struct InflightGuard<'a>(&'a Shared);
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.inflight.fetch_sub(1, Ordering::SeqCst);
+        self.0.stats.inflight.add(-1);
+    }
+}
+
+fn route(shared: &Shared, req: &HttpRequest, peer: &str) -> Reply {
+    let trace = match req.trace {
+        Some(t) => TraceContext::adopt(t),
+        None => TraceContext::root(),
+    };
+    let path = req.path.split('?').next().unwrap_or("");
+    let legacy = matches!(
+        path,
+        "/query" | "/metrics" | "/trace" | "/slow_queries" | "/healthz" | "/health"
+    );
+
+    // Liveness and health stay reachable while the server sheds load, so
+    // probes and operators can see *why* it is shedding.
+    let exempt = matches!(path, "/health" | "/healthz" | "/v1/healthz");
+    let _guard = if exempt {
+        None
+    } else {
+        // Gate 1: per-client token bucket.
+        let key = req.client_id.as_deref().unwrap_or(peer);
+        if let Err(retry_ms) = shared.limiter.admit(key, Instant::now()) {
+            shared.stats.shed_rate_limited.incr(1);
+            let err = ApiError::new(
+                ErrorCode::RateLimited,
+                format!("client '{key}' exceeded its request rate"),
+            )
+            .with_retry_after(retry_ms);
+            return Reply::error(&err, &trace);
+        }
+        // Gate 2: global in-flight cap.
+        if shared.inflight.fetch_add(1, Ordering::SeqCst) >= shared.cfg.max_inflight {
+            shared.inflight.fetch_sub(1, Ordering::SeqCst);
+            shared.stats.shed_overloaded.incr(1);
+            let err = ApiError::new(
+                ErrorCode::Overloaded,
+                format!(
+                    "server is at its in-flight cap ({})",
+                    shared.cfg.max_inflight
+                ),
+            )
+            .with_retry_after(OVERLOAD_RETRY_MS);
+            return Reply::error(&err, &trace);
+        }
+        shared.stats.inflight.add(1);
+        Some(InflightGuard(shared))
+    };
+
+    let engine = &shared.engine;
+    let reply = match (req.method.as_str(), path) {
+        ("POST", "/v1/query") | ("POST", "/query") => {
+            let resp = engine.handle_http(&req.body, req.trace);
+            let mut reply = Reply::ok(resp.status, resp.body);
+            reply.retry_after_ms = resp.retry_after_ms;
+            reply
+        }
+        ("GET", "/v1/metrics") => {
+            let resp = engine.handle_http(r#"{"op":"metrics"}"#, req.trace);
+            Reply::ok(resp.status, resp.body)
+        }
+        ("GET", "/metrics") => {
+            // Legacy shape: the raw registry snapshot, unenveloped.
+            Reply::ok(
+                200,
+                crate::server::telemetry_export::metrics_json().to_string(),
+            )
+        }
+        ("GET", "/v1/trace") => {
+            let resp = engine.handle_http(r#"{"op":"trace"}"#, req.trace);
+            Reply::ok(resp.status, resp.body)
+        }
+        ("GET", "/trace") => Reply::ok(
+            200,
+            crate::server::telemetry_export::trace_json().to_string(),
+        ),
+        ("GET", "/v1/slow_queries") | ("GET", "/slow_queries") => {
+            let resp = engine.handle_http(r#"{"op":"slow_queries"}"#, req.trace);
+            Reply::ok(resp.status, resp.body)
+        }
+        ("GET", "/v1/topology") => {
+            let resp = engine.handle_http(r#"{"op":"topology"}"#, req.trace);
+            let mut reply = Reply::ok(resp.status, resp.body);
+            reply.retry_after_ms = resp.retry_after_ms;
+            reply
+        }
+        ("GET", "/v1/healthz") | ("GET", "/healthz") => {
+            let resp = engine.handle_http(r#"{"op":"health"}"#, req.trace);
+            let status = if engine.slo().overall() == "failing" {
+                503
+            } else {
+                resp.status
+            };
+            Reply::ok(status, resp.body)
+        }
+        ("GET", "/health") => Reply::ok(200, r#"{"status":"ok"}"#.to_owned()),
+        (
+            _,
+            "/v1/query" | "/query" | "/v1/metrics" | "/metrics" | "/v1/trace" | "/trace"
+            | "/v1/slow_queries" | "/slow_queries" | "/v1/topology" | "/v1/healthz" | "/healthz"
+            | "/health",
+        ) => {
+            let allow = if matches!(path, "/v1/query" | "/query") {
+                "POST"
+            } else {
+                "GET"
+            };
+            let err = ApiError::new(
+                ErrorCode::MethodNotAllowed,
+                format!("{} does not support {}", path, req.method),
+            );
+            let mut reply = Reply::error(&err, &trace);
+            reply.allow = Some(allow);
+            reply
+        }
+        _ => {
+            let err = ApiError::new(
+                ErrorCode::NotFound,
+                "unknown path: use POST /v1/query or GET /v1/{metrics,trace,slow_queries,healthz,topology}",
+            );
+            Reply::error(&err, &trace)
+        }
+    };
+    if legacy {
+        reply.deprecated()
+    } else {
+        reply
+    }
+}
+
+// --- per-client token-bucket rate limiter -----------------------------------
+
+struct Bucket {
+    tokens: f64,
+    last: Instant,
+}
+
+/// Sharded per-client token buckets. One mutex per shard keeps concurrent
+/// workers admitting different clients from serializing.
+struct Limiter {
+    shards: Vec<Mutex<HashMap<String, Bucket>>>,
+    rate: f64,
+    burst: f64,
+}
+
+impl Limiter {
+    fn new(rate: f64, burst: f64) -> Limiter {
+        Limiter {
+            shards: (0..LIMITER_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            rate,
+            burst: burst.max(1.0),
+        }
+    }
+
+    /// Takes one token for `key`, refilling by elapsed time first. `Err`
+    /// carries the milliseconds until a token will be available.
+    fn admit(&self, key: &str, now: Instant) -> Result<(), u64> {
+        if self.rate <= 0.0 {
+            return Ok(());
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in key.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        let mut shard = lock(&self.shards[(h % LIMITER_SHARDS as u64) as usize]);
+        if shard.len() >= LIMITER_SWEEP_LEN && !shard.contains_key(key) {
+            // Sweep buckets idle long enough to have refilled completely;
+            // dropping one loses nothing but a full bucket.
+            let horizon = Duration::from_secs_f64(self.burst / self.rate);
+            shard.retain(|_, b| now.saturating_duration_since(b.last) < horizon);
+        }
+        let bucket = shard.entry(key.to_owned()).or_insert(Bucket {
+            tokens: self.burst,
+            last: now,
+        });
+        let elapsed = now.saturating_duration_since(bucket.last).as_secs_f64();
+        bucket.tokens = (bucket.tokens + elapsed * self.rate).min(self.burst);
+        bucket.last = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            Ok(())
+        } else {
+            let ms = ((1.0 - bucket.tokens) / self.rate * 1000.0).ceil();
+            Err(ms.max(1.0) as u64)
+        }
+    }
+}
+
+// --- response writing -------------------------------------------------------
+
+fn reason(status: u16) -> &'static str {
+    match status {
         200 => "OK",
+        400 => "Bad Request",
         404 => "Not Found",
+        405 => "Method Not Allowed",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Error",
-    };
-    write!(
-        stream,
-        "HTTP/1.1 {code} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len()
-    )
+    }
+}
+
+fn write_reply(stream: &mut TcpStream, reply: &Reply, keep_alive: bool) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        reply.status,
+        reason(reply.status),
+        reply.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    if let Some(ms) = reply.retry_after_ms {
+        // HTTP Retry-After is whole seconds; round up so clients never
+        // retry before the hint.
+        head.push_str(&format!("Retry-After: {}\r\n", ms.div_ceil(1000).max(1)));
+    }
+    if reply.deprecated {
+        head.push_str("Deprecation: true\r\n");
+    }
+    if let Some(allow) = reply.allow {
+        head.push_str(&format!("Allow: {allow}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(reply.body.as_bytes())?;
+    stream.flush()
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 #[cfg(test)]
@@ -176,6 +885,10 @@ mod tests {
     use loggen::topology::Topology;
 
     fn server() -> HttpServer {
+        server_with(HttpConfig::default())
+    }
+
+    fn server_with(cfg: HttpConfig) -> HttpServer {
         let fw = Framework::new(FrameworkConfig {
             db_nodes: 2,
             replication_factor: 1,
@@ -184,27 +897,124 @@ mod tests {
             ..Default::default()
         })
         .unwrap();
-        HttpServer::start(Arc::new(QueryEngine::new(Arc::new(fw))), 0).unwrap()
+        HttpServer::start_with(Arc::new(QueryEngine::new(Arc::new(fw))), 0, cfg).unwrap()
     }
 
-    fn request(addr: std::net::SocketAddr, raw: &str) -> String {
-        let mut stream = TcpStream::connect(addr).unwrap();
-        stream.write_all(raw.as_bytes()).unwrap();
-        let mut out = String::new();
-        stream.read_to_string(&mut out).unwrap();
-        out
+    /// A keep-alive test client: sends raw requests on one connection and
+    /// parses Content-Length-framed responses.
+    struct TestClient {
+        stream: TcpStream,
+        reader: BufReader<TcpStream>,
+    }
+
+    struct TestResponse {
+        status: u16,
+        headers: Vec<(String, String)>,
+        body: String,
+    }
+
+    impl TestResponse {
+        fn header(&self, name: &str) -> Option<&str> {
+            self.headers
+                .iter()
+                .find(|(k, _)| k.eq_ignore_ascii_case(name))
+                .map(|(_, v)| v.as_str())
+        }
+    }
+
+    impl TestClient {
+        fn connect(addr: std::net::SocketAddr) -> TestClient {
+            let stream = TcpStream::connect(addr).unwrap();
+            stream
+                .set_read_timeout(Some(Duration::from_secs(10)))
+                .unwrap();
+            let reader = BufReader::new(stream.try_clone().unwrap());
+            TestClient { stream, reader }
+        }
+
+        fn send(&mut self, raw: &str) {
+            self.stream.write_all(raw.as_bytes()).unwrap();
+        }
+
+        fn read_response(&mut self) -> TestResponse {
+            let mut status_line = String::new();
+            self.reader.read_line(&mut status_line).unwrap();
+            let status: u16 = status_line
+                .split_whitespace()
+                .nth(1)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| panic!("bad status line {status_line:?}"));
+            let mut headers = Vec::new();
+            let mut content_length = 0usize;
+            loop {
+                let mut line = String::new();
+                self.reader.read_line(&mut line).unwrap();
+                let line = line.trim_end();
+                if line.is_empty() {
+                    break;
+                }
+                if let Some((k, v)) = line.split_once(':') {
+                    if k.eq_ignore_ascii_case("content-length") {
+                        content_length = v.trim().parse().unwrap();
+                    }
+                    headers.push((k.to_owned(), v.trim().to_owned()));
+                }
+            }
+            let mut body = vec![0u8; content_length];
+            self.reader.read_exact(&mut body).unwrap();
+            TestResponse {
+                status,
+                headers,
+                body: String::from_utf8(body).unwrap(),
+            }
+        }
+
+        fn request(&mut self, raw: &str) -> TestResponse {
+            self.send(raw);
+            self.read_response()
+        }
+    }
+
+    fn get(path: &str) -> String {
+        format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n")
+    }
+
+    fn post_query(body: &str) -> String {
+        format!(
+            "POST /v1/query HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        )
+    }
+
+    fn request(addr: std::net::SocketAddr, raw: &str) -> TestResponse {
+        TestClient::connect(addr).request(raw)
     }
 
     #[test]
     fn health_endpoint_answers() {
         let server = server();
-        let resp = request(server.addr(), "GET /health HTTP/1.1\r\nHost: x\r\n\r\n");
-        assert!(resp.starts_with("HTTP/1.1 200"));
-        assert!(resp.contains(r#"{"status":"ok"}"#));
+        let resp = request(server.addr(), &get("/health"));
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, r#"{"status":"ok"}"#);
+        assert_eq!(resp.header("Deprecation"), Some("true"), "legacy alias");
     }
 
     #[test]
     fn query_endpoint_runs_the_engine() {
+        let server = server();
+        let resp = request(
+            server.addr(),
+            &post_query(r#"{"op":"events","type":"MCE","from":0,"to":1000}"#),
+        );
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.contains(r#""status":"ok""#), "{}", resp.body);
+        assert!(resp.body.contains(r#""rows":[]"#), "{}", resp.body);
+        assert_eq!(resp.header("Deprecation"), None, "/v1 is not deprecated");
+    }
+
+    #[test]
+    fn legacy_query_path_answers_with_deprecation_header() {
         let server = server();
         let body = r#"{"op":"events","type":"MCE","from":0,"to":1000}"#;
         let raw = format!(
@@ -213,40 +1023,38 @@ mod tests {
             body
         );
         let resp = request(server.addr(), &raw);
-        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
-        assert!(resp.contains(r#""status":"ok""#), "{resp}");
-        assert!(resp.contains(r#""rows":[]"#), "{resp}");
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("Deprecation"), Some("true"));
     }
 
     #[test]
     fn metrics_and_trace_endpoints_serve_json() {
         let server = server();
-        // Drive one query so the registry and trace have something in them.
-        let body = r#"{"op":"events","type":"MCE","from":0,"to":1000}"#;
-        let raw = format!(
-            "POST /query HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{}",
-            body.len(),
-            body
-        );
+        let raw = post_query(r#"{"op":"events","type":"MCE","from":0,"to":1000}"#);
         request(server.addr(), &raw);
 
-        let resp = request(server.addr(), "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
-        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
-        assert!(resp.contains(r#""histograms""#), "{resp}");
+        let resp = request(server.addr(), &get("/metrics"));
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.contains(r#""histograms""#), "{}", resp.body);
+        assert_eq!(resp.header("Deprecation"), Some("true"));
+        let resp = request(server.addr(), &get("/v1/metrics"));
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.contains(r#""histograms""#), "{}", resp.body);
+        assert!(resp.body.contains(r#""v":1"#), "v1 alias is enveloped");
 
         // Other tests in this process may flood the trace ring between our
         // query and the read, so retry the pair a few times.
         let mut found = false;
         for _ in 0..5 {
             request(server.addr(), &raw);
-            let resp = request(server.addr(), "GET /trace HTTP/1.1\r\nHost: x\r\n\r\n");
-            assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
-            if resp.contains("server.engine.request") {
+            let resp = request(server.addr(), &get("/v1/trace"));
+            assert_eq!(resp.status, 200);
+            if resp.body.contains("server.engine.request") {
                 found = true;
                 break;
             }
         }
-        assert!(found, "no server.engine.request span surfaced in /trace");
+        assert!(found, "no server.engine.request span surfaced in /v1/trace");
     }
 
     #[test]
@@ -254,37 +1062,75 @@ mod tests {
         let server = server();
         let body = r#"{"op":"events","type":"MCE","from":0,"to":1000}"#;
         let raw = format!(
-            "POST /query HTTP/1.1\r\nHost: x\r\nX-Trace-Id: deadbeef\r\nContent-Length: {}\r\n\r\n{}",
+            "POST /v1/query HTTP/1.1\r\nHost: x\r\nX-Trace-Id: deadbeef\r\nContent-Length: {}\r\n\r\n{}",
             body.len(),
             body
         );
         let resp = request(server.addr(), &raw);
         assert!(
-            resp.contains(r#""trace_id":"00000000deadbeef""#),
-            "header trace id should come back on the envelope: {resp}"
+            resp.body.contains(r#""trace_id":"00000000deadbeef""#),
+            "header trace id should come back on the envelope: {}",
+            resp.body
         );
     }
 
     #[test]
-    fn slow_queries_and_healthz_endpoints_serve_json() {
+    fn slow_queries_healthz_and_topology_endpoints_serve_json() {
         let server = server();
-        let resp = request(
-            server.addr(),
-            "GET /slow_queries HTTP/1.1\r\nHost: x\r\n\r\n",
-        );
-        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
-        assert!(resp.contains(r#""threshold_ms":100"#), "{resp}");
+        let resp = request(server.addr(), &get("/v1/slow_queries"));
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.contains(r#""threshold_ms":100"#), "{}", resp.body);
 
-        let resp = request(server.addr(), "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
-        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
-        assert!(resp.contains(r#""status":"ok""#), "{resp}");
+        let resp = request(server.addr(), &get("/v1/healthz"));
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.contains(r#""status":"ok""#), "{}", resp.body);
+
+        let resp = request(server.addr(), &get("/v1/topology"));
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.contains(r#""state":"stable""#), "{}", resp.body);
     }
 
     #[test]
-    fn unknown_paths_get_404() {
+    fn unknown_paths_get_404_envelopes() {
         let server = server();
-        let resp = request(server.addr(), "GET /nope HTTP/1.1\r\nHost: x\r\n\r\n");
-        assert!(resp.starts_with("HTTP/1.1 404"));
+        let resp = request(server.addr(), &get("/nope"));
+        assert_eq!(resp.status, 404);
+        let env = jsonlite::parse(&resp.body).unwrap();
+        assert_eq!(env["error"]["code"].as_str(), Some("NOT_FOUND"));
+        assert!(env["trace_id"].as_str().is_some());
+    }
+
+    #[test]
+    fn wrong_method_gets_405_with_allow_header() {
+        let server = server();
+        let resp = request(server.addr(), &get("/v1/query"));
+        assert_eq!(resp.status, 405);
+        assert_eq!(resp.header("Allow"), Some("POST"));
+        let env = jsonlite::parse(&resp.body).unwrap();
+        assert_eq!(env["error"]["code"].as_str(), Some("METHOD_NOT_ALLOWED"));
+    }
+
+    #[test]
+    fn keep_alive_serves_many_requests_on_one_connection() {
+        let server = server();
+        let mut client = TestClient::connect(server.addr());
+        for _ in 0..3 {
+            let resp = client.request(&post_query(
+                r#"{"op":"events","type":"MCE","from":0,"to":1000}"#,
+            ));
+            assert_eq!(resp.status, 200);
+            assert_eq!(resp.header("Connection"), Some("keep-alive"));
+        }
+        // `Connection: close` is honored.
+        let body = r#"{"op":"events","type":"MCE","from":0,"to":1000}"#;
+        let resp = client.request(&format!(
+            "POST /v1/query HTTP/1.1\r\nHost: x\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        ));
+        assert_eq!(resp.header("Connection"), Some("close"));
+        let mut probe = [0u8; 1];
+        assert_eq!(client.reader.read(&mut probe).unwrap(), 0, "socket closed");
     }
 
     #[test]
@@ -294,13 +1140,40 @@ mod tests {
         let handles: Vec<_> = (0..8)
             .map(|_| {
                 std::thread::spawn(move || {
-                    let resp = request(addr, "GET /health HTTP/1.1\r\nHost: x\r\n\r\n");
-                    assert!(resp.contains("ok"));
+                    let mut client = TestClient::connect(addr);
+                    for _ in 0..4 {
+                        let resp = client.request(&get("/health"));
+                        assert_eq!(resp.status, 200);
+                        assert!(resp.body.contains("ok"));
+                    }
                 })
             })
             .collect();
         for h in handles {
             h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn no_thread_is_spawned_per_connection() {
+        // The worker pool is the concurrency bound: a server with one
+        // worker still serves more simultaneous connections than workers,
+        // because idle keep-alive connections park in the poller instead
+        // of pinning a thread.
+        let server = server_with(HttpConfig {
+            workers: 1,
+            ..HttpConfig::default()
+        });
+        let addr = server.addr();
+        let mut clients: Vec<_> = (0..8).map(|_| TestClient::connect(addr)).collect();
+        for c in &mut clients {
+            let resp = c.request(&get("/health"));
+            assert_eq!(resp.status, 200);
+        }
+        // All eight connections are still alive and serviceable.
+        for c in &mut clients {
+            let resp = c.request(&get("/health"));
+            assert_eq!(resp.status, 200);
         }
     }
 }

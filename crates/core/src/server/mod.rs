@@ -14,5 +14,6 @@ pub mod slo;
 pub mod telemetry_export;
 pub mod views;
 
-pub use engine::QueryEngine;
+pub use engine::{EngineResponse, QueryEngine};
+pub use http::{HttpConfig, HttpServer};
 pub use request::{ApiError, Cursor, ErrorCode, Page, QueryRequest};

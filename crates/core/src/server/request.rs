@@ -54,6 +54,16 @@ pub enum ErrorCode {
     BadCursor,
     /// A named entity (node, view, ...) does not exist.
     NotFound,
+    /// The HTTP method is not supported on the requested path.
+    MethodNotAllowed,
+    /// The request body exceeds the frontend's byte cap.
+    PayloadTooLarge,
+    /// The client exceeded its per-client token-bucket rate; retry after
+    /// `error.retry_after_ms`.
+    RateLimited,
+    /// The server's global in-flight cap is saturated; retry after
+    /// `error.retry_after_ms`.
+    Overloaded,
     /// The storage layer could not reach enough replicas.
     Unavailable,
     /// A topology transition (join/decommission) is in flight; retry the
@@ -75,9 +85,37 @@ impl ErrorCode {
             ErrorCode::BadLimit => "BAD_LIMIT",
             ErrorCode::BadCursor => "BAD_CURSOR",
             ErrorCode::NotFound => "NOT_FOUND",
+            ErrorCode::MethodNotAllowed => "METHOD_NOT_ALLOWED",
+            ErrorCode::PayloadTooLarge => "PAYLOAD_TOO_LARGE",
+            ErrorCode::RateLimited => "RATE_LIMITED",
+            ErrorCode::Overloaded => "OVERLOADED",
             ErrorCode::Unavailable => "UNAVAILABLE",
             ErrorCode::TopologyChanging => "TOPOLOGY_CHANGING",
             ErrorCode::Internal => "INTERNAL",
+        }
+    }
+
+    /// The HTTP status a response carrying this code must use. This is the
+    /// single source of truth for the code → status table documented in
+    /// the README: client-shape errors are 400s, absent things are 404,
+    /// wrong verbs are 405, oversized bodies are 413, shed load is 429
+    /// (per-client) or 503 (global), transient backend states are 503, and
+    /// everything else is a 500.
+    pub fn http_status(self) -> u16 {
+        match self {
+            ErrorCode::BadJson
+            | ErrorCode::BadRequest
+            | ErrorCode::UnknownOp
+            | ErrorCode::BadWindow
+            | ErrorCode::EmptyWindow
+            | ErrorCode::BadLimit
+            | ErrorCode::BadCursor => 400,
+            ErrorCode::NotFound => 404,
+            ErrorCode::MethodNotAllowed => 405,
+            ErrorCode::PayloadTooLarge => 413,
+            ErrorCode::RateLimited => 429,
+            ErrorCode::Overloaded | ErrorCode::Unavailable | ErrorCode::TopologyChanging => 503,
+            ErrorCode::Internal => 500,
         }
     }
 }
@@ -566,6 +604,29 @@ mod tests {
         // back; the client may retry the whole admin op).
         let api: ApiError = DbError::StreamAborted("x".into()).into();
         assert_eq!(api.code, ErrorCode::Unavailable);
+    }
+
+    #[test]
+    fn every_error_code_maps_to_its_documented_http_status() {
+        for (code, status) in [
+            (ErrorCode::BadJson, 400),
+            (ErrorCode::BadRequest, 400),
+            (ErrorCode::UnknownOp, 400),
+            (ErrorCode::BadWindow, 400),
+            (ErrorCode::EmptyWindow, 400),
+            (ErrorCode::BadLimit, 400),
+            (ErrorCode::BadCursor, 400),
+            (ErrorCode::NotFound, 404),
+            (ErrorCode::MethodNotAllowed, 405),
+            (ErrorCode::PayloadTooLarge, 413),
+            (ErrorCode::RateLimited, 429),
+            (ErrorCode::Overloaded, 503),
+            (ErrorCode::Unavailable, 503),
+            (ErrorCode::TopologyChanging, 503),
+            (ErrorCode::Internal, 500),
+        ] {
+            assert_eq!(code.http_status(), status, "{}", code.as_str());
+        }
     }
 
     #[test]

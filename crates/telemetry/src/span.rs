@@ -17,9 +17,20 @@ use std::time::Instant;
 /// Maximum spans retained in the trace ring buffer; older spans fall off.
 pub const TRACE_CAPACITY: usize = 4096;
 
+/// Lock shards the trace ring is split across. Records land on shard
+/// `seq % TRACE_SHARDS` — round-robin by completion order, independent of
+/// which thread finished the span — so concurrent span drops rarely
+/// contend on the same mutex. The single-global-mutex version of this
+/// ring was the top lock in the `loadgen` frontend bench.
+const TRACE_SHARDS: usize = 16;
+const SHARD_CAPACITY: usize = TRACE_CAPACITY / TRACE_SHARDS;
+
 /// One completed span in the trace log.
 #[derive(Clone, Debug)]
 pub struct SpanRecord {
+    /// Global completion sequence, stamped when the span drops. Snapshots
+    /// sort by it, so the merged view stays in completion order.
+    pub seq: u64,
     /// Unique id within the process.
     pub id: u64,
     /// Id of the enclosing span, if any.
@@ -41,15 +52,20 @@ pub struct SpanRecord {
 static NEXT_ID: AtomicU64 = AtomicU64::new(1);
 static NEXT_TRACE: AtomicU64 = AtomicU64::new(1);
 static NEXT_THREAD: AtomicU64 = AtomicU64::new(1);
+static NEXT_SEQ: AtomicU64 = AtomicU64::new(0);
 
 fn epoch() -> Instant {
     static EPOCH: OnceLock<Instant> = OnceLock::new();
     *EPOCH.get_or_init(Instant::now)
 }
 
-fn trace_log() -> &'static Mutex<VecDeque<SpanRecord>> {
-    static TRACE: OnceLock<Mutex<VecDeque<SpanRecord>>> = OnceLock::new();
-    TRACE.get_or_init(|| Mutex::new(VecDeque::with_capacity(TRACE_CAPACITY)))
+fn trace_shards() -> &'static [Mutex<VecDeque<SpanRecord>>] {
+    static TRACE: OnceLock<Vec<Mutex<VecDeque<SpanRecord>>>> = OnceLock::new();
+    TRACE.get_or_init(|| {
+        (0..TRACE_SHARDS)
+            .map(|_| Mutex::new(VecDeque::with_capacity(SHARD_CAPACITY)))
+            .collect()
+    })
 }
 
 thread_local! {
@@ -137,21 +153,28 @@ pub fn trace_hex(trace_id: u64) -> String {
     format!("{trace_id:016x}")
 }
 
-/// Drains a copy of the trace ring buffer, oldest span first.
+/// Drains a copy of the trace ring buffer, oldest completion first.
+/// Shards are merged and sorted by [`SpanRecord::seq`], so the view is
+/// identical to what a single global ring would hold.
 pub fn trace_snapshot() -> Vec<SpanRecord> {
-    trace_log()
-        .lock()
-        .unwrap_or_else(|e| e.into_inner())
-        .iter()
-        .cloned()
-        .collect()
+    let mut out: Vec<SpanRecord> = Vec::with_capacity(TRACE_CAPACITY);
+    for shard in trace_shards() {
+        out.extend(
+            shard
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .iter()
+                .cloned(),
+        );
+    }
+    out.sort_by_key(|r| r.seq);
+    out
 }
 
 pub(crate) fn clear_trace() {
-    trace_log()
-        .lock()
-        .unwrap_or_else(|e| e.into_inner())
-        .clear();
+    for shard in trace_shards() {
+        shard.lock().unwrap_or_else(|e| e.into_inner()).clear();
+    }
 }
 
 // --- per-trace profile collection -----------------------------------------
@@ -336,7 +359,9 @@ impl Drop for SpanGuard {
         }
         let duration_ns = duration.as_nanos().min(u64::MAX as u128) as u64;
         histogram_for(a.name).record_traced(duration_ns, a.trace);
+        let seq = NEXT_SEQ.fetch_add(1, Ordering::Relaxed);
         let record = SpanRecord {
+            seq,
             id: a.id,
             parent: a.parent,
             trace: a.trace,
@@ -347,8 +372,9 @@ impl Drop for SpanGuard {
             tags: a.tags,
         };
         sink_record(&record);
-        let mut log = trace_log().lock().unwrap_or_else(|e| e.into_inner());
-        if log.len() >= TRACE_CAPACITY {
+        let shard = &trace_shards()[(seq % TRACE_SHARDS as u64) as usize];
+        let mut log = shard.lock().unwrap_or_else(|e| e.into_inner());
+        if log.len() >= SHARD_CAPACITY {
             log.pop_front();
         }
         log.push_back(record);
@@ -408,6 +434,30 @@ mod tests {
             let _s = crate::span!("test.flood.op");
         }
         assert_eq!(trace_snapshot().len(), TRACE_CAPACITY);
+    }
+
+    #[test]
+    fn concurrent_drops_keep_a_bounded_completion_ordered_snapshot() {
+        let _g = crate::test_lock();
+        clear_trace();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    for _ in 0..TRACE_CAPACITY / 4 {
+                        let _s = crate::span!("test.concurrent.op");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let spans = trace_snapshot();
+        assert_eq!(spans.len(), TRACE_CAPACITY, "shards cap to the total");
+        assert!(
+            spans.windows(2).all(|w| w[0].seq < w[1].seq),
+            "snapshot is completion-ordered"
+        );
     }
 
     #[test]

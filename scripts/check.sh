@@ -28,4 +28,7 @@ REBALANCE_SMOKE=1 cargo bench -q -p hpclog-bench --bench rebalance
 echo "==> observability bench (smoke mode)"
 OBSERVABILITY_SMOKE=1 cargo bench -q -p hpclog-bench --bench observability
 
+echo "==> loadgen bench (smoke mode, asserts the goodput-under-overload gate)"
+LOADGEN_SMOKE=1 cargo bench -q -p hpclog-bench --bench loadgen
+
 echo "All checks passed."
