@@ -1,0 +1,233 @@
+//! Zero-copy byte-scanner fast path vs the regex reference oracle on the
+//! Titan-scale loggen corpus (C11 in EXPERIMENTS.md).
+//!
+//! Three measurements:
+//!
+//! 1. **parse stage** — the headline number: per-line pattern matching
+//!    over the rendered corpus, `FastParser::parse_line` (byte scanner)
+//!    vs `EventParser::parse` (the `rex` Pike VM). The ≥10× acceptance
+//!    gate applies here: both paths do identical work per line (same
+//!    `ParsedLine` out), so the ratio isolates the scanner itself.
+//! 2. **end-to-end import** — `import_bytes` with the Fast vs Regex
+//!    backend on identical frameworks; smaller ratio because store
+//!    writes are common to both.
+//! 3. **predicate pushdown** — fast-path scan with a 1-hour window over
+//!    the full corpus; filtered lines cost only a timestamp parse.
+//!
+//! Correctness rides along: before timing, every line's fast-path result
+//! is asserted equal to the oracle's, and the two import reports must
+//! match. Emits `BENCH_etl_fastpath.json` at the workspace root (skipped
+//! in smoke mode: `ETL_FASTPATH_SMOKE=1` runs a smaller corpus with the
+//! speedup gate relaxed to ≥3×, without touching the committed artifact
+//! or criterion).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpclog_core::etl::batch::{ImportOptions, ParserBackend};
+use hpclog_core::etl::fastpath::{FastParser, LineOutcome, Lines, ScanPredicate, ScanStats};
+use hpclog_core::etl::parsers::EventParser;
+use hpclog_core::framework::{Framework, FrameworkConfig};
+use loggen::topology::Topology;
+use loggen::trace::{Scenario, ScenarioConfig};
+use std::time::Instant;
+
+fn smoke() -> bool {
+    std::env::var("ETL_FASTPATH_SMOKE").as_deref() == Ok("1")
+}
+
+fn corpus(topo: &Topology, hours: i64, rate_scale: f64) -> Vec<u8> {
+    let cfg = ScenarioConfig {
+        rate_scale,
+        ..ScenarioConfig::storm_day(hours, 41)
+    };
+    Scenario::generate(topo, &cfg, 1977).render_corpus()
+}
+
+fn fw(topo: Topology) -> Framework {
+    Framework::new(FrameworkConfig {
+        db_nodes: 4,
+        replication_factor: 2,
+        vnodes: 8,
+        topology: topo,
+        ..Default::default()
+    })
+    .unwrap()
+}
+
+/// Milliseconds per pass over `f`, best-of-`iters` to shed scheduler
+/// noise on the shared runner.
+fn measure(mut f: impl FnMut() -> usize, iters: u32) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t = Instant::now();
+        let n = f();
+        assert!(n > 0);
+        best = best.min(t.elapsed().as_secs_f64() * 1000.0);
+    }
+    best
+}
+
+fn bench_etl_fastpath(c: &mut Criterion) {
+    // Smoke keeps the corpus small enough for CI; full mode runs the
+    // Titan-scale shape the acceptance gate is defined on.
+    let topo = if smoke() {
+        Topology::scaled(4, 4)
+    } else {
+        Topology::titan()
+    };
+    let (hours, rate) = if smoke() { (2, 4.0) } else { (4, 3.0) };
+    let corpus = corpus(&topo, hours, rate);
+    let n_lines = Lines::new(&corpus).count();
+    let mb = corpus.len() as f64 / (1024.0 * 1024.0);
+    println!("corpus: {n_lines} lines, {mb:.1} MiB");
+
+    let fast = FastParser::new();
+    let oracle = EventParser::new();
+
+    // Correctness before timing: the fast path must agree with the
+    // oracle on every single line of the corpus, with zero fallbacks.
+    let mut stats = ScanStats::default();
+    let pred = ScanPredicate::default();
+    for line in Lines::new(&corpus) {
+        let f = fast.scan_line(line, &pred, &mut stats);
+        let o = oracle.parse(std::str::from_utf8(line).unwrap());
+        match (&f, &o) {
+            (LineOutcome::Event(a), Some(hpclog_core::etl::parsers::ParsedLine::Event(b))) => {
+                assert_eq!(a, b)
+            }
+            (LineOutcome::Job(a), Some(b)) => assert_eq!(a, b),
+            (LineOutcome::Skipped, None) => {}
+            other => panic!("fast/oracle divergence: {other:?}"),
+        }
+    }
+    assert_eq!(stats.fallbacks, 0, "loggen corpus is pure ASCII");
+
+    // 1. Parse stage.
+    let iters = if smoke() { 3 } else { 5 };
+    let parse_pass = |use_fast: bool| {
+        let mut parsed = 0usize;
+        for line in Lines::new(&corpus) {
+            let got = if use_fast {
+                fast.parse_line(line).is_some()
+            } else {
+                oracle.parse(std::str::from_utf8(line).unwrap()).is_some()
+            };
+            parsed += usize::from(got);
+        }
+        parsed
+    };
+    let regex_ms = measure(|| parse_pass(false), iters);
+    let fast_ms = measure(|| parse_pass(true), iters);
+    let speedup = regex_ms / fast_ms;
+    let fast_mlps = n_lines as f64 / fast_ms / 1000.0;
+    let regex_mlps = n_lines as f64 / regex_ms / 1000.0;
+    let fast_mbps = mb / (fast_ms / 1000.0);
+    println!(
+        "parse stage: regex {regex_ms:.1} ms ({regex_mlps:.3} Mlines/s), \
+         fast {fast_ms:.1} ms ({fast_mlps:.3} Mlines/s, {fast_mbps:.0} MiB/s), \
+         speedup {speedup:.1}x"
+    );
+    let gate = if smoke() { 3.0 } else { 10.0 };
+    assert!(
+        speedup >= gate,
+        "fast path must be at least {gate}x the regex path (got {speedup:.1}x)"
+    );
+
+    // 2. End-to-end import (fresh framework per run so table state and
+    // LWW overwrites are identical across backends).
+    let import_ms = |backend: ParserBackend| {
+        let f = fw(topo.clone());
+        let t = Instant::now();
+        let report = f
+            .batch_import_bytes(
+                corpus.clone(),
+                &ImportOptions {
+                    backend,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        (t.elapsed().as_secs_f64() * 1000.0, report)
+    };
+    let (regex_import_ms, regex_report) = import_ms(ParserBackend::Regex);
+    let (fast_import_ms, fast_report) = import_ms(ParserBackend::Fast);
+    assert_eq!(fast_report.parsed, regex_report.parsed);
+    assert_eq!(fast_report.event_rows, regex_report.event_rows);
+    assert_eq!(fast_report.jobs, regex_report.jobs);
+    let import_speedup = regex_import_ms / fast_import_ms;
+    println!(
+        "end-to-end import: regex {regex_import_ms:.0} ms, fast {fast_import_ms:.0} ms, \
+         speedup {import_speedup:.1}x ({} events)",
+        fast_report.event_rows / 2
+    );
+
+    // 3. Pushdown scan: a 1-hour window over the whole corpus.
+    let t0 = 1_500_000_000_000i64;
+    let narrow = ScanPredicate::default().with_window(t0, t0 + 3_600_000);
+    let pushdown_ms = measure(
+        || {
+            let mut s = ScanStats::default();
+            let mut kept = 0usize;
+            for line in Lines::new(&corpus) {
+                if matches!(fast.scan_line(line, &narrow, &mut s), LineOutcome::Event(_)) {
+                    kept += 1;
+                }
+            }
+            kept.max(1)
+        },
+        iters,
+    );
+    let pushdown_mlps = n_lines as f64 / pushdown_ms / 1000.0;
+    println!("pushdown scan (1h window): {pushdown_ms:.1} ms ({pushdown_mlps:.3} Mlines/s)");
+
+    if smoke() {
+        return;
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"etl_fastpath\",\n",
+            "  \"topology\": \"titan\",\n",
+            "  \"corpus_lines\": {},\n",
+            "  \"corpus_mib\": {:.1},\n",
+            "  \"parse_regex_ms\": {:.1},\n",
+            "  \"parse_fast_ms\": {:.1},\n",
+            "  \"parse_regex_mlines_per_s\": {:.3},\n",
+            "  \"parse_fast_mlines_per_s\": {:.3},\n",
+            "  \"parse_fast_mib_per_s\": {:.0},\n",
+            "  \"parse_speedup\": {:.1},\n",
+            "  \"import_regex_ms\": {:.0},\n",
+            "  \"import_fast_ms\": {:.0},\n",
+            "  \"import_speedup\": {:.2},\n",
+            "  \"pushdown_scan_ms\": {:.1},\n",
+            "  \"pushdown_mlines_per_s\": {:.3},\n",
+            "  \"fallbacks\": {}\n",
+            "}}\n"
+        ),
+        n_lines,
+        mb,
+        regex_ms,
+        fast_ms,
+        regex_mlps,
+        fast_mlps,
+        fast_mbps,
+        speedup,
+        regex_import_ms,
+        fast_import_ms,
+        import_speedup,
+        pushdown_ms,
+        pushdown_mlps,
+        stats.fallbacks,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_etl_fastpath.json");
+    std::fs::write(path, &json).expect("write BENCH_etl_fastpath.json");
+
+    let mut group = c.benchmark_group("etl_fastpath");
+    group.sample_size(10);
+    group.bench_function("parse_regex", |b| b.iter(|| parse_pass(false)));
+    group.bench_function("parse_fast", |b| b.iter(|| parse_pass(true)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_etl_fastpath);
+criterion_main!(benches);

@@ -1,0 +1,1130 @@
+//! Zero-copy byte-slice fast path for batch ETL.
+//!
+//! The regex path ([`crate::etl::parsers::EventParser`]) runs every raw
+//! line through eleven Pike-VM patterns; at Titan scale that engine *is*
+//! the batch-import hot loop. This module replaces it with byte-level
+//! scanning over `&[u8]`:
+//!
+//! - **chunk splitting** ([`split_chunks`]): the corpus is cut into
+//!   near-equal byte chunks, each extended to the last newline it
+//!   contains, so **no line ever crosses a chunk** and chunks parse in
+//!   parallel with zero coordination;
+//! - **field-boundary detection** ([`Lines`], the envelope scanner):
+//!   `memchr`-style searches find the three envelope spaces and the
+//!   newline terminators — no per-line allocation, no UTF-8 decode;
+//! - **lazy field extraction**: fields stay borrowed `&[u8]` slices until
+//!   a line is known to produce a row; only the fields the table writer
+//!   consumes (`source`, `raw`, job `user`/`app`) are materialized;
+//! - **predicate pushdown** ([`ScanPredicate`]): window and event-type
+//!   filters run *during* the scan — a line outside the window is dropped
+//!   after parsing nothing but its timestamp, and a type-filtered line is
+//!   dropped before any `String` is built;
+//! - **fallback to the regex oracle**: any line that is not pure ASCII is
+//!   handed to the [`EventParser`] (after UTF-8 validation; invalid UTF-8
+//!   rejects the line, mirroring the regex path's `&str` precondition).
+//!
+//! The regex engine remains the **reference oracle**: for every line the
+//! fast path must produce exactly the [`ParsedLine`] the regex path
+//! produces (or exactly the same rejection). [`reference_scan_line`] is
+//! the executable statement of that contract — the regex backend of
+//! [`crate::etl::batch::import_bytes`] and the differential equivalence
+//! suite (`tests/etl_equivalence.rs`) both run it.
+//!
+//! Telemetry: `etl.fastpath.lines`, `etl.fastpath.fallbacks`, and
+//! `etl.fastpath.pushdown_skips` counters (flushed once per chunk via
+//! [`ScanStats::flush_telemetry`]).
+
+use crate::etl::parsers::{EventParser, ParsedLine};
+use crate::model::event::EventRecord;
+use std::collections::HashSet;
+
+/// What became of one scanned line.
+///
+/// # Example
+/// ```
+/// use hpclog_core::etl::fastpath::{FastParser, LineOutcome, ScanPredicate, ScanStats};
+/// let p = FastParser::new();
+/// let (pred, mut stats) = (ScanPredicate::default(), ScanStats::default());
+/// let line = b"1500000000123 console c0-0c0s0n0 Machine Check Exception: bank 4";
+/// match p.scan_line(line, &pred, &mut stats) {
+///     LineOutcome::Event(ev) => assert_eq!(ev.event_type, "MCE"),
+///     other => panic!("{other:?}"),
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LineOutcome {
+    /// The line is a system event that survived the predicate.
+    Event(EventRecord),
+    /// The line is a job fragment ([`ParsedLine::JobStart`] or
+    /// [`ParsedLine::JobEnd`]) — never filtered by predicates.
+    Job(ParsedLine),
+    /// No pattern matched (or a matched number overflowed its type).
+    Skipped,
+    /// An event line the [`ScanPredicate`] dropped during the scan.
+    Filtered,
+}
+
+/// Filters applied *during* the byte scan (predicate pushdown), instead
+/// of after rows have been materialized.
+///
+/// Predicates apply to **event** lines only; job start/end fragments are
+/// always imported (they must pair across the whole log). For non-`app`
+/// facilities the window check runs right after the timestamp is parsed —
+/// before the message body is even classified; the type check runs after
+/// classification but before any field is materialized.
+///
+/// # Example
+/// ```
+/// use hpclog_core::etl::fastpath::ScanPredicate;
+/// let pred = ScanPredicate::default().with_window(0, 1000).with_types(["MCE"]);
+/// assert!(pred.keeps(500, "MCE"));
+/// assert!(!pred.keeps(1000, "MCE"));   // window is half-open
+/// assert!(!pred.keeps(500, "GPU_DBE"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ScanPredicate {
+    /// Half-open event-time window `[from_ms, to_ms)`; `None` keeps all.
+    pub window_ms: Option<(i64, i64)>,
+    /// Event-type allowlist; `None` keeps all types.
+    pub types: Option<HashSet<String>>,
+}
+
+impl ScanPredicate {
+    /// Restricts the import to events with `from_ms <= ts < to_ms`.
+    pub fn with_window(mut self, from_ms: i64, to_ms: i64) -> ScanPredicate {
+        self.window_ms = Some((from_ms, to_ms));
+        self
+    }
+
+    /// Restricts the import to the named event types.
+    pub fn with_types<I, S>(mut self, types: I) -> ScanPredicate
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.types = Some(types.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// True when no filter is configured.
+    pub fn is_empty(&self) -> bool {
+        self.window_ms.is_none() && self.types.is_none()
+    }
+
+    /// Would an event at `ts_ms` of `event_type` survive?
+    pub fn keeps(&self, ts_ms: i64, event_type: &str) -> bool {
+        self.window_in(ts_ms) && self.type_in(event_type)
+    }
+
+    fn window_in(&self, ts_ms: i64) -> bool {
+        match self.window_ms {
+            Some((from, to)) => ts_ms >= from && ts_ms < to,
+            None => true,
+        }
+    }
+
+    fn type_in(&self, event_type: &str) -> bool {
+        match &self.types {
+            Some(set) => set.contains(event_type),
+            None => true,
+        }
+    }
+}
+
+/// Per-chunk scan counters, flushed to telemetry once per chunk.
+///
+/// # Example
+/// ```
+/// use hpclog_core::etl::fastpath::ScanStats;
+/// let mut stats = ScanStats::default();
+/// stats.lines += 10;
+/// stats.flush_telemetry(); // increments the etl.fastpath.* counters
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Lines scanned.
+    pub lines: u64,
+    /// Lines routed through the regex oracle (non-ASCII bytes, including
+    /// invalid UTF-8 rejections).
+    pub fallbacks: u64,
+    /// Event lines dropped by the [`ScanPredicate`] during the scan.
+    pub pushdown_skips: u64,
+}
+
+impl ScanStats {
+    /// Adds the counts into the global `etl.fastpath.*` counters.
+    pub fn flush_telemetry(&self) {
+        let g = telemetry::global();
+        g.counter("etl.fastpath.lines").incr(self.lines);
+        g.counter("etl.fastpath.fallbacks").incr(self.fallbacks);
+        g.counter("etl.fastpath.pushdown_skips")
+            .incr(self.pushdown_skips);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chunk splitting and line iteration
+// ---------------------------------------------------------------------------
+
+/// Splits a corpus into parse chunks of roughly `target_bytes` each, every
+/// chunk boundary placed immediately **after** a newline, so no line ever
+/// crosses a chunk (the chunk-split invariant).
+///
+/// A chunk whose tentative cut lands mid-line is shortened to the last
+/// newline it contains; a single line longer than `target_bytes` extends
+/// its chunk to the line's own newline (or end of input). An empty corpus
+/// yields no chunks; chunk ranges are contiguous, non-empty, and cover
+/// the corpus exactly.
+///
+/// # Example
+/// ```
+/// use hpclog_core::etl::fastpath::split_chunks;
+/// let corpus = b"aa\nbbbb\ncc\n";
+/// let chunks = split_chunks(corpus, 4);
+/// // Every chunk ends right after a newline.
+/// assert_eq!(chunks, vec![(0, 3), (3, 8), (8, 11)]);
+/// assert!(split_chunks(b"", 4).is_empty());
+/// ```
+pub fn split_chunks(corpus: &[u8], target_bytes: usize) -> Vec<(usize, usize)> {
+    let target = target_bytes.max(1);
+    let mut chunks = Vec::new();
+    let mut start = 0usize;
+    while start < corpus.len() {
+        let tentative = start.saturating_add(target).min(corpus.len());
+        let end = if tentative == corpus.len() {
+            corpus.len()
+        } else {
+            match rmemchr(b'\n', &corpus[start..tentative]) {
+                // Cut just after the last newline the tentative chunk holds.
+                Some(i) => start + i + 1,
+                // A single line larger than the chunk: extend to its end.
+                None => match memchr(b'\n', &corpus[tentative..]) {
+                    Some(i) => tentative + i + 1,
+                    None => corpus.len(),
+                },
+            }
+        };
+        chunks.push((start, end));
+        start = end;
+    }
+    chunks
+}
+
+/// Iterates the lines of a chunk: `\n` is a **terminator** (a trailing
+/// newline does not produce a final empty line), and one trailing `\r`
+/// per line is stripped (CRLF input parses like LF input). Interior empty
+/// lines are yielded (and rejected by the parsers, like any other
+/// unparseable line).
+///
+/// # Example
+/// ```
+/// use hpclog_core::etl::fastpath::Lines;
+/// let got: Vec<&[u8]> = Lines::new(b"a\r\n\nbb").collect();
+/// assert_eq!(got, vec![b"a" as &[u8], b"", b"bb"]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lines<'a> {
+    rest: &'a [u8],
+}
+
+impl<'a> Lines<'a> {
+    /// Starts iterating `chunk`.
+    pub fn new(chunk: &'a [u8]) -> Lines<'a> {
+        Lines { rest: chunk }
+    }
+}
+
+impl<'a> Iterator for Lines<'a> {
+    type Item = &'a [u8];
+
+    fn next(&mut self) -> Option<&'a [u8]> {
+        if self.rest.is_empty() {
+            return None;
+        }
+        let mut line = match memchr(b'\n', self.rest) {
+            Some(i) => {
+                let line = &self.rest[..i];
+                self.rest = &self.rest[i + 1..];
+                line
+            }
+            None => {
+                let line = self.rest;
+                self.rest = &[];
+                line
+            }
+        };
+        if line.last() == Some(&b'\r') {
+            line = &line[..line.len() - 1];
+        }
+        Some(line)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Byte-level scanning primitives
+// ---------------------------------------------------------------------------
+
+/// First position of `b` in `s` (forward memchr).
+#[inline]
+fn memchr(b: u8, s: &[u8]) -> Option<usize> {
+    s.iter().position(|&x| x == b)
+}
+
+/// Last position of `b` in `s` (reverse memchr).
+#[inline]
+fn rmemchr(b: u8, s: &[u8]) -> Option<usize> {
+    s.iter().rposition(|&x| x == b)
+}
+
+/// First occurrence of `needle` in `haystack` (first-byte-gated scan).
+#[inline]
+fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    let first = *needle.first()?;
+    if needle.len() > haystack.len() {
+        return None;
+    }
+    let mut at = 0;
+    while let Some(i) = memchr(first, &haystack[at..haystack.len() - needle.len() + 1]) {
+        let pos = at + i;
+        if haystack[pos..pos + needle.len()] == *needle {
+            return Some(pos);
+        }
+        at = pos + 1;
+    }
+    None
+}
+
+/// `rex`'s `\s` class, byte-level: `[ \t\n\r\x0B\x0C]`.
+#[inline]
+fn is_space(b: u8) -> bool {
+    matches!(b, b' ' | b'\t' | b'\n' | b'\r' | 0x0B | 0x0C)
+}
+
+/// `rex`'s `\w` class, byte-level: `[A-Za-z0-9_]`.
+#[inline]
+fn is_word(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// The `app=` name class from the job-start pattern: `[A-Za-z0-9+._\-]`.
+#[inline]
+fn is_app_name(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'+' | b'.' | b'_' | b'-')
+}
+
+/// End of the ASCII-digit run starting at `i` (exclusive).
+#[inline]
+fn digits_end(s: &[u8], i: usize) -> usize {
+    let mut j = i;
+    while j < s.len() && s[j].is_ascii_digit() {
+        j += 1;
+    }
+    j
+}
+
+/// Exact byte-level mirror of `str::parse::<i64>()`: optional `+`/`-`
+/// sign, one or more ASCII digits, nothing else; overflow fails.
+/// Accumulates on the negative side so `i64::MIN` parses.
+fn parse_i64(s: &[u8]) -> Option<i64> {
+    let (neg, digits) = match s.first()? {
+        b'+' => (false, &s[1..]),
+        b'-' => (true, &s[1..]),
+        _ => (false, s),
+    };
+    if digits.is_empty() {
+        return None;
+    }
+    let mut v: i64 = 0;
+    for &b in digits {
+        if !b.is_ascii_digit() {
+            return None;
+        }
+        v = v.checked_mul(10)?.checked_sub(i64::from(b - b'0'))?;
+    }
+    if neg {
+        Some(v)
+    } else {
+        v.checked_neg()
+    }
+}
+
+/// Byte-level mirror of `str::parse::<i32>()` (same shape as
+/// [`parse_i64`], 32-bit range).
+fn parse_i32(s: &[u8]) -> Option<i32> {
+    let v = parse_i64(s)?;
+    i32::try_from(v).ok()
+}
+
+/// Byte-level mirror of `str::parse::<u32>()` for all-digit input (the
+/// only shape a `(\d+)` capture can take).
+fn parse_u32_digits(s: &[u8]) -> Option<u32> {
+    if s.is_empty() {
+        return None;
+    }
+    let mut v: u32 = 0;
+    for &b in s {
+        if !b.is_ascii_digit() {
+            return None;
+        }
+        v = v.checked_mul(10)?.checked_add(u32::from(b - b'0'))?;
+    }
+    Some(v)
+}
+
+// ---------------------------------------------------------------------------
+// The fast parser
+// ---------------------------------------------------------------------------
+
+/// The borrowed envelope `<ts_ms> <facility> <source> <text>` — every
+/// field a slice into the input line; nothing materialized.
+struct Envelope<'a> {
+    ts_ms: i64,
+    facility: &'a [u8],
+    source: &'a [u8],
+    text: &'a [u8],
+}
+
+/// Splits the envelope exactly like `str::splitn(4, ' ')` + `parse::<i64>`.
+fn envelope(line: &[u8]) -> Option<Envelope<'_>> {
+    let s0 = memchr(b' ', line)?;
+    let ts_ms = parse_i64(&line[..s0])?;
+    let rest = &line[s0 + 1..];
+    let s1 = memchr(b' ', rest)?;
+    let facility = &rest[..s1];
+    let rest = &rest[s1 + 1..];
+    let s2 = memchr(b' ', rest)?;
+    Some(Envelope {
+        ts_ms,
+        facility,
+        source: &rest[..s2],
+        text: &rest[s2 + 1..],
+    })
+}
+
+/// Outcome of a structural job-line match: distinguishes "pattern did not
+/// match" (fall through to classification) from "pattern matched but a
+/// number overflowed" (the regex path rejects the whole line).
+enum JobMatch {
+    No,
+    BadNumber,
+    Ok(ParsedLine),
+}
+
+/// Byte-scanner equivalent of [`EventParser`], with the regex engine kept
+/// as fallback oracle for non-ASCII lines.
+///
+/// For pure-ASCII input every decision — pattern order, greedy-run
+/// semantics, numeric overflow rejection — mirrors the compiled pattern
+/// set bit for bit; `tests/etl_equivalence.rs` proves it differentially
+/// against the oracle on the loggen corpus and on adversarial inputs.
+///
+/// # Example
+/// ```
+/// use hpclog_core::etl::fastpath::FastParser;
+/// use hpclog_core::etl::parsers::{EventParser, ParsedLine};
+/// let fast = FastParser::new();
+/// let line = "1500000000000 app alps apid 7 start user=u0 app=VASP nodes=0-63 width=64";
+/// // Byte path and regex path agree exactly.
+/// assert_eq!(fast.parse_line(line.as_bytes()), EventParser::new().parse(line));
+/// match fast.parse_line(line.as_bytes()) {
+///     Some(ParsedLine::JobStart { apid, .. }) => assert_eq!(apid, 7),
+///     other => panic!("{other:?}"),
+/// }
+/// ```
+pub struct FastParser {
+    oracle: EventParser,
+}
+
+impl Default for FastParser {
+    fn default() -> Self {
+        FastParser::new()
+    }
+}
+
+impl FastParser {
+    /// Builds the parser (compiles the fallback oracle's pattern set).
+    pub fn new() -> FastParser {
+        FastParser {
+            oracle: EventParser::new(),
+        }
+    }
+
+    /// Parses one full raw line, byte-identically to
+    /// [`EventParser::parse`]. Non-ASCII lines go through the regex
+    /// oracle; invalid UTF-8 is rejected (`None`), mirroring the regex
+    /// path's `&str` precondition.
+    ///
+    /// # Example
+    /// ```
+    /// use hpclog_core::etl::fastpath::FastParser;
+    /// let p = FastParser::new();
+    /// assert!(p.parse_line(b"garbage").is_none());
+    /// assert!(p.parse_line(b"1500 console n0 DVS: file_node_down").is_some());
+    /// ```
+    pub fn parse_line(&self, line: &[u8]) -> Option<ParsedLine> {
+        if !line.is_ascii() {
+            let s = std::str::from_utf8(line).ok()?;
+            return self.oracle.parse(s);
+        }
+        self.parse_ascii(line)
+    }
+
+    /// Scans one line with predicate pushdown, updating `stats`. This is
+    /// the batch fast path's per-line entry point: filtered lines cost at
+    /// most a timestamp parse plus classification — no materialization.
+    ///
+    /// Disposition is identical to [`reference_scan_line`] on the same
+    /// input (the differential suite proves it).
+    pub fn scan_line(
+        &self,
+        line: &[u8],
+        pred: &ScanPredicate,
+        stats: &mut ScanStats,
+    ) -> LineOutcome {
+        stats.lines += 1;
+        if !line.is_ascii() {
+            stats.fallbacks += 1;
+            let outcome = match std::str::from_utf8(line) {
+                Ok(s) => reference_scan_line(&self.oracle, s, pred),
+                Err(_) => LineOutcome::Skipped,
+            };
+            if outcome == LineOutcome::Filtered {
+                stats.pushdown_skips += 1;
+            }
+            return outcome;
+        }
+        let Some(env) = envelope(line) else {
+            return LineOutcome::Skipped;
+        };
+        if env.facility != b"app" {
+            // Window pushdown: nothing past the timestamp is touched.
+            if !pred.window_in(env.ts_ms) && pred.window_ms.is_some() {
+                stats.pushdown_skips += 1;
+                return LineOutcome::Filtered;
+            }
+            return match classify_ascii(env.text) {
+                Some(event_type) => {
+                    if !pred.type_in(event_type) {
+                        stats.pushdown_skips += 1;
+                        LineOutcome::Filtered
+                    } else {
+                        LineOutcome::Event(materialize(&env, event_type))
+                    }
+                }
+                None => LineOutcome::Skipped,
+            };
+        }
+        // app facility: job fragments first (always kept), then events
+        // (predicate applies after classification — app-facility event
+        // lines exist, e.g. scheduler-class occurrences).
+        match job_start(env.text, env.ts_ms) {
+            JobMatch::Ok(job) => return LineOutcome::Job(job),
+            JobMatch::BadNumber => return LineOutcome::Skipped,
+            JobMatch::No => {}
+        }
+        match job_end(env.text, env.ts_ms) {
+            JobMatch::Ok(job) => return LineOutcome::Job(job),
+            JobMatch::BadNumber => return LineOutcome::Skipped,
+            JobMatch::No => {}
+        }
+        match classify_ascii(env.text) {
+            Some(event_type) => {
+                if !pred.keeps(env.ts_ms, event_type) {
+                    stats.pushdown_skips += 1;
+                    LineOutcome::Filtered
+                } else {
+                    LineOutcome::Event(materialize(&env, event_type))
+                }
+            }
+            None => LineOutcome::Skipped,
+        }
+    }
+
+    /// The pure-ASCII scan (no predicate): mirror of
+    /// [`EventParser::parse`].
+    fn parse_ascii(&self, line: &[u8]) -> Option<ParsedLine> {
+        let env = envelope(line)?;
+        if env.facility == b"app" {
+            match job_start(env.text, env.ts_ms) {
+                JobMatch::Ok(job) => return Some(job),
+                JobMatch::BadNumber => return None,
+                JobMatch::No => {}
+            }
+            match job_end(env.text, env.ts_ms) {
+                JobMatch::Ok(job) => return Some(job),
+                JobMatch::BadNumber => return None,
+                JobMatch::No => {}
+            }
+        }
+        let event_type = classify_ascii(env.text)?;
+        Some(ParsedLine::Event(materialize(&env, event_type)))
+    }
+}
+
+/// Materializes an event record — the only place the fast path allocates
+/// for an event line, and only for the fields the table writer consumes.
+fn materialize(env: &Envelope<'_>, event_type: &'static str) -> EventRecord {
+    EventRecord {
+        ts_ms: env.ts_ms,
+        event_type: event_type.to_owned(),
+        // ASCII (or oracle-validated UTF-8) by construction.
+        source: String::from_utf8_lossy(env.source).into_owned(),
+        amount: 1,
+        raw: String::from_utf8_lossy(env.text).into_owned(),
+    }
+}
+
+/// Byte-level mirror of [`EventParser::classify`] for ASCII text: the
+/// same patterns checked in the same order, with the same quirks (an
+/// `NVRM: Xid` line whose error code overflows `u32` rejects the line
+/// outright, exactly like the regex path's `parse::<u32>().ok()?`).
+fn classify_ascii(text: &[u8]) -> Option<&'static str> {
+    // ^Machine Check Exception: bank (\d+)
+    const MCE: &[u8] = b"Machine Check Exception: bank ";
+    if text.len() > MCE.len() && text.starts_with(MCE) && text[MCE.len()].is_ascii_digit() {
+        return Some("MCE");
+    }
+    // ^EDAC MC\d+: (CE|UE) "
+    const EDAC: &[u8] = b"EDAC MC";
+    if text.starts_with(EDAC) {
+        let d = digits_end(text, EDAC.len());
+        if d > EDAC.len() && text[d..].starts_with(b": ") {
+            let rest = &text[d + 2..];
+            if rest.starts_with(b"CE ") {
+                return Some("MEM_ECC");
+            }
+            if rest.starts_with(b"UE ") {
+                return Some("MEM_UE");
+            }
+        }
+    }
+    // ^NVRM: Xid \([0-9a-f:]+\): (\d+),
+    const XID: &[u8] = b"NVRM: Xid (";
+    if text.starts_with(XID) {
+        let mut i = XID.len();
+        let bus_start = i;
+        while i < text.len() && matches!(text[i], b'0'..=b'9' | b'a'..=b'f' | b':') {
+            i += 1;
+        }
+        if i > bus_start && text[i..].starts_with(b"): ") {
+            let code_start = i + 3;
+            let code_end = digits_end(text, code_start);
+            if code_end > code_start && text.get(code_end) == Some(&b',') {
+                // The regex path rejects the whole line on u32 overflow.
+                return match parse_u32_digits(&text[code_start..code_end])? {
+                    48 => Some("GPU_DBE"),
+                    79 => Some("GPU_OFF_BUS"),
+                    62 => Some("GPU_SXM_PWR"),
+                    _ => Some("GPU_DBE"), // unknown Xids still count as GPU errors
+                };
+            }
+        }
+    }
+    // ^Lustre(Error)?: " with the evict/restore sub-pattern anywhere.
+    if text.starts_with(b"Lustre: ") || text.starts_with(b"LustreError: ") {
+        return Some(
+            if find(text, b"evicted").is_some() || find(text, b"Connection restored").is_some() {
+                "LUSTRE_EVICT"
+            } else {
+                "LUSTRE_ERR"
+            },
+        );
+    }
+    // ^DVS: "
+    if text.starts_with(b"DVS: ") {
+        return Some("DVS_ERR");
+    }
+    // Gemini LCB lcb=\S+ failed   (unanchored)
+    const LCB: &[u8] = b"Gemini LCB lcb=";
+    let mut at = 0;
+    while let Some(i) = find(&text[at..], LCB) {
+        let run_start = at + i + LCB.len();
+        let mut j = run_start;
+        while j < text.len() && !is_space(text[j]) {
+            j += 1;
+        }
+        if j > run_start && text[j..].starts_with(b" failed") {
+            return Some("NET_LINK");
+        }
+        at = at + i + 1;
+    }
+    // congestion protection engaged   (unanchored)
+    if find(text, b"congestion protection engaged").is_some() {
+        return Some("NET_THROTTLE");
+    }
+    // ^Kernel panic
+    if text.starts_with(b"Kernel panic") {
+        return Some("KERNEL_PANIC");
+    }
+    None
+}
+
+/// `^apid (\d+) start user=(\w+) app=([A-Za-z0-9+._\-]+) nodes=(\d+)-(\d+)`
+fn job_start(text: &[u8], ts_ms: i64) -> JobMatch {
+    let Some(rest) = text.strip_prefix(b"apid ") else {
+        return JobMatch::No;
+    };
+    let apid_end = digits_end(rest, 0);
+    if apid_end == 0 || !rest[apid_end..].starts_with(b" start user=") {
+        return JobMatch::No;
+    }
+    let user_start = apid_end + b" start user=".len();
+    let mut user_end = user_start;
+    while user_end < rest.len() && is_word(rest[user_end]) {
+        user_end += 1;
+    }
+    if user_end == user_start || !rest[user_end..].starts_with(b" app=") {
+        return JobMatch::No;
+    }
+    let app_start = user_end + b" app=".len();
+    let mut app_end = app_start;
+    while app_end < rest.len() && is_app_name(rest[app_end]) {
+        app_end += 1;
+    }
+    if app_end == app_start || !rest[app_end..].starts_with(b" nodes=") {
+        return JobMatch::No;
+    }
+    let first_start = app_end + b" nodes=".len();
+    let first_end = digits_end(rest, first_start);
+    if first_end == first_start || rest.get(first_end) != Some(&b'-') {
+        return JobMatch::No;
+    }
+    let last_start = first_end + 1;
+    let last_end = digits_end(rest, last_start);
+    if last_end == last_start {
+        return JobMatch::No;
+    }
+    // Structure matched: numeric overflow now rejects the whole line,
+    // exactly like the regex path's `parse().ok()?`.
+    let (Some(apid), Some(node_first), Some(node_last)) = (
+        parse_i64(&rest[..apid_end]),
+        parse_i64(&rest[first_start..first_end]),
+        parse_i64(&rest[last_start..last_end]),
+    ) else {
+        return JobMatch::BadNumber;
+    };
+    JobMatch::Ok(ParsedLine::JobStart {
+        apid,
+        ts_ms,
+        user: String::from_utf8_lossy(&rest[user_start..user_end]).into_owned(),
+        app: String::from_utf8_lossy(&rest[app_start..app_end]).into_owned(),
+        node_first,
+        node_last,
+    })
+}
+
+/// `^apid (\d+) end exit=(-?\d+)`
+fn job_end(text: &[u8], ts_ms: i64) -> JobMatch {
+    let Some(rest) = text.strip_prefix(b"apid ") else {
+        return JobMatch::No;
+    };
+    let apid_end = digits_end(rest, 0);
+    if apid_end == 0 || !rest[apid_end..].starts_with(b" end exit=") {
+        return JobMatch::No;
+    }
+    let exit_start = apid_end + b" end exit=".len();
+    let digit_start = if rest.get(exit_start) == Some(&b'-') {
+        exit_start + 1
+    } else {
+        exit_start
+    };
+    let exit_end = digits_end(rest, digit_start);
+    if exit_end == digit_start {
+        return JobMatch::No;
+    }
+    let (Some(apid), Some(exit_code)) = (
+        parse_i64(&rest[..apid_end]),
+        parse_i32(&rest[exit_start..exit_end]),
+    ) else {
+        return JobMatch::BadNumber;
+    };
+    JobMatch::Ok(ParsedLine::JobEnd {
+        apid,
+        ts_ms,
+        exit_code,
+    })
+}
+
+/// The **reference disposition**: what the regex backend does with one
+/// line under the same predicate semantics as the fast path. This is the
+/// contract both backends of [`crate::etl::batch::import_bytes`] follow;
+/// the differential suite asserts the fast path never diverges from it.
+///
+/// Order of decisions (shared with the fast path):
+/// 1. envelope unparseable → [`LineOutcome::Skipped`];
+/// 2. non-`app` facility with the timestamp outside the window →
+///    [`LineOutcome::Filtered`] *without parsing the body* (this is the
+///    pushdown contract: disposition may not depend on whether the body
+///    would have matched);
+/// 3. full parse: job fragments always kept; events checked against the
+///    predicate; everything else skipped.
+///
+/// # Example
+/// ```
+/// use hpclog_core::etl::fastpath::{reference_scan_line, LineOutcome, ScanPredicate};
+/// use hpclog_core::etl::parsers::EventParser;
+/// let parser = EventParser::new();
+/// let pred = ScanPredicate::default().with_window(0, 1000);
+/// let line = "5000 console n0 whatever chatter";
+/// // Out-of-window console line: filtered before the body is looked at.
+/// assert_eq!(reference_scan_line(&parser, line, &pred), LineOutcome::Filtered);
+/// ```
+pub fn reference_scan_line(parser: &EventParser, line: &str, pred: &ScanPredicate) -> LineOutcome {
+    let Some((ts_ms, facility, _, _)) = parser.parse_envelope(line) else {
+        return LineOutcome::Skipped;
+    };
+    if facility != "app" && pred.window_ms.is_some() && !pred.window_in(ts_ms) {
+        return LineOutcome::Filtered;
+    }
+    match parser.parse(line) {
+        Some(ParsedLine::Event(ev)) => {
+            if pred.keeps(ev.ts_ms, &ev.event_type) {
+                LineOutcome::Event(ev)
+            } else {
+                LineOutcome::Filtered
+            }
+        }
+        Some(job) => LineOutcome::Job(job),
+        None => LineOutcome::Skipped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // -- chunk splitter --------------------------------------------------
+
+    /// Chunks must be contiguous, cover the corpus, and end on newlines.
+    fn assert_invariants(corpus: &[u8], chunks: &[(usize, usize)]) {
+        let mut pos = 0;
+        for &(s, e) in chunks {
+            assert_eq!(s, pos, "chunks are contiguous");
+            assert!(e > s, "chunks are non-empty");
+            if e < corpus.len() {
+                assert_eq!(corpus[e - 1], b'\n', "chunk ends after a newline");
+            }
+            pos = e;
+        }
+        assert_eq!(pos, corpus.len(), "chunks cover the corpus");
+    }
+
+    #[test]
+    fn empty_corpus_yields_no_chunks() {
+        assert!(split_chunks(b"", 16).is_empty());
+    }
+
+    #[test]
+    fn chunk_ending_exactly_on_newline_keeps_the_boundary() {
+        // target 3 lands exactly on the first newline's successor.
+        let corpus = b"ab\ncd\n";
+        let chunks = split_chunks(corpus, 3);
+        assert_eq!(chunks, vec![(0, 3), (3, 6)]);
+        assert_invariants(corpus, &chunks);
+    }
+
+    #[test]
+    fn single_line_larger_than_a_chunk_extends_to_its_newline() {
+        let corpus = b"0123456789012345\nx\n";
+        let chunks = split_chunks(corpus, 4);
+        assert_eq!(chunks[0], (0, 17), "oversized line stays whole");
+        assert_invariants(corpus, &chunks);
+    }
+
+    #[test]
+    fn oversized_final_line_without_newline_is_one_chunk_tail() {
+        let corpus = b"a\n0123456789";
+        let chunks = split_chunks(corpus, 3);
+        assert_invariants(corpus, &chunks);
+        assert_eq!(*chunks.last().unwrap(), (2, corpus.len()));
+    }
+
+    #[test]
+    fn chunked_lines_equal_unchunked_lines_for_any_target() {
+        let corpus: Vec<u8> = b"one\ntwo two\n\nthree\r\nfour has spaces\nlast-no-newline".to_vec();
+        let whole: Vec<&[u8]> = Lines::new(&corpus).collect();
+        for target in 1..corpus.len() + 2 {
+            let chunks = split_chunks(&corpus, target);
+            assert_invariants(&corpus, &chunks);
+            let rejoined: Vec<&[u8]> = chunks
+                .iter()
+                .flat_map(|&(s, e)| Lines::new(&corpus[s..e]))
+                .collect();
+            assert_eq!(rejoined, whole, "target {target}");
+        }
+    }
+
+    // -- line iterator ---------------------------------------------------
+
+    #[test]
+    fn trailing_newline_is_a_terminator_not_an_empty_line() {
+        let got: Vec<&[u8]> = Lines::new(b"a\nb\n").collect();
+        assert_eq!(got, vec![b"a" as &[u8], b"b"]);
+    }
+
+    #[test]
+    fn crlf_strips_one_cr_and_keeps_interior_crs() {
+        let got: Vec<&[u8]> = Lines::new(b"a\r\r\nb\rc\n").collect();
+        assert_eq!(got, vec![b"a\r" as &[u8], b"b\rc"]);
+    }
+
+    // -- numeric parsing mirrors str::parse ------------------------------
+
+    #[test]
+    fn parse_i64_matches_str_parse() {
+        let cases: &[&str] = &[
+            "0",
+            "+7",
+            "-7",
+            "9223372036854775807",
+            "-9223372036854775808",
+            "9223372036854775808",  // overflow
+            "-9223372036854775809", // underflow
+            "",
+            "+",
+            "-",
+            "12x",
+            " 12",
+            "1_2",
+        ];
+        for c in cases {
+            assert_eq!(parse_i64(c.as_bytes()), c.parse::<i64>().ok(), "case {c:?}");
+        }
+    }
+
+    #[test]
+    fn parse_u32_digits_matches_str_parse_on_digit_runs() {
+        for c in ["0", "48", "4294967295", "4294967296", "99999999999"] {
+            assert_eq!(
+                parse_u32_digits(c.as_bytes()),
+                c.parse::<u32>().ok(),
+                "case {c:?}"
+            );
+        }
+    }
+
+    // -- parser equivalence spot checks ----------------------------------
+
+    fn both(line: &str) -> (Option<ParsedLine>, Option<ParsedLine>) {
+        let fast = FastParser::new();
+        let oracle = EventParser::new();
+        (fast.parse_line(line.as_bytes()), oracle.parse(line))
+    }
+
+    #[test]
+    fn tricky_lines_agree_with_the_oracle() {
+        let lines = [
+            // plain hits, one per type
+            "1500000000123 console c0-0c0s0n0 Machine Check Exception: bank 4: b2 addr 3f cpu 1",
+            "1 console n0 EDAC MC0: CE page 0x3aa2f, offset 0x630",
+            "1 console n0 EDAC MC2: UE page 0x1f00a, offset 0x0",
+            "1 console n0 NVRM: Xid (0000:02:00): 48, Double Bit ECC Error",
+            "1 console n0 NVRM: Xid (0000:03:00): 79, GPU has fallen off the bus.",
+            "1 console n0 NVRM: Xid (0000:02:00): 62, power excursion",
+            "1 console n0 NVRM: Xid (0000:02:00): 13, Graphics Exception",
+            "1 console n0 LustreError: 11-0: atlas1-OST0041-osc: op failed with -110",
+            "1 console n0 Lustre: Connection restored to atlas1-OST0041",
+            "1 console n0 LustreError: 167-0: client was evicted by atlas1-MDT0000",
+            "1 console n0 DVS: file_node_down: removing c0-1c0s2n1",
+            "1 netwatch n0 HSN error: Gemini LCB lcb=g21l07 failed; recovering",
+            "1 netwatch n0 Gemini HSN congestion protection engaged: throttle=on",
+            "1 console n0 Kernel panic - not syncing: Fatal exception",
+            "1500000000000 app alps apid 1000001 start user=usr0042 app=DCA++ nodes=128-255 width=128",
+            "1500000360000 app alps apid 1000001 end exit=-9 runtime_s=360",
+            // structural near-misses that must fall through or reject
+            "1 console n0 Machine Check Exception: bank x",
+            "1 console n0 EDAC MC: CE page",
+            "1 console n0 EDAC MC7: XE page",
+            "1 console n0 NVRM: Xid (): 48,",
+            "1 console n0 NVRM: Xid (0000:02:00): 48 no comma",
+            "1 console n0 NVRM: Xid (0000:02:00): 99999999999,", // u32 overflow -> line rejected
+            "1 console n0 Lustre:no space",
+            "1 console n0 DVS:no space",
+            "1 netwatch n0 Gemini LCB lcb= failed",      // empty \S+ run
+            "1 netwatch n0 Gemini LCB lcb=xfailed",      // no space before failed
+            "1 netwatch n0 Gemini LCB lcb=a b Gemini LCB lcb=c failed", // second occurrence wins
+            "1 netwatch n0 Gemini LCB lcb=a\tfailed",    // tab is not the literal space
+            "1 console n0 a Kernel panic mentioned mid-line",
+            "1 console n0 Kernel panic plus congestion protection engaged", // order: net_throttle first
+            // app facility quirks
+            "1 app alps apid 99999999999999999999 start user=u app=A nodes=0-1", // i64 overflow -> rejected
+            "1 app alps apid 12 start user=u app=A nodes=0-99999999999999999999", // node overflow
+            "1 app alps apid 12 end exit=99999999999", // i32 overflow -> rejected
+            "1 app alps apid 12 end exit=--3",
+            "1 app alps apid 12 start user= app=A nodes=0-1", // empty user
+            "1 app alps apid 12 start user=u- app=A nodes=0-1", // '-' not in \w, then " app=" missing
+            "1 app alps Machine Check Exception: bank 2: on the app stream",
+            // envelope quirks
+            "",
+            "   ",
+            "12 console",
+            "12 console n0",
+            "12 console n0 ",
+            "+12 console n0 DVS: x",
+            "-12 console n0 DVS: x",
+            "12  console n0 DVS: x", // empty facility field
+            "notanumber console n0 DVS: x",
+            "9223372036854775808 console n0 DVS: x", // ts overflow
+        ];
+        for line in lines {
+            let (f, o) = both(line);
+            assert_eq!(f, o, "line {line:?}");
+        }
+    }
+
+    #[test]
+    fn non_ascii_lines_fall_back_and_agree() {
+        let lines = [
+            "1 console n0 Lustre: évicted client", // non-ASCII in text
+            "1 console nö0 DVS: x",                // non-ASCII in source
+            "1 cönsole n0 DVS: x",                 // non-ASCII in facility
+        ];
+        let fast = FastParser::new();
+        let oracle = EventParser::new();
+        for line in lines {
+            assert_eq!(
+                fast.parse_line(line.as_bytes()),
+                oracle.parse(line),
+                "line {line:?}"
+            );
+        }
+        // Invalid UTF-8 rejects (the regex path cannot even receive it).
+        let mut stats = ScanStats::default();
+        let bad = b"1 console n0 DVS: \xff\xfe";
+        assert_eq!(fast.parse_line(bad), None);
+        assert_eq!(
+            fast.scan_line(bad, &ScanPredicate::default(), &mut stats),
+            LineOutcome::Skipped
+        );
+        assert_eq!(stats.fallbacks, 1);
+    }
+
+    #[test]
+    fn embedded_nul_is_handled_like_any_ascii_byte() {
+        // NUL is ASCII and non-space: it extends the \S+ run.
+        let (f, o) = both("1 netwatch n0 Gemini LCB lcb=a\0b failed");
+        assert_eq!(f, o);
+        assert!(f.is_some());
+        let (f, o) = both("1 console n0 DVS: x\0y");
+        assert_eq!(f, o);
+    }
+
+    // -- pushdown --------------------------------------------------------
+
+    #[test]
+    fn window_pushdown_filters_without_classification() {
+        let fast = FastParser::new();
+        let pred = ScanPredicate::default().with_window(1000, 2000);
+        let mut stats = ScanStats::default();
+        // In-window event passes; out-of-window chatter AND out-of-window
+        // events are both filtered (disposition is body-independent).
+        assert!(matches!(
+            fast.scan_line(b"1500 console n0 DVS: x", &pred, &mut stats),
+            LineOutcome::Event(_)
+        ));
+        assert_eq!(
+            fast.scan_line(b"2000 console n0 DVS: x", &pred, &mut stats),
+            LineOutcome::Filtered,
+            "window is half-open"
+        );
+        assert_eq!(
+            fast.scan_line(b"500 console n0 chatter here", &pred, &mut stats),
+            LineOutcome::Filtered
+        );
+        assert_eq!(stats.pushdown_skips, 2);
+        // Job fragments are never filtered.
+        assert!(matches!(
+            fast.scan_line(b"5000 app alps apid 1 end exit=0", &pred, &mut stats),
+            LineOutcome::Job(_)
+        ));
+    }
+
+    #[test]
+    fn type_pushdown_filters_after_classification() {
+        let fast = FastParser::new();
+        let pred = ScanPredicate::default().with_types(["MCE"]);
+        let mut stats = ScanStats::default();
+        assert!(matches!(
+            fast.scan_line(
+                b"1 console n0 Machine Check Exception: bank 2",
+                &pred,
+                &mut stats
+            ),
+            LineOutcome::Event(_)
+        ));
+        assert_eq!(
+            fast.scan_line(b"1 console n0 DVS: x", &pred, &mut stats),
+            LineOutcome::Filtered
+        );
+        assert_eq!(
+            fast.scan_line(b"1 console n0 chatter", &pred, &mut stats),
+            LineOutcome::Skipped,
+            "unparseable stays skipped, not filtered"
+        );
+        assert_eq!(stats.pushdown_skips, 1);
+    }
+
+    #[test]
+    fn scan_matches_reference_disposition_under_predicates() {
+        let fast = FastParser::new();
+        let oracle = EventParser::new();
+        let preds = [
+            ScanPredicate::default(),
+            ScanPredicate::default().with_window(1000, 3000),
+            ScanPredicate::default().with_types(["MCE", "DVS_ERR"]),
+            ScanPredicate::default()
+                .with_window(0, 2000)
+                .with_types(["LUSTRE_ERR"]),
+        ];
+        let lines = [
+            "500 console n0 Machine Check Exception: bank 1",
+            "1500 console n0 Machine Check Exception: bank 1",
+            "1500 console n0 LustreError: 11-0: broken",
+            "2500 console n0 DVS: x",
+            "1500 console n0 chatter",
+            "500 app alps apid 3 start user=u app=A nodes=0-1",
+            "9000 app alps apid 3 end exit=0",
+            "1500 app alps Machine Check Exception: bank 1: app-stream event",
+            "bogus line",
+        ];
+        for pred in &preds {
+            for line in lines {
+                let mut stats = ScanStats::default();
+                assert_eq!(
+                    fast.scan_line(line.as_bytes(), pred, &mut stats),
+                    reference_scan_line(&oracle, line, pred),
+                    "line {line:?} pred {pred:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generated_corpus_parses_identically_without_fallbacks() {
+        let topo = loggen::topology::Topology::scaled(2, 2);
+        let scenario = loggen::trace::Scenario::generate(
+            &topo,
+            &loggen::trace::ScenarioConfig {
+                rate_scale: 15.0,
+                ..loggen::trace::ScenarioConfig::quiet_day(3)
+            },
+            23,
+        );
+        let fast = FastParser::new();
+        let oracle = EventParser::new();
+        let mut stats = ScanStats::default();
+        let pred = ScanPredicate::default();
+        for line in &scenario.lines {
+            let rendered = line.render();
+            assert_eq!(
+                fast.parse_line(rendered.as_bytes()),
+                oracle.parse(&rendered),
+                "line {rendered:?}"
+            );
+            fast.scan_line(rendered.as_bytes(), &pred, &mut stats);
+        }
+        assert_eq!(stats.lines, scenario.lines.len() as u64);
+        assert_eq!(stats.fallbacks, 0, "loggen corpus is pure ASCII");
+        assert_eq!(stats.pushdown_skips, 0);
+    }
+}

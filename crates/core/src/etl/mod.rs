@@ -1,5 +1,18 @@
 //! Extract–transform–load: batch regex import and real-time streaming.
+//!
+//! Two parse paths feed the event/job tables:
+//!
+//! - [`parsers`] — the compiled `rex` pattern set, the **reference
+//!   oracle** for what a raw line means;
+//! - [`fastpath`] — a zero-copy byte scanner over `&[u8]` that mirrors
+//!   the oracle bit for bit on ASCII input and falls back to it
+//!   otherwise (see `DESIGN.md` §13).
+//!
+//! [`batch`] drives either path chunk-parallel over a rendered corpus;
+//! [`stream`] consumes the log bus with at-least-once semantics.
+#![deny(missing_docs)]
 
 pub mod batch;
+pub mod fastpath;
 pub mod parsers;
 pub mod stream;

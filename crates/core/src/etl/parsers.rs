@@ -8,6 +8,18 @@ use crate::model::event::EventRecord;
 use rex::Regex;
 
 /// A successfully parsed line.
+///
+/// # Example
+/// ```
+/// use hpclog_core::etl::parsers::{EventParser, ParsedLine};
+/// let p = EventParser::new();
+/// match p.parse("1500000360000 app alps apid 7 end exit=-9 runtime_s=360") {
+///     Some(ParsedLine::JobEnd { apid, exit_code, .. }) => {
+///         assert_eq!((apid, exit_code), (7, -9));
+///     }
+///     other => panic!("{other:?}"),
+/// }
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ParsedLine {
     /// A system event.
@@ -40,6 +52,22 @@ pub enum ParsedLine {
 
 /// Compiled pattern set. Build once per thread/partition; matching is
 /// allocation-light and linear in the line length.
+///
+/// This is the **reference oracle** for the ingest pipeline: the
+/// zero-copy byte scanner ([`crate::etl::fastpath::FastParser`]) must
+/// agree with it on every line, and falls back to it for non-ASCII
+/// input.
+///
+/// # Example
+/// ```
+/// use hpclog_core::etl::parsers::{EventParser, ParsedLine};
+/// let p = EventParser::new();
+/// let line = "1500000000123 console c0-0c0s0n0 EDAC MC0: CE page 0x3aa2f";
+/// match p.parse(line) {
+///     Some(ParsedLine::Event(ev)) => assert_eq!(ev.event_type, "MEM_ECC"),
+///     other => panic!("{other:?}"),
+/// }
+/// ```
 pub struct EventParser {
     mce: Regex,
     edac: Regex,
@@ -82,6 +110,15 @@ impl EventParser {
     }
 
     /// Splits the envelope `<ts_ms> <facility> <source> <text>`.
+    ///
+    /// # Example
+    /// ```
+    /// use hpclog_core::etl::parsers::EventParser;
+    /// let p = EventParser::new();
+    /// let (ts, fac, src, text) = p.parse_envelope("1500 console n0 DVS: down").unwrap();
+    /// assert_eq!((ts, fac, src, text), (1500, "console", "n0", "DVS: down"));
+    /// assert!(p.parse_envelope("not-a-timestamp console n0 x").is_none());
+    /// ```
     pub fn parse_envelope<'l>(&self, line: &'l str) -> Option<(i64, &'l str, &'l str, &'l str)> {
         let mut parts = line.splitn(4, ' ');
         let ts: i64 = parts.next()?.parse().ok()?;
@@ -92,6 +129,14 @@ impl EventParser {
     }
 
     /// Classifies the message text into an event type name.
+    ///
+    /// # Example
+    /// ```
+    /// use hpclog_core::etl::parsers::EventParser;
+    /// let p = EventParser::new();
+    /// assert_eq!(p.classify("Kernel panic - not syncing"), Some("KERNEL_PANIC"));
+    /// assert_eq!(p.classify("routine chatter"), None);
+    /// ```
     pub fn classify(&self, text: &str) -> Option<&'static str> {
         if self.mce.is_match(text) {
             return Some("MCE");
@@ -133,6 +178,14 @@ impl EventParser {
     }
 
     /// Parses one full raw line.
+    ///
+    /// # Example
+    /// ```
+    /// use hpclog_core::etl::parsers::EventParser;
+    /// let p = EventParser::new();
+    /// assert!(p.parse("1500 console n0 Machine Check Exception: bank 2").is_some());
+    /// assert!(p.parse("1500 console n0 routine chatter").is_none());
+    /// ```
     pub fn parse(&self, line: &str) -> Option<ParsedLine> {
         let (ts_ms, facility, source, text) = self.parse_envelope(line)?;
         if facility == "app" {

@@ -22,7 +22,8 @@
 //! the [`crate::framework::RAW_LOG_DLQ_TOPIC`] dead-letter topic, which
 //! [`dlq_peek`] / [`dlq_requeue`] inspect and replay.
 
-use crate::etl::parsers::{EventParser, ParsedLine};
+use crate::etl::fastpath::FastParser;
+use crate::etl::parsers::ParsedLine;
 use crate::framework::{Framework, RAW_LOG_DLQ_TOPIC, RAW_LOG_TOPIC};
 use crate::model::event::EventRecord;
 use logbus::{BusError, Consumer, Producer, Record};
@@ -160,7 +161,9 @@ pub struct StreamIngester<'f> {
     fw: &'f Framework,
     consumer: Consumer,
     batcher: MicroBatcher<Tracked>,
-    parser: EventParser,
+    /// The zero-copy scanner (with regex-oracle fallback for non-ASCII
+    /// lines) — byte-identical to the batch path, see `fastpath`.
+    parser: FastParser,
     cfg: StreamConfig,
     rng: StdRng,
     /// Per-partition offsets buffered in open windows (not yet durable);
@@ -220,7 +223,7 @@ impl<'f> StreamIngester<'f> {
             fw,
             consumer,
             batcher,
-            parser: EventParser::new(),
+            parser: FastParser::new(),
             rng: StdRng::seed_from_u64(cfg.seed),
             cfg,
             pending: HashMap::new(),
@@ -265,7 +268,7 @@ impl<'f> StreamIngester<'f> {
             return;
         }
         self.max_seen.insert(p, off);
-        match self.parser.parse(&record.value) {
+        match self.parser.parse_line(record.value.as_bytes()) {
             Some(ParsedLine::Event(ev)) => {
                 self.report.events_in += 1;
                 self.watermark = self.watermark.max(ev.ts_ms);

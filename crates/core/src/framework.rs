@@ -390,6 +390,17 @@ impl Framework {
         crate::etl::batch::import(self, lines)
     }
 
+    /// Chunk-parallel batch ETL over a raw newline-separated corpus —
+    /// the zero-copy fast path with optional predicate pushdown and
+    /// backend selection (see [`crate::etl::batch::import_bytes`]).
+    pub fn batch_import_bytes(
+        &self,
+        corpus: Vec<u8>,
+        opts: &crate::etl::batch::ImportOptions,
+    ) -> Result<crate::etl::batch::ImportReport, DbError> {
+        crate::etl::batch::import_bytes(self, corpus, opts)
+    }
+
     /// Human-readable table of every instrument in the global telemetry
     /// registry (counters, gauges, and latency histograms with
     /// p50/p95/p99/max). For the machine-readable form use the `metrics`

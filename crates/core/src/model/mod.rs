@@ -1,4 +1,5 @@
 //! The paper's data model: schemas, keys, and record mappings.
+#![deny(missing_docs)]
 
 pub mod apprun;
 pub mod event;

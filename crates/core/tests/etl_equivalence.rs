@@ -1,0 +1,423 @@
+//! Differential equivalence: the zero-copy ETL fast path against the
+//! regex reference oracle.
+//!
+//! The contract (DESIGN.md §13): for every input line — well-formed,
+//! malformed, truncated, CRLF, embedded-NUL, non-ASCII, or raw byte
+//! garbage — the fast path must produce exactly the `ParsedLine` the
+//! regex path produces (or exactly the same rejection), and a
+//! chunk-parallel `import_bytes` through either backend must load
+//! byte-identical event and job tables.
+
+use hpclog_core::etl::batch::{ImportOptions, ParserBackend};
+use hpclog_core::etl::fastpath::{
+    reference_scan_line, split_chunks, FastParser, LineOutcome, Lines, ScanPredicate, ScanStats,
+};
+use hpclog_core::etl::parsers::EventParser;
+use hpclog_core::framework::{Framework, FrameworkConfig};
+use hpclog_core::model::event::EventRecord;
+use loggen::topology::Topology;
+use loggen::trace::{Scenario, ScenarioConfig};
+use proptest::prelude::*;
+
+/// Every event type the catalog can emit.
+const EVENT_TYPES: [&str; 12] = [
+    "MCE",
+    "MEM_ECC",
+    "MEM_UE",
+    "GPU_DBE",
+    "GPU_OFF_BUS",
+    "GPU_SXM_PWR",
+    "LUSTRE_ERR",
+    "LUSTRE_EVICT",
+    "DVS_ERR",
+    "NET_LINK",
+    "NET_THROTTLE",
+    "KERNEL_PANIC",
+];
+
+fn fw(topo: Topology) -> Framework {
+    Framework::new(FrameworkConfig {
+        db_nodes: 4,
+        replication_factor: 2,
+        vnodes: 8,
+        topology: topo,
+        ..Default::default()
+    })
+    .unwrap()
+}
+
+/// Adversarial lines appended to every corpus: malformed envelopes,
+/// truncations, CRLF, NULs, non-ASCII (fallback), and overflow quirks.
+fn adversarial_lines() -> Vec<&'static str> {
+    vec![
+        "",
+        "garbage",
+        "1500000000123 console",
+        "1500000000123 console c0-0c0s0n0",
+        "1500000000123 console c0-0c0s0n0 ",
+        "1500000000123 console c0-0c0s0n0 Machine Check Exception: bank",
+        "1500000000123 console c0-0c0s0n0 Machine Check Exception: bank 4\r",
+        "1500000000124 console c0-0c0s0n0 DVS: with\0embedded nul",
+        "1500000000125 console c0-0c0s0n0 Lustre: évicted client", // non-ASCII
+        "1500000000126 console c0-0c0s0n0 NVRM: Xid (0000:02:00): 99999999999,",
+        "1500000000127 app alps apid 99999999999999999999 start user=u app=A nodes=0-1",
+        "1500000000128 app alps apid 12 end exit=99999999999",
+        "1500000000129 app alps apid 13 start user=u app=A nodes=0-1", // unmatched start
+        "9223372036854775808 console n0 DVS: ts overflow",
+        "-5 console n0 DVS: negative ts is legal",
+    ]
+}
+
+/// Query windows that cover everything a test corpus can contain: the
+/// scenario era (plus the 48h job-end spillover) and the hour around
+/// zero where the negative-timestamp adversarial line lands.
+fn query_windows(cfg: &ScenarioConfig) -> [(i64, i64); 2] {
+    [
+        (
+            cfg.start_ms - 3_600_000,
+            cfg.start_ms + cfg.duration_ms + 72 * 3_600_000,
+        ),
+        (-3_600_000, 3_600_000),
+    ]
+}
+
+fn sorted(mut rows: Vec<EventRecord>) -> Vec<EventRecord> {
+    rows.sort_by(|a, b| {
+        (a.ts_ms, &a.event_type, &a.source, &a.raw).cmp(&(
+            b.ts_ms,
+            &b.event_type,
+            &b.source,
+            &b.raw,
+        ))
+    });
+    rows
+}
+
+/// The tentpole proof: a Titan-scale loggen corpus (plus adversarial
+/// tail) imported through both backends loads byte-identical event and
+/// job tables, and the fast path needs the oracle only for the one
+/// non-ASCII adversarial line.
+#[test]
+fn titan_corpus_tables_are_byte_identical_across_backends() {
+    let topo = Topology::titan();
+    let cfg = ScenarioConfig {
+        rate_scale: 2.0,
+        ..ScenarioConfig::storm_day(2, 41)
+    };
+    let scenario = Scenario::generate(&topo, &cfg, 4242);
+    let mut corpus = scenario.render_corpus();
+    for line in adversarial_lines() {
+        corpus.extend_from_slice(line.as_bytes());
+        corpus.push(b'\n');
+    }
+    assert!(
+        scenario.lines.len() > 10_000,
+        "Titan-scale corpus expected, got {} lines",
+        scenario.lines.len()
+    );
+
+    let fw_fast = fw(topo.clone());
+    let fw_regex = fw(topo.clone());
+    // Different chunk sizes on purpose: table content must not depend on
+    // the chunking.
+    let fast = fw_fast
+        .batch_import_bytes(
+            corpus.clone(),
+            &ImportOptions {
+                backend: ParserBackend::Fast,
+                chunk_target_bytes: Some(16 * 1024),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    let regex = fw_regex
+        .batch_import_bytes(
+            corpus,
+            &ImportOptions {
+                backend: ParserBackend::Regex,
+                chunk_target_bytes: Some(256 * 1024),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+
+    assert_eq!(fast.parsed, regex.parsed);
+    assert_eq!(fast.skipped, regex.skipped);
+    assert_eq!(fast.event_rows, regex.event_rows);
+    assert_eq!(fast.jobs, regex.jobs);
+    assert_eq!(fast.unmatched_jobs, regex.unmatched_jobs);
+    assert_eq!(fast.fallbacks, 1, "exactly the one non-ASCII line");
+
+    // Byte-identical event_by_time table, per type.
+    for (t0, t1) in query_windows(&cfg) {
+        for etype in EVENT_TYPES {
+            let a = sorted(fw_fast.events_by_type(etype, t0, t1).unwrap());
+            let b = sorted(fw_regex.events_by_type(etype, t0, t1).unwrap());
+            assert_eq!(a, b, "event_by_time rows diverge for {etype}");
+        }
+    }
+    // Byte-identical job table.
+    let (t0, t1) = query_windows(&cfg)[0];
+    let mut jobs_a = fw_fast.apps_by_time(t0, t1).unwrap();
+    let mut jobs_b = fw_regex.apps_by_time(t0, t1).unwrap();
+    jobs_a.sort_by_key(|j| j.apid);
+    jobs_b.sort_by_key(|j| j.apid);
+    assert_eq!(jobs_a, jobs_b, "job tables diverge");
+    assert_eq!(jobs_a.len(), scenario.jobs.len());
+}
+
+/// The event_by_location view is also byte-identical, checked per
+/// source on a smaller topology where enumerating sources is cheap.
+#[test]
+fn location_table_is_byte_identical_across_backends() {
+    let topo = Topology::scaled(3, 3);
+    let cfg = ScenarioConfig {
+        rate_scale: 12.0,
+        ..ScenarioConfig::mce_hotspot(3, 2)
+    };
+    let scenario = Scenario::generate(&topo, &cfg, 99);
+    let mut corpus = scenario.render_corpus();
+    for line in adversarial_lines() {
+        corpus.extend_from_slice(line.as_bytes());
+        corpus.push(b'\n');
+    }
+
+    let fw_fast = fw(topo.clone());
+    let fw_regex = fw(topo.clone());
+    for (f, backend) in [
+        (&fw_fast, ParserBackend::Fast),
+        (&fw_regex, ParserBackend::Regex),
+    ] {
+        f.batch_import_bytes(
+            corpus.clone(),
+            &ImportOptions {
+                backend,
+                chunk_target_bytes: Some(8 * 1024),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    }
+    for (t0, t1) in query_windows(&cfg) {
+        for i in 0..topo.node_count() {
+            let source = topo.node(i).cname;
+            let a = sorted(fw_fast.events_by_source(&source, t0, t1).unwrap());
+            let b = sorted(fw_regex.events_by_source(&source, t0, t1).unwrap());
+            assert_eq!(a, b, "event_by_location rows diverge for {source}");
+        }
+    }
+}
+
+/// Predicate pushdown keeps the backends in lockstep: same kept tables
+/// AND same report counters under window + type filters.
+#[test]
+fn pushdown_equivalence_across_backends() {
+    let topo = Topology::scaled(2, 2);
+    let cfg = ScenarioConfig {
+        rate_scale: 15.0,
+        ..ScenarioConfig::quiet_day(4)
+    };
+    let scenario = Scenario::generate(&topo, &cfg, 7);
+    let corpus = scenario.render_corpus();
+    let preds = [
+        ScanPredicate::default().with_window(cfg.start_ms + 3_600_000, cfg.start_ms + 7_200_000),
+        ScanPredicate::default().with_types(["MCE", "LUSTRE_ERR", "NET_THROTTLE"]),
+        ScanPredicate::default()
+            .with_window(cfg.start_ms, cfg.start_ms + 2 * 3_600_000)
+            .with_types(["DVS_ERR", "MEM_ECC"]),
+    ];
+    for pred in preds {
+        let fw_fast = fw(topo.clone());
+        let fw_regex = fw(topo.clone());
+        let fast = fw_fast
+            .batch_import_bytes(
+                corpus.clone(),
+                &ImportOptions {
+                    predicate: pred.clone(),
+                    backend: ParserBackend::Fast,
+                    chunk_target_bytes: Some(4 * 1024),
+                },
+            )
+            .unwrap();
+        let regex = fw_regex
+            .batch_import_bytes(
+                corpus.clone(),
+                &ImportOptions {
+                    predicate: pred.clone(),
+                    backend: ParserBackend::Regex,
+                    chunk_target_bytes: Some(4 * 1024),
+                },
+            )
+            .unwrap();
+        assert_eq!(fast.parsed, regex.parsed, "pred {pred:?}");
+        assert_eq!(fast.filtered, regex.filtered, "pred {pred:?}");
+        assert_eq!(fast.skipped, regex.skipped, "pred {pred:?}");
+        assert_eq!(fast.event_rows, regex.event_rows, "pred {pred:?}");
+        assert_eq!(fast.jobs, regex.jobs, "jobs never filtered, pred {pred:?}");
+        let (t0, t1) = query_windows(&cfg)[0];
+        for etype in EVENT_TYPES {
+            let a = sorted(fw_fast.events_by_type(etype, t0, t1).unwrap());
+            let b = sorted(fw_regex.events_by_type(etype, t0, t1).unwrap());
+            assert_eq!(a, b, "type {etype} pred {pred:?}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: per-line stream equivalence on hostile input
+// ---------------------------------------------------------------------------
+
+/// Well-formed-ish fragments the mutator starts from — every pattern
+/// family plus near-misses.
+fn template_lines() -> Vec<&'static str> {
+    vec![
+        "1500000000123 console c0-0c0s0n0 Machine Check Exception: bank 4: b2 addr 3f cpu 1",
+        "1500000000124 console c1-2c0s3n1 EDAC MC0: CE page 0x3aa2f, offset 0x630",
+        "1500000000125 console c1-2c0s3n1 EDAC MC2: UE page 0x1f00a, offset 0x0",
+        "1500000000126 console c0-0c1s2n3 NVRM: Xid (0000:02:00): 48, Double Bit ECC Error",
+        "1500000000127 console c0-0c1s2n3 NVRM: Xid (0000:03:00): 79, GPU has fallen off the bus.",
+        "1500000000128 console c0-0c0s0n0 LustreError: 11-0: atlas1-OST0041-osc: op failed",
+        "1500000000129 console c0-0c0s0n0 Lustre: Connection restored to atlas1-OST0041",
+        "1500000000130 console c0-0c0s0n0 DVS: file_node_down: removing c0-1c0s2n1",
+        "1500000000131 netwatch c0-0c0s0n0 HSN: Gemini LCB lcb=g21l07 failed; recovering",
+        "1500000000132 netwatch c0-0c0s0n0 Gemini HSN congestion protection engaged: throttle=on",
+        "1500000000133 console c0-0c0s0n0 Kernel panic - not syncing: Fatal exception",
+        "1500000000000 app alps apid 1000001 start user=usr0042 app=DCA++ nodes=128-255 width=128",
+        "1500000360000 app alps apid 1000001 end exit=-9 runtime_s=360",
+        "1500000000134 console c0-0c0s0n0 routine chatter nothing matches",
+    ]
+}
+
+/// Fast path and oracle must agree on a single line, both bare parse and
+/// predicated scan.
+fn assert_line_equiv(fast: &FastParser, oracle: &EventParser, line: &[u8], pred: &ScanPredicate) {
+    let via_oracle = std::str::from_utf8(line).ok().and_then(|s| oracle.parse(s));
+    assert_eq!(
+        fast.parse_line(line),
+        via_oracle,
+        "parse diverges on {:?}",
+        String::from_utf8_lossy(line)
+    );
+    let mut stats = ScanStats::default();
+    let reference = match std::str::from_utf8(line) {
+        Ok(s) => reference_scan_line(oracle, s, pred),
+        Err(_) => LineOutcome::Skipped,
+    };
+    assert_eq!(
+        fast.scan_line(line, pred, &mut stats),
+        reference,
+        "scan diverges on {:?} pred {pred:?}",
+        String::from_utf8_lossy(line)
+    );
+}
+
+fn arb_pred() -> impl Strategy<Value = ScanPredicate> {
+    prop_oneof![
+        Just(ScanPredicate::default()),
+        Just(ScanPredicate::default().with_window(1_500_000_000_000, 1_500_000_000_200)),
+        Just(ScanPredicate::default().with_types(["MCE", "DVS_ERR", "GPU_DBE"])),
+        Just(
+            ScanPredicate::default()
+                .with_window(0, 1_500_000_000_130)
+                .with_types(["LUSTRE_ERR", "LUSTRE_EVICT"])
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Raw byte garbage: identical ParsedLine streams (or identical
+    /// rejections) on both paths, line by line, for any chunking.
+    #[test]
+    fn byte_garbage_streams_are_identical(
+        corpus in proptest::collection::vec(any::<u8>(), 0..600),
+        target in 1usize..128,
+        pred in arb_pred(),
+    ) {
+        let fast = FastParser::new();
+        let oracle = EventParser::new();
+        for line in Lines::new(&corpus) {
+            assert_line_equiv(&fast, &oracle, line, &pred);
+        }
+        // Chunking never changes the line stream.
+        let rejoined: Vec<&[u8]> = split_chunks(&corpus, target)
+            .into_iter()
+            .flat_map(|(s, e)| Lines::new(&corpus[s..e]))
+            .collect();
+        let whole: Vec<&[u8]> = Lines::new(&corpus).collect();
+        prop_assert_eq!(rejoined, whole);
+    }
+
+    /// Mutated realistic lines: truncation, byte substitution (incl. \r,
+    /// \0, space, and non-ASCII bytes), and random predicates.
+    #[test]
+    fn mutated_template_lines_agree(
+        idx in 0usize..14,
+        cut in 0usize..100,
+        mutate_at in 0usize..100,
+        mutate_to in prop_oneof![
+            Just(b'\r'), Just(b'\0'), Just(b' '), Just(b'\t'),
+            Just(0xC3u8), Just(0xA9u8), Just(0xFFu8),
+            Just(b'9'), Just(b'-'), Just(b'x'),
+        ],
+        pred in arb_pred(),
+    ) {
+        let templates = template_lines();
+        let mut line = templates[idx % templates.len()].as_bytes().to_vec();
+        // Truncate the tail (models a torn final line in a chunk).
+        let keep = line.len().saturating_sub(cut % (line.len() + 1));
+        line.truncate(keep);
+        if !line.is_empty() {
+            let at = mutate_at % line.len();
+            line[at] = mutate_to;
+        }
+        let fast = FastParser::new();
+        let oracle = EventParser::new();
+        assert_line_equiv(&fast, &oracle, &line, &pred);
+    }
+
+    /// A corpus truncated at an arbitrary byte (torn download / partial
+    /// flush) still parses identically on both paths.
+    #[test]
+    fn truncated_corpus_streams_are_identical(
+        cut in 0usize..4096,
+        pred in arb_pred(),
+    ) {
+        let templates = template_lines();
+        let mut corpus = Vec::new();
+        for (i, t) in templates.iter().cycle().take(40).enumerate() {
+            corpus.extend_from_slice(t.as_bytes());
+            // Alternate LF and CRLF terminators.
+            if i % 3 == 1 {
+                corpus.push(b'\r');
+            }
+            corpus.push(b'\n');
+        }
+        corpus.truncate(cut.min(corpus.len()));
+        let fast = FastParser::new();
+        let oracle = EventParser::new();
+        for line in Lines::new(&corpus) {
+            assert_line_equiv(&fast, &oracle, line, &pred);
+        }
+    }
+
+    /// Chunk-splitter invariants hold for arbitrary corpora and targets.
+    #[test]
+    fn chunk_invariants_hold(
+        corpus in proptest::collection::vec(any::<u8>(), 0..500),
+        target in 1usize..64,
+    ) {
+        let chunks = split_chunks(&corpus, target);
+        let mut pos = 0usize;
+        for (s, e) in chunks {
+            prop_assert_eq!(s, pos, "contiguous");
+            prop_assert!(e > s, "non-empty");
+            if e < corpus.len() {
+                prop_assert_eq!(corpus[e - 1], b'\n', "ends after newline");
+            }
+            pos = e;
+        }
+        prop_assert_eq!(pos, corpus.len(), "covers corpus");
+    }
+}

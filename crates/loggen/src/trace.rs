@@ -195,6 +195,18 @@ impl Scenario {
         truth.sort_by_key(|o| o.ts_ms);
         Scenario { lines, truth, jobs }
     }
+
+    /// Renders the scenario as one newline-terminated byte corpus — the
+    /// on-disk shape the chunk-parallel batch ETL ingests (each line is
+    /// [`RawLine::render`] followed by `\n`).
+    pub fn render_corpus(&self) -> Vec<u8> {
+        let mut corpus = Vec::new();
+        for line in &self.lines {
+            corpus.extend_from_slice(line.render().as_bytes());
+            corpus.push(b'\n');
+        }
+        corpus
+    }
 }
 
 fn render_occurrence(

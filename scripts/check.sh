@@ -19,6 +19,12 @@ cargo test -q
 echo "==> golden envelope suite"
 cargo test -q -p hpclog-core --test golden_envelope
 
+echo "==> ETL fast-path equivalence suite"
+cargo test -q -p hpclog-core --test etl_equivalence
+
+echo "==> doc-link check (README/DESIGN/EXPERIMENTS intra-repo links)"
+scripts/check_doc_links.sh
+
 echo "==> query cache bench (smoke mode)"
 QUERY_CACHE_SMOKE=1 cargo bench -q -p hpclog-bench --bench query_cache
 
@@ -30,5 +36,8 @@ OBSERVABILITY_SMOKE=1 cargo bench -q -p hpclog-bench --bench observability
 
 echo "==> loadgen bench (smoke mode, asserts the goodput-under-overload gate)"
 LOADGEN_SMOKE=1 cargo bench -q -p hpclog-bench --bench loadgen
+
+echo "==> ETL fast-path bench (smoke mode, speedup gate relaxed to >=3x)"
+ETL_FASTPATH_SMOKE=1 cargo bench -q -p hpclog-bench --bench etl_fastpath
 
 echo "All checks passed."

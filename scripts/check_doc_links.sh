@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Doc-link checker: fails on broken intra-repo links in the top-level
+# markdown docs. External links (http/https/mailto) and pure anchors are
+# ignored; `path#anchor` links are checked for the path part only.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DOCS=(README.md DESIGN.md EXPERIMENTS.md ROADMAP.md PAPER.md)
+broken=0
+
+for doc in "${DOCS[@]}"; do
+  [[ -f "$doc" ]] || continue
+  # Inline markdown links: [text](target). Reference-style and autolinks
+  # are out of scope — the repo docs use inline links throughout.
+  while IFS= read -r target; do
+    case "$target" in
+      http://* | https://* | mailto:* | \#*) continue ;;
+    esac
+    path="${target%%#*}"
+    [[ -n "$path" ]] || continue
+    # Links are repo-root-relative (the docs live at the root).
+    if [[ ! -e "$path" ]]; then
+      echo "BROKEN: $doc -> $target"
+      broken=$((broken + 1))
+    fi
+  done < <(grep -oE '\]\(([^)]+)\)' "$doc" | sed -E 's/^\]\(//; s/\)$//')
+done
+
+if [[ "$broken" -gt 0 ]]; then
+  echo "doc-link check failed: $broken broken link(s)"
+  exit 1
+fi
+echo "doc-link check passed."
