@@ -1,7 +1,7 @@
 //! Cross-correlation between event-type series: the symmetric companion
 //! to transfer entropy for spotting co-occurring event types.
 
-use crate::analytics::bin_counts;
+use crate::analytics::bin_scan;
 use crate::framework::Framework;
 use rasdb::error::DbError;
 
@@ -67,10 +67,10 @@ pub fn event_cross_correlation(
     bin_ms: i64,
     max_lag: usize,
 ) -> Result<Vec<(i64, f64)>, DbError> {
-    let ea = fw.events_by_type(type_a, from_ms, to_ms)?;
-    let eb = fw.events_by_type(type_b, from_ms, to_ms)?;
-    let a = bin_counts(&ea, from_ms, to_ms, bin_ms);
-    let b = bin_counts(&eb, from_ms, to_ms, bin_ms);
+    let sa = fw.scan_window(type_a, from_ms, to_ms)?;
+    let sb = fw.scan_window(type_b, from_ms, to_ms)?;
+    let a = bin_scan(&sa, bin_ms);
+    let b = bin_scan(&sb, bin_ms);
     Ok(cross_correlation(&a, &b, max_lag))
 }
 

@@ -1,7 +1,9 @@
 //! Distributions of event occurrences "over cabinets, blades, nodes, and
 //! applications" (paper §III-B) — the complementary view to the heat map.
 
+use crate::columnar::HourScan;
 use crate::framework::Framework;
+use crate::model::apprun::AppRun;
 use crate::model::event::EventRecord;
 use loggen::topology::{NODES_PER_BLADE, NODES_PER_CABINET};
 use rasdb::error::DbError;
@@ -36,7 +38,12 @@ impl Distribution {
     }
 }
 
-/// Computes the distribution of one event type over `[from, to)`.
+/// Computes the distribution of one event type over `[from, to)` by a
+/// columnar window scan: closed hours parse each *distinct* source once
+/// per block dictionary and pre-render its group label, so rows reduce
+/// to a table lookup; open hours take the same per-event path as
+/// [`distribution_of`]. Both accumulate identical integer sums, so the
+/// result is byte-identical to the row path.
 pub fn distribution(
     fw: &Framework,
     event_type: &str,
@@ -44,8 +51,134 @@ pub fn distribution(
     to_ms: i64,
     group_by: GroupBy,
 ) -> Result<Distribution, DbError> {
-    let events = fw.events_by_type(event_type, from_ms, to_ms)?;
-    distribution_of(fw, &events, group_by)
+    let topo = fw.topology();
+    let scan = fw.scan_window(event_type, from_ms, to_ms)?;
+
+    // Application grouping needs the runs active in the events' span —
+    // derived from the in-window min/max timestamps, exactly as
+    // `distribution_of` derives them from its materialized slice.
+    let runs = if group_by == GroupBy::Application {
+        let (mut lo, mut hi) = (i64::MAX, i64::MIN);
+        for part in &scan.parts {
+            match part {
+                HourScan::Columnar(b) => {
+                    let r = b.range(from_ms, to_ms);
+                    if !r.is_empty() {
+                        lo = lo.min(b.ts[r.start]);
+                        hi = hi.max(b.ts[r.end - 1]);
+                    }
+                }
+                HourScan::Rows(events) => {
+                    for e in events {
+                        lo = lo.min(e.ts_ms);
+                        hi = hi.max(e.ts_ms);
+                    }
+                }
+            }
+        }
+        if lo <= hi {
+            // Runs may have started up to a day before the first event.
+            fw.apps_by_time(lo - 24 * 3_600_000, hi + 1)?
+        } else {
+            Vec::new()
+        }
+    } else {
+        Vec::new()
+    };
+
+    let mut counts: HashMap<String, f64> = HashMap::new();
+    let mut unattributed = 0.0;
+    for part in &scan.parts {
+        match part {
+            HourScan::Columnar(b) => {
+                let idxs: Vec<Option<usize>> = b.dict.iter().map(|s| topo.parse_cname(s)).collect();
+                // One pre-rendered label per distinct source for the
+                // static groupings (None = unattributed).
+                let labels: Vec<Option<String>> = match group_by {
+                    GroupBy::Cabinet => idxs
+                        .iter()
+                        .map(|i| i.map(|i| format!("cab{}", i / NODES_PER_CABINET)))
+                        .collect(),
+                    GroupBy::Blade => idxs
+                        .iter()
+                        .map(|i| i.map(|i| format!("blade{}", i / NODES_PER_BLADE)))
+                        .collect(),
+                    GroupBy::Node => idxs
+                        .iter()
+                        .zip(&b.dict)
+                        .map(|(i, s)| i.map(|_| s.clone()))
+                        .collect(),
+                    GroupBy::Application => Vec::new(),
+                };
+                for i in b.range(from_ms, to_ms) {
+                    let sid = b.source_ids[i] as usize;
+                    let amount = b.amounts[i] as f64;
+                    let Some(idx) = idxs[sid] else {
+                        unattributed += amount;
+                        continue;
+                    };
+                    if group_by == GroupBy::Application {
+                        match find_run(&runs, b.ts[i], idx) {
+                            Some(r) => *counts.entry(r.app.clone()).or_default() += amount,
+                            None => unattributed += amount,
+                        }
+                    } else if let Some(label) = &labels[sid] {
+                        match counts.get_mut(label) {
+                            Some(c) => *c += amount,
+                            None => {
+                                counts.insert(label.clone(), amount);
+                            }
+                        }
+                    }
+                }
+            }
+            HourScan::Rows(events) => {
+                for e in events {
+                    let amount = e.amount as f64;
+                    let Some(idx) = topo.parse_cname(&e.source) else {
+                        unattributed += amount;
+                        continue;
+                    };
+                    match group_by {
+                        GroupBy::Cabinet => {
+                            *counts
+                                .entry(format!("cab{}", idx / NODES_PER_CABINET))
+                                .or_default() += amount;
+                        }
+                        GroupBy::Blade => {
+                            *counts
+                                .entry(format!("blade{}", idx / NODES_PER_BLADE))
+                                .or_default() += amount;
+                        }
+                        GroupBy::Node => *counts.entry(e.source.clone()).or_default() += amount,
+                        GroupBy::Application => match find_run(&runs, e.ts_ms, idx) {
+                            Some(r) => *counts.entry(r.app.clone()).or_default() += amount,
+                            None => unattributed += amount,
+                        },
+                    }
+                }
+            }
+        }
+    }
+    Ok(finish(counts, unattributed))
+}
+
+/// The first run covering `(ts, node idx)` — shared by both scan paths
+/// and [`distribution_of`], so attribution order is identical everywhere.
+fn find_run(runs: &[AppRun], ts_ms: i64, idx: usize) -> Option<&AppRun> {
+    runs.iter().find(|r| {
+        r.running_at(ts_ms) && (r.node_first as usize) <= idx && idx <= r.node_last as usize
+    })
+}
+
+/// Sorts the accumulated counts into the canonical heaviest-first order.
+fn finish(counts: HashMap<String, f64>, unattributed: f64) -> Distribution {
+    let mut entries: Vec<(String, f64)> = counts.into_iter().collect();
+    entries.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    Distribution {
+        entries,
+        unattributed,
+    }
 }
 
 /// Groups an already-fetched event stream (reused by context analytics).
@@ -90,26 +223,13 @@ pub fn distribution_of(
             GroupBy::Node => {
                 *counts.entry(e.source.clone()).or_default() += e.amount as f64;
             }
-            GroupBy::Application => {
-                let hit = runs.iter().find(|r| {
-                    r.running_at(e.ts_ms)
-                        && (r.node_first as usize) <= idx
-                        && idx <= r.node_last as usize
-                });
-                match hit {
-                    Some(r) => *counts.entry(r.app.clone()).or_default() += e.amount as f64,
-                    None => unattributed += e.amount as f64,
-                }
-            }
+            GroupBy::Application => match find_run(&runs, e.ts_ms, idx) {
+                Some(r) => *counts.entry(r.app.clone()).or_default() += e.amount as f64,
+                None => unattributed += e.amount as f64,
+            },
         }
     }
-
-    let mut entries: Vec<(String, f64)> = counts.into_iter().collect();
-    entries.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-    Ok(Distribution {
-        entries,
-        unattributed,
-    })
+    Ok(finish(counts, unattributed))
 }
 
 #[cfg(test)]

@@ -1,7 +1,14 @@
 //! Heat maps over the physical system map (paper Fig 5): per-cabinet and
-//! per-node event counts for a type over a selected interval, computed as
-//! a locality-aware MapReduce job on the engine.
+//! per-node event counts for a type over a selected interval, computed by
+//! a columnar window scan with dictionary-id pushdown: closed hours
+//! resolve each *distinct* source cname to a node index once per block
+//! dictionary entry instead of once per row, and blocks outside the
+//! window are zone-map-skipped. Open hours fall back to the row path —
+//! the locality-aware MapReduce scan of
+//! [`crate::framework::Framework::scan_events_rdd`] — so counts are
+//! byte-identical either way.
 
+use crate::columnar::HourScan;
 use crate::framework::Framework;
 use loggen::topology::NODES_PER_CABINET;
 use rasdb::error::DbError;
@@ -35,34 +42,62 @@ impl HeatMap {
     }
 }
 
-/// Computes the cabinet heat map for one event type over `[from, to)`.
-///
-/// Runs as a two-stage job: locality-preferred partition scans map each
-/// hour partition to per-cabinet counts, reduced by key on the engine.
+/// Sums event amounts into `size` groups, where `group` maps a parsed
+/// node index to its group slot — the shared columnar accumulation for
+/// both heat-map granularities.
+fn grouped_counts(
+    fw: &Framework,
+    event_type: &str,
+    from_ms: i64,
+    to_ms: i64,
+    size: usize,
+    group: impl Fn(usize) -> usize,
+) -> Result<Vec<f64>, DbError> {
+    let topo = fw.topology();
+    let mut slots = vec![0.0f64; size];
+    let scan = fw.scan_window(event_type, from_ms, to_ms)?;
+    for part in &scan.parts {
+        match part {
+            HourScan::Columnar(b) => {
+                // Dictionary-id pushdown: each distinct source parses
+                // once per block, rows then group by a table lookup.
+                let groups: Vec<Option<usize>> = b
+                    .dict
+                    .iter()
+                    .map(|s| topo.parse_cname(s).map(&group).filter(|&g| g < size))
+                    .collect();
+                for i in b.range(from_ms, to_ms) {
+                    if let Some(g) = groups[b.source_ids[i] as usize] {
+                        slots[g] += b.amounts[i] as f64;
+                    }
+                }
+            }
+            HourScan::Rows(events) => {
+                for e in events {
+                    if let Some(g) = topo.parse_cname(&e.source).map(&group) {
+                        if g < size {
+                            slots[g] += e.amount as f64;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(slots)
+}
+
+/// Computes the cabinet heat map for one event type over `[from, to)`
+/// as a columnar window scan grouped per cabinet.
 pub fn cabinet_heatmap(
     fw: &Framework,
     event_type: &str,
     from_ms: i64,
     to_ms: i64,
 ) -> Result<HeatMap, DbError> {
-    let topo = fw.topology().clone();
-    let ncab = topo.cabinet_count();
-    let counts = fw
-        .scan_events_rdd(event_type, from_ms, to_ms)
-        .flat_map(move |ev| {
-            topo.parse_cname(&ev.source)
-                .map(|idx| (idx / NODES_PER_CABINET, ev.amount as f64))
-                .into_iter()
-                .collect()
-        })
-        .reduce_by_key(fw.engine().workers().max(1), |a, b| a + b)
-        .collect();
-    let mut cabinets = vec![0.0; ncab];
-    for (cab, count) in counts {
-        if cab < ncab {
-            cabinets[cab] = count;
-        }
-    }
+    let ncab = fw.topology().cabinet_count();
+    let cabinets = grouped_counts(fw, event_type, from_ms, to_ms, ncab, |idx| {
+        idx / NODES_PER_CABINET
+    })?;
     Ok(summarize(cabinets))
 }
 
@@ -73,25 +108,8 @@ pub fn node_heatmap(
     from_ms: i64,
     to_ms: i64,
 ) -> Result<Vec<f64>, DbError> {
-    let topo = fw.topology().clone();
-    let n = topo.node_count();
-    let counts = fw
-        .scan_events_rdd(event_type, from_ms, to_ms)
-        .flat_map(move |ev| {
-            topo.parse_cname(&ev.source)
-                .map(|idx| (idx, ev.amount as f64))
-                .into_iter()
-                .collect()
-        })
-        .reduce_by_key(fw.engine().workers().max(1), |a, b| a + b)
-        .collect();
-    let mut nodes = vec![0.0; n];
-    for (idx, count) in counts {
-        if idx < n {
-            nodes[idx] = count;
-        }
-    }
-    Ok(nodes)
+    let n = fw.topology().node_count();
+    grouped_counts(fw, event_type, from_ms, to_ms, n, |idx| idx)
 }
 
 fn summarize(cabinets: Vec<f64>) -> HeatMap {

@@ -1,6 +1,6 @@
 //! Event histograms over time: the temporal map's bar view.
 
-use crate::analytics::bin_counts;
+use crate::analytics::bin_scan;
 use crate::framework::Framework;
 use rasdb::error::DbError;
 
@@ -36,7 +36,9 @@ impl Histogram {
     }
 }
 
-/// Histogram of one event type over `[from, to)` with `bin_ms` bins.
+/// Histogram of one event type over `[from, to)` with `bin_ms` bins,
+/// computed by a columnar window scan (closed hours bin straight off the
+/// timestamp/amount columns; open hours fall back to the row path).
 pub fn event_histogram(
     fw: &Framework,
     event_type: &str,
@@ -44,11 +46,11 @@ pub fn event_histogram(
     to_ms: i64,
     bin_ms: i64,
 ) -> Result<Histogram, DbError> {
-    let events = fw.events_by_type(event_type, from_ms, to_ms)?;
+    let scan = fw.scan_window(event_type, from_ms, to_ms)?;
     Ok(Histogram {
         from_ms,
         bin_ms,
-        bins: bin_counts(&events, from_ms, to_ms, bin_ms),
+        bins: bin_scan(&scan, bin_ms),
     })
 }
 

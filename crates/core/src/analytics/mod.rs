@@ -13,7 +13,38 @@ pub mod synopsis;
 pub mod text;
 pub mod transfer_entropy;
 
+use crate::columnar::{HourScan, WindowScan};
 use crate::model::event::EventRecord;
+
+/// Bins a columnar window scan into fixed windows, summing amounts — the
+/// columnar twin of [`bin_counts`], and bit-identical to it: both sum
+/// the same integer amounts into `f64` bins (exact below 2^53), so cold,
+/// cached, and row-path series analytics agree byte-for-byte.
+///
+/// Closed hours narrow to the in-window row range by binary search on
+/// the sorted timestamp column; open hours arrive pre-filtered from the
+/// row path.
+pub fn bin_scan(scan: &WindowScan, bin_ms: i64) -> Vec<f64> {
+    assert!(bin_ms > 0, "bin width must be positive");
+    let (from_ms, to_ms) = (scan.from_ms, scan.to_ms);
+    let nbins = ((to_ms - from_ms).max(0) as usize).div_ceil(bin_ms as usize);
+    let mut bins = vec![0.0f64; nbins];
+    for part in &scan.parts {
+        match part {
+            HourScan::Columnar(b) => {
+                for i in b.range(from_ms, to_ms) {
+                    bins[((b.ts[i] - from_ms) / bin_ms) as usize] += b.amounts[i] as f64;
+                }
+            }
+            HourScan::Rows(events) => {
+                for e in events {
+                    bins[((e.ts_ms - from_ms) / bin_ms) as usize] += e.amount as f64;
+                }
+            }
+        }
+    }
+    bins
+}
 
 /// Bins events into fixed windows over `[from_ms, to_ms)`, summing
 /// amounts: the shared preprocessing step for the series analytics.

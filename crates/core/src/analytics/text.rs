@@ -112,18 +112,40 @@ pub fn tf_idf(messages: &[String]) -> HashMap<String, f64> {
 
 /// Word count over the raw messages of one event type in a window — the
 /// paper's Fig 7 workflow (raw Lustre lines → word bubbles → dead OST).
+///
+/// Closed hours tokenize straight off the columnar raw-message buffer
+/// (zero-copy slices, no per-row `String` materialization); open hours
+/// collect their messages from the row path and count on the engine.
+/// Both merge by summing, so totals are independent of the split.
 pub fn word_count_events(
     fw: &Framework,
     event_type: &str,
     from_ms: i64,
     to_ms: i64,
 ) -> Result<HashMap<String, u64>, DbError> {
-    let messages: Vec<String> = fw
-        .events_by_type(event_type, from_ms, to_ms)?
-        .into_iter()
-        .map(|e| e.raw)
-        .collect();
-    Ok(word_count_parallel(fw, messages))
+    let scan = fw.scan_window(event_type, from_ms, to_ms)?;
+    let mut counts: HashMap<String, u64> = HashMap::new();
+    let mut open_messages: Vec<String> = Vec::new();
+    for part in &scan.parts {
+        match part {
+            crate::columnar::HourScan::Columnar(b) => {
+                for i in b.range(from_ms, to_ms) {
+                    for tok in tokenize(b.raw(i)) {
+                        *counts.entry(tok).or_insert(0) += 1;
+                    }
+                }
+            }
+            crate::columnar::HourScan::Rows(events) => {
+                open_messages.extend(events.iter().map(|e| e.raw.clone()));
+            }
+        }
+    }
+    if !open_messages.is_empty() {
+        for (tok, n) in word_count_parallel(fw, open_messages) {
+            *counts.entry(tok).or_insert(0) += n;
+        }
+    }
+    Ok(counts)
 }
 
 #[cfg(test)]

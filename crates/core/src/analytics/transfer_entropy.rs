@@ -6,7 +6,7 @@
 //! `TE(X→Y) = Σ p(y′, y, x) · log2[ p(y′ | y, x) / p(y′ | y) ]`, estimated
 //! over binarized, binned series with a configurable lag.
 
-use crate::analytics::bin_counts;
+use crate::analytics::bin_scan;
 use crate::framework::Framework;
 use rasdb::error::DbError;
 
@@ -83,10 +83,10 @@ pub fn event_transfer_entropy(
     bin_ms: i64,
     lag: usize,
 ) -> Result<TePair, DbError> {
-    let ex = fw.events_by_type(type_x, from_ms, to_ms)?;
-    let ey = fw.events_by_type(type_y, from_ms, to_ms)?;
-    let x = binarize(&bin_counts(&ex, from_ms, to_ms, bin_ms));
-    let y = binarize(&bin_counts(&ey, from_ms, to_ms, bin_ms));
+    let sx = fw.scan_window(type_x, from_ms, to_ms)?;
+    let sy = fw.scan_window(type_y, from_ms, to_ms)?;
+    let x = binarize(&bin_scan(&sx, bin_ms));
+    let y = binarize(&bin_scan(&sy, bin_ms));
     Ok(TePair {
         x_to_y: transfer_entropy_binary(&x, &y, lag),
         y_to_x: transfer_entropy_binary(&y, &x, lag),
@@ -103,10 +103,10 @@ pub fn te_lag_sweep(
     bin_ms: i64,
     max_lag: usize,
 ) -> Result<Vec<(usize, TePair)>, DbError> {
-    let ex = fw.events_by_type(type_x, from_ms, to_ms)?;
-    let ey = fw.events_by_type(type_y, from_ms, to_ms)?;
-    let x = binarize(&bin_counts(&ex, from_ms, to_ms, bin_ms));
-    let y = binarize(&bin_counts(&ey, from_ms, to_ms, bin_ms));
+    let sx = fw.scan_window(type_x, from_ms, to_ms)?;
+    let sy = fw.scan_window(type_y, from_ms, to_ms)?;
+    let x = binarize(&bin_scan(&sx, bin_ms));
+    let y = binarize(&bin_scan(&sy, bin_ms));
     Ok((1..=max_lag.max(1))
         .map(|lag| {
             (

@@ -1,0 +1,555 @@
+//! Columnar analytics blocks for closed hour partitions.
+//!
+//! Analytics kernels historically re-merged row-oriented partitions and
+//! iterated typed cells on every cold scan. This module gives each
+//! **closed** `(hour, event_type)` partition of `event_by_time` — one
+//! whose hour lies entirely at or below the streaming ingest watermark —
+//! a column-oriented layout instead:
+//!
+//! - `ts`: the timestamp column, contiguous and sorted (rows arrive in
+//!   clustering order `(ts, source)`), carrying a min/max **zone map**
+//!   so whole blocks are skipped when a query window cannot overlap them
+//!   and sub-hour windows binary-search to the exact row range;
+//! - `source_ids` + `dict`: **dictionary-encoded** source locations —
+//!   one `u32` per row into a per-block string dictionary, so kernels
+//!   resolve each distinct cname once per block instead of once per row;
+//! - `amounts`: the `i32` amount column;
+//! - `raw`: every raw message concatenated into one byte buffer with an
+//!   offset column, for zero-copy text analytics.
+//!
+//! Blocks are built **lazily** on the first analytics scan from the same
+//! merged, read-repaired row path every query uses, and cached in a
+//! [`ColumnarStore`] under the block-cache byte budget with exactly the
+//! block cache's invalidation rules (`rasdb/src/cache.rs`): each entry
+//! snapshots the partition's data version and the cluster topology epoch
+//! at read time, and a later lookup whose snapshot disagrees drops the
+//! entry and rebuilds. Open-hour partitions always fall back to the row
+//! path, so cached and uncached responses stay byte-identical (enforced
+//! by the `cache_equivalence` proptest).
+
+use crate::model::event::EventRecord;
+use rasdb::cache::LruCache;
+use rasdb::types::Row;
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use telemetry::{Counter, Gauge};
+
+/// One closed `(hour, event_type)` partition in columnar form.
+///
+/// Built by [`ColumnBlock::build`] from the partition's merged rows in
+/// clustering order, so `ts` is sorted ascending and row `i` of every
+/// column describes the same event.
+#[derive(Debug)]
+pub struct ColumnBlock {
+    /// The hour bucket (`ts / HOUR_MS`) this block covers.
+    pub hour: i64,
+    /// The event type of every row in the block.
+    pub event_type: String,
+    /// Timestamp column, sorted ascending (the clustering order).
+    pub ts: Vec<i64>,
+    /// Dictionary ids into [`ColumnBlock::dict`], one per row.
+    pub source_ids: Vec<u32>,
+    /// The source-location dictionary, in first-appearance order.
+    pub dict: Vec<String>,
+    /// Amount column.
+    pub amounts: Vec<i32>,
+    raw_offsets: Vec<u32>,
+    raw_bytes: Vec<u8>,
+}
+
+impl ColumnBlock {
+    /// Builds a block from a partition's merged rows, mirroring the row
+    /// path's [`EventRecord::from_time_row`] semantics exactly: rows with
+    /// malformed clustering keys are skipped, a missing `amount` defaults
+    /// to 1, and a missing `raw` to the empty string.
+    pub fn build(hour: i64, event_type: &str, rows: &[Row]) -> ColumnBlock {
+        let mut ts = Vec::with_capacity(rows.len());
+        let mut source_ids = Vec::with_capacity(rows.len());
+        let mut amounts = Vec::with_capacity(rows.len());
+        let mut raw_offsets = Vec::with_capacity(rows.len() + 1);
+        let mut raw_bytes = Vec::new();
+        let mut dict: Vec<String> = Vec::new();
+        let mut seen: HashMap<String, u32> = HashMap::new();
+        raw_offsets.push(0);
+        for row in rows {
+            let (Some(t), Some(source)) = (
+                row.clustering.0.first().and_then(|v| v.as_i64()),
+                row.clustering.0.get(1).and_then(|v| v.as_text()),
+            ) else {
+                continue;
+            };
+            let id = *seen.entry(source.to_owned()).or_insert_with(|| {
+                dict.push(source.to_owned());
+                (dict.len() - 1) as u32
+            });
+            ts.push(t);
+            source_ids.push(id);
+            amounts.push(row.cell("amount").and_then(|v| v.as_i64()).unwrap_or(1) as i32);
+            let raw = row
+                .cell("raw")
+                .and_then(|v| v.as_text())
+                .unwrap_or_default();
+            raw_bytes.extend_from_slice(raw.as_bytes());
+            raw_offsets.push(raw_bytes.len() as u32);
+        }
+        debug_assert!(ts.is_sorted(), "clustering order must be ascending");
+        ColumnBlock {
+            hour,
+            event_type: event_type.to_owned(),
+            ts,
+            source_ids,
+            dict,
+            amounts,
+            raw_offsets,
+            raw_bytes,
+        }
+    }
+
+    /// Rows in the block.
+    pub fn len(&self) -> usize {
+        self.ts.len()
+    }
+
+    /// True when the block holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.ts.is_empty()
+    }
+
+    /// Zone-map minimum of the timestamp column (`None` when empty).
+    pub fn min_ts(&self) -> Option<i64> {
+        self.ts.first().copied()
+    }
+
+    /// Zone-map maximum of the timestamp column (`None` when empty).
+    pub fn max_ts(&self) -> Option<i64> {
+        self.ts.last().copied()
+    }
+
+    /// Zone-map overlap test against a half-open window: false means the
+    /// whole block can be skipped without touching a row.
+    pub fn overlaps(&self, from_ms: i64, to_ms: i64) -> bool {
+        match (self.min_ts(), self.max_ts()) {
+            (Some(lo), Some(hi)) => lo < to_ms && hi >= from_ms,
+            _ => false,
+        }
+    }
+
+    /// The row-index range whose timestamps fall in `[from_ms, to_ms)`,
+    /// by binary search on the sorted timestamp column.
+    pub fn range(&self, from_ms: i64, to_ms: i64) -> Range<usize> {
+        let lo = self.ts.partition_point(|&t| t < from_ms);
+        let hi = self.ts.partition_point(|&t| t < to_ms);
+        lo..hi.max(lo)
+    }
+
+    /// The raw message of row `i`, as a zero-copy slice of the
+    /// concatenated message buffer.
+    pub fn raw(&self, i: usize) -> &str {
+        let (a, b) = (
+            self.raw_offsets[i] as usize,
+            self.raw_offsets[i + 1] as usize,
+        );
+        std::str::from_utf8(&self.raw_bytes[a..b]).expect("raw column holds UTF-8 strings")
+    }
+
+    /// Materializes row `i` back into an [`EventRecord`] (allocates; used
+    /// by equivalence tests, not by the kernels).
+    pub fn record(&self, i: usize) -> EventRecord {
+        EventRecord {
+            ts_ms: self.ts[i],
+            event_type: self.event_type.clone(),
+            source: self.dict[self.source_ids[i] as usize].clone(),
+            amount: self.amounts[i],
+            raw: self.raw(i).to_owned(),
+        }
+    }
+
+    /// Bytes the source column would occupy un-encoded (one string per
+    /// row) — the numerator of the dictionary compression ratio.
+    pub fn source_raw_bytes(&self) -> usize {
+        self.source_ids
+            .iter()
+            .map(|&id| self.dict[id as usize].len())
+            .sum()
+    }
+
+    /// Bytes the dictionary-encoded source column occupies (ids plus the
+    /// dictionary itself).
+    pub fn source_encoded_bytes(&self) -> usize {
+        self.source_ids.len() * 4 + self.dict.iter().map(String::len).sum::<usize>()
+    }
+
+    /// Resident byte footprint charged against the store budget.
+    pub fn footprint(&self) -> usize {
+        self.ts.len() * 8
+            + self.source_ids.len() * 4
+            + self.amounts.len() * 4
+            + self.raw_offsets.len() * 4
+            + self.raw_bytes.len()
+            + self.dict.iter().map(|s| s.len() + 24).sum::<usize>()
+            + self.event_type.len()
+            + 64
+    }
+}
+
+/// One hour of a window scan: either a cached columnar block (closed
+/// hour) or the materialized, window-filtered row path (open hour, or
+/// columnar disabled).
+pub enum HourScan {
+    /// A closed hour served from a columnar block. The block covers the
+    /// *whole* hour; kernels narrow to the query window with
+    /// [`ColumnBlock::range`].
+    Columnar(Arc<ColumnBlock>),
+    /// An open hour served by the row path, already filtered to the
+    /// query window.
+    Rows(Vec<EventRecord>),
+}
+
+/// The result of [`crate::framework::Framework::scan_window`]: per-hour
+/// scan parts in hour order, with zone-map-skipped blocks already
+/// removed.
+pub struct WindowScan {
+    /// Window start (inclusive).
+    pub from_ms: i64,
+    /// Window end (exclusive).
+    pub to_ms: i64,
+    /// Surviving per-hour parts, ascending by hour.
+    pub parts: Vec<HourScan>,
+}
+
+impl WindowScan {
+    /// Materializes every in-window event in hour/clustering order —
+    /// byte-equivalent to the row path's
+    /// [`crate::framework::Framework::events_by_type`]. Allocates one
+    /// record per row; used by equivalence tests, not by the kernels.
+    pub fn records(&self) -> Vec<EventRecord> {
+        let mut out = Vec::new();
+        for part in &self.parts {
+            match part {
+                HourScan::Columnar(b) => {
+                    out.extend(b.range(self.from_ms, self.to_ms).map(|i| b.record(i)));
+                }
+                HourScan::Rows(events) => out.extend(events.iter().cloned()),
+            }
+        }
+        out
+    }
+}
+
+struct StoreEntry {
+    block: Arc<ColumnBlock>,
+    version: u64,
+    epoch: u64,
+}
+
+fn block_key(hour: i64, event_type: &str) -> Vec<u8> {
+    let mut key = Vec::with_capacity(24 + event_type.len());
+    key.extend_from_slice(b"event_by_time\x1f");
+    key.extend_from_slice(&hour.to_be_bytes());
+    key.push(0x1f);
+    key.extend_from_slice(event_type.as_bytes());
+    key
+}
+
+/// A point-in-time snapshot of [`ColumnarStore`] activity, served by the
+/// `storage` engine op / `GET /v1/storage`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColumnarStats {
+    /// Blocks built from the row path since boot.
+    pub blocks_built: u64,
+    /// Blocks currently resident in the cache.
+    pub blocks_resident: u64,
+    /// Blocks evicted by the LRU byte budget (including budget shrinks).
+    pub blocks_evicted: u64,
+    /// Blocks dropped because their data-version or topology-epoch
+    /// snapshot went stale.
+    pub invalidations: u64,
+    /// Lookup hits.
+    pub hits: u64,
+    /// Lookup misses (including stale drops).
+    pub misses: u64,
+    /// Whole blocks skipped by the timestamp zone map.
+    pub zone_skips: u64,
+    /// Bytes currently resident.
+    pub bytes_resident: u64,
+    /// The configured byte budget (0 = columnar disabled).
+    pub bytes_budget: u64,
+    /// Bytes the source columns of every built block would occupy
+    /// un-encoded.
+    pub dict_raw_bytes: u64,
+    /// Bytes those source columns occupy dictionary-encoded.
+    pub dict_encoded_bytes: u64,
+}
+
+impl ColumnarStats {
+    /// Dictionary compression ratio (`raw / encoded`; 1.0 before any
+    /// block is built).
+    pub fn dict_compression(&self) -> f64 {
+        if self.dict_encoded_bytes == 0 {
+            1.0
+        } else {
+            self.dict_raw_bytes as f64 / self.dict_encoded_bytes as f64
+        }
+    }
+}
+
+/// The lazily-populated cache of [`ColumnBlock`]s, LRU-bounded by the
+/// block-cache byte budget and invalidated by per-partition data
+/// versions plus the cluster topology epoch — the same rules the rasdb
+/// partition-block cache applies.
+pub struct ColumnarStore {
+    cache: Mutex<LruCache<StoreEntry>>,
+    built: AtomicU64,
+    evicted: AtomicU64,
+    invalidated: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    zone_skips: AtomicU64,
+    dict_raw: AtomicU64,
+    dict_encoded: AtomicU64,
+    t_built: Arc<Counter>,
+    t_evictions: Arc<Counter>,
+    t_invalidations: Arc<Counter>,
+    t_hits: Arc<Counter>,
+    t_misses: Arc<Counter>,
+    t_zone_skips: Arc<Counter>,
+    t_bytes: Arc<Gauge>,
+}
+
+impl ColumnarStore {
+    /// Creates a store with the given byte budget (0 disables columnar
+    /// blocks entirely: every scan falls back to the row path).
+    pub fn new(budget: usize) -> ColumnarStore {
+        let t = telemetry::global();
+        ColumnarStore {
+            cache: Mutex::new(LruCache::new(budget)),
+            built: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+            invalidated: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            zone_skips: AtomicU64::new(0),
+            dict_raw: AtomicU64::new(0),
+            dict_encoded: AtomicU64::new(0),
+            t_built: t.counter("rasdb.columnar.blocks_built"),
+            t_evictions: t.counter("rasdb.columnar.evictions"),
+            t_invalidations: t.counter("rasdb.columnar.invalidations"),
+            t_hits: t.counter("rasdb.columnar.hits"),
+            t_misses: t.counter("rasdb.columnar.misses"),
+            t_zone_skips: t.counter("rasdb.columnar.zone_skips"),
+            t_bytes: t.gauge("rasdb.columnar.bytes_resident"),
+        }
+    }
+
+    /// True when a non-zero budget is configured.
+    pub fn enabled(&self) -> bool {
+        self.cache.lock().unwrap().budget() > 0
+    }
+
+    /// Looks up the block for `(hour, event_type)`, validating the cached
+    /// data-version and topology-epoch snapshots against the caller's
+    /// current view. A stale entry is dropped (lazy invalidation) and
+    /// reported as a miss.
+    pub fn get(
+        &self,
+        hour: i64,
+        event_type: &str,
+        version: u64,
+        epoch: u64,
+    ) -> Option<Arc<ColumnBlock>> {
+        let key = block_key(hour, event_type);
+        let mut cache = self.cache.lock().unwrap();
+        let probe = match cache.get(&key) {
+            Some(e) if e.version == version && e.epoch == epoch => Some(Arc::clone(&e.block)),
+            Some(_) => None,
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.t_misses.incr(1);
+                return None;
+            }
+        };
+        match probe {
+            Some(block) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.t_hits.incr(1);
+                Some(block)
+            }
+            None => {
+                cache.remove(&key);
+                self.t_bytes.set(cache.used_bytes() as i64);
+                self.invalidated.fetch_add(1, Ordering::Relaxed);
+                self.t_invalidations.incr(1);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.t_misses.incr(1);
+                None
+            }
+        }
+    }
+
+    /// Caches a freshly built block under the version/epoch snapshot
+    /// taken *before* its source rows were read. Oversized blocks (bigger
+    /// than the whole budget) are simply not retained.
+    pub fn insert(&self, block: Arc<ColumnBlock>, version: u64, epoch: u64) {
+        self.built.fetch_add(1, Ordering::Relaxed);
+        self.t_built.incr(1);
+        self.dict_raw
+            .fetch_add(block.source_raw_bytes() as u64, Ordering::Relaxed);
+        self.dict_encoded
+            .fetch_add(block.source_encoded_bytes() as u64, Ordering::Relaxed);
+        let key = block_key(block.hour, &block.event_type);
+        let bytes = block.footprint();
+        let mut cache = self.cache.lock().unwrap();
+        let evicted = cache.insert(
+            key,
+            StoreEntry {
+                block,
+                version,
+                epoch,
+            },
+            bytes,
+        );
+        self.evicted.fetch_add(evicted, Ordering::Relaxed);
+        self.t_evictions.incr(evicted);
+        self.t_bytes.set(cache.used_bytes() as i64);
+    }
+
+    /// Changes the byte budget at runtime, evicting LRU-first down to the
+    /// new limit; returns how many blocks were evicted.
+    pub fn set_budget(&self, budget: usize) -> u64 {
+        let mut cache = self.cache.lock().unwrap();
+        let evicted = cache.set_budget(budget);
+        self.evicted.fetch_add(evicted, Ordering::Relaxed);
+        self.t_evictions.incr(evicted);
+        self.t_bytes.set(cache.used_bytes() as i64);
+        evicted
+    }
+
+    /// Records one zone-map block skip.
+    pub fn note_zone_skip(&self) {
+        self.zone_skips.fetch_add(1, Ordering::Relaxed);
+        self.t_zone_skips.incr(1);
+    }
+
+    /// Snapshot of the store's counters and residency.
+    pub fn stats(&self) -> ColumnarStats {
+        let cache = self.cache.lock().unwrap();
+        ColumnarStats {
+            blocks_built: self.built.load(Ordering::Relaxed),
+            blocks_resident: cache.len() as u64,
+            blocks_evicted: self.evicted.load(Ordering::Relaxed),
+            invalidations: self.invalidated.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            zone_skips: self.zone_skips.load(Ordering::Relaxed),
+            bytes_resident: cache.used_bytes() as u64,
+            bytes_budget: cache.budget() as u64,
+            dict_raw_bytes: self.dict_raw.load(Ordering::Relaxed),
+            dict_encoded_bytes: self.dict_encoded.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rasdb::types::{Key, Value};
+
+    fn row(ts: i64, source: &str, amount: i64, raw: &str) -> Row {
+        Row {
+            clustering: Key(vec![Value::Timestamp(ts), Value::text(source)]),
+            cells: [
+                ("amount".to_owned(), Value::BigInt(amount)),
+                ("raw".to_owned(), Value::text(raw)),
+            ]
+            .into_iter()
+            .collect(),
+        }
+    }
+
+    fn block() -> ColumnBlock {
+        ColumnBlock::build(
+            0,
+            "MCE",
+            &[
+                row(100, "c0-0c0s0n0", 1, "mce bank 1"),
+                row(200, "c0-0c0s1n2", 2, "mce bank 2"),
+                row(300, "c0-0c0s0n0", 3, "mce bank 3"),
+            ],
+        )
+    }
+
+    #[test]
+    fn build_dictionary_encodes_sources_and_keeps_order() {
+        let b = block();
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.ts, vec![100, 200, 300]);
+        assert_eq!(b.dict, vec!["c0-0c0s0n0", "c0-0c0s1n2"]);
+        assert_eq!(b.source_ids, vec![0, 1, 0]);
+        assert_eq!(b.amounts, vec![1, 2, 3]);
+        assert_eq!(b.raw(1), "mce bank 2");
+        assert_eq!(b.record(2).source, "c0-0c0s0n0");
+        assert!(b.source_raw_bytes() >= b.dict.iter().map(String::len).sum());
+    }
+
+    #[test]
+    fn zone_map_and_range_respect_half_open_windows() {
+        let b = block();
+        assert_eq!((b.min_ts(), b.max_ts()), (Some(100), Some(300)));
+        assert!(b.overlaps(0, 101));
+        assert!(!b.overlaps(0, 100), "to is exclusive");
+        assert!(b.overlaps(300, 400), "from is inclusive");
+        assert!(!b.overlaps(301, 400));
+        assert_eq!(b.range(100, 300), 0..2);
+        assert_eq!(b.range(150, 1000), 1..3);
+        assert_eq!(b.range(400, 500), 3..3);
+        let empty = ColumnBlock::build(0, "MCE", &[]);
+        assert!(!empty.overlaps(i64::MIN, i64::MAX));
+    }
+
+    #[test]
+    fn malformed_rows_are_skipped_like_the_row_path() {
+        let bad = Row {
+            clustering: Key(vec![Value::text("not a ts")]),
+            cells: Default::default(),
+        };
+        let b = ColumnBlock::build(0, "MCE", &[bad, row(5, "n0", 1, "x")]);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.ts, vec![5]);
+    }
+
+    #[test]
+    fn store_validates_version_and_epoch_snapshots() {
+        let store = ColumnarStore::new(1 << 20);
+        store.insert(Arc::new(block()), 3, 7);
+        assert!(store.get(0, "MCE", 3, 7).is_some());
+        // Data-version bump → stale → dropped and rebuilt by the caller.
+        assert!(store.get(0, "MCE", 4, 7).is_none());
+        assert!(store.get(0, "MCE", 3, 7).is_none(), "stale entry dropped");
+        store.insert(Arc::new(block()), 4, 7);
+        // Topology-epoch bump behaves identically.
+        assert!(store.get(0, "MCE", 4, 8).is_none());
+        let s = store.stats();
+        assert_eq!(s.blocks_built, 2);
+        assert_eq!(s.invalidations, 2);
+        assert_eq!(s.hits, 1);
+        assert!(s.misses >= 3);
+    }
+
+    #[test]
+    fn store_budget_bounds_residency() {
+        let store = ColumnarStore::new(1 << 20);
+        for h in 0..8 {
+            let mut b = block();
+            b.hour = h;
+            store.insert(Arc::new(b), 1, 1);
+        }
+        assert_eq!(store.stats().blocks_resident, 8);
+        let evicted = store.set_budget(1);
+        assert_eq!(evicted, 8, "shrinking the budget evicts LRU-first");
+        assert_eq!(store.stats().blocks_resident, 0);
+        assert_eq!(store.stats().bytes_resident, 0);
+        assert!(!ColumnarStore::new(0).enabled());
+    }
+}

@@ -1,7 +1,9 @@
 //! The framework facade: a co-located storage + compute cluster plus the
 //! message bus, schema, and machine description.
 
+use crate::columnar::{ColumnBlock, ColumnarStore, HourScan, WindowScan};
 use crate::model::event::EventRecord;
+use crate::model::keys::HOUR_MS;
 use crate::model::{apprun::AppRun, keys, nodeinfo, tables};
 use crate::server::cache::ResultCache;
 use logbus::Broker;
@@ -71,6 +73,7 @@ pub struct Framework {
     consistency: Consistency,
     remote_link_bytes_per_sec: Option<u64>,
     result_cache: Arc<ResultCache>,
+    columnar: ColumnarStore,
     /// Highest timestamp streaming ingestion has committed through;
     /// `i64::MIN` until the first commit. Windows ending past this are
     /// "open": cached results for them are dropped on every commit.
@@ -122,6 +125,7 @@ impl Framework {
             consistency: cfg.consistency,
             remote_link_bytes_per_sec: cfg.remote_link_bytes_per_sec,
             result_cache: Arc::new(ResultCache::new(cfg.result_cache_bytes)),
+            columnar: ColumnarStore::new(cfg.block_cache_bytes),
             ingest_watermark: AtomicI64::new(i64::MIN),
         })
     }
@@ -154,6 +158,12 @@ impl Framework {
     /// The analytics result cache (see [`crate::server::cache`]).
     pub fn result_cache(&self) -> &Arc<ResultCache> {
         &self.result_cache
+    }
+
+    /// The columnar block store (see [`crate::columnar`]). Shares the
+    /// block-cache byte budget; a zero budget disables columnar scans.
+    pub fn columnar(&self) -> &ColumnarStore {
+        &self.columnar
     }
 
     /// The streaming ingest watermark: every event at or below this
@@ -272,6 +282,108 @@ impl Framework {
             .filter_map(|r| EventRecord::from_time_row(event_type, r))
             .filter(|e| e.ts_ms >= from_ms && e.ts_ms < to_ms)
             .collect())
+    }
+
+    /// Columnar analytics scan of one event type over `[from_ms, to_ms)`.
+    ///
+    /// Every **closed** hour — one whose end sits at or below the ingest
+    /// watermark — is served from a cached [`ColumnBlock`], lazily built
+    /// from the merged read-repaired row path on first touch and
+    /// validated against the partition's data version and the topology
+    /// epoch (both snapshotted *before* the rows are read, exactly like
+    /// the rasdb block cache). Blocks whose timestamp zone map cannot
+    /// overlap the window are skipped without touching a row. All
+    /// uncached closed hours are fetched in one [`Cluster::read_multi`]
+    /// scatter. Open hours — and every hour when the columnar budget is
+    /// zero — fall back to [`Framework::scan_events_rdd`], the
+    /// locality-pinned MapReduce path, so live data keeps the paper's
+    /// co-location behavior; the watermark is a single cut, so open
+    /// hours are always a contiguous tail of the window and one RDD scan
+    /// covers them. Results are byte-identical to
+    /// [`Framework::events_by_type`] in all cases.
+    pub fn scan_window(
+        &self,
+        event_type: &str,
+        from_ms: i64,
+        to_ms: i64,
+    ) -> Result<WindowScan, DbError> {
+        let watermark = self.ingest_watermark();
+        let epoch = self.cluster.topology_epoch();
+        let columnar_on = self.columnar.enabled();
+        struct Pending {
+            slot: usize,
+            hour: i64,
+            version: u64,
+        }
+        let mut slots: Vec<Option<HourScan>> = Vec::new();
+        let mut pending: Vec<Pending> = Vec::new();
+        let mut plans: Vec<ReadPlan> = Vec::new();
+        let mut open_from: Option<i64> = None;
+        for hour in keys::hours_in(from_ms, to_ms) {
+            let hour_end = hour.saturating_add(1).saturating_mul(HOUR_MS);
+            if !(columnar_on && hour_end <= watermark) {
+                // First open hour: every later hour is open too, so the
+                // rest of the window goes to the RDD scan in one piece.
+                open_from = Some(from_ms.max(hour.saturating_mul(HOUR_MS)));
+                break;
+            }
+            let slot = slots.len();
+            slots.push(None);
+            let partition = Key(vec![Value::BigInt(hour), Value::text(event_type)]);
+            let version = self.cluster.data_version("event_by_time", &partition);
+            if let Some(block) = self.columnar.get(hour, event_type, version, epoch) {
+                if block.overlaps(from_ms, to_ms) {
+                    slots[slot] = Some(HourScan::Columnar(block));
+                } else {
+                    self.columnar.note_zone_skip();
+                }
+                continue;
+            }
+            pending.push(Pending {
+                slot,
+                hour,
+                version,
+            });
+            plans.push(ReadPlan {
+                table: "event_by_time".to_owned(),
+                partition,
+                range: full_range(),
+                limit: None,
+                descending: false,
+            });
+        }
+        if !plans.is_empty() {
+            let batches = self.cluster.read_multi(&plans, self.consistency)?;
+            for (p, rows) in pending.iter().zip(batches) {
+                let block = Arc::new(ColumnBlock::build(p.hour, event_type, &rows));
+                self.columnar.insert(Arc::clone(&block), p.version, epoch);
+                if block.overlaps(from_ms, to_ms) {
+                    slots[p.slot] = Some(HourScan::Columnar(block));
+                } else {
+                    self.columnar.note_zone_skip();
+                }
+            }
+        }
+        let mut parts: Vec<HourScan> = slots.into_iter().flatten().collect();
+        if let Some(lo) = open_from {
+            // One RDD scan covers the whole open tail; split the collected
+            // events (hour-ordered by partition order) back into per-hour
+            // parts to keep the one-part-per-hour contract.
+            let events = self.scan_events_rdd(event_type, lo, to_ms).collect();
+            let mut rest = events.into_iter().peekable();
+            for hour in keys::hours_in(lo, to_ms) {
+                let mut run = Vec::new();
+                while rest.peek().is_some_and(|e| keys::hour_of(e.ts_ms) == hour) {
+                    run.push(rest.next().expect("peeked"));
+                }
+                parts.push(HourScan::Rows(run));
+            }
+        }
+        Ok(WindowScan {
+            from_ms,
+            to_ms,
+            parts,
+        })
     }
 
     /// Driver-side read of everything one source reported in a window —
@@ -404,7 +516,7 @@ impl Framework {
     /// Human-readable table of every instrument in the global telemetry
     /// registry (counters, gauges, and latency histograms with
     /// p50/p95/p99/max). For the machine-readable form use the `metrics`
-    /// query op or `GET /metrics`.
+    /// query op or `GET /v1/metrics`.
     pub fn telemetry_report(&self) -> String {
         telemetry::global().render_table()
     }
@@ -572,6 +684,110 @@ mod tests {
         assert_eq!(fw.apps_by_time(0, 3 * HOUR_MS).unwrap(), vec![run.clone()]);
         assert_eq!(fw.apps_by_location(run.head_cabinet()).unwrap(), vec![run]);
         assert!(fw.apps_by_user("nobody").unwrap().is_empty());
+    }
+
+    /// The whole-window scan must materialize byte-identically to the
+    /// row path across the closed/open split.
+    #[test]
+    fn scan_window_matches_row_path_across_the_watermark() {
+        let fw = small();
+        for h in 0..3i64 {
+            for i in 0..12 {
+                fw.insert_event(&ev(
+                    h * HOUR_MS + i * 5 * 60_000,
+                    "MCE",
+                    &format!("c0-0c0s{}n1", i % 4),
+                ))
+                .unwrap();
+            }
+        }
+        // Hours 0 and 1 closed, hour 2 open.
+        fw.note_ingest_commit(2 * HOUR_MS);
+        let scan = fw.scan_window("MCE", 30 * 60_000, 3 * HOUR_MS).unwrap();
+        assert_eq!(scan.parts.len(), 3);
+        assert!(matches!(scan.parts[0], HourScan::Columnar(_)));
+        assert!(matches!(scan.parts[1], HourScan::Columnar(_)));
+        assert!(
+            matches!(scan.parts[2], HourScan::Rows(_)),
+            "the open hour stays on the row path"
+        );
+        let rows = fw.events_by_type("MCE", 30 * 60_000, 3 * HOUR_MS).unwrap();
+        assert_eq!(scan.records(), rows);
+        // A warm rescan answers from the cache, still identically.
+        assert!(fw.columnar().stats().hits == 0);
+        let warm = fw.scan_window("MCE", 30 * 60_000, 3 * HOUR_MS).unwrap();
+        assert_eq!(warm.records(), rows);
+        assert_eq!(fw.columnar().stats().hits, 2);
+        // A write into a closed hour bumps its data version: the stale
+        // block is dropped and rebuilt lazily.
+        fw.insert_event(&ev(500, "MCE", "c0-0c0s0n0")).unwrap();
+        let repaired = fw.scan_window("MCE", 0, 3 * HOUR_MS).unwrap();
+        assert_eq!(
+            repaired.records(),
+            fw.events_by_type("MCE", 0, 3 * HOUR_MS).unwrap()
+        );
+        assert!(fw.columnar().stats().invalidations >= 1);
+    }
+
+    /// Zone-map edge cases: empty windows produce no parts, blocks that
+    /// cannot overlap the window are skipped without a scan, and the hour
+    /// containing the watermark itself is still open.
+    #[test]
+    fn scan_window_zone_map_edges() {
+        let fw = small();
+        // Events only in the first 10 minutes of hour 0.
+        for i in 0..10 {
+            fw.insert_event(&ev(i * 60_000, "GPU_DBE", "c0-0c0s0n0"))
+                .unwrap();
+        }
+        fw.note_ingest_commit(2 * HOUR_MS);
+        // Empty window (from == to): no hours, no parts.
+        assert!(fw
+            .scan_window("GPU_DBE", HOUR_MS, HOUR_MS)
+            .unwrap()
+            .parts
+            .is_empty());
+        // Prime the hour-0 block with a full scan.
+        let full = fw.scan_window("GPU_DBE", 0, HOUR_MS).unwrap();
+        assert_eq!(full.records().len(), 10);
+        let skips = fw.columnar().stats().zone_skips;
+        // A late sub-window of hour 0 misses the block's [0, 9min] zone
+        // map entirely: the block is skipped, nothing is scanned.
+        let late = fw.scan_window("GPU_DBE", 30 * 60_000, HOUR_MS).unwrap();
+        assert!(late.parts.is_empty());
+        assert!(late.records().is_empty());
+        assert_eq!(fw.columnar().stats().zone_skips, skips + 1);
+        // Window edges inside the block binary-search to exact rows.
+        let edge = fw.scan_window("GPU_DBE", 60_000, 4 * 60_000).unwrap();
+        assert_eq!(
+            edge.records(),
+            fw.events_by_type("GPU_DBE", 60_000, 4 * 60_000).unwrap()
+        );
+        // The watermark sits exactly on the hour-2 boundary: hour 2 ends
+        // past it, so it is open and served by rows even when empty.
+        let boundary = fw.scan_window("GPU_DBE", 2 * HOUR_MS, 3 * HOUR_MS).unwrap();
+        assert_eq!(boundary.parts.len(), 1);
+        assert!(matches!(boundary.parts[0], HourScan::Rows(_)));
+    }
+
+    /// With a zero budget the store is disabled and every hour — closed
+    /// or not — stays on the row path.
+    #[test]
+    fn zero_budget_disables_columnar_scans() {
+        let fw = Framework::new(FrameworkConfig {
+            db_nodes: 2,
+            replication_factor: 1,
+            vnodes: 4,
+            topology: Topology::scaled(1, 1),
+            block_cache_bytes: 0,
+            ..Default::default()
+        })
+        .unwrap();
+        fw.insert_event(&ev(5, "MCE", "c0-0c0s0n0")).unwrap();
+        fw.note_ingest_commit(HOUR_MS);
+        let scan = fw.scan_window("MCE", 0, HOUR_MS).unwrap();
+        assert!(matches!(scan.parts[0], HourScan::Rows(_)));
+        assert_eq!(fw.columnar().stats().blocks_built, 0);
     }
 
     #[test]

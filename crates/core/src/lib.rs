@@ -44,6 +44,7 @@
 //! ```
 
 pub mod analytics;
+pub mod columnar;
 pub mod context;
 pub mod etl;
 pub mod framework;

@@ -2,8 +2,8 @@
 //! the typed query layer.
 //!
 //! Entries store an op's canonical `data` fields — never the envelope —
-//! so `"compat": true` requests share entries with v1 requests (the
-//! envelope and any flat mirror are re-assembled per response). Each
+//! which is re-assembled per response, so any request producing the same
+//! canonical form shares one entry. Each
 //! entry carries the `(table, partition)` pairs the answer was computed
 //! from, the cluster data version of each at snapshot time, and the
 //! topology epoch. Validation is lazy: every hit re-checks those tags, so

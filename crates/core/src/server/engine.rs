@@ -40,7 +40,7 @@ pub struct QueryEngine {
 /// code (200 on success), and the retry hint to mirror into a
 /// `Retry-After` header when present.
 pub struct EngineResponse {
-    /// The v1 envelope, serialized.
+    /// The v2 envelope, serialized.
     pub body: String,
     /// [`ErrorCode::http_status`] of the error, or 200.
     pub status: u16,
@@ -89,9 +89,8 @@ impl QueryEngine {
     }
 
     /// Handles one JSON request string; always returns a JSON response
-    /// in the v1 envelope format (`v`, `status`, `data`/`error`, `page`,
-    /// `trace_id`; flat legacy mirrors only when the request carries
-    /// `"compat": true`).
+    /// in the v2 envelope format (`v`, `status`, `data`/`error`, `page`,
+    /// `trace_id`).
     pub fn handle(&self, request: &str) -> String {
         self.handle_traced(request, None)
     }
@@ -114,16 +113,15 @@ impl QueryEngine {
         let parsed = jsonlite::parse(request);
         let parse_ns = elapsed_ns(t_start);
 
-        let (trace, profiled, compat) = match &parsed {
+        let (trace, profiled) = match &parsed {
             Ok(body) => (
                 body["trace_id"]
                     .as_str()
                     .and_then(TraceContext::parse_hex)
                     .or(adopted),
                 body["profile"].as_bool() == Some(true),
-                body["compat"].as_bool() == Some(true),
             ),
-            Err(_) => (adopted, false, false),
+            Err(_) => (adopted, false),
         };
         let ctx = match trace {
             Some(t) => TraceContext::adopt(t),
@@ -142,13 +140,13 @@ impl QueryEngine {
             match &parsed {
                 Err(e) => {
                     let api = ApiError::new(ErrorCode::BadJson, format!("bad JSON: {e}"));
-                    let env = envelope_err(&api, false);
+                    let env = envelope_err(&api);
                     error = Some(api);
                     env
                 }
                 Ok(body) => match QueryRequest::parse(body) {
                     Err(e) => {
-                        let env = envelope_err(&e, compat);
+                        let env = envelope_err(&e);
                         error = Some(e);
                         env
                     }
@@ -156,9 +154,9 @@ impl QueryEngine {
                         op = req.op.clone();
                         span.tag("op", &req.op);
                         match self.dispatch(&req) {
-                            Ok(out) => envelope_ok(out, compat),
+                            Ok(out) => envelope_ok(out),
                             Err(e) => {
-                                let env = envelope_err(&e, compat);
+                                let env = envelope_err(&e);
                                 error = Some(e);
                                 env
                             }
@@ -280,6 +278,7 @@ impl QueryEngine {
             "dlq" => self.op_dlq(req),
             "dlq_requeue" => self.op_dlq_requeue(req),
             "metrics" => self.op_metrics(req),
+            "storage" => self.op_storage(req),
             "slow_queries" => self.op_slow_queries(req),
             "health" => self.op_health(req),
             "trace" => Ok(OpOutput::data([(
@@ -874,6 +873,30 @@ impl QueryEngine {
         Ok(out)
     }
 
+    /// Columnar analytics storage stats: blocks built/resident/evicted,
+    /// byte residency against the budget, dictionary compression, and
+    /// zone-map skip counts. Never cached — it *is* the cache readout.
+    fn op_storage(&self, _req: &QueryRequest) -> Result<OpOutput, ApiError> {
+        let s = self.fw.columnar().stats();
+        Ok(OpOutput::data([
+            ("blocks_built", Json::from(s.blocks_built as i64)),
+            ("blocks_evicted", Json::from(s.blocks_evicted as i64)),
+            ("blocks_resident", Json::from(s.blocks_resident as i64)),
+            ("bytes_budget", Json::from(s.bytes_budget as i64)),
+            ("bytes_resident", Json::from(s.bytes_resident as i64)),
+            ("dict_compression", Json::from(s.dict_compression())),
+            (
+                "dict_encoded_bytes",
+                Json::from(s.dict_encoded_bytes as i64),
+            ),
+            ("dict_raw_bytes", Json::from(s.dict_raw_bytes as i64)),
+            ("hits", Json::from(s.hits as i64)),
+            ("invalidations", Json::from(s.invalidations as i64)),
+            ("misses", Json::from(s.misses as i64)),
+            ("zone_skips", Json::from(s.zone_skips as i64)),
+        ]))
+    }
+
     /// Flight-recorder readout: the most recent slow queries, newest
     /// first. An optional `threshold_ms` field re-arms the recorder (0
     /// captures every request); `max` caps the returned rows (default 32).
@@ -945,7 +968,7 @@ impl QueryEngine {
                 })),
             ),
             // `overall`, not `status`: the envelope already owns that
-            // name, and compat mirroring must never clobber it.
+            // name.
             ("overall", Json::from(status)),
             (
                 "window_ms",
@@ -985,7 +1008,7 @@ impl QueryEngine {
 /// realistic field value). Keys are built *after* validation, from the
 /// typed [`QueryRequest`] fields — never from the raw body — so requests
 /// that produce identical answers share one entry regardless of field
-/// order, whitespace, or `compat`.
+/// order or whitespace.
 fn cache_key(parts: &[&str]) -> Vec<u8> {
     parts.join("\x1f").into_bytes()
 }
@@ -1130,6 +1153,7 @@ fn known_op(op: &str) -> bool {
             | "dlq"
             | "dlq_requeue"
             | "metrics"
+            | "storage"
             | "slow_queries"
             | "health"
             | "trace"
@@ -1215,7 +1239,7 @@ mod tests {
     fn events_roundtrip_through_json() {
         let e = engine();
         let resp = call(&e, r#"{"op":"events","type":"MCE","from":0,"to":3600000}"#);
-        assert_eq!(resp["v"].as_i64(), Some(1));
+        assert_eq!(resp["v"].as_i64(), Some(2), "the envelope-v2 cut");
         assert_eq!(resp["status"].as_str(), Some("ok"));
         assert_eq!(resp["data"]["rows"].as_array().unwrap().len(), 10);
         assert_eq!(resp["data"]["rows"][0]["type"].as_str(), Some("MCE"));
@@ -1223,17 +1247,8 @@ mod tests {
             .as_str()
             .unwrap()
             .contains("bank"));
-        assert!(resp["rows"].is_null(), "no flat mirror without compat");
-        assert!(resp["deprecated"].is_null());
-        // `"compat": true` additionally mirrors every data field flat and
-        // lists the mirrors as deprecated.
-        let resp = call(
-            &e,
-            r#"{"op":"events","type":"MCE","from":0,"to":3600000,"compat":true}"#,
-        );
-        assert_eq!(resp["rows"].as_array().unwrap().len(), 10);
-        assert_eq!(resp["data"]["rows"].as_array().unwrap().len(), 10);
-        assert_eq!(resp["deprecated"][0].as_str(), Some("rows"));
+        assert!(resp["rows"].is_null(), "flat mirrors are gone since v2");
+        assert!(resp["deprecated"].is_null(), "so is the deprecated list");
     }
 
     #[test]
@@ -1326,11 +1341,8 @@ mod tests {
             assert_eq!(resp["status"].as_str(), Some("error"), "{req}");
             assert_eq!(resp["error"]["code"].as_str(), Some(code), "{req}");
             assert!(!resp["error"]["message"].as_str().unwrap().is_empty());
-            assert!(resp["message"].is_null(), "no flat mirror without compat");
+            assert!(resp["message"].is_null(), "flat error mirror gone in v2");
         }
-        // With compat, errors also mirror `message` flat.
-        let resp = call(&e, r#"{"op":"zap","compat":true}"#);
-        assert_eq!(resp["message"].as_str(), resp["error"]["message"].as_str());
     }
 
     #[test]
@@ -1575,14 +1587,13 @@ mod tests {
         let second = strip_trace(&e.handle(req));
         assert_eq!(first, second, "cached response is byte-identical");
         assert_eq!(e.framework().result_cache().stats().hits(), hits0 + 1);
-        // An equivalent request with different field order and an
-        // unrelated compat flag shares the entry (canonical keys)...
-        let compat =
-            e.handle(r#"{"compat":true,"to":3600000,"from":0,"type":"MCE","op":"heatmap"}"#);
+        // An equivalent request with different field order shares the
+        // entry (canonical keys)...
+        let reordered = e.handle(r#"{"to":3600000,"from":0,"type":"MCE","op":"heatmap"}"#);
         assert_eq!(e.framework().result_cache().stats().hits(), hits0 + 2);
-        let compat = jsonlite::parse(&compat).unwrap();
-        assert_eq!(compat["data"]["total"].as_f64(), Some(10.0));
-        assert_eq!(compat["total"].as_f64(), Some(10.0), "mirrored flat");
+        let reordered = jsonlite::parse(&reordered).unwrap();
+        assert_eq!(reordered["data"]["total"].as_f64(), Some(10.0));
+        assert!(reordered["total"].is_null(), "flat mirrors gone in v2");
         // ...and new data in the window invalidates lazily.
         e.framework()
             .insert_event(&EventRecord {

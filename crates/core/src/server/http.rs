@@ -27,7 +27,7 @@
 //! # Admission control
 //!
 //! Before a request reaches the engine it passes two gates, shed with
-//! typed v1 envelopes and a mirrored `Retry-After` header:
+//! typed v2 envelopes and a mirrored `Retry-After` header:
 //!
 //! * a per-client token bucket (keyed by `X-Client-Id`, else the peer
 //!   IP) → `429` / `RATE_LIMITED` with `error.retry_after_ms` telling the
@@ -43,14 +43,14 @@
 //! # Routes
 //!
 //! `POST /v1/query` is the query endpoint; `GET /v1/{metrics,trace,
-//! slow_queries,healthz,topology}` alias the corresponding ops. Legacy
-//! paths (`/query`, `/metrics`, `/trace`, `/slow_queries`, `/healthz`,
-//! `/health`) still answer but set a `Deprecation: true` header; their
-//! removal schedule is noted in CHANGES.md. Every failure produced by
-//! this layer — malformed JSON, unknown path, wrong method, oversized
-//! body, header-read timeout, shed load — is a v1 envelope with a typed
-//! `error.code`, a `trace_id`, and the HTTP status from
-//! [`ErrorCode::http_status`].
+//! slow_queries,storage,healthz,topology}` alias the corresponding ops.
+//! The pre-v1 paths (`/query`, `/metrics`, `/trace`, `/slow_queries`,
+//! `/healthz`, `/health`) were removed in the v2 envelope cut: they now
+//! answer `404` with a typed `NOT_FOUND` envelope naming the `/v1/*`
+//! replacement. Every failure produced by this layer — malformed JSON,
+//! unknown path, wrong method, oversized body, header-read timeout, shed
+//! load — is a v2 envelope with a typed `error.code`, a `trace_id`, and
+//! the HTTP status from [`ErrorCode::http_status`].
 
 use crate::server::engine::QueryEngine;
 use crate::server::request::{envelope_err, ApiError, ErrorCode};
@@ -593,8 +593,6 @@ struct Reply {
     body: String,
     /// Mirrored into a `Retry-After` header (seconds, rounded up).
     retry_after_ms: Option<u64>,
-    /// Sets `Deprecation: true` (legacy route aliases).
-    deprecated: bool,
     /// `Allow` header for 405s.
     allow: Option<&'static str>,
     /// Force `Connection: close` (e.g. unread body bytes on the socket).
@@ -607,30 +605,23 @@ impl Reply {
             status,
             body,
             retry_after_ms: None,
-            deprecated: false,
             allow: None,
             close: false,
         }
     }
 
-    /// A typed v1 error envelope with a `trace_id`, status from
+    /// A typed v2 error envelope with a `trace_id`, status from
     /// [`ErrorCode::http_status`], and the retry hint mirrored.
     fn error(err: &ApiError, trace: &TraceContext) -> Reply {
-        let mut env = envelope_err(err, false);
+        let mut env = envelope_err(err);
         env.insert("trace_id", Json::from(trace.hex()));
         Reply {
             status: err.code.http_status(),
             body: env.to_string(),
             retry_after_ms: err.retry_after_ms,
-            deprecated: false,
             allow: None,
             close: false,
         }
-    }
-
-    fn deprecated(mut self) -> Reply {
-        self.deprecated = true;
-        self
     }
 }
 
@@ -651,14 +642,10 @@ fn route(shared: &Shared, req: &HttpRequest, peer: &str) -> Reply {
         None => TraceContext::root(),
     };
     let path = req.path.split('?').next().unwrap_or("");
-    let legacy = matches!(
-        path,
-        "/query" | "/metrics" | "/trace" | "/slow_queries" | "/healthz" | "/health"
-    );
 
     // Liveness and health stay reachable while the server sheds load, so
     // probes and operators can see *why* it is shedding.
-    let exempt = matches!(path, "/health" | "/healthz" | "/v1/healthz");
+    let exempt = path == "/v1/healthz";
     let _guard = if exempt {
         None
     } else {
@@ -692,8 +679,8 @@ fn route(shared: &Shared, req: &HttpRequest, peer: &str) -> Reply {
     };
 
     let engine = &shared.engine;
-    let reply = match (req.method.as_str(), path) {
-        ("POST", "/v1/query") | ("POST", "/query") => {
+    match (req.method.as_str(), path) {
+        ("POST", "/v1/query") => {
             let resp = engine.handle_http(&req.body, req.trace);
             let mut reply = Reply::ok(resp.status, resp.body);
             reply.retry_after_ms = resp.retry_after_ms;
@@ -703,23 +690,16 @@ fn route(shared: &Shared, req: &HttpRequest, peer: &str) -> Reply {
             let resp = engine.handle_http(r#"{"op":"metrics"}"#, req.trace);
             Reply::ok(resp.status, resp.body)
         }
-        ("GET", "/metrics") => {
-            // Legacy shape: the raw registry snapshot, unenveloped.
-            Reply::ok(
-                200,
-                crate::server::telemetry_export::metrics_json().to_string(),
-            )
-        }
         ("GET", "/v1/trace") => {
             let resp = engine.handle_http(r#"{"op":"trace"}"#, req.trace);
             Reply::ok(resp.status, resp.body)
         }
-        ("GET", "/trace") => Reply::ok(
-            200,
-            crate::server::telemetry_export::trace_json().to_string(),
-        ),
-        ("GET", "/v1/slow_queries") | ("GET", "/slow_queries") => {
+        ("GET", "/v1/slow_queries") => {
             let resp = engine.handle_http(r#"{"op":"slow_queries"}"#, req.trace);
+            Reply::ok(resp.status, resp.body)
+        }
+        ("GET", "/v1/storage") => {
+            let resp = engine.handle_http(r#"{"op":"storage"}"#, req.trace);
             Reply::ok(resp.status, resp.body)
         }
         ("GET", "/v1/topology") => {
@@ -728,7 +708,7 @@ fn route(shared: &Shared, req: &HttpRequest, peer: &str) -> Reply {
             reply.retry_after_ms = resp.retry_after_ms;
             reply
         }
-        ("GET", "/v1/healthz") | ("GET", "/healthz") => {
+        ("GET", "/v1/healthz") => {
             let resp = engine.handle_http(r#"{"op":"health"}"#, req.trace);
             let status = if engine.slo().overall() == "failing" {
                 503
@@ -737,18 +717,28 @@ fn route(shared: &Shared, req: &HttpRequest, peer: &str) -> Reply {
             };
             Reply::ok(status, resp.body)
         }
-        ("GET", "/health") => Reply::ok(200, r#"{"status":"ok"}"#.to_owned()),
+        // The pre-v1 paths were removed in the v2 cut: answer 404 with a
+        // typed pointer at the replacement so stale clients self-diagnose.
+        (_, "/query" | "/metrics" | "/trace" | "/slow_queries" | "/healthz" | "/health") => {
+            let replacement = match path {
+                "/query" => "POST /v1/query",
+                "/metrics" => "GET /v1/metrics",
+                "/trace" => "GET /v1/trace",
+                "/slow_queries" => "GET /v1/slow_queries",
+                _ => "GET /v1/healthz",
+            };
+            let err = ApiError::new(
+                ErrorCode::NotFound,
+                format!("{path} was removed in the v2 API cut: use {replacement}"),
+            );
+            Reply::error(&err, &trace)
+        }
         (
             _,
-            "/v1/query" | "/query" | "/v1/metrics" | "/metrics" | "/v1/trace" | "/trace"
-            | "/v1/slow_queries" | "/slow_queries" | "/v1/topology" | "/v1/healthz" | "/healthz"
-            | "/health",
+            "/v1/query" | "/v1/metrics" | "/v1/trace" | "/v1/slow_queries" | "/v1/storage"
+            | "/v1/topology" | "/v1/healthz",
         ) => {
-            let allow = if matches!(path, "/v1/query" | "/query") {
-                "POST"
-            } else {
-                "GET"
-            };
+            let allow = if path == "/v1/query" { "POST" } else { "GET" };
             let err = ApiError::new(
                 ErrorCode::MethodNotAllowed,
                 format!("{} does not support {}", path, req.method),
@@ -760,15 +750,10 @@ fn route(shared: &Shared, req: &HttpRequest, peer: &str) -> Reply {
         _ => {
             let err = ApiError::new(
                 ErrorCode::NotFound,
-                "unknown path: use POST /v1/query or GET /v1/{metrics,trace,slow_queries,healthz,topology}",
+                "unknown path: use POST /v1/query or GET /v1/{metrics,trace,slow_queries,storage,healthz,topology}",
             );
             Reply::error(&err, &trace)
         }
-    };
-    if legacy {
-        reply.deprecated()
-    } else {
-        reply
     }
 }
 
@@ -861,9 +846,6 @@ fn write_reply(stream: &mut TcpStream, reply: &Reply, keep_alive: bool) -> std::
         // HTTP Retry-After is whole seconds; round up so clients never
         // retry before the hint.
         head.push_str(&format!("Retry-After: {}\r\n", ms.div_ceil(1000).max(1)));
-    }
-    if reply.deprecated {
-        head.push_str("Deprecation: true\r\n");
     }
     if let Some(allow) = reply.allow {
         head.push_str(&format!("Allow: {allow}\r\n"));
@@ -994,10 +976,9 @@ mod tests {
     #[test]
     fn health_endpoint_answers() {
         let server = server();
-        let resp = request(server.addr(), &get("/health"));
+        let resp = request(server.addr(), &get("/v1/healthz"));
         assert_eq!(resp.status, 200);
-        assert_eq!(resp.body, r#"{"status":"ok"}"#);
-        assert_eq!(resp.header("Deprecation"), Some("true"), "legacy alias");
+        assert!(resp.body.contains(r#""status":"ok""#), "{}", resp.body);
     }
 
     #[test]
@@ -1010,11 +991,10 @@ mod tests {
         assert_eq!(resp.status, 200);
         assert!(resp.body.contains(r#""status":"ok""#), "{}", resp.body);
         assert!(resp.body.contains(r#""rows":[]"#), "{}", resp.body);
-        assert_eq!(resp.header("Deprecation"), None, "/v1 is not deprecated");
     }
 
     #[test]
-    fn legacy_query_path_answers_with_deprecation_header() {
+    fn removed_legacy_paths_answer_404_with_a_v1_pointer() {
         let server = server();
         let body = r#"{"op":"events","type":"MCE","from":0,"to":1000}"#;
         let raw = format!(
@@ -1023,8 +1003,37 @@ mod tests {
             body
         );
         let resp = request(server.addr(), &raw);
-        assert_eq!(resp.status, 200);
-        assert_eq!(resp.header("Deprecation"), Some("true"));
+        assert_eq!(resp.status, 404);
+        let env = jsonlite::parse(&resp.body).unwrap();
+        assert_eq!(env["error"]["code"].as_str(), Some("NOT_FOUND"));
+        assert!(
+            env["error"]["message"]
+                .as_str()
+                .unwrap()
+                .contains("POST /v1/query"),
+            "{}",
+            resp.body
+        );
+        for (path, replacement) in [
+            ("/metrics", "GET /v1/metrics"),
+            ("/trace", "GET /v1/trace"),
+            ("/slow_queries", "GET /v1/slow_queries"),
+            ("/healthz", "GET /v1/healthz"),
+            ("/health", "GET /v1/healthz"),
+        ] {
+            let resp = request(server.addr(), &get(path));
+            assert_eq!(resp.status, 404, "{path}");
+            let env = jsonlite::parse(&resp.body).unwrap();
+            assert_eq!(env["error"]["code"].as_str(), Some("NOT_FOUND"), "{path}");
+            assert!(
+                env["error"]["message"]
+                    .as_str()
+                    .unwrap()
+                    .contains(replacement),
+                "{path}: {}",
+                resp.body
+            );
+        }
     }
 
     #[test]
@@ -1033,14 +1042,10 @@ mod tests {
         let raw = post_query(r#"{"op":"events","type":"MCE","from":0,"to":1000}"#);
         request(server.addr(), &raw);
 
-        let resp = request(server.addr(), &get("/metrics"));
-        assert_eq!(resp.status, 200);
-        assert!(resp.body.contains(r#""histograms""#), "{}", resp.body);
-        assert_eq!(resp.header("Deprecation"), Some("true"));
         let resp = request(server.addr(), &get("/v1/metrics"));
         assert_eq!(resp.status, 200);
         assert!(resp.body.contains(r#""histograms""#), "{}", resp.body);
-        assert!(resp.body.contains(r#""v":1"#), "v1 alias is enveloped");
+        assert!(resp.body.contains(r#""v":2"#), "enveloped: {}", resp.body);
 
         // Other tests in this process may flood the trace ring between our
         // query and the read, so retry the pair a few times.
@@ -1088,6 +1093,11 @@ mod tests {
         let resp = request(server.addr(), &get("/v1/topology"));
         assert_eq!(resp.status, 200);
         assert!(resp.body.contains(r#""state":"stable""#), "{}", resp.body);
+
+        let resp = request(server.addr(), &get("/v1/storage"));
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.contains(r#""blocks_built""#), "{}", resp.body);
+        assert!(resp.body.contains(r#""zone_skips""#), "{}", resp.body);
     }
 
     #[test]
@@ -1142,7 +1152,7 @@ mod tests {
                 std::thread::spawn(move || {
                     let mut client = TestClient::connect(addr);
                     for _ in 0..4 {
-                        let resp = client.request(&get("/health"));
+                        let resp = client.request(&get("/v1/healthz"));
                         assert_eq!(resp.status, 200);
                         assert!(resp.body.contains("ok"));
                     }
@@ -1167,12 +1177,12 @@ mod tests {
         let addr = server.addr();
         let mut clients: Vec<_> = (0..8).map(|_| TestClient::connect(addr)).collect();
         for c in &mut clients {
-            let resp = c.request(&get("/health"));
+            let resp = c.request(&get("/v1/healthz"));
             assert_eq!(resp.status, 200);
         }
         // All eight connections are still alive and serviceable.
         for c in &mut clients {
-            let resp = c.request(&get("/health"));
+            let resp = c.request(&get("/v1/healthz"));
             assert_eq!(resp.status, 200);
         }
     }

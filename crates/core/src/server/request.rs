@@ -10,26 +10,24 @@
 //!  "limit": 100, "cursor": "ev:120000:c0-0c0s1n0:MCE"}
 //! ```
 //!
-//! Response envelope (v1):
+//! Response envelope (v2):
 //!
 //! ```json
-//! {"v": 1, "status": "ok", "data": {...},
+//! {"v": 2, "status": "ok", "data": {...},
 //!  "page": {"cursor": "...", "has_more": true}}
-//! {"v": 1, "status": "error",
+//! {"v": 2, "status": "error",
 //!  "error": {"code": "BAD_WINDOW", "message": "..."}}
 //! ```
 //!
-//! Responses are envelope-only by default. Requests carrying
-//! `"compat": true` additionally get the legacy flat mirrors (each `data`
-//! field at the top level, listed under `deprecated`; `message` flat on
-//! errors) for clients that predate the envelope. New clients should read
-//! `data` / `error` only.
+//! Responses are envelope-only: clients read `data` / `error` (plus
+//! `page` and `trace_id`). The pre-v1 flat mirrors and the v1-era
+//! opt-in mirror flag were removed at the envelope-v2 cut, along with
+//! the legacy unversioned HTTP routes (see [`crate::server::http`]).
 //!
 //! The envelope is also the cache boundary: analytics result-cache keys
 //! derive from the parsed [`QueryRequest`] (the canonical form of a
 //! request), and cached entries store the `data` fields — the envelope
-//! (and any compat mirror) is re-assembled per response, so `compat`
-//! never influences caching.
+//! is re-assembled per response.
 
 use crate::context::Context;
 use jsonlite::{json_object, Value as Json};
@@ -424,13 +422,13 @@ impl QueryRequest {
 }
 
 /// Envelope protocol version carried as `"v"` in every response.
-pub const ENVELOPE_VERSION: i64 = 1;
+pub const ENVELOPE_VERSION: i64 = 2;
 
 /// The result an op hands back to the dispatcher: named data fields plus
 /// optional pagination, assembled into the envelope in one place.
 pub struct OpOutput {
-    /// Named data fields, nested under `data` (canonical form); mirrored
-    /// flat at the top level only for `"compat": true` requests.
+    /// Named data fields, nested under `data` (the canonical and only
+    /// form since the envelope-v2 cut).
     pub data: Vec<(String, Json)>,
     /// Pagination, for cursor-driven ops.
     pub page: Option<Page>,
@@ -452,23 +450,13 @@ impl OpOutput {
     }
 }
 
-/// Assembles the v1 `ok` envelope: `v`, `status`, the canonical `data`
-/// object, and `page` when the op paginates. With `compat`, every data
-/// field is additionally mirrored flat at the top level and the mirror's
-/// names are listed under `deprecated`.
-pub fn envelope_ok(out: OpOutput, compat: bool) -> Json {
+/// Assembles the v2 `ok` envelope: `v`, `status`, the canonical `data`
+/// object, and `page` when the op paginates.
+pub fn envelope_ok(out: OpOutput) -> Json {
     let mut resp = json_object([
         ("v", Json::from(ENVELOPE_VERSION)),
         ("status", Json::from("ok")),
     ]);
-    if compat {
-        let mut deprecated = Vec::new();
-        for (k, v) in &out.data {
-            resp.insert(k.clone(), v.clone());
-            deprecated.push(Json::from(k.as_str()));
-        }
-        resp.insert("deprecated", Json::Array(deprecated));
-    }
     resp.insert("data", json_object(out.data));
     if let Some(page) = &out.page {
         resp.insert("page", page.to_json());
@@ -476,10 +464,9 @@ pub fn envelope_ok(out: OpOutput, compat: bool) -> Json {
     resp
 }
 
-/// Assembles the v1 `error` envelope: typed `error.code`/`error.message`,
-/// plus `error.retry_after_ms` for retryable conditions. With `compat`,
-/// `message` is additionally mirrored flat.
-pub fn envelope_err(e: &ApiError, compat: bool) -> Json {
+/// Assembles the v2 `error` envelope: typed `error.code`/`error.message`,
+/// plus `error.retry_after_ms` for retryable conditions.
+pub fn envelope_err(e: &ApiError) -> Json {
     let mut error = json_object([
         ("code", Json::from(e.code.as_str())),
         ("message", Json::from(e.message.as_str())),
@@ -487,15 +474,11 @@ pub fn envelope_err(e: &ApiError, compat: bool) -> Json {
     if let Some(ms) = e.retry_after_ms {
         error.insert("retry_after_ms", Json::from(ms as i64));
     }
-    let mut resp = json_object([
+    json_object([
         ("v", Json::from(ENVELOPE_VERSION)),
         ("status", Json::from("error")),
         ("error", error),
-    ]);
-    if compat {
-        resp.insert("message", Json::from(e.message.as_str()));
-    }
-    resp
+    ])
 }
 
 #[cfg(test)]
@@ -546,44 +529,25 @@ mod tests {
     }
 
     #[test]
-    fn default_envelope_is_versioned_and_flat_free() {
+    fn envelope_is_versioned_and_flat_free() {
         let out = OpOutput::data([("rows", Json::from(3i64))]).with_page(Page {
             cursor: Some("ev:1:a:b".into()),
             has_more: true,
         });
-        let env = envelope_ok(out, false);
-        assert_eq!(env["v"].as_i64(), Some(ENVELOPE_VERSION));
+        let env = envelope_ok(out);
+        assert_eq!(env["v"].as_i64(), Some(2), "the envelope-v2 cut");
         assert_eq!(env["status"].as_str(), Some("ok"));
         assert_eq!(env["data"]["rows"].as_i64(), Some(3));
         assert_eq!(env["page"]["has_more"].as_bool(), Some(true));
-        assert!(env["rows"].is_null(), "no flat mirror without compat");
-        assert!(env["deprecated"].is_null());
+        assert!(env["rows"].is_null(), "flat mirrors are gone since v2");
+        assert!(env["deprecated"].is_null(), "so is the deprecated list");
 
-        let err = envelope_err(
-            &ApiError::new(ErrorCode::EmptyWindow, "nothing to see"),
-            false,
-        );
+        let err = envelope_err(&ApiError::new(ErrorCode::EmptyWindow, "nothing to see"));
         assert_eq!(err["v"].as_i64(), Some(ENVELOPE_VERSION));
         assert_eq!(err["status"].as_str(), Some("error"));
         assert_eq!(err["error"]["code"].as_str(), Some("EMPTY_WINDOW"));
         assert_eq!(err["error"]["message"].as_str(), Some("nothing to see"));
-        assert!(err["message"].is_null(), "no flat mirror without compat");
-    }
-
-    #[test]
-    fn compat_envelope_mirrors_flat_fields_and_marks_them_deprecated() {
-        let out = OpOutput::data([("rows", Json::from(3i64))]);
-        let env = envelope_ok(out, true);
-        assert_eq!(env["rows"].as_i64(), Some(3));
-        assert_eq!(env["data"]["rows"].as_i64(), Some(3));
-        assert_eq!(env["deprecated"][0].as_str(), Some("rows"));
-
-        let err = envelope_err(
-            &ApiError::new(ErrorCode::EmptyWindow, "nothing to see"),
-            true,
-        );
-        assert_eq!(err["message"].as_str(), Some("nothing to see"));
-        assert_eq!(err["error"]["message"].as_str(), Some("nothing to see"));
+        assert!(err["message"].is_null(), "flat error mirror is gone too");
     }
 
     #[test]
@@ -594,11 +558,11 @@ mod tests {
         .into();
         assert_eq!(api.code, ErrorCode::TopologyChanging);
         assert_eq!(api.retry_after_ms, Some(250));
-        let env = envelope_err(&api, false);
+        let env = envelope_err(&api);
         assert_eq!(env["error"]["code"].as_str(), Some("TOPOLOGY_CHANGING"));
         assert_eq!(env["error"]["retry_after_ms"].as_i64(), Some(250));
         // Non-retryable errors never carry the hint.
-        let env = envelope_err(&ApiError::bad_request("nope"), false);
+        let env = envelope_err(&ApiError::bad_request("nope"));
         assert!(env["error"]["retry_after_ms"].is_null());
         // Stream aborts surface as UNAVAILABLE (the transition rolled
         // back; the client may retry the whole admin op).

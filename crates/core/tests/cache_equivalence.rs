@@ -1,11 +1,14 @@
 //! Cache equivalence: for any interleaving of direct writes, streaming
-//! ingestion (with watermark commits), synopsis rebuilds, and queries, a
-//! framework with both cache tiers enabled must answer every request
-//! **byte-for-byte identically** to a framework with both tiers disabled.
+//! ingestion (with watermark commits), synopsis rebuilds, columnar-block
+//! churn, topology-epoch bumps, and queries, a framework with both cache
+//! tiers (and the columnar analytics store) enabled must answer every
+//! request **byte-for-byte identically** to a framework with all of them
+//! disabled.
 //!
 //! This is the correctness contract of the whole caching design: hits,
-//! misses, lazy invalidation, and open-window (watermark) invalidation
-//! must never be observable through the API.
+//! misses, lazy invalidation, open-window (watermark) invalidation,
+//! columnar block builds/evictions, and epoch-driven drops must never be
+//! observable through the API.
 
 use hpclog_core::analytics::synopsis;
 use hpclog_core::etl::stream::{publish_lines, StreamIngester};
@@ -30,16 +33,24 @@ enum Step {
     Stream { dt: i64, node: usize },
     /// Rebuild the synopsis table over the whole span.
     Synopsis,
+    /// Evict every resident columnar block (budget to zero and back), so
+    /// later scans rebuild from the row path mid-script.
+    ColumnarChurn,
+    /// Join a node into both clusters: the topology epoch moves, which
+    /// must drop columnar blocks and result-cache entries alike.
+    EpochBump,
     /// Run one query from the fixed list against both engines.
     Query(usize),
 }
 
 fn arb_step() -> impl Strategy<Value = Step> {
     prop_oneof![
-        (0..SPAN_MS, 0usize..8).prop_map(|(dt, node)| Step::Insert { dt, node }),
-        (0..SPAN_MS, 0usize..8).prop_map(|(dt, node)| Step::Stream { dt, node }),
-        Just(Step::Synopsis),
-        (0usize..7).prop_map(Step::Query),
+        4 => (0..SPAN_MS, 0usize..8).prop_map(|(dt, node)| Step::Insert { dt, node }),
+        4 => (0..SPAN_MS, 0usize..8).prop_map(|(dt, node)| Step::Stream { dt, node }),
+        2 => Just(Step::Synopsis),
+        2 => Just(Step::ColumnarChurn),
+        1 => Just(Step::EpochBump),
+        6 => (0usize..7).prop_map(Step::Query),
     ]
 }
 
@@ -142,6 +153,21 @@ proptest! {
                 Step::Synopsis => {
                     synopsis::build_synopsis(&cached_fw, T0, T0 + SPAN_MS).unwrap();
                     synopsis::build_synopsis(&plain_fw, T0, T0 + SPAN_MS).unwrap();
+                }
+                Step::ColumnarChurn => {
+                    // Drop to zero (evicting everything resident) and
+                    // restore the original budget. On the plain framework
+                    // the budget is already zero, so this keeps it a pure
+                    // row-path reference.
+                    for fw in [&cached_fw, &plain_fw] {
+                        let budget = fw.columnar().stats().bytes_budget as usize;
+                        fw.columnar().set_budget(0);
+                        fw.columnar().set_budget(budget);
+                    }
+                }
+                Step::EpochBump => {
+                    cached_fw.cluster().join_node().unwrap();
+                    plain_fw.cluster().join_node().unwrap();
                 }
                 Step::Query(i) => {
                     let q = &queries[*i];

@@ -1,15 +1,14 @@
-//! Golden envelope suite: one good request per op pinned against the v1
+//! Golden envelope suite: one good request per op pinned against the v2
 //! envelope contract, plus the typed error code each op's characteristic
 //! bad input must produce.
 //!
 //! The contract under test (see `hpclog_core::server::request`):
-//! - every response carries `"v": 1` and `"status"`;
+//! - every response carries `"v": 2` and `"status"`;
 //! - ok responses nest all op fields under `data` — nothing flat, no
-//!   `deprecated` list — unless the request carries `"compat": true`, in
-//!   which case every data field is mirrored flat and the mirror names are
-//!   listed under `deprecated`;
-//! - error responses carry `error.code` / `error.message`, with a flat
-//!   `message` mirror only under compat.
+//!   `deprecated` list (the v1-era mirror flag was removed in the v2
+//!   cut);
+//! - error responses carry `error.code` / `error.message` and nothing
+//!   flat.
 
 use hpclog_core::analytics::synopsis;
 use hpclog_core::framework::{Framework, FrameworkConfig};
@@ -162,6 +161,24 @@ fn golden_ops() -> Vec<(&'static str, String, Vec<&'static str>)> {
             vec!["counters", "enabled", "gauges", "histograms"],
         ),
         (
+            "storage",
+            r#"{"op":"storage"}"#.into(),
+            vec![
+                "blocks_built",
+                "blocks_evicted",
+                "blocks_resident",
+                "bytes_budget",
+                "bytes_resident",
+                "dict_compression",
+                "dict_encoded_bytes",
+                "dict_raw_bytes",
+                "hits",
+                "invalidations",
+                "misses",
+                "zone_skips",
+            ],
+        ),
+        (
             "slow_queries",
             r#"{"op":"slow_queries"}"#.into(),
             vec!["count", "queries", "threshold_ms"],
@@ -176,11 +193,11 @@ fn golden_ops() -> Vec<(&'static str, String, Vec<&'static str>)> {
 }
 
 #[test]
-fn every_op_answers_in_the_v1_envelope_with_no_flat_leakage() {
+fn every_op_answers_in_the_v2_envelope_with_no_flat_leakage() {
     let e = engine();
     for (op, req, fields) in golden_ops() {
         let resp = call(&e, &req);
-        assert_eq!(resp["v"].as_i64(), Some(1), "op {op}: envelope version");
+        assert_eq!(resp["v"].as_i64(), Some(2), "op {op}: envelope version");
         assert_eq!(resp["status"].as_str(), Some("ok"), "op {op}: {resp}");
         assert_eq!(
             resp["trace_id"].as_str().map(str::len),
@@ -194,38 +211,12 @@ fn every_op_answers_in_the_v1_envelope_with_no_flat_leakage() {
         assert_eq!(keys, fields, "op {op}: golden data field set");
         assert!(
             resp["deprecated"].is_null(),
-            "op {op}: no deprecated list without compat"
+            "op {op}: the deprecated list was removed in the v2 cut"
         );
         for field in &fields {
             assert!(
                 resp[*field].is_null(),
-                "op {op}: field '{field}' leaked flat without compat"
-            );
-        }
-    }
-}
-
-#[test]
-fn compat_requests_mirror_every_data_field_flat_and_deprecate_the_mirror() {
-    let e = engine();
-    for (op, req, fields) in golden_ops() {
-        let compat_req = format!(r#"{{"compat":true,{}"#, &req[1..]);
-        let resp = call(&e, &compat_req);
-        assert_eq!(resp["status"].as_str(), Some("ok"), "op {op}: {resp}");
-        // `deprecated` follows the op's field insertion order; compare as
-        // sets (the golden lists are alphabetical, matching `data`).
-        let mut deprecated: Vec<&str> = resp["deprecated"]
-            .as_array()
-            .unwrap_or_else(|| panic!("op {op}: compat must list deprecated mirrors"))
-            .iter()
-            .map(|v| v.as_str().unwrap())
-            .collect();
-        deprecated.sort_unstable();
-        assert_eq!(deprecated, fields, "op {op}: deprecated lists the mirrors");
-        for field in &fields {
-            assert_eq!(
-                resp[*field], resp["data"][*field],
-                "op {op}: flat mirror of '{field}' must equal the data field"
+                "op {op}: field '{field}' leaked flat (v2 has no mirrors)"
             );
         }
     }
@@ -346,7 +337,7 @@ fn each_op_reports_its_characteristic_typed_error_code() {
         (r#"{"op":"dlq_requeue","max":-3}"#, "BAD_REQUEST"),
     ] {
         let resp = call(&e, req);
-        assert_eq!(resp["v"].as_i64(), Some(1), "{req}");
+        assert_eq!(resp["v"].as_i64(), Some(2), "{req}");
         assert_eq!(resp["status"].as_str(), Some("error"), "{req}: {resp}");
         assert_eq!(resp["error"]["code"].as_str(), Some(code), "{req}: {resp}");
         assert!(!resp["error"]["message"].as_str().unwrap().is_empty());

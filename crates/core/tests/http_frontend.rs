@@ -3,11 +3,12 @@
 //! envelope rows for every HTTP-layer failure.
 //!
 //! The HTTP contract under test (see `hpclog_core::server::http`):
-//! - every HTTP-layer failure is a v1 envelope with a typed `error.code`,
+//! - every HTTP-layer failure is a v2 envelope with a typed `error.code`,
 //!   a `trace_id`, and the real HTTP status from `ErrorCode::http_status`;
 //! - sheds (`429` / `503`) carry `error.retry_after_ms` and mirror it in a
 //!   `Retry-After` header (whole seconds, rounded up);
-//! - legacy paths answer with `Deprecation: true`; `/v1` paths never do.
+//! - the pre-v1 paths are gone: they answer `404` with a typed
+//!   `NOT_FOUND` envelope naming the `/v1/*` replacement.
 
 use hpclog_core::framework::{Framework, FrameworkConfig};
 use hpclog_core::server::{HttpConfig, HttpServer, QueryEngine};
@@ -137,7 +138,7 @@ const EVENTS: &str = r#"{"op":"events","type":"MCE","from":0,"to":1000}"#;
 fn assert_error_envelope(resp: &Response, status: u16, code: &str) {
     assert_eq!(resp.status, status, "{}", resp.body);
     let env = resp.json();
-    assert_eq!(env["v"].as_i64(), Some(1), "{}", resp.body);
+    assert_eq!(env["v"].as_i64(), Some(2), "{}", resp.body);
     assert_eq!(env["status"].as_str(), Some("error"), "{}", resp.body);
     assert_eq!(env["error"]["code"].as_str(), Some(code), "{}", resp.body);
     assert!(
@@ -357,18 +358,34 @@ fn concurrent_clients_get_their_own_uninterleaved_responses() {
 }
 
 #[test]
-fn legacy_paths_carry_deprecation_headers_v1_paths_do_not() {
+fn removed_legacy_paths_404_with_typed_pointers_v1_paths_serve() {
     let server = server();
     let addr = server.addr();
-    for path in ["/metrics", "/trace", "/slow_queries", "/healthz", "/health"] {
+    for path in [
+        "/query",
+        "/metrics",
+        "/trace",
+        "/slow_queries",
+        "/healthz",
+        "/health",
+    ] {
         let resp = Client::connect(addr).request(&get(path));
-        assert_eq!(resp.status, 200, "{path}");
-        assert_eq!(resp.header("Deprecation"), Some("true"), "{path}");
+        assert_error_envelope(&resp, 404, "NOT_FOUND");
+        assert!(
+            resp.json()["error"]["message"]
+                .as_str()
+                .unwrap()
+                .contains("/v1/"),
+            "{path}: the 404 must point at the v1 replacement: {}",
+            resp.body
+        );
+        assert_eq!(resp.header("Deprecation"), None, "{path}: header is gone");
     }
     for path in [
         "/v1/metrics",
         "/v1/trace",
         "/v1/slow_queries",
+        "/v1/storage",
         "/v1/healthz",
         "/v1/topology",
     ] {

@@ -40,4 +40,7 @@ LOADGEN_SMOKE=1 cargo bench -q -p hpclog-bench --bench loadgen
 echo "==> ETL fast-path bench (smoke mode, speedup gate relaxed to >=3x)"
 ETL_FASTPATH_SMOKE=1 cargo bench -q -p hpclog-bench --bench etl_fastpath
 
+echo "==> columnar analytics bench (smoke mode, speedup gate relaxed to >=2x)"
+ANALYTICS_COLUMNAR_SMOKE=1 cargo bench -q -p hpclog-bench --bench analytics_columnar
+
 echo "All checks passed."
